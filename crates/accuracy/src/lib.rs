@@ -1,0 +1,37 @@
+//! # hadas-accuracy
+//!
+//! The accuracy surrogate of the HADAS reproduction — the stand-in for
+//! "fine-tune the AttentiveNAS supernet on CIFAR-100 and measure top-1".
+//!
+//! NAS search loops never consume *training runs*; they consume a mapping
+//! `architecture → accuracy`. This crate provides that mapping as a
+//! calibrated analytical model (the same role a NAS-Bench surrogate plays):
+//!
+//! * [`AccuracyModel::backbone_accuracy`] — static top-1 of a backbone,
+//!   a saturating power law in total MACs calibrated to the published
+//!   anchors (a0 ≈ 86.33 %, a6 ≈ 88.23 % on CIFAR-100, paper Table III),
+//!   with a deterministic per-genome jitter so equal-cost architectures
+//!   are not artificially identical.
+//! * [`AccuracyModel::exit_fraction`] — the paper's `N_i`: the fraction of
+//!   the input population correctly classified at exit position `i`,
+//!   obtained by pushing the exit's *capability threshold* through the
+//!   sample-difficulty CDF of `hadas-dataset`.
+//! * [`AccuracyModel::dynamic_accuracy`] — top-1 of the multi-exit model
+//!   under the paper's ideal mapping policy (a sample is correct if *any*
+//!   exit classifies it), which exceeds the static accuracy exactly as the
+//!   paper's "EEx Acc" column does.
+//!
+//! ```
+//! use hadas_accuracy::AccuracyModel;
+//! use hadas_space::{baselines, SearchSpace};
+//!
+//! let space = SearchSpace::attentive_nas();
+//! let model = AccuracyModel::cifar100();
+//! let a0 = space.decode(&baselines::baseline_genome(0)).expect("a0");
+//! let acc = model.backbone_accuracy(&a0);
+//! assert!((acc - 86.33).abs() < 1.0);
+//! ```
+
+mod model;
+
+pub use model::AccuracyModel;

@@ -1,0 +1,76 @@
+//! Property tests for the accuracy surrogate: determinism, bounds, and
+//! the crowding-interference behaviour of joint exit fractions.
+
+use hadas_accuracy::AccuracyModel;
+use hadas_dataset::DifficultyDistribution;
+use hadas_space::{Genome, SearchSpace};
+use proptest::prelude::*;
+
+fn genome_strategy() -> impl Strategy<Value = Genome> {
+    SearchSpace::attentive_nas()
+        .gene_cardinalities()
+        .into_iter()
+        .map(|c| (0..c).boxed())
+        .collect::<Vec<_>>()
+        .prop_map(Genome::from_genes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Accuracy is bounded, deterministic, and consistent across model
+    /// instances (no hidden state).
+    #[test]
+    fn backbone_accuracy_is_stable(genome in genome_strategy()) {
+        let space = SearchSpace::attentive_nas();
+        let net = space.decode(&genome).expect("valid genome");
+        let a = AccuracyModel::cifar100().backbone_accuracy(&net);
+        let b = AccuracyModel::cifar100().backbone_accuracy(&net);
+        prop_assert_eq!(a, b);
+        prop_assert!((60.0..95.0).contains(&a), "accuracy {}", a);
+    }
+
+    /// Crowded placements never measure better than the same heads in
+    /// isolation, and isolated heads match the single-exit fraction.
+    #[test]
+    fn crowding_only_penalises(genome in genome_strategy(), pos_frac in 0.3f64..0.8) {
+        let space = SearchSpace::attentive_nas();
+        let net = space.decode(&genome).expect("valid genome");
+        let model = AccuracyModel::cifar100();
+        let n = net.num_mbconv_layers();
+        let pos = ((n as f64 * pos_frac) as usize).clamp(6, n - 1);
+        // Isolated: a lone exit far from anything.
+        let lone = model.joint_exit_fractions(&net, &[pos]);
+        prop_assert!((lone[0] - model.exit_fraction(&net, pos)).abs() < 1e-12);
+        // Crowded: the same exit with an adjacent sibling.
+        let crowded = model.joint_exit_fractions(&net, &[pos, pos + 1]);
+        prop_assert!(crowded[0] <= lone[0] + 1e-12);
+        prop_assert!(crowded[1] <= model.exit_fraction(&net, pos + 1) + 1e-12);
+    }
+
+    /// The final threshold maps accuracy through the difficulty CDF
+    /// consistently: F(threshold) == accuracy.
+    #[test]
+    fn final_threshold_is_the_accuracy_quantile(genome in genome_strategy()) {
+        let space = SearchSpace::attentive_nas();
+        let net = space.decode(&genome).expect("valid genome");
+        let model = AccuracyModel::cifar100();
+        let tau = model.final_threshold(&net);
+        let back = model.difficulty().cdf(tau) * 100.0;
+        prop_assert!((back - model.backbone_accuracy(&net)).abs() < 0.5, "{}", back);
+    }
+
+    /// A harder input population lowers every exit fraction.
+    #[test]
+    fn harder_population_lowers_fractions(genome in genome_strategy()) {
+        let space = SearchSpace::attentive_nas();
+        let net = space.decode(&genome).expect("valid genome");
+        let easy = AccuracyModel::cifar100()
+            .with_difficulty(DifficultyDistribution::new(1.4, 4.5).expect("valid"));
+        let hard = AccuracyModel::cifar100()
+            .with_difficulty(DifficultyDistribution::new(2.6, 1.4).expect("valid"));
+        let n = net.num_mbconv_layers();
+        let mid = (n / 2).max(5);
+        prop_assert!(hard.exit_fraction(&net, mid) < easy.exit_fraction(&net, mid));
+    }
+}

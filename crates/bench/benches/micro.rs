@@ -1,0 +1,136 @@
+//! Micro-benchmarks of the hot paths underneath every experiment: the
+//! hardware cost model, the dynamic-model evaluation of eq. (5)–(7), the
+//! accuracy surrogate, and one NSGA-II generation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hadas::{DynamicModel, Hadas, HadasConfig};
+use hadas_exits::ExitPlacement;
+use hadas_hw::{DeviceModel, HwTarget};
+use hadas_space::{baselines, SearchSpace};
+use std::hint::black_box;
+
+fn bench_hw_cost(c: &mut Criterion) {
+    let device = DeviceModel::for_target(HwTarget::Tx2PascalGpu);
+    let space = SearchSpace::attentive_nas();
+    let net = space.decode(&baselines::baseline_genome(3)).expect("a3 decodes");
+    let dvfs = device.default_dvfs();
+    c.bench_function("hw/subnet_cost", |b| {
+        b.iter(|| device.subnet_cost(black_box(&net), black_box(&dvfs)).expect("valid"))
+    });
+    c.bench_function("hw/prefix_cost_mid", |b| {
+        let mid = net.num_mbconv_layers() / 2;
+        b.iter(|| device.prefix_cost(black_box(&net), mid, black_box(&dvfs)).expect("valid"))
+    });
+}
+
+fn bench_accuracy(c: &mut Criterion) {
+    let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+    let net = hadas.space().decode(&baselines::baseline_genome(5)).expect("a5 decodes");
+    c.bench_function("accuracy/backbone", |b| {
+        b.iter(|| hadas.accuracy().backbone_accuracy(black_box(&net)))
+    });
+    c.bench_function("accuracy/exit_curve", |b| {
+        b.iter(|| hadas.accuracy().exit_fraction_curve(black_box(&net)))
+    });
+}
+
+fn bench_dynamic_eval(c: &mut Criterion) {
+    let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+    let net = hadas.space().decode(&baselines::baseline_genome(3)).expect("a3 decodes");
+    let n = net.num_mbconv_layers();
+    let placement = ExitPlacement::new(vec![5, n / 2, n], n).expect("valid placement");
+    let model =
+        DynamicModel::new(net, placement, hadas.device().default_dvfs());
+    c.bench_function("core/dynamic_evaluate", |b| {
+        b.iter(|| {
+            model
+                .evaluate(hadas.accuracy(), hadas.device(), 1.0, true)
+                .expect("valid model")
+        })
+    });
+}
+
+fn bench_space(c: &mut Criterion) {
+    let space = SearchSpace::attentive_nas();
+    use rand::{rngs::StdRng, SeedableRng};
+    c.bench_function("space/sample_decode", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter_batched(
+            || space.sample(&mut rng),
+            |g| space.decode(black_box(&g)).expect("sampled genomes decode"),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_ioe_generation(c: &mut Criterion) {
+    let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+    let net = hadas.space().decode(&baselines::baseline_genome(2)).expect("a2 decodes");
+    let mut cfg = HadasConfig::smoke_test();
+    cfg.ioe = hadas::EngineBudget::new(8, 16); // two generations
+    c.bench_function("core/ioe_two_generations", |b| {
+        b.iter(|| hadas.run_ioe(black_box(&net), &cfg, 42).expect("IOE runs"))
+    });
+}
+
+fn bench_proxy(c: &mut Criterion) {
+    let device = DeviceModel::for_target(HwTarget::Tx2PascalGpu);
+    let space = SearchSpace::attentive_nas();
+    c.bench_function("hw/proxy_fit_1k", |b| {
+        b.iter(|| hadas_hw::ProxyCostModel::fit(black_box(&device), &space, 1_000, 1))
+    });
+    let proxy = hadas_hw::ProxyCostModel::fit(&device, &space, 1_000, 1);
+    let net = space.decode(&baselines::baseline_genome(3)).expect("a3 decodes");
+    let dvfs = hadas_hw::CostModel::default_dvfs(&proxy);
+    c.bench_function("hw/proxy_subnet_cost", |b| {
+        b.iter(|| {
+            hadas_hw::CostModel::subnet_cost(black_box(&proxy), &net, &dvfs).expect("valid")
+        })
+    });
+}
+
+fn bench_runtime_sim(c: &mut Criterion) {
+    let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+    let outcome = hadas.run(&HadasConfig::smoke_test()).expect("search runs");
+    let modes = hadas_runtime::modes_from_pareto(&hadas, &outcome, 3).expect("modes");
+    let sim = hadas_runtime::RuntimeSimulator::new(&hadas, modes);
+    let cfg = hadas_runtime::TraceConfig { duration_s: 30.0, rate_hz: 20.0, ..Default::default() };
+    let trace = hadas_runtime::WorkloadTrace::generate(&cfg, 5);
+    let policy = hadas_runtime::SocPolicy::thirds();
+    c.bench_function("runtime/serve_600_arrivals", |b| {
+        b.iter(|| sim.run(black_box(&trace), &policy, 500.0).expect("sim runs"))
+    });
+}
+
+fn bench_supernet_step(c: &mut Criterion) {
+    use hadas_supernet::{MicroSupernet, SubnetChoice, SupernetConfig};
+    let cfg = SupernetConfig::tiny();
+    let mut data_cfg = hadas_dataset::DatasetConfig::small();
+    data_cfg.classes = cfg.classes;
+    data_cfg.train_size = 32;
+    data_cfg.test_size = 8;
+    let data = hadas_dataset::SyntheticDataset::generate(&data_cfg, 1).expect("valid");
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut net = MicroSupernet::new(&cfg, &mut rng).expect("valid config");
+    c.bench_function("supernet/train_epoch_32", |b| {
+        b.iter(|| net.train(black_box(&data), 1, 16, 0.05, 2).expect("trains"))
+    });
+    let max = SubnetChoice::max(&cfg);
+    c.bench_function("supernet/evaluate_max", |b| {
+        b.iter(|| net.evaluate(black_box(&data), &max).expect("evaluates"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hw_cost,
+    bench_accuracy,
+    bench_dynamic_eval,
+    bench_space,
+    bench_ioe_generation,
+    bench_proxy,
+    bench_runtime_sim,
+    bench_supernet_step
+);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! # hadas-bench
+//!
+//! The experiment harness of the HADAS reproduction: one binary per table
+//! and figure of the paper (see `src/bin/`), plus Criterion micro- and
+//! end-to-end benches (`benches/`).
+//!
+//! Every binary
+//!
+//! 1. runs at a *scaled* budget by default so the whole suite finishes in
+//!    minutes — set `HADAS_SCALE=paper` for the paper's 450/3500-iteration
+//!    budgets,
+//! 2. prints the table/series to stdout in the paper's layout, and
+//! 3. writes a JSON record under `results/` for external re-plotting.
+
+pub mod svg;
+
+use hadas::{Hadas, HadasConfig, IoeOutcome};
+use hadas_hw::HwTarget;
+use hadas_space::{baselines, Subnet};
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Returns the experiment configuration selected by `HADAS_SCALE`
+/// (`quick` default | `mid` | `paper`).
+pub fn scaled_config() -> HadasConfig {
+    match std::env::var("HADAS_SCALE").as_deref() {
+        Ok("paper") => HadasConfig::paper(),
+        Ok("mid") => {
+            let mut cfg = HadasConfig::paper();
+            cfg.ooe = hadas::EngineBudget::new(16, 128);
+            cfg.ioe = hadas::EngineBudget::new(24, 240);
+            cfg
+        }
+        _ => {
+            let mut cfg = HadasConfig::paper();
+            cfg.ooe = hadas::EngineBudget::new(12, 60);
+            cfg.ioe = hadas::EngineBudget::new(16, 96);
+            cfg
+        }
+    }
+}
+
+/// The directory experiment JSON lands in (`results/` at the workspace
+/// root, overridable via `HADAS_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    std::env::var("HADAS_RESULTS_DIR").map(PathBuf::from).unwrap_or_else(|_| {
+        // The binaries run from the workspace root under `cargo run`.
+        PathBuf::from("results")
+    })
+}
+
+/// Writes an experiment record as pretty JSON under [`results_dir`].
+///
+/// # Panics
+///
+/// Panics on I/O or serialisation failure — the harness should fail loudly
+/// rather than silently drop results.
+pub fn write_json<T: Serialize>(name: &str, data: &T) {
+    let record = hadas::report::Experiment::new(name, data);
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, record.to_json().expect("serialise experiment"))
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("[results] wrote {}", path.display());
+}
+
+/// Decodes the seven AttentiveNAS baselines against the standard space.
+pub fn baseline_subnets(hadas: &Hadas) -> Vec<(String, Subnet)> {
+    baselines::attentive_nas_baselines(hadas.space()).expect("baselines decode in their space")
+}
+
+/// Runs the inner engine on each AttentiveNAS baseline with the same
+/// budget HADAS's own backbones get — the paper's "optimized baselines".
+pub fn optimized_baselines(
+    hadas: &Hadas,
+    config: &HadasConfig,
+) -> Vec<(String, IoeOutcome)> {
+    baseline_subnets(hadas)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, subnet))| {
+            let outcome = hadas
+                .run_ioe(&subnet, config, config.seed ^ (0xBA5E + i as u64))
+                .expect("baseline IOE runs are valid");
+            (name, outcome)
+        })
+        .collect()
+}
+
+/// Picks the deployment configuration from an inner-search Pareto set: the
+/// minimum-energy solution that is **no slower than the static baseline**
+/// (`max_latency_ms`) and meets an accuracy floor. This mirrors how the
+/// paper reports its Table III picks: dynamic models trade their latency
+/// headroom for DVFS energy, but never regress past the static model's
+/// latency — which is why compact models (little headroom) gain only a few
+/// percent from DVFS while large ones gain 15–33%.
+pub fn select_solution(
+    ioe: &IoeOutcome,
+    max_latency_ms: f64,
+    acc_floor: f64,
+) -> Option<&hadas::IoeSolution> {
+    hadas::DeploymentPicker::new()
+        .max_latency_ms(max_latency_ms)
+        .min_accuracy_pct(acc_floor)
+        .pick(ioe)
+}
+
+/// Pretty percent formatting helper.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// A thin separator line for table output.
+pub fn rule(width: usize) -> String {
+    "-".repeat(width)
+}
+
+/// All four hardware targets in paper order.
+pub fn all_targets() -> [HwTarget; 4] {
+    HwTarget::ALL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_is_small() {
+        let cfg = scaled_config();
+        if std::env::var("HADAS_SCALE").is_err() {
+            assert!(cfg.ooe.iterations <= 100);
+            assert!(cfg.ioe.iterations <= 200);
+        }
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn baselines_available_for_every_target() {
+        for t in all_targets() {
+            let hadas = Hadas::for_target(t);
+            assert_eq!(baseline_subnets(&hadas).len(), 7);
+        }
+    }
+}

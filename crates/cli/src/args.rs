@@ -1,0 +1,305 @@
+use hadas::{EngineBudget, HadasConfig};
+use hadas_hw::HwTarget;
+use std::error::Error;
+use std::fmt;
+
+/// Search budget presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Seconds-scale budgets (default).
+    #[default]
+    Quick,
+    /// Minutes-scale budgets preserving the paper's shapes.
+    Mid,
+    /// The paper's published budgets (OOE 450 / IOE 3500 iterations).
+    Paper,
+}
+
+impl Scale {
+    /// The corresponding engine configuration.
+    pub fn config(self) -> HadasConfig {
+        let mut cfg = HadasConfig::paper();
+        match self {
+            Scale::Quick => {
+                cfg.ooe = EngineBudget::new(12, 60);
+                cfg.ioe = EngineBudget::new(16, 96);
+            }
+            Scale::Mid => {
+                cfg.ooe = EngineBudget::new(16, 128);
+                cfg.ioe = EngineBudget::new(24, 240);
+            }
+            Scale::Paper => {}
+        }
+        cfg
+    }
+}
+
+/// Errors produced while parsing the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCliError(pub String);
+
+impl fmt::Display for ParseCliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for ParseCliError {}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List the four hardware targets and their DVFS ladders.
+    Devices,
+    /// Print the a0..a6 static table on one target.
+    Baselines {
+        /// Hardware target.
+        target: HwTarget,
+    },
+    /// Run the full bi-level search.
+    Search {
+        /// Hardware target.
+        target: HwTarget,
+        /// Budget preset.
+        scale: Scale,
+        /// Search seed.
+        seed: u64,
+        /// Optional JSON output path for the Pareto set.
+        json: Option<String>,
+    },
+    /// Run the inner engine on one AttentiveNAS baseline.
+    Ioe {
+        /// Hardware target.
+        target: HwTarget,
+        /// Baseline index 0..=6 (a0..a6).
+        baseline: usize,
+        /// Budget preset.
+        scale: Scale,
+        /// Search seed.
+        seed: u64,
+    },
+    /// Fit and validate a proxy cost model.
+    Proxy {
+        /// Hardware target.
+        target: HwTarget,
+        /// Device measurements to fit on.
+        samples: usize,
+    },
+    /// Print usage.
+    Help,
+}
+
+fn parse_target(s: &str) -> Result<HwTarget, ParseCliError> {
+    match s {
+        "agx-gpu" => Ok(HwTarget::AgxVoltaGpu),
+        "agx-cpu" => Ok(HwTarget::AgxCarmelCpu),
+        "tx2-gpu" => Ok(HwTarget::Tx2PascalGpu),
+        "tx2-cpu" => Ok(HwTarget::Tx2DenverCpu),
+        other => Err(ParseCliError(format!(
+            "unknown target '{other}' (expected agx-gpu, agx-cpu, tx2-gpu, or tx2-cpu)"
+        ))),
+    }
+}
+
+fn parse_scale(s: &str) -> Result<Scale, ParseCliError> {
+    match s {
+        "quick" => Ok(Scale::Quick),
+        "mid" => Ok(Scale::Mid),
+        "paper" => Ok(Scale::Paper),
+        other => Err(ParseCliError(format!(
+            "unknown scale '{other}' (expected quick, mid, or paper)"
+        ))),
+    }
+}
+
+/// Reads `--flag value` pairs out of `rest`, erroring on unknown flags.
+fn take_flags<'a>(
+    rest: &'a [String],
+    allowed: &[&str],
+) -> Result<Vec<(&'a str, &'a str)>, ParseCliError> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let flag = rest[i].as_str();
+        if !flag.starts_with("--") {
+            return Err(ParseCliError(format!("expected a --flag, got '{flag}'")));
+        }
+        let name = &flag[2..];
+        if !allowed.contains(&name) {
+            return Err(ParseCliError(format!(
+                "unknown flag '--{name}' (allowed: {})",
+                allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+            )));
+        }
+        let value = rest
+            .get(i + 1)
+            .ok_or_else(|| ParseCliError(format!("flag '--{name}' needs a value")))?;
+        out.push((name, value.as_str()));
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn flag<'a>(flags: &[(&'a str, &'a str)], name: &str) -> Option<&'a str> {
+    flags.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+}
+
+impl Command {
+    /// Parses an argument vector (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseCliError`] with a user-facing message on malformed
+    /// input.
+    pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
+        let Some(sub) = args.first() else {
+            return Ok(Command::Help);
+        };
+        let rest = &args[1..];
+        match sub.as_str() {
+            "help" | "--help" | "-h" => Ok(Command::Help),
+            "devices" => {
+                take_flags(rest, &[])?;
+                Ok(Command::Devices)
+            }
+            "baselines" => {
+                let flags = take_flags(rest, &["target"])?;
+                let target = parse_target(
+                    flag(&flags, "target")
+                        .ok_or_else(|| ParseCliError("baselines requires --target".into()))?,
+                )?;
+                Ok(Command::Baselines { target })
+            }
+            "search" => {
+                let flags = take_flags(rest, &["target", "scale", "seed", "json"])?;
+                let target = parse_target(
+                    flag(&flags, "target")
+                        .ok_or_else(|| ParseCliError("search requires --target".into()))?,
+                )?;
+                let scale =
+                    flag(&flags, "scale").map(parse_scale).transpose()?.unwrap_or_default();
+                let seed = flag(&flags, "seed")
+                    .map(|s| s.parse::<u64>().map_err(|e| ParseCliError(format!("bad seed: {e}"))))
+                    .transpose()?
+                    .unwrap_or(7);
+                Ok(Command::Search {
+                    target,
+                    scale,
+                    seed,
+                    json: flag(&flags, "json").map(str::to_string),
+                })
+            }
+            "ioe" => {
+                let flags = take_flags(rest, &["target", "baseline", "scale", "seed"])?;
+                let target = parse_target(
+                    flag(&flags, "target")
+                        .ok_or_else(|| ParseCliError("ioe requires --target".into()))?,
+                )?;
+                let baseline_str = flag(&flags, "baseline").unwrap_or("a0");
+                let baseline = baseline_str
+                    .strip_prefix('a')
+                    .and_then(|d| d.parse::<usize>().ok())
+                    .filter(|&i| i <= 6)
+                    .ok_or_else(|| {
+                        ParseCliError(format!("bad baseline '{baseline_str}' (expected a0..a6)"))
+                    })?;
+                let scale =
+                    flag(&flags, "scale").map(parse_scale).transpose()?.unwrap_or_default();
+                let seed = flag(&flags, "seed")
+                    .map(|s| s.parse::<u64>().map_err(|e| ParseCliError(format!("bad seed: {e}"))))
+                    .transpose()?
+                    .unwrap_or(7);
+                Ok(Command::Ioe { target, baseline, scale, seed })
+            }
+            "proxy" => {
+                let flags = take_flags(rest, &["target", "samples"])?;
+                let target = parse_target(
+                    flag(&flags, "target")
+                        .ok_or_else(|| ParseCliError("proxy requires --target".into()))?,
+                )?;
+                let samples = flag(&flags, "samples")
+                    .map(|s| {
+                        s.parse::<usize>().map_err(|e| ParseCliError(format!("bad samples: {e}")))
+                    })
+                    .transpose()?
+                    .unwrap_or(3_000);
+                Ok(Command::Proxy { target, samples })
+            }
+            other => Err(ParseCliError(format!(
+                "unknown command '{other}' (try: devices, baselines, search, ioe, proxy, help)"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn empty_args_mean_help() {
+        assert_eq!(Command::parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn search_parses_all_flags() {
+        let cmd = Command::parse(&argv(
+            "search --target tx2-gpu --scale mid --seed 42 --json out.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Search {
+                target: HwTarget::Tx2PascalGpu,
+                scale: Scale::Mid,
+                seed: 42,
+                json: Some("out.json".into())
+            }
+        );
+    }
+
+    #[test]
+    fn search_defaults_apply() {
+        let cmd = Command::parse(&argv("search --target agx-cpu")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Search {
+                target: HwTarget::AgxCarmelCpu,
+                scale: Scale::Quick,
+                seed: 7,
+                json: None
+            }
+        );
+    }
+
+    #[test]
+    fn ioe_parses_baseline_names() {
+        let cmd = Command::parse(&argv("ioe --target tx2-cpu --baseline a5")).unwrap();
+        assert!(matches!(cmd, Command::Ioe { baseline: 5, .. }));
+        assert!(Command::parse(&argv("ioe --target tx2-cpu --baseline a7")).is_err());
+        assert!(Command::parse(&argv("ioe --target tx2-cpu --baseline b1")).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_and_commands_error() {
+        assert!(Command::parse(&argv("search --target tx2-gpu --bogus 1")).is_err());
+        assert!(Command::parse(&argv("frobnicate")).is_err());
+        assert!(Command::parse(&argv("search --target warp-drive")).is_err());
+    }
+
+    #[test]
+    fn missing_value_errors() {
+        assert!(Command::parse(&argv("search --target")).is_err());
+    }
+
+    #[test]
+    fn scale_configs_are_ordered() {
+        assert!(Scale::Quick.config().ooe.iterations < Scale::Mid.config().ooe.iterations);
+        assert!(Scale::Mid.config().ooe.iterations < Scale::Paper.config().ooe.iterations);
+        assert_eq!(Scale::Paper.config().ooe.iterations, 450);
+    }
+}

@@ -1,0 +1,21 @@
+//! # hadas-cli
+//!
+//! Command-line interface to the HADAS reproduction: run joint searches,
+//! inner searches on fixed backbones, proxy fits, and device inspection
+//! from a shell. The argument grammar is hand-rolled (no external parser)
+//! and lives in [`Command::parse`] so it is unit-testable without a
+//! process boundary.
+//!
+//! ```text
+//! hadas devices
+//! hadas baselines --target tx2-gpu
+//! hadas search    --target agx-gpu --scale mid --seed 7 [--json out.json]
+//! hadas ioe       --target tx2-gpu --baseline a3 --seed 1
+//! hadas proxy     --target tx2-gpu --samples 3000
+//! ```
+
+mod args;
+mod run;
+
+pub use args::{Command, ParseCliError, Scale};
+pub use run::execute;

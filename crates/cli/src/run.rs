@@ -1,0 +1,234 @@
+//! Command execution: each [`Command`] variant maps onto the library API
+//! and writes a human-readable report to the provided writer (stdout in
+//! `main`, a buffer in tests).
+
+use crate::Command;
+use hadas::{DeploymentPicker, Hadas};
+use hadas_hw::{DeviceModel, HwTarget, ProxyCostModel};
+use hadas_space::{baselines, SearchSpace};
+use std::error::Error;
+use std::io::Write;
+
+const USAGE: &str = "\
+hadas — hardware-aware dynamic NAS (DATE 2023 reproduction)
+
+USAGE:
+  hadas devices
+  hadas baselines --target <t>
+  hadas search    --target <t> [--scale quick|mid|paper] [--seed N] [--json PATH]
+  hadas ioe       --target <t> [--baseline a0..a6] [--scale ...] [--seed N]
+  hadas proxy     --target <t> [--samples N]
+
+TARGETS: agx-gpu, agx-cpu, tx2-gpu, tx2-cpu
+";
+
+/// Executes a parsed command, writing the report to `out`.
+///
+/// # Errors
+///
+/// Returns any I/O or search error; the binary surfaces it and exits
+/// non-zero.
+pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
+    match cmd {
+        Command::Help => {
+            write!(out, "{USAGE}")?;
+        }
+        Command::Devices => {
+            writeln!(out, "{:<24} {:>14} {:>10} {:>16}", "target", "compute steps", "EMC steps", "F cardinality")?;
+            for target in HwTarget::ALL {
+                let dev = DeviceModel::for_target(target);
+                let l = dev.ladder();
+                writeln!(
+                    out,
+                    "{:<24} {:>14} {:>10} {:>16}",
+                    target.name(),
+                    l.compute_steps(),
+                    l.emc_steps(),
+                    l.cardinality()
+                )?;
+            }
+        }
+        Command::Baselines { target } => {
+            let hadas = Hadas::for_target(target);
+            writeln!(out, "AttentiveNAS baselines on {}:", target.name())?;
+            writeln!(out, "{:<4} {:>9} {:>12} {:>12} {:>9}", "name", "acc (%)", "energy (mJ)", "latency(ms)", "GMACs")?;
+            for (name, subnet) in baselines::attentive_nas_baselines(hadas.space())? {
+                let cost = hadas.device().subnet_cost(&subnet, &hadas.device().default_dvfs())?;
+                writeln!(
+                    out,
+                    "{:<4} {:>9.2} {:>12.2} {:>12.2} {:>9.2}",
+                    name,
+                    hadas.accuracy().backbone_accuracy(&subnet),
+                    cost.energy_mj(),
+                    cost.latency_ms(),
+                    subnet.total_flops() / 1e9
+                )?;
+            }
+        }
+        Command::Search { target, scale, seed, json } => {
+            let hadas = Hadas::for_target(target);
+            let cfg = scale.config().with_seed(seed);
+            writeln!(
+                out,
+                "searching {} (OOE {} / IOE {} iterations, seed {seed})...",
+                target.name(),
+                cfg.ooe.iterations,
+                cfg.ioe.iterations
+            )?;
+            let outcome = hadas.run(&cfg)?;
+            let mut models = outcome.pareto_models();
+            models.sort_by(|a, b| b.dynamic.accuracy_pct.total_cmp(&a.dynamic.accuracy_pct));
+            writeln!(
+                out,
+                "{:>8} {:>12} {:>12} {:>7} {:>10}",
+                "acc (%)", "energy (mJ)", "gain", "exits", "dvfs"
+            )?;
+            for m in &models {
+                let (fc, fm) = hadas.device().ladder().resolve(&m.dvfs)?;
+                writeln!(
+                    out,
+                    "{:>8.2} {:>12.1} {:>11.0}% {:>7} {:>5.2}/{:.2}",
+                    m.dynamic.accuracy_pct,
+                    m.dynamic.energy_mj,
+                    m.dynamic.energy_gain * 100.0,
+                    m.placement.len(),
+                    fc,
+                    fm
+                )?;
+            }
+            if let Some(best) = models.first() {
+                writeln!(out)?;
+                write!(out, "{}", best.subnet)?;
+            }
+            if let Some(path) = json {
+                let payload: Vec<serde_json::Value> = models
+                    .iter()
+                    .map(|m| {
+                        serde_json::json!({
+                            "genome": m.subnet.genome().genes(),
+                            "exits": m.placement.positions(),
+                            "dvfs": {"compute": m.dvfs.compute, "emc": m.dvfs.emc},
+                            "accuracy_pct": m.dynamic.accuracy_pct,
+                            "energy_mj": m.dynamic.energy_mj,
+                            "latency_ms": m.dynamic.latency_ms,
+                        })
+                    })
+                    .collect();
+                std::fs::write(&path, serde_json::to_string_pretty(&payload)?)?;
+                writeln!(out, "wrote {} models to {path}", models.len())?;
+            }
+        }
+        Command::Ioe { target, baseline, scale, seed } => {
+            let hadas = Hadas::for_target(target);
+            let space = SearchSpace::attentive_nas();
+            let subnet = space.decode(&baselines::baseline_genome(baseline))?;
+            let cfg = scale.config().with_seed(seed);
+            let static_cost =
+                hadas.device().subnet_cost(&subnet, &hadas.device().default_dvfs())?;
+            writeln!(
+                out,
+                "inner search for a{baseline} on {} (static: {:.1} mJ, {:.1} ms)...",
+                target.name(),
+                static_cost.energy_mj(),
+                static_cost.latency_ms()
+            )?;
+            let ioe = hadas.run_ioe(&subnet, &cfg, seed)?;
+            let pick = DeploymentPicker::new()
+                .max_latency_ms(static_cost.latency_ms())
+                .pick(&ioe)
+                .ok_or("no deployable configuration found")?;
+            writeln!(
+                out,
+                "deployment pick: {:.1} mJ ({:.0}% gain), {:.1} ms, {} exits at {:?}, acc {:.2}%",
+                pick.fitness.energy_mj,
+                pick.fitness.energy_gain * 100.0,
+                pick.fitness.latency_ms,
+                pick.placement.len(),
+                pick.placement.positions(),
+                pick.fitness.accuracy_pct
+            )?;
+            writeln!(out, "pareto front: {} solutions", ioe.pareto.len())?;
+        }
+        Command::Proxy { target, samples } => {
+            let device = DeviceModel::for_target(target);
+            let space = SearchSpace::attentive_nas();
+            let proxy = ProxyCostModel::fit(&device, &space, samples, 17);
+            let v = proxy.validate(&device, &space, 100, 18);
+            writeln!(out, "proxy for {} fitted on {samples} measurements", target.name())?;
+            writeln!(
+                out,
+                "held-out MAPE: latency {:.2}%, energy {:.2}% ({} queries)",
+                v.latency_mape * 100.0,
+                v.energy_mape * 100.0,
+                v.queries
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    fn run(cmd: Command) -> String {
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).expect("command runs");
+        String::from_utf8(buf).expect("utf8 output")
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run(Command::Help);
+        assert!(text.contains("USAGE"));
+        assert!(text.contains("tx2-gpu"));
+    }
+
+    #[test]
+    fn devices_lists_all_targets() {
+        let text = run(Command::Devices);
+        for target in HwTarget::ALL {
+            assert!(text.contains(target.name()), "{text}");
+        }
+        assert!(text.contains("143"), "TX2 GPU F cardinality 13*11");
+    }
+
+    #[test]
+    fn baselines_prints_seven_rows() {
+        let text = run(Command::Baselines { target: HwTarget::Tx2PascalGpu });
+        for name in ["a0", "a1", "a2", "a3", "a4", "a5", "a6"] {
+            assert!(text.contains(name));
+        }
+    }
+
+    #[test]
+    fn search_reports_pareto_models() {
+        let text = run(Command::Search {
+            target: HwTarget::Tx2PascalGpu,
+            scale: Scale::Quick,
+            seed: 3,
+            json: None,
+        });
+        assert!(text.contains("acc (%)"));
+        assert!(text.lines().count() > 3, "{text}");
+    }
+
+    #[test]
+    fn ioe_reports_deployment_pick() {
+        let text = run(Command::Ioe {
+            target: HwTarget::AgxVoltaGpu,
+            baseline: 2,
+            scale: Scale::Quick,
+            seed: 3,
+        });
+        assert!(text.contains("deployment pick"));
+        assert!(text.contains("% gain"));
+    }
+
+    #[test]
+    fn proxy_reports_mape() {
+        let text = run(Command::Proxy { target: HwTarget::Tx2PascalGpu, samples: 800 });
+        assert!(text.contains("MAPE"));
+    }
+}

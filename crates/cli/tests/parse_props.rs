@@ -1,0 +1,51 @@
+//! Property tests: the CLI parser never panics on arbitrary argument
+//! vectors and round-trips well-formed invocations.
+
+use hadas_cli::Command;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary argv never panics — it parses or errors cleanly.
+    #[test]
+    fn parser_never_panics(args in proptest::collection::vec("[ -~]{0,16}", 0..8)) {
+        let _ = Command::parse(&args);
+    }
+
+    /// Any valid seed round-trips through the search command.
+    #[test]
+    fn seeds_round_trip(seed in any::<u64>()) {
+        let args = vec![
+            "search".to_string(),
+            "--target".to_string(),
+            "tx2-gpu".to_string(),
+            "--seed".to_string(),
+            seed.to_string(),
+        ];
+        match Command::parse(&args).expect("valid invocation") {
+            Command::Search { seed: parsed, .. } => prop_assert_eq!(parsed, seed),
+            other => prop_assert!(false, "unexpected command {:?}", other),
+        }
+    }
+
+    /// Flag order does not matter.
+    #[test]
+    fn flag_order_is_irrelevant(swap in any::<bool>()) {
+        let mut pairs = vec![
+            ("--target", "agx-cpu"),
+            ("--scale", "mid"),
+        ];
+        if swap {
+            pairs.reverse();
+        }
+        let mut args = vec!["search".to_string()];
+        for (k, v) in pairs {
+            args.push(k.to_string());
+            args.push(v.to_string());
+        }
+        let cmd = Command::parse(&args).expect("valid invocation");
+        let is_search = matches!(cmd, Command::Search { .. });
+        prop_assert!(is_search);
+    }
+}

@@ -1,0 +1,358 @@
+//! Runtime input-to-exit mapping controllers (paper §IV-C).
+//!
+//! HADAS optimises designs under the *ideal* mapping policy and is
+//! compatible with any runtime controller from the literature. Two are
+//! provided: the ideal oracle (design-time reference) and the classic
+//! entropy-threshold controller (deployable).
+
+use serde::{Deserialize, Serialize};
+
+/// Where one input leaves the dynamic model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExitDecision {
+    /// The input exits at the exit with this index (0-based within the
+    /// placement).
+    Exit(usize),
+    /// No exit fired; the input runs the full backbone.
+    Final,
+}
+
+/// A runtime controller: decides, per input, the first exit to take.
+///
+/// `difficulty` is the latent sample difficulty (available to oracles
+/// only); `entropies` holds the per-exit prediction entropies in exit
+/// order (available to deployable controllers). A controller uses
+/// whichever signals its policy needs.
+pub trait Controller: std::fmt::Debug {
+    /// Decides the exit for one input.
+    fn decide(&self, difficulty: f64, entropies: &[f64]) -> ExitDecision;
+
+    /// The number of exits this controller manages.
+    fn num_exits(&self) -> usize;
+}
+
+/// The ideal (oracle) mapping policy: every input exits at the first exit
+/// capable of classifying it, i.e. the first whose capability threshold
+/// covers the sample difficulty. This is the policy under which HADAS
+/// scores designs (the `N_i` of eq. (6) are oracle quantities).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdealController {
+    thresholds: Vec<f64>,
+}
+
+impl IdealController {
+    /// Creates an oracle from per-exit capability thresholds (difficulty
+    /// below which each exit is correct), in exit order.
+    pub fn new(thresholds: Vec<f64>) -> Self {
+        IdealController { thresholds }
+    }
+
+    /// The capability thresholds.
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+}
+
+impl Controller for IdealController {
+    fn decide(&self, difficulty: f64, _entropies: &[f64]) -> ExitDecision {
+        for (i, &t) in self.thresholds.iter().enumerate() {
+            if difficulty <= t {
+                return ExitDecision::Exit(i);
+            }
+        }
+        ExitDecision::Final
+    }
+
+    fn num_exits(&self) -> usize {
+        self.thresholds.len()
+    }
+}
+
+/// The entropy-threshold controller of BranchyNet and successors: an input
+/// exits at the first exit whose prediction entropy falls below that
+/// exit's threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntropyController {
+    thresholds: Vec<f64>,
+}
+
+impl EntropyController {
+    /// Creates a controller from per-exit entropy thresholds (nats).
+    pub fn new(thresholds: Vec<f64>) -> Self {
+        EntropyController { thresholds }
+    }
+
+    /// A uniform-threshold controller over `n` exits.
+    pub fn uniform(n: usize, threshold: f64) -> Self {
+        EntropyController { thresholds: vec![threshold; n] }
+    }
+
+    /// The entropy thresholds.
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+}
+
+impl EntropyController {
+    /// Calibrates per-exit thresholds from entropy observations: for each
+    /// exit, the threshold is set at the quantile of its observed entropy
+    /// distribution matching the target exit rate — the standard way
+    /// deployments tune BranchyNet-style controllers on a validation set.
+    ///
+    /// `entropy_samples[i]` holds observed entropies at exit `i` (over
+    /// inputs reaching it); `target_rates[i]` is the fraction of those
+    /// inputs that should exit there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices have different lengths or any sample set
+    /// is empty — calibration data is a precondition, not a runtime
+    /// input.
+    pub fn calibrated(entropy_samples: &[Vec<f64>], target_rates: &[f64]) -> Self {
+        assert_eq!(
+            entropy_samples.len(),
+            target_rates.len(),
+            "one target rate per exit required"
+        );
+        let thresholds = entropy_samples
+            .iter()
+            .zip(target_rates.iter())
+            .map(|(samples, &rate)| {
+                assert!(!samples.is_empty(), "calibration needs entropy samples");
+                let mut sorted = samples.clone();
+                sorted.sort_by(f64::total_cmp);
+                let idx = ((sorted.len() as f64 - 1.0) * rate.clamp(0.0, 1.0)) as usize;
+                sorted[idx]
+            })
+            .collect();
+        EntropyController { thresholds }
+    }
+}
+
+impl Controller for EntropyController {
+    fn decide(&self, _difficulty: f64, entropies: &[f64]) -> ExitDecision {
+        for (i, &t) in self.thresholds.iter().enumerate() {
+            if entropies.get(i).copied().unwrap_or(f64::INFINITY) <= t {
+                return ExitDecision::Exit(i);
+            }
+        }
+        ExitDecision::Final
+    }
+
+    fn num_exits(&self) -> usize {
+        self.thresholds.len()
+    }
+}
+
+/// A confidence-margin controller: an input exits at the first exit whose
+/// (simulated) top-1/top-2 probability margin exceeds that exit's
+/// threshold. The margin signal is passed in via the `entropies` slot as
+/// `1 − normalised entropy`, so high values mean confident.
+///
+/// Compared to [`EntropyController`], margins are less sensitive to the
+/// number of classes, which matters when exits at different depths see
+/// differently peaked distributions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarginController {
+    thresholds: Vec<f64>,
+    max_entropy: f64,
+}
+
+impl MarginController {
+    /// Creates a controller from per-exit margin thresholds in `[0, 1]`,
+    /// with `max_entropy` (nats) used to normalise the incoming entropy
+    /// signal (ln of the class count for a uniform prior).
+    pub fn new(thresholds: Vec<f64>, max_entropy: f64) -> Self {
+        MarginController { thresholds, max_entropy: max_entropy.max(f64::MIN_POSITIVE) }
+    }
+
+    /// The margin thresholds.
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+}
+
+impl Controller for MarginController {
+    fn decide(&self, _difficulty: f64, entropies: &[f64]) -> ExitDecision {
+        for (i, &t) in self.thresholds.iter().enumerate() {
+            let h = entropies.get(i).copied().unwrap_or(f64::INFINITY);
+            let margin = 1.0 - (h / self.max_entropy).clamp(0.0, 1.0);
+            if margin >= t {
+                return ExitDecision::Exit(i);
+            }
+        }
+        ExitDecision::Final
+    }
+
+    fn num_exits(&self) -> usize {
+        self.thresholds.len()
+    }
+}
+
+/// Aggregate outcome of serving a stream of inputs through a controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReport {
+    /// Fraction of inputs that left at each exit, then at the final
+    /// classifier (sums to 1).
+    pub exit_mix: Vec<f64>,
+    /// Fraction of correctly classified inputs.
+    pub accuracy: f64,
+}
+
+/// Serves a stream of `(difficulty, per-exit entropies)` samples through
+/// `controller`, scoring correctness against per-exit capability
+/// thresholds and the final classifier's threshold.
+///
+/// This is the harness both deployable controllers and the oracle run
+/// through in the `deploy_controller` example and the controller tests,
+/// so their numbers are directly comparable.
+pub fn simulate_stream<C: Controller + ?Sized>(
+    controller: &C,
+    samples: &[(f64, Vec<f64>)],
+    exit_thresholds: &[f64],
+    final_threshold: f64,
+) -> StreamReport {
+    let n_exits = controller.num_exits();
+    let mut exit_mix = vec![0.0f64; n_exits + 1];
+    let mut correct = 0usize;
+    for (difficulty, entropies) in samples {
+        match controller.decide(*difficulty, entropies) {
+            ExitDecision::Exit(k) => {
+                exit_mix[k] += 1.0;
+                if *difficulty <= exit_thresholds.get(k).copied().unwrap_or(0.0) {
+                    correct += 1;
+                }
+            }
+            ExitDecision::Final => {
+                exit_mix[n_exits] += 1.0;
+                if *difficulty <= final_threshold {
+                    correct += 1;
+                }
+            }
+        }
+    }
+    let total = samples.len().max(1) as f64;
+    for m in &mut exit_mix {
+        *m /= total;
+    }
+    StreamReport { exit_mix, accuracy: correct as f64 / total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_takes_first_capable_exit() {
+        let c = IdealController::new(vec![0.3, 0.6, 0.9]);
+        assert_eq!(c.decide(0.2, &[]), ExitDecision::Exit(0));
+        assert_eq!(c.decide(0.5, &[]), ExitDecision::Exit(1));
+        assert_eq!(c.decide(0.95, &[]), ExitDecision::Final);
+    }
+
+    #[test]
+    fn entropy_controller_uses_confidence_only() {
+        let c = EntropyController::uniform(2, 0.5);
+        // High entropy everywhere: never exits early.
+        assert_eq!(c.decide(0.0, &[2.0, 2.0]), ExitDecision::Final);
+        // Confident second exit.
+        assert_eq!(c.decide(0.0, &[2.0, 0.1]), ExitDecision::Exit(1));
+    }
+
+    #[test]
+    fn entropy_controller_treats_missing_signals_as_unconfident() {
+        let c = EntropyController::uniform(3, 0.5);
+        assert_eq!(c.decide(0.0, &[0.9]), ExitDecision::Final);
+    }
+
+    #[test]
+    fn controllers_are_object_safe() {
+        let list: Vec<Box<dyn Controller>> = vec![
+            Box::new(IdealController::new(vec![0.5])),
+            Box::new(EntropyController::uniform(1, 0.4)),
+            Box::new(MarginController::new(vec![0.6], 100f64.ln())),
+        ];
+        for c in &list {
+            assert_eq!(c.num_exits(), 1);
+        }
+    }
+
+    #[test]
+    fn margin_controller_exits_on_confidence() {
+        let max_h = 10f64.ln();
+        let c = MarginController::new(vec![0.7, 0.5], max_h);
+        // Very low entropy at exit 0: margin ~1 >= 0.7 -> exit 0.
+        assert_eq!(c.decide(0.0, &[0.01, 2.0]), ExitDecision::Exit(0));
+        // High entropy everywhere: falls through to final.
+        assert_eq!(c.decide(0.0, &[max_h, max_h]), ExitDecision::Final);
+        // Moderate entropy: margin at exit 1 passes its laxer threshold.
+        let h = 0.6 * max_h; // margin 0.4 < 0.7 but < 0.5? 0.4 < 0.5 -> final
+        assert_eq!(c.decide(0.0, &[h, h]), ExitDecision::Final);
+        let h2 = 0.4 * max_h; // margin 0.6: fails 0.7 at exit 0, passes 0.5 at exit 1
+        assert_eq!(c.decide(0.0, &[h2, h2]), ExitDecision::Exit(1));
+    }
+
+    #[test]
+    fn calibration_hits_target_exit_rates() {
+        // Entropies uniform on [0, 2]: a 0.25 target rate should land the
+        // threshold near 0.5.
+        let samples: Vec<f64> = (0..1000).map(|i| i as f64 * 2.0 / 999.0).collect();
+        let c = EntropyController::calibrated(&[samples.clone(), samples], &[0.25, 0.75]);
+        assert!((c.thresholds()[0] - 0.5).abs() < 0.02, "{:?}", c.thresholds());
+        assert!((c.thresholds()[1] - 1.5).abs() < 0.02, "{:?}", c.thresholds());
+        // Serving the same distribution exits ~25% at the first exit.
+        let exits = samples_exit_rate(&c, 0);
+        assert!((exits - 0.25).abs() < 0.03, "rate {exits}");
+    }
+
+    fn samples_exit_rate(c: &EntropyController, exit: usize) -> f64 {
+        let n = 1000;
+        let hits = (0..n)
+            .filter(|&i| {
+                let h = i as f64 * 2.0 / (n - 1) as f64;
+                c.decide(0.0, &[h, h]) == ExitDecision::Exit(exit)
+            })
+            .count();
+        hits as f64 / n as f64
+    }
+
+    #[test]
+    #[should_panic(expected = "one target rate per exit")]
+    fn calibration_validates_lengths() {
+        let _ = EntropyController::calibrated(&[vec![1.0]], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn stream_simulation_mix_sums_to_one() {
+        let oracle = IdealController::new(vec![0.3, 0.7]);
+        let samples: Vec<(f64, Vec<f64>)> =
+            (0..100).map(|i| (i as f64 / 100.0, vec![0.0, 0.0])).collect();
+        let report = simulate_stream(&oracle, &samples, &[0.3, 0.7], 0.9);
+        let total: f64 = report.exit_mix.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Difficulties are uniform on [0,1): ~30% exit 0, ~40% exit 1,
+        // ~30% final, and accuracy = oracle coverage + final band.
+        assert!((report.exit_mix[0] - 0.3).abs() < 0.02);
+        assert!((report.exit_mix[1] - 0.4).abs() < 0.02);
+        assert!((report.accuracy - 0.9).abs() < 0.02);
+    }
+
+    #[test]
+    fn oracle_dominates_entropy_controller_on_the_same_stream() {
+        // The oracle is the upper bound HADAS designs against.
+        let thresholds = vec![0.4, 0.8];
+        let oracle = IdealController::new(thresholds.clone());
+        let entropy = EntropyController::uniform(2, 0.3);
+        let samples: Vec<(f64, Vec<f64>)> = (0..500)
+            .map(|i| {
+                let d = (i as f64 * 0.618) % 1.0;
+                // Entropy loosely tracks difficulty with some slack.
+                let h = (2.0 * d + 0.2).min(4.0);
+                (d, vec![h, h * 0.8])
+            })
+            .collect();
+        let r_oracle = simulate_stream(&oracle, &samples, &thresholds, 0.9);
+        let r_entropy = simulate_stream(&entropy, &samples, &thresholds, 0.9);
+        assert!(r_oracle.accuracy >= r_entropy.accuracy - 1e-9);
+    }
+}

@@ -1,0 +1,162 @@
+//! Deployment selection: turning an inner-search Pareto set into the one
+//! configuration to ship.
+//!
+//! The paper reports its Table III picks under an implicit convention this
+//! module makes explicit: a dynamic model may spend its early-exit latency
+//! headroom on lower DVFS frequencies, but must not end up *slower* than
+//! the static baseline; within that envelope, pick the cheapest
+//! configuration that holds the accuracy bar.
+
+use crate::{IoeOutcome, IoeSolution};
+
+/// Constraints for picking a deployment configuration from a Pareto set.
+///
+/// ```
+/// use hadas::DeploymentPicker;
+///
+/// let picker = DeploymentPicker::new()
+///     .max_latency_ms(25.0)
+///     .min_accuracy_pct(92.0);
+/// assert_eq!(picker.max_latency_ms_value(), Some(25.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DeploymentPicker {
+    max_latency_ms: Option<f64>,
+    min_accuracy_pct: Option<f64>,
+    max_energy_mj: Option<f64>,
+}
+
+impl DeploymentPicker {
+    /// A picker with no constraints (pure energy minimisation).
+    pub fn new() -> Self {
+        DeploymentPicker::default()
+    }
+
+    /// Requires the dynamic model to be no slower than `ms` per inference
+    /// — typically the static backbone's latency.
+    pub fn max_latency_ms(mut self, ms: f64) -> Self {
+        self.max_latency_ms = Some(ms);
+        self
+    }
+
+    /// Requires at least this ideal-mapping accuracy (percent).
+    pub fn min_accuracy_pct(mut self, pct: f64) -> Self {
+        self.min_accuracy_pct = Some(pct);
+        self
+    }
+
+    /// Requires at most this expected energy per inference (mJ).
+    pub fn max_energy_mj(mut self, mj: f64) -> Self {
+        self.max_energy_mj = Some(mj);
+        self
+    }
+
+    /// The configured latency cap, if any.
+    pub fn max_latency_ms_value(&self) -> Option<f64> {
+        self.max_latency_ms
+    }
+
+    /// The configured accuracy floor, if any.
+    pub fn min_accuracy_pct_value(&self) -> Option<f64> {
+        self.min_accuracy_pct
+    }
+
+    fn admits(&self, s: &IoeSolution) -> bool {
+        self.max_latency_ms.is_none_or(|ms| s.fitness.latency_ms <= ms)
+            && self.min_accuracy_pct.is_none_or(|pct| s.fitness.accuracy_pct >= pct)
+            && self.max_energy_mj.is_none_or(|mj| s.fitness.energy_mj <= mj)
+    }
+
+    /// The minimum-energy Pareto solution satisfying every constraint, or
+    /// `None` if the set admits nothing.
+    pub fn pick<'a>(&self, outcome: &'a IoeOutcome) -> Option<&'a IoeSolution> {
+        outcome
+            .pareto
+            .iter()
+            .filter(|s| self.admits(s))
+            .min_by(|a, b| a.fitness.energy_mj.total_cmp(&b.fitness.energy_mj))
+    }
+
+    /// The maximum-accuracy Pareto solution satisfying every constraint —
+    /// the pick for accuracy-first deployments.
+    pub fn pick_accurate<'a>(&self, outcome: &'a IoeOutcome) -> Option<&'a IoeSolution> {
+        outcome
+            .pareto
+            .iter()
+            .filter(|s| self.admits(s))
+            .max_by(|a, b| a.fitness.accuracy_pct.total_cmp(&b.fitness.accuracy_pct))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Hadas, HadasConfig};
+    use hadas_hw::HwTarget;
+    use hadas_space::baselines;
+
+    fn outcome() -> IoeOutcome {
+        let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+        let subnet = hadas.space().decode(&baselines::baseline_genome(3)).unwrap();
+        hadas.run_ioe(&subnet, &HadasConfig::smoke_test(), 5).unwrap()
+    }
+
+    #[test]
+    fn unconstrained_pick_is_min_energy() {
+        let out = outcome();
+        let pick = DeploymentPicker::new().pick(&out).unwrap();
+        for s in &out.pareto {
+            assert!(pick.fitness.energy_mj <= s.fitness.energy_mj);
+        }
+    }
+
+    #[test]
+    fn latency_cap_is_respected() {
+        let out = outcome();
+        let median = {
+            let mut l: Vec<f64> = out.pareto.iter().map(|s| s.fitness.latency_ms).collect();
+            l.sort_by(f64::total_cmp);
+            l[l.len() / 2]
+        };
+        let picker = DeploymentPicker::new().max_latency_ms(median);
+        if let Some(pick) = picker.pick(&out) {
+            assert!(pick.fitness.latency_ms <= median);
+        }
+    }
+
+    #[test]
+    fn accuracy_floor_is_respected_and_can_be_infeasible() {
+        let out = outcome();
+        let impossible = DeploymentPicker::new().min_accuracy_pct(99.9);
+        assert!(impossible.pick(&out).is_none());
+        let best = out
+            .pareto
+            .iter()
+            .map(|s| s.fitness.accuracy_pct)
+            .fold(f64::MIN, f64::max);
+        let feasible = DeploymentPicker::new().min_accuracy_pct(best - 0.01);
+        let pick = feasible.pick(&out).unwrap();
+        assert!(pick.fitness.accuracy_pct >= best - 0.01);
+    }
+
+    #[test]
+    fn accurate_pick_maximises_accuracy() {
+        let out = outcome();
+        let pick = DeploymentPicker::new().pick_accurate(&out).unwrap();
+        for s in &out.pareto {
+            assert!(pick.fitness.accuracy_pct >= s.fitness.accuracy_pct);
+        }
+    }
+
+    #[test]
+    fn energy_cap_filters() {
+        let out = outcome();
+        let min_e = out
+            .pareto
+            .iter()
+            .map(|s| s.fitness.energy_mj)
+            .fold(f64::INFINITY, f64::min);
+        let picker = DeploymentPicker::new().max_energy_mj(min_e - 1.0);
+        assert!(picker.pick(&out).is_none());
+    }
+}

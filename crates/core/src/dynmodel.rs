@@ -1,0 +1,305 @@
+use crate::{DynamicFitness, HadasError};
+use hadas_accuracy::AccuracyModel;
+use hadas_exits::{exit_head_cost, ExitPlacement};
+use hadas_hw::{CostModel, CostReport, DvfsSetting};
+use hadas_space::Subnet;
+
+/// A fully specified dynamic model: one point `(b, x, f)` of the joint
+/// HADAS space — a backbone, an exit placement, and a DVFS setting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicModel {
+    subnet: Subnet,
+    placement: ExitPlacement,
+    dvfs: DvfsSetting,
+}
+
+/// Everything the score function of eq. (5)–(7) needs about one dynamic
+/// model, computed once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicEvaluation {
+    /// `N_i` per sampled exit, in position order (eq. (6)).
+    pub exit_fractions: Vec<f64>,
+    /// `dissim_i = 1 − max(N_{0..i−1})` per exit (eq. (7)).
+    pub dissimilarities: Vec<f64>,
+    /// Fraction of inputs that leave at each exit under ideal mapping.
+    pub exit_usage: Vec<f64>,
+    /// Fraction of inputs that run the full backbone.
+    pub final_usage: f64,
+    /// Static reference cost of the backbone at *default* DVFS.
+    pub backbone_cost: CostReport,
+    /// Expected dynamic cost per inference at the model's DVFS setting.
+    pub dynamic_cost: CostReport,
+    /// The assembled fitness.
+    pub fitness: DynamicFitness,
+}
+
+impl DynamicModel {
+    /// Bundles a joint-space point.
+    pub fn new(subnet: Subnet, placement: ExitPlacement, dvfs: DvfsSetting) -> Self {
+        DynamicModel { subnet, placement, dvfs }
+    }
+
+    /// The backbone.
+    pub fn subnet(&self) -> &Subnet {
+        &self.subnet
+    }
+
+    /// The exit placement.
+    pub fn placement(&self) -> &ExitPlacement {
+        &self.placement
+    }
+
+    /// The DVFS setting.
+    pub fn dvfs(&self) -> &DvfsSetting {
+        &self.dvfs
+    }
+
+    /// The per-exit score of paper eq. (6), as written:
+    /// `score_i = N_i · (E_{x_i,f}/E_b) · (L_{x_i,f}/L_b) · dissim_iᵞ`.
+    ///
+    /// Exposed for inspection and the ablation study; the engine's
+    /// selection objectives (see [`DynamicModel::evaluate`]) fold the same
+    /// ingredients into a maximisation-consistent pair (quality, gain), as
+    /// the paper's Fig. 5 bottom axes do.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hardware model errors.
+    pub fn exit_score(
+        &self,
+        accuracy: &AccuracyModel,
+        device: &dyn CostModel,
+        index: usize,
+        gamma: f64,
+    ) -> Result<f64, HadasError> {
+        let eval = self.evaluate(accuracy, device, gamma, true)?;
+        let pos = self.placement.positions()[index];
+        let prefix = device.prefix_cost(&self.subnet, pos, &self.dvfs)?;
+        let head = device.layer_cost(&exit_head_cost(&self.subnet, pos), &self.dvfs)?;
+        let exit_cost = prefix + head;
+        let n = eval.exit_fractions[index];
+        let dissim = eval.dissimilarities[index];
+        Ok(n * (exit_cost.energy_j / eval.backbone_cost.energy_j)
+            * (exit_cost.latency_s / eval.backbone_cost.latency_s)
+            * dissim.powf(gamma))
+    }
+
+    /// Evaluates the dynamic model: exit fractions, ideal-mapping usage,
+    /// expected energy/latency, and the [`DynamicFitness`].
+    ///
+    /// Under the paper's *ideal mapping policy*, every input exits at the
+    /// first exit that classifies it correctly; inputs no exit catches run
+    /// the full backbone. The expected cost therefore weights each prefix
+    /// (plus all exit heads passed on the way) by its usage probability.
+    /// The static reference `E_b, L_b` is the plain backbone at *default*
+    /// DVFS, matching how the paper normalises its gains.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hardware model errors (a configuration bug, not a
+    /// runtime condition, in a validated model).
+    pub fn evaluate(
+        &self,
+        accuracy: &AccuracyModel,
+        device: &dyn CostModel,
+        gamma: f64,
+        use_dissimilarity: bool,
+    ) -> Result<DynamicEvaluation, HadasError> {
+        let positions = self.placement.positions();
+        // Joint (crowding-aware) fractions: redundant adjacent exits
+        // measure worse than spread-out ones.
+        let exit_fractions = accuracy.joint_exit_fractions(&self.subnet, positions);
+
+        // dissim_i = 1 − max(N_{0..i−1}); the first exit has no predecessor.
+        let mut dissimilarities = Vec::with_capacity(positions.len());
+        let mut running_max = 0.0f64;
+        for &n in &exit_fractions {
+            dissimilarities.push(1.0 - running_max);
+            running_max = running_max.max(n);
+        }
+
+        // Ideal-mapping usage: an input leaves at the first exit capable of
+        // classifying it, so exit i newly captures max(0, N_i − best_prior).
+        let mut exit_usage = Vec::with_capacity(positions.len());
+        let mut best = 0.0f64;
+        for &n in &exit_fractions {
+            exit_usage.push((n - best).max(0.0));
+            best = best.max(n);
+        }
+        let final_usage = 1.0 - best;
+
+        // Static reference at default DVFS.
+        let backbone_cost = device.subnet_cost(&self.subnet, &device.default_dvfs())?;
+
+        // Expected dynamic cost at the model's DVFS setting. Inputs that
+        // exit at position k paid: prefix(pos_k) + heads at exits 1..=k.
+        // Inputs that never exit paid the full backbone + every head.
+        let head_costs: Vec<CostReport> = positions
+            .iter()
+            .map(|&p| device.layer_cost(&exit_head_cost(&self.subnet, p), &self.dvfs))
+            .collect::<Result<_, _>>()?;
+        let mut dynamic_cost = CostReport::zero();
+        let mut heads_so_far = CostReport::zero();
+        for (k, &p) in positions.iter().enumerate() {
+            heads_so_far = heads_so_far + head_costs[k];
+            if exit_usage[k] > 0.0 {
+                let prefix = device.prefix_cost(&self.subnet, p, &self.dvfs)?;
+                let total = prefix + heads_so_far;
+                dynamic_cost.latency_s += exit_usage[k] * total.latency_s;
+                dynamic_cost.energy_j += exit_usage[k] * total.energy_j;
+            }
+        }
+        let full = device.subnet_cost(&self.subnet, &self.dvfs)? + heads_so_far;
+        dynamic_cost.latency_s += final_usage * full.latency_s;
+        dynamic_cost.energy_j += final_usage * full.energy_j;
+
+        // Eq. (5): mean over sampled exits of the regularised quality.
+        let quality_terms: Vec<f64> = exit_fractions
+            .iter()
+            .zip(dissimilarities.iter())
+            .map(|(&n, &d)| if use_dissimilarity { n * d.powf(gamma) } else { n })
+            .collect();
+        let exit_quality = quality_terms.iter().sum::<f64>() / quality_terms.len() as f64;
+        let mean_exit_fraction =
+            exit_fractions.iter().sum::<f64>() / exit_fractions.len() as f64;
+
+        let fitness = DynamicFitness {
+            exit_quality,
+            mean_exit_fraction,
+            energy_gain: 1.0 - dynamic_cost.energy_j / backbone_cost.energy_j,
+            latency_gain: 1.0 - dynamic_cost.latency_s / backbone_cost.latency_s,
+            accuracy_pct: accuracy.dynamic_accuracy(&self.subnet, positions),
+            energy_mj: dynamic_cost.energy_mj(),
+            latency_ms: dynamic_cost.latency_ms(),
+        };
+        Ok(DynamicEvaluation {
+            exit_fractions,
+            dissimilarities,
+            exit_usage,
+            final_usage,
+            backbone_cost,
+            dynamic_cost,
+            fitness,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadas_hw::{DeviceModel, HwTarget};
+    use hadas_space::{baselines, SearchSpace};
+
+    fn fixture() -> (Subnet, AccuracyModel, DeviceModel) {
+        let space = SearchSpace::attentive_nas();
+        let subnet = space.decode(&baselines::baseline_genome(3)).unwrap();
+        (subnet, AccuracyModel::cifar100(), DeviceModel::for_target(HwTarget::Tx2PascalGpu))
+    }
+
+    fn model_with(positions: Vec<usize>, subnet: &Subnet, dvfs: DvfsSetting) -> DynamicModel {
+        let placement = ExitPlacement::new(positions, subnet.num_mbconv_layers()).unwrap();
+        DynamicModel::new(subnet.clone(), placement, dvfs)
+    }
+
+    #[test]
+    fn usage_probabilities_form_a_distribution() {
+        let (subnet, acc, dev) = fixture();
+        let n = subnet.num_mbconv_layers();
+        let m = model_with(vec![5, n / 2, n], &subnet, dev.default_dvfs());
+        let e = m.evaluate(&acc, &dev, 1.0, true).unwrap();
+        let total: f64 = e.exit_usage.iter().sum::<f64>() + e.final_usage;
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(e.exit_usage.iter().all(|&u| u >= 0.0));
+        assert!(e.final_usage >= 0.0);
+    }
+
+    #[test]
+    fn early_exiting_saves_energy() {
+        let (subnet, acc, dev) = fixture();
+        let n = subnet.num_mbconv_layers();
+        let m = model_with(vec![5, n / 3, n / 2, 2 * n / 3], &subnet, dev.default_dvfs());
+        let e = m.evaluate(&acc, &dev, 1.0, true).unwrap();
+        assert!(
+            e.fitness.energy_gain > 0.1,
+            "exits should save real energy, gain = {}",
+            e.fitness.energy_gain
+        );
+        assert!(e.dynamic_cost.energy_j < e.backbone_cost.energy_j);
+    }
+
+    #[test]
+    fn dvfs_tuning_improves_on_max_clocks() {
+        let (subnet, acc, dev) = fixture();
+        let n = subnet.num_mbconv_layers();
+        let positions = vec![5, n / 2];
+        let at_max = model_with(positions.clone(), &subnet, dev.default_dvfs())
+            .evaluate(&acc, &dev, 1.0, true)
+            .unwrap();
+        // Sweep the ladder for the best energy.
+        let mut best = at_max.fitness.energy_mj;
+        for c in 0..dev.ladder().compute_steps() {
+            for e in 0..dev.ladder().emc_steps() {
+                let m = model_with(positions.clone(), &subnet, DvfsSetting::new(c, e));
+                let ev = m.evaluate(&acc, &dev, 1.0, true).unwrap();
+                best = best.min(ev.fitness.energy_mj);
+            }
+        }
+        assert!(
+            best < at_max.fitness.energy_mj * 0.95,
+            "an interior DVFS point should beat max clocks: best {best} vs {}",
+            at_max.fitness.energy_mj
+        );
+    }
+
+    #[test]
+    fn dissimilarity_penalises_redundant_exits() {
+        let (subnet, acc, dev) = fixture();
+        let n = subnet.num_mbconv_layers();
+        // Two adjacent deep exits are redundant; the second one's dissim is low.
+        let m = model_with(vec![n - 1, n], &subnet, dev.default_dvfs());
+        let e = m.evaluate(&acc, &dev, 1.0, true).unwrap();
+        assert!((e.dissimilarities[0] - 1.0).abs() < 1e-12);
+        assert!(e.dissimilarities[1] < 0.5, "deep predecessor should crush dissim");
+        // Quality with regularisation must be below the unregularised mean.
+        let raw = m.evaluate(&acc, &dev, 1.0, false).unwrap();
+        assert!(e.fitness.exit_quality < raw.fitness.exit_quality);
+    }
+
+    #[test]
+    fn gamma_zero_neutralises_the_regularizer() {
+        let (subnet, acc, dev) = fixture();
+        let n = subnet.num_mbconv_layers();
+        let m = model_with(vec![6, n], &subnet, dev.default_dvfs());
+        let with_g0 = m.evaluate(&acc, &dev, 0.0, true).unwrap();
+        let without = m.evaluate(&acc, &dev, 1.0, false).unwrap();
+        assert!((with_g0.fitness.exit_quality - without.fitness.exit_quality).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exit_score_matches_equation_six() {
+        let (subnet, acc, dev) = fixture();
+        let n = subnet.num_mbconv_layers();
+        let m = model_with(vec![6, n / 2], &subnet, dev.default_dvfs());
+        let s = m.exit_score(&acc, &dev, 0, 1.0).unwrap();
+        // First exit: dissim = 1, so score = N_1 · (E_1/E_b) · (L_1/L_b).
+        let e = m.evaluate(&acc, &dev, 1.0, true).unwrap();
+        let prefix = dev.prefix_cost(&subnet, 6, &dev.default_dvfs()).unwrap();
+        let head = dev
+            .layer_cost(&exit_head_cost(&subnet, 6), &dev.default_dvfs())
+            .unwrap();
+        let cost = prefix + head;
+        let expected = e.exit_fractions[0]
+            * (cost.energy_j / e.backbone_cost.energy_j)
+            * (cost.latency_s / e.backbone_cost.latency_s);
+        assert!((s - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_accuracy_beats_static() {
+        let (subnet, acc, dev) = fixture();
+        let n = subnet.num_mbconv_layers();
+        let m = model_with(vec![5, n / 2, n], &subnet, dev.default_dvfs());
+        let e = m.evaluate(&acc, &dev, 1.0, true).unwrap();
+        assert!(e.fitness.accuracy_pct > acc.backbone_accuracy(&subnet));
+    }
+}

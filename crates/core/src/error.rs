@@ -1,0 +1,71 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the HADAS engines.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum HadasError {
+    /// The backbone space rejected a genome.
+    Space(hadas_space::SpaceError),
+    /// The hardware simulator rejected a query.
+    Hw(hadas_hw::HwError),
+    /// An exit placement was invalid.
+    Exit(hadas_exits::ExitError),
+    /// A configuration value was out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for HadasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HadasError::Space(e) => write!(f, "search space error: {e}"),
+            HadasError::Hw(e) => write!(f, "hardware model error: {e}"),
+            HadasError::Exit(e) => write!(f, "exit placement error: {e}"),
+            HadasError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for HadasError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HadasError::Space(e) => Some(e),
+            HadasError::Hw(e) => Some(e),
+            HadasError::Exit(e) => Some(e),
+            HadasError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<hadas_space::SpaceError> for HadasError {
+    fn from(e: hadas_space::SpaceError) -> Self {
+        HadasError::Space(e)
+    }
+}
+
+impl From<hadas_hw::HwError> for HadasError {
+    fn from(e: hadas_hw::HwError) -> Self {
+        HadasError::Hw(e)
+    }
+}
+
+impl From<hadas_exits::ExitError> for HadasError {
+    fn from(e: hadas_exits::ExitError) -> Self {
+        HadasError::Exit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_chain_through() {
+        let e = HadasError::from(hadas_hw::HwError::ExitPositionOutOfRange {
+            position: 9,
+            layers: 5,
+        });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("hardware"));
+    }
+}

@@ -1,0 +1,319 @@
+use crate::{DynamicFitness, DynamicModel, Hadas, HadasConfig, HadasError};
+use hadas_evo::{discrete, Nsga2, Nsga2Config, Problem};
+use hadas_exits::{ExitPlacement, MIN_EXIT_POSITION};
+use hadas_hw::DvfsSetting;
+use hadas_space::Subnet;
+use rand::{rngs::StdRng, Rng, RngCore, SeedableRng};
+
+/// One explored point of the inner space: an exit placement, a DVFS
+/// setting, and its dynamic fitness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoeSolution {
+    /// The exit placement `x`.
+    pub placement: ExitPlacement,
+    /// The DVFS setting `f`.
+    pub dvfs: DvfsSetting,
+    /// The dynamic fitness `D(x, f | b)`.
+    pub fitness: DynamicFitness,
+}
+
+/// Outcome of one inner-engine run for a fixed backbone.
+#[derive(Debug, Clone)]
+pub struct IoeOutcome {
+    /// Every `(x, f)` point evaluated, in evaluation order (the Fig. 5
+    /// bottom scatter).
+    pub history: Vec<IoeSolution>,
+    /// The Pareto-optimal subset returned to the OOE (paper §IV-B.4).
+    pub pareto: Vec<IoeSolution>,
+}
+
+impl IoeOutcome {
+    /// Plot-axis vectors `[energy_gain, mean N_i]` of the whole history.
+    pub fn history_axes(&self) -> Vec<Vec<f64>> {
+        self.history.iter().map(|s| s.fitness.to_plot_axes()).collect()
+    }
+
+    /// Plot-axis vectors of the Pareto subset.
+    pub fn pareto_axes(&self) -> Vec<Vec<f64>> {
+        self.pareto.iter().map(|s| s.fitness.to_plot_axes()).collect()
+    }
+
+    /// The Pareto solution with the largest energy gain.
+    pub fn best_energy(&self) -> Option<&IoeSolution> {
+        self.pareto
+            .iter()
+            .max_by(|a, b| a.fitness.energy_gain.total_cmp(&b.fitness.energy_gain))
+    }
+
+    /// The Pareto solution with the highest dynamic accuracy.
+    pub fn best_accuracy(&self) -> Option<&IoeSolution> {
+        self.pareto
+            .iter()
+            .max_by(|a, b| a.fitness.accuracy_pct.total_cmp(&b.fitness.accuracy_pct))
+    }
+}
+
+/// The inner optimization engine: NSGA-II over the joint `X × F` subspace
+/// of one backbone (paper §IV-B).
+///
+/// Genome layout: one 0/1 indicator gene per candidate exit position
+/// (positions `5..=Σl`, the paper's `[I_1 … I_{M−1}]`), then two ordered
+/// genes indexing the device's compute and EMC frequency ladders.
+#[derive(Debug, Clone)]
+pub struct Ioe<'a> {
+    hadas: &'a Hadas,
+    subnet: Subnet,
+    config: HadasConfig,
+}
+
+struct IoeProblem<'a> {
+    hadas: &'a Hadas,
+    subnet: &'a Subnet,
+    candidates: Vec<usize>,
+    cardinalities: Vec<usize>,
+    gamma: f64,
+    use_dissimilarity: bool,
+}
+
+impl IoeProblem<'_> {
+    /// Half-range of the deterministic search-time noise on the quality
+    /// objective (absolute, on the `N_i`-scale of eq. (5)).
+    const QUALITY_NOISE: f64 = 0.05;
+
+    fn decode(&self, genome: &[usize]) -> DynamicModel {
+        let n_ind = self.candidates.len();
+        let mut positions: Vec<usize> = genome[..n_ind]
+            .iter()
+            .enumerate()
+            .filter(|(_, &g)| g == 1)
+            .map(|(k, _)| self.candidates[k])
+            .collect();
+        let total = self.subnet.num_mbconv_layers();
+        // Repair: the placement must be non-empty and respect the nX bound.
+        if positions.is_empty() {
+            positions.push(self.candidates[n_ind / 2]);
+        }
+        let max_count = total.saturating_sub(MIN_EXIT_POSITION).max(1);
+        positions.truncate(max_count);
+        let placement = ExitPlacement::new(positions, total)
+            .expect("repaired placement is valid by construction");
+        let dvfs = DvfsSetting::new(genome[n_ind], genome[n_ind + 1]);
+        DynamicModel::new(self.subnet.clone(), placement, dvfs)
+    }
+}
+
+impl Problem for IoeProblem<'_> {
+    type Genome = Vec<usize>;
+
+    fn sample(&self, rng: &mut dyn RngCore) -> Vec<usize> {
+        let mut genes: Vec<usize> =
+            self.candidates.iter().map(|_| usize::from(rng.gen_bool(0.18))).collect();
+        genes.push(rng.gen_range(0..self.cardinalities[self.candidates.len()]));
+        genes.push(rng.gen_range(0..self.cardinalities[self.candidates.len() + 1]));
+        genes
+    }
+
+    fn evaluate(&self, genome: &Vec<usize>) -> Vec<f64> {
+        let model = self.decode(genome);
+        let eval = model
+            .evaluate(
+                self.hadas.accuracy(),
+                self.hadas.device(),
+                self.gamma,
+                self.use_dissimilarity,
+            )
+            .expect("decoded models are valid by construction");
+        let mut objectives = eval.fitness.to_maximisation();
+        // Search-time accuracy estimates are noisy: in the paper, every
+        // N_i comes from training real exit heads and measuring them on a
+        // finite validation set, so the quality objective the engine sees
+        // is a noisy estimate of the true one (hardware measurements are
+        // comparatively exact). The noise is a deterministic function of
+        // the candidate, so runs stay reproducible; reported solutions
+        // are re-measured exactly. This is precisely the regime where the
+        // dissimilarity prior earns its keep (Fig. 7): it stops the
+        // engine from overfitting redundant exit stacks to lucky
+        // estimates.
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        genome.hash(&mut h);
+        model.subnet().genome().genes().hash(&mut h);
+        let u = (h.finish() % 10_000) as f64 / 10_000.0;
+        objectives[0] += (u * 2.0 - 1.0) * Self::QUALITY_NOISE;
+        objectives
+    }
+
+    fn crossover(&self, rng: &mut dyn RngCore, a: &Vec<usize>, b: &Vec<usize>) -> Vec<usize> {
+        discrete::uniform_crossover(rng, a, b)
+    }
+
+    fn mutate(&self, rng: &mut dyn RngCore, genome: &Vec<usize>) -> Vec<usize> {
+        let n_ind = self.candidates.len();
+        // Indicators: reset-style bit flips; DVFS: ordered step moves with
+        // occasional resets to escape local ladders.
+        let mut out = discrete::reset_mutation(
+            rng,
+            &genome[..n_ind],
+            &self.cardinalities[..n_ind],
+            1.5 / n_ind as f64,
+        );
+        let dvfs_part = if rng.gen_bool(0.3) {
+            discrete::reset_mutation(rng, &genome[n_ind..], &self.cardinalities[n_ind..], 0.5)
+        } else {
+            discrete::step_mutation(rng, &genome[n_ind..], &self.cardinalities[n_ind..], 0.7)
+        };
+        out.extend(dvfs_part);
+        out
+    }
+}
+
+impl<'a> Ioe<'a> {
+    /// Creates an inner engine for `subnet`.
+    pub fn new(hadas: &'a Hadas, subnet: Subnet, config: HadasConfig) -> Self {
+        Ioe { hadas, subnet, config }
+    }
+
+    fn problem(&self) -> IoeProblem<'_> {
+        let candidates = ExitPlacement::candidates(self.subnet.num_mbconv_layers());
+        let mut cardinalities = vec![2usize; candidates.len()];
+        cardinalities.push(self.hadas.device().ladder().compute_steps());
+        cardinalities.push(self.hadas.device().ladder().emc_steps());
+        IoeProblem {
+            hadas: self.hadas,
+            subnet: &self.subnet,
+            candidates,
+            cardinalities,
+            gamma: self.config.gamma,
+            use_dissimilarity: self.config.use_dissimilarity,
+        }
+    }
+
+    /// Runs the engine with the configured IOE budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadasError::InvalidConfig`] for invalid configurations.
+    pub fn run(&self, seed: u64) -> Result<IoeOutcome, HadasError> {
+        self.config.validate()?;
+        let problem = self.problem();
+        let nsga = Nsga2::new(Nsga2Config::with_budget(
+            self.config.ioe.population,
+            self.config.ioe.iterations,
+        ));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = nsga.run(&problem, &mut rng);
+
+        Ok(self.outcome_from(&problem, &result))
+    }
+
+    /// Spends the same budget on pure random sampling of `X × F` — the
+    /// standard NAS baseline ablation against the NSGA-II engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadasError::InvalidConfig`] for invalid configurations.
+    pub fn run_random(&self, seed: u64) -> Result<IoeOutcome, HadasError> {
+        self.config.validate()?;
+        let problem = self.problem();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = hadas_evo::random_search(&problem, self.config.ioe.iterations, &mut rng);
+        Ok(self.outcome_from(&problem, &result))
+    }
+
+    /// Re-measures a search result exactly and keeps the truly
+    /// non-dominated front (the engine selected under noisy quality
+    /// estimates; reporting always uses the exact measurement pass).
+    fn outcome_from(
+        &self,
+        problem: &IoeProblem<'_>,
+        result: &hadas_evo::SearchResult<Vec<usize>>,
+    ) -> IoeOutcome {
+        let to_solution = |genome: &Vec<usize>| -> IoeSolution {
+            let model = problem.decode(genome);
+            let eval = model
+                .evaluate(
+                    self.hadas.accuracy(),
+                    self.hadas.device(),
+                    self.config.gamma,
+                    self.config.use_dissimilarity,
+                )
+                .expect("decoded models are valid by construction");
+            IoeSolution {
+                placement: model.placement().clone(),
+                dvfs: *model.dvfs(),
+                fitness: eval.fitness,
+            }
+        };
+        let history: Vec<IoeSolution> =
+            result.history().iter().map(|e| to_solution(&e.genome)).collect();
+        let candidates: Vec<IoeSolution> =
+            result.pareto_front().iter().map(|e| to_solution(&e.genome)).collect();
+        let exact: Vec<Vec<f64>> =
+            candidates.iter().map(|s| s.fitness.to_maximisation()).collect();
+        let fronts = hadas_evo::fast_non_dominated_sort(&exact);
+        let pareto: Vec<IoeSolution> = fronts
+            .first()
+            .map(|f| f.iter().map(|&i| candidates[i].clone()).collect())
+            .unwrap_or_default();
+        IoeOutcome { history, pareto }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadas_hw::HwTarget;
+    use hadas_space::baselines;
+
+    fn quick_ioe(seed: u64) -> IoeOutcome {
+        let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+        let subnet = hadas.space().decode(&baselines::baseline_genome(2)).unwrap();
+        let cfg = HadasConfig::smoke_test();
+        hadas.run_ioe(&subnet, &cfg, seed).unwrap()
+    }
+
+    #[test]
+    fn history_length_matches_budget() {
+        let out = quick_ioe(1);
+        assert_eq!(out.history.len(), HadasConfig::smoke_test().ioe.iterations);
+        assert!(!out.pareto.is_empty());
+    }
+
+    #[test]
+    fn pareto_solutions_have_positive_energy_gain() {
+        let out = quick_ioe(2);
+        let best = out.best_energy().unwrap();
+        assert!(
+            best.fitness.energy_gain > 0.15,
+            "IOE should find real savings, got {}",
+            best.fitness.energy_gain
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = quick_ioe(3);
+        let b = quick_ioe(3);
+        assert_eq!(a.pareto_axes(), b.pareto_axes());
+    }
+
+    #[test]
+    fn pareto_is_mutually_non_dominated() {
+        let out = quick_ioe(4);
+        let axes: Vec<Vec<f64>> =
+            out.pareto.iter().map(|s| s.fitness.to_maximisation()).collect();
+        for a in &axes {
+            for b in &axes {
+                assert!(!hadas_evo::dominates(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn placements_respect_paper_rules() {
+        let out = quick_ioe(5);
+        for s in &out.history {
+            assert!(s.placement.positions().iter().all(|&p| p >= MIN_EXIT_POSITION));
+        }
+    }
+}

@@ -1,0 +1,93 @@
+use serde::{Deserialize, Serialize};
+
+/// Static fitness `S(b)` of a backbone as a standalone model (paper
+/// eq. (3)): accuracy, latency, and energy at the device's default DVFS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StaticFitness {
+    /// Top-1 accuracy in percent.
+    pub accuracy_pct: f64,
+    /// Inference latency in milliseconds.
+    pub latency_ms: f64,
+    /// Inference energy in millijoules.
+    pub energy_mj: f64,
+}
+
+impl StaticFitness {
+    /// The NSGA-II maximisation vector `[acc, −latency, −energy]`.
+    pub fn to_maximisation(self) -> Vec<f64> {
+        vec![self.accuracy_pct, -self.latency_ms, -self.energy_mj]
+    }
+
+    /// The 2-D view the paper plots in Fig. 5 top: `[acc, −energy]`.
+    pub fn to_plot_axes(self) -> Vec<f64> {
+        vec![self.accuracy_pct, -self.energy_mj]
+    }
+}
+
+/// Dynamic fitness `D(x, f | b)` of a multi-exit model with a DVFS
+/// setting: the two axes the paper's Fig. 5 bottom plots, plus the raw
+/// dynamic costs backing them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynamicFitness {
+    /// The regularised mean exit quality of eq. (5)–(6): the average of
+    /// `N_i · dissim_iᵞ` over sampled exits.
+    pub exit_quality: f64,
+    /// Mean of the raw `N_i` values (the Fig. 5 bottom y-axis).
+    pub mean_exit_fraction: f64,
+    /// Energy-efficiency gain over the static backbone at default DVFS:
+    /// `1 − E_dyn / E_b` (the Fig. 5 bottom x-axis).
+    pub energy_gain: f64,
+    /// Latency gain `1 − L_dyn / L_b`.
+    pub latency_gain: f64,
+    /// Ideal-mapping top-1 accuracy of the dynamic model in percent.
+    pub accuracy_pct: f64,
+    /// Expected dynamic energy per inference in millijoules.
+    pub energy_mj: f64,
+    /// Expected dynamic latency per inference in milliseconds.
+    pub latency_ms: f64,
+}
+
+impl DynamicFitness {
+    /// The NSGA-II maximisation vector used by the inner engine:
+    /// `[exit_quality, energy_gain, latency_gain]` — quality regularised by
+    /// `dissimᵞ` per eq. (6), and both normalised hardware ratios of
+    /// eq. (6) as efficiency objectives. Keeping latency in the front is
+    /// what lets deployment later trade *latency slack* for lower DVFS
+    /// frequencies without ending up slower than the static baseline.
+    pub fn to_maximisation(self) -> Vec<f64> {
+        vec![self.exit_quality, self.energy_gain, self.latency_gain]
+    }
+
+    /// The 2-D view the paper plots in Fig. 5 bottom:
+    /// `[energy_gain, mean_exit_fraction]`.
+    pub fn to_plot_axes(self) -> Vec<f64> {
+        vec![self.energy_gain, self.mean_exit_fraction]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_maximisation_negates_costs() {
+        let s = StaticFitness { accuracy_pct: 87.0, latency_ms: 20.0, energy_mj: 170.0 };
+        assert_eq!(s.to_maximisation(), vec![87.0, -20.0, -170.0]);
+        assert_eq!(s.to_plot_axes(), vec![87.0, -170.0]);
+    }
+
+    #[test]
+    fn dynamic_axes_follow_figure_5() {
+        let d = DynamicFitness {
+            exit_quality: 0.5,
+            mean_exit_fraction: 0.6,
+            energy_gain: 0.4,
+            latency_gain: 0.3,
+            accuracy_pct: 90.0,
+            energy_mj: 100.0,
+            latency_ms: 12.0,
+        };
+        assert_eq!(d.to_plot_axes(), vec![0.4, 0.6]);
+        assert_eq!(d.to_maximisation(), vec![0.5, 0.4, 0.3]);
+    }
+}

@@ -1,0 +1,368 @@
+use crate::{
+    DynamicFitness, Hadas, HadasConfig, HadasError, Ioe, IoeOutcome, StaticFitness,
+};
+use hadas_evo::{crowding_distance, discrete, fast_non_dominated_sort};
+use hadas_exits::ExitPlacement;
+use hadas_hw::DvfsSetting;
+use hadas_space::{Genome, Subnet};
+use parking_lot::Mutex;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// One backbone evaluated by the outer engine.
+#[derive(Debug, Clone)]
+pub struct EvaluatedBackbone {
+    /// The decoded backbone.
+    pub subnet: Subnet,
+    /// Its static fitness `S(b)` (eq. (3)) at default DVFS.
+    pub fitness: StaticFitness,
+    /// Generation at which it was first evaluated.
+    pub generation: usize,
+    /// The inner-engine outcome, present if this backbone was promoted
+    /// past the early-selection pruning (`b' ∈ P'`).
+    pub ioe: Option<IoeOutcome>,
+}
+
+/// A fully resolved `(b*, x*, f*)` solution of the joint space.
+#[derive(Debug, Clone)]
+pub struct JointModel {
+    /// The backbone.
+    pub subnet: Subnet,
+    /// Static fitness of the backbone alone.
+    pub static_fitness: StaticFitness,
+    /// The exit placement.
+    pub placement: ExitPlacement,
+    /// The DVFS setting.
+    pub dvfs: DvfsSetting,
+    /// Dynamic fitness of the assembled DyNN.
+    pub dynamic: DynamicFitness,
+}
+
+/// Outcome of a full bi-level HADAS run.
+#[derive(Debug, Clone)]
+pub struct OoeOutcome {
+    backbones: Vec<EvaluatedBackbone>,
+}
+
+impl OoeOutcome {
+    /// Every backbone evaluated, in evaluation order (the Fig. 5 top
+    /// scatter).
+    pub fn backbones(&self) -> &[EvaluatedBackbone] {
+        &self.backbones
+    }
+
+    /// Static plot axes `[accuracy, −energy]` of the whole history.
+    pub fn static_axes(&self) -> Vec<Vec<f64>> {
+        self.backbones.iter().map(|b| b.fitness.to_plot_axes()).collect()
+    }
+
+    /// The static Pareto front over `[accuracy, −energy]` (Fig. 5 top).
+    pub fn static_pareto(&self) -> Vec<&EvaluatedBackbone> {
+        let axes = self.static_axes();
+        let fronts = fast_non_dominated_sort(&axes);
+        match fronts.first() {
+            Some(front) => front.iter().map(|&i| &self.backbones[i]).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// All `(b, x, f)` combinations discovered by the nested IOEs.
+    pub fn joint_models(&self) -> Vec<JointModel> {
+        let mut out = Vec::new();
+        for b in &self.backbones {
+            if let Some(ioe) = &b.ioe {
+                for s in &ioe.pareto {
+                    out.push(JointModel {
+                        subnet: b.subnet.clone(),
+                        static_fitness: b.fitness,
+                        placement: s.placement.clone(),
+                        dvfs: s.dvfs,
+                        dynamic: s.fitness,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The final Pareto set over (dynamic accuracy, −dynamic energy) —
+    /// the `(b*, x*, f*)` solutions the paper returns at generation `G`.
+    pub fn pareto_models(&self) -> Vec<JointModel> {
+        let all = self.joint_models();
+        if all.is_empty() {
+            return all;
+        }
+        let axes: Vec<Vec<f64>> = all
+            .iter()
+            .map(|m| vec![m.dynamic.accuracy_pct, -m.dynamic.energy_mj])
+            .collect();
+        let fronts = fast_non_dominated_sort(&axes);
+        fronts[0].iter().map(|&i| all[i].clone()).collect()
+    }
+}
+
+/// The outer optimization engine (paper §IV-A): NSGA-II over the backbone
+/// space **B** with nested IOE invocations for promoted candidates.
+#[derive(Debug)]
+pub struct Ooe<'a> {
+    hadas: &'a Hadas,
+    config: HadasConfig,
+}
+
+impl<'a> Ooe<'a> {
+    /// Creates an outer engine.
+    pub fn new(hadas: &'a Hadas, config: HadasConfig) -> Self {
+        Ooe { hadas, config }
+    }
+
+    fn static_fitness(&self, subnet: &Subnet) -> Result<StaticFitness, HadasError> {
+        let device = self.hadas.device();
+        let cost = device.subnet_cost(subnet, &device.default_dvfs())?;
+        Ok(StaticFitness {
+            accuracy_pct: self.hadas.accuracy().backbone_accuracy(subnet),
+            latency_ms: cost.latency_ms(),
+            energy_mj: cost.energy_mj(),
+        })
+    }
+
+    fn genome_seed(&self, genome: &Genome) -> u64 {
+        let mut h = DefaultHasher::new();
+        genome.genes().hash(&mut h);
+        self.config.seed.hash(&mut h);
+        h.finish()
+    }
+
+    /// Runs the bi-level search.
+    ///
+    /// Per generation: evaluate `S` for the population, rank and prune to
+    /// `P'` (early selection), run an IOE per promoted backbone (cached
+    /// across generations, executed in parallel), re-rank by combined
+    /// static + dynamic objectives into `P''`, then mutate/cross over to
+    /// form the next population.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration or evaluation errors.
+    pub fn run(&self) -> Result<OoeOutcome, HadasError> {
+        self.config.validate()?;
+        let space = self.hadas.space();
+        let cards = space.gene_cardinalities();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let pop_size = self.config.ooe.population;
+        let generations = self.config.ooe.generations();
+
+        let ioe_cache: Mutex<HashMap<Vec<usize>, IoeOutcome>> = Mutex::new(HashMap::new());
+        let mut history: Vec<EvaluatedBackbone> = Vec::new();
+        let mut seen: HashMap<Vec<usize>, usize> = HashMap::new(); // genome -> history idx
+
+        let mut population: Vec<Genome> = (0..pop_size).map(|_| space.sample(&mut rng)).collect();
+
+        for generation in 0..generations {
+            // Static evaluation (deduplicated against history).
+            let mut indices = Vec::with_capacity(population.len());
+            for genome in &population {
+                let key = genome.genes().to_vec();
+                let idx = match seen.get(&key) {
+                    Some(&i) => i,
+                    None => {
+                        let subnet = space.decode(genome)?;
+                        let fitness = self.static_fitness(&subnet)?;
+                        history.push(EvaluatedBackbone {
+                            subnet,
+                            fitness,
+                            generation,
+                            ioe: None,
+                        });
+                        seen.insert(key, history.len() - 1);
+                        history.len() - 1
+                    }
+                };
+                indices.push(idx);
+            }
+
+            // Early selection: rank by the full static vector of eq. (3).
+            let pts: Vec<Vec<f64>> =
+                indices.iter().map(|&i| history[i].fitness.to_maximisation()).collect();
+            let order = rank_order(&pts);
+            let promote = ((pop_size as f64 * self.config.prune_fraction).ceil() as usize)
+                .clamp(1, pop_size);
+            let promoted: Vec<usize> =
+                order.iter().take(promote).map(|&k| indices[k]).collect();
+
+            // Nested IOEs for promoted backbones (parallel, cached).
+            let pending: Vec<usize> = promoted
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    history[i].ioe.is_none()
+                        && !ioe_cache
+                            .lock()
+                            .contains_key(history[i].subnet.genome().genes())
+                })
+                .collect();
+            let errors: Mutex<Vec<HadasError>> = Mutex::new(Vec::new());
+            crossbeam::thread::scope(|scope| {
+                for &i in &pending {
+                    let subnet = history[i].subnet.clone();
+                    let seed = self.genome_seed(subnet.genome());
+                    let cache = &ioe_cache;
+                    let errors = &errors;
+                    let hadas = self.hadas;
+                    let config = self.config.clone();
+                    scope.spawn(move |_| {
+                        match Ioe::new(hadas, subnet.clone(), config).run(seed) {
+                            Ok(outcome) => {
+                                cache
+                                    .lock()
+                                    .insert(subnet.genome().genes().to_vec(), outcome);
+                            }
+                            Err(e) => errors.lock().push(e),
+                        }
+                    });
+                }
+            })
+            .expect("IOE worker threads do not panic");
+            if let Some(e) = errors.into_inner().into_iter().next() {
+                return Err(e);
+            }
+            for &i in &promoted {
+                if history[i].ioe.is_none() {
+                    history[i].ioe =
+                        ioe_cache.lock().get(history[i].subnet.genome().genes()).cloned();
+                }
+            }
+
+            if generation + 1 == generations {
+                break;
+            }
+
+            // Combined selection (P''): accuracy, energy, and the best
+            // dynamic gain the backbone's IOE achieved. Kept to three
+            // decorrelated objectives — with more, non-dominated sorting
+            // degenerates (nearly every point lands in front 0) and the
+            // selection pressure toward exit-friendly backbones vanishes.
+            let combined: Vec<Vec<f64>> = indices
+                .iter()
+                .map(|&i| {
+                    let best_gain = history[i]
+                        .ioe
+                        .as_ref()
+                        .map(|o| {
+                            o.pareto
+                                .iter()
+                                .fold(0.0f64, |g, s| g.max(s.fitness.energy_gain))
+                        })
+                        .unwrap_or(0.0);
+                    vec![
+                        history[i].fitness.accuracy_pct,
+                        -history[i].fitness.energy_mj,
+                        best_gain,
+                    ]
+                })
+                .collect();
+            let order = rank_order(&combined);
+            let survivors: Vec<&Genome> = order
+                .iter()
+                .take((pop_size / 2).max(2))
+                .map(|&k| &population[k])
+                .collect();
+
+            // Mutation and crossover build the next population.
+            let mut next: Vec<Genome> = survivors.iter().map(|&g| g.clone()).collect();
+            while next.len() < pop_size {
+                let a = survivors[rng.gen_range(0..survivors.len())];
+                let b = survivors[rng.gen_range(0..survivors.len())];
+                let genes = if rng.gen_bool(0.9) {
+                    let child = discrete::uniform_crossover(&mut rng, a.genes(), b.genes());
+                    discrete::reset_mutation(&mut rng, &child, &cards, 0.08)
+                } else {
+                    discrete::reset_mutation(&mut rng, a.genes(), &cards, 0.15)
+                };
+                next.push(Genome::from_genes(genes));
+            }
+            population = next;
+        }
+
+        Ok(OoeOutcome { backbones: history })
+    }
+}
+
+/// Orders point indices by (non-domination rank, descending crowding
+/// distance) — NSGA-II's total preorder, best first.
+fn rank_order(points: &[Vec<f64>]) -> Vec<usize> {
+    let fronts = fast_non_dominated_sort(points);
+    let mut order = Vec::with_capacity(points.len());
+    for front in fronts {
+        let d = crowding_distance(points, &front);
+        let mut keyed: Vec<(usize, f64)> =
+            front.iter().copied().zip(d).collect();
+        keyed.sort_by(|a, b| b.1.total_cmp(&a.1));
+        order.extend(keyed.into_iter().map(|(i, _)| i));
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadas_hw::HwTarget;
+
+    fn quick_run(seed: u64) -> OoeOutcome {
+        let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+        hadas.run(&HadasConfig::smoke_test().with_seed(seed)).unwrap()
+    }
+
+    #[test]
+    fn run_produces_joint_models() {
+        let out = quick_run(11);
+        assert!(!out.backbones().is_empty());
+        assert!(!out.joint_models().is_empty(), "promoted backbones must carry IOE results");
+        assert!(!out.pareto_models().is_empty());
+    }
+
+    #[test]
+    fn static_pareto_is_non_dominated() {
+        let out = quick_run(12);
+        let front: Vec<Vec<f64>> =
+            out.static_pareto().iter().map(|b| b.fitness.to_plot_axes()).collect();
+        for a in &front {
+            for b in &front {
+                assert!(!hadas_evo::dominates(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = quick_run(13);
+        let b = quick_run(13);
+        let pa: Vec<f64> = a.pareto_models().iter().map(|m| m.dynamic.energy_mj).collect();
+        let pb: Vec<f64> = b.pareto_models().iter().map(|m| m.dynamic.energy_mj).collect();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn pareto_models_save_energy_over_their_backbone() {
+        let out = quick_run(14);
+        let best = out
+            .pareto_models()
+            .into_iter()
+            .max_by(|a, b| a.dynamic.energy_gain.total_cmp(&b.dynamic.energy_gain))
+            .unwrap();
+        assert!(
+            best.dynamic.energy_gain > 0.2,
+            "joint search should find strong savings, got {}",
+            best.dynamic.energy_gain
+        );
+    }
+
+    #[test]
+    fn rank_order_puts_dominating_points_first() {
+        let pts = vec![vec![1.0, 1.0], vec![3.0, 3.0], vec![2.0, 2.0]];
+        let order = rank_order(&pts);
+        assert_eq!(order[0], 1);
+        assert_eq!(order[2], 0);
+    }
+}

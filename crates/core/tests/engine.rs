@@ -1,0 +1,110 @@
+//! Engine-level integration tests: IOE caching inside the OOE, stability
+//! under thread scheduling, configuration error paths, and outcome
+//! accessor invariants.
+
+use hadas::{EngineBudget, Hadas, HadasConfig, HadasError};
+use hadas_hw::HwTarget;
+use std::collections::HashMap;
+
+fn cfg() -> HadasConfig {
+    HadasConfig::smoke_test()
+}
+
+#[test]
+fn duplicate_backbones_reuse_their_ioe_outcome() {
+    // The OOE caches IOE runs by genome: a backbone surviving several
+    // generations must carry exactly one IOE outcome (same object state),
+    // and the number of distinct promoted genomes bounds the IOE work.
+    let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+    let outcome = hadas.run(&cfg()).expect("runs");
+    let mut per_genome: HashMap<Vec<usize>, usize> = HashMap::new();
+    for b in outcome.backbones() {
+        if b.ioe.is_some() {
+            *per_genome.entry(b.subnet.genome().genes().to_vec()).or_default() += 1;
+        }
+    }
+    // History deduplicates genomes, so each appears at most once at all.
+    assert!(per_genome.values().all(|&c| c == 1));
+    assert!(!per_genome.is_empty());
+}
+
+#[test]
+fn parallel_ioe_execution_is_deterministic() {
+    // The nested IOEs run on worker threads; thread interleaving must not
+    // leak into results because each IOE is seeded by its genome.
+    let hadas = Hadas::for_target(HwTarget::AgxCarmelCpu);
+    let runs: Vec<Vec<(f64, f64)>> = (0..3)
+        .map(|_| {
+            let outcome = hadas.run(&cfg().with_seed(99)).expect("runs");
+            let mut v: Vec<(f64, f64)> = outcome
+                .pareto_models()
+                .iter()
+                .map(|m| (m.dynamic.energy_mj, m.dynamic.accuracy_pct))
+                .collect();
+            v.sort_by(|a, b| a.0.total_cmp(&b.0));
+            v
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1]);
+    assert_eq!(runs[1], runs[2]);
+}
+
+#[test]
+fn invalid_configs_are_rejected_up_front() {
+    let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+    let mut bad = cfg();
+    bad.prune_fraction = 2.0;
+    assert!(matches!(hadas.run(&bad), Err(HadasError::InvalidConfig(_))));
+    let mut bad = cfg();
+    bad.ioe = EngineBudget::new(4, 2); // budget below one generation
+    assert!(matches!(hadas.run(&bad), Err(HadasError::InvalidConfig(_))));
+}
+
+#[test]
+fn outcome_accessors_are_consistent() {
+    let hadas = Hadas::for_target(HwTarget::Tx2DenverCpu);
+    let outcome = hadas.run(&cfg()).expect("runs");
+    assert_eq!(outcome.static_axes().len(), outcome.backbones().len());
+    // Every joint model's backbone exists in the history.
+    for m in outcome.joint_models() {
+        assert!(outcome
+            .backbones()
+            .iter()
+            .any(|b| b.subnet.genome() == m.subnet.genome()));
+    }
+    // The Pareto models are a subset of the joint models by fitness.
+    let joint: Vec<(f64, f64)> = outcome
+        .joint_models()
+        .iter()
+        .map(|m| (m.dynamic.energy_mj, m.dynamic.accuracy_pct))
+        .collect();
+    for m in outcome.pareto_models() {
+        assert!(joint.contains(&(m.dynamic.energy_mj, m.dynamic.accuracy_pct)));
+    }
+}
+
+#[test]
+fn larger_ooe_budgets_never_shrink_the_explored_set() {
+    let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+    let small = {
+        let mut c = cfg();
+        c.ooe = EngineBudget::new(8, 24);
+        hadas.run(&c).expect("runs").backbones().len()
+    };
+    let large = {
+        let mut c = cfg();
+        c.ooe = EngineBudget::new(8, 64);
+        hadas.run(&c).expect("runs").backbones().len()
+    };
+    assert!(large >= small, "large {large} vs small {small}");
+}
+
+#[test]
+fn every_generation_contributes_to_history() {
+    let hadas = Hadas::for_target(HwTarget::AgxVoltaGpu);
+    let mut c = cfg();
+    c.ooe = EngineBudget::new(8, 48); // 6 generations
+    let outcome = hadas.run(&c).expect("runs");
+    let max_gen = outcome.backbones().iter().map(|b| b.generation).max().unwrap_or(0);
+    assert!(max_gen >= 3, "evolution should progress over generations, got {max_gen}");
+}

@@ -1,0 +1,155 @@
+use crate::DatasetError;
+use rand::Rng;
+
+/// A Kumaraswamy distribution over sample difficulty `d ∈ [0, 1]`.
+///
+/// CDF: `F(d) = 1 − (1 − dᵃ)ᵇ`. The closed form matters twice in this
+/// reproduction:
+///
+/// 1. sampling per-image difficulties via the inverse CDF when generating
+///    synthetic data, and
+/// 2. computing, analytically, the fraction of the population a classifier
+///    of capability `c` gets right — exactly the `N_i` quantity of HADAS
+///    eq. (6) (see `hadas-accuracy`).
+///
+/// The default `(a, b) = (1.8, 2.6)` puts most mass at low-to-mid
+/// difficulty with a thin hard tail, mirroring the empirical observation
+/// behind early exiting: *most* inputs are easy, a *few* are hard.
+///
+/// ```
+/// use hadas_dataset::DifficultyDistribution;
+///
+/// # fn main() -> Result<(), hadas_dataset::DatasetError> {
+/// let d = DifficultyDistribution::new(1.8, 2.6)?;
+/// assert!(d.cdf(0.0) == 0.0 && (d.cdf(1.0) - 1.0).abs() < 1e-6);
+/// assert!(d.cdf(0.5) > 0.5, "most samples are easier than 0.5");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DifficultyDistribution {
+    a: f64,
+    b: f64,
+}
+
+impl DifficultyDistribution {
+    /// Creates a distribution with shape parameters `a`, `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] unless both parameters are
+    /// positive and finite.
+    pub fn new(a: f64, b: f64) -> Result<Self, DatasetError> {
+        if !(a.is_finite() && b.is_finite() && a > 0.0 && b > 0.0) {
+            return Err(DatasetError::InvalidConfig(format!(
+                "Kumaraswamy shape parameters must be positive finite, got a={a}, b={b}"
+            )));
+        }
+        Ok(DifficultyDistribution { a, b })
+    }
+
+    /// First shape parameter.
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Second shape parameter.
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// Cumulative distribution function, clamped to `[0, 1]` outside the
+    /// support.
+    pub fn cdf(&self, d: f64) -> f64 {
+        if d <= 0.0 {
+            0.0
+        } else if d >= 1.0 {
+            1.0
+        } else {
+            1.0 - (1.0 - d.powf(self.a)).powf(self.b)
+        }
+    }
+
+    /// Inverse CDF (quantile function) for `u ∈ [0, 1]`.
+    pub fn quantile(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        (1.0 - (1.0 - u).powf(1.0 / self.b)).powf(1.0 / self.a)
+    }
+
+    /// Draws one difficulty sample.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        self.quantile(rng.gen_range(0.0..1.0))
+    }
+
+    /// Mean difficulty, estimated by trapezoidal integration of `1 − F`.
+    pub fn mean(&self) -> f64 {
+        // E[D] = ∫₀¹ (1 − F(d)) dd for a distribution on [0, 1].
+        let steps = 1000;
+        let mut acc = 0.0;
+        for i in 0..steps {
+            let d0 = i as f64 / steps as f64;
+            let d1 = (i + 1) as f64 / steps as f64;
+            acc += ((1.0 - self.cdf(d0)) + (1.0 - self.cdf(d1))) * 0.5 * (d1 - d0);
+        }
+        acc
+    }
+}
+
+impl Default for DifficultyDistribution {
+    fn default() -> Self {
+        // Validated constants; construction cannot fail.
+        DifficultyDistribution { a: 1.8, b: 2.6 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn rejects_nonpositive_shapes() {
+        assert!(DifficultyDistribution::new(0.0, 1.0).is_err());
+        assert!(DifficultyDistribution::new(1.0, -2.0).is_err());
+        assert!(DifficultyDistribution::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let d = DifficultyDistribution::default();
+        let mut prev = -1.0;
+        for i in 0..=100 {
+            let v = d.cdf(i as f64 / 100.0);
+            assert!(v >= prev, "CDF must be non-decreasing");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let d = DifficultyDistribution::new(2.0, 3.0).unwrap();
+        for &u in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            let x = d.quantile(u);
+            assert!((d.cdf(x) - u).abs() < 1e-9, "u={u}");
+        }
+    }
+
+    #[test]
+    fn samples_match_cdf_empirically() {
+        let d = DifficultyDistribution::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let below: usize = (0..n).filter(|_| d.sample(&mut rng) <= 0.4).count();
+        let expected = d.cdf(0.4);
+        let got = below as f64 / n as f64;
+        assert!((got - expected).abs() < 0.01, "empirical {got} vs analytic {expected}");
+    }
+
+    #[test]
+    fn default_distribution_is_easy_skewed() {
+        let d = DifficultyDistribution::default();
+        assert!(d.mean() < 0.5, "mean difficulty {} should be below 0.5", d.mean());
+        // Yet the hard tail is non-trivial: >5% of samples harder than 0.7.
+        assert!(1.0 - d.cdf(0.7) > 0.05);
+    }
+}

@@ -1,0 +1,59 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while generating or batching synthetic data.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DatasetError {
+    /// A configuration field was out of its valid range.
+    InvalidConfig(String),
+    /// A batch request referenced samples beyond the split size.
+    BatchOutOfRange {
+        /// First sample index requested.
+        start: usize,
+        /// Number of samples requested.
+        len: usize,
+        /// Number of samples available in the split.
+        available: usize,
+    },
+    /// A tensor primitive failed while assembling a batch.
+    Tensor(hadas_tensor::TensorError),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::InvalidConfig(msg) => write!(f, "invalid dataset config: {msg}"),
+            DatasetError::BatchOutOfRange { start, len, available } => {
+                write!(f, "batch [{start}, {start}+{len}) exceeds split of {available} samples")
+            }
+            DatasetError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+        }
+    }
+}
+
+impl Error for DatasetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DatasetError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hadas_tensor::TensorError> for DatasetError {
+    fn from(e: hadas_tensor::TensorError) -> Self {
+        DatasetError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_range() {
+        let e = DatasetError::BatchOutOfRange { start: 10, len: 5, available: 12 };
+        assert!(e.to_string().contains("12"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # hadas-dataset
+//!
+//! A synthetic stand-in for CIFAR-100, built for reproducing HADAS without
+//! the real dataset. The substitution is behaviour-preserving because every
+//! early-exit phenomenon the paper studies is driven by one quantity: the
+//! *distribution of sample difficulty* — which fraction of inputs a
+//! classifier of a given capability can get right. This crate makes that
+//! quantity explicit:
+//!
+//! * [`DifficultyDistribution`] — a Kumaraswamy-family distribution over
+//!   `[0, 1]` with a closed-form CDF, used both to *sample* per-image
+//!   difficulties here and to *integrate* exit accuracies analytically in
+//!   `hadas-accuracy`.
+//! * [`SyntheticDataset`] — 100-class image data where each sample is a
+//!   class prototype blended with noise in proportion to its difficulty, so
+//!   harder samples genuinely require more network capacity to separate.
+//!
+//! ```
+//! use hadas_dataset::{DatasetConfig, SyntheticDataset};
+//!
+//! # fn main() -> Result<(), hadas_dataset::DatasetError> {
+//! let cfg = DatasetConfig::small(); // tiny config for tests/examples
+//! let data = SyntheticDataset::generate(&cfg, 42)?;
+//! assert_eq!(data.len(), cfg.train_size + cfg.test_size);
+//! let (images, labels) = data.train_batch(0, 8)?;
+//! assert_eq!(images.shape().dims()[0], labels.len());
+//! # Ok(())
+//! # }
+//! ```
+
+mod difficulty;
+mod error;
+mod synth;
+
+pub use difficulty::DifficultyDistribution;
+pub use error::DatasetError;
+pub use synth::{DatasetConfig, Sample, SyntheticDataset};

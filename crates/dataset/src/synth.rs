@@ -1,0 +1,279 @@
+use crate::{DatasetError, DifficultyDistribution};
+use hadas_tensor::{normal, Tensor};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Configuration of the synthetic CIFAR-100 stand-in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetConfig {
+    /// Number of classes (CIFAR-100 has 100).
+    pub classes: usize,
+    /// Image channels (3 for RGB).
+    pub channels: usize,
+    /// Square image side length (32 for CIFAR).
+    pub image_size: usize,
+    /// Training split size.
+    pub train_size: usize,
+    /// Test split size.
+    pub test_size: usize,
+    /// Difficulty distribution the samples are drawn from.
+    pub difficulty: DifficultyDistribution,
+}
+
+impl DatasetConfig {
+    /// CIFAR-100-shaped configuration (100 classes, 3×32×32), scaled down
+    /// in sample count to stay tractable in a simulation.
+    pub fn cifar100_like() -> Self {
+        DatasetConfig {
+            classes: 100,
+            channels: 3,
+            image_size: 32,
+            train_size: 5_000,
+            test_size: 1_000,
+            difficulty: DifficultyDistribution::default(),
+        }
+    }
+
+    /// A tiny configuration for unit tests and doc examples.
+    pub fn small() -> Self {
+        DatasetConfig {
+            classes: 10,
+            channels: 3,
+            image_size: 8,
+            train_size: 64,
+            test_size: 32,
+            difficulty: DifficultyDistribution::default(),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] for zero-sized fields.
+    pub fn validate(&self) -> Result<(), DatasetError> {
+        if self.classes == 0 {
+            return Err(DatasetError::InvalidConfig("classes must be > 0".into()));
+        }
+        if self.channels == 0 || self.image_size == 0 {
+            return Err(DatasetError::InvalidConfig("image dims must be > 0".into()));
+        }
+        if self.train_size == 0 && self.test_size == 0 {
+            return Err(DatasetError::InvalidConfig("dataset must be non-empty".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig::cifar100_like()
+    }
+}
+
+/// One synthetic sample: the image, its label, and the latent difficulty
+/// that generated it.
+///
+/// Difficulty is *latent*: real models never see it, but the accuracy
+/// surrogate integrates over its distribution, and tests use it to verify
+/// that harder samples really are harder to classify.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Image tensor of shape `(channels, size, size)`.
+    pub image: Tensor,
+    /// Ground-truth class index.
+    pub label: usize,
+    /// Latent difficulty in `[0, 1]` drawn from the configured distribution.
+    pub difficulty: f64,
+}
+
+/// The generated dataset: class prototypes plus train/test splits.
+///
+/// Samples are `prototype·(1 − d) + noise·d` — as difficulty `d` grows, the
+/// class signal fades into noise, so a classifier needs more capacity (and
+/// an exit more depth) to recover it. That reproduces the mechanism that
+/// makes early exits worthwhile on real data.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    config: DatasetConfig,
+    prototypes: Vec<Tensor>,
+    train: Vec<Sample>,
+    test: Vec<Sample>,
+}
+
+impl SyntheticDataset {
+    /// Generates a dataset deterministically from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] if the config is invalid.
+    pub fn generate(config: &DatasetConfig, seed: u64) -> Result<Self, DatasetError> {
+        config.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dims = [config.channels, config.image_size, config.image_size];
+        let prototypes: Vec<Tensor> =
+            (0..config.classes).map(|_| normal(&mut rng, &dims, 0.0, 1.0)).collect();
+
+        let make_split = |count: usize, rng: &mut StdRng| -> Vec<Sample> {
+            (0..count)
+                .map(|i| {
+                    let label = i % config.classes;
+                    let d = config.difficulty.sample(rng);
+                    let noise = normal(rng, &dims, 0.0, 1.0);
+                    let image = prototypes[label]
+                        .scale(1.0 - d as f32)
+                        .add(&noise.scale(d as f32))
+                        .expect("prototype and noise share a shape");
+                    Sample { image, label, difficulty: d }
+                })
+                .collect()
+        };
+        let train = make_split(config.train_size, &mut rng);
+        let test = make_split(config.test_size, &mut rng);
+        Ok(SyntheticDataset { config: config.clone(), prototypes, train, test })
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &DatasetConfig {
+        &self.config
+    }
+
+    /// Per-class prototype images.
+    pub fn prototypes(&self) -> &[Tensor] {
+        &self.prototypes
+    }
+
+    /// The training split.
+    pub fn train(&self) -> &[Sample] {
+        &self.train
+    }
+
+    /// The test split.
+    pub fn test(&self) -> &[Sample] {
+        &self.test
+    }
+
+    /// Total number of samples across both splits.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.test.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.train.is_empty() && self.test.is_empty()
+    }
+
+    /// Assembles a training batch `[start, start+len)` as an NCHW tensor
+    /// plus labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::BatchOutOfRange`] if the range exceeds the
+    /// split.
+    pub fn train_batch(&self, start: usize, len: usize) -> Result<(Tensor, Vec<usize>), DatasetError> {
+        Self::batch(&self.train, &self.config, start, len)
+    }
+
+    /// Assembles a test batch `[start, start+len)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::BatchOutOfRange`] if the range exceeds the
+    /// split.
+    pub fn test_batch(&self, start: usize, len: usize) -> Result<(Tensor, Vec<usize>), DatasetError> {
+        Self::batch(&self.test, &self.config, start, len)
+    }
+
+    fn batch(
+        split: &[Sample],
+        config: &DatasetConfig,
+        start: usize,
+        len: usize,
+    ) -> Result<(Tensor, Vec<usize>), DatasetError> {
+        if start + len > split.len() {
+            return Err(DatasetError::BatchOutOfRange { start, len, available: split.len() });
+        }
+        let (c, s) = (config.channels, config.image_size);
+        let mut data = Vec::with_capacity(len * c * s * s);
+        let mut labels = Vec::with_capacity(len);
+        for sample in &split[start..start + len] {
+            data.extend_from_slice(sample.image.as_slice());
+            labels.push(sample.label);
+        }
+        let images = Tensor::from_vec(data, &[len, c, s, s])?;
+        Ok((images, labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = DatasetConfig::small();
+        let a = SyntheticDataset::generate(&cfg, 7).unwrap();
+        let b = SyntheticDataset::generate(&cfg, 7).unwrap();
+        assert_eq!(a.train()[0], b.train()[0]);
+        assert_eq!(a.test()[5], b.test()[5]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = DatasetConfig::small();
+        let a = SyntheticDataset::generate(&cfg, 1).unwrap();
+        let b = SyntheticDataset::generate(&cfg, 2).unwrap();
+        assert_ne!(a.train()[0].image, b.train()[0].image);
+    }
+
+    #[test]
+    fn labels_cover_all_classes() {
+        let cfg = DatasetConfig::small();
+        let data = SyntheticDataset::generate(&cfg, 3).unwrap();
+        let mut seen = vec![false; cfg.classes];
+        for s in data.train() {
+            seen[s.label] = true;
+        }
+        assert!(seen.iter().all(|&v| v), "every class must appear in the train split");
+    }
+
+    #[test]
+    fn easy_samples_are_closer_to_their_prototype() {
+        let cfg = DatasetConfig::small();
+        let data = SyntheticDataset::generate(&cfg, 11).unwrap();
+        // Correlation check: distance to prototype should grow with difficulty.
+        let mut pairs: Vec<(f64, f32)> = data
+            .train()
+            .iter()
+            .map(|s| {
+                let d2 = s.image.sub(&data.prototypes()[s.label]).unwrap().norm_sq();
+                (s.difficulty, d2)
+            })
+            .collect();
+        pairs.sort_by(|x, y| x.0.total_cmp(&y.0));
+        let k = pairs.len() / 4;
+        let easy: f32 = pairs[..k].iter().map(|p| p.1).sum::<f32>() / k as f32;
+        let hard: f32 = pairs[pairs.len() - k..].iter().map(|p| p.1).sum::<f32>() / k as f32;
+        assert!(hard > easy * 2.0, "hard {hard} vs easy {easy}");
+    }
+
+    #[test]
+    fn batch_shapes_and_bounds() {
+        let cfg = DatasetConfig::small();
+        let data = SyntheticDataset::generate(&cfg, 0).unwrap();
+        let (images, labels) = data.train_batch(0, 16).unwrap();
+        assert_eq!(images.shape().dims(), &[16, 3, 8, 8]);
+        assert_eq!(labels.len(), 16);
+        assert!(data.train_batch(60, 16).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let mut cfg = DatasetConfig::small();
+        cfg.classes = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = DatasetConfig::small();
+        cfg.train_size = 0;
+        cfg.test_size = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests of the synthetic dataset: distribution-function
+//! identities and batch integrity over random configurations.
+
+use hadas_dataset::{DatasetConfig, DifficultyDistribution, SyntheticDataset};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// quantile(cdf(d)) = d on the open support, for any valid shapes.
+    /// Extreme shape pairs push the CDF into the 1e-12 range where f64
+    /// round-off dominates, so the tolerance is relative.
+    #[test]
+    fn quantile_inverts_cdf(
+        a in 0.2f64..6.0,
+        b in 0.2f64..6.0,
+        d in 0.01f64..0.99,
+    ) {
+        let dist = DifficultyDistribution::new(a, b).expect("valid shapes");
+        let u = dist.cdf(d);
+        let back = dist.quantile(u);
+        prop_assert!(
+            (back - d).abs() < 1e-3 * d.max(1e-3),
+            "a={a} b={b}: {d} -> cdf {u} -> {back}"
+        );
+    }
+
+    /// The CDF is monotone non-decreasing for any valid shapes.
+    #[test]
+    fn cdf_is_monotone(a in 0.2f64..6.0, b in 0.2f64..6.0) {
+        let dist = DifficultyDistribution::new(a, b).expect("valid shapes");
+        let mut prev = -1.0;
+        for i in 0..=50 {
+            let v = dist.cdf(i as f64 / 50.0);
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+        prop_assert!((dist.cdf(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    /// The mean lies in (0, 1) and shifts down as `b` grows (more mass on
+    /// easy samples).
+    #[test]
+    fn mean_respects_shape(a in 0.5f64..4.0, b in 0.5f64..3.0) {
+        let lo = DifficultyDistribution::new(a, b).expect("valid");
+        let hi = DifficultyDistribution::new(a, b + 1.5).expect("valid");
+        prop_assert!(lo.mean() > 0.0 && lo.mean() < 1.0);
+        prop_assert!(hi.mean() < lo.mean());
+    }
+
+    /// Sequential batches partition the training split: every sample is
+    /// produced exactly once with its label intact.
+    #[test]
+    fn batches_partition_the_split(
+        classes in 2usize..8,
+        batch in 1usize..16,
+        seed in 0u64..500,
+    ) {
+        let mut cfg = DatasetConfig::small();
+        cfg.classes = classes;
+        cfg.train_size = 48;
+        cfg.test_size = 8;
+        let data = SyntheticDataset::generate(&cfg, seed).expect("valid config");
+        let mut labels_seen = Vec::new();
+        let mut start = 0;
+        while start + batch <= cfg.train_size {
+            let (images, labels) = data.train_batch(start, batch).expect("in range");
+            prop_assert_eq!(images.shape().dims()[0], batch);
+            labels_seen.extend(labels);
+            start += batch;
+        }
+        let direct: Vec<usize> =
+            data.train()[..labels_seen.len()].iter().map(|s| s.label).collect();
+        prop_assert_eq!(labels_seen, direct);
+    }
+
+    /// Generated difficulties stay in [0, 1] and labels in range.
+    #[test]
+    fn samples_are_well_formed(seed in 0u64..500) {
+        let cfg = DatasetConfig::small();
+        let data = SyntheticDataset::generate(&cfg, seed).expect("valid config");
+        for s in data.train().iter().chain(data.test()) {
+            prop_assert!((0.0..=1.0).contains(&s.difficulty));
+            prop_assert!(s.label < cfg.classes);
+            prop_assert_eq!(
+                s.image.shape().dims(),
+                &[cfg.channels, cfg.image_size, cfg.image_size]
+            );
+        }
+    }
+}

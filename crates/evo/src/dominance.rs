@@ -1,0 +1,202 @@
+//! Pareto dominance, fast non-dominated sorting, and crowding distance —
+//! the ranking machinery of NSGA-II.
+//!
+//! All objectives are maximised.
+
+/// Whether point `a` Pareto-dominates point `b`: no worse in every
+/// objective and strictly better in at least one.
+///
+/// # Panics
+///
+/// Panics if the points have different dimensionality — mixing objective
+/// spaces is a programming error.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective dimensionality mismatch");
+    let mut strictly_better = false;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Deb's fast non-dominated sort: partitions point indices into fronts,
+/// front 0 being the Pareto-optimal set, front 1 the set that becomes
+/// optimal once front 0 is removed, and so on.
+pub fn fast_non_dominated_sort(points: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // i dominates these
+    let mut domination_count = vec![0usize; n]; // how many dominate i
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dominates(&points[i], &points[j]) {
+                dominated_by[i].push(j);
+                domination_count[j] += 1;
+            } else if dominates(&points[j], &points[i]) {
+                dominated_by[j].push(i);
+                domination_count[i] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> =
+        (0..n).filter(|&i| domination_count[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominated_by[i] {
+                domination_count[j] -= 1;
+                if domination_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        fronts.push(std::mem::take(&mut current));
+        current = next;
+    }
+    fronts
+}
+
+/// Crowding distance of each member of `front` (indices into `points`):
+/// the NSGA-II diversity measure. Boundary points get `f64::INFINITY`.
+///
+/// Returned in the same order as `front`.
+#[allow(clippy::needless_range_loop)]
+pub fn crowding_distance(points: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
+    let m = front.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    if m <= 2 {
+        return vec![f64::INFINITY; m];
+    }
+    let dims = points[front[0]].len();
+    let mut distance = vec![0.0f64; m];
+    for d in 0..dims {
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by(|&a, &b| points[front[a]][d].total_cmp(&points[front[b]][d]));
+        let lo = points[front[order[0]]][d];
+        let hi = points[front[order[m - 1]]][d];
+        distance[order[0]] = f64::INFINITY;
+        distance[order[m - 1]] = f64::INFINITY;
+        let span = hi - lo;
+        if span <= 0.0 {
+            continue;
+        }
+        for w in 1..m - 1 {
+            let prev = points[front[order[w - 1]]][d];
+            let next = points[front[order[w + 1]]][d];
+            if distance[order[w]].is_finite() {
+                distance[order[w]] += (next - prev) / span;
+            }
+        }
+    }
+    distance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominates_requires_strict_improvement() {
+        assert!(dominates(&[1.0, 2.0], &[1.0, 1.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]));
+        assert!(!dominates(&[2.0, 0.0], &[1.0, 1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn dominates_rejects_mixed_dims() {
+        let _ = dominates(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn sort_separates_known_fronts() {
+        let pts = vec![
+            vec![3.0, 3.0], // front 0
+            vec![1.0, 4.0], // front 0
+            vec![2.0, 2.0], // front 1 (dominated by [3,3])
+            vec![1.0, 1.0], // front 2
+        ];
+        let fronts = fast_non_dominated_sort(&pts);
+        assert_eq!(fronts.len(), 3);
+        let mut f0 = fronts[0].clone();
+        f0.sort_unstable();
+        assert_eq!(f0, vec![0, 1]);
+        assert_eq!(fronts[1], vec![2]);
+        assert_eq!(fronts[2], vec![3]);
+    }
+
+    #[test]
+    fn every_point_lands_in_exactly_one_front() {
+        let pts: Vec<Vec<f64>> = (0..25)
+            .map(|i| vec![(i % 5) as f64, (i / 5) as f64, ((i * 7) % 11) as f64])
+            .collect();
+        let fronts = fast_non_dominated_sort(&pts);
+        let mut seen = vec![0usize; pts.len()];
+        for f in &fronts {
+            for &i in f {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn first_front_is_mutually_non_dominated() {
+        let pts: Vec<Vec<f64>> =
+            (0..30).map(|i| vec![(i as f64).sin() * 5.0, (i as f64).cos() * 5.0]).collect();
+        let fronts = fast_non_dominated_sort(&pts);
+        for &i in &fronts[0] {
+            for &j in &fronts[0] {
+                assert!(!dominates(&pts[i], &pts[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_no_fronts() {
+        assert!(fast_non_dominated_sort(&[]).is_empty());
+    }
+
+    #[test]
+    fn crowding_boundary_points_are_infinite() {
+        let pts =
+            vec![vec![0.0, 3.0], vec![1.0, 2.0], vec![2.0, 1.0], vec![3.0, 0.0]];
+        let front = vec![0, 1, 2, 3];
+        let d = crowding_distance(&pts, &front);
+        assert!(d[0].is_infinite());
+        assert!(d[3].is_infinite());
+        assert!(d[1].is_finite() && d[1] > 0.0);
+    }
+
+    #[test]
+    fn crowding_prefers_isolated_points() {
+        // Middle points: one isolated, one crowded.
+        let pts = vec![
+            vec![0.0, 10.0],
+            vec![1.0, 9.0],   // crowded next to [0,10] and [1.5, 8.5]
+            vec![1.5, 8.5],
+            vec![6.0, 3.0],   // isolated
+            vec![10.0, 0.0],
+        ];
+        let front = vec![0, 1, 2, 3, 4];
+        let d = crowding_distance(&pts, &front);
+        assert!(d[3] > d[1], "isolated point must have larger crowding distance");
+    }
+
+    #[test]
+    fn crowding_of_tiny_fronts_is_infinite() {
+        let pts = vec![vec![1.0, 1.0], vec![2.0, 0.0]];
+        assert!(crowding_distance(&pts, &[0]).iter().all(|d| d.is_infinite()));
+        assert!(crowding_distance(&pts, &[0, 1]).iter().all(|d| d.is_infinite()));
+    }
+}

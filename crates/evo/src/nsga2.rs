@@ -1,0 +1,336 @@
+use crate::dominance::{crowding_distance, dominates, fast_non_dominated_sort};
+use rand::{Rng, RngCore};
+
+/// An optimisation problem NSGA-II can drive.
+///
+/// Objectives are **maximised**; negate costs before returning them. The
+/// trait is object-safe so engines can be composed dynamically (the inner
+/// optimization engine of HADAS is constructed per backbone at runtime).
+pub trait Problem {
+    /// The genome representation.
+    type Genome: Clone;
+
+    /// Draws a random genome.
+    fn sample(&self, rng: &mut dyn RngCore) -> Self::Genome;
+
+    /// Evaluates a genome into an objective vector (maximisation).
+    fn evaluate(&self, genome: &Self::Genome) -> Vec<f64>;
+
+    /// Recombines two parents into a child.
+    fn crossover(&self, rng: &mut dyn RngCore, a: &Self::Genome, b: &Self::Genome)
+        -> Self::Genome;
+
+    /// Mutates a genome.
+    fn mutate(&self, rng: &mut dyn RngCore, genome: &Self::Genome) -> Self::Genome;
+}
+
+/// One evaluated individual.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluated<G> {
+    /// The genome.
+    pub genome: G,
+    /// Its objective vector (maximisation).
+    pub objectives: Vec<f64>,
+    /// The generation at which it was first evaluated.
+    pub generation: usize,
+}
+
+/// NSGA-II run configuration.
+///
+/// The paper expresses budgets as `#iterations = G × P` (450 for the OOE,
+/// 3500 for the IOE); [`Nsga2Config::with_budget`] derives generations
+/// from a population size and a total evaluation budget accordingly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Nsga2Config {
+    /// Population size `P`.
+    pub population: usize,
+    /// Number of generations `G`.
+    pub generations: usize,
+    /// Probability that a child is produced by crossover (otherwise it is
+    /// a mutated copy of the first parent).
+    pub crossover_prob: f64,
+}
+
+impl Nsga2Config {
+    /// Creates a configuration with the default crossover probability 0.9.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `population < 2` or `generations == 0`.
+    pub fn new(population: usize, generations: usize) -> Self {
+        assert!(population >= 2, "population must be at least 2");
+        assert!(generations >= 1, "at least one generation required");
+        Nsga2Config { population, generations, crossover_prob: 0.9 }
+    }
+
+    /// Derives the generation count from a total evaluation budget
+    /// (`#iterations = G × P`, rounded down, minimum 1).
+    pub fn with_budget(population: usize, budget: usize) -> Self {
+        Nsga2Config::new(population, (budget / population).max(1))
+    }
+
+    /// Total evaluations this configuration performs.
+    pub fn budget(&self) -> usize {
+        self.population * self.generations
+    }
+}
+
+/// The outcome of an NSGA-II run.
+#[derive(Debug, Clone)]
+pub struct SearchResult<G> {
+    final_population: Vec<Evaluated<G>>,
+    history: Vec<Evaluated<G>>,
+}
+
+impl<G: Clone> SearchResult<G> {
+    /// Builds a result from a raw evaluation history (the final
+    /// "population" is the whole history) — used by non-population
+    /// searches such as [`crate::random_search`].
+    pub fn from_history(history: Vec<Evaluated<G>>) -> Self {
+        SearchResult { final_population: history.clone(), history }
+    }
+
+    /// The last generation's population.
+    pub fn final_population(&self) -> &[Evaluated<G>] {
+        &self.final_population
+    }
+
+    /// Every individual evaluated during the run, in evaluation order —
+    /// the "explored points" clouds of the paper's Fig. 5.
+    pub fn history(&self) -> &[Evaluated<G>] {
+        &self.history
+    }
+
+    /// The non-dominated subset of the *entire history* (not just the
+    /// final population): the Pareto front the run discovered.
+    pub fn pareto_front(&self) -> Vec<&Evaluated<G>> {
+        let pts: Vec<Vec<f64>> = self.history.iter().map(|e| e.objectives.clone()).collect();
+        let fronts = fast_non_dominated_sort(&pts);
+        match fronts.first() {
+            Some(front) => {
+                // Deduplicate identical objective vectors to keep fronts tidy.
+                let mut out: Vec<&Evaluated<G>> = Vec::new();
+                for &i in front {
+                    if !out.iter().any(|e| e.objectives == self.history[i].objectives) {
+                        out.push(&self.history[i]);
+                    }
+                }
+                out
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Objective vectors of the Pareto front.
+    pub fn pareto_objectives(&self) -> Vec<Vec<f64>> {
+        self.pareto_front().iter().map(|e| e.objectives.clone()).collect()
+    }
+}
+
+/// The NSGA-II driver.
+#[derive(Debug, Clone, Copy)]
+pub struct Nsga2 {
+    config: Nsga2Config,
+}
+
+impl Nsga2 {
+    /// Creates a driver with the given configuration.
+    pub fn new(config: Nsga2Config) -> Self {
+        Nsga2 { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &Nsga2Config {
+        &self.config
+    }
+
+    /// Runs the full loop: initial random population, then per generation
+    /// binary-tournament parent selection, crossover/mutation, and
+    /// elitist environmental selection by (rank, crowding distance).
+    pub fn run<P: Problem>(&self, problem: &P, rng: &mut dyn RngCore) -> SearchResult<P::Genome> {
+        let cfg = self.config;
+        let mut population: Vec<Evaluated<P::Genome>> = (0..cfg.population)
+            .map(|_| {
+                let genome = problem.sample(rng);
+                let objectives = problem.evaluate(&genome);
+                Evaluated { genome, objectives, generation: 0 }
+            })
+            .collect();
+        let mut history = population.clone();
+
+        for generation in 1..cfg.generations {
+            // Rank the current population once for tournament selection.
+            let pts: Vec<Vec<f64>> =
+                population.iter().map(|e| e.objectives.clone()).collect();
+            let fronts = fast_non_dominated_sort(&pts);
+            let mut rank = vec![0usize; population.len()];
+            let mut crowd = vec![0.0f64; population.len()];
+            for (r, front) in fronts.iter().enumerate() {
+                let d = crowding_distance(&pts, front);
+                for (k, &i) in front.iter().enumerate() {
+                    rank[i] = r;
+                    crowd[i] = d[k];
+                }
+            }
+            let tournament = |rng: &mut dyn RngCore| -> usize {
+                let a = rng.gen_range(0..population.len());
+                let b = rng.gen_range(0..population.len());
+                if rank[a] < rank[b] || (rank[a] == rank[b] && crowd[a] > crowd[b]) {
+                    a
+                } else {
+                    b
+                }
+            };
+
+            // Offspring.
+            let mut offspring = Vec::with_capacity(cfg.population);
+            while offspring.len() < cfg.population {
+                let p1 = tournament(rng);
+                let p2 = tournament(rng);
+                let child_genome = if rng.gen_bool(cfg.crossover_prob) {
+                    let c = problem.crossover(rng, &population[p1].genome, &population[p2].genome);
+                    problem.mutate(rng, &c)
+                } else {
+                    problem.mutate(rng, &population[p1].genome)
+                };
+                let objectives = problem.evaluate(&child_genome);
+                offspring.push(Evaluated { genome: child_genome, objectives, generation });
+            }
+            history.extend(offspring.iter().cloned());
+
+            // Environmental selection over parents ∪ offspring.
+            let mut merged = population;
+            merged.append(&mut offspring);
+            population = Self::environmental_selection(merged, cfg.population);
+        }
+
+        SearchResult { final_population: population, history }
+    }
+
+    /// Elitist truncation: fill from successive fronts, breaking the last
+    /// front by descending crowding distance.
+    fn environmental_selection<G: Clone>(
+        merged: Vec<Evaluated<G>>,
+        target: usize,
+    ) -> Vec<Evaluated<G>> {
+        let pts: Vec<Vec<f64>> = merged.iter().map(|e| e.objectives.clone()).collect();
+        let fronts = fast_non_dominated_sort(&pts);
+        let mut selected: Vec<Evaluated<G>> = Vec::with_capacity(target);
+        for front in fronts {
+            if selected.len() + front.len() <= target {
+                selected.extend(front.iter().map(|&i| merged[i].clone()));
+            } else {
+                let d = crowding_distance(&pts, &front);
+                let mut order: Vec<usize> = (0..front.len()).collect();
+                order.sort_by(|&a, &b| d[b].total_cmp(&d[a]));
+                for &k in order.iter().take(target - selected.len()) {
+                    selected.push(merged[front[k]].clone());
+                }
+                break;
+            }
+        }
+        selected
+    }
+}
+
+/// Returns whether `candidate` is non-dominated within `points`.
+#[allow(dead_code)]
+pub(crate) fn is_non_dominated(candidate: &[f64], points: &[Vec<f64>]) -> bool {
+    !points.iter().any(|p| dominates(p, candidate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Discrete two-objective knapsack-ish toy: maximise (sum of chosen
+    /// weights, count of zeros) over 12 binary genes — a genuine trade-off.
+    struct BitTradeoff;
+
+    impl Problem for BitTradeoff {
+        type Genome = Vec<bool>;
+
+        fn sample(&self, rng: &mut dyn RngCore) -> Vec<bool> {
+            (0..12).map(|_| rng.gen_bool(0.5)).collect()
+        }
+
+        fn evaluate(&self, g: &Vec<bool>) -> Vec<f64> {
+            let ones = g.iter().filter(|&&b| b).count() as f64;
+            vec![ones, 12.0 - ones]
+        }
+
+        fn crossover(&self, rng: &mut dyn RngCore, a: &Vec<bool>, b: &Vec<bool>) -> Vec<bool> {
+            a.iter().zip(b.iter()).map(|(&x, &y)| if rng.gen_bool(0.5) { x } else { y }).collect()
+        }
+
+        fn mutate(&self, rng: &mut dyn RngCore, g: &Vec<bool>) -> Vec<bool> {
+            let mut out = g.clone();
+            let i = rng.gen_range(0..out.len());
+            out[i] = !out[i];
+            out
+        }
+    }
+
+    #[test]
+    fn run_respects_budget() {
+        let cfg = Nsga2Config::new(10, 6);
+        let mut rng = StdRng::seed_from_u64(0);
+        let result = Nsga2::new(cfg).run(&BitTradeoff, &mut rng);
+        assert_eq!(result.history().len(), cfg.budget());
+        assert_eq!(result.final_population().len(), 10);
+    }
+
+    #[test]
+    fn pareto_front_is_non_dominated() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let result = Nsga2::new(Nsga2Config::new(16, 10)).run(&BitTradeoff, &mut rng);
+        let front = result.pareto_objectives();
+        for a in &front {
+            for b in &front {
+                assert!(!dominates(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn front_spans_the_tradeoff() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let result = Nsga2::new(Nsga2Config::new(20, 15)).run(&BitTradeoff, &mut rng);
+        let front = result.pareto_objectives();
+        // All 13 (ones, zeros) combinations are Pareto-optimal here; a
+        // healthy run should discover most of the span.
+        let distinct: std::collections::HashSet<i64> =
+            front.iter().map(|p| p[0] as i64).collect();
+        assert!(distinct.len() >= 9, "front too narrow: {distinct:?}");
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            Nsga2::new(Nsga2Config::new(8, 5)).run(&BitTradeoff, &mut rng).pareto_objectives()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn with_budget_divides() {
+        let cfg = Nsga2Config::with_budget(50, 450);
+        assert_eq!(cfg.generations, 9);
+        assert_eq!(cfg.budget(), 450);
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn tiny_population_rejected() {
+        let _ = Nsga2Config::new(1, 5);
+    }
+
+    #[test]
+    fn is_non_dominated_helper() {
+        let pts = vec![vec![2.0, 2.0]];
+        assert!(is_non_dominated(&[3.0, 1.0], &pts));
+        assert!(!is_non_dominated(&[1.0, 1.0], &pts));
+    }
+}

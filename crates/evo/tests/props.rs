@@ -1,0 +1,100 @@
+//! Property-based tests for the evolutionary machinery: hypervolume
+//! monotonicity, ratio-of-dominance bounds, and front-ordering invariants
+//! of the non-dominated sort.
+
+use hadas_evo::{
+    dominates, fast_non_dominated_sort, hypervolume, hypervolume_2d, ratio_of_dominance,
+};
+use proptest::prelude::*;
+
+fn points_strategy(dims: usize, max_n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, dims), 1..max_n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Adding a point never decreases hypervolume.
+    #[test]
+    fn hypervolume_is_monotone_in_points(
+        mut pts in points_strategy(2, 20),
+        extra in proptest::collection::vec(0.0f64..10.0, 2),
+    ) {
+        let reference = [0.0f64, 0.0];
+        let before = hypervolume_2d(&pts, &reference);
+        pts.push(extra);
+        let after = hypervolume_2d(&pts, &reference);
+        prop_assert!(after + 1e-12 >= before);
+    }
+
+    /// Hypervolume is bounded by the bounding box of the best point.
+    #[test]
+    fn hypervolume_is_bounded(pts in points_strategy(2, 20)) {
+        let reference = [0.0f64, 0.0];
+        let hv = hypervolume_2d(&pts, &reference);
+        let max_x = pts.iter().map(|p| p[0]).fold(0.0, f64::max);
+        let max_y = pts.iter().map(|p| p[1]).fold(0.0, f64::max);
+        prop_assert!(hv <= max_x * max_y + 1e-9);
+        prop_assert!(hv >= 0.0);
+    }
+
+    /// The generic inclusion–exclusion hypervolume agrees with the 2-D
+    /// sweep when a constant third coordinate is appended.
+    #[test]
+    fn nd_hypervolume_agrees_with_sweep(pts in points_strategy(2, 10)) {
+        let sweep = hypervolume_2d(&pts, &[0.0, 0.0]);
+        let pts3: Vec<Vec<f64>> = pts.iter().map(|p| vec![p[0], p[1], 1.0]).collect();
+        let incl = hypervolume(&pts3, &[0.0, 0.0, 0.0]);
+        prop_assert!((sweep - incl).abs() < 1e-6 * (1.0 + sweep));
+    }
+
+    /// Ratio of dominance is a probability, and a set never dominates
+    /// itself (identical copies cannot strictly dominate).
+    #[test]
+    fn rod_bounds_and_self(pts in points_strategy(3, 15)) {
+        let r = ratio_of_dominance(&pts, &pts);
+        prop_assert!((0.0..=1.0).contains(&r));
+        // Self-dominance happens only between distinct points; a set of
+        // one unique point never dominates itself.
+        let single = vec![pts[0].clone()];
+        prop_assert_eq!(ratio_of_dominance(&single, &single), 0.0);
+    }
+
+    /// Every member of front k+1 is dominated by some member of front k.
+    #[test]
+    fn successive_fronts_are_ordered(pts in points_strategy(2, 30)) {
+        let fronts = fast_non_dominated_sort(&pts);
+        for pair in fronts.windows(2) {
+            for &j in &pair[1] {
+                prop_assert!(
+                    pair[0].iter().any(|&i| dominates(&pts[i], &pts[j])),
+                    "front member {j} not dominated by the previous front"
+                );
+            }
+        }
+    }
+
+    /// Sorting is permutation-invariant in membership: reversing the
+    /// input yields the same fronts (as index sets mapped back).
+    #[test]
+    fn sort_is_permutation_invariant(pts in points_strategy(2, 20)) {
+        let fronts = fast_non_dominated_sort(&pts);
+        let rev: Vec<Vec<f64>> = pts.iter().rev().cloned().collect();
+        let fronts_rev = fast_non_dominated_sort(&rev);
+        let n = pts.len();
+        // Compare rank maps.
+        let mut rank = vec![0usize; n];
+        for (r, f) in fronts.iter().enumerate() {
+            for &i in f {
+                rank[i] = r;
+            }
+        }
+        let mut rank_rev = vec![0usize; n];
+        for (r, f) in fronts_rev.iter().enumerate() {
+            for &i in f {
+                rank_rev[n - 1 - i] = r;
+            }
+        }
+        prop_assert_eq!(rank, rank_rev);
+    }
+}

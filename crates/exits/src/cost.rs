@@ -1,0 +1,100 @@
+use hadas_space::{LayerInfo, LayerKind, Subnet};
+
+/// Number of classes the exit classifiers predict (CIFAR-100).
+const CLASSES: usize = 100;
+
+/// Width rule of the fixed exit-head structure: the conv block halves the
+/// feature width, clamped to `[32, 128]` channels.
+pub(crate) fn exit_mid_channels(c_in: usize) -> usize {
+    (c_in / 2).clamp(32, 128)
+}
+
+/// The analytical cost of the paper's fixed exit structure attached after
+/// MBConv layer `position` (1-based): a single 3×3 conv + BN + activation
+/// block followed by global pooling and a linear classifier.
+///
+/// Returned as a [`LayerInfo`] (kind [`LayerKind::Head`]) so the hardware
+/// simulator prices it with the same roofline it uses for backbone layers.
+///
+/// # Panics
+///
+/// Panics if `position` is outside `1..=subnet.num_mbconv_layers()` — exit
+/// placements are validated before costing.
+pub fn exit_head_cost(subnet: &Subnet, position: usize) -> LayerInfo {
+    let mbconvs = subnet.mbconv_layers();
+    assert!(
+        position >= 1 && position <= mbconvs.len(),
+        "exit position {position} out of range 1..={}",
+        mbconvs.len()
+    );
+    let feat = mbconvs[position - 1];
+    let c_in = feat.c_out;
+    let c_mid = exit_mid_channels(c_in);
+    let size = feat.out_size;
+    let hw = (size * size) as f64;
+    let conv_macs = hw * (c_in * c_mid * 9) as f64;
+    let fc_macs = (c_mid * CLASSES) as f64;
+    let params = (c_in * c_mid * 9 + 2 * c_mid) as f64 + (c_mid * CLASSES + CLASSES) as f64;
+    LayerInfo {
+        kind: LayerKind::Head,
+        c_in,
+        c_out: CLASSES,
+        kernel: 3,
+        stride: 1,
+        expand: 1,
+        in_size: size,
+        out_size: 1,
+        flops: conv_macs + fc_macs,
+        params,
+        act_bytes: 4.0 * (hw * c_in as f64 + hw * c_mid as f64 + CLASSES as f64),
+        weight_bytes: 4.0 * params,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadas_space::{baselines, SearchSpace};
+
+    fn subnet() -> Subnet {
+        SearchSpace::attentive_nas().decode(&baselines::baseline_genome(3)).unwrap()
+    }
+
+    #[test]
+    fn mid_channel_rule_clamps() {
+        assert_eq!(exit_mid_channels(16), 32);
+        assert_eq!(exit_mid_channels(128), 64);
+        assert_eq!(exit_mid_channels(1000), 128);
+    }
+
+    #[test]
+    fn exit_cost_is_cheap_relative_to_backbone() {
+        let net = subnet();
+        for pos in [5, net.num_mbconv_layers() / 2, net.num_mbconv_layers()] {
+            let e = exit_head_cost(&net, pos);
+            assert!(e.flops < 0.25 * net.total_flops(), "exit at {pos} too expensive");
+            assert!(e.flops > 0.0);
+        }
+    }
+
+    #[test]
+    fn early_exits_see_larger_feature_maps() {
+        let net = subnet();
+        let early = exit_head_cost(&net, 5);
+        let late = exit_head_cost(&net, net.num_mbconv_layers());
+        assert!(early.in_size > late.in_size);
+    }
+
+    #[test]
+    fn exit_classifies_all_classes() {
+        let net = subnet();
+        assert_eq!(exit_head_cost(&net, 6).c_out, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn position_zero_panics() {
+        let net = subnet();
+        let _ = exit_head_cost(&net, 0);
+    }
+}

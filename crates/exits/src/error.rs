@@ -1,0 +1,57 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by exit placement and training.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExitError {
+    /// A placement violated the paper's position rules.
+    InvalidPlacement(String),
+    /// The NN framework failed during exit-head training.
+    Nn(hadas_nn::NnError),
+    /// Dataset access failed during training.
+    Dataset(hadas_dataset::DatasetError),
+}
+
+impl fmt::Display for ExitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExitError::InvalidPlacement(msg) => write!(f, "invalid exit placement: {msg}"),
+            ExitError::Nn(e) => write!(f, "exit head training failed: {e}"),
+            ExitError::Dataset(e) => write!(f, "dataset access failed: {e}"),
+        }
+    }
+}
+
+impl Error for ExitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExitError::Nn(e) => Some(e),
+            ExitError::Dataset(e) => Some(e),
+            ExitError::InvalidPlacement(_) => None,
+        }
+    }
+}
+
+impl From<hadas_nn::NnError> for ExitError {
+    fn from(e: hadas_nn::NnError) -> Self {
+        ExitError::Nn(e)
+    }
+}
+
+impl From<hadas_dataset::DatasetError> for ExitError {
+    fn from(e: hadas_dataset::DatasetError) -> Self {
+        ExitError::Dataset(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_chain() {
+        let e = ExitError::from(hadas_nn::NnError::LabelMismatch { batch: 1, labels: 2 });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,129 @@
+use crate::cost::exit_mid_channels;
+use crate::ExitError;
+use hadas_nn::{BatchNorm2d, Conv2d, GlobalAvgPool, Linear, NnError, Relu, Sequential};
+use hadas_tensor::Tensor;
+use rand::Rng;
+
+/// A trainable instance of the paper's fixed exit structure: one
+/// `Conv(3×3) → BatchNorm → ReLU` block, global average pooling, and a
+/// linear classifier. This is the exact architecture the paper fixes for
+/// all candidate exit positions.
+#[derive(Debug)]
+pub struct ExitHead {
+    net: Sequential,
+    c_in: usize,
+    c_mid: usize,
+    feature_size: usize,
+    classes: usize,
+}
+
+impl ExitHead {
+    /// Builds an exit head for features of shape `(c_in, size, size)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the convolution geometry is invalid (e.g. a
+    /// zero-sized feature map).
+    pub fn new<R: Rng>(
+        rng: &mut R,
+        c_in: usize,
+        feature_size: usize,
+        classes: usize,
+    ) -> Result<Self, ExitError> {
+        let c_mid = exit_mid_channels(c_in);
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(rng, c_in, c_mid, feature_size, feature_size, 3, 1, 1)?);
+        net.push(BatchNorm2d::new(c_mid));
+        net.push(Relu::new());
+        net.push(GlobalAvgPool::new());
+        net.push(Linear::new(rng, c_mid, classes));
+        Ok(ExitHead { net, c_in, c_mid, feature_size, classes })
+    }
+
+    /// Input feature channels.
+    pub fn c_in(&self) -> usize {
+        self.c_in
+    }
+
+    /// Conv block output channels (the paper's fixed width rule).
+    pub fn c_mid(&self) -> usize {
+        self.c_mid
+    }
+
+    /// Spatial side length of the expected feature maps.
+    pub fn feature_size(&self) -> usize {
+        self.feature_size
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Classifier logits for a feature batch `(n, c_in, size, size)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers.
+    pub fn forward(&mut self, features: &Tensor) -> Result<Tensor, NnError> {
+        self.net.forward(features)
+    }
+
+    /// Backward pass from a logits gradient.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the layers.
+    pub fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        self.net.backward(grad)
+    }
+
+    /// The underlying network (for optimizer access).
+    pub fn net_mut(&mut self) -> &mut Sequential {
+        &mut self.net
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&mut self) -> usize {
+        self.net.param_count()
+    }
+
+    /// Switches between training and inference mode.
+    pub fn set_training(&mut self, training: bool) {
+        self.net.set_training(training);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn forward_produces_class_logits() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut head = ExitHead::new(&mut rng, 24, 8, 100).unwrap();
+        let x = Tensor::ones(&[2, 24, 8, 8]);
+        let y = head.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 100]);
+    }
+
+    #[test]
+    fn structure_matches_paper_width_rule() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut head = ExitHead::new(&mut rng, 200, 4, 100).unwrap();
+        assert_eq!(head.c_mid(), 100);
+        // conv (200*100*9 + 100) + bn (200) + linear (100*100 + 100)
+        assert_eq!(head.param_count(), 200 * 100 * 9 + 100 + 200 + 100 * 100 + 100);
+    }
+
+    #[test]
+    fn backward_flows_to_features() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut head = ExitHead::new(&mut rng, 16, 4, 10).unwrap();
+        let x = hadas_tensor::uniform(&mut rng, &[3, 16, 4, 4], -1.0, 1.0);
+        let y = head.forward(&x).unwrap();
+        let g = head.backward(&Tensor::ones(y.shape().dims())).unwrap();
+        assert_eq!(g.shape().dims(), x.shape().dims());
+    }
+}

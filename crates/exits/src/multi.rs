@@ -1,0 +1,259 @@
+//! Joint training of a full exit *placement* — the paper's actual training
+//! procedure (§IV-B.2): all candidate exit heads train **simultaneously**
+//! against a frozen backbone with the hybrid loss of eq. (4), each head
+//! combining its own cross-entropy with distillation from the final
+//! classifier.
+
+use crate::{ExitError, ExitHead, ExitPlacement, FeatureSimulator, TrainReport};
+use hadas_dataset::DifficultyDistribution;
+use hadas_nn::{accuracy, hybrid_exit_loss, Sgd};
+use hadas_tensor::Tensor;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A multi-exit training setup: one [`FeatureSimulator`] and one
+/// [`ExitHead`] per exit position of a placement, trained jointly.
+#[derive(Debug)]
+pub struct MultiExitTrainer {
+    classes: usize,
+    difficulty: DifficultyDistribution,
+    final_capability: f64,
+    capabilities: Vec<f64>,
+    simulators: Vec<FeatureSimulator>,
+    heads: Vec<ExitHead>,
+    kd_temp: f32,
+    lr: f32,
+}
+
+/// Per-exit outcome of a joint training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiExitReport {
+    /// One report per exit, in placement order.
+    pub per_exit: Vec<TrainReport>,
+    /// Mean hybrid loss over the final epoch (all exits combined).
+    pub final_loss: f32,
+}
+
+impl MultiExitTrainer {
+    /// Builds heads and feature simulators for every position of
+    /// `placement`, where `capabilities[i]` is the capability of the
+    /// backbone prefix feeding exit `i` (from the accuracy surrogate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExitError::InvalidPlacement`] if capability count and
+    /// placement length disagree, or propagates head-construction errors.
+    pub fn new(
+        placement: &ExitPlacement,
+        capabilities: Vec<f64>,
+        classes: usize,
+        difficulty: DifficultyDistribution,
+        final_capability: f64,
+        seed: u64,
+    ) -> Result<Self, ExitError> {
+        if capabilities.len() != placement.len() {
+            return Err(ExitError::InvalidPlacement(format!(
+                "{} capabilities for {} exits",
+                capabilities.len(),
+                placement.len()
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let channels = 12usize;
+        let size = 5usize;
+        let mut simulators = Vec::with_capacity(placement.len());
+        let mut heads = Vec::with_capacity(placement.len());
+        for (k, &cap) in capabilities.iter().enumerate() {
+            simulators.push(FeatureSimulator::new(
+                seed ^ (k as u64 + 1),
+                classes,
+                channels,
+                size,
+                cap,
+            ));
+            heads.push(ExitHead::new(&mut rng, channels, size, classes)?);
+        }
+        Ok(MultiExitTrainer {
+            classes,
+            difficulty,
+            final_capability: final_capability.clamp(0.0, 1.0),
+            capabilities,
+            simulators,
+            heads,
+            kd_temp: 4.0,
+            lr: 0.05,
+        })
+    }
+
+    /// Number of exits being trained.
+    pub fn num_exits(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// The trained heads (after [`MultiExitTrainer::train`]).
+    pub fn heads(&self) -> &[ExitHead] {
+        &self.heads
+    }
+
+    fn teacher_logits<R: Rng>(&self, rng: &mut R, samples: &[(usize, f64)]) -> Tensor {
+        let mut data = vec![0.0f32; samples.len() * self.classes];
+        for (i, &(label, d)) in samples.iter().enumerate() {
+            let winner = if d <= self.final_capability {
+                label
+            } else {
+                let w = rng.gen_range(0..self.classes.max(2) - 1);
+                if w >= label {
+                    w + 1
+                } else {
+                    w
+                }
+            };
+            data[i * self.classes + winner] = 6.0;
+        }
+        Tensor::from_vec(data, &[samples.len(), self.classes])
+            .expect("teacher logits are shape-consistent")
+    }
+
+    /// Trains every head jointly for `epochs` × `batches` steps of batch
+    /// size `batch`, per eq. (4): each batch's hybrid loss sums NLL and KD
+    /// terms across **all** exits before the optimizers step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NN framework errors.
+    pub fn train(
+        &mut self,
+        epochs: usize,
+        batches: usize,
+        batch: usize,
+        seed: u64,
+    ) -> Result<MultiExitReport, ExitError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut opts: Vec<Sgd> =
+            self.heads.iter().map(|_| Sgd::new(self.lr, 0.9, 1e-4)).collect();
+        let mut last_epoch_loss = 0.0f32;
+        let mut steps = 0usize;
+        for head in &mut self.heads {
+            head.set_training(true);
+        }
+        for _epoch in 0..epochs {
+            let mut epoch_loss = 0.0f32;
+            for _b in 0..batches {
+                let samples: Vec<(usize, f64)> = (0..batch)
+                    .map(|_| {
+                        (rng.gen_range(0..self.classes), self.difficulty.sample(&mut rng))
+                    })
+                    .collect();
+                let teacher = self.teacher_logits(&mut rng, &samples);
+                // Forward every exit on its own prefix features.
+                let mut all_logits = Vec::with_capacity(self.heads.len());
+                let mut all_feats = Vec::with_capacity(self.heads.len());
+                for (head, sim) in self.heads.iter_mut().zip(&self.simulators) {
+                    let (feats, _) = sim.batch(&mut rng, &samples);
+                    all_logits.push(head.forward(&feats)?);
+                    all_feats.push(feats);
+                }
+                let labels: Vec<usize> = samples.iter().map(|&(l, _)| l).collect();
+                let (loss, grads) =
+                    hybrid_exit_loss(&all_logits, &teacher, &labels, self.kd_temp)?;
+                for ((head, grad), opt) in
+                    self.heads.iter_mut().zip(&grads).zip(&mut opts)
+                {
+                    head.net_mut().zero_grad();
+                    head.backward(grad)?;
+                    opt.step(head.net_mut().params_mut());
+                }
+                epoch_loss += loss;
+                steps += 1;
+            }
+            last_epoch_loss = epoch_loss / batches as f32;
+        }
+
+        // Held-out evaluation per exit.
+        let mut per_exit = Vec::with_capacity(self.heads.len());
+        for (head, sim) in self.heads.iter_mut().zip(&self.simulators) {
+            head.set_training(false);
+            let samples: Vec<(usize, f64)> = (0..batch * 4)
+                .map(|_| (rng.gen_range(0..self.classes), self.difficulty.sample(&mut rng)))
+                .collect();
+            let (feats, labels) = sim.batch(&mut rng, &samples);
+            let logits = head.forward(&feats)?;
+            per_exit.push(TrainReport {
+                final_loss: last_epoch_loss,
+                test_accuracy: accuracy(&logits, &labels)?,
+                steps,
+            });
+            head.set_training(true);
+        }
+        Ok(MultiExitReport { per_exit, final_loss: last_epoch_loss })
+    }
+
+    /// The capability each exit's features were generated with.
+    pub fn capabilities(&self) -> &[f64] {
+        &self.capabilities
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn placement() -> ExitPlacement {
+        ExitPlacement::new(vec![6, 12, 20], 20).expect("valid placement")
+    }
+
+    #[test]
+    fn joint_training_improves_all_exits() {
+        let mut trainer = MultiExitTrainer::new(
+            &placement(),
+            vec![0.35, 0.6, 0.9],
+            6,
+            DifficultyDistribution::default(),
+            0.9,
+            4,
+        )
+        .expect("valid setup");
+        let report = trainer.train(4, 10, 16, 9).expect("training runs");
+        assert_eq!(report.per_exit.len(), 3);
+        // Every exit must decisively beat 1/6 chance.
+        for (k, r) in report.per_exit.iter().enumerate() {
+            assert!(r.test_accuracy > 0.35, "exit {k} accuracy {}", r.test_accuracy);
+        }
+        // Deeper exits see cleaner features and should rank accordingly.
+        assert!(
+            report.per_exit[2].test_accuracy > report.per_exit[0].test_accuracy,
+            "{:?}",
+            report.per_exit
+        );
+    }
+
+    #[test]
+    fn capability_count_is_validated() {
+        let err = MultiExitTrainer::new(
+            &placement(),
+            vec![0.5],
+            6,
+            DifficultyDistribution::default(),
+            0.9,
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExitError::InvalidPlacement(_)));
+    }
+
+    #[test]
+    fn joint_training_is_deterministic() {
+        let run = |seed| {
+            let mut t = MultiExitTrainer::new(
+                &placement(),
+                vec![0.4, 0.7, 0.9],
+                5,
+                DifficultyDistribution::default(),
+                0.85,
+                seed,
+            )
+            .expect("valid setup");
+            t.train(2, 6, 12, seed + 1).expect("training runs")
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

@@ -1,0 +1,195 @@
+use crate::{ExitError, MIN_EXIT_POSITION};
+use rand::Rng;
+
+/// A validated set of early-exit positions over a backbone with a known
+/// number of MBConv layers.
+///
+/// Positions are 1-based layer indices, strictly increasing, each in
+/// `[MIN_EXIT_POSITION, total_layers]`, and the exit *count* respects the
+/// paper's Table II bound `nX ∈ [1, Σlᵢ − 5]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ExitPlacement {
+    positions: Vec<usize>,
+    total_layers: usize,
+}
+
+impl ExitPlacement {
+    /// Validates and wraps a set of positions for a backbone with
+    /// `total_layers` MBConv layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExitError::InvalidPlacement`] if positions are empty,
+    /// unsorted, duplicated, out of range, or too numerous.
+    pub fn new(positions: Vec<usize>, total_layers: usize) -> Result<Self, ExitError> {
+        if positions.is_empty() {
+            return Err(ExitError::InvalidPlacement("at least one exit required".into()));
+        }
+        let max_count = total_layers.saturating_sub(MIN_EXIT_POSITION);
+        if positions.len() > max_count {
+            return Err(ExitError::InvalidPlacement(format!(
+                "{} exits exceed the nX bound of {max_count}",
+                positions.len()
+            )));
+        }
+        for w in positions.windows(2) {
+            if w[1] <= w[0] {
+                return Err(ExitError::InvalidPlacement(format!(
+                    "positions must be strictly increasing, got {} then {}",
+                    w[0], w[1]
+                )));
+            }
+        }
+        for &p in &positions {
+            if p < MIN_EXIT_POSITION || p > total_layers {
+                return Err(ExitError::InvalidPlacement(format!(
+                    "position {p} outside [{MIN_EXIT_POSITION}, {total_layers}]"
+                )));
+            }
+        }
+        Ok(ExitPlacement { positions, total_layers })
+    }
+
+    /// Builds a placement from the paper's indicator encoding
+    /// `[I_1 … I_{M−1}]`, where index `k` corresponds to candidate
+    /// position `MIN_EXIT_POSITION + k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExitError::InvalidPlacement`] if no indicator is set or
+    /// the indicator length disagrees with `total_layers`.
+    pub fn from_indicators(indicators: &[bool], total_layers: usize) -> Result<Self, ExitError> {
+        let expected = Self::candidate_count(total_layers);
+        if indicators.len() != expected {
+            return Err(ExitError::InvalidPlacement(format!(
+                "expected {expected} indicators for {total_layers} layers, got {}",
+                indicators.len()
+            )));
+        }
+        let positions: Vec<usize> = indicators
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(k, _)| MIN_EXIT_POSITION + k)
+            .collect();
+        Self::new(positions, total_layers)
+    }
+
+    /// Number of candidate exit positions for a backbone with
+    /// `total_layers` MBConv layers (positions `5..=total_layers`).
+    pub fn candidate_count(total_layers: usize) -> usize {
+        total_layers.saturating_sub(MIN_EXIT_POSITION - 1)
+    }
+
+    /// All candidate positions for a backbone of `total_layers` layers.
+    pub fn candidates(total_layers: usize) -> Vec<usize> {
+        (MIN_EXIT_POSITION..=total_layers).collect()
+    }
+
+    /// Draws a random valid placement (each candidate kept with
+    /// probability `density`, with a fallback single exit if none stick).
+    pub fn sample<R: Rng>(rng: &mut R, total_layers: usize, density: f64) -> Self {
+        let max_count = total_layers.saturating_sub(MIN_EXIT_POSITION);
+        let mut positions: Vec<usize> = Self::candidates(total_layers)
+            .into_iter()
+            .filter(|_| rng.gen_bool(density.clamp(0.0, 1.0)))
+            .collect();
+        while positions.len() > max_count {
+            let idx = rng.gen_range(0..positions.len());
+            positions.remove(idx);
+        }
+        if positions.is_empty() {
+            let p = rng.gen_range(MIN_EXIT_POSITION..=total_layers);
+            positions.push(p);
+        }
+        ExitPlacement { positions, total_layers }
+    }
+
+    /// The exit positions, ascending and 1-based.
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+
+    /// The backbone's MBConv layer count this placement was validated for.
+    pub fn total_layers(&self) -> usize {
+        self.total_layers
+    }
+
+    /// Number of exits.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the placement is empty (never true for a validated value).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The indicator encoding `[I_1 … I_{M−1}]` over candidate positions.
+    pub fn to_indicators(&self) -> Vec<bool> {
+        let mut out = vec![false; Self::candidate_count(self.total_layers)];
+        for &p in &self.positions {
+            out[p - MIN_EXIT_POSITION] = true;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn rejects_empty_and_out_of_range() {
+        assert!(ExitPlacement::new(vec![], 20).is_err());
+        assert!(ExitPlacement::new(vec![4], 20).is_err());
+        assert!(ExitPlacement::new(vec![21], 20).is_err());
+    }
+
+    #[test]
+    fn rejects_unsorted_or_duplicate() {
+        assert!(ExitPlacement::new(vec![9, 7], 20).is_err());
+        assert!(ExitPlacement::new(vec![7, 7], 20).is_err());
+    }
+
+    #[test]
+    fn count_bound_matches_table_ii() {
+        // nX ≤ Σl − 5: for 20 layers, at most 15 exits.
+        let too_many: Vec<usize> = (5..=20).collect(); // 16 positions
+        assert!(ExitPlacement::new(too_many, 20).is_err());
+        let ok: Vec<usize> = (5..20).collect(); // 15 positions
+        assert!(ExitPlacement::new(ok, 20).is_ok());
+    }
+
+    #[test]
+    fn indicator_round_trip() {
+        let p = ExitPlacement::new(vec![5, 8, 20], 20).unwrap();
+        let ind = p.to_indicators();
+        assert_eq!(ind.len(), 16);
+        let q = ExitPlacement::from_indicators(&ind, 20).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn from_indicators_rejects_all_false() {
+        let ind = vec![false; 16];
+        assert!(ExitPlacement::from_indicators(&ind, 20).is_err());
+    }
+
+    #[test]
+    fn sampled_placements_are_valid() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let p = ExitPlacement::sample(&mut rng, 24, 0.3);
+            assert!(ExitPlacement::new(p.positions().to_vec(), 24).is_ok());
+        }
+    }
+
+    #[test]
+    fn sample_with_zero_density_still_yields_one_exit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = ExitPlacement::sample(&mut rng, 18, 0.0);
+        assert_eq!(p.len(), 1);
+    }
+}

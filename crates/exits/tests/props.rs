@@ -1,0 +1,67 @@
+//! Property-based tests for exit placements and head costs over random
+//! backbones.
+
+use hadas_exits::{exit_head_cost, ExitPlacement, MIN_EXIT_POSITION};
+use hadas_space::{Genome, SearchSpace};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn genome_strategy() -> impl Strategy<Value = Genome> {
+    SearchSpace::attentive_nas()
+        .gene_cardinalities()
+        .into_iter()
+        .map(|c| (0..c).boxed())
+        .collect::<Vec<_>>()
+        .prop_map(Genome::from_genes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random placements are always valid and respect the paper's rules.
+    #[test]
+    fn sampled_placements_are_valid(
+        total in 17usize..38,
+        density in 0.0f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = ExitPlacement::sample(&mut rng, total, density);
+        prop_assert!(!p.is_empty());
+        prop_assert!(p.len() <= total - MIN_EXIT_POSITION || p.len() == 1);
+        prop_assert!(p.positions().windows(2).all(|w| w[1] > w[0]));
+        prop_assert!(p.positions().iter().all(|&x| (MIN_EXIT_POSITION..=total).contains(&x)));
+        // Round-trip through indicators.
+        let q = ExitPlacement::from_indicators(&p.to_indicators(), total).expect("round-trips");
+        prop_assert_eq!(p, q);
+    }
+
+    /// Exit-head cost is positive and cheap relative to the backbone, for
+    /// every position of every random backbone.
+    #[test]
+    fn exit_head_cost_is_sane(genome in genome_strategy()) {
+        let space = SearchSpace::attentive_nas();
+        let net = space.decode(&genome).expect("valid genome");
+        let total_flops = net.total_flops();
+        for pos in (MIN_EXIT_POSITION..=net.num_mbconv_layers()).step_by(3) {
+            let head = exit_head_cost(&net, pos);
+            prop_assert!(head.flops > 0.0 && head.params > 0.0);
+            prop_assert!(head.flops < 0.3 * total_flops, "position {pos} head too expensive");
+            prop_assert_eq!(head.c_out, 100);
+        }
+    }
+
+    /// Head cost falls (weakly) with depth within a stage run: deeper
+    /// positions see smaller or equal feature maps.
+    #[test]
+    fn deeper_heads_see_smaller_maps(genome in genome_strategy()) {
+        let space = SearchSpace::attentive_nas();
+        let net = space.decode(&genome).expect("valid genome");
+        let mut prev_size = usize::MAX;
+        for pos in 1..=net.num_mbconv_layers() {
+            let head = exit_head_cost(&net, pos);
+            prop_assert!(head.in_size <= prev_size);
+            prev_size = head.in_size;
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Calibration probe: prints baseline costs per target at default clocks.
+//! Used to tune the device constants against the paper's anchors
+//! (a0 = 173.78 mJ, a6 = 335.48 mJ on the TX2 Pascal GPU).
+
+use hadas_hw::{DeviceModel, HwTarget};
+use hadas_space::{baselines, SearchSpace};
+
+fn main() {
+    let space = SearchSpace::attentive_nas();
+    let nets = baselines::attentive_nas_baselines(&space).expect("baselines decode");
+    for target in HwTarget::ALL {
+        let dev = DeviceModel::for_target(target);
+        let dvfs = dev.default_dvfs();
+        println!("== {} ==", target.name());
+        for (name, net) in &nets {
+            let r = dev.subnet_cost(net, &dvfs).expect("valid dvfs");
+            println!(
+                "  {name}: {:>8.2} mJ  {:>7.2} ms  {:>5.2} W  (GMACs {:.2}, MB {:.1}, layers {})",
+                r.energy_mj(),
+                r.latency_ms(),
+                r.avg_power_w(),
+                net.total_flops() / 1e9,
+                net.total_bytes() / 1e6,
+                net.layers().len()
+            );
+        }
+    }
+}

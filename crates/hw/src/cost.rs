@@ -1,0 +1,96 @@
+use serde::{Deserialize, Serialize};
+use std::ops::Add;
+
+/// Latency and energy of executing some workload on a device at a fixed
+/// DVFS setting.
+///
+/// Reports compose additively over layers — `prefix + exit head` is how the
+/// dynamic (early-exit) costs of HADAS eq. (6) are assembled.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Wall-clock latency in seconds.
+    pub latency_s: f64,
+    /// Energy in joules.
+    pub energy_j: f64,
+}
+
+impl CostReport {
+    /// A zero-cost report (identity for accumulation).
+    pub fn zero() -> Self {
+        CostReport::default()
+    }
+
+    /// Latency in milliseconds, the unit the paper plots.
+    pub fn latency_ms(&self) -> f64 {
+        self.latency_s * 1e3
+    }
+
+    /// Energy in millijoules, the unit of the paper's Table III.
+    pub fn energy_mj(&self) -> f64 {
+        self.energy_j * 1e3
+    }
+
+    /// Average power in watts (0 for a zero-latency report).
+    pub fn avg_power_w(&self) -> f64 {
+        if self.latency_s > 0.0 {
+            self.energy_j / self.latency_s
+        } else {
+            0.0
+        }
+    }
+}
+
+impl Add for CostReport {
+    type Output = CostReport;
+
+    fn add(self, rhs: CostReport) -> CostReport {
+        CostReport {
+            latency_s: self.latency_s + rhs.latency_s,
+            energy_j: self.energy_j + rhs.energy_j,
+        }
+    }
+}
+
+impl std::iter::Sum for CostReport {
+    fn sum<I: Iterator<Item = CostReport>>(iter: I) -> CostReport {
+        iter.fold(CostReport::zero(), Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_add_componentwise() {
+        let a = CostReport { latency_s: 0.01, energy_j: 0.1 };
+        let b = CostReport { latency_s: 0.02, energy_j: 0.3 };
+        let c = a + b;
+        assert!((c.latency_s - 0.03).abs() < 1e-12);
+        assert!((c.energy_j - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let r = CostReport { latency_s: 0.025, energy_j: 0.17378 };
+        assert!((r.latency_ms() - 25.0).abs() < 1e-9);
+        assert!((r.energy_mj() - 173.78).abs() < 1e-9);
+        assert!((r.avg_power_w() - 6.9512).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let parts = vec![
+            CostReport { latency_s: 1.0, energy_j: 1.0 },
+            CostReport { latency_s: 2.0, energy_j: 3.0 },
+        ];
+        let total: CostReport = parts.into_iter().sum();
+        assert_eq!(total.latency_s, 3.0);
+        assert_eq!(total.energy_j, 4.0);
+    }
+
+    #[test]
+    fn zero_latency_power_is_zero() {
+        assert_eq!(CostReport::zero().avg_power_w(), 0.0);
+    }
+}

@@ -1,0 +1,422 @@
+use crate::{CostReport, DvfsLadder, DvfsSetting, HwError, HwTarget};
+use hadas_space::{LayerInfo, Subnet};
+use serde::{Deserialize, Serialize};
+
+/// An analytical model of one edge compute target (compute unit + memory
+/// subsystem) with DVFS.
+///
+/// # Model
+///
+/// **Latency** per layer is a roofline with a size-dependent utilisation
+/// factor:
+///
+/// ```text
+/// util(L)   = floor + (1 − floor) · flops(L) / (flops(L) + sat)
+/// t_compute = flops(L) / (macs_per_cycle · f_c · util(L))
+/// t_mem     = bytes(L) / (bytes_per_cycle · f_m)
+/// t(L)      = max(t_compute, t_mem) + overhead
+/// ```
+///
+/// **Power** is CMOS-style, `P = P_static + k·V(f)²·f` per subsystem, with
+/// a linear voltage–frequency curve, weighted by each subsystem's busy
+/// fraction. Energy is `P · t`. The resulting energy–frequency curve is
+/// convex (slow ⇒ static-dominated, fast ⇒ dynamic-dominated), so optimal
+/// DVFS settings are workload-dependent and interior — the property the
+/// **F** subspace search exploits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    target: HwTarget,
+    ladder: DvfsLadder,
+    /// Peak multiply–accumulates per compute-unit cycle at full utilisation.
+    macs_per_cycle: f64,
+    /// Memory bytes transferred per EMC cycle at full bandwidth.
+    bytes_per_cycle: f64,
+    /// Utilisation floor for tiny kernels.
+    util_floor: f64,
+    /// MAC count at which utilisation reaches half of its headroom.
+    util_sat: f64,
+    /// Fixed per-layer dispatch overhead in seconds.
+    overhead_s: f64,
+    /// Fixed per-inference invocation overhead in seconds (host↔device
+    /// copies, driver setup) at the top compute frequency; scales inversely
+    /// with the compute frequency like the rest of the pipeline.
+    invoke_overhead_s: f64,
+    /// Fraction of compute dynamic power drawn during the invocation
+    /// overhead window.
+    invoke_busy: f64,
+    /// Static (leakage + always-on rail) power in watts.
+    static_w: f64,
+    /// Compute dynamic-power coefficient: watts at V = 1, f = 1 GHz.
+    dyn_compute: f64,
+    /// Memory dynamic-power coefficient: watts at V = 1, f = 1 GHz.
+    dyn_mem: f64,
+    /// Voltage at the lowest frequency step (normalised).
+    v_min: f64,
+    /// Voltage at the highest frequency step (normalised).
+    v_max: f64,
+}
+
+impl DeviceModel {
+    /// Builds the calibrated model for one of the paper's four targets.
+    ///
+    /// Constants are set so the published anchors hold at default (max)
+    /// clocks on the TX2 Pascal GPU — a0 ≈ 174 mJ, a6 ≈ 335 mJ — and so
+    /// relative behaviour across targets (GPUs faster than CPUs, AGX
+    /// faster than TX2) matches the boards.
+    pub fn for_target(target: HwTarget) -> Self {
+        match target {
+            HwTarget::AgxVoltaGpu => DeviceModel {
+                target,
+                ladder: DvfsLadder::linspace(14, 0.1, 1.4, 9, 0.2, 2.1),
+                macs_per_cycle: 1024.0,
+                bytes_per_cycle: 64.0,
+                util_floor: 0.001,
+                util_sat: 4.0e8,
+                overhead_s: 1.2e-4,
+                invoke_overhead_s: 2.5e-3,
+                invoke_busy: 0.8,
+                static_w: 2.2,
+                dyn_compute: 7.8,
+                dyn_mem: 1.6,
+                v_min: 0.55,
+                v_max: 1.05,
+            },
+            HwTarget::AgxCarmelCpu => DeviceModel {
+                target,
+                ladder: DvfsLadder::linspace(29, 0.1, 2.3, 9, 0.2, 2.1),
+                macs_per_cycle: 64.0,
+                bytes_per_cycle: 48.0,
+                util_floor: 0.02,
+                util_sat: 6.0e7,
+                overhead_s: 8.0e-6,
+                invoke_overhead_s: 1.5e-3,
+                invoke_busy: 0.7,
+                static_w: 1.1,
+                dyn_compute: 2.4,
+                dyn_mem: 1.2,
+                v_min: 0.55,
+                v_max: 1.1,
+            },
+            HwTarget::Tx2PascalGpu => DeviceModel {
+                target,
+                ladder: DvfsLadder::linspace(13, 0.1, 1.4, 11, 0.2, 1.8),
+                macs_per_cycle: 512.0,
+                bytes_per_cycle: 32.0,
+                util_floor: 0.001,
+                util_sat: 5.0e8,
+                overhead_s: 1.5e-4,
+                invoke_overhead_s: 4.0e-3,
+                invoke_busy: 0.8,
+                static_w: 1.3,
+                dyn_compute: 4.9,
+                dyn_mem: 1.1,
+                v_min: 0.6,
+                v_max: 1.1,
+            },
+            HwTarget::Tx2DenverCpu => DeviceModel {
+                target,
+                ladder: DvfsLadder::linspace(12, 0.3, 2.1, 11, 0.2, 1.8),
+                macs_per_cycle: 20.0,
+                bytes_per_cycle: 16.0,
+                util_floor: 0.03,
+                util_sat: 3.0e7,
+                overhead_s: 6.0e-6,
+                invoke_overhead_s: 1.5e-3,
+                invoke_busy: 0.7,
+                static_w: 0.8,
+                dyn_compute: 2.0,
+                dyn_mem: 0.9,
+                v_min: 0.6,
+                v_max: 1.15,
+            },
+        }
+    }
+
+    /// The target this model simulates.
+    pub fn target(&self) -> HwTarget {
+        self.target
+    }
+
+    /// The device's DVFS ladder.
+    pub fn ladder(&self) -> &DvfsLadder {
+        &self.ladder
+    }
+
+    /// The paper's *default HW setting* (maximum clocks), used for all
+    /// static (OOE) evaluations.
+    pub fn default_dvfs(&self) -> DvfsSetting {
+        self.ladder.max_setting()
+    }
+
+    fn voltage(&self, f_ghz: f64, f_lo: f64, f_hi: f64) -> f64 {
+        if f_hi <= f_lo {
+            return self.v_max;
+        }
+        self.v_min + (self.v_max - self.v_min) * (f_ghz - f_lo) / (f_hi - f_lo)
+    }
+
+    /// Latency and energy of one layer at `setting`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::DvfsOutOfRange`] for invalid settings.
+    pub fn layer_cost(&self, layer: &LayerInfo, setting: &DvfsSetting) -> Result<CostReport, HwError> {
+        let (f_c, f_m) = self.ladder.resolve(setting)?;
+        let util = self.util_floor
+            + (1.0 - self.util_floor) * layer.flops / (layer.flops + self.util_sat);
+        let t_compute = layer.flops / (self.macs_per_cycle * f_c * 1e9 * util);
+        let bytes = layer.act_bytes + layer.weight_bytes;
+        let t_mem = bytes / (self.bytes_per_cycle * f_m * 1e9);
+        let t = t_compute.max(t_mem) + self.overhead_s;
+
+        let c_lo = self.ladder.compute_ghz()[0];
+        let c_hi = *self.ladder.compute_ghz().last().expect("non-empty ladder");
+        let m_lo = self.ladder.emc_ghz()[0];
+        let m_hi = *self.ladder.emc_ghz().last().expect("non-empty ladder");
+        let v_c = self.voltage(f_c, c_lo, c_hi);
+        let v_m = self.voltage(f_m, m_lo, m_hi);
+        let busy_c = (t_compute / t).min(1.0);
+        let busy_m = (t_mem / t).min(1.0);
+        let p = self.static_w
+            + self.dyn_compute * v_c * v_c * f_c * busy_c
+            + self.dyn_mem * v_m * v_m * f_m * busy_m;
+        Ok(CostReport { latency_s: t, energy_j: p * t })
+    }
+
+    /// The fixed per-inference invocation cost (host↔device transfers and
+    /// driver setup) at `setting`. Paid exactly once per inference, whether
+    /// the input exits early or runs the full backbone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::DvfsOutOfRange`] for invalid settings.
+    pub fn invoke_cost(&self, setting: &DvfsSetting) -> Result<CostReport, HwError> {
+        let (f_c, _) = self.ladder.resolve(setting)?;
+        let c_lo = self.ladder.compute_ghz()[0];
+        let c_hi = *self.ladder.compute_ghz().last().expect("non-empty ladder");
+        let t = self.invoke_overhead_s * c_hi / f_c;
+        let v_c = self.voltage(f_c, c_lo, c_hi);
+        let p = self.static_w + self.invoke_busy * self.dyn_compute * v_c * v_c * f_c;
+        Ok(CostReport { latency_s: t, energy_j: p * t })
+    }
+
+    /// Latency and energy of a full-backbone inference at `setting`,
+    /// including the per-inference invocation cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::DvfsOutOfRange`] for invalid settings.
+    pub fn subnet_cost(&self, subnet: &Subnet, setting: &DvfsSetting) -> Result<CostReport, HwError> {
+        let mut acc = self.invoke_cost(setting)?;
+        for layer in subnet.layers() {
+            acc = acc + self.layer_cost(layer, setting)?;
+        }
+        Ok(acc)
+    }
+
+    /// Latency and energy of the backbone *prefix* ending after MBConv
+    /// layer `position` (1-based): the stem plus the first `position`
+    /// MBConv layers. This is what an input exiting at `position` pays for
+    /// the backbone (the exit head's own cost is added separately).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::ExitPositionOutOfRange`] for invalid positions or
+    /// [`HwError::DvfsOutOfRange`] for invalid settings.
+    pub fn prefix_cost(
+        &self,
+        subnet: &Subnet,
+        position: usize,
+        setting: &DvfsSetting,
+    ) -> Result<CostReport, HwError> {
+        let total = subnet.num_mbconv_layers();
+        if position == 0 || position > total {
+            return Err(HwError::ExitPositionOutOfRange { position, layers: total });
+        }
+        let mut acc = self.invoke_cost(setting)?;
+        let mut seen = 0usize;
+        for layer in subnet.layers() {
+            acc = acc + self.layer_cost(layer, setting)?;
+            if layer.kind.is_exitable() {
+                seen += 1;
+                if seen == position {
+                    return Ok(acc);
+                }
+            }
+        }
+        unreachable!("position validated above")
+    }
+}
+
+impl crate::CostModel for DeviceModel {
+    fn target(&self) -> HwTarget {
+        DeviceModel::target(self)
+    }
+
+    fn ladder(&self) -> &DvfsLadder {
+        DeviceModel::ladder(self)
+    }
+
+    fn layer_cost(&self, layer: &LayerInfo, setting: &DvfsSetting) -> Result<CostReport, HwError> {
+        DeviceModel::layer_cost(self, layer, setting)
+    }
+
+    fn invoke_cost(&self, setting: &DvfsSetting) -> Result<CostReport, HwError> {
+        DeviceModel::invoke_cost(self, setting)
+    }
+
+    // The inherent implementations are used directly so trait-object and
+    // concrete callers price workloads identically.
+    fn subnet_cost(&self, subnet: &Subnet, setting: &DvfsSetting) -> Result<CostReport, HwError> {
+        DeviceModel::subnet_cost(self, subnet, setting)
+    }
+
+    fn prefix_cost(
+        &self,
+        subnet: &Subnet,
+        position: usize,
+        setting: &DvfsSetting,
+    ) -> Result<CostReport, HwError> {
+        DeviceModel::prefix_cost(self, subnet, position, setting)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadas_space::{baselines, SearchSpace};
+
+    fn subnets() -> Vec<(String, Subnet)> {
+        baselines::attentive_nas_baselines(&SearchSpace::attentive_nas()).unwrap()
+    }
+
+    #[test]
+    fn ladders_match_table_ii_cardinalities() {
+        assert_eq!(DeviceModel::for_target(HwTarget::AgxVoltaGpu).ladder().compute_steps(), 14);
+        assert_eq!(DeviceModel::for_target(HwTarget::AgxCarmelCpu).ladder().compute_steps(), 29);
+        assert_eq!(DeviceModel::for_target(HwTarget::Tx2PascalGpu).ladder().compute_steps(), 13);
+        assert_eq!(DeviceModel::for_target(HwTarget::Tx2DenverCpu).ladder().compute_steps(), 12);
+        assert_eq!(DeviceModel::for_target(HwTarget::AgxVoltaGpu).ladder().emc_steps(), 9);
+        assert_eq!(DeviceModel::for_target(HwTarget::Tx2PascalGpu).ladder().emc_steps(), 11);
+    }
+
+    #[test]
+    fn latency_is_monotone_decreasing_in_compute_frequency() {
+        let dev = DeviceModel::for_target(HwTarget::Tx2PascalGpu);
+        let net = &subnets()[3].1;
+        let emc = dev.ladder().emc_steps() - 1;
+        let mut prev = f64::INFINITY;
+        for c in 0..dev.ladder().compute_steps() {
+            let r = dev.subnet_cost(net, &DvfsSetting::new(c, emc)).unwrap();
+            assert!(r.latency_s <= prev, "latency must not increase with frequency");
+            prev = r.latency_s;
+        }
+    }
+
+    #[test]
+    fn energy_is_convex_in_frequency() {
+        // Energy at the lowest and highest frequency should both exceed the
+        // minimum over the ladder (interior optimum).
+        let dev = DeviceModel::for_target(HwTarget::Tx2PascalGpu);
+        let net = &subnets()[0].1;
+        let emc = dev.ladder().emc_steps() - 1;
+        let energies: Vec<f64> = (0..dev.ladder().compute_steps())
+            .map(|c| dev.subnet_cost(net, &DvfsSetting::new(c, emc)).unwrap().energy_j)
+            .collect();
+        let min = energies.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(energies[0] > min, "lowest frequency should waste static energy");
+        assert!(*energies.last().unwrap() > min, "highest frequency should waste dynamic energy");
+    }
+
+    #[test]
+    fn bigger_baseline_costs_more() {
+        let dev = DeviceModel::for_target(HwTarget::Tx2PascalGpu);
+        let nets = subnets();
+        let dvfs = dev.default_dvfs();
+        let a0 = dev.subnet_cost(&nets[0].1, &dvfs).unwrap();
+        let a6 = dev.subnet_cost(&nets[6].1, &dvfs).unwrap();
+        assert!(a6.energy_j > a0.energy_j);
+        assert!(a6.latency_s > a0.latency_s);
+    }
+
+    #[test]
+    fn tx2_anchors_match_paper_table_iii() {
+        // Paper: a0 = 173.78 mJ, a6 = 335.48 mJ on TX2 Pascal GPU at
+        // default clocks. The simulator is calibrated to land within 15%.
+        let dev = DeviceModel::for_target(HwTarget::Tx2PascalGpu);
+        let nets = subnets();
+        let dvfs = dev.default_dvfs();
+        let a0 = dev.subnet_cost(&nets[0].1, &dvfs).unwrap().energy_mj();
+        let a6 = dev.subnet_cost(&nets[6].1, &dvfs).unwrap().energy_mj();
+        assert!((a0 - 173.78).abs() / 173.78 < 0.15, "a0 energy {a0} mJ");
+        assert!((a6 - 335.48).abs() / 335.48 < 0.15, "a6 energy {a6} mJ");
+    }
+
+    #[test]
+    fn prefix_cost_is_monotone_and_bounded_by_total() {
+        let dev = DeviceModel::for_target(HwTarget::AgxVoltaGpu);
+        let net = &subnets()[2].1;
+        let dvfs = dev.default_dvfs();
+        let total = dev.subnet_cost(net, &dvfs).unwrap();
+        let mut prev = 0.0;
+        for pos in 1..=net.num_mbconv_layers() {
+            let p = dev.prefix_cost(net, pos, &dvfs).unwrap();
+            assert!(p.energy_j > prev);
+            assert!(p.energy_j < total.energy_j);
+            prev = p.energy_j;
+        }
+    }
+
+    #[test]
+    fn prefix_cost_rejects_bad_position() {
+        let dev = DeviceModel::for_target(HwTarget::AgxVoltaGpu);
+        let net = &subnets()[0].1;
+        let dvfs = dev.default_dvfs();
+        assert!(dev.prefix_cost(net, 0, &dvfs).is_err());
+        assert!(dev.prefix_cost(net, 999, &dvfs).is_err());
+    }
+
+    #[test]
+    fn gpu_is_faster_than_cpu_on_big_models() {
+        let gpu = DeviceModel::for_target(HwTarget::Tx2PascalGpu);
+        let cpu = DeviceModel::for_target(HwTarget::Tx2DenverCpu);
+        let net = &subnets()[6].1;
+        let g = gpu.subnet_cost(net, &gpu.default_dvfs()).unwrap();
+        let c = cpu.subnet_cost(net, &cpu.default_dvfs()).unwrap();
+        assert!(g.latency_s < c.latency_s);
+    }
+
+    #[test]
+    fn emc_frequency_matters_for_memory_bound_layers() {
+        // A huge-activation, low-arithmetic layer is memory-bound: the
+        // roofline must slow it down as the EMC ladder descends.
+        let dev = DeviceModel::for_target(HwTarget::Tx2PascalGpu);
+        let layer = hadas_space::LayerInfo {
+            kind: hadas_space::LayerKind::Stem,
+            c_in: 3,
+            c_out: 16,
+            kernel: 3,
+            stride: 1,
+            expand: 1,
+            in_size: 288,
+            out_size: 288,
+            flops: 1.0e6,
+            params: 1.0e3,
+            act_bytes: 6.4e7,
+            weight_bytes: 4.0e3,
+        };
+        let top_c = dev.ladder().compute_steps() - 1;
+        let slow = dev.layer_cost(&layer, &DvfsSetting::new(top_c, 0)).unwrap();
+        let fast = dev
+            .layer_cost(&layer, &DvfsSetting::new(top_c, dev.ladder().emc_steps() - 1))
+            .unwrap();
+        assert!(slow.latency_s > fast.latency_s * 2.0, "EMC must gate memory-bound layers");
+        // And slowing the EMC must never *help* a full subnet either.
+        let net = &subnets()[6].1;
+        let s = dev.subnet_cost(net, &DvfsSetting::new(top_c, 0)).unwrap();
+        let f = dev
+            .subnet_cost(net, &DvfsSetting::new(top_c, dev.ladder().emc_steps() - 1))
+            .unwrap();
+        assert!(s.latency_s >= f.latency_s);
+    }
+}

@@ -1,0 +1,50 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the hardware simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HwError {
+    /// A DVFS setting indexed beyond its ladder.
+    DvfsOutOfRange {
+        /// Which axis overflowed.
+        axis: &'static str,
+        /// The requested index.
+        index: usize,
+        /// Number of steps on that axis.
+        steps: usize,
+    },
+    /// An exit position referenced a layer the subnet does not have.
+    ExitPositionOutOfRange {
+        /// Requested exit position (1-based).
+        position: usize,
+        /// Number of MBConv layers in the subnet.
+        layers: usize,
+    },
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::DvfsOutOfRange { axis, index, steps } => {
+                write!(f, "{axis} frequency index {index} exceeds ladder of {steps} steps")
+            }
+            HwError::ExitPositionOutOfRange { position, layers } => {
+                write!(f, "exit position {position} exceeds {layers} MBConv layers")
+            }
+        }
+    }
+}
+
+impl Error for HwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_axis() {
+        let e = HwError::DvfsOutOfRange { axis: "gpu", index: 20, steps: 13 };
+        assert!(e.to_string().contains("gpu"));
+    }
+}

@@ -1,0 +1,100 @@
+//! # hadas-hw
+//!
+//! The edge-hardware substrate of the HADAS reproduction: an analytical
+//! simulator for the four NVIDIA Jetson device settings the paper measures
+//! with hardware-in-the-loop —
+//!
+//! * AGX Xavier **Volta GPU** (14 GPU frequencies, 9 EMC frequencies)
+//! * AGX Xavier **Carmel ARMv8.2 CPU** (29 CPU frequencies)
+//! * Jetson TX2 **Pascal GPU** (13 GPU frequencies, 11 EMC frequencies)
+//! * Jetson TX2 **NVIDIA Denver CPU** (12 CPU frequencies)
+//!
+//! Per layer, latency follows a roofline: `max(compute time, memory time)`
+//! with a utilisation factor that grows with layer size (small kernels
+//! under-utilise wide engines — the reason large subnets cost *less than
+//! proportionally* more energy than compact ones, as in the paper's
+//! Table III). Power follows the CMOS model `P = P_static + k·V(f)²·f`,
+//! which makes energy *convex* in frequency: run too slow and static power
+//! dominates, too fast and dynamic power does. DVFS search is therefore
+//! non-trivial, exactly as on the physical boards.
+//!
+//! ```
+//! use hadas_hw::{DeviceModel, HwTarget};
+//! use hadas_space::{baselines, SearchSpace};
+//!
+//! # fn main() -> Result<(), hadas_hw::HwError> {
+//! let device = DeviceModel::for_target(HwTarget::Tx2PascalGpu);
+//! let space = SearchSpace::attentive_nas();
+//! let net = space.decode(&baselines::baseline_genome(0)).expect("a0 decodes");
+//! let cost = device.subnet_cost(&net, &device.default_dvfs())?;
+//! assert!(cost.latency_s > 0.0 && cost.energy_j > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod cost;
+mod device;
+mod dvfs;
+mod error;
+mod model;
+mod proxy;
+
+pub use cost::CostReport;
+pub use device::DeviceModel;
+pub use dvfs::{DvfsLadder, DvfsSetting};
+pub use error::HwError;
+pub use model::CostModel;
+pub use proxy::{ProxyCostModel, ProxyValidation};
+
+use serde::{Deserialize, Serialize};
+
+/// The four hardware settings evaluated in the paper (Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HwTarget {
+    /// NVIDIA Jetson AGX Xavier, Volta GPU.
+    AgxVoltaGpu,
+    /// NVIDIA Jetson AGX Xavier, Carmel ARMv8.2 CPU.
+    AgxCarmelCpu,
+    /// NVIDIA Jetson TX2, Pascal GPU.
+    Tx2PascalGpu,
+    /// NVIDIA Jetson TX2, Denver CPU.
+    Tx2DenverCpu,
+}
+
+impl HwTarget {
+    /// All four targets in the paper's presentation order.
+    pub const ALL: [HwTarget; 4] = [
+        HwTarget::AgxVoltaGpu,
+        HwTarget::AgxCarmelCpu,
+        HwTarget::Tx2PascalGpu,
+        HwTarget::Tx2DenverCpu,
+    ];
+
+    /// Human-readable name matching the paper's figure captions.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HwTarget::AgxVoltaGpu => "AGX Volta GPU",
+            HwTarget::AgxCarmelCpu => "Carmel ARM v8.2 CPU",
+            HwTarget::Tx2PascalGpu => "TX2 Pascal GPU",
+            HwTarget::Tx2DenverCpu => "NVIDIA Denver CPU",
+        }
+    }
+}
+
+impl std::fmt::Display for HwTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_targets_with_distinct_names() {
+        let names: std::collections::HashSet<_> =
+            HwTarget::ALL.iter().map(|t| t.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the hardware simulator: roofline monotonicity,
+//! cost positivity, and DVFS-ladder consistency over random layers and
+//! settings.
+
+use hadas_hw::{DeviceModel, DvfsSetting, HwTarget};
+use hadas_space::{LayerInfo, LayerKind};
+use proptest::prelude::*;
+
+fn layer_strategy() -> impl Strategy<Value = LayerInfo> {
+    (
+        1usize..512,          // c_in
+        1usize..512,          // c_out
+        prop_oneof![Just(3usize), Just(5usize)],
+        1usize..3,            // stride
+        4usize..128,          // in_size
+        1.0e4f64..5.0e8,      // flops
+        1.0e3f64..1.0e7,      // params
+        1.0e3f64..1.0e8,      // act_bytes
+    )
+        .prop_map(|(c_in, c_out, kernel, stride, in_size, flops, params, act_bytes)| {
+            LayerInfo {
+                kind: LayerKind::MbConv { stage: 0, layer: 0 },
+                c_in,
+                c_out,
+                kernel,
+                stride,
+                expand: 4,
+                in_size,
+                out_size: in_size / stride,
+                flops,
+                params,
+                act_bytes,
+                weight_bytes: 4.0 * params,
+            }
+        })
+}
+
+fn target_strategy() -> impl Strategy<Value = HwTarget> {
+    prop_oneof![
+        Just(HwTarget::AgxVoltaGpu),
+        Just(HwTarget::AgxCarmelCpu),
+        Just(HwTarget::Tx2PascalGpu),
+        Just(HwTarget::Tx2DenverCpu),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Costs are strictly positive and finite on every target for every
+    /// valid setting.
+    #[test]
+    fn layer_costs_are_positive(
+        layer in layer_strategy(),
+        target in target_strategy(),
+        c_frac in 0.0f64..1.0,
+        m_frac in 0.0f64..1.0,
+    ) {
+        let dev = DeviceModel::for_target(target);
+        let c = ((dev.ladder().compute_steps() - 1) as f64 * c_frac) as usize;
+        let m = ((dev.ladder().emc_steps() - 1) as f64 * m_frac) as usize;
+        let r = dev.layer_cost(&layer, &DvfsSetting::new(c, m)).expect("valid setting");
+        prop_assert!(r.latency_s > 0.0 && r.latency_s.is_finite());
+        prop_assert!(r.energy_j > 0.0 && r.energy_j.is_finite());
+        prop_assert!(r.avg_power_w() > 0.0);
+    }
+
+    /// Latency never increases when the compute frequency steps up
+    /// (memory frequency held at max).
+    #[test]
+    fn latency_is_monotone_in_compute_frequency(
+        layer in layer_strategy(),
+        target in target_strategy(),
+    ) {
+        let dev = DeviceModel::for_target(target);
+        let emc = dev.ladder().emc_steps() - 1;
+        let mut prev = f64::INFINITY;
+        for c in 0..dev.ladder().compute_steps() {
+            let r = dev.layer_cost(&layer, &DvfsSetting::new(c, emc)).expect("valid");
+            prop_assert!(r.latency_s <= prev + 1e-15);
+            prev = r.latency_s;
+        }
+    }
+
+    /// Latency never increases when the EMC frequency steps up (compute
+    /// held at max).
+    #[test]
+    fn latency_is_monotone_in_emc_frequency(
+        layer in layer_strategy(),
+        target in target_strategy(),
+    ) {
+        let dev = DeviceModel::for_target(target);
+        let c = dev.ladder().compute_steps() - 1;
+        let mut prev = f64::INFINITY;
+        for m in 0..dev.ladder().emc_steps() {
+            let r = dev.layer_cost(&layer, &DvfsSetting::new(c, m)).expect("valid");
+            prop_assert!(r.latency_s <= prev + 1e-15);
+            prev = r.latency_s;
+        }
+    }
+
+    /// More work (a strictly larger layer) never costs less at the same
+    /// setting.
+    #[test]
+    fn more_flops_cost_more(
+        layer in layer_strategy(),
+        target in target_strategy(),
+        factor in 1.1f64..10.0,
+    ) {
+        let dev = DeviceModel::for_target(target);
+        let dvfs = dev.default_dvfs();
+        let small = dev.layer_cost(&layer, &dvfs).expect("valid");
+        let mut bigger = layer;
+        bigger.flops *= factor;
+        bigger.act_bytes *= factor;
+        bigger.weight_bytes *= factor;
+        let big = dev.layer_cost(&bigger, &dvfs).expect("valid");
+        prop_assert!(big.latency_s >= small.latency_s);
+        prop_assert!(big.energy_j >= small.energy_j);
+    }
+
+    /// The invocation cost shrinks (in latency) as the compute ladder
+    /// climbs and is always positive.
+    #[test]
+    fn invoke_cost_scales_with_frequency(target in target_strategy()) {
+        let dev = DeviceModel::for_target(target);
+        let emc = dev.ladder().emc_steps() - 1;
+        let mut prev = f64::INFINITY;
+        for c in 0..dev.ladder().compute_steps() {
+            let r = dev.invoke_cost(&DvfsSetting::new(c, emc)).expect("valid");
+            prop_assert!(r.latency_s > 0.0 && r.latency_s <= prev);
+            prev = r.latency_s;
+        }
+    }
+
+    /// Ladder resolution round-trips: resolved frequencies are ascending
+    /// and within the declared bounds.
+    #[test]
+    fn ladder_resolution_is_consistent(target in target_strategy()) {
+        let dev = DeviceModel::for_target(target);
+        let ladder = dev.ladder();
+        let mut prev = 0.0;
+        for c in 0..ladder.compute_steps() {
+            let (fc, fm) = ladder.resolve(&DvfsSetting::new(c, 0)).expect("valid");
+            prop_assert!(fc > prev);
+            prop_assert!((fm - ladder.emc_ghz()[0]).abs() < 1e-12);
+            prev = fc;
+        }
+    }
+}

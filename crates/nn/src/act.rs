@@ -1,0 +1,141 @@
+use crate::{Layer, NnError, Param};
+use hadas_tensor::Tensor;
+
+/// Rectified linear unit: `y = max(0, x)`.
+#[derive(Debug, Default)]
+pub struct Relu {
+    cached_input: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        self.cached_input = Some(input.clone());
+        Ok(input.map(|x| x.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let input = self
+            .cached_input
+            .take()
+            .ok_or(NnError::BackwardBeforeForward { layer: "Relu" })?;
+        Ok(input.zip(grad_out, |x, g| if x > 0.0 { g } else { 0.0 })?)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "Relu"
+    }
+}
+
+/// Hard-swish activation, `y = x · relu6(x + 3) / 6` — the activation used
+/// inside MobileNetV3-style blocks such as AttentiveNAS's MBConv stages.
+#[derive(Debug, Default)]
+pub struct HSwish {
+    cached_input: Option<Tensor>,
+}
+
+impl HSwish {
+    /// Creates a hard-swish activation.
+    pub fn new() -> Self {
+        HSwish::default()
+    }
+
+    fn f(x: f32) -> f32 {
+        x * (x + 3.0).clamp(0.0, 6.0) / 6.0
+    }
+
+    fn df(x: f32) -> f32 {
+        if x <= -3.0 {
+            0.0
+        } else if x >= 3.0 {
+            1.0
+        } else {
+            (2.0 * x + 3.0) / 6.0
+        }
+    }
+}
+
+impl Layer for HSwish {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        self.cached_input = Some(input.clone());
+        Ok(input.map(HSwish::f))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let input = self
+            .cached_input
+            .take()
+            .ok_or(NnError::BackwardBeforeForward { layer: "HSwish" })?;
+        Ok(input.zip(grad_out, |x, g| g * HSwish::df(x))?)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "HSwish"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        let y = relu.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_gradient_masks_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 2.0], &[3]).unwrap();
+        relu.forward(&x).unwrap();
+        let g = relu.backward(&Tensor::ones(&[3])).unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn hswish_limits() {
+        // hswish(-4) = 0, hswish(4) = 4, hswish(0) = 0.
+        assert_eq!(HSwish::f(-4.0), 0.0);
+        assert_eq!(HSwish::f(4.0), 4.0);
+        assert_eq!(HSwish::f(0.0), 0.0);
+    }
+
+    #[test]
+    fn hswish_gradient_matches_finite_difference() {
+        let mut act = HSwish::new();
+        let xs = [-3.5, -1.0, 0.0, 1.3, 3.5];
+        let x = Tensor::from_vec(xs.to_vec(), &[5]).unwrap();
+        act.forward(&x).unwrap();
+        let g = act.backward(&Tensor::ones(&[5])).unwrap();
+        let eps = 1e-3;
+        for (i, &v) in xs.iter().enumerate() {
+            let num = (HSwish::f(v + eps) - HSwish::f(v - eps)) / (2.0 * eps);
+            assert!((num - g.as_slice()[i]).abs() < 1e-2, "at {v}");
+        }
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut relu = Relu::new();
+        assert!(relu.backward(&Tensor::ones(&[1])).is_err());
+        let mut hs = HSwish::new();
+        assert!(hs.backward(&Tensor::ones(&[1])).is_err());
+    }
+}

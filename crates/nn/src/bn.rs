@@ -1,0 +1,266 @@
+use crate::{Layer, NnError, Param};
+use hadas_tensor::Tensor;
+
+/// Batch normalisation over the channel axis of NCHW inputs.
+///
+/// In training mode it normalises with batch statistics and updates running
+/// estimates; in inference mode it uses the running estimates. Scale
+/// (`gamma`) and shift (`beta`) are trainable.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    channels: usize,
+    momentum: f32,
+    eps: f32,
+    training: bool,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    normalized: Tensor,
+    std_inv: Vec<f32>,
+    input_shape: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(Tensor::ones(&[channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            channels,
+            momentum: 0.1,
+            eps: 1e-5,
+            training: true,
+            cache: None,
+        }
+    }
+
+    /// Number of channels this layer normalises.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The running (inference-time) channel means.
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+}
+
+impl Layer for BatchNorm2d {
+    #[allow(clippy::needless_range_loop)]
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let dims = input.shape().dims().to_vec();
+        if dims.len() != 4 || dims[1] != self.channels {
+            return Err(NnError::Tensor(hadas_tensor::TensorError::ShapeMismatch {
+                left: dims.clone(),
+                right: vec![0, self.channels, 0, 0],
+            }));
+        }
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let count = (n * h * w) as f32;
+        let src = input.as_slice();
+
+        let (mean, var) = if self.training {
+            let mut mean = vec![0.0f32; c];
+            let mut var = vec![0.0f32; c];
+            for img in 0..n {
+                for ch in 0..c {
+                    let base = (img * c + ch) * h * w;
+                    for p in 0..h * w {
+                        mean[ch] += src[base + p];
+                    }
+                }
+            }
+            for m in &mut mean {
+                *m /= count;
+            }
+            for img in 0..n {
+                for ch in 0..c {
+                    let base = (img * c + ch) * h * w;
+                    for p in 0..h * w {
+                        let d = src[base + p] - mean[ch];
+                        var[ch] += d * d;
+                    }
+                }
+            }
+            for v in &mut var {
+                *v /= count;
+            }
+            for ch in 0..c {
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean[ch];
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var[ch];
+            }
+            (mean, var)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+
+        let std_inv: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let gamma = self.gamma.value().as_slice().to_vec();
+        let beta = self.beta.value().as_slice().to_vec();
+        let mut norm = vec![0.0f32; src.len()];
+        let mut out = vec![0.0f32; src.len()];
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * h * w;
+                for p in 0..h * w {
+                    let z = (src[base + p] - mean[ch]) * std_inv[ch];
+                    norm[base + p] = z;
+                    out[base + p] = gamma[ch] * z + beta[ch];
+                }
+            }
+        }
+        if self.training {
+            self.cache = Some(BnCache {
+                normalized: Tensor::from_vec(norm, &dims)?,
+                std_inv,
+                input_shape: dims.clone(),
+            });
+        }
+        Ok(Tensor::from_vec(out, &dims)?)
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let cache = self
+            .cache
+            .take()
+            .ok_or(NnError::BackwardBeforeForward { layer: "BatchNorm2d" })?;
+        let dims = cache.input_shape;
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let count = (n * h * w) as f32;
+        let g = grad_out.as_slice();
+        let z = cache.normalized.as_slice();
+
+        // Per-channel reductions.
+        let mut dgamma = vec![0.0f32; c];
+        let mut dbeta = vec![0.0f32; c];
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * h * w;
+                for p in 0..h * w {
+                    dgamma[ch] += g[base + p] * z[base + p];
+                    dbeta[ch] += g[base + p];
+                }
+            }
+        }
+        {
+            let dg = self.gamma.grad_mut().as_mut_slice();
+            let db = self.beta.grad_mut().as_mut_slice();
+            for ch in 0..c {
+                dg[ch] += dgamma[ch];
+                db[ch] += dbeta[ch];
+            }
+        }
+        // dx = (gamma * std_inv / count) * (count*g - dbeta - z*dgamma)
+        let gamma = self.gamma.value().as_slice().to_vec();
+        let mut dx = vec![0.0f32; g.len()];
+        for img in 0..n {
+            for ch in 0..c {
+                let k = gamma[ch] * cache.std_inv[ch] / count;
+                let base = (img * c + ch) * h * w;
+                for p in 0..h * w {
+                    dx[base + p] =
+                        k * (count * g[base + p] - dbeta[ch] - z[base + p] * dgamma[ch]);
+                }
+            }
+        }
+        Ok(Tensor::from_vec(dx, &dims)?)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn name(&self) -> &'static str {
+        "BatchNorm2d"
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_forward_normalizes_batch() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
+        let y = bn.forward(&x).unwrap();
+        // Each channel should have ~zero mean and ~unit variance.
+        for ch in 0..2 {
+            let s = &y.as_slice()[ch * 4..(ch + 1) * 4];
+            let mean: f32 = s.iter().sum::<f32>() / 4.0;
+            let var: f32 = s.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "channel {ch} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ch} var {var}");
+        }
+    }
+
+    #[test]
+    fn inference_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        // Train on a few batches to move running stats.
+        for _ in 0..50 {
+            let x = Tensor::from_vec(vec![4.0, 6.0, 4.0, 6.0], &[1, 1, 2, 2]).unwrap();
+            bn.forward(&x).unwrap();
+        }
+        bn.set_training(false);
+        // With running mean ~5, an input of 5 should map close to beta = 0.
+        let x = Tensor::full(&[1, 1, 2, 2], 5.0);
+        let y = bn.forward(&x).unwrap();
+        assert!(y.as_slice().iter().all(|&v| v.abs() < 0.2), "{:?}", y.as_slice());
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::from_vec(
+            vec![0.5, -1.0, 2.0, 0.1, -0.3, 1.2, 0.8, -0.9],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
+        let y = bn.forward(&x).unwrap();
+        // Loss = sum(y * w) with fixed w to make the gradient non-uniform.
+        let wv: Vec<f32> = (0..8).map(|i| (i as f32) / 4.0 - 1.0).collect();
+        let wt = Tensor::from_vec(wv, &[1, 2, 2, 2]).unwrap();
+        let _ = y;
+        let grad_in = bn.backward(&wt).unwrap();
+        let eps = 1e-2f32;
+        for idx in 0..8 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lp = bn.forward(&xp).unwrap().mul(&wt).unwrap().sum();
+            bn.cache = None;
+            let lm = bn.forward(&xm).unwrap().mul(&wt).unwrap().sum();
+            bn.cache = None;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grad_in.as_slice()[idx];
+            assert!((num - ana).abs() < 5e-2, "idx {idx}: numeric {num} vs analytic {ana}");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_channels() {
+        let mut bn = BatchNorm2d::new(3);
+        assert!(bn.forward(&Tensor::ones(&[1, 2, 2, 2])).is_err());
+    }
+}

@@ -1,0 +1,221 @@
+use crate::{Layer, NnError, Param};
+use hadas_tensor::{col2im, im2col, kaiming_uniform, Conv2dGeometry, Tensor};
+use rand::Rng;
+
+/// A 2-D convolution over NCHW inputs, implemented as `im2col` + matmul.
+///
+/// The kernel bank has shape `(c_out, c_in, k, k)`; the layer owns its
+/// geometry, so input spatial dimensions are fixed at construction (which is
+/// all an exit head needs — each head attaches at a known feature-map size).
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    c_in: usize,
+    c_out: usize,
+    geo: Conv2dGeometry,
+    cached_cols: Option<Tensor>,
+    cached_batch: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with seeded random weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the convolution geometry is invalid.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: Rng>(
+        rng: &mut R,
+        c_in: usize,
+        c_out: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self, NnError> {
+        let geo = Conv2dGeometry::new(in_h, in_w, kernel, stride, padding)?;
+        let fan_in = c_in * kernel * kernel;
+        let weight = Param::new(kaiming_uniform(rng, &[c_out, c_in * kernel * kernel], fan_in));
+        let bias = Param::new(Tensor::zeros(&[c_out]));
+        Ok(Conv2d { weight, bias, c_in, c_out, geo, cached_cols: None, cached_batch: 0 })
+    }
+
+    /// The convolution geometry (spatial sizes, kernel, stride, padding).
+    pub fn geometry(&self) -> &Conv2dGeometry {
+        &self.geo
+    }
+
+    /// Output channel count.
+    pub fn c_out(&self) -> usize {
+        self.c_out
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let dims = input.shape().dims();
+        if dims.len() != 4 || dims[1] != self.c_in {
+            return Err(NnError::Tensor(hadas_tensor::TensorError::ShapeMismatch {
+                left: dims.to_vec(),
+                right: vec![0, self.c_in, self.geo.in_h(), self.geo.in_w()],
+            }));
+        }
+        let n = dims[0];
+        let cols = im2col(input, &self.geo)?;
+        // (n*oh*ow, cin*k*k) · (cin*k*k, cout) = (n*oh*ow, cout)
+        let wt = self.weight.value().transpose()?;
+        let mut y = cols.matmul(&wt)?;
+        let rows = y.shape().dims()[0];
+        {
+            let b = self.bias.value().as_slice().to_vec();
+            let data = y.as_mut_slice();
+            for r in 0..rows {
+                for c in 0..self.c_out {
+                    data[r * self.c_out + c] += b[c];
+                }
+            }
+        }
+        self.cached_cols = Some(cols);
+        self.cached_batch = n;
+        // Reorder (n, oh, ow, cout) -> (n, cout, oh, ow).
+        let (oh, ow) = (self.geo.out_h(), self.geo.out_w());
+        let src = y.as_slice();
+        let mut out = vec![0.0f32; n * self.c_out * oh * ow];
+        for img in 0..n {
+            for p in 0..oh * ow {
+                for c in 0..self.c_out {
+                    out[((img * self.c_out + c) * oh * ow) + p] =
+                        src[(img * oh * ow + p) * self.c_out + c];
+                }
+            }
+        }
+        Ok(Tensor::from_vec(out, &[n, self.c_out, oh, ow])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let cols = self
+            .cached_cols
+            .take()
+            .ok_or(NnError::BackwardBeforeForward { layer: "Conv2d" })?;
+        let n = self.cached_batch;
+        let (oh, ow) = (self.geo.out_h(), self.geo.out_w());
+        // Reorder grad (n, cout, oh, ow) -> (n*oh*ow, cout).
+        let g = grad_out.as_slice();
+        let mut gm = vec![0.0f32; n * oh * ow * self.c_out];
+        for img in 0..n {
+            for c in 0..self.c_out {
+                for p in 0..oh * ow {
+                    gm[(img * oh * ow + p) * self.c_out + c] =
+                        g[(img * self.c_out + c) * oh * ow + p];
+                }
+            }
+        }
+        let grad_mat = Tensor::from_vec(gm, &[n * oh * ow, self.c_out])?;
+        // dW = grad_matᵀ · cols  -> (cout, cin*k*k)
+        let grad_w = grad_mat.transpose()?.matmul(&cols)?;
+        self.weight.grad_mut().axpy(1.0, &grad_w)?;
+        // db = column sums of grad_mat.
+        {
+            let db = self.bias.grad_mut().as_mut_slice();
+            let gm = grad_mat.as_slice();
+            let rows = n * oh * ow;
+            for r in 0..rows {
+                for c in 0..self.c_out {
+                    db[c] += gm[r * self.c_out + c];
+                }
+            }
+        }
+        // dX = col2im(grad_mat · W).
+        let grad_cols = grad_mat.matmul(self.weight.value())?;
+        let grad_in = col2im(&grad_cols, n, self.c_in, &self.geo)?;
+        Ok(grad_in)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn output_shape_follows_geometry() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(&mut rng, 3, 8, 16, 16, 3, 2, 1).unwrap();
+        let x = Tensor::ones(&[2, 3, 16, 16]);
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(&mut rng, 3, 8, 8, 8, 3, 1, 1).unwrap();
+        assert!(conv.forward(&Tensor::ones(&[1, 4, 8, 8])).is_err());
+    }
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(&mut rng, 1, 1, 4, 4, 1, 1, 0).unwrap();
+        // Force the single 1x1 weight to 1 and bias to 0.
+        conv.weight.value_mut().as_mut_slice()[0] = 1.0;
+        conv.bias.value_mut().as_mut_slice()[0] = 0.0;
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut conv = Conv2d::new(&mut rng, 2, 3, 5, 5, 3, 1, 1).unwrap();
+        let x = hadas_tensor::uniform(&mut rng, &[1, 2, 5, 5], -1.0, 1.0);
+        let y = conv.forward(&x).unwrap();
+        let grad_in = conv.backward(&Tensor::ones(y.shape().dims())).unwrap();
+        let eps = 1e-2f32;
+        // Spot-check a handful of coordinates (full sweep is slow in debug).
+        for idx in [0usize, 7, 13, 24, 31, 49] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lp = conv.forward(&xp).unwrap().sum();
+            let lm = conv.forward(&xm).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grad_in.as_slice()[idx];
+            assert!((num - ana).abs() < 5e-2, "idx {idx}: numeric {num} vs analytic {ana}");
+        }
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = Conv2d::new(&mut rng, 1, 2, 4, 4, 3, 1, 1).unwrap();
+        let x = hadas_tensor::uniform(&mut rng, &[1, 1, 4, 4], -1.0, 1.0);
+        let y = conv.forward(&x).unwrap();
+        conv.backward(&Tensor::ones(y.shape().dims())).unwrap();
+        let analytic = conv.weight.grad().clone();
+        let eps = 1e-2f32;
+        for idx in [0usize, 4, 8, 12, 17] {
+            let orig = conv.weight.value().as_slice()[idx];
+            conv.weight.value_mut().as_mut_slice()[idx] = orig + eps;
+            let lp = conv.forward(&x).unwrap().sum();
+            conv.weight.value_mut().as_mut_slice()[idx] = orig - eps;
+            let lm = conv.forward(&x).unwrap().sum();
+            conv.weight.value_mut().as_mut_slice()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = analytic.as_slice()[idx];
+            assert!((num - ana).abs() < 5e-2, "idx {idx}: numeric {num} vs analytic {ana}");
+        }
+    }
+}

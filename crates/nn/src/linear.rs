@@ -1,0 +1,157 @@
+use crate::{Layer, NnError, Param};
+use hadas_tensor::{kaiming_uniform, Tensor};
+use rand::Rng;
+
+/// A fully connected layer: `y = x · Wᵀ + b`.
+///
+/// Input is `(batch × in_features)`, output `(batch × out_features)`.
+/// Weights use Kaiming-uniform initialisation; biases start at zero.
+#[derive(Debug)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with seeded random weights.
+    pub fn new<R: Rng>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        let weight =
+            Param::new(kaiming_uniform(rng, &[out_features, in_features], in_features));
+        let bias = Param::new(Tensor::zeros(&[out_features]));
+        Linear { weight, bias, in_features, out_features, cached_input: None }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let y = input.linear(self.weight.value(), self.bias.value())?;
+        self.cached_input = Some(input.clone());
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let input = self
+            .cached_input
+            .take()
+            .ok_or(NnError::BackwardBeforeForward { layer: "Linear" })?;
+        // dW = gradᵀ · x ; db = column-sum of grad ; dx = grad · W
+        let grad_w = grad_out.transpose()?.matmul(&input)?;
+        self.weight.grad_mut().axpy(1.0, &grad_w)?;
+
+        let (batch, out) = (grad_out.shape().dims()[0], grad_out.shape().dims()[1]);
+        let g = grad_out.as_slice();
+        {
+            let db = self.bias.grad_mut().as_mut_slice();
+            for r in 0..batch {
+                for c in 0..out {
+                    db[c] += g[r * out + c];
+                }
+            }
+        }
+        let grad_in = grad_out.matmul(self.weight.value())?;
+        Ok(grad_in)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn finite_diff_check(batch: usize, inf: usize, outf: usize) {
+        // Numerically verify dL/dx for L = sum(y).
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut layer = Linear::new(&mut rng, inf, outf);
+        let x = hadas_tensor::uniform(&mut rng, &[batch, inf], -1.0, 1.0);
+        let y = layer.forward(&x).unwrap();
+        let grad_out = Tensor::ones(y.shape().dims());
+        let grad_in = layer.backward(&grad_out).unwrap();
+
+        let eps = 1e-3f32;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lp = layer.forward(&xp).unwrap().sum();
+            let lm = layer.forward(&xm).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grad_in.as_slice()[idx];
+            assert!((num - ana).abs() < 1e-2, "idx {idx}: numeric {num} vs analytic {ana}");
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        finite_diff_check(2, 3, 4);
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut layer = Linear::new(&mut rng, 3, 2);
+        let x = hadas_tensor::uniform(&mut rng, &[2, 3], -1.0, 1.0);
+        let y = layer.forward(&x).unwrap();
+        layer.backward(&Tensor::ones(y.shape().dims())).unwrap();
+        let analytic = layer.weight.grad().clone();
+
+        let eps = 1e-3f32;
+        for idx in 0..analytic.len() {
+            let orig = layer.weight.value().as_slice()[idx];
+            layer.weight.value_mut().as_mut_slice()[idx] = orig + eps;
+            let lp = layer.forward(&x).unwrap().sum();
+            layer.weight.value_mut().as_mut_slice()[idx] = orig - eps;
+            let lm = layer.forward(&x).unwrap().sum();
+            layer.weight.value_mut().as_mut_slice()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = analytic.as_slice()[idx];
+            assert!((num - ana).abs() < 1e-2, "idx {idx}: numeric {num} vs analytic {ana}");
+        }
+    }
+
+    #[test]
+    fn backward_without_forward_is_an_error() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = Linear::new(&mut rng, 2, 2);
+        let err = layer.backward(&Tensor::ones(&[1, 2])).unwrap_err();
+        assert!(matches!(err, NnError::BackwardBeforeForward { layer: "Linear" }));
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backward_calls() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = Linear::new(&mut rng, 2, 2);
+        let x = Tensor::ones(&[1, 2]);
+        for _ in 0..2 {
+            let y = layer.forward(&x).unwrap();
+            layer.backward(&Tensor::ones(y.shape().dims())).unwrap();
+        }
+        let double = layer.bias.grad().clone();
+        layer.bias.zero_grad();
+        let y = layer.forward(&x).unwrap();
+        layer.backward(&Tensor::ones(y.shape().dims())).unwrap();
+        let single = layer.bias.grad().clone();
+        assert_eq!(double, single.scale(2.0));
+    }
+}

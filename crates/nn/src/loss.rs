@@ -1,0 +1,226 @@
+//! Loss functions: negative log-likelihood, knowledge distillation, and
+//! the HADAS hybrid exit-training loss (paper eq. (4)).
+//!
+//! Every loss returns `(scalar_loss, gradient_wrt_logits)` so callers can
+//! feed the gradient straight into [`crate::Sequential::backward`].
+
+use crate::NnError;
+use hadas_tensor::Tensor;
+
+/// Cross-entropy (softmax + negative log-likelihood) from raw logits.
+///
+/// `logits` is `(batch × classes)`; `labels` holds one class index per row.
+/// Returns the mean loss over the batch and its gradient w.r.t. the logits.
+///
+/// # Errors
+///
+/// Returns [`NnError::LabelMismatch`] if `labels.len()` differs from the
+/// batch size, or [`NnError::LabelOutOfRange`] for an invalid class index.
+pub fn nll_loss(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor), NnError> {
+    let dims = logits.shape().dims();
+    if dims.len() != 2 {
+        return Err(NnError::Tensor(hadas_tensor::TensorError::RankMismatch {
+            expected: 2,
+            got: dims.len(),
+        }));
+    }
+    let (batch, classes) = (dims[0], dims[1]);
+    if labels.len() != batch {
+        return Err(NnError::LabelMismatch { batch, labels: labels.len() });
+    }
+    for &l in labels {
+        if l >= classes {
+            return Err(NnError::LabelOutOfRange { label: l, classes });
+        }
+    }
+    let probs = logits.softmax_rows()?;
+    let p = probs.as_slice();
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    {
+        let g = grad.as_mut_slice();
+        for (r, &label) in labels.iter().enumerate() {
+            let pr = p[r * classes + label].max(1e-12);
+            loss -= pr.ln();
+            g[r * classes + label] -= 1.0;
+        }
+        for v in g.iter_mut() {
+            *v /= batch as f32;
+        }
+    }
+    Ok((loss / batch as f32, grad))
+}
+
+/// Knowledge-distillation loss: KL divergence from the teacher's softened
+/// distribution to the student's, at temperature `temp`, scaled by `temp²`
+/// (the standard Hinton correction so gradients stay comparable).
+///
+/// Both tensors are `(batch × classes)` logits. The gradient is w.r.t. the
+/// *student* logits; the teacher is treated as a constant.
+///
+/// # Errors
+///
+/// Returns a shape error if the operands disagree.
+pub fn kd_loss(
+    student_logits: &Tensor,
+    teacher_logits: &Tensor,
+    temp: f32,
+) -> Result<(f32, Tensor), NnError> {
+    if student_logits.shape() != teacher_logits.shape() {
+        return Err(NnError::Tensor(hadas_tensor::TensorError::ShapeMismatch {
+            left: student_logits.shape().dims().to_vec(),
+            right: teacher_logits.shape().dims().to_vec(),
+        }));
+    }
+    let dims = student_logits.shape().dims();
+    let (batch, classes) = (dims[0], dims[1]);
+    let ps = student_logits.scale(1.0 / temp).softmax_rows()?;
+    let pt = teacher_logits.scale(1.0 / temp).softmax_rows()?;
+    let s = ps.as_slice();
+    let t = pt.as_slice();
+    let mut loss = 0.0f32;
+    for i in 0..batch * classes {
+        if t[i] > 0.0 {
+            loss += t[i] * (t[i].max(1e-12).ln() - s[i].max(1e-12).ln());
+        }
+    }
+    loss = loss * temp * temp / batch as f32;
+    // d/d(student logits) of KL(t || softmax(z/T)) * T^2 = T * (s - t) ... / batch
+    let mut grad = Tensor::zeros(dims);
+    {
+        let g = grad.as_mut_slice();
+        for i in 0..batch * classes {
+            g[i] = temp * (s[i] - t[i]) / batch as f32;
+        }
+    }
+    Ok((loss, grad))
+}
+
+/// The HADAS hybrid exit-training loss of paper eq. (4): for each exit `m`,
+/// the sum of its cross-entropy against the labels and its distillation
+/// loss against the final classifier, averaged over exits.
+///
+/// Returns the combined scalar and one gradient tensor per exit (in the
+/// order given), each to be fed into that exit head's backward pass.
+///
+/// # Errors
+///
+/// Propagates errors from the underlying losses; also checks that at least
+/// one exit is supplied.
+pub fn hybrid_exit_loss(
+    exit_logits: &[Tensor],
+    final_logits: &Tensor,
+    labels: &[usize],
+    kd_temp: f32,
+) -> Result<(f32, Vec<Tensor>), NnError> {
+    if exit_logits.is_empty() {
+        return Err(NnError::LabelMismatch { batch: 0, labels: labels.len() });
+    }
+    let m = exit_logits.len() as f32;
+    let mut total = 0.0f32;
+    let mut grads = Vec::with_capacity(exit_logits.len());
+    for logits in exit_logits {
+        let (l_nll, g_nll) = nll_loss(logits, labels)?;
+        let (l_kd, g_kd) = kd_loss(logits, final_logits, kd_temp)?;
+        total += (l_nll + l_kd) / m;
+        let mut g = g_nll;
+        g.axpy(1.0, &g_kd)?;
+        grads.push(g.scale(1.0 / m));
+    }
+    Ok((total, grads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nll_is_low_for_confident_correct_prediction() {
+        let good = Tensor::from_vec(vec![10.0, 0.0, 0.0], &[1, 3]).unwrap();
+        let bad = Tensor::from_vec(vec![0.0, 10.0, 0.0], &[1, 3]).unwrap();
+        let (lg, _) = nll_loss(&good, &[0]).unwrap();
+        let (lb, _) = nll_loss(&bad, &[0]).unwrap();
+        assert!(lg < 0.01);
+        assert!(lb > 5.0);
+    }
+
+    #[test]
+    fn nll_gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.5, -0.2, 1.3, 0.0, 0.7, -1.0], &[2, 3]).unwrap();
+        let labels = [2usize, 1];
+        let (_, grad) = nll_loss(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let (flp, _) = nll_loss(&lp, &labels).unwrap();
+            let (flm, _) = nll_loss(&lm, &labels).unwrap();
+            let num = (flp - flm) / (2.0 * eps);
+            assert!((num - grad.as_slice()[idx]).abs() < 1e-3, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn nll_validates_labels() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(matches!(nll_loss(&logits, &[0]), Err(NnError::LabelMismatch { .. })));
+        assert!(matches!(nll_loss(&logits, &[0, 3]), Err(NnError::LabelOutOfRange { .. })));
+    }
+
+    #[test]
+    fn kd_loss_is_zero_when_student_equals_teacher() {
+        let t = Tensor::from_vec(vec![1.0, -0.5, 0.3, 2.0, 0.0, -1.0], &[2, 3]).unwrap();
+        let (loss, grad) = kd_loss(&t, &t, 4.0).unwrap();
+        assert!(loss.abs() < 1e-6);
+        assert!(grad.norm_sq() < 1e-10);
+    }
+
+    #[test]
+    fn kd_loss_is_positive_when_distributions_differ() {
+        let s = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]).unwrap();
+        let t = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]).unwrap();
+        let (loss, _) = kd_loss(&s, &t, 2.0).unwrap();
+        assert!(loss > 0.0);
+    }
+
+    #[test]
+    fn kd_gradient_matches_finite_difference() {
+        let s = Tensor::from_vec(vec![0.2, -0.4, 0.9, -0.1], &[1, 4]).unwrap();
+        let t = Tensor::from_vec(vec![1.0, 0.3, -0.6, 0.2], &[1, 4]).unwrap();
+        let temp = 3.0;
+        let (_, grad) = kd_loss(&s, &t, temp).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..4 {
+            let mut sp = s.clone();
+            sp.as_mut_slice()[idx] += eps;
+            let mut sm = s.clone();
+            sm.as_mut_slice()[idx] -= eps;
+            let (flp, _) = kd_loss(&sp, &t, temp).unwrap();
+            let (flm, _) = kd_loss(&sm, &t, temp).unwrap();
+            let num = (flp - flm) / (2.0 * eps);
+            assert!((num - grad.as_slice()[idx]).abs() < 1e-3, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn hybrid_loss_averages_over_exits() {
+        let e1 = Tensor::from_vec(vec![2.0, 0.0], &[1, 2]).unwrap();
+        let e2 = Tensor::from_vec(vec![0.0, 2.0], &[1, 2]).unwrap();
+        let teacher = Tensor::from_vec(vec![3.0, 0.0], &[1, 2]).unwrap();
+        let (single, _) =
+            hybrid_exit_loss(std::slice::from_ref(&e1), &teacher, &[0], 4.0).unwrap();
+        let (double, grads) =
+            hybrid_exit_loss(&[e1.clone(), e2], &teacher, &[0], 4.0).unwrap();
+        assert_eq!(grads.len(), 2);
+        // The good exit alone has a lower loss than the good+bad average.
+        assert!(single < double);
+    }
+
+    #[test]
+    fn hybrid_loss_rejects_empty_exits() {
+        let teacher = Tensor::zeros(&[1, 2]);
+        assert!(hybrid_exit_loss(&[], &teacher, &[0], 4.0).is_err());
+    }
+}

@@ -1,0 +1,147 @@
+use crate::{Layer, NnError, Param};
+use hadas_tensor::Tensor;
+
+/// Non-overlapping 2-D max pooling over NCHW inputs.
+///
+/// Backward routes each output gradient to the argmax position of its
+/// window (ties to the first occurrence, matching common frameworks).
+#[derive(Debug)]
+pub struct MaxPool2d {
+    window: usize,
+    cache: Option<PoolCache>,
+}
+
+#[derive(Debug)]
+struct PoolCache {
+    input_shape: Vec<usize>,
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer with a square `window` (also the stride).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "pooling window must be positive");
+        MaxPool2d { window, cache: None }
+    }
+
+    /// The window side length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let dims = input.shape().dims().to_vec();
+        if dims.len() != 4 {
+            return Err(NnError::Tensor(hadas_tensor::TensorError::RankMismatch {
+                expected: 4,
+                got: dims.len(),
+            }));
+        }
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let k = self.window;
+        if h < k || w < k {
+            return Err(NnError::Tensor(hadas_tensor::TensorError::InvalidGeometry(
+                format!("window {k} exceeds input {h}x{w}"),
+            )));
+        }
+        let (oh, ow) = (h / k, w / k);
+        let src = input.as_slice();
+        let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let oidx = ((img * c + ch) * oh + oy) * ow + ox;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let idx = base + (oy * k + ky) * w + (ox * k + kx);
+                                if src[idx] > out[oidx] {
+                                    out[oidx] = src[idx];
+                                    argmax[oidx] = idx;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.cache = Some(PoolCache { input_shape: dims, argmax });
+        Ok(Tensor::from_vec(out, &[n, c, oh, ow])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let cache = self
+            .cache
+            .take()
+            .ok_or(NnError::BackwardBeforeForward { layer: "MaxPool2d" })?;
+        let mut dx = Tensor::zeros(&cache.input_shape);
+        let d = dx.as_mut_slice();
+        for (g, &idx) in grad_out.as_slice().iter().zip(cache.argmax.iter()) {
+            d[idx] += g;
+        }
+        Ok(dx)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pooling_takes_window_maxima() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = pool.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax_only() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        pool.forward(&x).unwrap();
+        let g = pool.backward(&Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]).unwrap()).unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn odd_sizes_truncate() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::ones(&[1, 1, 5, 5]);
+        let y = pool.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn oversized_window_is_rejected() {
+        let mut pool = MaxPool2d::new(4);
+        assert!(pool.forward(&Tensor::ones(&[1, 1, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut pool = MaxPool2d::new(2);
+        assert!(pool.backward(&Tensor::ones(&[1, 1, 1, 1])).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+use crate::Param;
+use hadas_tensor::Tensor;
+
+/// Stochastic gradient descent with classical momentum and L2 weight decay.
+///
+/// Velocity buffers are keyed by position in the parameter list, so the
+/// same optimizer must be fed the same parameter ordering every step (which
+/// [`crate::Sequential::params_mut`] guarantees).
+///
+/// ```
+/// use hadas_nn::{Param, Sgd};
+/// use hadas_tensor::Tensor;
+///
+/// let mut p = Param::new(Tensor::full(&[1], 1.0));
+/// p.grad_mut().as_mut_slice()[0] = 0.5;
+/// let mut opt = Sgd::new(0.1, 0.0, 0.0);
+/// opt.step(vec![&mut p]);
+/// assert!((p.value().as_slice()[0] - 0.95).abs() < 1e-6);
+/// ```
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive — a non-positive learning rate is a
+    /// configuration bug, not a runtime condition.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd { lr, momentum, weight_decay, velocity: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one update step to `params` using their accumulated
+    /// gradients. Gradients are *not* zeroed; call
+    /// [`crate::Sequential::zero_grad`] before the next accumulation.
+    pub fn step(&mut self, params: Vec<&mut Param>) {
+        if self.velocity.len() < params.len() {
+            for p in params.iter().skip(self.velocity.len()) {
+                self.velocity.push(Tensor::zeros(p.value().shape().dims()));
+            }
+        }
+        for (i, p) in params.into_iter().enumerate() {
+            let wd = self.weight_decay;
+            let g: Vec<f32> = p
+                .grad()
+                .as_slice()
+                .iter()
+                .zip(p.value().as_slice().iter())
+                .map(|(&g, &w)| g + wd * w)
+                .collect();
+            let v = self.velocity[i].as_mut_slice();
+            let w = p.value_mut().as_mut_slice();
+            for j in 0..w.len() {
+                v[j] = self.momentum * v[j] + g[j];
+                w[j] -= self.lr * v[j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_sgd_descends_quadratic() {
+        // Minimise f(w) = (w - 3)^2 by hand-computing grads.
+        let mut p = Param::new(Tensor::zeros(&[1]));
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        for _ in 0..100 {
+            let w = p.value().as_slice()[0];
+            p.zero_grad();
+            p.grad_mut().as_mut_slice()[0] = 2.0 * (w - 3.0);
+            opt.step(vec![&mut p]);
+        }
+        assert!((p.value().as_slice()[0] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let run = |momentum: f32| {
+            let mut p = Param::new(Tensor::zeros(&[1]));
+            let mut opt = Sgd::new(0.01, momentum, 0.0);
+            for _ in 0..50 {
+                let w = p.value().as_slice()[0];
+                p.zero_grad();
+                p.grad_mut().as_mut_slice()[0] = 2.0 * (w - 3.0);
+                opt.step(vec![&mut p]);
+            }
+            (p.value().as_slice()[0] - 3.0).abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut p = Param::new(Tensor::full(&[1], 10.0));
+        let mut opt = Sgd::new(0.1, 0.0, 0.5);
+        // Zero task gradient: only decay acts.
+        opt.step(vec![&mut p]);
+        assert!(p.value().as_slice()[0] < 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn zero_lr_is_rejected() {
+        let _ = Sgd::new(0.0, 0.9, 0.0);
+    }
+}

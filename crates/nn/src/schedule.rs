@@ -1,0 +1,121 @@
+//! Learning-rate schedules: step decay and cosine annealing, applied to
+//! [`crate::Sgd`] between epochs.
+
+use crate::Sgd;
+
+/// A learning-rate schedule: maps a step index to a rate.
+pub trait LrSchedule: std::fmt::Debug {
+    /// The learning rate for step `step` (0-based).
+    fn lr_at(&self, step: usize) -> f32;
+
+    /// Applies the rate for `step` to an optimizer.
+    fn apply(&self, opt: &mut Sgd, step: usize) {
+        opt.set_lr(self.lr_at(step));
+    }
+}
+
+/// Multiplies the base rate by `gamma` every `period` steps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepDecay {
+    base: f32,
+    gamma: f32,
+    period: usize,
+}
+
+impl StepDecay {
+    /// Creates a step-decay schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive base/gamma or a zero period.
+    pub fn new(base: f32, gamma: f32, period: usize) -> Self {
+        assert!(base > 0.0 && gamma > 0.0, "rates must be positive");
+        assert!(period > 0, "period must be positive");
+        StepDecay { base, gamma, period }
+    }
+}
+
+impl LrSchedule for StepDecay {
+    fn lr_at(&self, step: usize) -> f32 {
+        self.base * self.gamma.powi((step / self.period) as i32)
+    }
+}
+
+/// Cosine annealing from the base rate down to `floor` over `total` steps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosineAnnealing {
+    base: f32,
+    floor: f32,
+    total: usize,
+}
+
+impl CosineAnnealing {
+    /// Creates a cosine schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base <= floor`, either is non-positive, or `total == 0`.
+    pub fn new(base: f32, floor: f32, total: usize) -> Self {
+        assert!(base > floor && floor > 0.0, "need base > floor > 0");
+        assert!(total > 0, "total steps must be positive");
+        CosineAnnealing { base, floor, total }
+    }
+}
+
+impl LrSchedule for CosineAnnealing {
+    fn lr_at(&self, step: usize) -> f32 {
+        let t = (step.min(self.total) as f32) / (self.total as f32);
+        self.floor
+            + 0.5 * (self.base - self.floor) * (1.0 + (std::f32::consts::PI * t).cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Param;
+    use hadas_tensor::Tensor;
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = StepDecay::new(0.1, 0.5, 10);
+        assert_eq!(s.lr_at(0), 0.1);
+        assert_eq!(s.lr_at(9), 0.1);
+        assert!((s.lr_at(10) - 0.05).abs() < 1e-9);
+        assert!((s.lr_at(25) - 0.025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_spans_base_to_floor_monotonically() {
+        let s = CosineAnnealing::new(0.1, 0.001, 100);
+        assert!((s.lr_at(0) - 0.1).abs() < 1e-6);
+        assert!((s.lr_at(100) - 0.001).abs() < 1e-6);
+        let mut prev = f32::INFINITY;
+        for step in 0..=100 {
+            let lr = s.lr_at(step);
+            assert!(lr <= prev + 1e-9, "cosine must decay monotonically");
+            prev = lr;
+        }
+        // Past the horizon the rate stays at the floor.
+        assert_eq!(s.lr_at(500), s.lr_at(100));
+    }
+
+    #[test]
+    fn apply_updates_the_optimizer() {
+        let s = StepDecay::new(0.2, 0.1, 1);
+        let mut opt = Sgd::new(1.0, 0.0, 0.0);
+        s.apply(&mut opt, 2);
+        assert!((opt.lr() - 0.002).abs() < 1e-9);
+        // The next step uses the scheduled rate.
+        let mut p = Param::new(Tensor::full(&[1], 1.0));
+        p.grad_mut().as_mut_slice()[0] = 1.0;
+        opt.step(vec![&mut p]);
+        assert!((p.value().as_slice()[0] - 0.998).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "base > floor")]
+    fn cosine_rejects_inverted_range() {
+        let _ = CosineAnnealing::new(0.001, 0.1, 10);
+    }
+}

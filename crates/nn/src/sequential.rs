@@ -1,0 +1,173 @@
+use crate::{NnError, Param};
+use hadas_tensor::Tensor;
+
+/// A differentiable network layer.
+///
+/// Layers cache whatever they need from `forward` so that `backward` can
+/// compute input gradients and accumulate parameter gradients. The trait is
+/// object-safe; networks are built as `Vec<Box<dyn Layer>>` inside
+/// [`Sequential`].
+pub trait Layer: std::fmt::Debug + Send {
+    /// Computes the layer output for `input`, caching activations for the
+    /// subsequent backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError>;
+
+    /// Propagates `grad_out` (gradient of the loss w.r.t. this layer's
+    /// output) back to the input, accumulating parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BackwardBeforeForward`] if no forward pass has
+    /// been cached, or a shape error if `grad_out` is inconsistent.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError>;
+
+    /// The layer's trainable parameters (may be empty).
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Human-readable layer name, used in error messages.
+    fn name(&self) -> &'static str;
+
+    /// Switches between training and inference behaviour (batch norm uses
+    /// batch statistics when training, running statistics otherwise).
+    fn set_training(&mut self, _training: bool) {}
+}
+
+/// An ordered stack of layers executed front to back.
+///
+/// ```
+/// use hadas_nn::{Linear, Relu, Sequential};
+/// use hadas_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), hadas_nn::NnError> {
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut net = Sequential::new();
+/// net.push(Linear::new(&mut rng, 8, 4));
+/// net.push(Relu::new());
+/// let y = net.forward(&Tensor::ones(&[2, 8]))?;
+/// assert_eq!(y.shape().dims(), &[2, 4]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer to the end of the stack.
+    pub fn push<L: Layer + 'static>(&mut self, layer: L) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Runs the full forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error encountered.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// Runs the full backward pass from the loss gradient at the output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error encountered.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    /// All trainable parameters across all layers.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+
+    /// Switches every layer between training and inference mode.
+    pub fn set_training(&mut self, training: bool) {
+        for layer in &mut self.layers {
+            layer.set_training(training);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Relu};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn empty_network_is_identity() {
+        let mut net = Sequential::new();
+        let x = Tensor::ones(&[2, 3]);
+        assert_eq!(net.forward(&x).unwrap(), x);
+        assert_eq!(net.param_count(), 0);
+    }
+
+    #[test]
+    fn forward_chains_layers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Sequential::new();
+        net.push(Linear::new(&mut rng, 3, 5));
+        net.push(Relu::new());
+        net.push(Linear::new(&mut rng, 5, 2));
+        let y = net.forward(&Tensor::ones(&[4, 3])).unwrap();
+        assert_eq!(y.shape().dims(), &[4, 2]);
+        // params: 3*5 + 5 + 5*2 + 2
+        assert_eq!(net.param_count(), 32);
+    }
+
+    #[test]
+    fn zero_grad_resets_all_layers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Sequential::new();
+        net.push(Linear::new(&mut rng, 2, 2));
+        let y = net.forward(&Tensor::ones(&[1, 2])).unwrap();
+        net.backward(&Tensor::ones(y.shape().dims())).unwrap();
+        let has_grad = net.params_mut().iter().any(|p| p.grad().norm_sq() > 0.0);
+        assert!(has_grad);
+        net.zero_grad();
+        let all_zero = net.params_mut().iter().all(|p| p.grad().norm_sq() == 0.0);
+        assert!(all_zero);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based gradient checking: every layer's analytical backward
+//! pass must match central finite differences on random inputs and random
+//! layer configurations — the single most important invariant of a
+//! training framework.
+
+use hadas_nn::{BatchNorm2d, Conv2d, GlobalAvgPool, HSwish, Linear, Relu, Sequential};
+use hadas_tensor::Tensor;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Checks dL/dx for L = Σ (w ⊙ f(x)) against finite differences, where w
+/// is a fixed random weighting making the gradient non-uniform.
+fn gradcheck_input(net: &mut Sequential, x: &Tensor, seed: u64, tol: f32) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let y = net.forward(x).map_err(|e| e.to_string())?;
+    let w = hadas_tensor::uniform(&mut rng, y.shape().dims(), -1.0, 1.0);
+    let grad_in = net.backward(&w).map_err(|e| e.to_string())?;
+    let eps = 2e-3f32;
+    // Spot-check a deterministic subset of coordinates. Central
+    // differences lie when the perturbation crosses a ReLU/HSwish kink,
+    // so a small fraction of outliers is tolerated; systematic gradient
+    // bugs fail many coordinates at once.
+    let stride = (x.len() / 12).max(1);
+    let mut checked = 0usize;
+    let mut failures = Vec::new();
+    for idx in (0..x.len()).step_by(stride) {
+        let mut xp = x.clone();
+        xp.as_mut_slice()[idx] += eps;
+        let mut xm = x.clone();
+        xm.as_mut_slice()[idx] -= eps;
+        let lp = net.forward(&xp).map_err(|e| e.to_string())?.mul(&w).unwrap().sum();
+        let lm = net.forward(&xm).map_err(|e| e.to_string())?.mul(&w).unwrap().sum();
+        let num = (lp - lm) / (2.0 * eps);
+        let ana = grad_in.as_slice()[idx];
+        checked += 1;
+        if (num - ana).abs() > tol * (1.0 + num.abs()) {
+            failures.push(format!("idx {idx}: numeric {num} vs analytic {ana}"));
+        }
+    }
+    let allowed = (checked / 5).max(1);
+    if failures.len() > allowed {
+        return Err(format!(
+            "{}/{} coordinates disagree (allowed {allowed}): {}",
+            failures.len(),
+            checked,
+            failures.join("; ")
+        ));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn linear_stack_gradcheck(
+        in_f in 2usize..6,
+        hidden in 2usize..8,
+        out_f in 2usize..5,
+        batch in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new();
+        net.push(Linear::new(&mut rng, in_f, hidden));
+        net.push(Relu::new());
+        net.push(Linear::new(&mut rng, hidden, out_f));
+        let x = hadas_tensor::uniform(&mut rng, &[batch, in_f], -1.0, 1.0);
+        prop_assert!(gradcheck_input(&mut net, &x, seed ^ 1, 0.05).is_ok());
+    }
+
+    #[test]
+    fn conv_gradcheck(
+        c_in in 1usize..3,
+        c_out in 1usize..4,
+        size in 3usize..6,
+        kernel in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(size + 2 >= kernel);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(&mut rng, c_in, c_out, size, size, kernel, 1, 1).unwrap());
+        let x = hadas_tensor::uniform(&mut rng, &[1, c_in, size, size], -1.0, 1.0);
+        prop_assert!(gradcheck_input(&mut net, &x, seed ^ 2, 0.08).is_ok());
+    }
+
+    #[test]
+    fn hswish_gradcheck(
+        size in 2usize..16,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new();
+        net.push(HSwish::new());
+        let x = hadas_tensor::uniform(&mut rng, &[1, size], -4.0, 4.0);
+        // Exclude kink neighbourhoods at ±3 where finite differences lie.
+        prop_assume!(x.as_slice().iter().all(|v| (v.abs() - 3.0).abs() > 0.05));
+        prop_assert!(gradcheck_input(&mut net, &x, seed ^ 3, 0.05).is_ok());
+    }
+
+    #[test]
+    fn full_exit_head_shape_gradcheck(
+        c_in in 2usize..5,
+        size in 3usize..6,
+        classes in 2usize..5,
+        seed in 0u64..200,
+    ) {
+        // Conv -> GAP -> Linear (batch norm checked separately: its batch
+        // statistics make the loss non-local in the input).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(&mut rng, c_in, 4, size, size, 3, 1, 1).unwrap());
+        net.push(Relu::new());
+        net.push(GlobalAvgPool::new());
+        net.push(Linear::new(&mut rng, 4, classes));
+        let x = hadas_tensor::uniform(&mut rng, &[2, c_in, size, size], -1.0, 1.0);
+        prop_assert!(gradcheck_input(&mut net, &x, seed ^ 4, 0.08).is_ok());
+    }
+
+    #[test]
+    fn batchnorm_gradcheck(
+        channels in 1usize..4,
+        size in 2usize..5,
+        seed in 0u64..200,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new();
+        net.push(BatchNorm2d::new(channels));
+        let x = hadas_tensor::uniform(&mut rng, &[2, channels, size, size], -2.0, 2.0);
+        prop_assert!(gradcheck_input(&mut net, &x, seed ^ 5, 0.1).is_ok());
+    }
+}

@@ -1,0 +1,82 @@
+use serde::{Deserialize, Serialize};
+
+/// A simple battery: a charge reservoir drained per inference.
+///
+/// State of charge (SoC) is the system-state signal the paper's intro
+/// names as a driver for runtime adaptation; [`crate::SocPolicy`] keys
+/// its mode switching off it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    capacity_j: f64,
+    charge_j: f64,
+}
+
+impl Battery {
+    /// A battery with `capacity_j` joules, initially full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not positive.
+    pub fn new(capacity_j: f64) -> Self {
+        assert!(capacity_j > 0.0, "battery capacity must be positive");
+        Battery { capacity_j, charge_j: capacity_j }
+    }
+
+    /// Total capacity in joules.
+    pub fn capacity_j(&self) -> f64 {
+        self.capacity_j
+    }
+
+    /// Remaining charge in joules.
+    pub fn charge_j(&self) -> f64 {
+        self.charge_j
+    }
+
+    /// State of charge in `[0, 1]`.
+    pub fn soc(&self) -> f64 {
+        self.charge_j / self.capacity_j
+    }
+
+    /// Whether the battery is depleted.
+    pub fn is_empty(&self) -> bool {
+        self.charge_j <= 0.0
+    }
+
+    /// Drains `energy_j`; returns `false` if the battery was exhausted by
+    /// the draw (charge clamps at zero).
+    pub fn drain(&mut self, energy_j: f64) -> bool {
+        self.charge_j -= energy_j.max(0.0);
+        if self.charge_j <= 0.0 {
+            self.charge_j = 0.0;
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soc_tracks_drain() {
+        let mut b = Battery::new(100.0);
+        assert_eq!(b.soc(), 1.0);
+        assert!(b.drain(25.0));
+        assert!((b.soc() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drain_clamps_at_zero() {
+        let mut b = Battery::new(10.0);
+        assert!(!b.drain(15.0));
+        assert_eq!(b.charge_j(), 0.0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = Battery::new(0.0);
+    }
+}

@@ -1,0 +1,202 @@
+use hadas::{DynamicFitness, Hadas, HadasError, OoeOutcome};
+use hadas_exits::{exit_head_cost, ExitPlacement};
+use hadas_hw::{CostReport, DvfsSetting};
+use hadas_space::Subnet;
+
+/// One deployable configuration: a backbone with exits, a DVFS setting,
+/// and everything precomputed for per-arrival serving (capability
+/// thresholds and cumulative exit costs).
+#[derive(Debug, Clone)]
+pub struct OperatingMode {
+    /// Human-readable name ("performance", "eco", ...).
+    pub name: String,
+    subnet: Subnet,
+    placement: ExitPlacement,
+    dvfs: DvfsSetting,
+    exit_thresholds: Vec<f64>,
+    final_threshold: f64,
+    exit_costs: Vec<CostReport>,
+    full_cost: CostReport,
+    expected: DynamicFitness,
+}
+
+/// Outcome of serving one arrival in a mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeOutcome {
+    /// Cost actually paid.
+    pub cost: CostReport,
+    /// Whether the prediction was correct.
+    pub correct: bool,
+    /// Exit index taken (`None` = ran to the final classifier).
+    pub exit: Option<usize>,
+}
+
+impl OperatingMode {
+    /// Precomputes a mode from a joint-space point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hardware errors for invalid settings.
+    pub fn from_model(
+        hadas: &Hadas,
+        name: impl Into<String>,
+        subnet: Subnet,
+        placement: ExitPlacement,
+        dvfs: DvfsSetting,
+    ) -> Result<Self, HadasError> {
+        let device = hadas.device();
+        let accuracy = hadas.accuracy();
+        let fractions = accuracy.joint_exit_fractions(&subnet, placement.positions());
+        let exit_thresholds: Vec<f64> =
+            fractions.iter().map(|&n| accuracy.difficulty().quantile(n)).collect();
+        let final_threshold = accuracy.final_threshold(&subnet);
+        let mut exit_costs = Vec::with_capacity(placement.len());
+        let mut heads = CostReport::zero();
+        for &p in placement.positions() {
+            heads = heads + device.layer_cost(&exit_head_cost(&subnet, p), &dvfs)?;
+            let prefix = device.prefix_cost(&subnet, p, &dvfs)?;
+            exit_costs.push(prefix + heads);
+        }
+        let full_cost = device.subnet_cost(&subnet, &dvfs)? + heads;
+        let expected = hadas::DynamicModel::new(subnet.clone(), placement.clone(), dvfs)
+            .evaluate(accuracy, device, 1.0, true)?
+            .fitness;
+        Ok(OperatingMode {
+            name: name.into(),
+            subnet,
+            placement,
+            dvfs,
+            exit_thresholds,
+            final_threshold,
+            exit_costs,
+            full_cost,
+            expected,
+        })
+    }
+
+    /// The backbone this mode deploys.
+    pub fn subnet(&self) -> &Subnet {
+        &self.subnet
+    }
+
+    /// The exit placement.
+    pub fn placement(&self) -> &ExitPlacement {
+        &self.placement
+    }
+
+    /// The pinned DVFS setting.
+    pub fn dvfs(&self) -> &DvfsSetting {
+        &self.dvfs
+    }
+
+    /// The design-time expected fitness of this mode.
+    pub fn expected(&self) -> &DynamicFitness {
+        &self.expected
+    }
+
+    /// Serves one input of the given difficulty under the ideal mapping
+    /// policy: first capable exit wins; incapable inputs run the full
+    /// model and are correct only if the final classifier covers them.
+    pub fn serve(&self, difficulty: f64) -> ServeOutcome {
+        for (k, &t) in self.exit_thresholds.iter().enumerate() {
+            if difficulty <= t {
+                return ServeOutcome { cost: self.exit_costs[k], correct: true, exit: Some(k) };
+            }
+        }
+        ServeOutcome {
+            cost: self.full_cost,
+            correct: difficulty <= self.final_threshold,
+            exit: None,
+        }
+    }
+}
+
+/// Extracts `k` evenly spread operating modes from a joint-search outcome,
+/// ordered most-accurate first ("performance") down to most-frugal
+/// ("eco"). Modes come from the Pareto set over (accuracy, −energy).
+///
+/// # Errors
+///
+/// Returns [`HadasError::InvalidConfig`] if the outcome has no Pareto
+/// models, or propagates mode-construction errors.
+pub fn modes_from_pareto(
+    hadas: &Hadas,
+    outcome: &OoeOutcome,
+    k: usize,
+) -> Result<Vec<OperatingMode>, HadasError> {
+    let mut models = outcome.pareto_models();
+    if models.is_empty() {
+        return Err(HadasError::InvalidConfig("no pareto models to deploy".into()));
+    }
+    models.sort_by(|a, b| b.dynamic.accuracy_pct.total_cmp(&a.dynamic.accuracy_pct));
+    let k = k.clamp(1, models.len());
+    let mut modes = Vec::with_capacity(k);
+    for i in 0..k {
+        // Evenly spaced indices across the sorted front.
+        let idx = if k == 1 { 0 } else { i * (models.len() - 1) / (k - 1) };
+        let m = &models[idx];
+        let name = match (i, k) {
+            (0, _) => "performance".to_string(),
+            (i, k) if i + 1 == k => "eco".to_string(),
+            _ => format!("balanced{i}"),
+        };
+        modes.push(OperatingMode::from_model(
+            hadas,
+            name,
+            m.subnet.clone(),
+            m.placement.clone(),
+            m.dvfs,
+        )?);
+    }
+    Ok(modes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadas::HadasConfig;
+    use hadas_hw::HwTarget;
+
+    fn fixture() -> (Hadas, Vec<OperatingMode>) {
+        let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+        let outcome = hadas.run(&HadasConfig::smoke_test()).unwrap();
+        let modes = modes_from_pareto(&hadas, &outcome, 3).unwrap();
+        (hadas, modes)
+    }
+
+    #[test]
+    fn modes_span_the_front() {
+        let (_, modes) = fixture();
+        assert_eq!(modes.len(), 3);
+        assert_eq!(modes[0].name, "performance");
+        assert_eq!(modes[2].name, "eco");
+        assert!(
+            modes[0].expected().accuracy_pct >= modes[2].expected().accuracy_pct,
+            "performance must be at least as accurate as eco"
+        );
+    }
+
+    #[test]
+    fn serving_easy_inputs_exits_early_and_cheap() {
+        let (_, modes) = fixture();
+        let mode = &modes[0];
+        let easy = mode.serve(0.02);
+        let hard = mode.serve(0.98);
+        assert!(easy.correct);
+        assert!(easy.exit.is_some(), "easy inputs should exit early");
+        assert!(easy.cost.energy_j < hard.cost.energy_j);
+        assert!(hard.exit.is_none(), "hard inputs run the full model");
+    }
+
+    #[test]
+    fn serve_cost_is_bounded_by_full_cost() {
+        let (_, modes) = fixture();
+        for mode in &modes {
+            for d in [0.0, 0.2, 0.4, 0.6, 0.8, 0.99] {
+                let s = mode.serve(d);
+                assert!(s.cost.energy_j <= mode.full_cost.energy_j + 1e-12);
+                assert!(s.cost.energy_j > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Performance-scaling policies: which operating mode to run as the
+//! system state evolves.
+
+/// The runtime state a policy sees at each control decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyState {
+    /// Battery state of charge in `[0, 1]`.
+    pub soc: f64,
+    /// Seconds since the trace started.
+    pub time_s: f64,
+    /// Mean latency (ms) over the last control window.
+    pub recent_latency_ms: f64,
+}
+
+/// A mode-selection policy over an ordered mode list (index 0 = most
+/// accurate, last = most frugal).
+pub trait ScalingPolicy: std::fmt::Debug {
+    /// Picks the mode index for the next control window.
+    fn select(&self, state: &PolicyState, num_modes: usize) -> usize;
+
+    /// Policy name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Always runs one fixed mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticPolicy {
+    mode: usize,
+    label: String,
+}
+
+impl StaticPolicy {
+    /// Pins mode `mode`.
+    pub fn new(mode: usize) -> Self {
+        StaticPolicy { mode, label: format!("static[{mode}]") }
+    }
+}
+
+impl ScalingPolicy for StaticPolicy {
+    fn select(&self, _state: &PolicyState, num_modes: usize) -> usize {
+        self.mode.min(num_modes.saturating_sub(1))
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Steps down the mode ladder as the battery drains: full performance on
+/// a full battery, frugal modes as the state of charge crosses descending
+/// thresholds — the governor behaviour the paper's runtime discussion
+/// assumes DVFS-capable deployments use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocPolicy {
+    /// Descending SoC thresholds; crossing threshold `i` moves to mode
+    /// `i + 1`.
+    thresholds: Vec<f64>,
+    label: String,
+}
+
+impl SocPolicy {
+    /// A policy stepping at the given descending SoC thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if thresholds are not strictly descending within `(0, 1)`.
+    pub fn new(thresholds: Vec<f64>) -> Self {
+        assert!(
+            thresholds.windows(2).all(|w| w[1] < w[0])
+                && thresholds.iter().all(|&t| (0.0..1.0).contains(&t)),
+            "thresholds must be strictly descending within (0, 1)"
+        );
+        let pretty: Vec<String> = thresholds.iter().map(|t| format!("{t:.2}")).collect();
+        SocPolicy { label: format!("soc[{}]", pretty.join(",")), thresholds }
+    }
+
+    /// The common three-mode split: performance above 2/3 charge,
+    /// balanced above 1/3, eco below.
+    pub fn thirds() -> Self {
+        SocPolicy::new(vec![2.0 / 3.0, 1.0 / 3.0])
+    }
+}
+
+impl ScalingPolicy for SocPolicy {
+    fn select(&self, state: &PolicyState, num_modes: usize) -> usize {
+        let mut mode = 0usize;
+        for &t in &self.thresholds {
+            if state.soc < t {
+                mode += 1;
+            }
+        }
+        mode.min(num_modes.saturating_sub(1))
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// A latency-target governor: steps toward frugal (and faster) modes when
+/// the recent mean latency exceeds the target, back toward accurate modes
+/// when there is slack — the deadline-driven counterpart to [`SocPolicy`].
+///
+/// Stateless by design (policies are shared immutably across control
+/// windows): the step direction is recomputed from the measured window
+/// each time, anchored at the accurate end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyPolicy {
+    target_ms: f64,
+    label: String,
+}
+
+impl LatencyPolicy {
+    /// A governor holding mean latency at or below `target_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is not positive.
+    pub fn new(target_ms: f64) -> Self {
+        assert!(target_ms > 0.0, "latency target must be positive");
+        LatencyPolicy { label: format!("latency<={target_ms:.0}ms"), target_ms }
+    }
+
+    /// The latency target in milliseconds.
+    pub fn target_ms(&self) -> f64 {
+        self.target_ms
+    }
+}
+
+impl ScalingPolicy for LatencyPolicy {
+    fn select(&self, state: &PolicyState, num_modes: usize) -> usize {
+        if state.recent_latency_ms <= 0.0 {
+            return 0; // no measurement yet: start accurate
+        }
+        // How far over target we are decides how many steps down to take.
+        let ratio = state.recent_latency_ms / self.target_ms;
+        let step = if ratio <= 1.0 {
+            0
+        } else {
+            (ratio.log2().ceil() as usize).max(1)
+        };
+        step.min(num_modes.saturating_sub(1))
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(soc: f64) -> PolicyState {
+        PolicyState { soc, time_s: 0.0, recent_latency_ms: 0.0 }
+    }
+
+    fn lat_state(recent_latency_ms: f64) -> PolicyState {
+        PolicyState { soc: 1.0, time_s: 0.0, recent_latency_ms }
+    }
+
+    #[test]
+    fn static_policy_never_moves() {
+        let p = StaticPolicy::new(1);
+        assert_eq!(p.select(&state(1.0), 3), 1);
+        assert_eq!(p.select(&state(0.01), 3), 1);
+        // Clamps to the available modes.
+        assert_eq!(StaticPolicy::new(9).select(&state(0.5), 3), 2);
+    }
+
+    #[test]
+    fn soc_policy_steps_down_as_battery_drains() {
+        let p = SocPolicy::thirds();
+        assert_eq!(p.select(&state(0.9), 3), 0);
+        assert_eq!(p.select(&state(0.5), 3), 1);
+        assert_eq!(p.select(&state(0.1), 3), 2);
+    }
+
+    #[test]
+    fn soc_policy_clamps_to_mode_count() {
+        let p = SocPolicy::new(vec![0.8, 0.6, 0.4, 0.2]);
+        assert_eq!(p.select(&state(0.05), 2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "descending")]
+    fn ascending_thresholds_are_rejected() {
+        let _ = SocPolicy::new(vec![0.3, 0.6]);
+    }
+
+    #[test]
+    fn latency_policy_steps_down_under_pressure() {
+        let p = LatencyPolicy::new(30.0);
+        assert_eq!(p.select(&lat_state(0.0), 4), 0, "no data: start accurate");
+        assert_eq!(p.select(&lat_state(20.0), 4), 0, "under target: stay");
+        assert_eq!(p.select(&lat_state(45.0), 4), 1, "1.5x over: one step");
+        assert_eq!(p.select(&lat_state(150.0), 4), 3, "5x over: clamp to eco");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn latency_policy_rejects_zero_target() {
+        let _ = LatencyPolicy::new(0.0);
+    }
+}

@@ -1,0 +1,245 @@
+use crate::{Battery, OperatingMode, ScalingPolicy, WorkloadTrace};
+use hadas::{Hadas, HadasError};
+use serde::{Deserialize, Serialize};
+
+/// Cost of one DVFS/model mode switch (frequency re-latch plus weight and
+/// threshold swap), charged whenever the policy changes mode.
+const SWITCH_LATENCY_S: f64 = 2.0e-3;
+const SWITCH_ENERGY_J: f64 = 8.0e-3;
+
+/// Control-window length: the policy re-evaluates once per window.
+const CONTROL_WINDOW_S: f64 = 1.0;
+
+/// Aggregate outcome of one runtime simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeReport {
+    /// Policy name.
+    pub policy: String,
+    /// Inputs served before the battery died (or the trace ended).
+    pub served: usize,
+    /// Inputs dropped after battery depletion.
+    pub dropped: usize,
+    /// Overall accuracy on served inputs (percent).
+    pub accuracy_pct: f64,
+    /// Total energy drawn (joules).
+    pub energy_j: f64,
+    /// Mean per-inference latency (ms).
+    pub mean_latency_ms: f64,
+    /// 95th-percentile latency (ms).
+    pub p95_latency_ms: f64,
+    /// Number of mode switches.
+    pub mode_switches: usize,
+    /// Fraction of served inputs handled per mode.
+    pub mode_occupancy: Vec<f64>,
+    /// Battery state of charge at the end of the trace.
+    pub final_soc: f64,
+    /// Time the battery died, if it did (seconds).
+    pub died_at_s: Option<f64>,
+}
+
+/// Serves workload traces with a set of operating modes under a scaling
+/// policy, accounting energy against a battery.
+#[derive(Debug)]
+pub struct RuntimeSimulator<'a> {
+    #[allow(dead_code)]
+    hadas: &'a Hadas,
+    modes: Vec<OperatingMode>,
+}
+
+impl<'a> RuntimeSimulator<'a> {
+    /// Creates a simulator over an ordered mode list (index 0 = most
+    /// accurate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modes` is empty — there is nothing to deploy.
+    pub fn new(hadas: &'a Hadas, modes: Vec<OperatingMode>) -> Self {
+        assert!(!modes.is_empty(), "at least one operating mode required");
+        RuntimeSimulator { hadas, modes }
+    }
+
+    /// The deployed modes.
+    pub fn modes(&self) -> &[OperatingMode] {
+        &self.modes
+    }
+
+    /// Serves `trace` with `policy` on a battery of `battery_j` joules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadasError::InvalidConfig`] for a non-positive battery.
+    pub fn run(
+        &self,
+        trace: &WorkloadTrace,
+        policy: &dyn ScalingPolicy,
+        battery_j: f64,
+    ) -> Result<RuntimeReport, HadasError> {
+        if battery_j <= 0.0 {
+            return Err(HadasError::InvalidConfig("battery capacity must be positive".into()));
+        }
+        let mut battery = Battery::new(battery_j);
+        let mut current_mode = 0usize;
+        let mut next_control = 0.0f64;
+        let mut window_latencies: Vec<f64> = Vec::new();
+
+        let mut served = 0usize;
+        let mut dropped = 0usize;
+        let mut correct = 0usize;
+        let mut energy = 0.0f64;
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut switches = 0usize;
+        let mut occupancy = vec![0usize; self.modes.len()];
+        let mut died_at = None;
+
+        for arrival in trace.arrivals() {
+            if battery.is_empty() {
+                dropped += 1;
+                continue;
+            }
+            // Control decision at window boundaries.
+            if arrival.time_s >= next_control {
+                let recent = if window_latencies.is_empty() {
+                    0.0
+                } else {
+                    window_latencies.iter().sum::<f64>() / window_latencies.len() as f64
+                };
+                window_latencies.clear();
+                let state = crate::policy::PolicyState {
+                    soc: battery.soc(),
+                    time_s: arrival.time_s,
+                    recent_latency_ms: recent,
+                };
+                let choice = policy.select(&state, self.modes.len());
+                if choice != current_mode {
+                    switches += 1;
+                    battery.drain(SWITCH_ENERGY_J);
+                    energy += SWITCH_ENERGY_J;
+                    latencies.push(SWITCH_LATENCY_S * 1e3);
+                    current_mode = choice;
+                }
+                next_control = arrival.time_s + CONTROL_WINDOW_S;
+            }
+
+            let outcome = self.modes[current_mode].serve(arrival.difficulty);
+            let alive = battery.drain(outcome.cost.energy_j);
+            energy += outcome.cost.energy_j;
+            served += 1;
+            occupancy[current_mode] += 1;
+            correct += usize::from(outcome.correct);
+            latencies.push(outcome.cost.latency_ms());
+            window_latencies.push(outcome.cost.latency_ms());
+            if !alive && died_at.is_none() {
+                died_at = Some(arrival.time_s);
+            }
+        }
+
+        latencies.sort_by(f64::total_cmp);
+        let mean_latency_ms = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        };
+        let p95_latency_ms = latencies
+            .get(((latencies.len() as f64) * 0.95) as usize)
+            .or(latencies.last())
+            .copied()
+            .unwrap_or(0.0);
+        Ok(RuntimeReport {
+            policy: policy.name().to_string(),
+            served,
+            dropped,
+            accuracy_pct: if served > 0 { correct as f64 / served as f64 * 100.0 } else { 0.0 },
+            energy_j: energy,
+            mean_latency_ms,
+            p95_latency_ms,
+            mode_switches: switches,
+            mode_occupancy: occupancy
+                .iter()
+                .map(|&c| c as f64 / served.max(1) as f64)
+                .collect(),
+            final_soc: battery.soc(),
+            died_at_s: died_at,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{modes_from_pareto, SocPolicy, StaticPolicy, TraceConfig};
+    use hadas::HadasConfig;
+    use hadas_hw::HwTarget;
+
+    fn fixture() -> (Hadas, Vec<OperatingMode>, WorkloadTrace) {
+        let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+        let outcome = hadas.run(&HadasConfig::smoke_test()).unwrap();
+        let modes = modes_from_pareto(&hadas, &outcome, 3).unwrap();
+        let cfg = TraceConfig { duration_s: 40.0, rate_hz: 10.0, ..Default::default() };
+        let trace = WorkloadTrace::generate(&cfg, 13);
+        (hadas, modes, trace)
+    }
+
+    #[test]
+    fn all_inputs_served_on_a_big_battery() {
+        let (hadas, modes, trace) = fixture();
+        let sim = RuntimeSimulator::new(&hadas, modes);
+        let report = sim.run(&trace, &StaticPolicy::new(0), 1e6).unwrap();
+        assert_eq!(report.served, trace.len());
+        assert_eq!(report.dropped, 0);
+        assert!(report.accuracy_pct > 80.0, "accuracy {}", report.accuracy_pct);
+        assert!(report.died_at_s.is_none());
+        let occ: f64 = report.mode_occupancy.iter().sum();
+        assert!((occ - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eco_mode_spends_less_energy_than_performance() {
+        let (hadas, modes, trace) = fixture();
+        let n = modes.len();
+        let sim = RuntimeSimulator::new(&hadas, modes);
+        let perf = sim.run(&trace, &StaticPolicy::new(0), 1e6).unwrap();
+        let eco = sim.run(&trace, &StaticPolicy::new(n - 1), 1e6).unwrap();
+        assert!(
+            eco.energy_j < perf.energy_j,
+            "eco {} J vs performance {} J",
+            eco.energy_j,
+            perf.energy_j
+        );
+        assert!(eco.accuracy_pct <= perf.accuracy_pct + 1.0);
+    }
+
+    #[test]
+    fn soc_policy_switches_and_outlives_performance_on_a_small_battery() {
+        let (hadas, modes, trace) = fixture();
+        let sim = RuntimeSimulator::new(&hadas, modes);
+        // Budget the battery so the performance mode cannot finish.
+        let perf_unbounded = sim.run(&trace, &StaticPolicy::new(0), 1e6).unwrap();
+        let budget = perf_unbounded.energy_j * 0.7;
+        let perf = sim.run(&trace, &StaticPolicy::new(0), budget).unwrap();
+        let adaptive = sim.run(&trace, &SocPolicy::thirds(), budget).unwrap();
+        assert!(perf.dropped > 0, "battery must constrain the performance mode");
+        assert!(adaptive.mode_switches >= 1, "the SoC policy must react");
+        assert!(
+            adaptive.served > perf.served,
+            "adaptive {} served vs performance {}",
+            adaptive.served,
+            perf.served
+        );
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let (hadas, modes, trace) = fixture();
+        let sim = RuntimeSimulator::new(&hadas, modes);
+        let a = sim.run(&trace, &SocPolicy::thirds(), 300.0).unwrap();
+        let b = sim.run(&trace, &SocPolicy::thirds(), 300.0).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_battery_is_rejected() {
+        let (hadas, modes, trace) = fixture();
+        let sim = RuntimeSimulator::new(&hadas, modes);
+        assert!(sim.run(&trace, &StaticPolicy::new(0), 0.0).is_err());
+    }
+}

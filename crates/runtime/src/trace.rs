@@ -1,0 +1,186 @@
+use hadas_dataset::DifficultyDistribution;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A difficulty regime the workload can be in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Regime {
+    /// Mostly easy inputs (e.g. daylight, static scenes).
+    Easy,
+    /// The nominal mixed distribution.
+    Mixed,
+    /// Mostly hard inputs (e.g. night, motion blur).
+    Hard,
+}
+
+impl Regime {
+    /// The difficulty distribution of this regime.
+    pub fn difficulty(&self) -> DifficultyDistribution {
+        match self {
+            // Validated constants; construction cannot fail.
+            Regime::Easy => DifficultyDistribution::new(1.4, 4.5).expect("valid shapes"),
+            Regime::Mixed => DifficultyDistribution::default(),
+            Regime::Hard => DifficultyDistribution::new(2.6, 1.4).expect("valid shapes"),
+        }
+    }
+}
+
+/// Configuration of a workload trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Trace duration in seconds.
+    pub duration_s: f64,
+    /// Mean arrival rate in inferences per second.
+    pub rate_hz: f64,
+    /// Regime schedule: `(start fraction of the trace, regime)` pairs in
+    /// ascending order; the first entry should start at 0.
+    pub schedule: Vec<(f64, Regime)>,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            duration_s: 120.0,
+            rate_hz: 15.0,
+            schedule: vec![
+                (0.0, Regime::Easy),
+                (0.35, Regime::Mixed),
+                (0.7, Regime::Hard),
+            ],
+        }
+    }
+}
+
+/// One input arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Arrival {
+    /// Arrival time in seconds from trace start.
+    pub time_s: f64,
+    /// The sample's latent difficulty.
+    pub difficulty: f64,
+    /// The regime that generated it.
+    pub regime: Regime,
+}
+
+/// A generated arrival stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadTrace {
+    config: TraceConfig,
+    arrivals: Vec<Arrival>,
+}
+
+impl WorkloadTrace {
+    /// Generates a trace deterministically from `seed`: Poisson-ish
+    /// arrivals (exponential gaps) whose difficulties follow the scheduled
+    /// regime at each arrival time.
+    pub fn generate(config: &TraceConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arrivals = Vec::new();
+        let mut t = 0.0f64;
+        while t < config.duration_s {
+            let gap = -(1.0 - rng.gen_range(0.0..1.0f64)).ln() / config.rate_hz.max(1e-9);
+            t += gap;
+            if t >= config.duration_s {
+                break;
+            }
+            let regime = Self::regime_at(config, t);
+            let difficulty = regime.difficulty().sample(&mut rng);
+            arrivals.push(Arrival { time_s: t, difficulty, regime });
+        }
+        WorkloadTrace { config: config.clone(), arrivals }
+    }
+
+    fn regime_at(config: &TraceConfig, t: f64) -> Regime {
+        let frac = t / config.duration_s;
+        let mut current = config.schedule.first().map(|&(_, r)| r).unwrap_or(Regime::Mixed);
+        for &(start, regime) in &config.schedule {
+            if frac >= start {
+                current = regime;
+            }
+        }
+        current
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// The arrival stream, in time order.
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the trace has no arrivals.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_respects_duration_and_rate() {
+        let cfg = TraceConfig::default();
+        let trace = WorkloadTrace::generate(&cfg, 3);
+        assert!(!trace.is_empty());
+        assert!(trace.arrivals().iter().all(|a| a.time_s < cfg.duration_s));
+        // Expected ~1800 arrivals; allow wide Poisson slack.
+        let expected = cfg.duration_s * cfg.rate_hz;
+        assert!((trace.len() as f64) > expected * 0.8);
+        assert!((trace.len() as f64) < expected * 1.2);
+    }
+
+    #[test]
+    fn arrivals_are_time_ordered() {
+        let trace = WorkloadTrace::generate(&TraceConfig::default(), 5);
+        assert!(trace.arrivals().windows(2).all(|w| w[1].time_s >= w[0].time_s));
+    }
+
+    #[test]
+    fn regimes_follow_the_schedule() {
+        let cfg = TraceConfig::default();
+        let trace = WorkloadTrace::generate(&cfg, 7);
+        for a in trace.arrivals() {
+            let frac = a.time_s / cfg.duration_s;
+            let expected = if frac >= 0.7 {
+                Regime::Hard
+            } else if frac >= 0.35 {
+                Regime::Mixed
+            } else {
+                Regime::Easy
+            };
+            assert_eq!(a.regime, expected, "at t={}", a.time_s);
+        }
+    }
+
+    #[test]
+    fn hard_regime_is_harder_on_average() {
+        let trace = WorkloadTrace::generate(&TraceConfig::default(), 9);
+        let mean = |r: Regime| {
+            let v: Vec<f64> = trace
+                .arrivals()
+                .iter()
+                .filter(|a| a.regime == r)
+                .map(|a| a.difficulty)
+                .collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        assert!(mean(Regime::Hard) > mean(Regime::Mixed));
+        assert!(mean(Regime::Mixed) > mean(Regime::Easy));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TraceConfig::default();
+        assert_eq!(WorkloadTrace::generate(&cfg, 1), WorkloadTrace::generate(&cfg, 1));
+        assert_ne!(WorkloadTrace::generate(&cfg, 1), WorkloadTrace::generate(&cfg, 2));
+    }
+}

@@ -1,0 +1,106 @@
+//! The AttentiveNAS reference models `a0..a6`.
+//!
+//! The paper benchmarks HADAS against the seven published AttentiveNAS
+//! subnets, all sampled from the same fine-tuned supernet: `a0` is the most
+//! compact / most energy-efficient, `a6` the largest / most accurate. Here
+//! they are encoded as genomes over [`SearchSpace::attentive_nas`],
+//! spanning the same compact-to-large spectrum.
+
+use crate::{Genome, SearchSpace, SpaceError, Subnet};
+
+/// Names of the seven baselines, in size order.
+pub const BASELINE_NAMES: [&str; 7] = ["a0", "a1", "a2", "a3", "a4", "a5", "a6"];
+
+/// Returns the genome of baseline `index` (0 → `a0` … 6 → `a6`).
+///
+/// Gene layout is `[res, stem_w, head_w, (d, w, k, er) × 7]`; indices refer
+/// to the choice lists of [`SearchSpace::attentive_nas`].
+///
+/// # Panics
+///
+/// Panics if `index > 6`.
+pub fn baseline_genome(index: usize) -> Genome {
+    assert!(index <= 6, "AttentiveNAS defines a0..a6");
+    let genes: Vec<usize> = match index {
+        // a0: most compact — lowest resolution, min depths/widths, 3x3, low expand.
+        0 => vec![0, 0, 0, /*s1*/ 0, 0, 0, 0, /*s2*/ 0, 0, 0, 0, /*s3*/ 0, 0, 0, 0,
+                  /*s4*/ 0, 0, 0, 0, /*s5*/ 0, 0, 0, 0, /*s6*/ 0, 0, 0, 0, /*s7*/ 0, 0, 0, 0],
+        // a1: slightly deeper mid stages.
+        1 => vec![0, 0, 0, /*s1*/ 0, 0, 0, 0, /*s2*/ 1, 0, 0, 0, /*s3*/ 1, 0, 0, 0,
+                  /*s4*/ 1, 0, 0, 1, /*s5*/ 1, 0, 0, 0, /*s6*/ 1, 0, 0, 0, /*s7*/ 0, 0, 0, 0],
+        // a2: 224 resolution, wider stage 4/5.
+        2 => vec![1, 0, 0, /*s1*/ 0, 0, 0, 0, /*s2*/ 1, 0, 0, 1, /*s3*/ 1, 1, 0, 0,
+                  /*s4*/ 1, 0, 0, 1, /*s5*/ 1, 1, 0, 1, /*s6*/ 1, 1, 0, 0, /*s7*/ 0, 0, 0, 0],
+        // a3: 224 resolution, deeper late stages, 5x5 kernels mid-network.
+        3 => vec![1, 0, 0, /*s1*/ 1, 0, 0, 0, /*s2*/ 1, 1, 0, 1, /*s3*/ 2, 1, 1, 1,
+                  /*s4*/ 2, 1, 0, 1, /*s5*/ 2, 1, 1, 1, /*s6*/ 2, 1, 0, 0, /*s7*/ 0, 1, 0, 0],
+        // a4: 256 resolution.
+        4 => vec![2, 1, 0, /*s1*/ 1, 1, 0, 0, /*s2*/ 2, 1, 0, 1, /*s3*/ 2, 1, 1, 1,
+                  /*s4*/ 2, 1, 1, 2, /*s5*/ 3, 1, 1, 1, /*s6*/ 3, 2, 0, 0, /*s7*/ 1, 1, 0, 0],
+        // a5: 256 resolution, near-max depths.
+        5 => vec![2, 1, 1, /*s1*/ 1, 1, 1, 0, /*s2*/ 2, 1, 1, 2, /*s3*/ 3, 1, 1, 2,
+                  /*s4*/ 3, 1, 1, 2, /*s5*/ 4, 2, 1, 2, /*s6*/ 4, 2, 1, 0, /*s7*/ 1, 1, 0, 0],
+        // a6: largest — 288 resolution, max depths/widths, 5x5, max expand.
+        _ => vec![3, 1, 1, /*s1*/ 1, 1, 1, 0, /*s2*/ 2, 1, 1, 2, /*s3*/ 3, 1, 1, 2,
+                  /*s4*/ 3, 1, 1, 2, /*s5*/ 5, 2, 1, 2, /*s6*/ 5, 3, 1, 0, /*s7*/ 1, 1, 1, 0],
+    };
+    Genome::from_genes(genes)
+}
+
+/// Decodes all seven baselines against `space`.
+///
+/// # Errors
+///
+/// Returns an error only if `space` is not the AttentiveNAS space the
+/// genomes were written for.
+pub fn attentive_nas_baselines(space: &SearchSpace) -> Result<Vec<(String, Subnet)>, SpaceError> {
+    (0..7)
+        .map(|i| Ok((BASELINE_NAMES[i].to_string(), space.decode(&baseline_genome(i))?)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_baselines_decode_in_their_space() {
+        let space = SearchSpace::attentive_nas();
+        let nets = attentive_nas_baselines(&space).unwrap();
+        assert_eq!(nets.len(), 7);
+    }
+
+    #[test]
+    fn baselines_are_monotone_in_flops() {
+        let space = SearchSpace::attentive_nas();
+        let nets = attentive_nas_baselines(&space).unwrap();
+        for pair in nets.windows(2) {
+            assert!(
+                pair[1].1.total_flops() > pair[0].1.total_flops(),
+                "{} ({}) must be larger than {} ({})",
+                pair[1].0,
+                pair[1].1.total_flops(),
+                pair[0].0,
+                pair[0].1.total_flops()
+            );
+        }
+    }
+
+    #[test]
+    fn a0_and_a6_bracket_the_family() {
+        let space = SearchSpace::attentive_nas();
+        let nets = attentive_nas_baselines(&space).unwrap();
+        let a0 = &nets[0].1;
+        let a6 = &nets[6].1;
+        assert_eq!(a0.resolution(), 192);
+        assert_eq!(a6.resolution(), 288);
+        // The paper's a6/a0 energy ratio on TX2 is ~1.9x; FLOPs spread is larger.
+        assert!(a6.total_flops() / a0.total_flops() > 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "a0..a6")]
+    fn index_out_of_range_panics() {
+        let _ = baseline_genome(7);
+    }
+}

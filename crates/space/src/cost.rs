@@ -1,0 +1,218 @@
+use serde::{Deserialize, Serialize};
+
+/// What role a layer plays in the decoded backbone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// The fixed stem convolution (3×3, stride 2).
+    Stem,
+    /// An MBConv inverted-bottleneck layer within a searchable stage.
+    MbConv {
+        /// Stage index (0-based) within the backbone.
+        stage: usize,
+        /// Layer index within the stage.
+        layer: usize,
+    },
+    /// The head: final 1×1 expansion, global pooling, and classifier.
+    Head,
+}
+
+impl LayerKind {
+    /// Whether an early-exit branch may attach after this layer. The paper
+    /// places candidate exits after MBConv layers only.
+    pub fn is_exitable(&self) -> bool {
+        matches!(self, LayerKind::MbConv { .. })
+    }
+}
+
+/// A concrete layer of a decoded subnet with its analytical cost model.
+///
+/// Costs are the standard MBConv accounting: multiply–accumulates for the
+/// expansion, depthwise, and projection convolutions; parameter and
+/// activation byte counts for the memory-traffic side of the roofline
+/// model in `hadas-hw`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerInfo {
+    /// The layer's role.
+    pub kind: LayerKind,
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// Depthwise kernel size (3×3 for stem/head bookkeeping).
+    pub kernel: usize,
+    /// Spatial stride (2 on the first layer of down-sampling stages).
+    pub stride: usize,
+    /// Expansion ratio of the inverted bottleneck (1 for stem/head).
+    pub expand: usize,
+    /// Input spatial side length.
+    pub in_size: usize,
+    /// Output spatial side length.
+    pub out_size: usize,
+    /// Multiply–accumulate operations for one inference.
+    pub flops: f64,
+    /// Trainable parameter count.
+    pub params: f64,
+    /// Activation traffic in bytes (reads + writes, f32).
+    pub act_bytes: f64,
+    /// Weight traffic in bytes (f32).
+    pub weight_bytes: f64,
+}
+
+impl LayerInfo {
+    /// Builds the fixed stem layer: 3×3 stride-2 convolution from RGB.
+    pub fn stem(resolution: usize, stem_width: usize) -> Self {
+        let out = resolution / 2;
+        let macs = (out * out * 3 * stem_width * 9) as f64;
+        let params = (3 * stem_width * 9 + 2 * stem_width) as f64;
+        LayerInfo {
+            kind: LayerKind::Stem,
+            c_in: 3,
+            c_out: stem_width,
+            kernel: 3,
+            stride: 2,
+            expand: 1,
+            in_size: resolution,
+            out_size: out,
+            flops: macs,
+            params,
+            act_bytes: 4.0 * ((resolution * resolution * 3) + (out * out * stem_width)) as f64,
+            weight_bytes: 4.0 * params,
+        }
+    }
+
+    /// Builds one MBConv layer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mbconv(
+        stage: usize,
+        layer: usize,
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        expand: usize,
+        in_size: usize,
+    ) -> Self {
+        let out_size = in_size / stride;
+        let mid = c_in * expand;
+        let (hw_in, hw_out) = ((in_size * in_size) as f64, (out_size * out_size) as f64);
+        // Expansion 1x1 (absent when expand == 1), depthwise k×k, projection 1x1.
+        let expand_macs = if expand > 1 { hw_in * (c_in * mid) as f64 } else { 0.0 };
+        let dw_macs = hw_out * (mid * kernel * kernel) as f64;
+        let proj_macs = hw_out * (mid * c_out) as f64;
+        let expand_params = if expand > 1 { (c_in * mid + 2 * mid) as f64 } else { 0.0 };
+        let params = expand_params
+            + (mid * kernel * kernel + 2 * mid) as f64
+            + (mid * c_out + 2 * c_out) as f64;
+        let act_bytes = 4.0
+            * (hw_in * c_in as f64
+                + if expand > 1 { hw_in * mid as f64 } else { 0.0 }
+                + hw_out * mid as f64
+                + hw_out * c_out as f64);
+        LayerInfo {
+            kind: LayerKind::MbConv { stage, layer },
+            c_in,
+            c_out,
+            kernel,
+            stride,
+            expand,
+            in_size,
+            out_size,
+            flops: expand_macs + dw_macs + proj_macs,
+            params,
+            act_bytes,
+            weight_bytes: 4.0 * params,
+        }
+    }
+
+    /// Builds the head: 1×1 expansion to `head_width`, global average
+    /// pooling, and a `head_width → classes` linear classifier.
+    pub fn head(c_in: usize, head_width: usize, in_size: usize, classes: usize) -> Self {
+        let hw = (in_size * in_size) as f64;
+        let conv_macs = hw * (c_in * head_width) as f64;
+        let fc_macs = (head_width * classes) as f64;
+        let params =
+            (c_in * head_width + 2 * head_width) as f64 + (head_width * classes + classes) as f64;
+        LayerInfo {
+            kind: LayerKind::Head,
+            c_in,
+            c_out: classes,
+            kernel: 1,
+            stride: 1,
+            expand: 1,
+            in_size,
+            out_size: 1,
+            flops: conv_macs + fc_macs,
+            params,
+            act_bytes: 4.0 * (hw * c_in as f64 + hw * head_width as f64 + classes as f64),
+            weight_bytes: 4.0 * params,
+        }
+    }
+
+    /// Arithmetic intensity: MACs per byte of memory traffic. The roofline
+    /// model uses this to decide whether a layer is compute- or
+    /// memory-bound at a given frequency pair.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.act_bytes + self.weight_bytes;
+        if bytes == 0.0 {
+            0.0
+        } else {
+            self.flops / bytes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stem_halves_resolution() {
+        let l = LayerInfo::stem(224, 16);
+        assert_eq!(l.out_size, 112);
+        assert!(l.flops > 0.0 && l.params > 0.0);
+    }
+
+    #[test]
+    fn mbconv_with_expand_one_skips_expansion() {
+        let with = LayerInfo::mbconv(0, 0, 16, 16, 3, 1, 4, 56);
+        let without = LayerInfo::mbconv(0, 0, 16, 16, 3, 1, 1, 56);
+        assert!(with.flops > without.flops * 3.0);
+    }
+
+    #[test]
+    fn stride_two_reduces_output_work() {
+        let s1 = LayerInfo::mbconv(1, 0, 24, 32, 3, 1, 4, 56);
+        let s2 = LayerInfo::mbconv(1, 0, 24, 32, 3, 2, 4, 56);
+        assert_eq!(s2.out_size, 28);
+        assert!(s2.flops < s1.flops);
+    }
+
+    #[test]
+    fn larger_kernel_costs_more() {
+        let k3 = LayerInfo::mbconv(2, 0, 32, 40, 3, 1, 4, 28);
+        let k5 = LayerInfo::mbconv(2, 0, 32, 40, 5, 1, 4, 28);
+        assert!(k5.flops > k3.flops);
+        assert!(k5.params > k3.params);
+    }
+
+    #[test]
+    fn only_mbconv_is_exitable() {
+        assert!(!LayerKind::Stem.is_exitable());
+        assert!(LayerKind::MbConv { stage: 0, layer: 0 }.is_exitable());
+        assert!(!LayerKind::Head.is_exitable());
+    }
+
+    #[test]
+    fn head_counts_classifier() {
+        let l = LayerInfo::head(224, 1792, 7, 100);
+        assert!(l.params > (1792 * 100) as f64);
+        assert_eq!(l.c_out, 100);
+    }
+
+    #[test]
+    fn arithmetic_intensity_is_finite_positive() {
+        let l = LayerInfo::mbconv(3, 1, 64, 64, 5, 1, 6, 14);
+        let ai = l.arithmetic_intensity();
+        assert!(ai.is_finite() && ai > 0.0);
+    }
+}

@@ -1,0 +1,61 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while encoding, decoding, or validating genomes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpaceError {
+    /// A genome's gene count differs from the space's variable count.
+    GenomeLengthMismatch {
+        /// Genes supplied.
+        got: usize,
+        /// Genes the space defines.
+        expected: usize,
+    },
+    /// A gene's choice index exceeds that variable's cardinality.
+    GeneOutOfRange {
+        /// Position of the gene within the genome.
+        gene: usize,
+        /// The offending choice index.
+        value: usize,
+        /// Number of choices available for this variable.
+        cardinality: usize,
+    },
+    /// A stage specification is degenerate (no choices for some variable).
+    EmptyChoice {
+        /// Index of the stage.
+        stage: usize,
+        /// Which variable had no choices.
+        variable: &'static str,
+    },
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::GenomeLengthMismatch { got, expected } => {
+                write!(f, "genome has {got} genes, space defines {expected}")
+            }
+            SpaceError::GeneOutOfRange { gene, value, cardinality } => {
+                write!(f, "gene {gene} value {value} exceeds cardinality {cardinality}")
+            }
+            SpaceError::EmptyChoice { stage, variable } => {
+                write!(f, "stage {stage} has no choices for {variable}")
+            }
+        }
+    }
+}
+
+impl Error for SpaceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = SpaceError::GeneOutOfRange { gene: 3, value: 9, cardinality: 4 };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('9') && s.contains('4'));
+    }
+}

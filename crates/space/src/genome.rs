@@ -1,0 +1,85 @@
+use serde::{Deserialize, Serialize};
+
+/// A flat vector of per-variable choice indices encoding one backbone.
+///
+/// The genome is the unit the evolutionary engines mutate and cross over;
+/// it is meaningless without the [`crate::SearchSpace`] that defines each
+/// gene's cardinality. Layout: `[res, stem_w, head_w, (d, w, k, er) × stages]`.
+///
+/// ```
+/// use hadas_space::{Genome, SearchSpace};
+///
+/// let space = SearchSpace::attentive_nas();
+/// let g = Genome::from_genes(vec![0; space.genome_len()]);
+/// assert!(space.validate(&g).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Genome {
+    genes: Vec<usize>,
+}
+
+impl Genome {
+    /// Wraps a vector of choice indices.
+    pub fn from_genes(genes: Vec<usize>) -> Self {
+        Genome { genes }
+    }
+
+    /// The choice indices.
+    pub fn genes(&self) -> &[usize] {
+        &self.genes
+    }
+
+    /// Mutable access for evolutionary operators.
+    pub fn genes_mut(&mut self) -> &mut [usize] {
+        &mut self.genes
+    }
+
+    /// Number of genes.
+    pub fn len(&self) -> usize {
+        self.genes.len()
+    }
+
+    /// Whether the genome has no genes.
+    pub fn is_empty(&self) -> bool {
+        self.genes.is_empty()
+    }
+
+    /// Hamming distance to another genome of equal length (gene positions
+    /// that differ). Used as a diversity measure during selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the genomes have different lengths — comparing genomes
+    /// from different spaces is a programming error.
+    pub fn hamming(&self, other: &Genome) -> usize {
+        assert_eq!(self.genes.len(), other.genes.len(), "genomes from different spaces");
+        self.genes.iter().zip(other.genes.iter()).filter(|(a, b)| a != b).count()
+    }
+}
+
+impl From<Vec<usize>> for Genome {
+    fn from(genes: Vec<usize>) -> Self {
+        Genome::from_genes(genes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_counts_differing_positions() {
+        let a = Genome::from_genes(vec![0, 1, 2, 3]);
+        let b = Genome::from_genes(vec![0, 1, 0, 0]);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different spaces")]
+    fn hamming_rejects_length_mismatch() {
+        let a = Genome::from_genes(vec![0, 1]);
+        let b = Genome::from_genes(vec![0]);
+        let _ = a.hamming(&b);
+    }
+}

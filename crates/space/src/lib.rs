@@ -1,0 +1,54 @@
+//! # hadas-space
+//!
+//! The backbone search space **B** of the HADAS reproduction: an
+//! AttentiveNAS-style once-for-all supernet over MBConv stages, matching
+//! the decision variables of the paper's Table II —
+//!
+//! | variable | values |
+//! |---|---|
+//! | number of blocks | 7 |
+//! | input resolution | {192, 224, 256, 288} |
+//! | block depth | subsets of {1..8} per stage |
+//! | block width | 16 distinct values in [16, 1984] |
+//! | kernel size | {3, 5} |
+//! | expansion ratio | subsets of {1, 4, 5, 6} |
+//!
+//! A backbone is a [`Genome`] (vector of per-variable choice indices) that
+//! decodes into a [`Subnet`] — a concrete layer-by-layer architecture with
+//! an analytical cost model (FLOPs, parameters, activation/weight bytes)
+//! that the hardware simulator (`hadas-hw`) turns into latency and energy.
+//!
+//! The seven published AttentiveNAS reference models `a0..a6` are provided
+//! as [`baselines::attentive_nas_baselines`] and are sampled from the same
+//! space, exactly as the paper samples its baselines from the same
+//! fine-tuned supernet.
+//!
+//! ```
+//! use hadas_space::SearchSpace;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), hadas_space::SpaceError> {
+//! let space = SearchSpace::attentive_nas();
+//! assert!(space.cardinality() > 1e11);
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let genome = space.sample(&mut rng);
+//! let subnet = space.decode(&genome)?;
+//! assert!(subnet.total_flops() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod baselines;
+mod cost;
+mod error;
+mod genome;
+mod stage;
+mod subnet;
+mod summary;
+
+pub use cost::{LayerInfo, LayerKind};
+pub use error::SpaceError;
+pub use genome::Genome;
+pub use stage::{SearchSpace, StageSpec};
+pub use subnet::Subnet;
+pub use summary::StageSummary;

@@ -1,0 +1,289 @@
+use crate::{Genome, SpaceError, Subnet};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The searchable choices for one MBConv stage ("block" in the paper's
+/// Table II terminology).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageSpec {
+    /// Depth choices: how many MBConv layers the stage may contain.
+    pub depths: Vec<usize>,
+    /// Output width (channel) choices.
+    pub widths: Vec<usize>,
+    /// Depthwise kernel size choices.
+    pub kernels: Vec<usize>,
+    /// Expansion ratio choices for the inverted bottleneck.
+    pub expands: Vec<usize>,
+    /// Spatial stride of the stage's first layer (1 or 2).
+    pub stride: usize,
+}
+
+impl StageSpec {
+    /// Number of distinct configurations this stage admits.
+    pub fn cardinality(&self) -> f64 {
+        (self.depths.len() * self.widths.len() * self.kernels.len() * self.expands.len()) as f64
+    }
+
+    fn validate(&self, stage: usize) -> Result<(), SpaceError> {
+        if self.depths.is_empty() {
+            return Err(SpaceError::EmptyChoice { stage, variable: "depth" });
+        }
+        if self.widths.is_empty() {
+            return Err(SpaceError::EmptyChoice { stage, variable: "width" });
+        }
+        if self.kernels.is_empty() {
+            return Err(SpaceError::EmptyChoice { stage, variable: "kernel" });
+        }
+        if self.expands.is_empty() {
+            return Err(SpaceError::EmptyChoice { stage, variable: "expand" });
+        }
+        Ok(())
+    }
+}
+
+/// Genes per stage: depth, width, kernel, expansion ratio.
+pub(crate) const GENES_PER_STAGE: usize = 4;
+/// Leading global genes: input resolution, stem width, head width.
+pub(crate) const GLOBAL_GENES: usize = 3;
+
+/// The complete backbone search space **B**: global choices (resolution,
+/// stem width, head width) plus a [`StageSpec`] per MBConv stage.
+///
+/// Genomes over this space are flat vectors of choice indices laid out as
+/// `[res, stem_w, head_w, (d, w, k, er) × stages]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    resolutions: Vec<usize>,
+    stem_widths: Vec<usize>,
+    head_widths: Vec<usize>,
+    stages: Vec<StageSpec>,
+}
+
+impl SearchSpace {
+    /// Builds a search space from explicit choice lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::EmptyChoice`] if any choice list is empty.
+    pub fn new(
+        resolutions: Vec<usize>,
+        stem_widths: Vec<usize>,
+        head_widths: Vec<usize>,
+        stages: Vec<StageSpec>,
+    ) -> Result<Self, SpaceError> {
+        if resolutions.is_empty() {
+            return Err(SpaceError::EmptyChoice { stage: 0, variable: "resolution" });
+        }
+        if stem_widths.is_empty() {
+            return Err(SpaceError::EmptyChoice { stage: 0, variable: "stem width" });
+        }
+        if head_widths.is_empty() {
+            return Err(SpaceError::EmptyChoice { stage: 0, variable: "head width" });
+        }
+        for (i, s) in stages.iter().enumerate() {
+            s.validate(i)?;
+        }
+        Ok(SearchSpace { resolutions, stem_widths, head_widths, stages })
+    }
+
+    /// The AttentiveNAS-style space used throughout the paper (Table II):
+    /// 7 MBConv stages, resolutions {192, 224, 256, 288}, depths within
+    /// {1..8}, 16 distinct width values in [16, 1984], kernels {3, 5},
+    /// expansion ratios within {1, 4, 5, 6}. Total cardinality exceeds the
+    /// paper's quoted 2.94 × 10¹¹.
+    pub fn attentive_nas() -> Self {
+        let stage = |depths: &[usize], widths: &[usize], expands: &[usize], stride: usize| {
+            StageSpec {
+                depths: depths.to_vec(),
+                widths: widths.to_vec(),
+                kernels: vec![3, 5],
+                expands: expands.to_vec(),
+                stride,
+            }
+        };
+        SearchSpace {
+            resolutions: vec![192, 224, 256, 288],
+            stem_widths: vec![16, 24],
+            head_widths: vec![1792, 1984],
+            stages: vec![
+                stage(&[1, 2], &[16, 24], &[1], 1),
+                stage(&[3, 4, 5], &[24, 32], &[4, 5, 6], 2),
+                stage(&[3, 4, 5, 6], &[32, 40], &[4, 5, 6], 2),
+                stage(&[3, 4, 5, 6], &[64, 72], &[4, 5, 6], 2),
+                stage(&[3, 4, 5, 6, 7, 8], &[112, 120, 128], &[4, 5, 6], 1),
+                stage(&[3, 4, 5, 6, 7, 8], &[192, 200, 208, 216], &[6], 2),
+                stage(&[1, 2], &[216, 224], &[6], 1),
+            ],
+        }
+    }
+
+    /// Input resolution choices.
+    pub fn resolutions(&self) -> &[usize] {
+        &self.resolutions
+    }
+
+    /// Stem width choices.
+    pub fn stem_widths(&self) -> &[usize] {
+        &self.stem_widths
+    }
+
+    /// Head width choices.
+    pub fn head_widths(&self) -> &[usize] {
+        &self.head_widths
+    }
+
+    /// The per-stage specifications.
+    pub fn stages(&self) -> &[StageSpec] {
+        &self.stages
+    }
+
+    /// Number of genes in a genome over this space.
+    pub fn genome_len(&self) -> usize {
+        GLOBAL_GENES + GENES_PER_STAGE * self.stages.len()
+    }
+
+    /// Cardinality (number of choices) of each gene position, in genome
+    /// order — the interface evolutionary operators mutate against.
+    pub fn gene_cardinalities(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.genome_len());
+        out.push(self.resolutions.len());
+        out.push(self.stem_widths.len());
+        out.push(self.head_widths.len());
+        for s in &self.stages {
+            out.push(s.depths.len());
+            out.push(s.widths.len());
+            out.push(s.kernels.len());
+            out.push(s.expands.len());
+        }
+        out
+    }
+
+    /// Total number of distinct backbones in the space.
+    pub fn cardinality(&self) -> f64 {
+        self.gene_cardinalities().iter().map(|&c| c as f64).product()
+    }
+
+    /// Draws a uniformly random genome.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Genome {
+        let genes =
+            self.gene_cardinalities().iter().map(|&c| rng.gen_range(0..c)).collect();
+        Genome::from_genes(genes)
+    }
+
+    /// Validates that `genome` is well-formed for this space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::GenomeLengthMismatch`] or
+    /// [`SpaceError::GeneOutOfRange`] on malformed genomes.
+    pub fn validate(&self, genome: &Genome) -> Result<(), SpaceError> {
+        let cards = self.gene_cardinalities();
+        if genome.len() != cards.len() {
+            return Err(SpaceError::GenomeLengthMismatch {
+                got: genome.len(),
+                expected: cards.len(),
+            });
+        }
+        for (i, (&g, &c)) in genome.genes().iter().zip(cards.iter()).enumerate() {
+            if g >= c {
+                return Err(SpaceError::GeneOutOfRange { gene: i, value: g, cardinality: c });
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes a genome into a concrete [`Subnet`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors for malformed genomes.
+    pub fn decode(&self, genome: &Genome) -> Result<Subnet, SpaceError> {
+        self.validate(genome)?;
+        Subnet::from_genome(self, genome)
+    }
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        SearchSpace::attentive_nas()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn attentive_nas_matches_table_ii() {
+        let s = SearchSpace::attentive_nas();
+        assert_eq!(s.stages().len(), 7, "n_block = 7");
+        assert_eq!(s.resolutions(), &[192, 224, 256, 288], "res cardinality 4");
+        // Depth values drawn from {1..8}.
+        for st in s.stages() {
+            assert!(st.depths.iter().all(|&d| (1..=8).contains(&d)));
+            assert!(st.kernels == vec![3, 5], "kernel choices {{3, 5}}");
+            assert!(st.expands.iter().all(|&e| [1, 4, 5, 6].contains(&e)));
+        }
+        // 16 distinct width values spanning [16, 1984].
+        let mut widths: Vec<usize> = s
+            .stages()
+            .iter()
+            .flat_map(|st| st.widths.iter().copied())
+            .chain(s.stem_widths().iter().copied())
+            .chain(s.head_widths().iter().copied())
+            .collect();
+        widths.sort_unstable();
+        widths.dedup();
+        assert_eq!(widths.len(), 16, "16 distinct width values");
+        assert_eq!(*widths.first().unwrap(), 16);
+        assert_eq!(*widths.last().unwrap(), 1984);
+    }
+
+    #[test]
+    fn cardinality_exceeds_paper_quote() {
+        let s = SearchSpace::attentive_nas();
+        assert!(s.cardinality() > 2.94e11, "got {}", s.cardinality());
+    }
+
+    #[test]
+    fn sampled_genomes_validate_and_decode() {
+        let s = SearchSpace::attentive_nas();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let g = s.sample(&mut rng);
+            s.validate(&g).expect("sampled genome must be valid");
+            let net = s.decode(&g).expect("sampled genome must decode");
+            assert!(net.total_flops() > 0.0);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_genomes() {
+        let s = SearchSpace::attentive_nas();
+        let short = Genome::from_genes(vec![0; 3]);
+        assert!(matches!(
+            s.validate(&short),
+            Err(SpaceError::GenomeLengthMismatch { .. })
+        ));
+        let mut genes = vec![0usize; s.genome_len()];
+        genes[0] = 99;
+        assert!(matches!(
+            s.validate(&Genome::from_genes(genes)),
+            Err(SpaceError::GeneOutOfRange { gene: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_choice_rejected_at_construction() {
+        let err = SearchSpace::new(vec![], vec![16], vec![1792], vec![]).unwrap_err();
+        assert!(matches!(err, SpaceError::EmptyChoice { variable: "resolution", .. }));
+    }
+
+    #[test]
+    fn gene_cardinalities_align_with_genome_len() {
+        let s = SearchSpace::attentive_nas();
+        assert_eq!(s.gene_cardinalities().len(), s.genome_len());
+        assert_eq!(s.genome_len(), 3 + 4 * 7);
+    }
+}

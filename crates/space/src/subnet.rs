@@ -1,0 +1,276 @@
+use crate::stage::{GENES_PER_STAGE, GLOBAL_GENES};
+use crate::{Genome, LayerInfo, SearchSpace, SpaceError};
+use serde::{Deserialize, Serialize};
+
+/// Number of classifier outputs (CIFAR-100).
+pub const NUM_CLASSES: usize = 100;
+
+/// One resolved stage configuration of a decoded subnet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageConfig {
+    /// Number of MBConv layers.
+    pub depth: usize,
+    /// Output channel width.
+    pub width: usize,
+    /// Depthwise kernel size.
+    pub kernel: usize,
+    /// Expansion ratio.
+    pub expand: usize,
+}
+
+/// A concrete backbone decoded from a [`Genome`]: the paper's `b ∈ B`.
+///
+/// A subnet owns its resolved per-stage configuration and the full list of
+/// [`LayerInfo`] records (stem, every MBConv layer, head) in execution
+/// order, from which all static cost queries are answered.
+///
+/// ```
+/// use hadas_space::SearchSpace;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), hadas_space::SpaceError> {
+/// let space = SearchSpace::attentive_nas();
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let net = space.decode(&space.sample(&mut rng))?;
+/// assert_eq!(net.layers().len(), net.num_mbconv_layers() + 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Subnet {
+    genome: Genome,
+    resolution: usize,
+    stem_width: usize,
+    head_width: usize,
+    stages: Vec<StageConfig>,
+    layers: Vec<LayerInfo>,
+}
+
+impl Subnet {
+    pub(crate) fn from_genome(space: &SearchSpace, genome: &Genome) -> Result<Self, SpaceError> {
+        let g = genome.genes();
+        let resolution = space.resolutions()[g[0]];
+        let stem_width = space.stem_widths()[g[1]];
+        let head_width = space.head_widths()[g[2]];
+        let mut stages = Vec::with_capacity(space.stages().len());
+        for (i, spec) in space.stages().iter().enumerate() {
+            let base = GLOBAL_GENES + i * GENES_PER_STAGE;
+            stages.push(StageConfig {
+                depth: spec.depths[g[base]],
+                width: spec.widths[g[base + 1]],
+                kernel: spec.kernels[g[base + 2]],
+                expand: spec.expands[g[base + 3]],
+            });
+        }
+
+        let mut layers = Vec::new();
+        let stem = LayerInfo::stem(resolution, stem_width);
+        let mut c_in = stem.c_out;
+        let mut size = stem.out_size;
+        layers.push(stem);
+        for (si, (cfg, spec)) in stages.iter().zip(space.stages().iter()).enumerate() {
+            for li in 0..cfg.depth {
+                let stride = if li == 0 { spec.stride } else { 1 };
+                let layer =
+                    LayerInfo::mbconv(si, li, c_in, cfg.width, cfg.kernel, stride, cfg.expand, size);
+                c_in = layer.c_out;
+                size = layer.out_size;
+                layers.push(layer);
+            }
+        }
+        layers.push(LayerInfo::head(c_in, head_width, size, NUM_CLASSES));
+        Ok(Subnet {
+            genome: genome.clone(),
+            resolution,
+            stem_width,
+            head_width,
+            stages,
+            layers,
+        })
+    }
+
+    /// The genome this subnet was decoded from.
+    pub fn genome(&self) -> &Genome {
+        &self.genome
+    }
+
+    /// Input resolution.
+    pub fn resolution(&self) -> usize {
+        self.resolution
+    }
+
+    /// Stem width.
+    pub fn stem_width(&self) -> usize {
+        self.stem_width
+    }
+
+    /// Head width.
+    pub fn head_width(&self) -> usize {
+        self.head_width
+    }
+
+    /// Resolved stage configurations.
+    pub fn stages(&self) -> &[StageConfig] {
+        &self.stages
+    }
+
+    /// All layers (stem, MBConvs, head) in execution order.
+    pub fn layers(&self) -> &[LayerInfo] {
+        &self.layers
+    }
+
+    /// Number of MBConv layers — the paper's `Σ lᵢ`, which bounds the exit
+    /// position range.
+    pub fn num_mbconv_layers(&self) -> usize {
+        self.layers.iter().filter(|l| l.kind.is_exitable()).count()
+    }
+
+    /// The MBConv layers only, in execution order. Exit position `i`
+    /// (1-based, as in the paper) attaches after `mbconv_layers()[i-1]`.
+    pub fn mbconv_layers(&self) -> Vec<&LayerInfo> {
+        self.layers.iter().filter(|l| l.kind.is_exitable()).collect()
+    }
+
+    /// Total multiply–accumulates for one inference.
+    pub fn total_flops(&self) -> f64 {
+        self.layers.iter().map(|l| l.flops).sum()
+    }
+
+    /// Total parameter count.
+    pub fn total_params(&self) -> f64 {
+        self.layers.iter().map(|l| l.params).sum()
+    }
+
+    /// Total memory traffic in bytes.
+    pub fn total_bytes(&self) -> f64 {
+        self.layers.iter().map(|l| l.act_bytes + l.weight_bytes).sum()
+    }
+
+    /// MACs of the backbone *prefix* ending after MBConv layer `pos`
+    /// (1-based), including the stem — the compute an early exit at `pos`
+    /// saves the remainder of.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is zero or exceeds [`Subnet::num_mbconv_layers`].
+    pub fn prefix_flops(&self, pos: usize) -> f64 {
+        assert!(pos >= 1 && pos <= self.num_mbconv_layers(), "exit position out of range");
+        let mut seen = 0usize;
+        let mut acc = 0.0;
+        for l in &self.layers {
+            acc += l.flops;
+            if l.kind.is_exitable() {
+                seen += 1;
+                if seen == pos {
+                    return acc;
+                }
+            }
+        }
+        unreachable!("position validated above")
+    }
+
+    /// Fraction of total MACs spent by the prefix ending at MBConv layer
+    /// `pos` (1-based). Used by the accuracy surrogate as the "depth
+    /// fraction" of an exit.
+    pub fn depth_fraction(&self, pos: usize) -> f64 {
+        self.prefix_flops(pos) / self.total_flops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn any_subnet(seed: u64) -> Subnet {
+        let space = SearchSpace::attentive_nas();
+        let mut rng = StdRng::seed_from_u64(seed);
+        space.decode(&space.sample(&mut rng)).unwrap()
+    }
+
+    #[test]
+    fn layer_chain_is_consistent() {
+        let net = any_subnet(0);
+        let layers = net.layers();
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].out_size, pair[1].in_size,
+                "spatial sizes must chain: {:?} -> {:?}",
+                pair[0].kind, pair[1].kind
+            );
+        }
+        // Channel chaining between stem and first MBConv.
+        assert_eq!(layers[0].c_out, layers[1].c_in);
+    }
+
+    #[test]
+    fn mbconv_count_matches_stage_depths() {
+        let net = any_subnet(1);
+        let expected: usize = net.stages().iter().map(|s| s.depth).sum();
+        assert_eq!(net.num_mbconv_layers(), expected);
+    }
+
+    #[test]
+    fn depth_range_matches_table_ii() {
+        // min depths 1+3+3+3+3+3+1 = 17; max 2+5+6+6+8+8+2 = 37.
+        let space = SearchSpace::attentive_nas();
+        let min: usize = space.stages().iter().map(|s| *s.depths.iter().min().unwrap()).sum();
+        let max: usize = space.stages().iter().map(|s| *s.depths.iter().max().unwrap()).sum();
+        assert_eq!((min, max), (17, 37));
+    }
+
+    #[test]
+    fn prefix_flops_is_monotone_in_position() {
+        let net = any_subnet(2);
+        let n = net.num_mbconv_layers();
+        let mut prev = 0.0;
+        for pos in 1..=n {
+            let p = net.prefix_flops(pos);
+            assert!(p > prev);
+            prev = p;
+        }
+        assert!(prev < net.total_flops(), "head flops remain after the last MBConv");
+    }
+
+    #[test]
+    fn depth_fraction_in_unit_interval() {
+        let net = any_subnet(3);
+        let n = net.num_mbconv_layers();
+        for pos in 1..=n {
+            let f = net.depth_fraction(pos);
+            assert!(f > 0.0 && f < 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn prefix_flops_rejects_zero() {
+        let net = any_subnet(4);
+        let _ = net.prefix_flops(0);
+    }
+
+    #[test]
+    fn bigger_genome_means_bigger_network() {
+        let space = SearchSpace::attentive_nas();
+        let min = Genome::from_genes(vec![0; space.genome_len()]);
+        let max = Genome::from_genes(
+            space.gene_cardinalities().iter().map(|&c| c - 1).collect(),
+        );
+        let small = space.decode(&min).unwrap();
+        let large = space.decode(&max).unwrap();
+        assert!(large.total_flops() > small.total_flops() * 3.0);
+        assert!(large.total_params() > small.total_params());
+    }
+
+    #[test]
+    fn resolution_scales_flops() {
+        let space = SearchSpace::attentive_nas();
+        let mut genes = vec![0usize; space.genome_len()];
+        let lo = space.decode(&Genome::from_genes(genes.clone())).unwrap();
+        genes[0] = 3; // 288 instead of 192
+        let hi = space.decode(&Genome::from_genes(genes)).unwrap();
+        let ratio = hi.total_flops() / lo.total_flops();
+        let expected = (288.0f64 / 192.0).powi(2);
+        assert!((ratio - expected).abs() / expected < 0.05, "ratio {ratio} vs {expected}");
+    }
+}

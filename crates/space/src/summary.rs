@@ -1,0 +1,134 @@
+//! Human-readable subnet summaries: per-stage breakdowns and a `Display`
+//! impl, for CLI output and debugging search results.
+
+use crate::{LayerKind, Subnet};
+use std::fmt;
+
+/// Per-stage aggregate of a decoded subnet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageSummary {
+    /// Stage index.
+    pub stage: usize,
+    /// Number of MBConv layers.
+    pub depth: usize,
+    /// Output width.
+    pub width: usize,
+    /// Kernel size.
+    pub kernel: usize,
+    /// Expansion ratio.
+    pub expand: usize,
+    /// Output spatial side length.
+    pub out_size: usize,
+    /// Total MACs of the stage.
+    pub flops: f64,
+    /// Share of the whole subnet's MACs.
+    pub flops_share: f64,
+}
+
+impl Subnet {
+    /// Per-stage FLOPs breakdown (stem and head excluded; their share is
+    /// `1 − Σ stage shares`).
+    pub fn stage_summaries(&self) -> Vec<StageSummary> {
+        let total = self.total_flops();
+        let mut flops = vec![0.0f64; self.stages().len()];
+        let mut out_size = vec![0usize; self.stages().len()];
+        for layer in self.layers() {
+            if let LayerKind::MbConv { stage, .. } = layer.kind {
+                flops[stage] += layer.flops;
+                out_size[stage] = layer.out_size;
+            }
+        }
+        self.stages()
+            .iter()
+            .enumerate()
+            .map(|(i, cfg)| StageSummary {
+                stage: i,
+                depth: cfg.depth,
+                width: cfg.width,
+                kernel: cfg.kernel,
+                expand: cfg.expand,
+                out_size: out_size[i],
+                flops: flops[i],
+                flops_share: flops[i] / total,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Subnet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Subnet: res {}, stem {}, head {}, {} MBConv layers, {:.2} GMACs, {:.1} M params",
+            self.resolution(),
+            self.stem_width(),
+            self.head_width(),
+            self.num_mbconv_layers(),
+            self.total_flops() / 1e9,
+            self.total_params() / 1e6
+        )?;
+        writeln!(
+            f,
+            "  {:>5} {:>5} {:>5} {:>6} {:>6} {:>8} {:>8} {:>6}",
+            "stage", "depth", "width", "kernel", "expand", "out", "GMACs", "share"
+        )?;
+        for s in self.stage_summaries() {
+            writeln!(
+                f,
+                "  {:>5} {:>5} {:>5} {:>6} {:>6} {:>5}x{:<3} {:>8.3} {:>5.0}%",
+                s.stage,
+                s.depth,
+                s.width,
+                s.kernel,
+                s.expand,
+                s.out_size,
+                s.out_size,
+                s.flops / 1e9,
+                s.flops_share * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{baselines, SearchSpace};
+
+    fn subnet() -> Subnet {
+        SearchSpace::attentive_nas().decode(&baselines::baseline_genome(3)).unwrap()
+    }
+
+    #[test]
+    fn summaries_cover_all_stages() {
+        let net = subnet();
+        let s = net.stage_summaries();
+        assert_eq!(s.len(), 7);
+        for (i, st) in s.iter().enumerate() {
+            assert_eq!(st.stage, i);
+            assert!(st.flops > 0.0);
+            assert!((0.0..1.0).contains(&st.flops_share));
+        }
+        // Stage shares plus stem+head make up the whole.
+        let share_sum: f64 = s.iter().map(|st| st.flops_share).sum();
+        assert!(share_sum < 1.0 && share_sum > 0.8, "share sum {share_sum}");
+    }
+
+    #[test]
+    fn display_prints_the_stage_table() {
+        let text = subnet().to_string();
+        assert!(text.contains("GMACs"));
+        assert!(text.lines().count() >= 9, "{text}");
+        assert!(text.contains("res 224"));
+    }
+
+    #[test]
+    fn stage_depths_match_config() {
+        let net = subnet();
+        for (s, cfg) in net.stage_summaries().iter().zip(net.stages()) {
+            assert_eq!(s.depth, cfg.depth);
+            assert_eq!(s.width, cfg.width);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests of the backbone space: evolutionary operators
+//! preserve validity, costs respond monotonically to size genes, and the
+//! encoding is self-consistent.
+
+use hadas_space::{Genome, SearchSpace};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn genome_strategy(space: &SearchSpace) -> impl Strategy<Value = Genome> {
+    space
+        .gene_cardinalities()
+        .into_iter()
+        .map(|c| (0..c).boxed())
+        .collect::<Vec<_>>()
+        .prop_map(Genome::from_genes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Uniform crossover of two valid genomes is valid.
+    #[test]
+    fn crossover_preserves_validity(
+        seed in 0u64..10_000,
+    ) {
+        let space = SearchSpace::attentive_nas();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = space.sample(&mut rng);
+        let b = space.sample(&mut rng);
+        let child = hadas_evo::discrete::uniform_crossover(&mut rng, a.genes(), b.genes());
+        prop_assert!(space.validate(&Genome::from_genes(child)).is_ok());
+    }
+
+    /// Reset mutation of a valid genome is valid at any rate.
+    #[test]
+    fn mutation_preserves_validity(
+        seed in 0u64..10_000,
+        rate in 0.0f64..1.0,
+    ) {
+        let space = SearchSpace::attentive_nas();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = space.sample(&mut rng);
+        let cards = space.gene_cardinalities();
+        let m = hadas_evo::discrete::reset_mutation(&mut rng, g.genes(), &cards, rate);
+        prop_assert!(space.validate(&Genome::from_genes(m)).is_ok());
+    }
+
+    /// Raising any single width/depth/kernel/expand gene never lowers
+    /// FLOPs (choice lists are ascending).
+    #[test]
+    fn raising_a_gene_never_lowers_flops(genome in genome_strategy(&SearchSpace::attentive_nas()), gene_frac in 0.0f64..1.0) {
+        let space = SearchSpace::attentive_nas();
+        let cards = space.gene_cardinalities();
+        let idx = ((cards.len() - 1) as f64 * gene_frac) as usize;
+        prop_assume!(genome.genes()[idx] + 1 < cards[idx]);
+        // Skip the resolution gene (index 0) interplay is still monotone,
+        // so no exclusions needed; raise and compare.
+        let base = space.decode(&genome).expect("valid");
+        let mut raised = genome.genes().to_vec();
+        raised[idx] += 1;
+        let bigger = space.decode(&Genome::from_genes(raised)).expect("valid");
+        prop_assert!(
+            bigger.total_flops() + 1e-6 >= base.total_flops(),
+            "gene {idx}: {} -> {}",
+            base.total_flops(),
+            bigger.total_flops()
+        );
+    }
+
+    /// Decoded layer chains always start at the stem resolution and end at
+    /// a positive spatial size.
+    #[test]
+    fn layer_chain_endpoints(genome in genome_strategy(&SearchSpace::attentive_nas())) {
+        let space = SearchSpace::attentive_nas();
+        let net = space.decode(&genome).expect("valid");
+        let first = net.layers().first().expect("non-empty");
+        let last = net.layers().last().expect("non-empty");
+        prop_assert_eq!(first.in_size, net.resolution());
+        prop_assert!(last.out_size >= 1);
+        // Total downsampling: stem /2 plus four stride-2 stages = /32.
+        let mbconvs = net.mbconv_layers();
+        prop_assert_eq!(mbconvs.last().expect("has layers").out_size, net.resolution() / 32);
+    }
+
+    /// Hamming distance of a genome to a k-gene mutation is at most k.
+    #[test]
+    fn mutation_bounds_hamming_distance(seed in 0u64..10_000) {
+        let space = SearchSpace::attentive_nas();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = space.sample(&mut rng);
+        let cards = space.gene_cardinalities();
+        let m = hadas_evo::discrete::step_mutation(&mut rng, g.genes(), &cards, 0.2);
+        let child = Genome::from_genes(m);
+        prop_assert!(g.hamming(&child) <= g.len());
+        // Step mutation moves each gene at most one index.
+        for (a, b) in g.genes().iter().zip(child.genes()) {
+            prop_assert!(a.abs_diff(*b) <= 1);
+        }
+    }
+}

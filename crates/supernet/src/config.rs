@@ -1,0 +1,184 @@
+use crate::SupernetError;
+use rand::Rng;
+
+/// Static configuration of a micro supernet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupernetConfig {
+    /// Number of output classes.
+    pub classes: usize,
+    /// Square input image side length.
+    pub image_size: usize,
+    /// Input channels (3 for RGB).
+    pub in_channels: usize,
+    /// Per-stage maximum depth (layers).
+    pub max_depths: Vec<usize>,
+    /// Per-stage maximum width (channels); subnets use prefixes of it.
+    pub max_widths: Vec<usize>,
+    /// Per-stage selectable width choices (ascending, each ≤ the max).
+    pub width_choices: Vec<Vec<usize>>,
+    /// Convolution kernel size (square).
+    pub kernel: usize,
+}
+
+impl SupernetConfig {
+    /// A two-stage elastic net small enough to train in unit tests.
+    pub fn tiny() -> Self {
+        SupernetConfig {
+            classes: 6,
+            image_size: 8,
+            in_channels: 3,
+            max_depths: vec![2, 2],
+            max_widths: vec![12, 16],
+            width_choices: vec![vec![6, 12], vec![8, 16]],
+            kernel: 3,
+        }
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.max_depths.len()
+    }
+
+    /// Number of distinct subnets this supernet contains.
+    pub fn cardinality(&self) -> usize {
+        self.max_depths
+            .iter()
+            .zip(self.width_choices.iter())
+            .map(|(&d, w)| d * w.len())
+            .product()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupernetError::InvalidChoice`] on inconsistent fields.
+    pub fn validate(&self) -> Result<(), SupernetError> {
+        if self.max_depths.len() != self.max_widths.len()
+            || self.max_depths.len() != self.width_choices.len()
+        {
+            return Err(SupernetError::InvalidChoice("per-stage lists disagree".into()));
+        }
+        if self.max_depths.contains(&0) {
+            return Err(SupernetError::InvalidChoice("zero-depth stage".into()));
+        }
+        for (choices, &max) in self.width_choices.iter().zip(self.max_widths.iter()) {
+            if choices.is_empty() || choices.iter().any(|&w| w == 0 || w > max) {
+                return Err(SupernetError::InvalidChoice(format!(
+                    "width choices {choices:?} outside (0, {max}]"
+                )));
+            }
+            if choices.windows(2).any(|p| p[1] <= p[0]) {
+                return Err(SupernetError::InvalidChoice("width choices must ascend".into()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One subnet of the supernet: per-stage depth and width.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SubnetChoice {
+    /// Layers used per stage (1-based count, ≤ max depth).
+    pub depths: Vec<usize>,
+    /// Channels used per stage (must be one of the width choices).
+    pub widths: Vec<usize>,
+}
+
+impl SubnetChoice {
+    /// The maximal subnet (full depth and width everywhere).
+    pub fn max(cfg: &SupernetConfig) -> Self {
+        SubnetChoice { depths: cfg.max_depths.clone(), widths: cfg.max_widths.clone() }
+    }
+
+    /// The minimal subnet (depth 1, smallest width everywhere).
+    pub fn min(cfg: &SupernetConfig) -> Self {
+        SubnetChoice {
+            depths: vec![1; cfg.stages()],
+            widths: cfg.width_choices.iter().map(|c| c[0]).collect(),
+        }
+    }
+
+    /// A uniformly random subnet.
+    pub fn sample<R: Rng>(cfg: &SupernetConfig, rng: &mut R) -> Self {
+        SubnetChoice {
+            depths: cfg.max_depths.iter().map(|&d| rng.gen_range(1..=d)).collect(),
+            widths: cfg
+                .width_choices
+                .iter()
+                .map(|c| c[rng.gen_range(0..c.len())])
+                .collect(),
+        }
+    }
+
+    /// Validates this choice against `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupernetError::InvalidChoice`] when out of range.
+    pub fn validate(&self, cfg: &SupernetConfig) -> Result<(), SupernetError> {
+        if self.depths.len() != cfg.stages() || self.widths.len() != cfg.stages() {
+            return Err(SupernetError::InvalidChoice("stage count mismatch".into()));
+        }
+        for (s, (&d, &w)) in self.depths.iter().zip(self.widths.iter()).enumerate() {
+            if d == 0 || d > cfg.max_depths[s] {
+                return Err(SupernetError::InvalidChoice(format!(
+                    "stage {s} depth {d} outside [1, {}]",
+                    cfg.max_depths[s]
+                )));
+            }
+            if !cfg.width_choices[s].contains(&w) {
+                return Err(SupernetError::InvalidChoice(format!(
+                    "stage {s} width {w} not in {:?}",
+                    cfg.width_choices[s]
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn tiny_config_validates() {
+        let cfg = SupernetConfig::tiny();
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.cardinality(), (2 * 2) * (2 * 2));
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let mut cfg = SupernetConfig::tiny();
+        cfg.width_choices[0] = vec![24]; // exceeds max width 12
+        assert!(cfg.validate().is_err());
+        let mut cfg = SupernetConfig::tiny();
+        cfg.max_depths[1] = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SupernetConfig::tiny();
+        cfg.width_choices[0] = vec![12, 6]; // descending
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn sampled_choices_validate() {
+        let cfg = SupernetConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let c = SubnetChoice::sample(&cfg, &mut rng);
+            assert!(c.validate(&cfg).is_ok());
+        }
+    }
+
+    #[test]
+    fn min_and_max_bracket_the_family() {
+        let cfg = SupernetConfig::tiny();
+        assert!(SubnetChoice::max(&cfg).validate(&cfg).is_ok());
+        assert!(SubnetChoice::min(&cfg).validate(&cfg).is_ok());
+        let bad = SubnetChoice { depths: vec![3, 1], widths: vec![6, 8] };
+        assert!(bad.validate(&cfg).is_err());
+    }
+}

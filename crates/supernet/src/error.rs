@@ -1,0 +1,53 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the micro supernet.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SupernetError {
+    /// A subnet choice referenced widths/depths outside the supernet.
+    InvalidChoice(String),
+    /// The NN substrate failed (shape mismatch, geometry, ...).
+    Nn(hadas_nn::NnError),
+}
+
+impl fmt::Display for SupernetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupernetError::InvalidChoice(msg) => write!(f, "invalid subnet choice: {msg}"),
+            SupernetError::Nn(e) => write!(f, "nn substrate failed: {e}"),
+        }
+    }
+}
+
+impl Error for SupernetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SupernetError::Nn(e) => Some(e),
+            SupernetError::InvalidChoice(_) => None,
+        }
+    }
+}
+
+impl From<hadas_nn::NnError> for SupernetError {
+    fn from(e: hadas_nn::NnError) -> Self {
+        SupernetError::Nn(e)
+    }
+}
+
+impl From<hadas_tensor::TensorError> for SupernetError {
+    fn from(e: hadas_tensor::TensorError) -> Self {
+        SupernetError::Nn(hadas_nn::NnError::Tensor(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_chain() {
+        let e = SupernetError::from(hadas_nn::NnError::LabelMismatch { batch: 1, labels: 2 });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,46 @@
+//! # hadas-supernet
+//!
+//! A *real* weight-sharing once-for-all supernet at micro scale — the
+//! foundation HADAS builds on ("leverage the existing infrastructure of
+//! pretrained supernets", paper §III/§IV-A.1).
+//!
+//! The enabling trick of OFA-style NAS is that **every subnet shares the
+//! supernet's parameters**: a subnet with width `w` uses the *first* `w`
+//! output channels of each shared convolution, and a subnet with depth
+//! `d` uses the first `d` layers of each stage. Training the supernet
+//! (sampling random subnets per step plus the max subnet) therefore
+//! trains the whole architecture family at once, making training and
+//! search disjoint — the property that lets HADAS treat `B` as a space of
+//! *pretrained* backbones.
+//!
+//! This crate implements that mechanism for real with the `hadas-nn`
+//! substrate: [`SharedConv2d`]/[`SharedLinear`] own max-size weights and
+//! execute channel-sliced forward/backward passes; [`MicroSupernet`]
+//! composes them into an elastic-width, elastic-depth network trainable
+//! on the synthetic dataset.
+//!
+//! ```
+//! use hadas_supernet::{MicroSupernet, SupernetConfig, SubnetChoice};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), hadas_supernet::SupernetError> {
+//! let cfg = SupernetConfig::tiny();
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut net = MicroSupernet::new(&cfg, &mut rng)?;
+//! let max = SubnetChoice::max(&cfg);
+//! let x = hadas_tensor::Tensor::ones(&[2, 3, cfg.image_size, cfg.image_size]);
+//! let logits = net.forward(&x, &max)?;
+//! assert_eq!(logits.shape().dims(), &[2, cfg.classes]);
+//! # Ok(())
+//! # }
+//! ```
+
+mod config;
+mod error;
+mod shared;
+mod supernet;
+
+pub use config::{SubnetChoice, SupernetConfig};
+pub use error::SupernetError;
+pub use shared::{SharedConv2d, SharedLinear};
+pub use supernet::{MicroSupernet, SupernetTrainReport};

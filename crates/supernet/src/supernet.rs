@@ -1,0 +1,336 @@
+use crate::{SharedConv2d, SharedLinear, SubnetChoice, SupernetConfig, SupernetError};
+use hadas_dataset::SyntheticDataset;
+use hadas_nn::{accuracy, nll_loss, Layer, Relu, Sgd};
+use hadas_tensor::Tensor;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// The elastic micro supernet: a stem, per-stage stacks of shared
+/// convolutions with elastic width and depth, global pooling, and a
+/// shared classifier.
+///
+/// Every subnet ([`SubnetChoice`]) runs on *slices* of the same parameter
+/// tensors, so training any subnet moves weights every other subnet uses —
+/// the once-for-all property.
+#[derive(Debug)]
+pub struct MicroSupernet {
+    config: SupernetConfig,
+    stem: SharedConv2d,
+    stages: Vec<Vec<SharedConv2d>>,
+    relus: Vec<Vec<Relu>>,
+    stem_relu: Relu,
+    pool: hadas_nn::GlobalAvgPool,
+    classifier: SharedLinear,
+}
+
+/// Outcome of supernet training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupernetTrainReport {
+    /// Mean loss over the final epoch (max-subnet passes).
+    pub final_loss: f32,
+    /// Optimizer steps taken.
+    pub steps: usize,
+}
+
+impl MicroSupernet {
+    /// Builds a supernet with randomly initialised shared weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupernetError::InvalidChoice`] for inconsistent configs.
+    pub fn new<R: Rng>(config: &SupernetConfig, rng: &mut R) -> Result<Self, SupernetError> {
+        config.validate()?;
+        let stem = SharedConv2d::new(rng, config.in_channels, config.max_widths[0], config.kernel);
+        let mut stages = Vec::with_capacity(config.stages());
+        let mut relus = Vec::with_capacity(config.stages());
+        for s in 0..config.stages() {
+            let c_in_max = if s == 0 { config.max_widths[0] } else { config.max_widths[s - 1] };
+            let mut layers = Vec::with_capacity(config.max_depths[s]);
+            let mut stage_relus = Vec::with_capacity(config.max_depths[s]);
+            for l in 0..config.max_depths[s] {
+                let cin = if l == 0 { c_in_max } else { config.max_widths[s] };
+                layers.push(SharedConv2d::new(rng, cin, config.max_widths[s], config.kernel));
+                stage_relus.push(Relu::new());
+            }
+            stages.push(layers);
+            relus.push(stage_relus);
+        }
+        let classifier =
+            SharedLinear::new(rng, *config.max_widths.last().expect("stages > 0"), config.classes);
+        Ok(MicroSupernet {
+            config: config.clone(),
+            stem,
+            stages,
+            relus,
+            stem_relu: Relu::new(),
+            pool: hadas_nn::GlobalAvgPool::new(),
+            classifier,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SupernetConfig {
+        &self.config
+    }
+
+    /// Forward pass of one subnet: `x` is `(n, in_channels, s, s)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupernetError::InvalidChoice`] for invalid choices or
+    /// propagates tensor errors.
+    pub fn forward(&mut self, x: &Tensor, choice: &SubnetChoice) -> Result<Tensor, SupernetError> {
+        choice.validate(&self.config)?;
+        // Stem: always present, sliced to the first stage's active width.
+        let mut h = self.stem.forward_slice(x, choice.widths[0])?;
+        h = self.stem_relu.forward(&h).map_err(SupernetError::Nn)?;
+        for s in 0..self.config.stages() {
+            for l in 0..choice.depths[s] {
+                h = self.stages[s][l].forward_slice(&h, choice.widths[s])?;
+                h = self.relus[s][l].forward(&h).map_err(SupernetError::Nn)?;
+            }
+        }
+        let pooled = self.pool.forward(&h).map_err(SupernetError::Nn)?;
+        self.classifier.forward_slice(&pooled)
+    }
+
+    /// Backward pass for the subnet used in the preceding forward call.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the forward cache is missing or shapes clash.
+    pub fn backward(
+        &mut self,
+        grad_logits: &Tensor,
+        choice: &SubnetChoice,
+    ) -> Result<(), SupernetError> {
+        let mut g = self.classifier.backward_slice(grad_logits)?;
+        g = self.pool.backward(&g).map_err(SupernetError::Nn)?;
+        for s in (0..self.config.stages()).rev() {
+            for l in (0..choice.depths[s]).rev() {
+                g = self.relus[s][l].backward(&g).map_err(SupernetError::Nn)?;
+                g = self.stages[s][l].backward_slice(&g)?;
+            }
+        }
+        g = self.stem_relu.backward(&g).map_err(SupernetError::Nn)?;
+        let _ = self.stem.backward_slice(&g)?;
+        Ok(())
+    }
+
+    /// Zeroes every shared gradient.
+    pub fn zero_grad(&mut self) {
+        self.stem.zero_grad();
+        for stage in &mut self.stages {
+            for layer in stage {
+                layer.zero_grad();
+            }
+        }
+        self.classifier.zero_grad();
+    }
+
+    fn all_params(&mut self) -> Vec<&mut hadas_nn::Param> {
+        let mut params = self.stem.params_mut();
+        for stage in &mut self.stages {
+            for layer in stage {
+                params.extend(layer.params_mut());
+            }
+        }
+        params.extend(self.classifier.params_mut());
+        params
+    }
+
+    /// Total shared parameter count.
+    pub fn param_count(&mut self) -> usize {
+        self.all_params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Trains the supernet with the OFA sandwich rule: each step runs the
+    /// **max** subnet, the **min** subnet, and one **random** subnet on
+    /// the same batch, then applies the accumulated shared gradients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates batching and NN errors.
+    pub fn train(
+        &mut self,
+        data: &SyntheticDataset,
+        epochs: usize,
+        batch: usize,
+        lr: f32,
+        seed: u64,
+    ) -> Result<SupernetTrainReport, SupernetError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut opt = Sgd::new(lr, 0.9, 1e-4);
+        let max_choice = SubnetChoice::max(&self.config);
+        let min_choice = SubnetChoice::min(&self.config);
+        let train_size = data.train().len();
+        let mut steps = 0usize;
+        let mut last_epoch_loss = 0.0f32;
+        for _epoch in 0..epochs {
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
+            let mut start = 0usize;
+            while start + batch <= train_size {
+                let (images, labels) = data
+                    .train_batch(start, batch)
+                    .map_err(|e| SupernetError::InvalidChoice(e.to_string()))?;
+                self.zero_grad();
+                // Max subnet pass (anchor of the sandwich rule).
+                let logits = self.forward(&images, &max_choice)?;
+                let (loss, grad) = nll_loss(&logits, &labels).map_err(SupernetError::Nn)?;
+                self.backward(&grad, &max_choice)?;
+                // Min subnet anchor.
+                let logits_min = self.forward(&images, &min_choice)?;
+                let (_, grad_min) = nll_loss(&logits_min, &labels).map_err(SupernetError::Nn)?;
+                self.backward(&grad_min, &min_choice)?;
+                // One random subnet pass on the same batch.
+                let sampled = SubnetChoice::sample(&self.config, &mut rng);
+                let logits_s = self.forward(&images, &sampled)?;
+                let (_, grad_s) = nll_loss(&logits_s, &labels).map_err(SupernetError::Nn)?;
+                self.backward(&grad_s, &sampled)?;
+                opt.step(self.all_params());
+                epoch_loss += loss;
+                batches += 1;
+                steps += 1;
+                start += batch;
+            }
+            last_epoch_loss = epoch_loss / batches.max(1) as f32;
+        }
+        Ok(SupernetTrainReport { final_loss: last_epoch_loss, steps })
+    }
+
+    /// Top-1 accuracy of one subnet on the test split.
+    ///
+    /// # Errors
+    ///
+    /// Propagates batching and NN errors.
+    pub fn evaluate(
+        &mut self,
+        data: &SyntheticDataset,
+        choice: &SubnetChoice,
+    ) -> Result<f32, SupernetError> {
+        let n = data.test().len();
+        let (images, labels) = data
+            .test_batch(0, n)
+            .map_err(|e| SupernetError::InvalidChoice(e.to_string()))?;
+        let logits = self.forward(&images, choice)?;
+        accuracy(&logits, &labels).map_err(SupernetError::Nn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadas_dataset::{DatasetConfig, DifficultyDistribution};
+
+    fn tiny_data() -> SyntheticDataset {
+        let mut cfg = DatasetConfig::small();
+        cfg.classes = SupernetConfig::tiny().classes;
+        cfg.train_size = 96;
+        cfg.test_size = 48;
+        // Easy data so a micro net learns in a few epochs.
+        cfg.difficulty = DifficultyDistribution::new(1.2, 6.0).expect("valid shapes");
+        SyntheticDataset::generate(&cfg, 42).expect("valid config")
+    }
+
+    #[test]
+    fn every_subnet_choice_produces_class_logits() {
+        let cfg = SupernetConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = MicroSupernet::new(&cfg, &mut rng).unwrap();
+        let x = Tensor::ones(&[2, 3, cfg.image_size, cfg.image_size]);
+        for depths in [[1, 1], [2, 1], [1, 2], [2, 2]] {
+            for &w0 in &cfg.width_choices[0] {
+                for &w1 in &cfg.width_choices[1] {
+                    let choice = SubnetChoice {
+                        depths: depths.to_vec(),
+                        widths: vec![w0, w1],
+                    };
+                    let y = net.forward(&x, &choice).unwrap();
+                    assert_eq!(y.shape().dims(), &[2, cfg.classes]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_choices_are_rejected() {
+        let cfg = SupernetConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = MicroSupernet::new(&cfg, &mut rng).unwrap();
+        let x = Tensor::ones(&[1, 3, cfg.image_size, cfg.image_size]);
+        let bad = SubnetChoice { depths: vec![3, 1], widths: vec![6, 8] };
+        assert!(net.forward(&x, &bad).is_err());
+        let bad_w = SubnetChoice { depths: vec![1, 1], widths: vec![7, 8] };
+        assert!(net.forward(&x, &bad_w).is_err());
+    }
+
+    #[test]
+    fn training_the_supernet_trains_every_subnet() {
+        // The once-for-all property: after sandwich training, the max
+        // subnet AND the min subnet (never explicitly anchored) both beat
+        // chance decisively on held-out data.
+        let cfg = SupernetConfig::tiny();
+        let data = tiny_data();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = MicroSupernet::new(&cfg, &mut rng).unwrap();
+        let chance = 1.0 / cfg.classes as f32;
+        let before_max = net.evaluate(&data, &SubnetChoice::max(&cfg)).unwrap();
+        net.train(&data, 8, 16, 0.05, 9).unwrap();
+        let after_max = net.evaluate(&data, &SubnetChoice::max(&cfg)).unwrap();
+        let after_min = net.evaluate(&data, &SubnetChoice::min(&cfg)).unwrap();
+        assert!(after_max > chance * 2.0, "max subnet {after_max} vs chance {chance}");
+        assert!(after_min > chance * 2.0, "min subnet {after_min} vs chance {chance}");
+        assert!(after_max >= before_max, "training must not hurt the anchor");
+    }
+
+    #[test]
+    fn shared_weights_couple_subnets() {
+        // Training only via forward/backward on the max subnet must change
+        // the *min* subnet's predictions (they share parameters).
+        let cfg = SupernetConfig::tiny();
+        let data = tiny_data();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = MicroSupernet::new(&cfg, &mut rng).unwrap();
+        let min_choice = SubnetChoice::min(&cfg);
+        let (images, labels) = data.train_batch(0, 16).unwrap();
+        let before = net.forward(&images, &min_choice).unwrap();
+        // One max-subnet step.
+        let max_choice = SubnetChoice::max(&cfg);
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        net.zero_grad();
+        let logits = net.forward(&images, &max_choice).unwrap();
+        let (_, grad) = nll_loss(&logits, &labels).unwrap();
+        net.backward(&grad, &max_choice).unwrap();
+        opt.step(net.all_params());
+        let after = net.forward(&images, &min_choice).unwrap();
+        assert_ne!(before, after, "shared weights must couple the subnets");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let cfg = SupernetConfig::tiny();
+        let data = tiny_data();
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut net = MicroSupernet::new(&cfg, &mut rng).unwrap();
+            net.train(&data, 2, 16, 0.05, seed).unwrap();
+            net.evaluate(&data, &SubnetChoice::max(&cfg)).unwrap()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn param_count_matches_architecture() {
+        let cfg = SupernetConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = MicroSupernet::new(&cfg, &mut rng).unwrap();
+        // stem 3->12 + s0: 12->12 ×2 + s1 first 12->16, second 16->16 + fc 16->6
+        let k2 = 9;
+        let expected = (3 * 12 * k2 + 12)
+            + (12 * 12 * k2 + 12) * 2
+            + (12 * 16 * k2 + 16)
+            + (16 * 16 * k2 + 16)
+            + (16 * 6 + 6);
+        assert_eq!(net.param_count(), expected);
+    }
+}

@@ -1,0 +1,281 @@
+use crate::{Tensor, TensorError};
+
+/// The geometry of a 2-D convolution: spatial sizes, kernel, stride, padding.
+///
+/// Constructed once per layer and reused for forward (`im2col`) and backward
+/// (`col2im`) passes. Output sizes are computed with the usual floor rule.
+///
+/// ```
+/// use hadas_tensor::Conv2dGeometry;
+/// # fn main() -> Result<(), hadas_tensor::TensorError> {
+/// let g = Conv2dGeometry::new(32, 32, 3, 1, 1)?;
+/// assert_eq!((g.out_h(), g.out_w()), (32, 32));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dGeometry {
+    in_h: usize,
+    in_w: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    out_h: usize,
+    out_w: usize,
+}
+
+impl Conv2dGeometry {
+    /// Creates a square-kernel convolution geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] if the kernel or stride is
+    /// zero, or if the padded input is smaller than the kernel.
+    pub fn new(
+        in_h: usize,
+        in_w: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self, TensorError> {
+        if kernel == 0 || stride == 0 {
+            return Err(TensorError::InvalidGeometry(
+                "kernel and stride must be non-zero".to_string(),
+            ));
+        }
+        let padded_h = in_h + 2 * padding;
+        let padded_w = in_w + 2 * padding;
+        if padded_h < kernel || padded_w < kernel {
+            return Err(TensorError::InvalidGeometry(format!(
+                "kernel {kernel} exceeds padded input {padded_h}x{padded_w}"
+            )));
+        }
+        Ok(Conv2dGeometry {
+            in_h,
+            in_w,
+            kernel,
+            stride,
+            padding,
+            out_h: (padded_h - kernel) / stride + 1,
+            out_w: (padded_w - kernel) / stride + 1,
+        })
+    }
+
+    /// Input height.
+    pub fn in_h(&self) -> usize {
+        self.in_h
+    }
+
+    /// Input width.
+    pub fn in_w(&self) -> usize {
+        self.in_w
+    }
+
+    /// Kernel side length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding on each border.
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        self.out_h
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        self.out_w
+    }
+}
+
+/// Unfolds an input image batch `(n, c, h, w)` into a matrix of patch
+/// columns with shape `(n * out_h * out_w, c * k * k)`, so convolution
+/// becomes a single [`Tensor::matmul`] against the flattened kernel bank.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] unless `input` is rank 4, or
+/// [`TensorError::InvalidGeometry`] if the spatial dims disagree with `geo`.
+pub fn im2col(input: &Tensor, geo: &Conv2dGeometry) -> Result<Tensor, TensorError> {
+    if input.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, got: input.shape().rank() });
+    }
+    let dims = input.shape().dims();
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    if h != geo.in_h || w != geo.in_w {
+        return Err(TensorError::InvalidGeometry(format!(
+            "input {h}x{w} does not match geometry {}x{}",
+            geo.in_h, geo.in_w
+        )));
+    }
+    let k = geo.kernel;
+    let rows = n * geo.out_h * geo.out_w;
+    let cols = c * k * k;
+    let mut out = vec![0.0f32; rows * cols];
+    let src = input.as_slice();
+    let mut row = 0usize;
+    for img in 0..n {
+        for oy in 0..geo.out_h {
+            for ox in 0..geo.out_w {
+                let base = row * cols;
+                for ch in 0..c {
+                    for ky in 0..k {
+                        let iy = (oy * geo.stride + ky) as isize - geo.padding as isize;
+                        for kx in 0..k {
+                            let ix = (ox * geo.stride + kx) as isize - geo.padding as isize;
+                            let col = ch * k * k + ky * k + kx;
+                            if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                let off =
+                                    ((img * c + ch) * h + iy as usize) * w + ix as usize;
+                                out[base + col] = src[off];
+                            }
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Folds a patch-column matrix back into an image batch, accumulating
+/// overlapping contributions — the adjoint of [`im2col`], used to propagate
+/// gradients to a convolution's input.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `cols` does not have the shape
+/// `im2col` would produce for `(n, c)` under `geo`.
+pub fn col2im(
+    cols: &Tensor,
+    n: usize,
+    c: usize,
+    geo: &Conv2dGeometry,
+) -> Result<Tensor, TensorError> {
+    let k = geo.kernel;
+    let rows = n * geo.out_h * geo.out_w;
+    let width = c * k * k;
+    if cols.shape().dims() != [rows, width] {
+        return Err(TensorError::ShapeMismatch {
+            left: cols.shape().dims().to_vec(),
+            right: vec![rows, width],
+        });
+    }
+    let (h, w) = (geo.in_h, geo.in_w);
+    let mut out = vec![0.0f32; n * c * h * w];
+    let src = cols.as_slice();
+    let mut row = 0usize;
+    for img in 0..n {
+        for oy in 0..geo.out_h {
+            for ox in 0..geo.out_w {
+                let base = row * width;
+                for ch in 0..c {
+                    for ky in 0..k {
+                        let iy = (oy * geo.stride + ky) as isize - geo.padding as isize;
+                        for kx in 0..k {
+                            let ix = (ox * geo.stride + kx) as isize - geo.padding as isize;
+                            if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                let off =
+                                    ((img * c + ch) * h + iy as usize) * w + ix as usize;
+                                out[off] += src[base + ch * k * k + ky * k + kx];
+                            }
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_rejects_zero_kernel() {
+        assert!(Conv2dGeometry::new(8, 8, 0, 1, 0).is_err());
+        assert!(Conv2dGeometry::new(8, 8, 3, 0, 0).is_err());
+    }
+
+    #[test]
+    fn geometry_rejects_oversized_kernel() {
+        assert!(Conv2dGeometry::new(2, 2, 5, 1, 0).is_err());
+        // But padding can rescue it.
+        assert!(Conv2dGeometry::new(2, 2, 5, 1, 2).is_ok());
+    }
+
+    #[test]
+    fn same_padding_preserves_spatial_size() {
+        let g = Conv2dGeometry::new(17, 13, 3, 1, 1).unwrap();
+        assert_eq!((g.out_h(), g.out_w()), (17, 13));
+    }
+
+    #[test]
+    fn stride_two_halves_spatial_size() {
+        let g = Conv2dGeometry::new(32, 32, 3, 2, 1).unwrap();
+        assert_eq!((g.out_h(), g.out_w()), (16, 16));
+    }
+
+    #[test]
+    fn im2col_1x1_kernel_is_reshape() {
+        let x = Tensor::from_vec((0..2 * 3 * 2 * 2).map(|v| v as f32).collect(), &[2, 3, 2, 2])
+            .unwrap();
+        let g = Conv2dGeometry::new(2, 2, 1, 1, 0).unwrap();
+        let m = im2col(&x, &g).unwrap();
+        assert_eq!(m.shape().dims(), &[2 * 2 * 2, 3]);
+        // Row 0 = pixel (0,0) of image 0 across channels: offsets 0, 4, 8.
+        assert_eq!(&m.as_slice()[0..3], &[0.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn im2col_matches_direct_convolution() {
+        // 1 image, 1 channel, 3x3 input, 2x2 kernel, stride 1, no padding.
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap();
+        let g = Conv2dGeometry::new(3, 3, 2, 1, 0).unwrap();
+        let m = im2col(&x, &g).unwrap();
+        // Kernel of all ones => every output = sum of a 2x2 patch.
+        let w = Tensor::ones(&[4, 1]);
+        let y = m.matmul(&w).unwrap();
+        assert_eq!(y.as_slice(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y.
+        let x = Tensor::from_vec(
+            (0..2 * 4 * 4).map(|v| ((v * 7 % 13) as f32) - 6.0).collect(),
+            &[1, 2, 4, 4],
+        )
+        .unwrap();
+        let g = Conv2dGeometry::new(4, 4, 3, 1, 1).unwrap();
+        let m = im2col(&x, &g).unwrap();
+        let y = Tensor::from_vec(
+            (0..m.len()).map(|v| ((v * 5 % 11) as f32) - 5.0).collect(),
+            m.shape().dims(),
+        )
+        .unwrap();
+        let lhs: f32 = m.mul(&y).unwrap().sum();
+        let back = col2im(&y, 1, 2, &g).unwrap();
+        let rhs: f32 = x.mul(&back).unwrap().sum();
+        assert!((lhs - rhs).abs() < 1e-3, "adjoint identity violated: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_rejects_wrong_shape() {
+        let g = Conv2dGeometry::new(4, 4, 3, 1, 1).unwrap();
+        let bad = Tensor::zeros(&[3, 3]);
+        assert!(col2im(&bad, 1, 2, &g).is_err());
+    }
+}

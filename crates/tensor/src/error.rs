@@ -1,0 +1,101 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor operations.
+///
+/// Every fallible public function in this crate returns `Result<_, TensorError>`.
+/// The variants carry enough context (the offending shapes or sizes) to
+/// diagnose a failure without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The flat data length does not match the product of the requested shape.
+    LengthMismatch {
+        /// Number of elements supplied.
+        len: usize,
+        /// Number of elements the shape requires.
+        expected: usize,
+    },
+    /// Two tensors that must share a shape do not.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: Vec<usize>,
+        /// Shape of the right operand.
+        right: Vec<usize>,
+    },
+    /// An operation required a tensor of a particular rank.
+    RankMismatch {
+        /// Rank the operation expected.
+        expected: usize,
+        /// Rank it was given.
+        got: usize,
+    },
+    /// Inner dimensions of a matrix product disagree.
+    MatmulDimMismatch {
+        /// Columns of the left matrix.
+        left_cols: usize,
+        /// Rows of the right matrix.
+        right_rows: usize,
+    },
+    /// A convolution geometry is impossible (e.g. kernel larger than padded input).
+    InvalidGeometry(String),
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The requested axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { len, expected } => {
+                write!(f, "data length {len} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::RankMismatch { expected, got } => {
+                write!(f, "expected rank {expected}, got rank {got}")
+            }
+            TensorError::MatmulDimMismatch { left_cols, right_rows } => {
+                write!(f, "matmul inner dimensions disagree: {left_cols} vs {right_rows}")
+            }
+            TensorError::InvalidGeometry(msg) => write!(f, "invalid convolution geometry: {msg}"),
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = TensorError::LengthMismatch { len: 3, expected: 4 };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('4'));
+        assert!(s.chars().next().is_some_and(|c| c.is_lowercase()));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn shape_mismatch_reports_both_sides() {
+        let e = TensorError::ShapeMismatch { left: vec![2, 3], right: vec![3, 2] };
+        let s = e.to_string();
+        assert!(s.contains("[2, 3]"));
+        assert!(s.contains("[3, 2]"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Seeded random tensor initialisers.
+//!
+//! All weight initialisation in the HADAS reproduction flows through these
+//! functions with a caller-owned RNG, so every training run is reproducible
+//! from a single seed.
+
+use crate::Tensor;
+use rand::Rng;
+
+/// Tensor with elements drawn uniformly from `[lo, hi)`.
+///
+/// ```
+/// use hadas_tensor::uniform;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let t = uniform(&mut rng, &[4, 4], -1.0, 1.0);
+/// assert!(t.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+/// ```
+pub fn uniform<R: Rng>(rng: &mut R, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    for x in t.as_mut_slice() {
+        *x = rng.gen_range(lo..hi);
+    }
+    t
+}
+
+/// Tensor with elements drawn from a normal distribution via Box–Muller.
+///
+/// Avoids a distribution-crate dependency; two uniforms per sample is fine
+/// at the scales involved here.
+pub fn normal<R: Rng>(rng: &mut R, dims: &[usize], mean: f32, std: f32) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    for x in t.as_mut_slice() {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        *x = mean + std * z;
+    }
+    t
+}
+
+/// Kaiming-uniform initialisation for a weight tensor whose fan-in is
+/// `fan_in` (e.g. `in_features` for linear, `c_in * k * k` for conv).
+///
+/// # Panics
+///
+/// Panics if `fan_in` is zero — a layer with no inputs is a construction bug.
+pub fn kaiming_uniform<R: Rng>(rng: &mut R, dims: &[usize], fan_in: usize) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let bound = (6.0f32 / fan_in as f32).sqrt();
+    uniform(rng, dims, -bound, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = uniform(&mut rng, &[100], -2.0, 3.0);
+        assert!(t.as_slice().iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    fn same_seed_same_tensor() {
+        let a = uniform(&mut StdRng::seed_from_u64(42), &[32], 0.0, 1.0);
+        let b = uniform(&mut StdRng::seed_from_u64(42), &[32], 0.0, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = uniform(&mut StdRng::seed_from_u64(1), &[32], 0.0, 1.0);
+        let b = uniform(&mut StdRng::seed_from_u64(2), &[32], 0.0, 1.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn normal_has_roughly_requested_moments() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = normal(&mut rng, &[10_000], 1.5, 0.5);
+        let mean = t.mean();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean();
+        assert!((mean - 1.5).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn kaiming_bound_shrinks_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let wide = kaiming_uniform(&mut rng, &[1000], 6);
+        let narrow = kaiming_uniform(&mut rng, &[1000], 600);
+        assert!(wide.max() > narrow.max());
+    }
+
+    #[test]
+    #[should_panic(expected = "fan_in")]
+    fn kaiming_rejects_zero_fan_in() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = kaiming_uniform(&mut rng, &[4], 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # hadas-tensor
+//!
+//! A small, dependency-light dense tensor library used as the numeric
+//! substrate of the HADAS reproduction. It provides exactly the primitives
+//! the micro neural-network framework (`hadas-nn`) needs to train early
+//! exit heads on synthetic data: shaped `f32` buffers, element-wise maps,
+//! reductions, matrix multiplication, and the `im2col`/`col2im` transforms
+//! behind 2-D convolution.
+//!
+//! The library favours clarity and determinism over raw speed: every
+//! operation is plain safe Rust over contiguous buffers, and all random
+//! initialisation goes through a caller-supplied seeded RNG.
+//!
+//! ```
+//! use hadas_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), hadas_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+mod conv;
+mod error;
+mod init;
+mod linalg;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use error::TensorError;
+pub use init::{kaiming_uniform, normal, uniform};
+pub use shape::Shape;
+pub use tensor::Tensor;

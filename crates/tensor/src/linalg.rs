@@ -1,0 +1,148 @@
+use crate::{Tensor, TensorError};
+
+impl Tensor {
+    /// Dense matrix product of two rank-2 tensors: `(m×k) · (k×n) = (m×n)`.
+    ///
+    /// Uses a cache-friendly i-k-j loop order with an accumulator row, which
+    /// is adequate for the small matrices that appear in exit-head training.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if either operand is not rank 2,
+    /// or [`TensorError::MatmulDimMismatch`] if inner dimensions disagree.
+    ///
+    /// ```
+    /// use hadas_tensor::Tensor;
+    /// # fn main() -> Result<(), hadas_tensor::TensorError> {
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+    /// let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+    /// assert_eq!(a.matmul(&b)?, a);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, got: self.shape().rank() });
+        }
+        if other.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, got: other.shape().rank() });
+        }
+        let (m, k) = (self.shape().dims()[0], self.shape().dims()[1]);
+        let (k2, n) = (other.shape().dims()[0], other.shape().dims()[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch { left_cols: k, right_rows: k2 });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless the tensor is rank 2.
+    pub fn transpose(&self) -> Result<Tensor, TensorError> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, got: self.shape().rank() });
+        }
+        let (m, n) = (self.shape().dims()[0], self.shape().dims()[1]);
+        let a = self.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = a[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// `x · Wᵀ + bias` — the linear-layer forward primitive, where `x` is
+    /// `(batch × in)`, `w` is `(out × in)` and `bias` is `(out)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rank or dimension error if the operands are incompatible.
+    pub fn linear(&self, w: &Tensor, bias: &Tensor) -> Result<Tensor, TensorError> {
+        let wt = w.transpose()?;
+        let mut y = self.matmul(&wt)?;
+        let (rows, cols) = (y.shape().dims()[0], y.shape().dims()[1]);
+        if bias.len() != cols {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![cols],
+                right: bias.shape().dims().to_vec(),
+            });
+        }
+        let b = bias.as_slice().to_vec();
+        let data = y.as_mut_slice();
+        for r in 0..rows {
+            for c in 0..cols {
+                data[r * cols + c] += b[c];
+            }
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_inner_dim() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(matches!(a.matmul(&b), Err(TensorError::MatmulDimMismatch { .. })));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]).unwrap();
+        assert_eq!(a.transpose().unwrap().transpose().unwrap(), a);
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let t = a.transpose().unwrap();
+        assert_eq!(t.at(&[2, 1]).unwrap(), a.at(&[1, 2]).unwrap());
+    }
+
+    #[test]
+    fn linear_applies_bias() {
+        let x = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]).unwrap();
+        let w = Tensor::from_vec(vec![2.0, 0.0, 0.0, 3.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap();
+        let y = x.linear(&w, &b).unwrap();
+        assert_eq!(y.as_slice(), &[2.5, -0.5]);
+    }
+
+    #[test]
+    fn matmul_identity_is_neutral() {
+        let a = Tensor::from_vec((0..9).map(|x| x as f32).collect(), &[3, 3]).unwrap();
+        assert_eq!(a.matmul(&Tensor::eye(3)).unwrap(), a);
+        assert_eq!(Tensor::eye(3).matmul(&a).unwrap(), a);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the tensor substrate: algebraic identities of
+//! matmul/transpose, softmax invariants, and the im2col/col2im adjoint
+//! relation over random geometries.
+
+use hadas_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(v, &[rows, cols]).expect("sized correctly"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ for random rectangular matrices.
+    #[test]
+    fn matmul_transpose_identity(
+        a in tensor_strategy(3, 4),
+        b in tensor_strategy(4, 5),
+    ) {
+        let left = a.matmul(&b).unwrap().transpose().unwrap();
+        let right = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Matmul distributes over addition: A·(B + C) = A·B + A·C.
+    #[test]
+    fn matmul_distributes(
+        a in tensor_strategy(2, 3),
+        b in tensor_strategy(3, 4),
+        c in tensor_strategy(3, 4),
+    ) {
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-2);
+        }
+    }
+
+    /// Softmax rows always sum to 1 and lie in (0, 1], even for extreme
+    /// logits.
+    #[test]
+    fn softmax_is_a_distribution(
+        v in proptest::collection::vec(-1e4f32..1e4, 12),
+    ) {
+        let t = Tensor::from_vec(v, &[3, 4]).unwrap();
+        let s = t.softmax_rows().unwrap();
+        for r in 0..3 {
+            let row = &s.as_slice()[r * 4..(r + 1) * 4];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    /// Softmax is shift-invariant: softmax(x + c) = softmax(x).
+    #[test]
+    fn softmax_shift_invariance(
+        v in proptest::collection::vec(-50.0f32..50.0, 6),
+        shift in -100.0f32..100.0,
+    ) {
+        let t = Tensor::from_vec(v.clone(), &[1, 6]).unwrap();
+        let shifted = Tensor::from_vec(v.iter().map(|x| x + shift).collect(), &[1, 6]).unwrap();
+        let a = t.softmax_rows().unwrap();
+        let b = shifted.softmax_rows().unwrap();
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// The adjoint identity <im2col(x), y> = <x, col2im(y)> holds for
+    /// random geometries — the correctness condition of conv backprop.
+    #[test]
+    fn im2col_col2im_adjoint(
+        size in 3usize..8,
+        channels in 1usize..4,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        seed in 0u64..1_000,
+    ) {
+        prop_assume!(size + 2 * padding >= kernel);
+        let geo = Conv2dGeometry::new(size, size, kernel, stride, padding).unwrap();
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = hadas_tensor::uniform(&mut rng, &[1, channels, size, size], -2.0, 2.0);
+        let m = im2col(&x, &geo).unwrap();
+        let y = hadas_tensor::uniform(&mut rng, m.shape().dims(), -2.0, 2.0);
+        let lhs: f32 = m.mul(&y).unwrap().sum();
+        let back = col2im(&y, 1, channels, &geo).unwrap();
+        let rhs: f32 = x.mul(&back).unwrap().sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()),
+            "adjoint violated: {lhs} vs {rhs}");
+    }
+
+    /// axpy then its inverse restores the original tensor.
+    #[test]
+    fn axpy_is_invertible(
+        v in proptest::collection::vec(-5.0f32..5.0, 8),
+        g in proptest::collection::vec(-5.0f32..5.0, 8),
+        k in -3.0f32..3.0,
+    ) {
+        let orig = Tensor::from_vec(v, &[8]).unwrap();
+        let grad = Tensor::from_vec(g, &[8]).unwrap();
+        let mut t = orig.clone();
+        t.axpy(k, &grad).unwrap();
+        t.axpy(-k, &grad).unwrap();
+        for (x, y) in t.as_slice().iter().zip(orig.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Reshape preserves the sum and the element multiset order.
+    #[test]
+    fn reshape_preserves_contents(
+        v in proptest::collection::vec(-5.0f32..5.0, 24),
+    ) {
+        let t = Tensor::from_vec(v, &[2, 3, 4]).unwrap();
+        let r = t.reshape(&[4, 6]).unwrap();
+        prop_assert_eq!(t.as_slice(), r.as_slice());
+    }
+}

@@ -1,0 +1,78 @@
+//! DVFS landscape scenario: sweep the full frequency grid of each edge
+//! target for one dynamic model and print the energy landscape — showing
+//! why the optimal operating point is *interior* (neither race-to-idle nor
+//! max clocks) and workload-dependent, the property the **F** subspace
+//! search exploits.
+//!
+//! ```sh
+//! cargo run --example dvfs_landscape
+//! ```
+
+use hadas_suite::core::DynamicModel;
+use hadas_suite::exits::ExitPlacement;
+use hadas_suite::hw::{DeviceModel, DvfsSetting, HwTarget};
+use hadas_suite::space::{baselines, SearchSpace};
+use hadas_suite::accuracy::AccuracyModel;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let space = SearchSpace::attentive_nas();
+    let subnet = space.decode(&baselines::baseline_genome(2))?;
+    let accuracy = AccuracyModel::cifar100();
+    let n = subnet.num_mbconv_layers();
+    let placement = ExitPlacement::new(vec![5, n / 2, n], n)?;
+
+    for target in HwTarget::ALL {
+        let device = DeviceModel::for_target(target);
+        let ladder = device.ladder();
+        println!("== {} ({} compute x {} EMC steps) ==", target, ladder.compute_steps(), ladder.emc_steps());
+
+        let mut best = (f64::INFINITY, DvfsSetting::new(0, 0));
+        let mut worst = (0.0f64, DvfsSetting::new(0, 0));
+        // Sample a coarse row of the landscape at the top EMC step.
+        let emc_top = ladder.emc_steps() - 1;
+        print!("  energy vs compute freq (mJ): ");
+        for c in 0..ladder.compute_steps() {
+            let model = DynamicModel::new(subnet.clone(), placement.clone(), DvfsSetting::new(c, emc_top));
+            let e = model.evaluate(&accuracy, &device, 1.0, true)?;
+            if c % ((ladder.compute_steps() / 6).max(1)) == 0 {
+                print!("{:.0} ", e.fitness.energy_mj);
+            }
+        }
+        println!();
+        for c in 0..ladder.compute_steps() {
+            for m in 0..ladder.emc_steps() {
+                let dvfs = DvfsSetting::new(c, m);
+                let model = DynamicModel::new(subnet.clone(), placement.clone(), dvfs);
+                let e = model.evaluate(&accuracy, &device, 1.0, true)?.fitness.energy_mj;
+                if e < best.0 {
+                    best = (e, dvfs);
+                }
+                if e > worst.0 {
+                    worst = (e, dvfs);
+                }
+            }
+        }
+        let (bc, bm) = ladder.resolve(&best.1)?;
+        let max_setting = ladder.max_setting();
+        let at_max = DynamicModel::new(subnet.clone(), placement.clone(), max_setting)
+            .evaluate(&accuracy, &device, 1.0, true)?
+            .fitness
+            .energy_mj;
+        println!(
+            "  optimum {:.1} mJ at {:.2}/{:.2} GHz (interior), max-clocks {:.1} mJ, worst {:.1} mJ",
+            best.0, bc, bm, at_max, worst.0
+        );
+        println!(
+            "  DVFS saves {:.0}% over max clocks; wrong setting wastes {:.0}%",
+            (1.0 - best.0 / at_max) * 100.0,
+            (worst.0 / best.0 - 1.0) * 100.0
+        );
+        // The optimum must be interior on at least one axis for this workload.
+        assert!(
+            best.1 != max_setting,
+            "optimal DVFS should not be max clocks for a dynamic model"
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: run a small HADAS joint search on one edge target and print
+//! the Pareto-optimal dynamic models it finds.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use hadas_suite::core::{Hadas, HadasConfig};
+use hadas_suite::hw::HwTarget;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Assemble the framework for the Jetson TX2's Pascal GPU: the
+    // AttentiveNAS-style backbone space, the CIFAR-100 accuracy surrogate,
+    // and the calibrated device model with its 13x11 DVFS ladder.
+    let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+
+    // A reduced budget that finishes in seconds. `HadasConfig::paper()`
+    // gives the paper's 450/3500-iteration budgets instead.
+    let config = HadasConfig::smoke_test();
+    let outcome = hadas.run(&config)?;
+
+    println!(
+        "explored {} backbones, {} carried an inner (exits x DVFS) search",
+        outcome.backbones().len(),
+        outcome.backbones().iter().filter(|b| b.ioe.is_some()).count()
+    );
+    println!();
+    println!("Pareto-optimal dynamic models (accuracy vs energy):");
+    println!(
+        "{:>9} {:>11} {:>12} {:>8} {:>22}",
+        "acc (%)", "energy (mJ)", "energy gain", "#exits", "DVFS (GHz compute/emc)"
+    );
+    let mut models = outcome.pareto_models();
+    models.sort_by(|a, b| b.dynamic.accuracy_pct.total_cmp(&a.dynamic.accuracy_pct));
+    for m in &models {
+        let (fc, fm) = hadas.device().ladder().resolve(&m.dvfs)?;
+        println!(
+            "{:>9.2} {:>11.1} {:>11.0}% {:>8} {:>14.2} / {:.2}",
+            m.dynamic.accuracy_pct,
+            m.dynamic.energy_mj,
+            m.dynamic.energy_gain * 100.0,
+            m.placement.len(),
+            fc,
+            fm,
+        );
+    }
+
+    // Each solution bundles everything needed for deployment: the backbone
+    // genome, where the exits go, and the frequency pair to pin.
+    if let Some(best) = models.first() {
+        println!();
+        println!(
+            "most accurate model: resolution {}, {} MBConv layers, exits after layers {:?}",
+            best.subnet.resolution(),
+            best.subnet.num_mbconv_layers(),
+            best.placement.positions()
+        );
+    }
+    Ok(())
+}

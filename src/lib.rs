@@ -1,0 +1,20 @@
+//! # hadas-suite
+//!
+//! Umbrella crate for the HADAS reproduction. It re-exports every workspace
+//! crate under one roof so examples and integration tests can `use
+//! hadas_suite::...` without tracking individual crate names.
+//!
+//! See the repository `README.md` for the architecture overview and
+//! `DESIGN.md` for the per-experiment index.
+
+pub use hadas as core;
+pub use hadas_accuracy as accuracy;
+pub use hadas_dataset as dataset;
+pub use hadas_evo as evo;
+pub use hadas_exits as exits;
+pub use hadas_hw as hw;
+pub use hadas_nn as nn;
+pub use hadas_space as space;
+pub use hadas_runtime as runtime;
+pub use hadas_supernet as supernet;
+pub use hadas_tensor as tensor;

@@ -1,0 +1,145 @@
+//! Cross-crate property-based tests (proptest): invariants of the genome
+//! encoding, the hardware cost model, the dynamic-model evaluation, and
+//! the Pareto machinery over randomly drawn inputs.
+
+use hadas_suite::accuracy::AccuracyModel;
+use hadas_suite::core::DynamicModel;
+use hadas_suite::evo::{dominates, fast_non_dominated_sort};
+use hadas_suite::exits::ExitPlacement;
+use hadas_suite::hw::{DeviceModel, DvfsSetting, HwTarget};
+use hadas_suite::space::{Genome, SearchSpace};
+use proptest::prelude::*;
+
+/// Strategy: a valid genome for the AttentiveNAS space.
+fn genome_strategy() -> impl Strategy<Value = Genome> {
+    let space = SearchSpace::attentive_nas();
+    let cards = space.gene_cardinalities();
+    cards
+        .into_iter()
+        .map(|c| (0..c).boxed())
+        .collect::<Vec<_>>()
+        .prop_map(Genome::from_genes)
+}
+
+/// Strategy: a DVFS setting valid on the TX2 Pascal GPU (13 × 11).
+fn dvfs_strategy() -> impl Strategy<Value = DvfsSetting> {
+    (0usize..13, 0usize..11).prop_map(|(c, m)| DvfsSetting::new(c, m))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every well-formed genome decodes, and the decoded subnet's layer
+    /// chain is spatially and channel-consistent.
+    #[test]
+    fn any_genome_decodes_consistently(genome in genome_strategy()) {
+        let space = SearchSpace::attentive_nas();
+        let net = space.decode(&genome).expect("valid genome must decode");
+        prop_assert!(net.total_flops() > 0.0);
+        prop_assert!(net.total_params() > 0.0);
+        for pair in net.layers().windows(2) {
+            prop_assert_eq!(pair[0].out_size, pair[1].in_size);
+        }
+        let depth: usize = net.stages().iter().map(|s| s.depth).sum();
+        prop_assert_eq!(net.num_mbconv_layers(), depth);
+    }
+
+    /// Hardware costs are positive, finite, and additive: the full subnet
+    /// cost equals the last prefix plus the remaining layers.
+    #[test]
+    fn hw_costs_are_positive_and_consistent(
+        genome in genome_strategy(),
+        dvfs in dvfs_strategy(),
+    ) {
+        let space = SearchSpace::attentive_nas();
+        let net = space.decode(&genome).expect("valid genome");
+        let dev = DeviceModel::for_target(HwTarget::Tx2PascalGpu);
+        let total = dev.subnet_cost(&net, &dvfs).expect("valid dvfs");
+        prop_assert!(total.latency_s > 0.0 && total.latency_s.is_finite());
+        prop_assert!(total.energy_j > 0.0 && total.energy_j.is_finite());
+        let n = net.num_mbconv_layers();
+        let last_prefix = dev.prefix_cost(&net, n, &dvfs).expect("valid position");
+        // Prefix through the last MBConv leaves only the head unpaid.
+        prop_assert!(last_prefix.energy_j < total.energy_j);
+        prop_assert!(last_prefix.latency_s < total.latency_s);
+    }
+
+    /// Exit fractions are probabilities and weakly increase front-to-back
+    /// in quartile means for every architecture.
+    #[test]
+    fn exit_fractions_are_sane(genome in genome_strategy()) {
+        let space = SearchSpace::attentive_nas();
+        let net = space.decode(&genome).expect("valid genome");
+        let model = AccuracyModel::cifar100();
+        let curve = model.exit_fraction_curve(&net);
+        prop_assert!(curve.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let n = curve.len();
+        let q = (n / 4).max(1);
+        let head: f64 = curve[..q].iter().sum::<f64>() / q as f64;
+        let tail: f64 = curve[n - q..].iter().sum::<f64>() / q as f64;
+        prop_assert!(tail >= head, "capability must grow with depth: {curve:?}");
+    }
+
+    /// A dynamic model's usage probabilities always form a distribution
+    /// and its dynamic energy never exceeds the full model's
+    /// (backbone + all heads) at the same DVFS setting.
+    #[test]
+    fn dynamic_evaluation_is_bounded(
+        genome in genome_strategy(),
+        dvfs in dvfs_strategy(),
+        density in 0.1f64..0.6,
+        seed in 0u64..1000,
+    ) {
+        let space = SearchSpace::attentive_nas();
+        let net = space.decode(&genome).expect("valid genome");
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let placement = ExitPlacement::sample(&mut rng, net.num_mbconv_layers(), density);
+        let model = DynamicModel::new(net, placement, dvfs);
+        let acc = AccuracyModel::cifar100();
+        let dev = DeviceModel::for_target(HwTarget::Tx2PascalGpu);
+        let eval = model.evaluate(&acc, &dev, 1.0, true).expect("valid model");
+        let total: f64 = eval.exit_usage.iter().sum::<f64>() + eval.final_usage;
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(eval.fitness.energy_mj > 0.0);
+        // dissim_1 is always 1 (no predecessor).
+        prop_assert!((eval.dissimilarities[0] - 1.0).abs() < 1e-12);
+    }
+
+    /// Non-dominated sorting: front 0 matches a brute-force Pareto filter.
+    #[test]
+    fn front_zero_matches_brute_force(
+        points in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, 3),
+            1..40,
+        )
+    ) {
+        let fronts = fast_non_dominated_sort(&points);
+        let mut front0 = fronts[0].clone();
+        front0.sort_unstable();
+        let mut brute: Vec<usize> = (0..points.len())
+            .filter(|&i| !points.iter().any(|p| dominates(p, &points[i])))
+            .collect();
+        brute.sort_unstable();
+        prop_assert_eq!(front0, brute);
+    }
+
+    /// Placement indicator encoding round-trips for arbitrary masks.
+    #[test]
+    fn placement_indicators_round_trip(
+        total in 17usize..38,
+        mask in proptest::collection::vec(any::<bool>(), 33),
+    ) {
+        let count = ExitPlacement::candidate_count(total);
+        let indicators: Vec<bool> = mask.into_iter().take(count).collect();
+        if indicators.iter().any(|&b| b) && indicators.len() == count {
+            match ExitPlacement::from_indicators(&indicators, total) {
+                Ok(p) => prop_assert_eq!(p.to_indicators(), indicators),
+                Err(_) => {
+                    // Only the nX upper bound can reject a non-empty mask.
+                    let set = indicators.iter().filter(|&&b| b).count();
+                    prop_assert!(set > total - 5);
+                }
+            }
+        }
+    }
+}
