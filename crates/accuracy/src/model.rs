@@ -78,7 +78,8 @@ impl AccuracyModel {
         // hand-picked a0..a6 points in the paper's Fig. 5.
         let depth: usize = subnet.stages().iter().map(|s| s.depth).sum();
         let depth_bonus = (0.5 * (1.0 - ((depth as f64 - 27.0) / 12.0).powi(2))).max(-0.6);
-        let res_bonus = 0.15 * ((subnet.resolution() as f64 / 224.0).ln() / (288.0f64 / 224.0).ln());
+        let res_bonus =
+            0.15 * ((subnet.resolution() as f64 / 224.0).ln() / (288.0f64 / 224.0).ln());
         (base + depth_bonus + res_bonus + self.genome_jitter(subnet, 0)).clamp(5.0, 99.0)
     }
 
@@ -106,8 +107,7 @@ impl AccuracyModel {
         let depth_share = early_depth as f64 / total_depth as f64; // ~[0.24, 0.57]
         let share_term = ((depth_share - 0.24) / 0.33).clamp(0.0, 1.0);
         let k5_early = stages.iter().take(3).filter(|s| s.kernel == 5).count() as f64 / 3.0;
-        let er_early =
-            stages.iter().skip(1).take(3).filter(|s| s.expand == 6).count() as f64 / 3.0;
+        let er_early = stages.iter().skip(1).take(3).filter(|s| s.expand == 6).count() as f64 / 3.0;
         (0.85 * share_term + 0.10 * k5_early + 0.05 * er_early).clamp(0.0, 1.0)
     }
 
@@ -174,12 +174,9 @@ impl AccuracyModel {
             .iter()
             .enumerate()
             .map(|(i, &p)| {
-                let prev_gap =
-                    if i > 0 { p.saturating_sub(positions[i - 1]) } else { usize::MAX };
-                let next_gap = positions
-                    .get(i + 1)
-                    .map(|&q| q.saturating_sub(p))
-                    .unwrap_or(usize::MAX);
+                let prev_gap = if i > 0 { p.saturating_sub(positions[i - 1]) } else { usize::MAX };
+                let next_gap =
+                    positions.get(i + 1).map(|&q| q.saturating_sub(p)).unwrap_or(usize::MAX);
                 let gap = prev_gap.min(next_gap);
                 let penalty = if gap == usize::MAX {
                     0.0
@@ -307,7 +304,8 @@ mod tests {
         // max early depths/kernels/expands, min late depths.
         let genes = vec![
             0, 0, 0, /*s1*/ 1, 0, 1, 0, /*s2*/ 2, 0, 1, 2, /*s3*/ 3, 0, 1, 2,
-            /*s4*/ 0, 0, 0, 0, /*s5*/ 0, 0, 0, 0, /*s6*/ 0, 0, 0, 0, /*s7*/ 0, 0, 0, 0,
+            /*s4*/ 0, 0, 0, 0, /*s5*/ 0, 0, 0, 0, /*s6*/ 0, 0, 0, 0, /*s7*/ 0,
+            0, 0, 0,
         ];
         let friendly = space.decode(&hadas_space::Genome::from_genes(genes)).unwrap();
         let a0 = baseline(0);

@@ -39,14 +39,9 @@ fn bench_dynamic_eval(c: &mut Criterion) {
     let net = hadas.space().decode(&baselines::baseline_genome(3)).expect("a3 decodes");
     let n = net.num_mbconv_layers();
     let placement = ExitPlacement::new(vec![5, n / 2, n], n).expect("valid placement");
-    let model =
-        DynamicModel::new(net, placement, hadas.device().default_dvfs());
+    let model = DynamicModel::new(net, placement, hadas.device().default_dvfs());
     c.bench_function("core/dynamic_evaluate", |b| {
-        b.iter(|| {
-            model
-                .evaluate(hadas.accuracy(), hadas.device(), 1.0, true)
-                .expect("valid model")
-        })
+        b.iter(|| model.evaluate(hadas.accuracy(), hadas.device(), 1.0, true).expect("valid model"))
     });
 }
 
@@ -83,9 +78,7 @@ fn bench_proxy(c: &mut Criterion) {
     let net = space.decode(&baselines::baseline_genome(3)).expect("a3 decodes");
     let dvfs = hadas_hw::CostModel::default_dvfs(&proxy);
     c.bench_function("hw/proxy_subnet_cost", |b| {
-        b.iter(|| {
-            hadas_hw::CostModel::subnet_cost(black_box(&proxy), &net, &dvfs).expect("valid")
-        })
+        b.iter(|| hadas_hw::CostModel::subnet_cost(black_box(&proxy), &net, &dvfs).expect("valid"))
     });
 }
 

@@ -26,10 +26,8 @@ fn main() {
     let mut rows = Vec::new();
     for target in all_targets() {
         let hadas = Hadas::for_target(target);
-        let subnet = hadas
-            .space()
-            .decode(&hadas_space::baselines::baseline_genome(4))
-            .expect("a4 decodes");
+        let subnet =
+            hadas.space().decode(&hadas_space::baselines::baseline_genome(4)).expect("a4 decodes");
         let ioe = hadas.run_ioe(&subnet, &cfg, 0xDF5).expect("IOE runs");
         let device = hadas.device();
         let mut sum_exits = 0.0;

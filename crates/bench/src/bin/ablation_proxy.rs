@@ -74,13 +74,14 @@ fn true_front_hv(hadas_exact: &Hadas, outcome: &hadas::OoeOutcome, cfg: &HadasCo
         .pareto_models()
         .iter()
         .map(|m| {
-            let eval = hadas::DynamicModel::new(
-                m.subnet.clone(),
-                m.placement.clone(),
-                m.dvfs,
-            )
-            .evaluate(hadas_exact.accuracy(), hadas_exact.device(), cfg.gamma, cfg.use_dissimilarity)
-            .expect("valid model");
+            let eval = hadas::DynamicModel::new(m.subnet.clone(), m.placement.clone(), m.dvfs)
+                .evaluate(
+                    hadas_exact.accuracy(),
+                    hadas_exact.device(),
+                    cfg.gamma,
+                    cfg.use_dissimilarity,
+                )
+                .expect("valid model");
             vec![eval.fitness.energy_gain, eval.fitness.accuracy_pct / 100.0]
         })
         .collect();
@@ -115,8 +116,7 @@ fn main() {
         exact.accuracy().clone(),
         counter.clone() as Arc<dyn CostModel>,
     );
-    let proxied =
-        Hadas::with_cost_model(space.clone(), exact.accuracy().clone(), Arc::new(proxy));
+    let proxied = Hadas::with_cost_model(space.clone(), exact.accuracy().clone(), Arc::new(proxy));
 
     let mut runs = Vec::new();
     for (mode, hadas, fixed_queries) in [

@@ -20,17 +20,17 @@ struct RandomAblation {
 
 fn main() {
     let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
-    let subnet = hadas
-        .space()
-        .decode(&baselines::baseline_genome(3))
-        .expect("a3 decodes");
+    let subnet = hadas.space().decode(&baselines::baseline_genome(3)).expect("a3 decodes");
     let cfg = scaled_config();
     let reference = [-0.5f64, 0.0];
     println!(
         "ABLATION — NSGA-II vs random search in the inner engine ({} evaluations each)",
         cfg.ioe.iterations
     );
-    println!("{:>6} {:>10} {:>11} {:>10} {:>11}", "seed", "HV nsga", "HV random", "RoD nsga", "RoD random");
+    println!(
+        "{:>6} {:>10} {:>11} {:>10} {:>11}",
+        "seed", "HV nsga", "HV random", "RoD nsga", "RoD random"
+    );
     println!("{}", "-".repeat(54));
     let mut rows = Vec::new();
     let mut wins = 0usize;

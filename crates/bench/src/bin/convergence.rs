@@ -33,8 +33,7 @@ fn main() {
         let baselines: Vec<(String, Vec<f64>)> = baseline_subnets(&hadas)
             .into_iter()
             .map(|(name, subnet)| {
-                let cost =
-                    device.subnet_cost(&subnet, &device.default_dvfs()).expect("valid");
+                let cost = device.subnet_cost(&subnet, &device.default_dvfs()).expect("valid");
                 (name, vec![hadas.accuracy().backbone_accuracy(&subnet), -cost.energy_mj()])
             })
             .collect();
@@ -66,11 +65,7 @@ fn main() {
         println!("== {} ==", target.name());
         let final_hv = curve.last().map(|&(_, h)| h).unwrap_or(0.0);
         for &(evals, hv) in &curve {
-            println!(
-                "  {evals:>4} evals: HV {:.1} ({:.0}% of final)",
-                hv,
-                hv / final_hv * 100.0
-            );
+            println!("  {evals:>4} evals: HV {:.1} ({:.0}% of final)", hv, hv / final_hv * 100.0);
         }
         for (k, (name, _)) in baselines.iter().enumerate() {
             match first[k] {

@@ -57,10 +57,8 @@ fn main() {
         .iter()
         .filter_map(|b| {
             let ioe = b.ioe.as_ref()?;
-            let lat = device
-                .subnet_cost(&b.subnet, &device.default_dvfs())
-                .expect("valid")
-                .latency_ms();
+            let lat =
+                device.subnet_cost(&b.subnet, &device.default_dvfs()).expect("valid").latency_ms();
             let s = select_solution(ioe, lat, floor)?;
             Some((b.subnet.clone(), s.fitness.energy_mj))
         })

@@ -27,11 +27,7 @@ fn main() {
         }
 
         println!("== {} ==", target.name());
-        println!(
-            "explored {} backbones; Pareto front of {} points",
-            axes.len(),
-            front.len()
-        );
+        println!("explored {} backbones; Pareto front of {} points", axes.len(), front.len());
         let mut baseline_points = Vec::new();
         let mut dominated = 0usize;
         for (name, subnet) in baseline_subnets(&hadas) {
@@ -39,8 +35,7 @@ fn main() {
             let cost = device.subnet_cost(&subnet, &device.default_dvfs()).expect("valid");
             let acc = hadas.accuracy().backbone_accuracy(&subnet);
             let p = vec![acc, -cost.energy_mj()];
-            let dominators: Vec<&Vec<f64>> =
-                front.iter().filter(|f| dominates(f, &p)).collect();
+            let dominators: Vec<&Vec<f64>> = front.iter().filter(|f| dominates(f, &p)).collect();
             let is_dominated = !dominators.is_empty();
             dominated += usize::from(is_dominated);
             if is_dominated {
@@ -50,8 +45,7 @@ fn main() {
                     .iter()
                     .map(|f| 1.0 - (-f[1]) / cost.energy_mj())
                     .fold(f64::MIN, f64::max);
-                let best_acc_gain =
-                    dominators.iter().map(|f| f[0] - acc).fold(f64::MIN, f64::max);
+                let best_acc_gain = dominators.iter().map(|f| f[0] - acc).fold(f64::MIN, f64::max);
                 println!(
                     "  {name}: acc {acc:.2}%, {:.2} mJ — dominated (energy cut up to {:.0}%, acc gain up to {:.2}pp)",
                     cost.energy_mj(),
@@ -61,7 +55,11 @@ fn main() {
             } else {
                 println!("  {name}: acc {acc:.2}%, {:.2} mJ — not dominated", cost.energy_mj());
             }
-            baseline_points.push(ScatterPoint { x: cost.energy_mj(), y: acc, pareto: !is_dominated });
+            baseline_points.push(ScatterPoint {
+                x: cost.energy_mj(),
+                y: acc,
+                pareto: !is_dominated,
+            });
         }
         println!("  dominated baselines: {dominated}/7");
         panels.push(Fig5Panel {

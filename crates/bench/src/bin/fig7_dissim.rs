@@ -27,10 +27,8 @@ fn main() {
     let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
     let base_cfg = scaled_config();
     // One fixed backbone, as in the paper's ablation.
-    let subnet = hadas
-        .space()
-        .decode(&hadas_space::baselines::baseline_genome(3))
-        .expect("a3 decodes");
+    let subnet =
+        hadas.space().decode(&hadas_space::baselines::baseline_genome(3)).expect("a3 decodes");
 
     let variants: Vec<(String, bool, f64)> = vec![
         ("no dissim".into(), false, 0.0),

@@ -77,7 +77,8 @@ fn main() {
         .space()
         .decode(&Genome::from_genes(vec![
             1, 0, 0, /*s1*/ 1, 1, 1, 0, /*s2*/ 2, 1, 1, 2, /*s3*/ 3, 1, 1, 2,
-            /*s4*/ 0, 1, 1, 2, /*s5*/ 0, 1, 0, 1, /*s6*/ 0, 1, 0, 0, /*s7*/ 0, 0, 0, 0,
+            /*s4*/ 0, 1, 1, 2, /*s5*/ 0, 1, 0, 1, /*s6*/ 0, 1, 0, 0, /*s7*/ 0,
+            0, 0, 0,
         ]))
         .expect("friendly genome decodes");
     probe(&hadas, "friendly", &friendly);

@@ -15,7 +15,10 @@ struct Row {
 
 fn main() {
     println!("TABLE I — comparison between related works and HADAS");
-    println!("{:<18} {:^13} {:^5} {:^6} {:^13}", "Work", "Early-Exiting", "NAS", "DVFS", "Compatibility");
+    println!(
+        "{:<18} {:^13} {:^5} {:^6} {:^13}",
+        "Work", "Early-Exiting", "NAS", "DVFS", "Compatibility"
+    );
     println!("{}", "-".repeat(60));
     let mark = |b: bool| if b { "X" } else { "" };
     let mut rows = Vec::new();

@@ -97,9 +97,10 @@ fn main() {
             dev.ladder().compute_steps().to_string(),
         );
     }
-    for (name, target) in
-        [("EMC frequency (AGX SOC)", HwTarget::AgxVoltaGpu), ("EMC frequency (TX2 SOC)", HwTarget::Tx2PascalGpu)]
-    {
+    for (name, target) in [
+        ("EMC frequency (AGX SOC)", HwTarget::AgxVoltaGpu),
+        ("EMC frequency (TX2 SOC)", HwTarget::Tx2PascalGpu),
+    ] {
         let dev = DeviceModel::for_target(target);
         let m = dev.ladder().emc_ghz();
         push(

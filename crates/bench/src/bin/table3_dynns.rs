@@ -91,7 +91,11 @@ fn main() {
     for r in &rows {
         println!(
             "{:<18} {:>11.2}% {:>8.2}% {:>13.2}mJ {:>9.2}mJ {:>14.2}mJ",
-            r.model, r.baseline_acc, r.eex_acc, r.baseline_energy_mj, r.eex_energy_mj,
+            r.model,
+            r.baseline_acc,
+            r.eex_acc,
+            r.baseline_energy_mj,
+            r.eex_energy_mj,
             r.eex_dvfs_energy_mj
         );
     }

@@ -72,10 +72,7 @@ pub fn baseline_subnets(hadas: &Hadas) -> Vec<(String, Subnet)> {
 
 /// Runs the inner engine on each AttentiveNAS baseline with the same
 /// budget HADAS's own backbones get — the paper's "optimized baselines".
-pub fn optimized_baselines(
-    hadas: &Hadas,
-    config: &HadasConfig,
-) -> Vec<(String, IoeOutcome)> {
+pub fn optimized_baselines(hadas: &Hadas, config: &HadasConfig) -> Vec<(String, IoeOutcome)> {
     baseline_subnets(hadas)
         .into_iter()
         .enumerate()

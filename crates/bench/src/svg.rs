@@ -39,10 +39,8 @@ pub fn scatter_panel(
     ours: &[ScatterPoint],
     baseline: &[ScatterPoint],
 ) -> String {
-    let (x_lo, x_hi) =
-        axis_range(ours.iter().chain(baseline).map(|p| p.x));
-    let (y_lo, y_hi) =
-        axis_range(ours.iter().chain(baseline).map(|p| p.y));
+    let (x_lo, x_hi) = axis_range(ours.iter().chain(baseline).map(|p| p.x));
+    let (y_lo, y_hi) = axis_range(ours.iter().chain(baseline).map(|p| p.y));
     let mut s = String::new();
     let _ = write!(
         s,
@@ -133,8 +131,7 @@ pub fn grouped_bars(
     labels: &[String],
     series: &[(&str, Vec<f64>)],
 ) -> String {
-    let (_, y_hi) =
-        axis_range(series.iter().flat_map(|(_, v)| v.iter().copied()).chain([0.0]));
+    let (_, y_hi) = axis_range(series.iter().flat_map(|(_, v)| v.iter().copied()).chain([0.0]));
     let y_lo = 0.0;
     let mut s = String::new();
     let _ = write!(

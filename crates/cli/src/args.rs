@@ -78,6 +78,12 @@ pub enum Command {
         /// Search seed.
         seed: u64,
     },
+    /// Audit design-space feasibility invariants (genome bounds, exit
+    /// placements, DVFS monotonicity, proxy sanity) via `hadas-lint`.
+    Check {
+        /// Limit the hardware sweep to one target (all four if `None`).
+        target: Option<HwTarget>,
+    },
     /// Fit and validate a proxy cost model.
     Proxy {
         /// Hardware target.
@@ -106,9 +112,9 @@ fn parse_scale(s: &str) -> Result<Scale, ParseCliError> {
         "quick" => Ok(Scale::Quick),
         "mid" => Ok(Scale::Mid),
         "paper" => Ok(Scale::Paper),
-        other => Err(ParseCliError(format!(
-            "unknown scale '{other}' (expected quick, mid, or paper)"
-        ))),
+        other => {
+            Err(ParseCliError(format!("unknown scale '{other}' (expected quick, mid, or paper)")))
+        }
     }
 }
 
@@ -211,6 +217,11 @@ impl Command {
                     .unwrap_or(7);
                 Ok(Command::Ioe { target, baseline, scale, seed })
             }
+            "check" => {
+                let flags = take_flags(rest, &["target"])?;
+                let target = flag(&flags, "target").map(parse_target).transpose()?;
+                Ok(Command::Check { target })
+            }
             "proxy" => {
                 let flags = take_flags(rest, &["target", "samples"])?;
                 let target = parse_target(
@@ -226,7 +237,7 @@ impl Command {
                 Ok(Command::Proxy { target, samples })
             }
             other => Err(ParseCliError(format!(
-                "unknown command '{other}' (try: devices, baselines, search, ioe, proxy, help)"
+                "unknown command '{other}' (try: devices, baselines, search, ioe, check, proxy, help)"
             ))),
         }
     }
@@ -247,10 +258,9 @@ mod tests {
 
     #[test]
     fn search_parses_all_flags() {
-        let cmd = Command::parse(&argv(
-            "search --target tx2-gpu --scale mid --seed 42 --json out.json",
-        ))
-        .unwrap();
+        let cmd =
+            Command::parse(&argv("search --target tx2-gpu --scale mid --seed 42 --json out.json"))
+                .unwrap();
         assert_eq!(
             cmd,
             Command::Search {
@@ -282,6 +292,16 @@ mod tests {
         assert!(matches!(cmd, Command::Ioe { baseline: 5, .. }));
         assert!(Command::parse(&argv("ioe --target tx2-cpu --baseline a7")).is_err());
         assert!(Command::parse(&argv("ioe --target tx2-cpu --baseline b1")).is_err());
+    }
+
+    #[test]
+    fn check_parses_optional_target() {
+        assert_eq!(Command::parse(&argv("check")).unwrap(), Command::Check { target: None });
+        assert_eq!(
+            Command::parse(&argv("check --target tx2-gpu")).unwrap(),
+            Command::Check { target: Some(HwTarget::Tx2PascalGpu) }
+        );
+        assert!(Command::parse(&argv("check --target warp-drive")).is_err());
     }
 
     #[test]

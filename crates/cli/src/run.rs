@@ -17,6 +17,7 @@ USAGE:
   hadas baselines --target <t>
   hadas search    --target <t> [--scale quick|mid|paper] [--seed N] [--json PATH]
   hadas ioe       --target <t> [--baseline a0..a6] [--scale ...] [--seed N]
+  hadas check     [--target <t>]
   hadas proxy     --target <t> [--samples N]
 
 TARGETS: agx-gpu, agx-cpu, tx2-gpu, tx2-cpu
@@ -34,7 +35,11 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
             write!(out, "{USAGE}")?;
         }
         Command::Devices => {
-            writeln!(out, "{:<24} {:>14} {:>10} {:>16}", "target", "compute steps", "EMC steps", "F cardinality")?;
+            writeln!(
+                out,
+                "{:<24} {:>14} {:>10} {:>16}",
+                "target", "compute steps", "EMC steps", "F cardinality"
+            )?;
             for target in HwTarget::ALL {
                 let dev = DeviceModel::for_target(target);
                 let l = dev.ladder();
@@ -51,7 +56,11 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
         Command::Baselines { target } => {
             let hadas = Hadas::for_target(target);
             writeln!(out, "AttentiveNAS baselines on {}:", target.name())?;
-            writeln!(out, "{:<4} {:>9} {:>12} {:>12} {:>9}", "name", "acc (%)", "energy (mJ)", "latency(ms)", "GMACs")?;
+            writeln!(
+                out,
+                "{:<4} {:>9} {:>12} {:>12} {:>9}",
+                "name", "acc (%)", "energy (mJ)", "latency(ms)", "GMACs"
+            )?;
             for (name, subnet) in baselines::attentive_nas_baselines(hadas.space())? {
                 let cost = hadas.device().subnet_cost(&subnet, &hadas.device().default_dvfs())?;
                 writeln!(
@@ -149,6 +158,30 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
             )?;
             writeln!(out, "pareto front: {} solutions", ioe.pareto.len())?;
         }
+        Command::Check { target } => {
+            let targets: Vec<HwTarget> = match target {
+                Some(t) => vec![t],
+                None => HwTarget::ALL.to_vec(),
+            };
+            let reports = hadas_lint::run_builtin_checks(&targets);
+            let broken: Vec<_> = reports.iter().filter(|r| !r.ok()).collect();
+            for r in &reports {
+                let status = if r.ok() { "ok" } else { "FAIL" };
+                writeln!(out, "[{status}] {}", r.name)?;
+                for v in &r.violations {
+                    writeln!(out, "    {}: {}", v.check, v.detail)?;
+                }
+            }
+            writeln!(
+                out,
+                "{}/{} feasibility checks passed",
+                reports.len() - broken.len(),
+                reports.len()
+            )?;
+            if !broken.is_empty() {
+                return Err(format!("{} feasibility check(s) failed", broken.len()).into());
+            }
+        }
         Command::Proxy { target, samples } => {
             let device = DeviceModel::for_target(target);
             let space = SearchSpace::attentive_nas();
@@ -176,6 +209,13 @@ mod tests {
         let mut buf = Vec::new();
         execute(cmd, &mut buf).expect("command runs");
         String::from_utf8(buf).expect("utf8 output")
+    }
+
+    #[test]
+    fn check_reports_all_feasibility_passes() {
+        let text = run(Command::Check { target: Some(HwTarget::Tx2PascalGpu) });
+        assert!(text.contains("13/13 feasibility checks passed"), "{text}");
+        assert!(!text.contains("FAIL"), "{text}");
     }
 
     #[test]

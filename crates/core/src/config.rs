@@ -93,8 +93,7 @@ impl HadasConfig {
         if self.ooe.population < 2 || self.ioe.population < 2 {
             return Err(HadasError::InvalidConfig("populations must be at least 2".into()));
         }
-        if self.ooe.iterations < self.ooe.population || self.ioe.iterations < self.ioe.population
-        {
+        if self.ooe.iterations < self.ooe.population || self.ioe.iterations < self.ioe.population {
             return Err(HadasError::InvalidConfig(
                 "budgets must cover at least one generation".into(),
             ));

@@ -109,11 +109,7 @@ impl EntropyController {
     /// is empty — calibration data is a precondition, not a runtime
     /// input.
     pub fn calibrated(entropy_samples: &[Vec<f64>], target_rates: &[f64]) -> Self {
-        assert_eq!(
-            entropy_samples.len(),
-            target_rates.len(),
-            "one target rate per exit required"
-        );
+        assert_eq!(entropy_samples.len(), target_rates.len(), "one target rate per exit required");
         let thresholds = entropy_samples
             .iter()
             .zip(target_rates.iter())

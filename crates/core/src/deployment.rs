@@ -129,11 +129,7 @@ mod tests {
         let out = outcome();
         let impossible = DeploymentPicker::new().min_accuracy_pct(99.9);
         assert!(impossible.pick(&out).is_none());
-        let best = out
-            .pareto
-            .iter()
-            .map(|s| s.fitness.accuracy_pct)
-            .fold(f64::MIN, f64::max);
+        let best = out.pareto.iter().map(|s| s.fitness.accuracy_pct).fold(f64::MIN, f64::max);
         let feasible = DeploymentPicker::new().min_accuracy_pct(best - 0.01);
         let pick = feasible.pick(&out).unwrap();
         assert!(pick.fitness.accuracy_pct >= best - 0.01);
@@ -151,11 +147,7 @@ mod tests {
     #[test]
     fn energy_cap_filters() {
         let out = outcome();
-        let min_e = out
-            .pareto
-            .iter()
-            .map(|s| s.fitness.energy_mj)
-            .fold(f64::INFINITY, f64::min);
+        let min_e = out.pareto.iter().map(|s| s.fitness.energy_mj).fold(f64::INFINITY, f64::min);
         let picker = DeploymentPicker::new().max_energy_mj(min_e - 1.0);
         assert!(picker.pick(&out).is_none());
     }

@@ -160,8 +160,7 @@ impl DynamicModel {
             .map(|(&n, &d)| if use_dissimilarity { n * d.powf(gamma) } else { n })
             .collect();
         let exit_quality = quality_terms.iter().sum::<f64>() / quality_terms.len() as f64;
-        let mean_exit_fraction =
-            exit_fractions.iter().sum::<f64>() / exit_fractions.len() as f64;
+        let mean_exit_fraction = exit_fractions.iter().sum::<f64>() / exit_fractions.len() as f64;
 
         let fitness = DynamicFitness {
             exit_quality,
@@ -284,9 +283,7 @@ mod tests {
         // First exit: dissim = 1, so score = N_1 · (E_1/E_b) · (L_1/L_b).
         let e = m.evaluate(&acc, &dev, 1.0, true).unwrap();
         let prefix = dev.prefix_cost(&subnet, 6, &dev.default_dvfs()).unwrap();
-        let head = dev
-            .layer_cost(&exit_head_cost(&subnet, 6), &dev.default_dvfs())
-            .unwrap();
+        let head = dev.layer_cost(&exit_head_cost(&subnet, 6), &dev.default_dvfs()).unwrap();
         let cost = prefix + head;
         let expected = e.exit_fractions[0]
             * (cost.energy_j / e.backbone_cost.energy_j)

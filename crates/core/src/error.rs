@@ -13,6 +13,9 @@ pub enum HadasError {
     Exit(hadas_exits::ExitError),
     /// A configuration value was out of range.
     InvalidConfig(String),
+    /// An internal engine invariant was broken (e.g. a worker thread
+    /// panicked). Indicates a bug rather than bad input.
+    Internal(String),
 }
 
 impl fmt::Display for HadasError {
@@ -22,6 +25,7 @@ impl fmt::Display for HadasError {
             HadasError::Hw(e) => write!(f, "hardware model error: {e}"),
             HadasError::Exit(e) => write!(f, "exit placement error: {e}"),
             HadasError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            HadasError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }
@@ -32,7 +36,7 @@ impl Error for HadasError {
             HadasError::Space(e) => Some(e),
             HadasError::Hw(e) => Some(e),
             HadasError::Exit(e) => Some(e),
-            HadasError::InvalidConfig(_) => None,
+            HadasError::InvalidConfig(_) | HadasError::Internal(_) => None,
         }
     }
 }
@@ -61,10 +65,8 @@ mod tests {
 
     #[test]
     fn sources_chain_through() {
-        let e = HadasError::from(hadas_hw::HwError::ExitPositionOutOfRange {
-            position: 9,
-            layers: 5,
-        });
+        let e =
+            HadasError::from(hadas_hw::HwError::ExitPositionOutOfRange { position: 9, layers: 5 });
         assert!(e.source().is_some());
         assert!(e.to_string().contains("hardware"));
     }

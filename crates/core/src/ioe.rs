@@ -40,16 +40,12 @@ impl IoeOutcome {
 
     /// The Pareto solution with the largest energy gain.
     pub fn best_energy(&self) -> Option<&IoeSolution> {
-        self.pareto
-            .iter()
-            .max_by(|a, b| a.fitness.energy_gain.total_cmp(&b.fitness.energy_gain))
+        self.pareto.iter().max_by(|a, b| a.fitness.energy_gain.total_cmp(&b.fitness.energy_gain))
     }
 
     /// The Pareto solution with the highest dynamic accuracy.
     pub fn best_accuracy(&self) -> Option<&IoeSolution> {
-        self.pareto
-            .iter()
-            .max_by(|a, b| a.fitness.accuracy_pct.total_cmp(&b.fitness.accuracy_pct))
+        self.pareto.iter().max_by(|a, b| a.fitness.accuracy_pct.total_cmp(&b.fitness.accuracy_pct))
     }
 }
 
@@ -80,7 +76,11 @@ impl IoeProblem<'_> {
     /// objective (absolute, on the `N_i`-scale of eq. (5)).
     const QUALITY_NOISE: f64 = 0.05;
 
-    fn decode(&self, genome: &[usize]) -> DynamicModel {
+    /// Finite worst-case fitness for genomes the repair could not fix;
+    /// keeps dominance and crowding arithmetic well-defined.
+    const INFEASIBLE_PENALTY: f64 = -1.0e30;
+
+    fn decode(&self, genome: &[usize]) -> Result<DynamicModel, HadasError> {
         let n_ind = self.candidates.len();
         let mut positions: Vec<usize> = genome[..n_ind]
             .iter()
@@ -95,10 +95,9 @@ impl IoeProblem<'_> {
         }
         let max_count = total.saturating_sub(MIN_EXIT_POSITION).max(1);
         positions.truncate(max_count);
-        let placement = ExitPlacement::new(positions, total)
-            .expect("repaired placement is valid by construction");
+        let placement = ExitPlacement::new(positions, total)?;
         let dvfs = DvfsSetting::new(genome[n_ind], genome[n_ind + 1]);
-        DynamicModel::new(self.subnet.clone(), placement, dvfs)
+        Ok(DynamicModel::new(self.subnet.clone(), placement, dvfs))
     }
 }
 
@@ -114,15 +113,20 @@ impl Problem for IoeProblem<'_> {
     }
 
     fn evaluate(&self, genome: &Vec<usize>) -> Vec<f64> {
-        let model = self.decode(genome);
-        let eval = model
-            .evaluate(
-                self.hadas.accuracy(),
-                self.hadas.device(),
-                self.gamma,
-                self.use_dissimilarity,
-            )
-            .expect("decoded models are valid by construction");
+        // The repair in `decode` makes infeasible genomes unreachable in
+        // practice; if one slips through anyway it gets a finite worst-case
+        // fitness and is selected away, rather than panicking mid-search.
+        let Ok(model) = self.decode(genome) else {
+            return vec![Self::INFEASIBLE_PENALTY; 3];
+        };
+        let Ok(eval) = model.evaluate(
+            self.hadas.accuracy(),
+            self.hadas.device(),
+            self.gamma,
+            self.use_dissimilarity,
+        ) else {
+            return vec![Self::INFEASIBLE_PENALTY; 3];
+        };
         let mut objectives = eval.fitness.to_maximisation();
         // Search-time accuracy estimates are noisy: in the paper, every
         // N_i comes from training real exit heads and measuring them on a
@@ -192,7 +196,8 @@ impl<'a> Ioe<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`HadasError::InvalidConfig`] for invalid configurations.
+    /// Returns [`HadasError::InvalidConfig`] for invalid configurations,
+    /// or a propagated model/placement error from re-measurement.
     pub fn run(&self, seed: u64) -> Result<IoeOutcome, HadasError> {
         self.config.validate()?;
         let problem = self.problem();
@@ -203,7 +208,7 @@ impl<'a> Ioe<'a> {
         let mut rng = StdRng::seed_from_u64(seed);
         let result = nsga.run(&problem, &mut rng);
 
-        Ok(self.outcome_from(&problem, &result))
+        self.outcome_from(&problem, &result)
     }
 
     /// Spends the same budget on pure random sampling of `X × F` — the
@@ -211,13 +216,14 @@ impl<'a> Ioe<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`HadasError::InvalidConfig`] for invalid configurations.
+    /// Returns [`HadasError::InvalidConfig`] for invalid configurations,
+    /// or a propagated model/placement error from re-measurement.
     pub fn run_random(&self, seed: u64) -> Result<IoeOutcome, HadasError> {
         self.config.validate()?;
         let problem = self.problem();
         let mut rng = StdRng::seed_from_u64(seed);
         let result = hadas_evo::random_search(&problem, self.config.ioe.iterations, &mut rng);
-        Ok(self.outcome_from(&problem, &result))
+        self.outcome_from(&problem, &result)
     }
 
     /// Re-measures a search result exactly and keeps the truly
@@ -227,35 +233,35 @@ impl<'a> Ioe<'a> {
         &self,
         problem: &IoeProblem<'_>,
         result: &hadas_evo::SearchResult<Vec<usize>>,
-    ) -> IoeOutcome {
-        let to_solution = |genome: &Vec<usize>| -> IoeSolution {
-            let model = problem.decode(genome);
-            let eval = model
-                .evaluate(
-                    self.hadas.accuracy(),
-                    self.hadas.device(),
-                    self.config.gamma,
-                    self.config.use_dissimilarity,
-                )
-                .expect("decoded models are valid by construction");
-            IoeSolution {
+    ) -> Result<IoeOutcome, HadasError> {
+        let to_solution = |genome: &Vec<usize>| -> Result<IoeSolution, HadasError> {
+            let model = problem.decode(genome)?;
+            let eval = model.evaluate(
+                self.hadas.accuracy(),
+                self.hadas.device(),
+                self.config.gamma,
+                self.config.use_dissimilarity,
+            )?;
+            Ok(IoeSolution {
                 placement: model.placement().clone(),
                 dvfs: *model.dvfs(),
                 fitness: eval.fitness,
-            }
+            })
         };
         let history: Vec<IoeSolution> =
-            result.history().iter().map(|e| to_solution(&e.genome)).collect();
-        let candidates: Vec<IoeSolution> =
-            result.pareto_front().iter().map(|e| to_solution(&e.genome)).collect();
-        let exact: Vec<Vec<f64>> =
-            candidates.iter().map(|s| s.fitness.to_maximisation()).collect();
+            result.history().iter().map(|e| to_solution(&e.genome)).collect::<Result<_, _>>()?;
+        let candidates: Vec<IoeSolution> = result
+            .pareto_front()
+            .iter()
+            .map(|e| to_solution(&e.genome))
+            .collect::<Result<_, _>>()?;
+        let exact: Vec<Vec<f64>> = candidates.iter().map(|s| s.fitness.to_maximisation()).collect();
         let fronts = hadas_evo::fast_non_dominated_sort(&exact);
         let pareto: Vec<IoeSolution> = fronts
             .first()
             .map(|f| f.iter().map(|&i| candidates[i].clone()).collect())
             .unwrap_or_default();
-        IoeOutcome { history, pareto }
+        Ok(IoeOutcome { history, pareto })
     }
 }
 
@@ -300,8 +306,7 @@ mod tests {
     #[test]
     fn pareto_is_mutually_non_dominated() {
         let out = quick_ioe(4);
-        let axes: Vec<Vec<f64>> =
-            out.pareto.iter().map(|s| s.fitness.to_maximisation()).collect();
+        let axes: Vec<Vec<f64>> = out.pareto.iter().map(|s| s.fitness.to_maximisation()).collect();
         for a in &axes {
             for b in &axes {
                 assert!(!hadas_evo::dominates(a, b));

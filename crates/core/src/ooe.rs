@@ -1,6 +1,4 @@
-use crate::{
-    DynamicFitness, Hadas, HadasConfig, HadasError, Ioe, IoeOutcome, StaticFitness,
-};
+use crate::{DynamicFitness, Hadas, HadasConfig, HadasError, Ioe, IoeOutcome, StaticFitness};
 use hadas_evo::{crowding_distance, discrete, fast_non_dominated_sort};
 use hadas_exits::ExitPlacement;
 use hadas_hw::DvfsSetting;
@@ -94,10 +92,8 @@ impl OoeOutcome {
         if all.is_empty() {
             return all;
         }
-        let axes: Vec<Vec<f64>> = all
-            .iter()
-            .map(|m| vec![m.dynamic.accuracy_pct, -m.dynamic.energy_mj])
-            .collect();
+        let axes: Vec<Vec<f64>> =
+            all.iter().map(|m| vec![m.dynamic.accuracy_pct, -m.dynamic.energy_mj]).collect();
         let fronts = fast_non_dominated_sort(&axes);
         fronts[0].iter().map(|&i| all[i].clone()).collect()
     }
@@ -169,12 +165,7 @@ impl<'a> Ooe<'a> {
                     None => {
                         let subnet = space.decode(genome)?;
                         let fitness = self.static_fitness(&subnet)?;
-                        history.push(EvaluatedBackbone {
-                            subnet,
-                            fitness,
-                            generation,
-                            ioe: None,
-                        });
+                        history.push(EvaluatedBackbone { subnet, fitness, generation, ioe: None });
                         seen.insert(key, history.len() - 1);
                         history.len() - 1
                     }
@@ -186,10 +177,9 @@ impl<'a> Ooe<'a> {
             let pts: Vec<Vec<f64>> =
                 indices.iter().map(|&i| history[i].fitness.to_maximisation()).collect();
             let order = rank_order(&pts);
-            let promote = ((pop_size as f64 * self.config.prune_fraction).ceil() as usize)
-                .clamp(1, pop_size);
-            let promoted: Vec<usize> =
-                order.iter().take(promote).map(|&k| indices[k]).collect();
+            let promote =
+                ((pop_size as f64 * self.config.prune_fraction).ceil() as usize).clamp(1, pop_size);
+            let promoted: Vec<usize> = order.iter().take(promote).map(|&k| indices[k]).collect();
 
             // Nested IOEs for promoted backbones (parallel, cached).
             let pending: Vec<usize> = promoted
@@ -197,9 +187,7 @@ impl<'a> Ooe<'a> {
                 .copied()
                 .filter(|&i| {
                     history[i].ioe.is_none()
-                        && !ioe_cache
-                            .lock()
-                            .contains_key(history[i].subnet.genome().genes())
+                        && !ioe_cache.lock().contains_key(history[i].subnet.genome().genes())
                 })
                 .collect();
             let errors: Mutex<Vec<HadasError>> = Mutex::new(Vec::new());
@@ -211,19 +199,15 @@ impl<'a> Ooe<'a> {
                     let errors = &errors;
                     let hadas = self.hadas;
                     let config = self.config.clone();
-                    scope.spawn(move |_| {
-                        match Ioe::new(hadas, subnet.clone(), config).run(seed) {
-                            Ok(outcome) => {
-                                cache
-                                    .lock()
-                                    .insert(subnet.genome().genes().to_vec(), outcome);
-                            }
-                            Err(e) => errors.lock().push(e),
+                    scope.spawn(move |_| match Ioe::new(hadas, subnet.clone(), config).run(seed) {
+                        Ok(outcome) => {
+                            cache.lock().insert(subnet.genome().genes().to_vec(), outcome);
                         }
+                        Err(e) => errors.lock().push(e),
                     });
                 }
             })
-            .expect("IOE worker threads do not panic");
+            .map_err(|_| HadasError::Internal("an IOE worker thread panicked".into()))?;
             if let Some(e) = errors.into_inner().into_iter().next() {
                 return Err(e);
             }
@@ -249,25 +233,14 @@ impl<'a> Ooe<'a> {
                     let best_gain = history[i]
                         .ioe
                         .as_ref()
-                        .map(|o| {
-                            o.pareto
-                                .iter()
-                                .fold(0.0f64, |g, s| g.max(s.fitness.energy_gain))
-                        })
+                        .map(|o| o.pareto.iter().fold(0.0f64, |g, s| g.max(s.fitness.energy_gain)))
                         .unwrap_or(0.0);
-                    vec![
-                        history[i].fitness.accuracy_pct,
-                        -history[i].fitness.energy_mj,
-                        best_gain,
-                    ]
+                    vec![history[i].fitness.accuracy_pct, -history[i].fitness.energy_mj, best_gain]
                 })
                 .collect();
             let order = rank_order(&combined);
-            let survivors: Vec<&Genome> = order
-                .iter()
-                .take((pop_size / 2).max(2))
-                .map(|&k| &population[k])
-                .collect();
+            let survivors: Vec<&Genome> =
+                order.iter().take((pop_size / 2).max(2)).map(|&k| &population[k]).collect();
 
             // Mutation and crossover build the next population.
             let mut next: Vec<Genome> = survivors.iter().map(|&g| g.clone()).collect();
@@ -296,8 +269,7 @@ fn rank_order(points: &[Vec<f64>]) -> Vec<usize> {
     let mut order = Vec::with_capacity(points.len());
     for front in fronts {
         let d = crowding_distance(points, &front);
-        let mut keyed: Vec<(usize, f64)> =
-            front.iter().copied().zip(d).collect();
+        let mut keyed: Vec<(usize, f64)> = front.iter().copied().zip(d).collect();
         keyed.sort_by(|a, b| b.1.total_cmp(&a.1));
         order.extend(keyed.into_iter().map(|(i, _)| i));
     }

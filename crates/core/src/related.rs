@@ -21,13 +21,55 @@ pub struct RelatedWork {
 
 /// The comparison matrix exactly as printed in the paper.
 pub const TABLE_I: [RelatedWork; 8] = [
-    RelatedWork { name: "BranchyNet", early_exiting: true, nas: false, dvfs: false, compatibility: false },
-    RelatedWork { name: "CDLN", early_exiting: true, nas: false, dvfs: false, compatibility: false },
-    RelatedWork { name: "S2dnas", early_exiting: true, nas: true, dvfs: false, compatibility: false },
-    RelatedWork { name: "Dynamic-OFA", early_exiting: false, nas: true, dvfs: false, compatibility: true },
-    RelatedWork { name: "EExNAS", early_exiting: true, nas: true, dvfs: false, compatibility: false },
-    RelatedWork { name: "Edgebert", early_exiting: true, nas: false, dvfs: true, compatibility: false },
-    RelatedWork { name: "Predictive Exit", early_exiting: true, nas: false, dvfs: true, compatibility: false },
+    RelatedWork {
+        name: "BranchyNet",
+        early_exiting: true,
+        nas: false,
+        dvfs: false,
+        compatibility: false,
+    },
+    RelatedWork {
+        name: "CDLN",
+        early_exiting: true,
+        nas: false,
+        dvfs: false,
+        compatibility: false,
+    },
+    RelatedWork {
+        name: "S2dnas",
+        early_exiting: true,
+        nas: true,
+        dvfs: false,
+        compatibility: false,
+    },
+    RelatedWork {
+        name: "Dynamic-OFA",
+        early_exiting: false,
+        nas: true,
+        dvfs: false,
+        compatibility: true,
+    },
+    RelatedWork {
+        name: "EExNAS",
+        early_exiting: true,
+        nas: true,
+        dvfs: false,
+        compatibility: false,
+    },
+    RelatedWork {
+        name: "Edgebert",
+        early_exiting: true,
+        nas: false,
+        dvfs: true,
+        compatibility: false,
+    },
+    RelatedWork {
+        name: "Predictive Exit",
+        early_exiting: true,
+        nas: false,
+        dvfs: true,
+        compatibility: false,
+    },
     RelatedWork { name: "HADAS", early_exiting: true, nas: true, dvfs: true, compatibility: true },
 ];
 
@@ -47,11 +89,8 @@ mod tests {
 
     #[test]
     fn hadas_is_the_only_full_row() {
-        let full: Vec<&str> = TABLE_I
-            .iter()
-            .filter(|w| w.capability_count() == 4)
-            .map(|w| w.name)
-            .collect();
+        let full: Vec<&str> =
+            TABLE_I.iter().filter(|w| w.capability_count() == 4).map(|w| w.name).collect();
         assert_eq!(full, vec!["HADAS"]);
     }
 

@@ -67,10 +67,7 @@ fn outcome_accessors_are_consistent() {
     assert_eq!(outcome.static_axes().len(), outcome.backbones().len());
     // Every joint model's backbone exists in the history.
     for m in outcome.joint_models() {
-        assert!(outcome
-            .backbones()
-            .iter()
-            .any(|b| b.subnet.genome() == m.subnet.genome()));
+        assert!(outcome.backbones().iter().any(|b| b.subnet.genome() == m.subnet.genome()));
     }
     // The Pareto models are a subset of the joint models by fitness.
     let joint: Vec<(f64, f64)> = outcome

@@ -169,7 +169,11 @@ impl SyntheticDataset {
     ///
     /// Returns [`DatasetError::BatchOutOfRange`] if the range exceeds the
     /// split.
-    pub fn train_batch(&self, start: usize, len: usize) -> Result<(Tensor, Vec<usize>), DatasetError> {
+    pub fn train_batch(
+        &self,
+        start: usize,
+        len: usize,
+    ) -> Result<(Tensor, Vec<usize>), DatasetError> {
         Self::batch(&self.train, &self.config, start, len)
     }
 
@@ -179,7 +183,11 @@ impl SyntheticDataset {
     ///
     /// Returns [`DatasetError::BatchOutOfRange`] if the range exceeds the
     /// split.
-    pub fn test_batch(&self, start: usize, len: usize) -> Result<(Tensor, Vec<usize>), DatasetError> {
+    pub fn test_batch(
+        &self,
+        start: usize,
+        len: usize,
+    ) -> Result<(Tensor, Vec<usize>), DatasetError> {
         Self::batch(&self.test, &self.config, start, len)
     }
 

@@ -48,9 +48,10 @@ pub fn reset_mutation(
     }
     if !mutated {
         // Force one real mutation on a random multi-choice gene, if any.
-        let candidates: Vec<usize> =
-            (0..out.len()).filter(|&i| cardinalities[i] > 1).collect();
-        if let Some(&i) = candidates.get(rng.gen_range(0..candidates.len().max(1)).min(candidates.len().saturating_sub(1))) {
+        let candidates: Vec<usize> = (0..out.len()).filter(|&i| cardinalities[i] > 1).collect();
+        if let Some(&i) = candidates
+            .get(rng.gen_range(0..candidates.len().max(1)).min(candidates.len().saturating_sub(1)))
+        {
             let c = cardinalities[i];
             let nv = rng.gen_range(0..c - 1);
             out[i] = if nv >= out[i] { nv + 1 } else { nv };

@@ -12,6 +12,21 @@
 /// spaces is a programming error.
 pub fn dominates(a: &[f64], b: &[f64]) -> bool {
     assert_eq!(a.len(), b.len(), "objective dimensionality mismatch");
+    let result = dominates_unchecked(a, b);
+    // Relation sanity on finite objectives (NaN breaks the order axioms
+    // by design, so it is excluded from the debug contract).
+    if cfg!(debug_assertions) && a.iter().chain(b.iter()).all(|v| v.is_finite()) {
+        debug_assert!(!(result && a == b), "dominance must be irreflexive: {a:?}");
+        debug_assert!(
+            !(result && dominates_unchecked(b, a)),
+            "dominance must be antisymmetric: {a:?} vs {b:?}"
+        );
+    }
+    result
+}
+
+/// The raw dominance test, without the debug-mode relation checks.
+fn dominates_unchecked(a: &[f64], b: &[f64]) -> bool {
     let mut strictly_better = false;
     for (&x, &y) in a.iter().zip(b.iter()) {
         if x < y {
@@ -46,8 +61,7 @@ pub fn fast_non_dominated_sort(points: &[Vec<f64>]) -> Vec<Vec<usize>> {
         }
     }
     let mut fronts: Vec<Vec<usize>> = Vec::new();
-    let mut current: Vec<usize> =
-        (0..n).filter(|&i| domination_count[i] == 0).collect();
+    let mut current: Vec<usize> = (0..n).filter(|&i| domination_count[i] == 0).collect();
     while !current.is_empty() {
         let mut next = Vec::new();
         for &i in &current {
@@ -61,7 +75,29 @@ pub fn fast_non_dominated_sort(points: &[Vec<f64>]) -> Vec<Vec<usize>> {
         fronts.push(std::mem::take(&mut current));
         current = next;
     }
+    debug_assert_fronts_partition(n, &fronts);
     fronts
+}
+
+/// Debug-mode invariant: the fronts are pairwise disjoint and jointly
+/// cover all `n` population indices (a partition). Compiled out in
+/// release builds.
+fn debug_assert_fronts_partition(n: usize, fronts: &[Vec<usize>]) {
+    if cfg!(debug_assertions) {
+        let mut seen = vec![false; n];
+        for front in fronts {
+            for &i in front {
+                debug_assert!(i < n, "front index {i} out of range for population {n}");
+                debug_assert!(!seen[i], "fronts must be disjoint: index {i} appears twice");
+                seen[i] = true;
+            }
+        }
+        debug_assert!(
+            seen.iter().all(|&s| s),
+            "fronts must cover the population: {} of {n} indices ranked",
+            seen.iter().filter(|&&s| s).count()
+        );
+    }
 }
 
 /// Crowding distance of each member of `front` (indices into `points`):
@@ -137,9 +173,8 @@ mod tests {
 
     #[test]
     fn every_point_lands_in_exactly_one_front() {
-        let pts: Vec<Vec<f64>> = (0..25)
-            .map(|i| vec![(i % 5) as f64, (i / 5) as f64, ((i * 7) % 11) as f64])
-            .collect();
+        let pts: Vec<Vec<f64>> =
+            (0..25).map(|i| vec![(i % 5) as f64, (i / 5) as f64, ((i * 7) % 11) as f64]).collect();
         let fronts = fast_non_dominated_sort(&pts);
         let mut seen = vec![0usize; pts.len()];
         for f in &fronts {
@@ -169,8 +204,7 @@ mod tests {
 
     #[test]
     fn crowding_boundary_points_are_infinite() {
-        let pts =
-            vec![vec![0.0, 3.0], vec![1.0, 2.0], vec![2.0, 1.0], vec![3.0, 0.0]];
+        let pts = vec![vec![0.0, 3.0], vec![1.0, 2.0], vec![2.0, 1.0], vec![3.0, 0.0]];
         let front = vec![0, 1, 2, 3];
         let d = crowding_distance(&pts, &front);
         assert!(d[0].is_infinite());
@@ -183,9 +217,9 @@ mod tests {
         // Middle points: one isolated, one crowded.
         let pts = vec![
             vec![0.0, 10.0],
-            vec![1.0, 9.0],   // crowded next to [0,10] and [1.5, 8.5]
+            vec![1.0, 9.0], // crowded next to [0,10] and [1.5, 8.5]
             vec![1.5, 8.5],
-            vec![6.0, 3.0],   // isolated
+            vec![6.0, 3.0], // isolated
             vec![10.0, 0.0],
         ];
         let front = vec![0, 1, 2, 3, 4];

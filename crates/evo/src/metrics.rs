@@ -76,7 +76,8 @@ pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> f64 {
                 }
             }
         }
-        let vol: f64 = inter.iter().zip(reference.iter()).map(|(&v, &r)| (v - r).max(0.0)).product();
+        let vol: f64 =
+            inter.iter().zip(reference.iter()).map(|(&v, &r)| (v - r).max(0.0)).product();
         if mask.count_ones() % 2 == 1 {
             total += vol;
         } else {
@@ -93,10 +94,7 @@ pub fn ratio_of_dominance(ours: &[Vec<f64>], theirs: &[Vec<f64>]) -> f64 {
     if ours.is_empty() {
         return 0.0;
     }
-    let winners = ours
-        .iter()
-        .filter(|o| theirs.iter().any(|t| dominates(o, t)))
-        .count();
+    let winners = ours.iter().filter(|o| theirs.iter().any(|t| dominates(o, t))).count();
     winners as f64 / ours.len() as f64
 }
 
@@ -136,8 +134,7 @@ mod tests {
         let sweep = hypervolume_2d(&pts, &[0.0, 0.0]);
         let incl = {
             // Force the generic path via a 3-D embedding with constant z.
-            let pts3: Vec<Vec<f64>> =
-                pts.iter().map(|p| vec![p[0], p[1], 1.0]).collect();
+            let pts3: Vec<Vec<f64>> = pts.iter().map(|p| vec![p[0], p[1], 1.0]).collect();
             hypervolume(&pts3, &[0.0, 0.0, 0.0])
         };
         assert!((sweep - incl).abs() < 1e-9, "sweep {sweep} vs inclusion-exclusion {incl}");
@@ -147,9 +144,7 @@ mod tests {
     fn hypervolume_grows_with_better_fronts() {
         let weak = vec![vec![1.0, 1.0]];
         let strong = vec![vec![1.0, 1.0], vec![2.0, 0.5]];
-        assert!(
-            hypervolume_2d(&strong, &[0.0, 0.0]) > hypervolume_2d(&weak, &[0.0, 0.0])
-        );
+        assert!(hypervolume_2d(&strong, &[0.0, 0.0]) > hypervolume_2d(&weak, &[0.0, 0.0]));
     }
 
     #[test]

@@ -17,8 +17,7 @@ pub trait Problem {
     fn evaluate(&self, genome: &Self::Genome) -> Vec<f64>;
 
     /// Recombines two parents into a child.
-    fn crossover(&self, rng: &mut dyn RngCore, a: &Self::Genome, b: &Self::Genome)
-        -> Self::Genome;
+    fn crossover(&self, rng: &mut dyn RngCore, a: &Self::Genome, b: &Self::Genome) -> Self::Genome;
 
     /// Mutates a genome.
     fn mutate(&self, rng: &mut dyn RngCore, genome: &Self::Genome) -> Self::Genome;
@@ -160,9 +159,12 @@ impl Nsga2 {
 
         for generation in 1..cfg.generations {
             // Rank the current population once for tournament selection.
-            let pts: Vec<Vec<f64>> =
-                population.iter().map(|e| e.objectives.clone()).collect();
+            let pts: Vec<Vec<f64>> = population.iter().map(|e| e.objectives.clone()).collect();
             let fronts = fast_non_dominated_sort(&pts);
+            debug_assert!(
+                fronts.iter().map(Vec::len).sum::<usize>() == population.len(),
+                "fronts must partition the population"
+            );
             let mut rank = vec![0usize; population.len()];
             let mut crowd = vec![0.0f64; population.len()];
             for (r, front) in fronts.iter().enumerate() {
@@ -215,6 +217,10 @@ impl Nsga2 {
     ) -> Vec<Evaluated<G>> {
         let pts: Vec<Vec<f64>> = merged.iter().map(|e| e.objectives.clone()).collect();
         let fronts = fast_non_dominated_sort(&pts);
+        debug_assert!(
+            fronts.iter().map(Vec::len).sum::<usize>() == merged.len(),
+            "fronts must partition the merged population"
+        );
         let mut selected: Vec<Evaluated<G>> = Vec::with_capacity(target);
         for front in fronts {
             if selected.len() + front.len() <= target {
@@ -300,8 +306,7 @@ mod tests {
         let front = result.pareto_objectives();
         // All 13 (ones, zeros) combinations are Pareto-optimal here; a
         // healthy run should discover most of the span.
-        let distinct: std::collections::HashSet<i64> =
-            front.iter().map(|p| p[0] as i64).collect();
+        let distinct: std::collections::HashSet<i64> = front.iter().map(|p| p[0] as i64).collect();
         assert!(distinct.len() >= 9, "front too narrow: {distinct:?}");
     }
 

@@ -128,8 +128,7 @@ impl MultiExitTrainer {
         seed: u64,
     ) -> Result<MultiExitReport, ExitError> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut opts: Vec<Sgd> =
-            self.heads.iter().map(|_| Sgd::new(self.lr, 0.9, 1e-4)).collect();
+        let mut opts: Vec<Sgd> = self.heads.iter().map(|_| Sgd::new(self.lr, 0.9, 1e-4)).collect();
         let mut last_epoch_loss = 0.0f32;
         let mut steps = 0usize;
         for head in &mut self.heads {
@@ -139,9 +138,7 @@ impl MultiExitTrainer {
             let mut epoch_loss = 0.0f32;
             for _b in 0..batches {
                 let samples: Vec<(usize, f64)> = (0..batch)
-                    .map(|_| {
-                        (rng.gen_range(0..self.classes), self.difficulty.sample(&mut rng))
-                    })
+                    .map(|_| (rng.gen_range(0..self.classes), self.difficulty.sample(&mut rng)))
                     .collect();
                 let teacher = self.teacher_logits(&mut rng, &samples);
                 // Forward every exit on its own prefix features.
@@ -153,11 +150,8 @@ impl MultiExitTrainer {
                     all_feats.push(feats);
                 }
                 let labels: Vec<usize> = samples.iter().map(|&(l, _)| l).collect();
-                let (loss, grads) =
-                    hybrid_exit_loss(&all_logits, &teacher, &labels, self.kd_temp)?;
-                for ((head, grad), opt) in
-                    self.heads.iter_mut().zip(&grads).zip(&mut opts)
-                {
+                let (loss, grads) = hybrid_exit_loss(&all_logits, &teacher, &labels, self.kd_temp)?;
+                for ((head, grad), opt) in self.heads.iter_mut().zip(&grads).zip(&mut opts) {
                     head.net_mut().zero_grad();
                     head.backward(grad)?;
                     opt.step(head.net_mut().params_mut());

@@ -61,9 +61,7 @@ impl ExitTrainer {
     }
 
     fn draw_samples<R: Rng>(&self, rng: &mut R, n: usize) -> Vec<(usize, f64)> {
-        (0..n)
-            .map(|_| (rng.gen_range(0..self.classes), self.difficulty.sample(rng)))
-            .collect()
+        (0..n).map(|_| (rng.gen_range(0..self.classes), self.difficulty.sample(rng))).collect()
     }
 
     /// Simulated final-classifier logits for a sample: confidently correct
@@ -115,8 +113,7 @@ impl ExitTrainer {
                 let (feats, labels) = sim.batch(&mut rng, &samples);
                 let teacher = self.teacher_logits(&mut rng, &samples);
                 let logits = head.forward(&feats)?;
-                let (loss, grads) =
-                    hybrid_exit_loss(&[logits], &teacher, &labels, self.kd_temp)?;
+                let (loss, grads) = hybrid_exit_loss(&[logits], &teacher, &labels, self.kd_temp)?;
                 head.net_mut().zero_grad();
                 head.backward(&grads[0])?;
                 opt.step(head.net_mut().params_mut());
@@ -145,9 +142,8 @@ mod tests {
         let sim = FeatureSimulator::new(seed, classes, 8, 4, capability);
         let mut rng = StdRng::seed_from_u64(seed + 1);
         let mut head = ExitHead::new(&mut rng, 8, 4, classes).unwrap();
-        let trainer =
-            ExitTrainer::new(classes, DifficultyDistribution::default(), 0.85)
-                .with_schedule(4, 10, 16);
+        let trainer = ExitTrainer::new(classes, DifficultyDistribution::default(), 0.85)
+            .with_schedule(4, 10, 16);
         trainer.train(&mut head, &sim, seed + 2).unwrap()
     }
 

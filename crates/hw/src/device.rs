@@ -160,10 +160,14 @@ impl DeviceModel {
     /// # Errors
     ///
     /// Returns [`HwError::DvfsOutOfRange`] for invalid settings.
-    pub fn layer_cost(&self, layer: &LayerInfo, setting: &DvfsSetting) -> Result<CostReport, HwError> {
+    pub fn layer_cost(
+        &self,
+        layer: &LayerInfo,
+        setting: &DvfsSetting,
+    ) -> Result<CostReport, HwError> {
         let (f_c, f_m) = self.ladder.resolve(setting)?;
-        let util = self.util_floor
-            + (1.0 - self.util_floor) * layer.flops / (layer.flops + self.util_sat);
+        let util =
+            self.util_floor + (1.0 - self.util_floor) * layer.flops / (layer.flops + self.util_sat);
         let t_compute = layer.flops / (self.macs_per_cycle * f_c * 1e9 * util);
         let bytes = layer.act_bytes + layer.weight_bytes;
         let t_mem = bytes / (self.bytes_per_cycle * f_m * 1e9);
@@ -206,7 +210,11 @@ impl DeviceModel {
     /// # Errors
     ///
     /// Returns [`HwError::DvfsOutOfRange`] for invalid settings.
-    pub fn subnet_cost(&self, subnet: &Subnet, setting: &DvfsSetting) -> Result<CostReport, HwError> {
+    pub fn subnet_cost(
+        &self,
+        subnet: &Subnet,
+        setting: &DvfsSetting,
+    ) -> Result<CostReport, HwError> {
         let mut acc = self.invoke_cost(setting)?;
         for layer in subnet.layers() {
             acc = acc + self.layer_cost(layer, setting)?;
@@ -407,16 +415,14 @@ mod tests {
         };
         let top_c = dev.ladder().compute_steps() - 1;
         let slow = dev.layer_cost(&layer, &DvfsSetting::new(top_c, 0)).unwrap();
-        let fast = dev
-            .layer_cost(&layer, &DvfsSetting::new(top_c, dev.ladder().emc_steps() - 1))
-            .unwrap();
+        let fast =
+            dev.layer_cost(&layer, &DvfsSetting::new(top_c, dev.ladder().emc_steps() - 1)).unwrap();
         assert!(slow.latency_s > fast.latency_s * 2.0, "EMC must gate memory-bound layers");
         // And slowing the EMC must never *help* a full subnet either.
         let net = &subnets()[6].1;
         let s = dev.subnet_cost(net, &DvfsSetting::new(top_c, 0)).unwrap();
-        let f = dev
-            .subnet_cost(net, &DvfsSetting::new(top_c, dev.ladder().emc_steps() - 1))
-            .unwrap();
+        let f =
+            dev.subnet_cost(net, &DvfsSetting::new(top_c, dev.ladder().emc_steps() - 1)).unwrap();
         assert!(s.latency_s >= f.latency_s);
     }
 }

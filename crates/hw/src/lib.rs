@@ -93,8 +93,7 @@ mod tests {
 
     #[test]
     fn four_targets_with_distinct_names() {
-        let names: std::collections::HashSet<_> =
-            HwTarget::ALL.iter().map(|t| t.name()).collect();
+        let names: std::collections::HashSet<_> = HwTarget::ALL.iter().map(|t| t.name()).collect();
         assert_eq!(names.len(), 4);
     }
 }

@@ -107,8 +107,7 @@ mod tests {
         let net = space.decode(&baselines::baseline_genome(2)).expect("a2");
         let dvfs = dev.default_dvfs();
         let inherent = dev.subnet_cost(&net, &dvfs).expect("valid");
-        let via_trait =
-            <DeviceModel as CostModel>::subnet_cost(&dev, &net, &dvfs).expect("valid");
+        let via_trait = <DeviceModel as CostModel>::subnet_cost(&dev, &net, &dvfs).expect("valid");
         assert!((inherent.energy_j - via_trait.energy_j).abs() < 1e-12);
         let p_inherent = dev.prefix_cost(&net, 7, &dvfs).expect("valid");
         let p_trait = <DeviceModel as CostModel>::prefix_cost(&dev, &net, 7, &dvfs).expect("valid");

@@ -193,8 +193,7 @@ impl ProxyCostModel {
                 rng.gen_range(0..self.ladder.emc_steps()),
             );
             let truth = device.subnet_cost(&subnet, &setting).expect("valid");
-            let pred =
-                CostModel::subnet_cost(self, &subnet, &setting).expect("valid");
+            let pred = CostModel::subnet_cost(self, &subnet, &setting).expect("valid");
             lat_err += ((pred.latency_s - truth.latency_s) / truth.latency_s).abs();
             erg_err += ((pred.energy_j - truth.energy_j) / truth.energy_j).abs();
         }
@@ -218,19 +217,11 @@ impl CostModel for ProxyCostModel {
     fn layer_cost(&self, layer: &LayerInfo, setting: &DvfsSetting) -> Result<CostReport, HwError> {
         let (f_c, f_m) = self.ladder.resolve(setting)?;
         let lf = lat_features(layer, f_c, f_m);
-        let latency: f64 = lf
-            .iter()
-            .zip(self.lat_weights.iter())
-            .map(|(x, w)| x * w)
-            .sum::<f64>()
-            .max(1e-7);
+        let latency: f64 =
+            lf.iter().zip(self.lat_weights.iter()).map(|(x, w)| x * w).sum::<f64>().max(1e-7);
         let ef = erg_features(latency, f_c, f_m);
-        let energy: f64 = ef
-            .iter()
-            .zip(self.erg_weights.iter())
-            .map(|(x, w)| x * w)
-            .sum::<f64>()
-            .max(1e-9);
+        let energy: f64 =
+            ef.iter().zip(self.erg_weights.iter()).map(|(x, w)| x * w).sum::<f64>().max(1e-9);
         Ok(CostReport { latency_s: latency, energy_j: energy })
     }
 
@@ -287,8 +278,7 @@ mod tests {
         let emc = proxy.ladder().emc_steps() - 1;
         let mut prev = f64::INFINITY;
         for c in 0..proxy.ladder().compute_steps() {
-            let r = CostModel::subnet_cost(&proxy, &net, &DvfsSetting::new(c, emc))
-                .expect("valid");
+            let r = CostModel::subnet_cost(&proxy, &net, &DvfsSetting::new(c, emc)).expect("valid");
             assert!(r.latency_s <= prev);
             prev = r.latency_s;
         }
@@ -304,10 +294,8 @@ mod tests {
             [2.0, 1.0, 0.0, 1.0],
         ];
         let w_true = [2.0, -1.0, 0.5, 3.0];
-        let targets: Vec<f64> = rows
-            .iter()
-            .map(|r| r.iter().zip(w_true.iter()).map(|(x, w)| x * w).sum())
-            .collect();
+        let targets: Vec<f64> =
+            rows.iter().map(|r| r.iter().zip(w_true.iter()).map(|(x, w)| x * w).sum()).collect();
         let w = least_squares(&rows, &targets);
         for (a, b) in w.iter().zip(w_true.iter()) {
             assert!((a - b).abs() < 1e-6, "{w:?}");

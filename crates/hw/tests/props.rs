@@ -8,14 +8,14 @@ use proptest::prelude::*;
 
 fn layer_strategy() -> impl Strategy<Value = LayerInfo> {
     (
-        1usize..512,          // c_in
-        1usize..512,          // c_out
+        1usize..512, // c_in
+        1usize..512, // c_out
         prop_oneof![Just(3usize), Just(5usize)],
-        1usize..3,            // stride
-        4usize..128,          // in_size
-        1.0e4f64..5.0e8,      // flops
-        1.0e3f64..1.0e7,      // params
-        1.0e3f64..1.0e8,      // act_bytes
+        1usize..3,       // stride
+        4usize..128,     // in_size
+        1.0e4f64..5.0e8, // flops
+        1.0e3f64..1.0e7, // params
+        1.0e3f64..1.0e8, // act_bytes
     )
         .prop_map(|(c_in, c_out, kernel, stride, in_size, flops, params, act_bytes)| {
             LayerInfo {

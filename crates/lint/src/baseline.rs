@@ -1,0 +1,114 @@
+//! The ratchet file: `lint-baseline.toml`.
+//!
+//! Each entry is the *maximum allowed* number of findings for one lint.
+//! Counts may only go down over time: when a PR removes findings, it must
+//! also lower the ratchet so the improvement cannot silently regress.
+//! Lints without an entry default to an allowance of zero —
+//! `seeded-rng-only` deliberately has no entry.
+//!
+//! The format is a tiny TOML subset (one `[ratchet]` table of
+//! `name = integer` pairs) parsed by hand so this crate stays
+//! dependency-free.
+
+use std::path::Path;
+
+/// Parsed ratchet allowances.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: Vec<(String, usize)>,
+}
+
+impl Baseline {
+    /// The allowance for `lint` (0 if absent).
+    pub fn allowance(&self, lint: &str) -> usize {
+        self.entries.iter().find(|(k, _)| k == lint).map_or(0, |(_, v)| *v)
+    }
+
+    /// Whether `lint` has an explicit entry.
+    pub fn has_entry(&self, lint: &str) -> bool {
+        self.entries.iter().any(|(k, _)| k == lint)
+    }
+
+    /// Parses the TOML-subset text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on malformed input.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        let mut in_ratchet = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_ratchet = line == "[ratchet]";
+                if !in_ratchet && !line.ends_with(']') {
+                    return Err(format!("line {}: malformed table header", idx + 1));
+                }
+                continue;
+            }
+            if !in_ratchet {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `name = count`", idx + 1))?;
+            let key = key.trim().trim_matches('"').to_string();
+            let value: usize =
+                value.trim().parse().map_err(|e| format!("line {}: bad count: {e}", idx + 1))?;
+            if entries.iter().any(|(k, _)| *k == key) {
+                return Err(format!("line {}: duplicate entry `{key}`", idx + 1));
+            }
+            entries.push((key, value));
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Loads and parses the ratchet file at `path`. A missing file is an
+    /// empty baseline (all allowances zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on unreadable or malformed files.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        if !path.exists() {
+            return Ok(Baseline::default());
+        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ratchet_table() {
+        let b = Baseline::parse(
+            "# ratchet\n[ratchet]\n\"no-panic-in-lib\" = 12 # note\nlossy-cast-audit = 34\n",
+        )
+        .expect("parses");
+        assert_eq!(b.allowance("no-panic-in-lib"), 12);
+        assert_eq!(b.allowance("lossy-cast-audit"), 34);
+        assert_eq!(b.allowance("seeded-rng-only"), 0);
+        assert!(!b.has_entry("seeded-rng-only"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines_and_duplicates() {
+        assert!(Baseline::parse("[ratchet]\nnot a pair\n").is_err());
+        assert!(Baseline::parse("[ratchet]\na = x\n").is_err());
+        assert!(Baseline::parse("[ratchet]\na = 1\na = 2\n").is_err());
+    }
+
+    #[test]
+    fn other_tables_are_ignored() {
+        let b = Baseline::parse("[meta]\nowner = 3\n[ratchet]\nx = 1\n").expect("parses");
+        assert_eq!(b.allowance("owner"), 0);
+        assert_eq!(b.allowance("x"), 1);
+    }
+}

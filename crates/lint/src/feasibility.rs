@@ -1,0 +1,433 @@
+//! Pass 2: design-space feasibility checks.
+//!
+//! Where pass 1 looks at source *text*, this pass instantiates the
+//! workspace's actual configuration objects and verifies the structural
+//! invariants the search engines rely on: genome bounds consistent with
+//! the gene layout, exit placements monotone and within the backbone,
+//! DVFS ladders physically sensible (latency falls and power rises with
+//! frequency), and proxy costs finite and positive. Surfaced to users as
+//! `hadas check`.
+
+use hadas_exits::{ExitPlacement, MIN_EXIT_POSITION};
+use hadas_hw::{CostModel, DeviceModel, DvfsLadder, DvfsSetting, HwTarget, ProxyCostModel};
+use hadas_space::{baselines, Genome, SearchSpace, Subnet};
+
+/// Genes per stage in a genome: depth, width, kernel, expansion ratio.
+/// Mirrors `hadas-space`'s internal layout; checked for consistency below.
+pub const GENES_PER_STAGE: usize = 4;
+/// Leading global genes: resolution, stem width, head width.
+pub const GLOBAL_GENES: usize = 3;
+
+/// One broken invariant, with enough context to act on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant failed (short slug, e.g. `genome-bounds`).
+    pub check: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(check: &str, detail: impl Into<String>) -> Self {
+        Violation { check: check.to_string(), detail: detail.into() }
+    }
+}
+
+/// A configuration object whose structural invariants can be audited.
+///
+/// Returns the complete list of broken invariants (empty = feasible), so
+/// callers can report everything at once rather than failing fast.
+pub trait Validate {
+    /// Audit all invariants; empty means feasible.
+    fn validate(&self) -> Vec<Violation>;
+}
+
+impl Validate for SearchSpace {
+    fn validate(&self) -> Vec<Violation> {
+        let mut v = Vec::new();
+        let expected = GLOBAL_GENES + GENES_PER_STAGE * self.stages().len();
+        if self.genome_len() != expected {
+            v.push(Violation::new(
+                "gene-layout",
+                format!(
+                    "genome_len {} != {GLOBAL_GENES} + {GENES_PER_STAGE}x{} stages",
+                    self.genome_len(),
+                    self.stages().len()
+                ),
+            ));
+        }
+        let cards = self.gene_cardinalities();
+        if cards.len() != self.genome_len() {
+            v.push(Violation::new(
+                "gene-layout",
+                format!("{} cardinalities for genome_len {}", cards.len(), self.genome_len()),
+            ));
+        }
+        for (i, &c) in cards.iter().enumerate() {
+            if c == 0 {
+                v.push(Violation::new("gene-bounds", format!("gene {i} has no choices")));
+            }
+        }
+        for (i, s) in self.stages().iter().enumerate() {
+            if !matches!(s.stride, 1 | 2) {
+                v.push(Violation::new(
+                    "stage-stride",
+                    format!("stage {i} stride {} not in {{1, 2}}", s.stride),
+                ));
+            }
+        }
+        // The extreme genomes must round-trip the space's own validation.
+        let max_genome = Genome::from_genes(cards.iter().map(|&c| c.saturating_sub(1)).collect());
+        for (label, g) in
+            [("all-zero", Genome::from_genes(vec![0; cards.len()])), ("all-max", max_genome)]
+        {
+            if let Err(e) = SearchSpace::validate(self, &g) {
+                v.push(Violation::new(
+                    "genome-bounds",
+                    format!("{label} genome rejected by the space: {e}"),
+                ));
+            }
+        }
+        v
+    }
+}
+
+/// Audits a raw genome against a space (length and per-gene bounds).
+/// Unlike [`SearchSpace::validate`] this reports *all* offending genes.
+pub fn check_genome(space: &SearchSpace, genes: &[usize]) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let cards = space.gene_cardinalities();
+    if genes.len() != cards.len() {
+        v.push(Violation::new(
+            "genome-length",
+            format!("genome has {} genes, space defines {}", genes.len(), cards.len()),
+        ));
+        return v;
+    }
+    for (i, (&g, &c)) in genes.iter().zip(cards.iter()).enumerate() {
+        if g >= c {
+            v.push(Violation::new(
+                "genome-bounds",
+                format!("gene {i} = {g} out of bounds (cardinality {c})"),
+            ));
+        }
+    }
+    v
+}
+
+/// Audits raw exit positions for a backbone of `total_layers` MBConv
+/// layers: non-empty, strictly increasing, each within
+/// `[MIN_EXIT_POSITION, total_layers]`, and the count within the paper's
+/// `nX <= total - MIN_EXIT_POSITION` bound.
+pub fn check_exit_positions(positions: &[usize], total_layers: usize) -> Vec<Violation> {
+    let mut v = Vec::new();
+    if positions.is_empty() {
+        v.push(Violation::new("exit-count", "placement has no exits"));
+        return v;
+    }
+    for w in positions.windows(2) {
+        if w[1] <= w[0] {
+            v.push(Violation::new(
+                "exit-monotone",
+                format!("positions not strictly increasing: {} then {}", w[0], w[1]),
+            ));
+        }
+    }
+    for &p in positions {
+        if p < MIN_EXIT_POSITION || p > total_layers {
+            v.push(Violation::new(
+                "exit-range",
+                format!("position {p} outside [{MIN_EXIT_POSITION}, {total_layers}]"),
+            ));
+        }
+    }
+    let max_count = total_layers.saturating_sub(MIN_EXIT_POSITION);
+    if positions.len() > max_count {
+        v.push(Violation::new(
+            "exit-count",
+            format!("{} exits exceed the nX bound of {max_count}", positions.len()),
+        ));
+    }
+    v
+}
+
+impl Validate for ExitPlacement {
+    fn validate(&self) -> Vec<Violation> {
+        check_exit_positions(self.positions(), self.total_layers())
+    }
+}
+
+impl Validate for DvfsLadder {
+    fn validate(&self) -> Vec<Violation> {
+        let mut v = Vec::new();
+        for (axis, freqs) in [("compute", self.compute_ghz()), ("emc", self.emc_ghz())] {
+            if freqs.is_empty() {
+                v.push(Violation::new("ladder-empty", format!("{axis} ladder has no steps")));
+                continue;
+            }
+            for (i, &f) in freqs.iter().enumerate() {
+                if !f.is_finite() || f <= 0.0 {
+                    v.push(Violation::new(
+                        "ladder-finite",
+                        format!("{axis} step {i} = {f} not finite-positive"),
+                    ));
+                }
+            }
+            for (i, w) in freqs.windows(2).enumerate() {
+                if w[1] <= w[0] {
+                    v.push(Violation::new(
+                        "ladder-monotone",
+                        format!(
+                            "{axis} ladder not strictly ascending at step {}: {} then {}",
+                            i + 1,
+                            w[0],
+                            w[1]
+                        ),
+                    ));
+                }
+            }
+        }
+        v
+    }
+}
+
+/// A measured latency/power curve along the compute-frequency axis (EMC
+/// pinned at its top step), as produced by sweeping a [`CostModel`].
+///
+/// Crafted profiles can also be built directly, which is how infeasible
+/// DVFS tables are unit-tested without a broken device model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvfsProfile {
+    /// Label for reports (usually the target name).
+    pub label: String,
+    /// Compute frequencies in GHz, expected ascending.
+    pub freq_ghz: Vec<f64>,
+    /// End-to-end subnet latency at each frequency, seconds.
+    pub latency_s: Vec<f64>,
+    /// Average power at each frequency, watts.
+    pub power_w: Vec<f64>,
+}
+
+impl DvfsProfile {
+    /// Sweeps `model`'s compute ladder on `subnet` at max EMC.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cost-model errors (e.g. invalid DVFS indices).
+    pub fn measure(
+        label: &str,
+        model: &dyn CostModel,
+        subnet: &Subnet,
+    ) -> Result<Self, hadas_hw::HwError> {
+        let ladder = model.ladder();
+        let emc = ladder.emc_steps() - 1;
+        let mut freq_ghz = Vec::new();
+        let mut latency_s = Vec::new();
+        let mut power_w = Vec::new();
+        for c in 0..ladder.compute_steps() {
+            let setting = DvfsSetting::new(c, emc);
+            let (fc, _) = ladder.resolve(&setting)?;
+            let cost = model.subnet_cost(subnet, &setting)?;
+            freq_ghz.push(fc);
+            latency_s.push(cost.latency_s);
+            power_w.push(cost.avg_power_w());
+        }
+        Ok(DvfsProfile { label: label.to_string(), freq_ghz, latency_s, power_w })
+    }
+}
+
+impl Validate for DvfsProfile {
+    fn validate(&self) -> Vec<Violation> {
+        let mut v = Vec::new();
+        let n = self.freq_ghz.len();
+        if self.latency_s.len() != n || self.power_w.len() != n {
+            v.push(Violation::new(
+                "dvfs-shape",
+                format!(
+                    "{}: ragged profile ({n} freqs, {} latencies, {} powers)",
+                    self.label,
+                    self.latency_s.len(),
+                    self.power_w.len()
+                ),
+            ));
+            return v;
+        }
+        for i in 0..n {
+            let (f, t, p) = (self.freq_ghz[i], self.latency_s[i], self.power_w[i]);
+            if !(f.is_finite() && f > 0.0 && t.is_finite() && t > 0.0 && p.is_finite() && p > 0.0) {
+                v.push(Violation::new(
+                    "dvfs-finite",
+                    format!("{}: step {i} not finite-positive (f={f}, t={t}, p={p})", self.label),
+                ));
+            }
+        }
+        const TOL: f64 = 1e-12;
+        for i in 1..n {
+            if self.freq_ghz[i] <= self.freq_ghz[i - 1] {
+                v.push(Violation::new(
+                    "dvfs-freq-monotone",
+                    format!("{}: frequencies not ascending at step {i}", self.label),
+                ));
+            }
+            if self.latency_s[i] > self.latency_s[i - 1] + TOL {
+                v.push(Violation::new(
+                    "dvfs-latency-monotone",
+                    format!(
+                        "{}: latency increases with frequency at step {i} ({} -> {} s)",
+                        self.label,
+                        self.latency_s[i - 1],
+                        self.latency_s[i]
+                    ),
+                ));
+            }
+            if self.power_w[i] + TOL < self.power_w[i - 1] {
+                v.push(Violation::new(
+                    "dvfs-power-monotone",
+                    format!(
+                        "{}: power decreases with frequency at step {i} ({} -> {} W)",
+                        self.label,
+                        self.power_w[i - 1],
+                        self.power_w[i]
+                    ),
+                ));
+            }
+        }
+        v
+    }
+}
+
+/// Result of one named feasibility check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckReport {
+    /// What was checked (e.g. `space:attentive-nas`, `dvfs:tx2-gpu`).
+    pub name: String,
+    /// Broken invariants; empty means the check passed.
+    pub violations: Vec<Violation>,
+}
+
+impl CheckReport {
+    /// Whether the check passed.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn report(name: impl Into<String>, violations: Vec<Violation>) -> CheckReport {
+    CheckReport { name: name.into(), violations }
+}
+
+/// Runs the full built-in suite: the AttentiveNAS space, the a0..a6
+/// baseline genomes, sampled exit placements, and per-target DVFS ladders,
+/// device cost curves, and proxy sanity. `targets` limits the hardware
+/// sweep (pass `HwTarget::ALL` for everything).
+pub fn run_builtin_checks(targets: &[HwTarget]) -> Vec<CheckReport> {
+    let mut out = Vec::new();
+    let space = SearchSpace::attentive_nas();
+    out.push(report("space:attentive-nas", Validate::validate(&space)));
+
+    for i in 0..=6 {
+        let genome = baselines::baseline_genome(i);
+        out.push(report(format!("genome:a{i}"), check_genome(&space, genome.genes())));
+    }
+
+    // Exit placements over the a3 backbone: every indicator pattern the
+    // paper's encoding admits must survive the audit once constructed.
+    match space.decode(&baselines::baseline_genome(3)) {
+        Ok(subnet) => {
+            let layers = subnet.num_mbconv_layers();
+            let single = ExitPlacement::new(vec![MIN_EXIT_POSITION], layers)
+                .map(|p| p.validate())
+                .unwrap_or_else(|e| vec![Violation::new("exit-construct", e.to_string())]);
+            out.push(report("exits:single", single));
+            let spread: Vec<usize> =
+                (MIN_EXIT_POSITION..layers).step_by(2).take(layers.saturating_sub(5)).collect();
+            let spread = ExitPlacement::new(spread, layers)
+                .map(|p| p.validate())
+                .unwrap_or_else(|e| vec![Violation::new("exit-construct", e.to_string())]);
+            out.push(report("exits:spread", spread));
+
+            for &target in targets {
+                let device = DeviceModel::for_target(target);
+                out.push(report(format!("ladder:{}", target.name()), device.ladder().validate()));
+                let profile = DvfsProfile::measure(target.name(), &device, &subnet)
+                    .map(|p| p.validate())
+                    .unwrap_or_else(|e| vec![Violation::new("dvfs-measure", e.to_string())]);
+                out.push(report(format!("dvfs:{}", target.name()), profile));
+
+                let proxy = ProxyCostModel::fit(&device, &space, 240, 7);
+                let proxy_check = DvfsProfile::measure(target.name(), &proxy, &subnet)
+                    .map(|p| {
+                        p.validate()
+                            .into_iter()
+                            // The proxy is a linear fit: costs must be finite
+                            // and positive, but strict monotonicity is the
+                            // device model's contract, not the regression's.
+                            .filter(|v| v.check == "dvfs-finite" || v.check == "dvfs-shape")
+                            .collect()
+                    })
+                    .unwrap_or_else(|e| vec![Violation::new("proxy-measure", e.to_string())]);
+                out.push(report(format!("proxy:{}", target.name()), proxy_check));
+            }
+        }
+        Err(e) => {
+            out.push(report("exits:decode-a3", vec![Violation::new("decode", e.to_string())]))
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_configs_are_feasible() {
+        let reports = run_builtin_checks(&[HwTarget::Tx2PascalGpu]);
+        let broken: Vec<_> = reports.iter().filter(|r| !r.ok()).collect();
+        assert!(broken.is_empty(), "built-in configs must pass: {broken:?}");
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_genome() {
+        let space = SearchSpace::attentive_nas();
+        let genes = vec![99; space.genome_len()];
+        let v = check_genome(&space, &genes);
+        assert!(!v.is_empty());
+        assert!(v.iter().all(|v| v.check == "genome-bounds"));
+        assert!(check_genome(&space, &[0]).iter().any(|v| v.check == "genome-length"));
+    }
+
+    #[test]
+    fn rejects_non_monotone_exit_placement() {
+        let v = check_exit_positions(&[7, 5], 12);
+        assert!(v.iter().any(|v| v.check == "exit-monotone"));
+        let v = check_exit_positions(&[5, 40], 12);
+        assert!(v.iter().any(|v| v.check == "exit-range"));
+        assert!(!check_exit_positions(&[5, 7, 9], 12).iter().any(|_| true));
+    }
+
+    #[test]
+    fn rejects_latency_increasing_with_frequency() {
+        let bad = DvfsProfile {
+            label: "crafted".into(),
+            freq_ghz: vec![0.5, 1.0, 1.5],
+            latency_s: vec![1.0, 2.0, 3.0],
+            power_w: vec![1.0, 2.0, 3.0],
+        };
+        let v = bad.validate();
+        assert!(v.iter().any(|v| v.check == "dvfs-latency-monotone"), "{v:?}");
+        let good = DvfsProfile {
+            label: "crafted".into(),
+            freq_ghz: vec![0.5, 1.0, 1.5],
+            latency_s: vec![3.0, 2.0, 1.0],
+            power_w: vec![1.0, 2.0, 3.0],
+        };
+        assert!(good.validate().is_empty());
+    }
+
+    #[test]
+    fn validated_placement_passes_the_audit() {
+        let p = ExitPlacement::new(vec![5, 8, 11], 14).expect("valid");
+        assert!(p.validate().is_empty());
+    }
+}

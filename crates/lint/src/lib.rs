@@ -1,0 +1,38 @@
+//! # hadas-lint
+//!
+//! Workspace static analysis for the HADAS reproduction, in two passes:
+//!
+//! 1. **Source lints** ([`scan`]): a lightweight line/token scanner (no
+//!    parser, no external deps) enforcing
+//!    - `no-panic-in-lib` (L1) — no `.unwrap()` / `.expect(` / `panic!(` /
+//!      `unreachable!(` in library code, ratcheted by `lint-baseline.toml`
+//!      (the count may only go down);
+//!    - `seeded-rng-only` (L2) — no `thread_rng()` / `from_entropy()` /
+//!      `SystemTime`-seeded RNG anywhere, allowance fixed at zero;
+//!    - `lossy-cast-audit` (L3) — bare `as usize` / `as f32` / `as f64`
+//!      in the numeric-kernel crates (`tensor`, `nn`, `hw`), ratcheted.
+//!
+//!    A `// lint:allow(panic|rng|cast)` trailing comment exempts a line.
+//!
+//! 2. **Feasibility checks** ([`feasibility`]): instantiate the actual
+//!    configuration objects and audit the invariants the search engines
+//!    rely on — genome bounds, exit-placement monotonicity, DVFS ladder
+//!    and cost-curve monotonicity, proxy sanity. Also exposed through the
+//!    `hadas check` CLI subcommand.
+//!
+//! The `hadas-lint` binary runs both passes and writes a machine-readable
+//! report to `results/static_analysis.json`, exiting non-zero on any
+//! violation.
+
+pub mod baseline;
+pub mod feasibility;
+pub mod report;
+pub mod scan;
+
+pub use baseline::Baseline;
+pub use feasibility::{
+    check_exit_positions, check_genome, run_builtin_checks, CheckReport, DvfsProfile, Validate,
+    Violation,
+};
+pub use report::{all_ok, evaluate, to_json, LintOutcome};
+pub use scan::{scan_source, scan_workspace, Finding};

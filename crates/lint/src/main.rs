@@ -1,0 +1,108 @@
+//! The `hadas-lint` binary: run both analysis passes over the workspace,
+//! write `results/static_analysis.json`, and exit non-zero on violations.
+//!
+//! ```text
+//! cargo run -p hadas-lint [-- --root DIR] [--baseline PATH] [--json PATH]
+//! ```
+
+use hadas_hw::HwTarget;
+use hadas_lint::{all_ok, evaluate, run_builtin_checks, scan_workspace, to_json, Baseline};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Workspace root baked in at compile time (`crates/lint` → two levels up);
+/// overridable with `--root` for tests and out-of-tree runs.
+fn default_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+struct Args {
+    root: PathBuf,
+    baseline: PathBuf,
+    json: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = default_root();
+    let mut baseline = None;
+    let mut json = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value =
+            argv.get(i + 1).ok_or_else(|| format!("flag {} needs a value", argv[i]))?.clone();
+        match argv[i].as_str() {
+            "--root" => root = PathBuf::from(value),
+            "--baseline" => baseline = Some(PathBuf::from(value)),
+            "--json" => json = Some(PathBuf::from(value)),
+            other => return Err(format!("unknown flag {other} (try --root, --baseline, --json)")),
+        }
+        i += 2;
+    }
+    let baseline = baseline.unwrap_or_else(|| root.join("lint-baseline.toml"));
+    let json = json.unwrap_or_else(|| root.join("results").join("static_analysis.json"));
+    Ok(Args { root, baseline, json })
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let baseline = Baseline::load(&args.baseline)?;
+
+    // Pass 1: source lints.
+    let (files_scanned, findings) = scan_workspace(&args.root)?;
+    let lints = evaluate(findings, &baseline);
+
+    // Pass 2: feasibility checks over all four hardware targets.
+    let checks = run_builtin_checks(&HwTarget::ALL);
+
+    // Human-readable summary.
+    println!("hadas-lint: scanned {files_scanned} files under {}", args.root.display());
+    for l in &lints {
+        let status = if l.ok { "ok" } else { "FAIL" };
+        println!("  [{status}] {:<18} {} finding(s), allowance {}", l.name, l.count(), l.allowance);
+        if !l.ok {
+            for f in &l.findings {
+                println!("      {}:{} {} `{}`", f.file, f.line, f.pattern, f.snippet);
+            }
+        } else if l.slack() > 0 {
+            println!(
+                "      note: ratchet has slack — lower `{}` to {} in lint-baseline.toml",
+                l.name,
+                l.count()
+            );
+        }
+    }
+    let broken: Vec<_> = checks.iter().filter(|c| !c.ok()).collect();
+    println!("  feasibility: {}/{} checks passed", checks.len() - broken.len(), checks.len());
+    for c in &broken {
+        for v in &c.violations {
+            println!("      [FAIL] {} {}: {}", c.name, v.check, v.detail);
+        }
+    }
+
+    // Machine-readable report.
+    let payload = to_json(files_scanned, &lints, &checks);
+    if let Some(dir) = args.json.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    }
+    let text = serde_json::to_string_pretty(&payload).map_err(|e| e.to_string())?;
+    std::fs::write(&args.json, text)
+        .map_err(|e| format!("writing {}: {e}", args.json.display()))?;
+    println!("wrote {}", args.json.display());
+
+    Ok(all_ok(&lints, &checks))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("hadas-lint: violations found");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("hadas-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! Pass 1: lightweight line/token source lints.
+//!
+//! The scanner is deliberately *not* a parser: it sanitizes each file
+//! (blanking comments, string/char literals and doc text so patterns
+//! cannot match inside them), tracks `#[cfg(test)]` regions by brace
+//! depth, and then looks for fixed token patterns. That is enough for the
+//! three workspace lints and keeps this crate dependency-free.
+
+use std::path::{Path, PathBuf};
+
+/// Names of the three source lints, in report order.
+pub const LINT_NAMES: [&str; 3] = ["no-panic-in-lib", "seeded-rng-only", "lossy-cast-audit"];
+
+/// Crates whose numeric kernels get the lossy-cast audit (L3).
+const CAST_AUDIT_CRATES: [&str; 3] = ["tensor", "nn", "hw"];
+
+/// One lint hit at a specific source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint name (one of [`LINT_NAMES`]).
+    pub lint: &'static str,
+    /// Path relative to the workspace root, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The token pattern that matched.
+    pub pattern: &'static str,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// Blanks comments and string/char literals with spaces, preserving
+/// length and newlines, so token patterns only match real code.
+///
+/// Handles nested block comments, raw strings (`r"…"`, `r#"…"#`, byte
+/// variants), escapes, and distinguishes lifetimes from char literals.
+pub fn sanitize(source: &str) -> String {
+    let b = source.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                out.push(b' ');
+                out.push(b' ');
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                // Skip the prefix (`r`, `br`, plus hashes) up to the quote.
+                let mut j = i;
+                while b[j] != b'"' {
+                    out.push(b' ');
+                    j += 1;
+                }
+                let hashes = b[i..j].iter().filter(|&&c| c == b'#').count();
+                out.push(b' ');
+                j += 1;
+                // Scan to the closing quote followed by `hashes` hashes.
+                loop {
+                    if j >= b.len() {
+                        break;
+                    }
+                    if b[j] == b'"'
+                        && b[j + 1..].iter().take(hashes).filter(|&&c| c == b'#').count() == hashes
+                    {
+                        out.extend(std::iter::repeat_n(b' ', hashes + 1));
+                        j += hashes + 1;
+                        break;
+                    }
+                    out.push(if b[j] == b'\n' { b'\n' } else { b' ' });
+                    j += 1;
+                }
+                i = j;
+            }
+            b'"' => {
+                out.push(b' ');
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => {
+                            out.push(b' ');
+                            out.push(b' ');
+                            i += 2;
+                        }
+                        b'"' => {
+                            out.push(b' ');
+                            i += 1;
+                            break;
+                        }
+                        c => {
+                            out.push(if c == b'\n' { b'\n' } else { b' ' });
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal iff it closes within a few bytes; else lifetime.
+                let close = if i + 2 < b.len() && b[i + 1] == b'\\' {
+                    b[i + 2..].iter().take(8).position(|&c| c == b'\'').map(|p| i + 2 + p)
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    Some(i + 2)
+                } else {
+                    None
+                };
+                match close {
+                    Some(end) => {
+                        out.extend(std::iter::repeat_n(b' ', end + 1 - i));
+                        i = end + 1;
+                    }
+                    None => {
+                        out.push(b'\'');
+                        i += 1;
+                    }
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    // r" r#" br" br#" — an identifier char before `r` means it's part of a name.
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+/// Number of occurrences of `needle` in `hay` as a token (the characters
+/// on either side, if any, are not identifier characters).
+fn token_count(hay: &str, needle: &str) -> usize {
+    let mut from = 0;
+    let mut n = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let pre_ok = start == 0 || !is_ident_char(hay.as_bytes()[start - 1]);
+        let post_ok = end >= hay.len() || !is_ident_char(hay.as_bytes()[end]);
+        if pre_ok && post_ok {
+            n += 1;
+        }
+        from = end;
+    }
+    n
+}
+
+/// Number of plain substring occurrences of `needle` in `hay`.
+fn substr_count(hay: &str, needle: &str) -> usize {
+    let mut from = 0;
+    let mut n = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        n += 1;
+        from += pos + needle.len();
+    }
+    n
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Scans one file's source text. `rel_path` is the path relative to the
+/// workspace root and decides which lints apply (test/bench/example code
+/// is exempt from L1/L3; L3 runs only in the numeric-kernel crates).
+pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let path_norm = rel_path.replace('\\', "/");
+    let in_exempt_dir =
+        path_norm.split('/').any(|seg| matches!(seg, "tests" | "benches" | "examples"));
+    let crate_name = path_norm.strip_prefix("crates/").and_then(|r| r.split('/').next());
+    let audit_casts = crate_name.is_some_and(|c| CAST_AUDIT_CRATES.contains(&c));
+
+    let sanitized = sanitize(source);
+    let mut findings = Vec::new();
+
+    // `#[cfg(test)]` region tracking by brace depth.
+    let mut depth: i64 = 0;
+    let mut pending_cfg_test = false;
+    let mut exempt_above: Option<i64> = None;
+
+    for (idx, (raw, clean)) in source.lines().zip(sanitized.lines()).enumerate() {
+        let line_no = idx + 1;
+        if exempt_above.is_some_and(|d| depth <= d) {
+            exempt_above = None;
+        }
+        let in_test_block = exempt_above.is_some();
+        let lib_code = !in_exempt_dir && !in_test_block;
+
+        let allow_panic = raw.contains("lint:allow(panic)");
+        let allow_rng = raw.contains("lint:allow(rng)");
+        let allow_cast = raw.contains("lint:allow(cast)");
+
+        let mut hit = |lint: &'static str, pattern: &'static str| {
+            findings.push(Finding {
+                lint,
+                file: path_norm.clone(),
+                line: line_no,
+                pattern,
+                snippet: raw.trim().to_string(),
+            });
+        };
+
+        // L1 no-panic-in-lib.
+        if lib_code && !allow_panic {
+            for pat in [".unwrap()", ".expect(", "panic!(", "unreachable!("] {
+                for _ in 0..substr_count(clean, pat) {
+                    hit("no-panic-in-lib", pat);
+                }
+            }
+        }
+
+        // L2 seeded-rng-only: applies everywhere, including tests.
+        if !allow_rng {
+            for pat in ["thread_rng(", "from_entropy("] {
+                for _ in 0..substr_count(clean, pat) {
+                    hit("seeded-rng-only", pat);
+                }
+            }
+            if clean.contains("SystemTime") && (clean.contains("seed") || clean.contains("Seed")) {
+                hit("seeded-rng-only", "SystemTime-seeded");
+            }
+        }
+
+        // L3 lossy-cast-audit.
+        if audit_casts && lib_code && !allow_cast {
+            for pat in ["as usize", "as f32", "as f64"] {
+                for _ in 0..token_count(clean, pat) {
+                    hit("lossy-cast-audit", pat);
+                }
+            }
+        }
+
+        // Update brace depth and cfg(test) state from the sanitized line.
+        if clean.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        for c in clean.bytes() {
+            match c {
+                b'{' => {
+                    if pending_cfg_test {
+                        exempt_above = Some(depth);
+                        pending_cfg_test = false;
+                    }
+                    depth += 1;
+                }
+                b'}' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    findings
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for determinism.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans every `crates/*/src/**` and the top-level `tests/` tree of the
+/// workspace at `root`. Vendored stand-ins (`vendor/`) are out of scope.
+///
+/// Returns the number of files scanned and all findings.
+///
+/// # Errors
+///
+/// Returns an error string if the workspace layout cannot be read.
+pub fn scan_workspace(root: &Path) -> Result<(usize, Vec<Finding>), String> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    members.sort();
+    for member in members {
+        let src = member.join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)
+                .map_err(|e| format!("walking {}: {e}", src.display()))?;
+        }
+    }
+    // Workspace-level integration tests: L2 applies there too.
+    let top_tests = root.join("tests");
+    if top_tests.is_dir() {
+        collect_rs_files(&top_tests, &mut files)
+            .map_err(|e| format!("walking {}: {e}", top_tests.display()))?;
+    }
+
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        findings.extend(scan_source(&rel, &text));
+    }
+    Ok((files.len(), findings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizer_blanks_comments_and_strings() {
+        let src = "let x = \"panic!(\"; // panic!(\nlet y = 1; /* .unwrap() */\n";
+        let clean = sanitize(src);
+        assert!(!clean.contains("panic!("));
+        assert!(!clean.contains(".unwrap()"));
+        assert!(clean.contains("let x ="));
+        assert_eq!(clean.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn sanitizer_handles_raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(s: &'a str) { let r = r#\"panic!(\"#; let c = '\"'; }";
+        let clean = sanitize(src);
+        assert!(!clean.contains("panic!("));
+        assert!(clean.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn l1_flags_panics_in_lib_code_only() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn g() { y.unwrap(); panic!(\"boom\"); }\n}\n";
+        let f = scan_source("crates/core/src/a.rs", src);
+        let l1: Vec<_> = f.iter().filter(|f| f.lint == "no-panic-in-lib").collect();
+        assert_eq!(l1.len(), 1, "only the non-test unwrap: {l1:?}");
+        assert_eq!(l1[0].line, 1);
+    }
+
+    #[test]
+    fn l1_respects_escape_hatch_and_exempt_dirs() {
+        let src = "fn f() { x.unwrap(); } // lint:allow(panic)\n";
+        assert!(scan_source("crates/core/src/a.rs", src).is_empty());
+        let src2 = "fn f() { x.expect(\"boom\"); }\n";
+        assert!(scan_source("crates/core/benches/b.rs", src2).is_empty());
+        assert_eq!(scan_source("crates/core/src/b.rs", src2).len(), 1);
+    }
+
+    #[test]
+    fn l2_flags_unseeded_rng_everywhere() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn g() { let mut r = rand::thread_rng(); }\n}\n";
+        let f = scan_source("crates/evo/src/a.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, "seeded-rng-only");
+        let sys = "let s = SystemTime::now(); let rng = StdRng::seed_from_u64(s.x);\n";
+        assert_eq!(scan_source("crates/evo/src/b.rs", sys).len(), 1);
+        let ok = "let t = SystemTime::now(); // timing only\n";
+        assert!(scan_source("crates/evo/src/c.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn l3_audits_casts_in_kernel_crates_only() {
+        let src = "fn f(x: u64) -> f64 { x as f64 }\n";
+        let f = scan_source("crates/hw/src/a.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, "lossy-cast-audit");
+        assert!(scan_source("crates/evo/src/a.rs", src).is_empty());
+        let annotated = "fn f(x: u64) -> f64 { x as f64 } // lint:allow(cast)\n";
+        assert!(scan_source("crates/hw/src/b.rs", annotated).is_empty());
+    }
+
+    #[test]
+    fn l3_requires_token_boundaries() {
+        let src = "fn f() { let alias_f64 = has_f64; }\n";
+        assert!(scan_source("crates/nn/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let src = "fn f() { x.unwrap_or(0); x.unwrap_or_default(); }\n";
+        assert!(scan_source("crates/core/src/a.rs", src).is_empty());
+    }
+}

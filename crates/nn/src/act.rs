@@ -21,10 +21,8 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let input = self
-            .cached_input
-            .take()
-            .ok_or(NnError::BackwardBeforeForward { layer: "Relu" })?;
+        let input =
+            self.cached_input.take().ok_or(NnError::BackwardBeforeForward { layer: "Relu" })?;
         Ok(input.zip(grad_out, |x, g| if x > 0.0 { g } else { 0.0 })?)
     }
 
@@ -72,10 +70,8 @@ impl Layer for HSwish {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let input = self
-            .cached_input
-            .take()
-            .ok_or(NnError::BackwardBeforeForward { layer: "HSwish" })?;
+        let input =
+            self.cached_input.take().ok_or(NnError::BackwardBeforeForward { layer: "HSwish" })?;
         Ok(input.zip(grad_out, |x, g| g * HSwish::df(x))?)
     }
 

@@ -131,10 +131,8 @@ impl Layer for BatchNorm2d {
 
     #[allow(clippy::needless_range_loop)]
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let cache = self
-            .cache
-            .take()
-            .ok_or(NnError::BackwardBeforeForward { layer: "BatchNorm2d" })?;
+        let cache =
+            self.cache.take().ok_or(NnError::BackwardBeforeForward { layer: "BatchNorm2d" })?;
         let dims = cache.input_shape;
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let count = (n * h * w) as f32;
@@ -169,8 +167,7 @@ impl Layer for BatchNorm2d {
                 let k = gamma[ch] * cache.std_inv[ch] / count;
                 let base = (img * c + ch) * h * w;
                 for p in 0..h * w {
-                    dx[base + p] =
-                        k * (count * g[base + p] - dbeta[ch] - z[base + p] * dgamma[ch]);
+                    dx[base + p] = k * (count * g[base + p] - dbeta[ch] - z[base + p] * dgamma[ch]);
                 }
             }
         }
@@ -197,11 +194,8 @@ mod tests {
     #[test]
     fn training_forward_normalizes_batch() {
         let mut bn = BatchNorm2d::new(2);
-        let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
-            &[1, 2, 2, 2],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2])
+            .unwrap();
         let y = bn.forward(&x).unwrap();
         // Each channel should have ~zero mean and ~unit variance.
         for ch in 0..2 {
@@ -231,11 +225,8 @@ mod tests {
     #[test]
     fn gradient_matches_finite_difference() {
         let mut bn = BatchNorm2d::new(2);
-        let x = Tensor::from_vec(
-            vec![0.5, -1.0, 2.0, 0.1, -0.3, 1.2, 0.8, -0.9],
-            &[1, 2, 2, 2],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1, -0.3, 1.2, 0.8, -0.9], &[1, 2, 2, 2])
+            .unwrap();
         let y = bn.forward(&x).unwrap();
         // Loss = sum(y * w) with fixed w to make the gradient non-uniform.
         let wv: Vec<f32> = (0..8).map(|i| (i as f32) / 4.0 - 1.0).collect();

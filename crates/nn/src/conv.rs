@@ -95,10 +95,8 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let cols = self
-            .cached_cols
-            .take()
-            .ok_or(NnError::BackwardBeforeForward { layer: "Conv2d" })?;
+        let cols =
+            self.cached_cols.take().ok_or(NnError::BackwardBeforeForward { layer: "Conv2d" })?;
         let n = self.cached_batch;
         let (oh, ow) = (self.geo.out_h(), self.geo.out_w());
         // Reorder grad (n, cout, oh, ow) -> (n*oh*ow, cout).

@@ -18,8 +18,7 @@ pub struct Linear {
 impl Linear {
     /// Creates a linear layer with seeded random weights.
     pub fn new<R: Rng>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
-        let weight =
-            Param::new(kaiming_uniform(rng, &[out_features, in_features], in_features));
+        let weight = Param::new(kaiming_uniform(rng, &[out_features, in_features], in_features));
         let bias = Param::new(Tensor::zeros(&[out_features]));
         Linear { weight, bias, in_features, out_features, cached_input: None }
     }
@@ -43,10 +42,8 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let input = self
-            .cached_input
-            .take()
-            .ok_or(NnError::BackwardBeforeForward { layer: "Linear" })?;
+        let input =
+            self.cached_input.take().ok_or(NnError::BackwardBeforeForward { layer: "Linear" })?;
         // dW = gradᵀ · x ; db = column-sum of grad ; dx = grad · W
         let grad_w = grad_out.transpose()?.matmul(&input)?;
         self.weight.grad_mut().axpy(1.0, &grad_w)?;

@@ -209,10 +209,8 @@ mod tests {
         let e1 = Tensor::from_vec(vec![2.0, 0.0], &[1, 2]).unwrap();
         let e2 = Tensor::from_vec(vec![0.0, 2.0], &[1, 2]).unwrap();
         let teacher = Tensor::from_vec(vec![3.0, 0.0], &[1, 2]).unwrap();
-        let (single, _) =
-            hybrid_exit_loss(std::slice::from_ref(&e1), &teacher, &[0], 4.0).unwrap();
-        let (double, grads) =
-            hybrid_exit_loss(&[e1.clone(), e2], &teacher, &[0], 4.0).unwrap();
+        let (single, _) = hybrid_exit_loss(std::slice::from_ref(&e1), &teacher, &[0], 4.0).unwrap();
+        let (double, grads) = hybrid_exit_loss(&[e1.clone(), e2], &teacher, &[0], 4.0).unwrap();
         assert_eq!(grads.len(), 2);
         // The good exit alone has a lower loss than the good+bad average.
         assert!(single < double);

@@ -46,9 +46,9 @@ impl Layer for MaxPool2d {
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let k = self.window;
         if h < k || w < k {
-            return Err(NnError::Tensor(hadas_tensor::TensorError::InvalidGeometry(
-                format!("window {k} exceeds input {h}x{w}"),
-            )));
+            return Err(NnError::Tensor(hadas_tensor::TensorError::InvalidGeometry(format!(
+                "window {k} exceeds input {h}x{w}"
+            ))));
         }
         let (oh, ow) = (h / k, w / k);
         let src = input.as_slice();
@@ -78,10 +78,8 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let cache = self
-            .cache
-            .take()
-            .ok_or(NnError::BackwardBeforeForward { layer: "MaxPool2d" })?;
+        let cache =
+            self.cache.take().ok_or(NnError::BackwardBeforeForward { layer: "MaxPool2d" })?;
         let mut dx = Tensor::zeros(&cache.input_shape);
         let d = dx.as_mut_slice();
         for (g, &idx) in grad_out.as_slice().iter().zip(cache.argmax.iter()) {
@@ -107,7 +105,10 @@ mod tests {
     fn pooling_takes_window_maxima() {
         let mut pool = MaxPool2d::new(2);
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();

@@ -64,8 +64,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_correct_rows() {
-        let logits =
-            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]).unwrap();
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]).unwrap();
         let acc = accuracy(&logits, &[0, 1, 1]).unwrap();
         assert!((acc - 2.0 / 3.0).abs() < 1e-6);
     }
@@ -88,8 +87,7 @@ mod tests {
 
     #[test]
     fn entropy_orders_confidence() {
-        let logits =
-            Tensor::from_vec(vec![5.0, 0.0, 0.0, 1.0, 0.5, 0.0], &[2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![5.0, 0.0, 0.0, 1.0, 0.5, 0.0], &[2, 3]).unwrap();
         let h = entropy_rows(&logits).unwrap();
         assert!(h[0] < h[1], "more confident row must have lower entropy");
     }

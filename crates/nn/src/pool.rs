@@ -101,10 +101,8 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let dims = self
-            .cached_shape
-            .take()
-            .ok_or(NnError::BackwardBeforeForward { layer: "Flatten" })?;
+        let dims =
+            self.cached_shape.take().ok_or(NnError::BackwardBeforeForward { layer: "Flatten" })?;
         Ok(grad_out.reshape(&dims)?)
     }
 
@@ -124,8 +122,8 @@ mod tests {
     #[test]
     fn gap_averages_each_channel() {
         let mut gap = GlobalAvgPool::new();
-        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[1, 2, 2, 2])
-            .unwrap();
+        let x =
+            Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[1, 2, 2, 2]).unwrap();
         let y = gap.forward(&x).unwrap();
         assert_eq!(y.shape().dims(), &[1, 2]);
         assert_eq!(y.as_slice(), &[4.0, 2.0]);

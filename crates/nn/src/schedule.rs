@@ -65,8 +65,7 @@ impl CosineAnnealing {
 impl LrSchedule for CosineAnnealing {
     fn lr_at(&self, step: usize) -> f32 {
         let t = (step.min(self.total) as f32) / (self.total as f32);
-        self.floor
-            + 0.5 * (self.base - self.floor) * (1.0 + (std::f32::consts::PI * t).cos())
+        self.floor + 0.5 * (self.base - self.floor) * (1.0 + (std::f32::consts::PI * t).cos())
     }
 }
 

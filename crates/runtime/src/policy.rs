@@ -134,11 +134,7 @@ impl ScalingPolicy for LatencyPolicy {
         }
         // How far over target we are decides how many steps down to take.
         let ratio = state.recent_latency_ms / self.target_ms;
-        let step = if ratio <= 1.0 {
-            0
-        } else {
-            (ratio.log2().ceil() as usize).max(1)
-        };
+        let step = if ratio <= 1.0 { 0 } else { (ratio.log2().ceil() as usize).max(1) };
         step.min(num_modes.saturating_sub(1))
     }
 

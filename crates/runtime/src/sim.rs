@@ -153,10 +153,7 @@ impl<'a> RuntimeSimulator<'a> {
             mean_latency_ms,
             p95_latency_ms,
             mode_switches: switches,
-            mode_occupancy: occupancy
-                .iter()
-                .map(|&c| c as f64 / served.max(1) as f64)
-                .collect(),
+            mode_occupancy: occupancy.iter().map(|&c| c as f64 / served.max(1) as f64).collect(),
             final_soc: battery.soc(),
             died_at_s: died_at,
         })

@@ -42,11 +42,7 @@ impl Default for TraceConfig {
         TraceConfig {
             duration_s: 120.0,
             rate_hz: 15.0,
-            schedule: vec![
-                (0.0, Regime::Easy),
-                (0.35, Regime::Mixed),
-                (0.7, Regime::Hard),
-            ],
+            schedule: vec![(0.0, Regime::Easy), (0.35, Regime::Mixed), (0.7, Regime::Hard)],
         }
     }
 }
@@ -165,12 +161,8 @@ mod tests {
     fn hard_regime_is_harder_on_average() {
         let trace = WorkloadTrace::generate(&TraceConfig::default(), 9);
         let mean = |r: Regime| {
-            let v: Vec<f64> = trace
-                .arrivals()
-                .iter()
-                .filter(|a| a.regime == r)
-                .map(|a| a.difficulty)
-                .collect();
+            let v: Vec<f64> =
+                trace.arrivals().iter().filter(|a| a.regime == r).map(|a| a.difficulty).collect();
             v.iter().sum::<f64>() / v.len().max(1) as f64
         };
         assert!(mean(Regime::Hard) > mean(Regime::Mixed));

@@ -23,26 +23,47 @@ pub fn baseline_genome(index: usize) -> Genome {
     assert!(index <= 6, "AttentiveNAS defines a0..a6");
     let genes: Vec<usize> = match index {
         // a0: most compact — lowest resolution, min depths/widths, 3x3, low expand.
-        0 => vec![0, 0, 0, /*s1*/ 0, 0, 0, 0, /*s2*/ 0, 0, 0, 0, /*s3*/ 0, 0, 0, 0,
-                  /*s4*/ 0, 0, 0, 0, /*s5*/ 0, 0, 0, 0, /*s6*/ 0, 0, 0, 0, /*s7*/ 0, 0, 0, 0],
+        0 => vec![
+            0, 0, 0, /*s1*/ 0, 0, 0, 0, /*s2*/ 0, 0, 0, 0, /*s3*/ 0, 0, 0, 0,
+            /*s4*/ 0, 0, 0, 0, /*s5*/ 0, 0, 0, 0, /*s6*/ 0, 0, 0, 0, /*s7*/ 0,
+            0, 0, 0,
+        ],
         // a1: slightly deeper mid stages.
-        1 => vec![0, 0, 0, /*s1*/ 0, 0, 0, 0, /*s2*/ 1, 0, 0, 0, /*s3*/ 1, 0, 0, 0,
-                  /*s4*/ 1, 0, 0, 1, /*s5*/ 1, 0, 0, 0, /*s6*/ 1, 0, 0, 0, /*s7*/ 0, 0, 0, 0],
+        1 => vec![
+            0, 0, 0, /*s1*/ 0, 0, 0, 0, /*s2*/ 1, 0, 0, 0, /*s3*/ 1, 0, 0, 0,
+            /*s4*/ 1, 0, 0, 1, /*s5*/ 1, 0, 0, 0, /*s6*/ 1, 0, 0, 0, /*s7*/ 0,
+            0, 0, 0,
+        ],
         // a2: 224 resolution, wider stage 4/5.
-        2 => vec![1, 0, 0, /*s1*/ 0, 0, 0, 0, /*s2*/ 1, 0, 0, 1, /*s3*/ 1, 1, 0, 0,
-                  /*s4*/ 1, 0, 0, 1, /*s5*/ 1, 1, 0, 1, /*s6*/ 1, 1, 0, 0, /*s7*/ 0, 0, 0, 0],
+        2 => vec![
+            1, 0, 0, /*s1*/ 0, 0, 0, 0, /*s2*/ 1, 0, 0, 1, /*s3*/ 1, 1, 0, 0,
+            /*s4*/ 1, 0, 0, 1, /*s5*/ 1, 1, 0, 1, /*s6*/ 1, 1, 0, 0, /*s7*/ 0,
+            0, 0, 0,
+        ],
         // a3: 224 resolution, deeper late stages, 5x5 kernels mid-network.
-        3 => vec![1, 0, 0, /*s1*/ 1, 0, 0, 0, /*s2*/ 1, 1, 0, 1, /*s3*/ 2, 1, 1, 1,
-                  /*s4*/ 2, 1, 0, 1, /*s5*/ 2, 1, 1, 1, /*s6*/ 2, 1, 0, 0, /*s7*/ 0, 1, 0, 0],
+        3 => vec![
+            1, 0, 0, /*s1*/ 1, 0, 0, 0, /*s2*/ 1, 1, 0, 1, /*s3*/ 2, 1, 1, 1,
+            /*s4*/ 2, 1, 0, 1, /*s5*/ 2, 1, 1, 1, /*s6*/ 2, 1, 0, 0, /*s7*/ 0,
+            1, 0, 0,
+        ],
         // a4: 256 resolution.
-        4 => vec![2, 1, 0, /*s1*/ 1, 1, 0, 0, /*s2*/ 2, 1, 0, 1, /*s3*/ 2, 1, 1, 1,
-                  /*s4*/ 2, 1, 1, 2, /*s5*/ 3, 1, 1, 1, /*s6*/ 3, 2, 0, 0, /*s7*/ 1, 1, 0, 0],
+        4 => vec![
+            2, 1, 0, /*s1*/ 1, 1, 0, 0, /*s2*/ 2, 1, 0, 1, /*s3*/ 2, 1, 1, 1,
+            /*s4*/ 2, 1, 1, 2, /*s5*/ 3, 1, 1, 1, /*s6*/ 3, 2, 0, 0, /*s7*/ 1,
+            1, 0, 0,
+        ],
         // a5: 256 resolution, near-max depths.
-        5 => vec![2, 1, 1, /*s1*/ 1, 1, 1, 0, /*s2*/ 2, 1, 1, 2, /*s3*/ 3, 1, 1, 2,
-                  /*s4*/ 3, 1, 1, 2, /*s5*/ 4, 2, 1, 2, /*s6*/ 4, 2, 1, 0, /*s7*/ 1, 1, 0, 0],
+        5 => vec![
+            2, 1, 1, /*s1*/ 1, 1, 1, 0, /*s2*/ 2, 1, 1, 2, /*s3*/ 3, 1, 1, 2,
+            /*s4*/ 3, 1, 1, 2, /*s5*/ 4, 2, 1, 2, /*s6*/ 4, 2, 1, 0, /*s7*/ 1,
+            1, 0, 0,
+        ],
         // a6: largest — 288 resolution, max depths/widths, 5x5, max expand.
-        _ => vec![3, 1, 1, /*s1*/ 1, 1, 1, 0, /*s2*/ 2, 1, 1, 2, /*s3*/ 3, 1, 1, 2,
-                  /*s4*/ 3, 1, 1, 2, /*s5*/ 5, 2, 1, 2, /*s6*/ 5, 3, 1, 0, /*s7*/ 1, 1, 1, 0],
+        _ => vec![
+            3, 1, 1, /*s1*/ 1, 1, 1, 0, /*s2*/ 2, 1, 1, 2, /*s3*/ 3, 1, 1, 2,
+            /*s4*/ 3, 1, 1, 2, /*s5*/ 5, 2, 1, 2, /*s6*/ 5, 3, 1, 0, /*s7*/ 1,
+            1, 1, 0,
+        ],
     };
     Genome::from_genes(genes)
 }

@@ -92,15 +92,14 @@ impl SearchSpace {
     /// expansion ratios within {1, 4, 5, 6}. Total cardinality exceeds the
     /// paper's quoted 2.94 × 10¹¹.
     pub fn attentive_nas() -> Self {
-        let stage = |depths: &[usize], widths: &[usize], expands: &[usize], stride: usize| {
-            StageSpec {
+        let stage =
+            |depths: &[usize], widths: &[usize], expands: &[usize], stride: usize| StageSpec {
                 depths: depths.to_vec(),
                 widths: widths.to_vec(),
                 kernels: vec![3, 5],
                 expands: expands.to_vec(),
                 stride,
-            }
-        };
+            };
         SearchSpace {
             resolutions: vec![192, 224, 256, 288],
             stem_widths: vec![16, 24],
@@ -165,8 +164,7 @@ impl SearchSpace {
 
     /// Draws a uniformly random genome.
     pub fn sample<R: Rng>(&self, rng: &mut R) -> Genome {
-        let genes =
-            self.gene_cardinalities().iter().map(|&c| rng.gen_range(0..c)).collect();
+        let genes = self.gene_cardinalities().iter().map(|&c| rng.gen_range(0..c)).collect();
         Genome::from_genes(genes)
     }
 
@@ -262,10 +260,7 @@ mod tests {
     fn validate_rejects_bad_genomes() {
         let s = SearchSpace::attentive_nas();
         let short = Genome::from_genes(vec![0; 3]);
-        assert!(matches!(
-            s.validate(&short),
-            Err(SpaceError::GenomeLengthMismatch { .. })
-        ));
+        assert!(matches!(s.validate(&short), Err(SpaceError::GenomeLengthMismatch { .. })));
         let mut genes = vec![0usize; s.genome_len()];
         genes[0] = 99;
         assert!(matches!(

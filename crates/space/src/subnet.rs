@@ -71,22 +71,16 @@ impl Subnet {
         for (si, (cfg, spec)) in stages.iter().zip(space.stages().iter()).enumerate() {
             for li in 0..cfg.depth {
                 let stride = if li == 0 { spec.stride } else { 1 };
-                let layer =
-                    LayerInfo::mbconv(si, li, c_in, cfg.width, cfg.kernel, stride, cfg.expand, size);
+                let layer = LayerInfo::mbconv(
+                    si, li, c_in, cfg.width, cfg.kernel, stride, cfg.expand, size,
+                );
                 c_in = layer.c_out;
                 size = layer.out_size;
                 layers.push(layer);
             }
         }
         layers.push(LayerInfo::head(c_in, head_width, size, NUM_CLASSES));
-        Ok(Subnet {
-            genome: genome.clone(),
-            resolution,
-            stem_width,
-            head_width,
-            stages,
-            layers,
-        })
+        Ok(Subnet { genome: genome.clone(), resolution, stem_width, head_width, stages, layers })
     }
 
     /// The genome this subnet was decoded from.
@@ -253,9 +247,7 @@ mod tests {
     fn bigger_genome_means_bigger_network() {
         let space = SearchSpace::attentive_nas();
         let min = Genome::from_genes(vec![0; space.genome_len()]);
-        let max = Genome::from_genes(
-            space.gene_cardinalities().iter().map(|&c| c - 1).collect(),
-        );
+        let max = Genome::from_genes(space.gene_cardinalities().iter().map(|&c| c - 1).collect());
         let small = space.decode(&min).unwrap();
         let large = space.decode(&max).unwrap();
         assert!(large.total_flops() > small.total_flops() * 3.0);

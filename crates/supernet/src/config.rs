@@ -41,11 +41,7 @@ impl SupernetConfig {
 
     /// Number of distinct subnets this supernet contains.
     pub fn cardinality(&self) -> usize {
-        self.max_depths
-            .iter()
-            .zip(self.width_choices.iter())
-            .map(|(&d, w)| d * w.len())
-            .product()
+        self.max_depths.iter().zip(self.width_choices.iter()).map(|(&d, w)| d * w.len()).product()
     }
 
     /// Validates internal consistency.
@@ -103,11 +99,7 @@ impl SubnetChoice {
     pub fn sample<R: Rng>(cfg: &SupernetConfig, rng: &mut R) -> Self {
         SubnetChoice {
             depths: cfg.max_depths.iter().map(|&d| rng.gen_range(1..=d)).collect(),
-            widths: cfg
-                .width_choices
-                .iter()
-                .map(|c| c[rng.gen_range(0..c.len())])
-                .collect(),
+            widths: cfg.width_choices.iter().map(|c| c[rng.gen_range(0..c.len())]).collect(),
         }
     }
 

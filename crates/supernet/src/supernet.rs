@@ -209,9 +209,8 @@ impl MicroSupernet {
         choice: &SubnetChoice,
     ) -> Result<f32, SupernetError> {
         let n = data.test().len();
-        let (images, labels) = data
-            .test_batch(0, n)
-            .map_err(|e| SupernetError::InvalidChoice(e.to_string()))?;
+        let (images, labels) =
+            data.test_batch(0, n).map_err(|e| SupernetError::InvalidChoice(e.to_string()))?;
         let logits = self.forward(&images, choice)?;
         accuracy(&logits, &labels).map_err(SupernetError::Nn)
     }
@@ -241,10 +240,7 @@ mod tests {
         for depths in [[1, 1], [2, 1], [1, 2], [2, 2]] {
             for &w0 in &cfg.width_choices[0] {
                 for &w1 in &cfg.width_choices[1] {
-                    let choice = SubnetChoice {
-                        depths: depths.to_vec(),
-                        widths: vec![w0, w1],
-                    };
+                    let choice = SubnetChoice { depths: depths.to_vec(), widths: vec![w0, w1] };
                     let y = net.forward(&x, &choice).unwrap();
                     assert_eq!(y.shape().dims(), &[2, cfg.classes]);
                 }
@@ -275,7 +271,11 @@ mod tests {
         let mut net = MicroSupernet::new(&cfg, &mut rng).unwrap();
         let chance = 1.0 / cfg.classes as f32;
         let before_max = net.evaluate(&data, &SubnetChoice::max(&cfg)).unwrap();
-        net.train(&data, 8, 16, 0.05, 9).unwrap();
+        // 16 epochs (not 8): the min subnet is never explicitly anchored, so
+        // its accuracy clears the 2x-chance bar only once sandwich training
+        // has propagated enough signal into the shared slices. With the
+        // pinned seeds this outcome is deterministic.
+        net.train(&data, 16, 16, 0.05, 9).unwrap();
         let after_max = net.evaluate(&data, &SubnetChoice::max(&cfg)).unwrap();
         let after_min = net.evaluate(&data, &SubnetChoice::min(&cfg)).unwrap();
         assert!(after_max > chance * 2.0, "max subnet {after_max} vs chance {chance}");

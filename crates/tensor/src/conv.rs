@@ -134,8 +134,7 @@ pub fn im2col(input: &Tensor, geo: &Conv2dGeometry) -> Result<Tensor, TensorErro
                             let ix = (ox * geo.stride + kx) as isize - geo.padding as isize;
                             let col = ch * k * k + ky * k + kx;
                             if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
-                                let off =
-                                    ((img * c + ch) * h + iy as usize) * w + ix as usize;
+                                let off = ((img * c + ch) * h + iy as usize) * w + ix as usize;
                                 out[base + col] = src[off];
                             }
                         }
@@ -185,8 +184,7 @@ pub fn col2im(
                         for kx in 0..k {
                             let ix = (ox * geo.stride + kx) as isize - geo.padding as isize;
                             if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
-                                let off =
-                                    ((img * c + ch) * h + iy as usize) * w + ix as usize;
+                                let off = ((img * c + ch) * h + iy as usize) * w + ix as usize;
                                 out[off] += src[base + ch * k * k + ky * k + kx];
                             }
                         }

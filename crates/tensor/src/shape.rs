@@ -43,10 +43,7 @@ impl Shape {
     ///
     /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`.
     pub fn dim(&self, axis: usize) -> Result<usize, TensorError> {
-        self.0
-            .get(axis)
-            .copied()
-            .ok_or(TensorError::AxisOutOfRange { axis, rank: self.0.len() })
+        self.0.get(axis).copied().ok_or(TensorError::AxisOutOfRange { axis, rank: self.0.len() })
     }
 
     /// Row-major strides: the number of elements separating successive

@@ -8,8 +8,7 @@
 //! ```
 
 use hadas_suite::core::{
-    Controller, EntropyController, ExitDecision, Hadas, HadasConfig,
-    IdealController,
+    Controller, EntropyController, ExitDecision, Hadas, HadasConfig, IdealController,
 };
 use hadas_suite::dataset::DifficultyDistribution;
 use hadas_suite::exits::exit_head_cost;
@@ -61,8 +60,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         exit_energy.push((prefix.energy_j + heads) * 1e3);
         let _ = k;
     }
-    let full_energy =
-        (device.subnet_cost(&model.subnet, &model.dvfs)?.energy_j + heads) * 1e3;
+    let full_energy = (device.subnet_cost(&model.subnet, &model.dvfs)?.energy_j + heads) * 1e3;
 
     // Serve a synthetic input stream.
     let mut rng = StdRng::seed_from_u64(2024);

@@ -8,11 +8,11 @@
 //! cargo run --example dvfs_landscape
 //! ```
 
+use hadas_suite::accuracy::AccuracyModel;
 use hadas_suite::core::DynamicModel;
 use hadas_suite::exits::ExitPlacement;
 use hadas_suite::hw::{DeviceModel, DvfsSetting, HwTarget};
 use hadas_suite::space::{baselines, SearchSpace};
-use hadas_suite::accuracy::AccuracyModel;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -25,7 +25,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     for target in HwTarget::ALL {
         let device = DeviceModel::for_target(target);
         let ladder = device.ladder();
-        println!("== {} ({} compute x {} EMC steps) ==", target, ladder.compute_steps(), ladder.emc_steps());
+        println!(
+            "== {} ({} compute x {} EMC steps) ==",
+            target,
+            ladder.compute_steps(),
+            ladder.emc_steps()
+        );
 
         let mut best = (f64::INFINITY, DvfsSetting::new(0, 0));
         let mut worst = (0.0f64, DvfsSetting::new(0, 0));
@@ -33,7 +38,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         let emc_top = ladder.emc_steps() - 1;
         print!("  energy vs compute freq (mJ): ");
         for c in 0..ladder.compute_steps() {
-            let model = DynamicModel::new(subnet.clone(), placement.clone(), DvfsSetting::new(c, emc_top));
+            let model =
+                DynamicModel::new(subnet.clone(), placement.clone(), DvfsSetting::new(c, emc_top));
             let e = model.evaluate(&accuracy, &device, 1.0, true)?;
             if c % ((ladder.compute_steps() / 6).max(1)) == 0 {
                 print!("{:.0} ", e.fitness.energy_mj);
@@ -69,10 +75,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             (worst.0 / best.0 - 1.0) * 100.0
         );
         // The optimum must be interior on at least one axis for this workload.
-        assert!(
-            best.1 != max_setting,
-            "optimal DVFS should not be max clocks for a dynamic model"
-        );
+        assert!(best.1 != max_setting, "optimal DVFS should not be max clocks for a dynamic model");
     }
     Ok(())
 }

@@ -42,8 +42,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         for d1 in 1..=cfg.max_depths[1] {
             for &w0 in &cfg.width_choices[0] {
                 for &w1 in &cfg.width_choices[1] {
-                    let choice =
-                        SubnetChoice { depths: vec![d0, d1], widths: vec![w0, w1] };
+                    let choice = SubnetChoice { depths: vec![d0, d1], widths: vec![w0, w1] };
                     let acc = net.evaluate(&data, &choice)?;
                     rows.push((choice, acc));
                 }

@@ -59,7 +59,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         let r = sim.run(&trace, policy, battery_j)?;
         println!(
             "{:<16} {:>7} {:>8} {:>9.2} {:>10.1} {:>9.1} {:>9}",
-            r.policy, r.served, r.dropped, r.accuracy_pct, r.energy_j, r.p95_latency_ms,
+            r.policy,
+            r.served,
+            r.dropped,
+            r.accuracy_pct,
+            r.energy_j,
+            r.p95_latency_ms,
             r.mode_switches
         );
     }

@@ -43,8 +43,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         let sim = FeatureSimulator::new(11, classes, 12, 6, capability);
         let mut rng = StdRng::seed_from_u64(31 + position as u64);
         let mut head = ExitHead::new(&mut rng, 12, 6, classes)?;
-        let trainer = ExitTrainer::new(classes, difficulty, final_capability)
-            .with_schedule(5, 24, 16);
+        let trainer =
+            ExitTrainer::new(classes, difficulty, final_capability).with_schedule(5, 24, 16);
         let report = trainer.train(&mut head, &sim, 77)?;
         println!(
             "{:>9} {:>15.2} {:>13.2} {:>13.2} {:>12.3}",

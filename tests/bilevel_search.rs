@@ -29,8 +29,7 @@ fn search_is_deterministic_per_seed_and_sensitive_to_it() {
     let hadas = Hadas::for_target(HwTarget::AgxVoltaGpu);
     let energies = |seed: u64| -> Vec<f64> {
         let outcome = hadas.run(&quick().with_seed(seed)).expect("runs");
-        let mut v: Vec<f64> =
-            outcome.pareto_models().iter().map(|m| m.dynamic.energy_mj).collect();
+        let mut v: Vec<f64> = outcome.pareto_models().iter().map(|m| m.dynamic.energy_mj).collect();
         v.sort_by(f64::total_cmp);
         v
     };
@@ -77,10 +76,7 @@ fn promoted_backbones_have_ioe_results_and_others_do_not_waste_them() {
     let outcome = hadas.run(&quick()).expect("runs");
     let with_ioe = outcome.backbones().iter().filter(|b| b.ioe.is_some()).count();
     assert!(with_ioe > 0, "pruning must still promote someone");
-    assert!(
-        with_ioe < outcome.backbones().len(),
-        "early selection should prune most backbones"
-    );
+    assert!(with_ioe < outcome.backbones().len(), "early selection should prune most backbones");
     for b in outcome.backbones() {
         if let Some(ioe) = &b.ioe {
             assert!(!ioe.pareto.is_empty());
@@ -100,18 +96,12 @@ fn hadas_exploits_exit_friendly_backbones() {
     cfg.ooe = hadas_suite::core::EngineBudget::new(16, 128);
     cfg.ioe = hadas_suite::core::EngineBudget::new(24, 240);
     let outcome = hadas.run(&cfg).expect("runs");
-    let searched: Vec<f64> = outcome
-        .pareto_models()
-        .iter()
-        .map(|m| hadas.accuracy().exitability(&m.subnet))
-        .collect();
+    let searched: Vec<f64> =
+        outcome.pareto_models().iter().map(|m| hadas.accuracy().exitability(&m.subnet)).collect();
     let mean_searched = searched.iter().sum::<f64>() / searched.len() as f64;
     let baselines = hadas_suite::space::baselines::attentive_nas_baselines(hadas.space())
         .expect("baselines decode");
-    let mean_base = baselines
-        .iter()
-        .map(|(_, s)| hadas.accuracy().exitability(s))
-        .sum::<f64>()
+    let mean_base = baselines.iter().map(|(_, s)| hadas.accuracy().exitability(s)).sum::<f64>()
         / baselines.len() as f64;
     assert!(
         mean_searched > mean_base,

@@ -26,8 +26,9 @@ fn front(axes: &[Vec<f64>]) -> Vec<Vec<f64>> {
 #[test]
 fn tx2_energy_anchors_hold() {
     let dev = DeviceModel::for_target(HwTarget::Tx2PascalGpu);
-    let nets = baselines::attentive_nas_baselines(&hadas_suite::space::SearchSpace::attentive_nas())
-        .expect("baselines");
+    let nets =
+        baselines::attentive_nas_baselines(&hadas_suite::space::SearchSpace::attentive_nas())
+            .expect("baselines");
     let dvfs = dev.default_dvfs();
     let a0 = dev.subnet_cost(&nets[0].1, &dvfs).expect("valid").energy_mj();
     let a6 = dev.subnet_cost(&nets[6].1, &dvfs).expect("valid").energy_mj();
@@ -43,13 +44,9 @@ fn ooe_front_dominates_baselines() {
     let front: Vec<Vec<f64>> =
         outcome.static_pareto().iter().map(|b| b.fitness.to_plot_axes()).collect();
     let mut dominated = 0;
-    for (name, subnet) in
-        baselines::attentive_nas_baselines(hadas.space()).expect("baselines")
-    {
-        let cost = hadas
-            .device()
-            .subnet_cost(&subnet, &hadas.device().default_dvfs())
-            .expect("valid");
+    for (name, subnet) in baselines::attentive_nas_baselines(hadas.space()).expect("baselines") {
+        let cost =
+            hadas.device().subnet_cost(&subnet, &hadas.device().default_dvfs()).expect("valid");
         let p = vec![hadas.accuracy().backbone_accuracy(&subnet), -cost.energy_mj()];
         if front.iter().any(|f| hadas_suite::evo::dominates(f, &p)) {
             dominated += 1;
@@ -122,28 +119,23 @@ fn optimisation_stages_are_monotone() {
 #[test]
 fn dissimilarity_regularizer_helps() {
     let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
-    let subnet = hadas
-        .space()
-        .decode(&baselines::baseline_genome(3))
-        .expect("a3 decodes");
+    let subnet = hadas.space().decode(&baselines::baseline_genome(3)).expect("a3 decodes");
     let cfg = mid();
     // Individual runs are noisy (search-time N_i estimates are), so the
-    // claim is statistical: averaged over seeds, the regularised fronts
-    // dominate the unregularised ones more than vice versa.
+    // claim is statistical: averaged over ten seeds, the regularised fronts
+    // dominate the unregularised ones more than vice versa. Five seeds is
+    // not enough to separate the two conditions reliably.
     let mut rod_with = 0.0;
     let mut rod_without = 0.0;
-    for seed in [41u64, 42, 43, 44, 45] {
-        let with = hadas
-            .run_ioe(&subnet, &cfg.clone().with_dissimilarity(true, 0.5), seed)
-            .expect("runs");
+    for seed in [41u64, 42, 43, 44, 45, 46, 47, 48, 49, 50] {
+        let with =
+            hadas.run_ioe(&subnet, &cfg.clone().with_dissimilarity(true, 0.5), seed).expect("runs");
         let without = hadas
             .run_ioe(&subnet, &cfg.clone().with_dissimilarity(false, 0.0), seed)
             .expect("runs");
-        let wf =
-            front(&with.history.iter().map(|s| s.fitness.to_plot_axes()).collect::<Vec<_>>());
-        let of = front(
-            &without.history.iter().map(|s| s.fitness.to_plot_axes()).collect::<Vec<_>>(),
-        );
+        let wf = front(&with.history.iter().map(|s| s.fitness.to_plot_axes()).collect::<Vec<_>>());
+        let of =
+            front(&without.history.iter().map(|s| s.fitness.to_plot_axes()).collect::<Vec<_>>());
         rod_with += ratio_of_dominance(&wf, &of);
         rod_without += ratio_of_dominance(&of, &wf);
     }

@@ -14,11 +14,7 @@ use proptest::prelude::*;
 fn genome_strategy() -> impl Strategy<Value = Genome> {
     let space = SearchSpace::attentive_nas();
     let cards = space.gene_cardinalities();
-    cards
-        .into_iter()
-        .map(|c| (0..c).boxed())
-        .collect::<Vec<_>>()
-        .prop_map(Genome::from_genes)
+    cards.into_iter().map(|c| (0..c).boxed()).collect::<Vec<_>>().prop_map(Genome::from_genes)
 }
 
 /// Strategy: a DVFS setting valid on the TX2 Pascal GPU (13 × 11).

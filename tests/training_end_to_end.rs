@@ -55,15 +55,11 @@ fn trained_exit_accuracy_tracks_capability() {
         let sim = FeatureSimulator::new(5, classes, 10, 4, capability);
         let mut rng = StdRng::seed_from_u64(60 + i as u64);
         let mut head = ExitHead::new(&mut rng, 10, 4, classes).expect("valid head");
-        let trainer =
-            ExitTrainer::new(classes, difficulty, 0.9).with_schedule(4, 16, 16);
+        let trainer = ExitTrainer::new(classes, difficulty, 0.9).with_schedule(4, 16, 16);
         let report = trainer.train(&mut head, &sim, 7).expect("training runs");
         accs.push(report.test_accuracy);
     }
-    assert!(
-        accs[2] > accs[0] + 0.1,
-        "deep-prefix exits must clearly beat shallow ones: {accs:?}"
-    );
+    assert!(accs[2] > accs[0] + 0.1, "deep-prefix exits must clearly beat shallow ones: {accs:?}");
 }
 
 /// Knowledge distillation from the simulated final classifier must not

@@ -1,0 +1,86 @@
+//! Offline-vendored subset of `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` with the crossbeam 0.8 call shape
+//! (`scope.spawn(|_| ...)`, outer `Result`), implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63).
+
+/// Scoped-thread API compatible with `crossbeam::thread`.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A handle allowing spawning of scoped threads, mirroring
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope (unused by
+        /// this workspace, hence typically bound as `|_|`), matching the
+        /// crossbeam signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which spawned threads are joined before
+    /// returning. Returns `Err` if `f` itself or any spawned thread panicked,
+    /// matching crossbeam's contract.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        // std::thread::scope propagates child panics by resuming the payload
+        // on the spawning thread; catch it to reproduce crossbeam's
+        // Result-based reporting.
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scope_joins_threads_and_collects_results() {
+            let data = vec![1, 2, 3, 4];
+            let total = std::sync::atomic::AtomicUsize::new(0);
+            let out = super::scope(|s| {
+                for &x in &data {
+                    let total = &total;
+                    s.spawn(move |_| {
+                        total.fetch_add(x, std::sync::atomic::Ordering::SeqCst);
+                    });
+                }
+                42
+            })
+            .expect("no panics");
+            assert_eq!(out, 42);
+            assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 10);
+        }
+
+        #[test]
+        fn panicking_child_surfaces_as_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("child panic"));
+            });
+            assert!(r.is_err());
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let hits = std::sync::atomic::AtomicUsize::new(0);
+            super::scope(|s| {
+                s.spawn(|inner| {
+                    inner.spawn(|_| {
+                        hits.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    });
+                });
+            })
+            .expect("no panics");
+            assert_eq!(hits.load(std::sync::atomic::Ordering::SeqCst), 1);
+        }
+    }
+}

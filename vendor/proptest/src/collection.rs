@@ -1,0 +1,93 @@
+//! Collection strategies: `proptest::collection::vec`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Anything that can describe how many elements to generate.
+pub trait IntoSizeRange {
+    /// Lower and inclusive upper bound.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "collection::vec: empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Strategy for `Vec`s with element strategy `S` and a size range.
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.min..=self.max);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `proptest::collection::vec(element, size)`: a vector whose length is
+/// drawn from `size` and whose elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min, max) = size.bounds();
+    VecStrategy { element, min, max }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_len_vec() {
+        let s = vec(0usize..7, 5usize);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let v = s.sample(&mut rng);
+            assert_eq!(v.len(), 5);
+            assert!(v.iter().all(|&x| x < 7));
+        }
+    }
+
+    #[test]
+    fn ranged_len_vec() {
+        let s = vec(0.0f64..1.0, 0..8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!(v.len() < 8);
+            seen.insert(v.len());
+        }
+        assert!(seen.len() > 3, "lengths should vary, saw {seen:?}");
+    }
+
+    #[test]
+    fn nested_vec_of_vec() {
+        let s = vec(vec(0usize..3, 2usize), 1..4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = s.sample(&mut rng);
+        assert!((1..4).contains(&v.len()));
+        assert!(v.iter().all(|inner| inner.len() == 2));
+    }
+}

@@ -1,0 +1,445 @@
+//! Sampling strategies (no shrinking): the subset of `proptest::strategy`
+//! this workspace uses.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike upstream proptest there is no value tree / shrinking; `sample`
+/// draws one value directly from the deterministic RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then use it to pick a dependent strategy.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred`; resamples up to an internal limit.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, whence, pred }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { inner: Box::new(self) }
+    }
+}
+
+/// Object-safe sampling, used by [`BoxedStrategy`].
+trait DynStrategy {
+    type Value;
+    fn dyn_sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_sample(&self, rng: &mut StdRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy producing `T`.
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn DynStrategy<Value = T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        self.inner.dyn_sample(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// `prop_filter` adapter.
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter: predicate rejected 10000 consecutive samples ({})", self.whence)
+    }
+}
+
+/// Uniform choice between boxed strategies; built by `prop_oneof!`.
+pub struct OneOf<T> {
+    choices: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Build from a non-empty list of boxed strategies.
+    pub fn new(choices: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! requires at least one choice");
+        OneOf { choices }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let idx = rng.gen_range(0..self.choices.len());
+        self.choices[idx].sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// `any::<T>()`: uniform over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`Arbitrary::arbitrary`].
+    type Strategy: Strategy<Value = Self>;
+    /// The whole-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Whole-domain strategy for a primitive type.
+pub struct AnyPrim<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrim<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrim<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrim { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrim<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrim<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrim { _marker: std::marker::PhantomData }
+    }
+}
+
+impl Strategy for AnyPrim<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(-1e9f64..1e9)
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = AnyPrim<f64>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrim { _marker: std::marker::PhantomData }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite strategies
+// ---------------------------------------------------------------------------
+
+/// A `Vec` of strategies samples element-wise (upstream proptest has the
+/// same impl; the workspace builds `Vec<BoxedStrategy<usize>>` genomes).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.sample(rng)).collect()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9)
+}
+
+// ---------------------------------------------------------------------------
+// String strategies from simple regex-like patterns
+// ---------------------------------------------------------------------------
+
+/// `&str` patterns act as string strategies, supporting the subset of regex
+/// the workspace uses: literal characters, `[a-b...]` character classes, and
+/// `{m}` / `{m,n}` / `?` / `*` / `+` quantifiers (with bounded repetition
+/// for `*` / `+`).
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let elements = parse_pattern(self);
+        let mut out = String::new();
+        for elem in &elements {
+            let n = rng.gen_range(elem.min..=elem.max);
+            for _ in 0..n {
+                let idx = rng.gen_range(0..elem.chars.len());
+                out.push(elem.chars[idx]);
+            }
+        }
+        out
+    }
+}
+
+struct PatternElem {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternElem> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut elems = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = if chars[i] == '[' {
+            // Character class: singles and `a-b` ranges.
+            let mut set = Vec::new();
+            i += 1;
+            while i < chars.len() && chars[i] != ']' {
+                if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    let (lo, hi) = (chars[i], chars[i + 2]);
+                    for c in lo..=hi {
+                        set.push(c);
+                    }
+                    i += 3;
+                } else {
+                    set.push(chars[i]);
+                    i += 1;
+                }
+            }
+            i += 1; // closing ']'
+            set
+        } else if chars[i] == '\\' && i + 1 < chars.len() {
+            i += 2;
+            vec![chars[i - 1]]
+        } else {
+            i += 1;
+            vec![chars[i - 1]]
+        };
+        // Quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..].iter().position(|&c| c == '}').map(|p| p + i);
+            let close = close.unwrap_or(chars.len().saturating_sub(1));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            if let Some((lo, hi)) = body.split_once(',') {
+                (lo.trim().parse().unwrap_or(0), hi.trim().parse().unwrap_or(8))
+            } else {
+                let n = body.trim().parse().unwrap_or(1);
+                (n, n)
+            }
+        } else if i < chars.len() && chars[i] == '?' {
+            i += 1;
+            (0, 1)
+        } else if i < chars.len() && chars[i] == '*' {
+            i += 1;
+            (0, 8)
+        } else if i < chars.len() && chars[i] == '+' {
+            i += 1;
+            (1, 8)
+        } else {
+            (1, 1)
+        };
+        if !set.is_empty() {
+            elems.push(PatternElem { chars: set, min, max });
+        }
+    }
+    elems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn range_strategy_samples_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let x = (5usize..9).sample(&mut r);
+            assert!((5..9).contains(&x));
+        }
+    }
+
+    #[test]
+    fn vec_of_boxed_strategies_samples_elementwise() {
+        let cards = [3usize, 5, 2];
+        let strats: Vec<BoxedStrategy<usize>> = cards.iter().map(|&c| (0..c).boxed()).collect();
+        let mut r = rng();
+        for _ in 0..50 {
+            let genes = strats.sample(&mut r);
+            assert_eq!(genes.len(), 3);
+            for (g, &c) in genes.iter().zip(cards.iter()) {
+                assert!(*g < c);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let s = (0usize..4).prop_map(|x| x * 10);
+        let mut r = rng();
+        for _ in 0..20 {
+            assert_eq!(s.sample(&mut r) % 10, 0);
+        }
+    }
+
+    #[test]
+    fn pattern_with_class_and_counts() {
+        let elems = parse_pattern("[ -~]{0,16}");
+        assert_eq!(elems.len(), 1);
+        assert_eq!(elems[0].min, 0);
+        assert_eq!(elems[0].max, 16);
+        assert_eq!(elems[0].chars.len(), (b'~' - b' ') as usize + 1);
+    }
+
+    #[test]
+    fn filter_rejects_until_accepted() {
+        let s = (0usize..100).prop_filter("even", |x| x % 2 == 0);
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut r) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn flat_map_dependent_sampling() {
+        let s = (1usize..4).prop_flat_map(|n| crate::collection::vec(0usize..10, n));
+        let mut r = rng();
+        for _ in 0..50 {
+            let v = s.sample(&mut r);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Offline-vendored, API-compatible subset of the `rand` 0.8 crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the handful of external dependencies are vendored as small, deterministic
+//! stand-ins (see `vendor/README.md`). This crate reimplements exactly the
+//! surface the workspace uses:
+//!
+//! - [`RngCore`] / [`SeedableRng`] / [`Rng`] traits,
+//! - [`rngs::StdRng`], a xoshiro256** generator seeded via SplitMix64,
+//! - `Rng::gen_range` over integer and float ranges, and `Rng::gen_bool`.
+//!
+//! Determinism contract: `StdRng::seed_from_u64(s)` yields a stream that is a
+//! pure function of `s` on every platform. The workspace's seed-determinism
+//! tests rely on this.
+//!
+//! Note this is NOT the upstream `rand` stream: numbers differ from the real
+//! crates.io `rand`, but all statistical and determinism properties the
+//! workspace relies on hold.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with uniformly random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be reproducibly constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Construct from a raw byte seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it through SplitMix64 exactly like
+    /// upstream `rand` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Sampling from a range; mirrors `rand::distributions::uniform::SampleRange`.
+///
+/// Implemented as blanket impls over [`SampleUniform`] types so type
+/// inference behaves exactly like upstream (`R` determines `T`).
+pub trait SampleRange<T> {
+    /// Draw one sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types that can be sampled uniformly from a low/high pair; mirrors
+/// `rand::distributions::uniform::SampleUniform`.
+pub trait SampleUniform: Sized {
+    /// Sample from `[low, high)` (`inclusive = false`) or `[low, high]`.
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_between(rng, low, high, true)
+    }
+}
+
+/// Uniform integer in `[0, span)` without modulo bias (Lemire-style widening
+/// multiply with rejection).
+#[inline]
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0, "uniform_u64_below: empty span");
+    // Widening multiply; reject the biased low region.
+    let mut x = rng.next_u64();
+    let mut m = (x as u128).wrapping_mul(span as u128);
+    let mut lo = m as u64;
+    if lo < span {
+        let threshold = span.wrapping_neg() % span;
+        while lo < threshold {
+            x = rng.next_u64();
+            m = (x as u128).wrapping_mul(span as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! impl_int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                if inclusive {
+                    assert!(low <= high, "gen_range: empty inclusive range");
+                    let span = (high as i128 - low as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        // Whole-domain range: every bit pattern is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    let off = uniform_u64_below(rng, span as u64);
+                    ((low as i128) + off as i128) as $t
+                } else {
+                    assert!(low < high, "gen_range: empty range");
+                    let span = (high as i128 - low as i128) as u64;
+                    let off = uniform_u64_below(rng, span);
+                    ((low as i128) + off as i128) as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_sample_uniform {
+    ($($t:ty, $unit:ident);*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                if inclusive {
+                    assert!(low <= high, "gen_range: empty float range");
+                } else {
+                    assert!(low < high, "gen_range: empty float range");
+                }
+                let u = $unit(rng);
+                low + u * (high - low)
+            }
+        }
+    )*};
+}
+
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 uniform mantissa bits in [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[inline]
+fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+impl_float_sample_uniform!(f64, unit_f64; f32, unit_f32);
+
+/// High-level convenience methods, auto-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open or inclusive range.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0,1]");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator standing in for `rand::rngs::StdRng`.
+    ///
+    /// Not cryptographically secure; excellent statistical quality and a
+    /// platform-independent stream, which is what the workspace's
+    /// seed-determinism contract needs.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, lane) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *lane = u64::from_le_bytes(b);
+            }
+            // All-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 0xBF58_476D_1CE4_E5B9, 0x94D0_49BB_1331_11EB, 1];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn full_domain_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Must not hang or panic on the whole-u64 domain.
+        let _: u64 = rng.gen_range(0u64..=u64::MAX);
+    }
+}

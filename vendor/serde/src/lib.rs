@@ -1,0 +1,373 @@
+//! Offline-vendored, API-compatible subset of `serde`.
+//!
+//! The real `serde` streams values through `Serializer`/`Deserializer`
+//! visitors. This stand-in collapses the data model to a JSON-shaped
+//! [`Value`] tree, which is all the workspace needs (`serde_json` is the
+//! only format in use):
+//!
+//! - [`Serialize`] renders a value into a [`Value`],
+//! - [`Deserialize`] reconstructs a value from a [`Value`],
+//! - `#[derive(Serialize, Deserialize)]` (from the vendored `serde_derive`)
+//!   generates field-by-field impls with the same externally-tagged enum
+//!   representation as upstream serde.
+//!
+//! Struct serialization preserves field declaration order, so serialized
+//! output is byte-deterministic — a property the workspace's
+//! seed-determinism tests assert on.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+pub use value::{Number, Value};
+
+/// Deserialization error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Build an error from any displayable message.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError { msg: msg.to_string() }
+    }
+
+    /// Type-mismatch helper used by the derive expansion.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError::custom(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render `self` into the JSON-shaped [`Value`] data model.
+pub trait Serialize {
+    /// Convert to a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct `Self` from the JSON-shaped [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Convert from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_int {
+    ($($t:ty => $variant:ident as $repr:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::$variant(*self as $repr))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(n) => n
+                        .as_int_lossless::<$t>()
+                        .ok_or_else(|| DeError::expected(stringify!($t), v)),
+                    _ => Err(DeError::expected(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_int!(
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64,
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    isize => I64 as i64
+);
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::F64(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(n) => Ok(n.as_f64() as $t),
+                    // serde_json encodes non-finite floats as null.
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => Err(DeError::expected(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_float!(f32, f64);
+
+// 128-bit integers: used for `Duration::as_millis` timings. Values that fit
+// in 64 bits (all realistic timings) round-trip losslessly.
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        match u64::try_from(*self) {
+            Ok(x) => Value::Number(Number::U64(x)),
+            Err(_) => Value::Number(Number::F64(*self as f64)),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Number(Number::U64(x)) => Ok(*x as u128),
+            Value::Number(Number::I64(x)) if *x >= 0 => Ok(*x as u128),
+            Value::Number(Number::F64(x)) if *x >= 0.0 && x.fract() == 0.0 => Ok(*x as u128),
+            _ => Err(DeError::expected("u128", v)),
+        }
+    }
+}
+
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(x) => Value::Number(Number::I64(x)),
+            Err(_) => Value::Number(Number::F64(*self as f64)),
+        }
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Number(Number::U64(x)) => Ok(*x as i128),
+            Value::Number(Number::I64(x)) => Ok(*x as i128),
+            Value::Number(Number::F64(x)) if x.fract() == 0.0 => Ok(*x as i128),
+            _ => Err(DeError::expected("i128", v)),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => {
+                s.chars().next().ok_or_else(|| DeError::expected("char", v))
+            }
+            _ => Err(DeError::expected("char", v)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Deserialize::from_value(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) => {
+                        let expect = [$($idx),+].len();
+                        if items.len() != expect {
+                            return Err(DeError::custom(format!(
+                                "expected {expect}-tuple, got array of {}",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(DeError::expected("tuple (array)", v)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: std::fmt::Display, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort keys for deterministic output (upstream serde_json's default
+        // BTreeMap-backed Map behaves the same way).
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+/// Support machinery for the derive expansion. Not a public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{DeError, Value};
+
+    /// Look up a field in an object, by key.
+    pub fn get_field<'a>(entries: &'a [(String, Value)], key: &str) -> Result<&'a Value, DeError> {
+        entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError::custom(format!("missing field `{key}`")))
+    }
+
+    /// Object accessor with a type-mismatch error.
+    pub fn as_object<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], DeError> {
+        match v {
+            Value::Object(entries) => Ok(entries),
+            _ => Err(DeError::custom(format!("expected object for {ty}, got {}", v.kind()))),
+        }
+    }
+
+    /// Array accessor with a type-mismatch error.
+    pub fn as_array<'a>(v: &'a Value, ty: &str) -> Result<&'a [Value], DeError> {
+        match v {
+            Value::Array(items) => Ok(items),
+            _ => Err(DeError::custom(format!("expected array for {ty}, got {}", v.kind()))),
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! JSON-shaped value tree shared by the vendored `serde` and `serde_json`.
+
+/// A JSON number: integers keep full 64-bit precision (so `u64` seeds
+/// round-trip losslessly), floats are `f64`.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Negative or signed integer.
+    I64(i64),
+    /// Non-negative integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+}
+
+/// Numeric equality: `I64(1) == U64(1)` (the same JSON text parses to either
+/// depending on provenance), while integers and floats stay distinct, like
+/// upstream serde_json.
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        use Number::*;
+        match (*self, *other) {
+            (I64(a), I64(b)) => a == b,
+            (U64(a), U64(b)) => a == b,
+            (F64(a), F64(b)) => a == b,
+            (I64(a), U64(b)) | (U64(b), I64(a)) => a >= 0 && a as u64 == b,
+            (F64(_), _) | (_, F64(_)) => false,
+        }
+    }
+}
+
+impl Number {
+    /// Lossy view as `f64`.
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::I64(x) => x as f64,
+            Number::U64(x) => x as f64,
+            Number::F64(x) => x,
+        }
+    }
+
+    /// Lossless conversion into an integer type, if representable.
+    pub fn as_int_lossless<T: TryFrom<i64> + TryFrom<u64>>(&self) -> Option<T> {
+        match *self {
+            Number::I64(x) => T::try_from(x).ok(),
+            Number::U64(x) => T::try_from(x).ok(),
+            Number::F64(x) => {
+                if x.fract() == 0.0 && x.abs() < 2f64.powi(53) {
+                    if x < 0.0 {
+                        T::try_from(x as i64).ok()
+                    } else {
+                        T::try_from(x as u64).ok()
+                    }
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// A JSON value. Objects preserve insertion order, which makes struct
+/// serialization byte-deterministic in field declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number (see [`Number`]).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An ordered map of string keys to values.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable kind name, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Borrow as an object's entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array's items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// View as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// View as `u64`, if this is a losslessly-representable number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_int_lossless::<u64>(),
+            _ => None,
+        }
+    }
+
+    /// Look up a key, if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+macro_rules! value_from_int {
+    ($($t:ty => $variant:ident as $repr:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(x: $t) -> Self {
+                Value::Number(Number::$variant(x as $repr))
+            }
+        }
+    )*};
+}
+
+value_from_int!(
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64,
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    isize => I64 as i64
+);
+
+impl From<f32> for Value {
+    fn from(x: f32) -> Self {
+        Value::Number(Number::F64(x as f64))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Number(Number::F64(x))
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Self {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Value>> From<&[T]> for Value {
+    fn from(items: &[T]) -> Self {
+        Value::Array(items.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Value>> From<&Vec<T>> for Value {
+    fn from(items: &Vec<T>) -> Self {
+        Value::Array(items.iter().cloned().map(Into::into).collect())
+    }
+}

@@ -1,0 +1,521 @@
+//! Offline-vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are not
+//! available. Instead this crate walks the raw `proc_macro::TokenStream` of
+//! the item definition with a small hand-rolled parser, then emits impls of
+//! the vendored `serde::Serialize` / `serde::Deserialize` traits (which use
+//! a JSON-shaped `Value` data model rather than upstream's visitor design).
+//!
+//! Supported shapes — exactly what the workspace derives on:
+//! - structs with named fields (including generic structs, bounds added per
+//!   type parameter),
+//! - tuple / unit structs,
+//! - enums with unit, tuple and struct variants, encoded with upstream
+//!   serde's externally-tagged representation.
+//!
+//! `#[serde(...)]` attributes are not supported (the workspace uses none).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// Type-parameter identifiers, e.g. `["T"]` for `Experiment<T>`.
+    generics: Vec<String>,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with N fields.
+    TupleStruct(usize),
+    /// Unit struct (`struct X;`).
+    UnitStruct,
+    /// Enum with its variants.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing helpers
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn ident_str(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Advance past any leading `#[...]` outer attributes (doc comments included).
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < toks.len() && is_punct(&toks[i], '#') {
+        if matches!(&toks[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket) {
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+/// Advance past `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(toks: &[TokenTree], mut i: usize) -> usize {
+    if i < toks.len() && ident_str(&toks[i]).as_deref() == Some("pub") {
+        i += 1;
+        if i < toks.len()
+            && matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Parse `ident: Type` pairs out of a brace-group token slice, skipping
+/// attributes, visibility, and the type tokens (tracking `<...>` depth so
+/// commas inside generic arguments don't split fields).
+fn parse_named_fields(toks: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(toks, i);
+        i = skip_visibility(toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let Some(name) = ident_str(&toks[i]) else {
+            break; // malformed; bail out with what we have
+        };
+        i += 1;
+        // Expect ':'
+        if i < toks.len() && is_punct(&toks[i], ':') {
+            i += 1;
+        }
+        // Skip the type until a top-level ','
+        let mut angle = 0i32;
+        while i < toks.len() {
+            if is_punct(&toks[i], '<') {
+                angle += 1;
+            } else if is_punct(&toks[i], '>') {
+                angle -= 1;
+            } else if is_punct(&toks[i], ',') && angle == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Count top-level comma-separated entries in a paren-group token slice.
+fn count_tuple_fields(toks: &[TokenTree]) -> usize {
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut saw_tokens_since_comma = true;
+    for t in toks {
+        if is_punct(t, '<') {
+            angle += 1;
+        } else if is_punct(t, '>') {
+            angle -= 1;
+        } else if is_punct(t, ',') && angle == 0 {
+            count += 1;
+            saw_tokens_since_comma = false;
+            continue;
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(toks: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let Some(name) = ident_str(&toks[i]) else { break };
+        i += 1;
+        let kind = if i < toks.len() {
+            match &toks[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    i += 1;
+                    VariantKind::Tuple(count_tuple_fields(&inner))
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    i += 1;
+                    VariantKind::Struct(parse_named_fields(&inner))
+                }
+                _ => VariantKind::Unit,
+            }
+        } else {
+            VariantKind::Unit
+        };
+        // Skip an optional discriminant `= expr` and the separating ','.
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        if i < toks.len() {
+            i += 1; // the comma
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&toks, 0);
+    i = skip_visibility(&toks, i);
+
+    let keyword = ident_str(toks.get(i).ok_or("unexpected end of input")?)
+        .ok_or("expected `struct` or `enum`")?;
+    i += 1;
+    let name = ident_str(toks.get(i).ok_or("missing item name")?).ok_or("missing item name")?;
+    i += 1;
+
+    // Generic parameters: collect top-level type-parameter idents, skip
+    // bounds and lifetimes.
+    let mut generics = Vec::new();
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        i += 1;
+        let mut depth = 1i32;
+        let mut at_param_position = true;
+        let mut prev_was_lifetime_quote = false;
+        while i < toks.len() && depth > 0 {
+            let t = &toks[i];
+            if is_punct(t, '<') {
+                depth += 1;
+            } else if is_punct(t, '>') {
+                depth -= 1;
+            } else if is_punct(t, ',') && depth == 1 {
+                at_param_position = true;
+            } else if is_punct(t, '\'') {
+                prev_was_lifetime_quote = true;
+                i += 1;
+                continue;
+            } else if is_punct(t, ':') && depth == 1 {
+                at_param_position = false;
+            } else if let TokenTree::Ident(id) = t {
+                if depth == 1 && at_param_position && !prev_was_lifetime_quote {
+                    let s = id.to_string();
+                    if s != "const" {
+                        generics.push(s);
+                    }
+                    at_param_position = false;
+                }
+            }
+            prev_was_lifetime_quote = false;
+            i += 1;
+        }
+    }
+
+    // Skip a `where` clause if present (none in this workspace).
+    while i < toks.len() && !matches!(&toks[i], TokenTree::Group(_)) && !is_punct(&toks[i], ';') {
+        i += 1;
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                ItemKind::Struct(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                ItemKind::TupleStruct(count_tuple_fields(&inner))
+            }
+            _ => ItemKind::UnitStruct,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                ItemKind::Enum(parse_variants(&inner))
+            }
+            _ => return Err("enum without a body".to_string()),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+
+    Ok(Item { name, generics, kind })
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `impl<T: Bound, ...>` header + `Name<T, ...>` type, given a trait bound.
+fn impl_header(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let params: Vec<String> = item.generics.iter().map(|g| format!("{g}: {bound}")).collect();
+        (format!("<{}>", params.join(", ")), format!("{}<{}>", item.name, item.generics.join(", ")))
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (impl_generics, ty) = impl_header(item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec::Vec::from([{}]))", entries.join(", "))
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(::std::vec::Vec::from([{}]))", items.join(", "))
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(__a0) => ::serde::Value::Object(\
+                             ::std::vec::Vec::from([(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Serialize::to_value(__a0))])),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("__a{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__a{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(\
+                                 ::std::vec::Vec::from([(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Array(::std::vec::Vec::from([{}])))])),",
+                                binders.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binders = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => ::serde::Value::Object(\
+                                 ::std::vec::Vec::from([(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Object(::std::vec::Vec::from([{}])))])),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Serialize for {ty} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (impl_generics, ty) = impl_header(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::__private::get_field(__obj, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __obj = ::serde::__private::as_object(__v, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        ItemKind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        ItemKind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = ::serde::__private::as_array(__v, \"{name}\")?;\n\
+                 if __items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"expected {n} elements for {name}, got {{}}\", __items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        ItemKind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok(\
+                             {name}::{vname}(::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                 let __items = ::serde::__private::as_array(\
+                                 __inner, \"{name}::{vname}\")?;\n\
+                                 if __items.len() != {n} {{\n\
+                                     return ::std::result::Result::Err(\
+                                     ::serde::DeError::custom(\
+                                     format!(\"expected {n} elements for {name}::{vname}, \
+                                     got {{}}\", __items.len())));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({}))\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::__private::get_field(__vobj, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                 let __vobj = ::serde::__private::as_object(\
+                                 __inner, \"{name}::{vname}\")?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                         {}\n\
+                         __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(\
+                     ::serde::DeError::expected(\"{name} variant\", __v)),\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Deserialize for {ty} {{\n\
+             fn from_value(__v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String, which: &str) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .unwrap_or_else(|e| panic!("serde_derive({which}): generated invalid code: {e}")),
+        Err(msg) => panic!("serde_derive({which}): {msg}"),
+    }
+}
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize, "Serialize")
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize, "Deserialize")
+}

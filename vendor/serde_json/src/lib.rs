@@ -1,0 +1,326 @@
+//! Offline-vendored, API-compatible subset of `serde_json`.
+//!
+//! Works over the vendored `serde`'s JSON-shaped [`Value`] data model:
+//! [`to_string`] / [`to_string_pretty`] render a `Value` tree to JSON text,
+//! [`from_str`] parses JSON text back into any `Deserialize` type, and
+//! [`json!`] builds `Value` literals.
+//!
+//! Output is byte-deterministic: struct fields serialize in declaration
+//! order and maps sort their keys, so equal inputs always produce equal
+//! JSON — the property the workspace's seed-determinism tests compare on.
+
+pub use serde::{Number, Value};
+
+mod parse;
+
+/// Error raised by JSON serialization or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` to a pretty-printed JSON string (two-space indent,
+/// matching upstream `serde_json`).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+/// Parse a JSON string into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<&str>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_json_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, depth: usize) {
+    if let Some(unit) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(unit);
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match *n {
+        Number::I64(x) => {
+            out.push_str(&x.to_string());
+        }
+        Number::U64(x) => {
+            out.push_str(&x.to_string());
+        }
+        Number::F64(x) => {
+            if x.is_finite() {
+                if x == x.trunc() && x.abs() < 1e16 {
+                    // Keep float-ness visible, like upstream serde_json.
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&x.to_string());
+                }
+            } else {
+                // Upstream serde_json renders non-finite floats as null.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Build a [`Value`] from a JSON-like literal.
+///
+/// Supports `null`, booleans, nested arrays and objects, and arbitrary Rust
+/// expressions that convert via `Into<Value>`. Values are token-munched, so
+/// method-call chains and nested braces work, e.g.
+/// `json!({"genome": g.genes(), "dvfs": {"compute": c}})`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => { $crate::Value::Array($crate::json_internal!(@array [] $($tt)+)) };
+    ({}) => { $crate::Value::Object(::std::vec::Vec::new()) };
+    ({ $($tt:tt)+ }) => { $crate::Value::Object($crate::json_internal!(@object [] $($tt)+)) };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Recursive helper behind [`json!`]. Not a public API.
+///
+/// Values that are JSON container literals (`{...}` / `[...]`) or `null`
+/// are matched structurally *before* the general `expr` arms, because they
+/// are not valid Rust expressions; everything else (method chains, numeric
+/// literals, `true`/`false`) parses as a single `expr` fragment, whose
+/// grammar naturally stops at the entry-separating comma.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ----- objects: accumulate (key, value) entries -----
+    (@object [$($done:expr,)*]) => {
+        ::std::vec::Vec::from([$($done,)*])
+    };
+    (@object [$($done:expr,)*] $key:literal : null , $($rest:tt)*) => {
+        $crate::json_internal!(@object
+            [$($done,)* (::std::string::String::from($key), $crate::Value::Null),] $($rest)*)
+    };
+    (@object [$($done:expr,)*] $key:literal : null) => {
+        $crate::json_internal!(@object
+            [$($done,)* (::std::string::String::from($key), $crate::Value::Null),])
+    };
+    (@object [$($done:expr,)*] $key:literal : {$($map:tt)*} , $($rest:tt)*) => {
+        $crate::json_internal!(@object
+            [$($done,)* (::std::string::String::from($key), $crate::json!({$($map)*})),]
+            $($rest)*)
+    };
+    (@object [$($done:expr,)*] $key:literal : {$($map:tt)*}) => {
+        $crate::json_internal!(@object
+            [$($done,)* (::std::string::String::from($key), $crate::json!({$($map)*})),])
+    };
+    (@object [$($done:expr,)*] $key:literal : [$($arr:tt)*] , $($rest:tt)*) => {
+        $crate::json_internal!(@object
+            [$($done,)* (::std::string::String::from($key), $crate::json!([$($arr)*])),]
+            $($rest)*)
+    };
+    (@object [$($done:expr,)*] $key:literal : [$($arr:tt)*]) => {
+        $crate::json_internal!(@object
+            [$($done,)* (::std::string::String::from($key), $crate::json!([$($arr)*])),])
+    };
+    (@object [$($done:expr,)*] $key:literal : $val:expr , $($rest:tt)*) => {
+        $crate::json_internal!(@object
+            [$($done,)* (::std::string::String::from($key), $crate::Value::from($val)),]
+            $($rest)*)
+    };
+    (@object [$($done:expr,)*] $key:literal : $val:expr) => {
+        $crate::json_internal!(@object
+            [$($done,)* (::std::string::String::from($key), $crate::Value::from($val)),])
+    };
+
+    // ----- arrays: accumulate elements -----
+    (@array [$($done:expr,)*]) => {
+        ::std::vec::Vec::from([$($done,)*])
+    };
+    (@array [$($done:expr,)*] null , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($done,)* $crate::Value::Null,] $($rest)*)
+    };
+    (@array [$($done:expr,)*] null) => {
+        $crate::json_internal!(@array [$($done,)* $crate::Value::Null,])
+    };
+    (@array [$($done:expr,)*] {$($map:tt)*} , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($done,)* $crate::json!({$($map)*}),] $($rest)*)
+    };
+    (@array [$($done:expr,)*] {$($map:tt)*}) => {
+        $crate::json_internal!(@array [$($done,)* $crate::json!({$($map)*}),])
+    };
+    (@array [$($done:expr,)*] [$($arr:tt)*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($done,)* $crate::json!([$($arr)*]),] $($rest)*)
+    };
+    (@array [$($done:expr,)*] [$($arr:tt)*]) => {
+        $crate::json_internal!(@array [$($done,)* $crate::json!([$($arr)*]),])
+    };
+    (@array [$($done:expr,)*] $val:expr , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($done,)* $crate::Value::from($val),] $($rest)*)
+    };
+    (@array [$($done:expr,)*] $val:expr) => {
+        $crate::json_internal!(@array [$($done,)* $crate::Value::from($val),])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_roundtrip_value() {
+        let v = json!({
+            "a": 1,
+            "b": [true, null, 2.5],
+            "c": "hi\n",
+        });
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, r#"{"a":1,"b":[true,null,2.5],"c":"hi\n"}"#);
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_print_shape() {
+        let v = json!({"x": [1, 2]});
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"x\": [\n    1,\n    2\n  ]\n}");
+    }
+
+    #[test]
+    fn u64_seed_roundtrips_losslessly() {
+        let big: u64 = u64::MAX - 1;
+        let s = to_string(&big).unwrap();
+        let back: u64 = from_str(&s).unwrap();
+        assert_eq!(back, big);
+    }
+
+    #[test]
+    fn floats_keep_floatness() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&0.125f64).unwrap(), "0.125");
+        let back: f64 = from_str("2.0").unwrap();
+        assert_eq!(back, 2.0);
+    }
+
+    #[test]
+    fn nonfinite_floats_are_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        let back: f64 = from_str("null").unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{invalid").is_err());
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let v = Value::String("quote\" slash\\ ctrl\u{01}".to_string());
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+}
