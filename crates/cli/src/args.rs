@@ -66,6 +66,19 @@ pub enum Command {
         seed: u64,
         /// Optional JSON output path for the Pareto set.
         json: Option<String>,
+        /// Write a resumable checkpoint here at every generation
+        /// boundary (e.g. `results/checkpoint.json`).
+        checkpoint: Option<String>,
+        /// Resume from the checkpoint at this path (and keep
+        /// checkpointing to it).
+        resume: Option<String>,
+        /// Stop after this many generations *this call* (the chaos
+        /// workflow's deterministic kill point) and emit a partial front.
+        max_generations: Option<usize>,
+        /// Inject substrate faults into candidate scoring with this
+        /// fault seed (transient failures, timeouts; retried with
+        /// backoff, degraded on exhaustion).
+        faults: Option<u64>,
     },
     /// Run the inner engine on one AttentiveNAS baseline.
     Ioe {
@@ -177,7 +190,19 @@ impl Command {
                 Ok(Command::Baselines { target })
             }
             "search" => {
-                let flags = take_flags(rest, &["target", "scale", "seed", "json"])?;
+                let flags = take_flags(
+                    rest,
+                    &[
+                        "target",
+                        "scale",
+                        "seed",
+                        "json",
+                        "checkpoint",
+                        "resume",
+                        "max-generations",
+                        "faults",
+                    ],
+                )?;
                 let target = parse_target(
                     flag(&flags, "target")
                         .ok_or_else(|| ParseCliError("search requires --target".into()))?,
@@ -188,11 +213,27 @@ impl Command {
                     .map(|s| s.parse::<u64>().map_err(|e| ParseCliError(format!("bad seed: {e}"))))
                     .transpose()?
                     .unwrap_or(7);
+                let max_generations = flag(&flags, "max-generations")
+                    .map(|s| {
+                        s.parse::<usize>()
+                            .map_err(|e| ParseCliError(format!("bad max-generations: {e}")))
+                    })
+                    .transpose()?;
+                let faults = flag(&flags, "faults")
+                    .map(|s| {
+                        s.parse::<u64>()
+                            .map_err(|e| ParseCliError(format!("bad fault seed: {e}")))
+                    })
+                    .transpose()?;
                 Ok(Command::Search {
                     target,
                     scale,
                     seed,
                     json: flag(&flags, "json").map(str::to_string),
+                    checkpoint: flag(&flags, "checkpoint").map(str::to_string),
+                    resume: flag(&flags, "resume").map(str::to_string),
+                    max_generations,
+                    faults,
                 })
             }
             "ioe" => {
@@ -267,7 +308,11 @@ mod tests {
                 target: HwTarget::Tx2PascalGpu,
                 scale: Scale::Mid,
                 seed: 42,
-                json: Some("out.json".into())
+                json: Some("out.json".into()),
+                checkpoint: None,
+                resume: None,
+                max_generations: None,
+                faults: None,
             }
         );
     }
@@ -281,9 +326,40 @@ mod tests {
                 target: HwTarget::AgxCarmelCpu,
                 scale: Scale::Quick,
                 seed: 7,
-                json: None
+                json: None,
+                checkpoint: None,
+                resume: None,
+                max_generations: None,
+                faults: None,
             }
         );
+    }
+
+    #[test]
+    fn search_parses_robustness_flags() {
+        let cmd = Command::parse(&argv(
+            "search --target tx2-gpu --checkpoint results/checkpoint.json \
+             --max-generations 3 --faults 99",
+        ))
+        .unwrap();
+        assert!(matches!(
+            &cmd,
+            Command::Search {
+                checkpoint: Some(c),
+                resume: None,
+                max_generations: Some(3),
+                faults: Some(99),
+                ..
+            } if c == "results/checkpoint.json"
+        ));
+        let cmd = Command::parse(&argv("search --target tx2-gpu --resume results/checkpoint.json"))
+            .unwrap();
+        assert!(matches!(
+            &cmd,
+            Command::Search { resume: Some(r), .. } if r == "results/checkpoint.json"
+        ));
+        assert!(Command::parse(&argv("search --target tx2-gpu --max-generations lots")).is_err());
+        assert!(Command::parse(&argv("search --target tx2-gpu --faults many")).is_err());
     }
 
     #[test]

@@ -3,11 +3,14 @@
 //! `main`, a buffer in tests).
 
 use crate::Command;
-use hadas::{DeploymentPicker, Hadas};
+use hadas::{DeploymentPicker, Hadas, SearchCheckpoint, SearchOptions};
 use hadas_hw::{DeviceModel, HwTarget, ProxyCostModel};
+use hadas_runtime::{FaultConfig, FaultInjector};
 use hadas_space::{baselines, SearchSpace};
 use std::error::Error;
 use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 hadas — hardware-aware dynamic NAS (DATE 2023 reproduction)
@@ -16,11 +19,19 @@ USAGE:
   hadas devices
   hadas baselines --target <t>
   hadas search    --target <t> [--scale quick|mid|paper] [--seed N] [--json PATH]
+                  [--checkpoint PATH] [--resume PATH] [--max-generations N]
+                  [--faults SEED]
   hadas ioe       --target <t> [--baseline a0..a6] [--scale ...] [--seed N]
   hadas check     [--target <t>]
   hadas proxy     --target <t> [--samples N]
 
 TARGETS: agx-gpu, agx-cpu, tx2-gpu, tx2-cpu
+
+ROBUSTNESS:
+  --checkpoint PATH      serialize search state there at every generation
+  --resume PATH          restore a checkpointed run (same target/scale/seed)
+  --max-generations N    stop after N generations with a partial front
+  --faults SEED          inject seeded transient faults into evaluations
 ";
 
 /// Executes a parsed command, writing the report to `out`.
@@ -74,9 +85,37 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
                 )?;
             }
         }
-        Command::Search { target, scale, seed, json } => {
+        Command::Search {
+            target,
+            scale,
+            seed,
+            json,
+            checkpoint,
+            resume,
+            max_generations,
+            faults,
+        } => {
             let hadas = Hadas::for_target(target);
             let cfg = scale.config().with_seed(seed);
+            let mut opts = SearchOptions::default();
+            if let Some(path) = &resume {
+                let ckpt = SearchCheckpoint::load(Path::new(path))?;
+                writeln!(
+                    out,
+                    "resuming from {path} (generation {} of {})",
+                    ckpt.generation, cfg.ooe.iterations
+                )?;
+                // Keep checkpointing to the same file unless overridden.
+                opts.checkpoint_path = Some(path.into());
+                opts.resume_from = Some(ckpt);
+            }
+            if let Some(path) = &checkpoint {
+                opts.checkpoint_path = Some(path.into());
+            }
+            opts.stop_after_generations = max_generations;
+            if let Some(fault_seed) = faults {
+                opts.faults = Arc::new(FaultInjector::new(FaultConfig::chaos(fault_seed))?);
+            }
             writeln!(
                 out,
                 "searching {} (OOE {} / IOE {} iterations, seed {seed})...",
@@ -84,7 +123,8 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
                 cfg.ooe.iterations,
                 cfg.ioe.iterations
             )?;
-            let outcome = hadas.run(&cfg)?;
+            let outcome = hadas.run_with(&cfg, &opts)?;
+            let telemetry = *outcome.telemetry();
             let mut models = outcome.pareto_models();
             models.sort_by(|a, b| b.dynamic.accuracy_pct.total_cmp(&a.dynamic.accuracy_pct));
             writeln!(
@@ -125,6 +165,30 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
                     .collect();
                 std::fs::write(&path, serde_json::to_string_pretty(&payload)?)?;
                 writeln!(out, "wrote {} models to {path}", models.len())?;
+            }
+            if faults.is_some() {
+                writeln!(
+                    out,
+                    "fault telemetry: {} retried, {} transient, {} timeouts, \
+                     {} exhausted, {:.1} ms overhead",
+                    telemetry.retried_evals,
+                    telemetry.transient_failures,
+                    telemetry.timeouts,
+                    telemetry.exhausted_evals,
+                    telemetry.fault_overhead_ms
+                )?;
+            }
+            if telemetry.interrupted {
+                let resume_hint = opts
+                    .checkpoint_path
+                    .as_ref()
+                    .map(|p| format!(" — resume with --resume {}", p.display()))
+                    .unwrap_or_default();
+                writeln!(
+                    out,
+                    "search interrupted after {} generation(s); partial front{resume_hint}",
+                    telemetry.generations_completed
+                )?;
             }
         }
         Command::Ioe { target, baseline, scale, seed } => {
@@ -242,16 +306,93 @@ mod tests {
         }
     }
 
-    #[test]
-    fn search_reports_pareto_models() {
-        let text = run(Command::Search {
+    fn search_cmd(seed: u64) -> Command {
+        Command::Search {
             target: HwTarget::Tx2PascalGpu,
             scale: Scale::Quick,
-            seed: 3,
+            seed,
             json: None,
-        });
+            checkpoint: None,
+            resume: None,
+            max_generations: None,
+            faults: None,
+        }
+    }
+
+    #[test]
+    fn search_reports_pareto_models() {
+        let text = run(search_cmd(3));
         assert!(text.contains("acc (%)"));
         assert!(text.lines().count() > 3, "{text}");
+        assert!(!text.contains("fault telemetry"), "healthy runs stay quiet: {text}");
+        assert!(!text.contains("interrupted"), "{text}");
+    }
+
+    #[test]
+    fn search_with_faults_reports_telemetry() {
+        let cmd = match search_cmd(3) {
+            Command::Search { target, scale, seed, json, checkpoint, resume, .. } => {
+                Command::Search {
+                    target,
+                    scale,
+                    seed,
+                    json,
+                    checkpoint,
+                    resume,
+                    max_generations: None,
+                    faults: Some(99),
+                }
+            }
+            other => other,
+        };
+        let text = run(cmd);
+        assert!(text.contains("fault telemetry"), "{text}");
+        assert!(text.contains("acc (%)"), "the front still prints: {text}");
+    }
+
+    #[test]
+    fn interrupted_search_checkpoints_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("hadas-cli-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("checkpoint.json");
+        let path_s = path.to_string_lossy().into_owned();
+
+        let interrupted = match search_cmd(5) {
+            Command::Search { target, scale, seed, json, .. } => Command::Search {
+                target,
+                scale,
+                seed,
+                json,
+                checkpoint: Some(path_s.clone()),
+                resume: None,
+                max_generations: Some(1),
+                faults: None,
+            },
+            other => other,
+        };
+        let text = run(interrupted);
+        assert!(text.contains("interrupted"), "{text}");
+        assert!(path.exists(), "checkpoint must land on disk");
+
+        let resumed = match search_cmd(5) {
+            Command::Search { target, scale, seed, json, .. } => Command::Search {
+                target,
+                scale,
+                seed,
+                json,
+                checkpoint: None,
+                resume: Some(path_s),
+                max_generations: None,
+                faults: None,
+            },
+            other => other,
+        };
+        let text = run(resumed);
+        assert!(text.contains("resuming from"), "{text}");
+        assert!(!text.contains("interrupted"), "resumed run finishes: {text}");
+        assert!(text.contains("acc (%)"), "{text}");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

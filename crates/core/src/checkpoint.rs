@@ -1,0 +1,301 @@
+//! Search checkpoints: serialize the OOE's whole resumable state — the
+//! population, the evaluation history (with nested IOE results), and the
+//! RNG's exact stream position — so a search killed mid-run (OOM, power
+//! loss, Ctrl-C) continues from the last generation boundary instead of
+//! starting over.
+//!
+//! The contract the chaos tests pin: with the same `HadasConfig`, a run
+//! killed after generation `k` and resumed from its checkpoint produces
+//! a **byte-identical** serialized Pareto front to an uninterrupted run.
+//! Everything needed for that is in the file: genomes re-decode through
+//! the search space, exit placements rebuild from positions, and the RNG
+//! restarts from its four-word xoshiro state.
+//!
+//! Writes are atomic (temp file + rename) so a crash mid-write leaves
+//! the previous checkpoint intact rather than a torn JSON.
+
+use crate::{
+    DynamicFitness, EvaluatedBackbone, HadasConfig, HadasError, IoeOutcome, IoeSolution,
+    StaticFitness,
+};
+use hadas_exits::ExitPlacement;
+use hadas_hw::DvfsSetting;
+use hadas_space::SearchSpace;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Schema version of the checkpoint file; bump on breaking layout change.
+pub const CHECKPOINT_SCHEMA: u32 = 1;
+
+/// One serialized inner-engine solution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointSolution {
+    /// Exit positions of the placement.
+    pub positions: Vec<usize>,
+    /// Total MBConv layers of the backbone (placement domain).
+    pub total_layers: usize,
+    /// DVFS ladder indices.
+    pub dvfs: DvfsSetting,
+    /// Exact re-measured dynamic fitness.
+    pub fitness: DynamicFitness,
+}
+
+impl CheckpointSolution {
+    fn from_solution(s: &IoeSolution) -> Self {
+        CheckpointSolution {
+            positions: s.placement.positions().to_vec(),
+            total_layers: s.placement.total_layers(),
+            dvfs: s.dvfs,
+            fitness: s.fitness,
+        }
+    }
+
+    fn to_solution(&self) -> Result<IoeSolution, HadasError> {
+        Ok(IoeSolution {
+            placement: ExitPlacement::new(self.positions.clone(), self.total_layers)
+                .map_err(|e| HadasError::Checkpoint(format!("invalid stored placement: {e}")))?,
+            dvfs: self.dvfs,
+            fitness: self.fitness,
+        })
+    }
+}
+
+/// One serialized inner-engine outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointIoe {
+    /// Every evaluated `(x, f)` point, in evaluation order.
+    pub history: Vec<CheckpointSolution>,
+    /// The exact-measured Pareto subset.
+    pub pareto: Vec<CheckpointSolution>,
+}
+
+/// One serialized outer-engine history entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointBackbone {
+    /// The backbone genome (re-decoded through the space on resume).
+    pub genome: Vec<usize>,
+    /// Static fitness at default DVFS.
+    pub fitness: StaticFitness,
+    /// Generation of first evaluation.
+    pub generation: usize,
+    /// Nested IOE outcome, if this backbone was promoted.
+    pub ioe: Option<CheckpointIoe>,
+}
+
+/// The whole resumable search state at one generation boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchCheckpoint {
+    /// Layout version ([`CHECKPOINT_SCHEMA`]).
+    pub schema: u32,
+    /// The configuration the interrupted run used. Resume refuses a
+    /// mismatched config — splicing streams would silently break the
+    /// determinism contract.
+    pub config: HadasConfig,
+    /// The next generation to execute (0-based).
+    pub generation: usize,
+    /// The outer RNG's xoshiro256** state at the generation boundary.
+    pub rng_state: [u64; 4],
+    /// The current population's genomes.
+    pub population: Vec<Vec<usize>>,
+    /// Every backbone evaluated so far, in evaluation order.
+    pub history: Vec<CheckpointBackbone>,
+}
+
+impl SearchCheckpoint {
+    /// Builds a checkpoint from live OOE state.
+    pub fn capture(
+        config: &HadasConfig,
+        generation: usize,
+        rng_state: [u64; 4],
+        population: &[Vec<usize>],
+        history: &[EvaluatedBackbone],
+    ) -> Self {
+        SearchCheckpoint {
+            schema: CHECKPOINT_SCHEMA,
+            config: config.clone(),
+            generation,
+            rng_state,
+            population: population.to_vec(),
+            history: history
+                .iter()
+                .map(|b| CheckpointBackbone {
+                    genome: b.subnet.genome().genes().to_vec(),
+                    fitness: b.fitness,
+                    generation: b.generation,
+                    ioe: b.ioe.as_ref().map(|o| CheckpointIoe {
+                        history: o.history.iter().map(CheckpointSolution::from_solution).collect(),
+                        pareto: o.pareto.iter().map(CheckpointSolution::from_solution).collect(),
+                    }),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds the evaluated-backbone history against `space`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadasError::Checkpoint`] if a stored genome no longer
+    /// decodes in the space or a stored placement is invalid.
+    pub fn restore_history(
+        &self,
+        space: &SearchSpace,
+    ) -> Result<Vec<EvaluatedBackbone>, HadasError> {
+        let mut out = Vec::with_capacity(self.history.len());
+        for b in &self.history {
+            let subnet =
+                space.decode(&hadas_space::Genome::from_genes(b.genome.clone())).map_err(|e| {
+                    HadasError::Checkpoint(format!("stored genome no longer decodes: {e}"))
+                })?;
+            let ioe = match &b.ioe {
+                None => None,
+                Some(o) => Some(IoeOutcome {
+                    history: o
+                        .history
+                        .iter()
+                        .map(CheckpointSolution::to_solution)
+                        .collect::<Result<_, _>>()?,
+                    pareto: o
+                        .pareto
+                        .iter()
+                        .map(CheckpointSolution::to_solution)
+                        .collect::<Result<_, _>>()?,
+                }),
+            };
+            out.push(EvaluatedBackbone {
+                subnet,
+                fitness: b.fitness,
+                generation: b.generation,
+                ioe,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Checks that this checkpoint belongs to `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadasError::Checkpoint`] on schema or config mismatch.
+    pub fn validate_against(&self, config: &HadasConfig) -> Result<(), HadasError> {
+        if self.schema != CHECKPOINT_SCHEMA {
+            return Err(HadasError::Checkpoint(format!(
+                "checkpoint schema {} unsupported (expected {CHECKPOINT_SCHEMA})",
+                self.schema
+            )));
+        }
+        if &self.config != config {
+            return Err(HadasError::Checkpoint(
+                "checkpoint was produced by a different configuration; \
+                 resume with the same target, scale, and seed"
+                    .into(),
+            ));
+        }
+        if self.population.is_empty() {
+            return Err(HadasError::Checkpoint("checkpoint has an empty population".into()));
+        }
+        Ok(())
+    }
+
+    /// Atomically writes the checkpoint as pretty JSON: serialize to a
+    /// sibling temp file, then rename over `path`. A crash mid-write
+    /// leaves the previous checkpoint intact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadasError::Checkpoint`] on serialization or I/O errors.
+    pub fn write(&self, path: &Path) -> Result<(), HadasError> {
+        let payload = serde_json::to_string_pretty(self)
+            .map_err(|e| HadasError::Checkpoint(format!("serialize: {e}")))?;
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| HadasError::Checkpoint(format!("mkdir {}: {e}", dir.display())))?;
+            }
+        }
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, payload)
+            .map_err(|e| HadasError::Checkpoint(format!("write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| HadasError::Checkpoint(format!("rename to {}: {e}", path.display())))?;
+        Ok(())
+    }
+
+    /// Loads a checkpoint from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadasError::Checkpoint`] on I/O or parse errors.
+    pub fn load(path: &Path) -> Result<Self, HadasError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| HadasError::Checkpoint(format!("read {}: {e}", path.display())))?;
+        serde_json::from_str(&text)
+            .map_err(|e| HadasError::Checkpoint(format!("parse {}: {e}", path.display())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Hadas;
+    use hadas_hw::HwTarget;
+
+    fn roundtrip_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("hadas-ckpt-test-{tag}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_disk() {
+        let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+        let config = HadasConfig::smoke_test();
+        let outcome = hadas.run(&config).unwrap();
+        let population: Vec<Vec<usize>> = outcome
+            .backbones()
+            .iter()
+            .take(4)
+            .map(|b| b.subnet.genome().genes().to_vec())
+            .collect();
+        let ckpt =
+            SearchCheckpoint::capture(&config, 2, [1, 2, 3, 4], &population, outcome.backbones());
+
+        let path = roundtrip_path("roundtrip");
+        ckpt.write(&path).unwrap();
+        let loaded = SearchCheckpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(ckpt, loaded);
+        loaded.validate_against(&config).unwrap();
+
+        let restored = loaded.restore_history(hadas.space()).unwrap();
+        assert_eq!(restored.len(), outcome.backbones().len());
+        for (a, b) in restored.iter().zip(outcome.backbones()) {
+            assert_eq!(a.subnet.genome().genes(), b.subnet.genome().genes());
+            assert_eq!(a.fitness, b.fitness);
+            assert_eq!(a.ioe.is_some(), b.ioe.is_some());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_mismatched_configs_and_schemas() {
+        let config = HadasConfig::smoke_test();
+        let ckpt = SearchCheckpoint::capture(&config, 0, [0; 4], &[vec![0; 4]], &[]);
+        assert!(ckpt.validate_against(&config).is_ok());
+        assert!(ckpt.validate_against(&config.clone().with_seed(99)).is_err());
+        let mut wrong = ckpt.clone();
+        wrong.schema = 0;
+        assert!(wrong.validate_against(&config).is_err());
+        let mut empty = ckpt;
+        empty.population.clear();
+        assert!(empty.validate_against(&config).is_err());
+    }
+
+    #[test]
+    fn load_surfaces_missing_and_corrupt_files() {
+        let missing = roundtrip_path("missing");
+        assert!(matches!(SearchCheckpoint::load(&missing), Err(HadasError::Checkpoint(_))));
+        let corrupt = roundtrip_path("corrupt");
+        std::fs::write(&corrupt, "{not json").unwrap();
+        let err = SearchCheckpoint::load(&corrupt);
+        std::fs::remove_file(&corrupt).ok();
+        assert!(matches!(err, Err(HadasError::Checkpoint(_))));
+    }
+}

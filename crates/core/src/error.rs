@@ -13,6 +13,20 @@ pub enum HadasError {
     Exit(hadas_exits::ExitError),
     /// A configuration value was out of range.
     InvalidConfig(String),
+    /// A search checkpoint could not be written, read, or applied
+    /// (I/O failure, corrupt JSON, or a config/space mismatch between
+    /// the checkpoint and the resuming run).
+    Checkpoint(String),
+    /// A candidate evaluation kept failing transiently until its retry
+    /// and timeout budget ran out (fault-injection or flaky substrate).
+    /// The search degrades the candidate rather than dying, but callers
+    /// that evaluate single candidates surface it.
+    EvalExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Simulated milliseconds burned across attempts and backoff.
+        spent_ms: f64,
+    },
     /// An internal engine invariant was broken (e.g. a worker thread
     /// panicked). Indicates a bug rather than bad input.
     Internal(String),
@@ -25,6 +39,12 @@ impl fmt::Display for HadasError {
             HadasError::Hw(e) => write!(f, "hardware model error: {e}"),
             HadasError::Exit(e) => write!(f, "exit placement error: {e}"),
             HadasError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            HadasError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            HadasError::EvalExhausted { attempts, spent_ms } => write!(
+                f,
+                "candidate evaluation exhausted its fault budget after {attempts} attempts \
+                 ({spent_ms:.1} ms simulated)"
+            ),
             HadasError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -36,7 +56,10 @@ impl Error for HadasError {
             HadasError::Space(e) => Some(e),
             HadasError::Hw(e) => Some(e),
             HadasError::Exit(e) => Some(e),
-            HadasError::InvalidConfig(_) | HadasError::Internal(_) => None,
+            HadasError::InvalidConfig(_)
+            | HadasError::Checkpoint(_)
+            | HadasError::EvalExhausted { .. }
+            | HadasError::Internal(_) => None,
         }
     }
 }

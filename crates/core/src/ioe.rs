@@ -1,9 +1,11 @@
+use crate::resilience::{FaultModel, NoFaults, RetryPolicy, SearchTelemetry};
 use crate::{DynamicFitness, DynamicModel, Hadas, HadasConfig, HadasError};
 use hadas_evo::{discrete, Nsga2, Nsga2Config, Problem};
 use hadas_exits::{ExitPlacement, MIN_EXIT_POSITION};
 use hadas_hw::DvfsSetting;
 use hadas_space::Subnet;
 use rand::{rngs::StdRng, Rng, RngCore, SeedableRng};
+use std::cell::RefCell;
 
 /// One explored point of the inner space: an exit placement, a DVFS
 /// setting, and its dynamic fitness.
@@ -69,6 +71,16 @@ struct IoeProblem<'a> {
     cardinalities: Vec<usize>,
     gamma: f64,
     use_dissimilarity: bool,
+    /// Substrate fault model consulted before each candidate measurement.
+    faults: &'a dyn FaultModel,
+    /// Retry/backoff/timeout schedule for one measurement.
+    retry: &'a RetryPolicy,
+    /// Salt mixed into fault keys so the inner fault stream is distinct
+    /// from the search-time quality-noise stream and from other IOE runs.
+    fault_salt: u64,
+    /// Fault-handling counters for this run. `Nsga2::run` drives
+    /// `evaluate` from a single thread, so a `RefCell` suffices.
+    telemetry: RefCell<SearchTelemetry>,
 }
 
 impl IoeProblem<'_> {
@@ -99,20 +111,22 @@ impl IoeProblem<'_> {
         let dvfs = DvfsSetting::new(genome[n_ind], genome[n_ind + 1]);
         Ok(DynamicModel::new(self.subnet.clone(), placement, dvfs))
     }
-}
 
-impl Problem for IoeProblem<'_> {
-    type Genome = Vec<usize>;
-
-    fn sample(&self, rng: &mut dyn RngCore) -> Vec<usize> {
-        let mut genes: Vec<usize> =
-            self.candidates.iter().map(|_| usize::from(rng.gen_bool(0.18))).collect();
-        genes.push(rng.gen_range(0..self.cardinalities[self.candidates.len()]));
-        genes.push(rng.gen_range(0..self.cardinalities[self.candidates.len() + 1]));
-        genes
+    /// The fault-stream identity of one candidate: a hash of the genome,
+    /// the backbone, and this run's salt. Pure, so a resumed search
+    /// replays identical fault histories for identical candidates.
+    fn fault_key(&self, genome: &[usize]) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        genome.hash(&mut h);
+        self.subnet.genome().genes().hash(&mut h);
+        self.fault_salt.hash(&mut h);
+        h.finish()
     }
 
-    fn evaluate(&self, genome: &Vec<usize>) -> Vec<f64> {
+    /// The actual (noisy-quality) measurement of one candidate — the
+    /// pure computation the retry wrapper shields from substrate faults.
+    fn measure(&self, genome: &Vec<usize>) -> Vec<f64> {
         // The repair in `decode` makes infeasible genomes unreachable in
         // practice; if one slips through anyway it gets a finite worst-case
         // fitness and is selected away, rather than panicking mid-search.
@@ -146,6 +160,36 @@ impl Problem for IoeProblem<'_> {
         objectives[0] += (u * 2.0 - 1.0) * Self::QUALITY_NOISE;
         objectives
     }
+}
+
+impl Problem for IoeProblem<'_> {
+    type Genome = Vec<usize>;
+
+    fn sample(&self, rng: &mut dyn RngCore) -> Vec<usize> {
+        let mut genes: Vec<usize> =
+            self.candidates.iter().map(|_| usize::from(rng.gen_bool(0.18))).collect();
+        genes.push(rng.gen_range(0..self.cardinalities[self.candidates.len()]));
+        genes.push(rng.gen_range(0..self.cardinalities[self.candidates.len() + 1]));
+        genes
+    }
+
+    fn evaluate(&self, genome: &Vec<usize>) -> Vec<f64> {
+        // Every measurement runs on a (simulated) physical substrate that
+        // can glitch: consult the fault model under the retry schedule.
+        // A candidate whose measurement never lands within its budget is
+        // degraded to the infeasibility penalty — selected away, never
+        // fatal — and counted in the run's telemetry.
+        let outcome =
+            self.retry.run(self.faults, self.fault_key(genome), || Ok(self.measure(genome)));
+        let (value, receipt) = match outcome {
+            Ok(pair) => pair,
+            // `measure` is infallible (it returns penalties instead of
+            // erroring), so this arm is unreachable; degrade anyway.
+            Err(_) => return vec![Self::INFEASIBLE_PENALTY; 3],
+        };
+        self.telemetry.borrow_mut().absorb(&receipt, value.is_none());
+        value.unwrap_or_else(|| vec![Self::INFEASIBLE_PENALTY; 3])
+    }
 
     fn crossover(&self, rng: &mut dyn RngCore, a: &Vec<usize>, b: &Vec<usize>) -> Vec<usize> {
         discrete::uniform_crossover(rng, a, b)
@@ -177,7 +221,12 @@ impl<'a> Ioe<'a> {
         Ioe { hadas, subnet, config }
     }
 
-    fn problem(&self) -> IoeProblem<'_> {
+    fn problem_with<'p>(
+        &'p self,
+        faults: &'p dyn FaultModel,
+        retry: &'p RetryPolicy,
+        fault_salt: u64,
+    ) -> IoeProblem<'p> {
         let candidates = ExitPlacement::candidates(self.subnet.num_mbconv_layers());
         let mut cardinalities = vec![2usize; candidates.len()];
         cardinalities.push(self.hadas.device().ladder().compute_steps());
@@ -189,18 +238,50 @@ impl<'a> Ioe<'a> {
             cardinalities,
             gamma: self.config.gamma,
             use_dissimilarity: self.config.use_dissimilarity,
+            faults,
+            retry,
+            fault_salt,
+            telemetry: RefCell::new(SearchTelemetry::default()),
         }
     }
 
-    /// Runs the engine with the configured IOE budget.
+    /// Runs the engine with the configured IOE budget on a healthy
+    /// substrate — [`Ioe::run_with`] with [`NoFaults`] and the default
+    /// retry schedule, telemetry discarded.
     ///
     /// # Errors
     ///
     /// Returns [`HadasError::InvalidConfig`] for invalid configurations,
     /// or a propagated model/placement error from re-measurement.
     pub fn run(&self, seed: u64) -> Result<IoeOutcome, HadasError> {
+        self.run_with(seed, &NoFaults, &RetryPolicy::default()).map(|(outcome, _)| outcome)
+    }
+
+    /// Runs the engine under an explicit substrate fault model: every
+    /// candidate measurement is retried with exponential backoff under
+    /// `retry`'s per-candidate timeout budget, and candidates whose
+    /// measurement never lands degrade to an infeasibility penalty
+    /// instead of killing the run. Returns the outcome together with the
+    /// run's fault-handling telemetry.
+    ///
+    /// The final reporting pass re-measures solutions *exactly* and
+    /// fault-free: faults perturb what the search engine sees, never the
+    /// numbers reported to the OOE.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadasError::InvalidConfig`] for invalid configurations
+    /// or retry schedules, or a propagated model/placement error from
+    /// re-measurement.
+    pub fn run_with(
+        &self,
+        seed: u64,
+        faults: &dyn FaultModel,
+        retry: &RetryPolicy,
+    ) -> Result<(IoeOutcome, SearchTelemetry), HadasError> {
         self.config.validate()?;
-        let problem = self.problem();
+        retry.validate()?;
+        let problem = self.problem_with(faults, retry, seed);
         let nsga = Nsga2::new(Nsga2Config::with_budget(
             self.config.ioe.population,
             self.config.ioe.iterations,
@@ -208,7 +289,9 @@ impl<'a> Ioe<'a> {
         let mut rng = StdRng::seed_from_u64(seed);
         let result = nsga.run(&problem, &mut rng);
 
-        self.outcome_from(&problem, &result)
+        let outcome = self.outcome_from(&problem, &result)?;
+        let telemetry = problem.telemetry.into_inner();
+        Ok((outcome, telemetry))
     }
 
     /// Spends the same budget on pure random sampling of `X × F` — the
@@ -220,7 +303,8 @@ impl<'a> Ioe<'a> {
     /// or a propagated model/placement error from re-measurement.
     pub fn run_random(&self, seed: u64) -> Result<IoeOutcome, HadasError> {
         self.config.validate()?;
-        let problem = self.problem();
+        let retry = RetryPolicy::default();
+        let problem = self.problem_with(&NoFaults, &retry, seed);
         let mut rng = StdRng::seed_from_u64(seed);
         let result = hadas_evo::random_search(&problem, self.config.ioe.iterations, &mut rng);
         self.outcome_from(&problem, &result)
@@ -320,5 +404,37 @@ mod tests {
         for s in &out.history {
             assert!(s.placement.positions().iter().all(|&p| p >= MIN_EXIT_POSITION));
         }
+    }
+
+    /// Fails the first attempt of every measurement, then succeeds: the
+    /// retry layer must absorb every fault, so the front is identical to
+    /// a healthy run's and only the telemetry shows the substrate was
+    /// misbehaving.
+    #[derive(Debug)]
+    struct FlakyOnce;
+    impl crate::FaultModel for FlakyOnce {
+        fn eval_attempt(&self, _key: u64, attempt: u32) -> crate::AttemptOutcome {
+            if attempt == 0 {
+                crate::AttemptOutcome::TransientFailure { cost_ms: 1.0 }
+            } else {
+                crate::AttemptOutcome::Ok { cost_ms: 1.0 }
+            }
+        }
+    }
+
+    #[test]
+    fn recoverable_faults_leave_the_front_unchanged() {
+        let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+        let subnet = hadas.space().decode(&baselines::baseline_genome(2)).unwrap();
+        let cfg = HadasConfig::smoke_test();
+        let clean = Ioe::new(&hadas, subnet.clone(), cfg.clone()).run(7).unwrap();
+        let (flaky, telemetry) = Ioe::new(&hadas, subnet, cfg)
+            .run_with(7, &FlakyOnce, &crate::RetryPolicy::default())
+            .unwrap();
+        assert_eq!(clean.pareto_axes(), flaky.pareto_axes());
+        assert_eq!(clean.history_axes(), flaky.history_axes());
+        assert!(telemetry.retried_evals > 0, "every eval was retried once");
+        assert_eq!(telemetry.exhausted_evals, 0, "no eval ran out of budget");
+        assert!(telemetry.fault_overhead_ms > 0.0);
     }
 }

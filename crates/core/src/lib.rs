@@ -40,6 +40,7 @@
 //! The two engines are deterministic given [`HadasConfig::seed`]; every
 //! table and figure of the paper regenerates from `hadas-bench` binaries.
 
+mod checkpoint;
 mod config;
 mod controller;
 mod deployment;
@@ -50,7 +51,11 @@ mod objectives;
 mod ooe;
 pub mod related;
 pub mod report;
+mod resilience;
 
+pub use checkpoint::{
+    CheckpointBackbone, CheckpointIoe, CheckpointSolution, SearchCheckpoint, CHECKPOINT_SCHEMA,
+};
 pub use config::{EngineBudget, HadasConfig};
 pub use controller::{
     simulate_stream, Controller, EntropyController, ExitDecision, IdealController,
@@ -61,7 +66,10 @@ pub use dynmodel::{DynamicEvaluation, DynamicModel};
 pub use error::HadasError;
 pub use ioe::{Ioe, IoeOutcome, IoeSolution};
 pub use objectives::{DynamicFitness, StaticFitness};
-pub use ooe::{EvaluatedBackbone, Ooe, OoeOutcome};
+pub use ooe::{EvaluatedBackbone, JointModel, Ooe, OoeOutcome, SearchOptions};
+pub use resilience::{
+    AttemptOutcome, FaultModel, NoFaults, RetryPolicy, RetryReceipt, SearchTelemetry,
+};
 
 use hadas_accuracy::AccuracyModel;
 use hadas_hw::{CostModel, DeviceModel, HwTarget};
@@ -132,6 +140,22 @@ impl Hadas {
     /// (these indicate configuration bugs; a healthy run never errors).
     pub fn run(&self, config: &HadasConfig) -> Result<OoeOutcome, HadasError> {
         Ooe::new(self, config.clone()).run()
+    }
+
+    /// Runs the full bi-level search under explicit robustness options:
+    /// fault-injected scoring, per-generation checkpointing, resume, and
+    /// graceful early stop with a partial Pareto front.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration, checkpoint, or evaluation errors; transient
+    /// substrate faults are absorbed per [`SearchOptions`], not returned.
+    pub fn run_with(
+        &self,
+        config: &HadasConfig,
+        opts: &SearchOptions,
+    ) -> Result<OoeOutcome, HadasError> {
+        Ooe::new(self, config.clone()).run_with(opts)
     }
 
     /// Runs only the inner engine for one fixed backbone (used for the

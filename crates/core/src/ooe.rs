@@ -1,3 +1,5 @@
+use crate::checkpoint::SearchCheckpoint;
+use crate::resilience::{FaultModel, NoFaults, RetryPolicy, SearchTelemetry};
 use crate::{DynamicFitness, Hadas, HadasConfig, HadasError, Ioe, IoeOutcome, StaticFitness};
 use hadas_evo::{crowding_distance, discrete, fast_non_dominated_sort};
 use hadas_exits::ExitPlacement;
@@ -8,6 +10,23 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Salt separating the static-evaluation fault stream from the IOE seed
+/// stream derived from the same genome hash.
+const STATIC_FAULT_SALT: u64 = 0x5354_4154_4943_5f53; // "STATIC_S"
+/// Salt for whole-IOE-run transient failures (a wedged accelerator run,
+/// as opposed to one flaky candidate measurement inside it).
+const IOE_RUN_FAULT_SALT: u64 = 0x494f_455f_5255_4e5f; // "IOE_RUN_"
+
+/// The static fitness assigned to a backbone whose measurement never
+/// landed within its retry/timeout budget: zero accuracy at prohibitive
+/// cost, so it is selected away without poisoning dominance arithmetic.
+const FAILED_STATIC_FITNESS: StaticFitness =
+    StaticFitness { accuracy_pct: 0.0, latency_ms: 1.0e9, energy_mj: 1.0e9 };
 
 /// One backbone evaluated by the outer engine.
 #[derive(Debug, Clone)]
@@ -38,10 +57,53 @@ pub struct JointModel {
     pub dynamic: DynamicFitness,
 }
 
+/// Knobs for a fault-tolerant, resumable search run. `Default` is the
+/// pre-existing behaviour: healthy substrate, no checkpointing, run to
+/// budget completion.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// The substrate fault model consulted before every candidate
+    /// evaluation (and every whole-IOE run). [`NoFaults`] by default.
+    pub faults: Arc<dyn FaultModel>,
+    /// Retry/backoff/timeout schedule per candidate.
+    pub retry: RetryPolicy,
+    /// Where to serialize a [`SearchCheckpoint`] at every generation
+    /// boundary (atomically). `None` disables checkpointing.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Resume state loaded from a previous run's checkpoint. Must match
+    /// this run's `HadasConfig` exactly.
+    pub resume_from: Option<SearchCheckpoint>,
+    /// Cooperative cancellation: when set, the run stops at the next
+    /// generation boundary and returns the partial Pareto front.
+    pub abort: Option<Arc<AtomicBool>>,
+    /// Stop this call after completing this many generations (the chaos
+    /// harness's deterministic "kill" point). Counted per call, so a
+    /// resumed run gets its own allowance.
+    pub stop_after_generations: Option<usize>,
+    /// Wall-clock budget in seconds; on exhaustion the run stops at the
+    /// next generation boundary with a partial front.
+    pub time_budget_s: Option<f64>,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            faults: Arc::new(NoFaults),
+            retry: RetryPolicy::default(),
+            checkpoint_path: None,
+            resume_from: None,
+            abort: None,
+            stop_after_generations: None,
+            time_budget_s: None,
+        }
+    }
+}
+
 /// Outcome of a full bi-level HADAS run.
 #[derive(Debug, Clone)]
 pub struct OoeOutcome {
     backbones: Vec<EvaluatedBackbone>,
+    telemetry: SearchTelemetry,
 }
 
 impl OoeOutcome {
@@ -49,6 +111,19 @@ impl OoeOutcome {
     /// scatter).
     pub fn backbones(&self) -> &[EvaluatedBackbone] {
         &self.backbones
+    }
+
+    /// Fault-handling and interruption telemetry of the run that
+    /// produced this outcome. Informational: not part of the
+    /// deterministic Pareto payload.
+    pub fn telemetry(&self) -> &SearchTelemetry {
+        &self.telemetry
+    }
+
+    /// Whether the run stopped early (abort flag, generation cap, or
+    /// time budget) and this is a partial front.
+    pub fn interrupted(&self) -> bool {
+        self.telemetry.interrupted
     }
 
     /// Static plot axes `[accuracy, −energy]` of the whole history.
@@ -87,6 +162,8 @@ impl OoeOutcome {
 
     /// The final Pareto set over (dynamic accuracy, −dynamic energy) —
     /// the `(b*, x*, f*)` solutions the paper returns at generation `G`.
+    /// On an interrupted run this is the partial front over everything
+    /// evaluated so far — graceful degradation, never an empty panic.
     pub fn pareto_models(&self) -> Vec<JointModel> {
         let all = self.joint_models();
         if all.is_empty() {
@@ -105,6 +182,16 @@ impl OoeOutcome {
 pub struct Ooe<'a> {
     hadas: &'a Hadas,
     config: HadasConfig,
+}
+
+/// Mutable engine state at a generation boundary — exactly what a
+/// [`SearchCheckpoint`] captures.
+struct EngineState {
+    generation: usize,
+    rng: StdRng,
+    population: Vec<Genome>,
+    history: Vec<EvaluatedBackbone>,
+    seen: HashMap<Vec<usize>, usize>,
 }
 
 impl<'a> Ooe<'a> {
@@ -130,7 +217,88 @@ impl<'a> Ooe<'a> {
         h.finish()
     }
 
-    /// Runs the bi-level search.
+    /// Restores engine state from a checkpoint, or seeds a fresh run.
+    fn initial_state(&self, opts: &SearchOptions) -> Result<EngineState, HadasError> {
+        let space = self.hadas.space();
+        let pop_size = self.config.ooe.population;
+        match &opts.resume_from {
+            Some(ckpt) => {
+                ckpt.validate_against(&self.config)?;
+                if ckpt.population.len() != pop_size {
+                    return Err(HadasError::Checkpoint(format!(
+                        "checkpoint population {} does not match configured population {pop_size}",
+                        ckpt.population.len()
+                    )));
+                }
+                let history = ckpt.restore_history(space)?;
+                let seen = history
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| (b.subnet.genome().genes().to_vec(), i))
+                    .collect();
+                Ok(EngineState {
+                    generation: ckpt.generation,
+                    rng: StdRng::from_state(ckpt.rng_state),
+                    population: ckpt.population.iter().cloned().map(Genome::from_genes).collect(),
+                    history,
+                    seen,
+                })
+            }
+            None => {
+                let mut rng = StdRng::seed_from_u64(self.config.seed);
+                let population = (0..pop_size).map(|_| space.sample(&mut rng)).collect();
+                Ok(EngineState {
+                    generation: 0,
+                    rng,
+                    population,
+                    history: Vec::new(),
+                    seen: HashMap::new(),
+                })
+            }
+        }
+    }
+
+    fn write_checkpoint(
+        &self,
+        opts: &SearchOptions,
+        state: &EngineState,
+    ) -> Result<(), HadasError> {
+        let Some(path) = &opts.checkpoint_path else { return Ok(()) };
+        let genes: Vec<Vec<usize>> = state.population.iter().map(|g| g.genes().to_vec()).collect();
+        SearchCheckpoint::capture(
+            &self.config,
+            state.generation,
+            state.rng.state(),
+            &genes,
+            &state.history,
+        )
+        .write(path)
+    }
+
+    fn should_stop(opts: &SearchOptions, started: Instant, ran_this_call: usize) -> bool {
+        if opts.abort.as_ref().is_some_and(|f| f.load(Ordering::Relaxed)) {
+            return true;
+        }
+        if opts.stop_after_generations.is_some_and(|n| ran_this_call >= n) {
+            return true;
+        }
+        opts.time_budget_s.is_some_and(|b| started.elapsed().as_secs_f64() >= b)
+    }
+
+    /// Runs the bi-level search on a healthy substrate with no
+    /// checkpointing — [`Ooe::run_with`] with default [`SearchOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration or evaluation errors.
+    pub fn run(&self) -> Result<OoeOutcome, HadasError> {
+        self.run_with(&SearchOptions::default())
+    }
+
+    /// Runs the bi-level search under explicit robustness options:
+    /// fault-injected candidate scoring with retry/backoff/timeout,
+    /// per-generation checkpointing, resume, and graceful early stop
+    /// with a partial Pareto front.
     ///
     /// Per generation: evaluate `S` for the population, rank and prune to
     /// `P'` (early selection), run an IOE per promoted backbone (cached
@@ -138,36 +306,73 @@ impl<'a> Ooe<'a> {
     /// static + dynamic objectives into `P''`, then mutate/cross over to
     /// form the next population.
     ///
+    /// Determinism: given the same `HadasConfig` and a fault model that
+    /// is a pure function of `(key, attempt)`, a run killed at any
+    /// generation boundary and resumed from its checkpoint produces a
+    /// byte-identical Pareto front to an uninterrupted run.
+    ///
     /// # Errors
     ///
-    /// Returns configuration or evaluation errors.
-    pub fn run(&self) -> Result<OoeOutcome, HadasError> {
+    /// Returns configuration, checkpoint, or evaluation errors. Transient
+    /// substrate faults are absorbed (retried, then degraded), not
+    /// returned.
+    pub fn run_with(&self, opts: &SearchOptions) -> Result<OoeOutcome, HadasError> {
         self.config.validate()?;
+        opts.retry.validate()?;
         let space = self.hadas.space();
         let cards = space.gene_cardinalities();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
         let pop_size = self.config.ooe.population;
         let generations = self.config.ooe.generations();
+        let started = Instant::now();
+        let mut telemetry = SearchTelemetry::default();
 
         let ioe_cache: Mutex<HashMap<Vec<usize>, IoeOutcome>> = Mutex::new(HashMap::new());
-        let mut history: Vec<EvaluatedBackbone> = Vec::new();
-        let mut seen: HashMap<Vec<usize>, usize> = HashMap::new(); // genome -> history idx
+        let mut state = self.initial_state(opts)?;
+        // Re-warm the IOE cache from restored history so resumed runs do
+        // not recompute inner searches they already paid for.
+        for b in &state.history {
+            if let Some(ioe) = &b.ioe {
+                ioe_cache.lock().insert(b.subnet.genome().genes().to_vec(), ioe.clone());
+            }
+        }
 
-        let mut population: Vec<Genome> = (0..pop_size).map(|_| space.sample(&mut rng)).collect();
+        let mut ran_this_call = 0usize;
+        let mut completed = state.generation >= generations;
+        while state.generation < generations {
+            // Persist the exact state needed to (re-)run this generation;
+            // a kill anywhere inside it resumes from this boundary.
+            self.write_checkpoint(opts, &state)?;
+            if Self::should_stop(opts, started, ran_this_call) {
+                telemetry.interrupted = true;
+                break;
+            }
+            let generation = state.generation;
 
-        for generation in 0..generations {
-            // Static evaluation (deduplicated against history).
-            let mut indices = Vec::with_capacity(population.len());
-            for genome in &population {
+            // Static evaluation (deduplicated against history), wrapped
+            // in retry-with-backoff under the per-candidate budget.
+            let mut indices = Vec::with_capacity(state.population.len());
+            for genome in &state.population {
                 let key = genome.genes().to_vec();
-                let idx = match seen.get(&key) {
+                let idx = match state.seen.get(&key) {
                     Some(&i) => i,
                     None => {
                         let subnet = space.decode(genome)?;
-                        let fitness = self.static_fitness(&subnet)?;
-                        history.push(EvaluatedBackbone { subnet, fitness, generation, ioe: None });
-                        seen.insert(key, history.len() - 1);
-                        history.len() - 1
+                        let fault_key = self.genome_seed(genome) ^ STATIC_FAULT_SALT;
+                        let (value, receipt) =
+                            opts.retry.run(opts.faults.as_ref(), fault_key, || {
+                                self.static_fitness(&subnet)
+                            })?;
+                        let exhausted = value.is_none();
+                        telemetry.absorb(&receipt, exhausted);
+                        let fitness = value.unwrap_or(FAILED_STATIC_FITNESS);
+                        state.history.push(EvaluatedBackbone {
+                            subnet,
+                            fitness,
+                            generation,
+                            ioe: None,
+                        });
+                        state.seen.insert(key, state.history.len() - 1);
+                        state.history.len() - 1
                     }
                 };
                 indices.push(idx);
@@ -175,35 +380,64 @@ impl<'a> Ooe<'a> {
 
             // Early selection: rank by the full static vector of eq. (3).
             let pts: Vec<Vec<f64>> =
-                indices.iter().map(|&i| history[i].fitness.to_maximisation()).collect();
+                indices.iter().map(|&i| state.history[i].fitness.to_maximisation()).collect();
             let order = rank_order(&pts);
             let promote =
                 ((pop_size as f64 * self.config.prune_fraction).ceil() as usize).clamp(1, pop_size);
             let promoted: Vec<usize> = order.iter().take(promote).map(|&k| indices[k]).collect();
 
-            // Nested IOEs for promoted backbones (parallel, cached).
+            // Nested IOEs for promoted backbones (parallel, cached, and
+            // individually fault-wrapped: a backbone whose inner run
+            // keeps failing is skipped this generation, not fatal).
             let pending: Vec<usize> = promoted
                 .iter()
                 .copied()
                 .filter(|&i| {
-                    history[i].ioe.is_none()
-                        && !ioe_cache.lock().contains_key(history[i].subnet.genome().genes())
+                    state.history[i].ioe.is_none()
+                        && !ioe_cache.lock().contains_key(state.history[i].subnet.genome().genes())
                 })
                 .collect();
             let errors: Mutex<Vec<HadasError>> = Mutex::new(Vec::new());
+            let sub_telemetry: Mutex<SearchTelemetry> = Mutex::new(SearchTelemetry::default());
             crossbeam::thread::scope(|scope| {
                 for &i in &pending {
-                    let subnet = history[i].subnet.clone();
+                    let subnet = state.history[i].subnet.clone();
                     let seed = self.genome_seed(subnet.genome());
                     let cache = &ioe_cache;
                     let errors = &errors;
+                    let sub_telemetry = &sub_telemetry;
                     let hadas = self.hadas;
                     let config = self.config.clone();
-                    scope.spawn(move |_| match Ioe::new(hadas, subnet.clone(), config).run(seed) {
-                        Ok(outcome) => {
-                            cache.lock().insert(subnet.genome().genes().to_vec(), outcome);
+                    let faults = Arc::clone(&opts.faults);
+                    let retry = opts.retry;
+                    scope.spawn(move |_| {
+                        let run_key = seed ^ IOE_RUN_FAULT_SALT;
+                        let attempt = retry.run(faults.as_ref(), run_key, || {
+                            Ioe::new(hadas, subnet.clone(), config.clone()).run_with(
+                                seed,
+                                faults.as_ref(),
+                                &retry,
+                            )
+                        });
+                        match attempt {
+                            Ok((Some((outcome, inner)), receipt)) => {
+                                cache.lock().insert(subnet.genome().genes().to_vec(), outcome);
+                                let mut t = sub_telemetry.lock();
+                                t.absorb(&receipt, false);
+                                t.retried_evals += inner.retried_evals;
+                                t.transient_failures += inner.transient_failures;
+                                t.timeouts += inner.timeouts;
+                                t.exhausted_evals += inner.exhausted_evals;
+                                t.fault_overhead_ms += inner.fault_overhead_ms;
+                            }
+                            Ok((None, receipt)) => {
+                                // The whole inner run kept failing: the
+                                // backbone simply stays unpromoted this
+                                // generation and can be retried later.
+                                sub_telemetry.lock().absorb(&receipt, true);
+                            }
+                            Err(e) => errors.lock().push(e),
                         }
-                        Err(e) => errors.lock().push(e),
                     });
                 }
             })
@@ -211,14 +445,26 @@ impl<'a> Ooe<'a> {
             if let Some(e) = errors.into_inner().into_iter().next() {
                 return Err(e);
             }
+            {
+                let sub = sub_telemetry.into_inner();
+                telemetry.retried_evals += sub.retried_evals;
+                telemetry.transient_failures += sub.transient_failures;
+                telemetry.timeouts += sub.timeouts;
+                telemetry.exhausted_evals += sub.exhausted_evals;
+                telemetry.fault_overhead_ms += sub.fault_overhead_ms;
+            }
             for &i in &promoted {
-                if history[i].ioe.is_none() {
-                    history[i].ioe =
-                        ioe_cache.lock().get(history[i].subnet.genome().genes()).cloned();
+                if state.history[i].ioe.is_none() {
+                    state.history[i].ioe =
+                        ioe_cache.lock().get(state.history[i].subnet.genome().genes()).cloned();
                 }
             }
 
+            ran_this_call += 1;
+            telemetry.generations_completed += 1;
             if generation + 1 == generations {
+                state.generation = generations;
+                completed = true;
                 break;
             }
 
@@ -230,35 +476,45 @@ impl<'a> Ooe<'a> {
             let combined: Vec<Vec<f64>> = indices
                 .iter()
                 .map(|&i| {
-                    let best_gain = history[i]
+                    let best_gain = state.history[i]
                         .ioe
                         .as_ref()
                         .map(|o| o.pareto.iter().fold(0.0f64, |g, s| g.max(s.fitness.energy_gain)))
                         .unwrap_or(0.0);
-                    vec![history[i].fitness.accuracy_pct, -history[i].fitness.energy_mj, best_gain]
+                    vec![
+                        state.history[i].fitness.accuracy_pct,
+                        -state.history[i].fitness.energy_mj,
+                        best_gain,
+                    ]
                 })
                 .collect();
             let order = rank_order(&combined);
             let survivors: Vec<&Genome> =
-                order.iter().take((pop_size / 2).max(2)).map(|&k| &population[k]).collect();
+                order.iter().take((pop_size / 2).max(2)).map(|&k| &state.population[k]).collect();
 
             // Mutation and crossover build the next population.
             let mut next: Vec<Genome> = survivors.iter().map(|&g| g.clone()).collect();
             while next.len() < pop_size {
-                let a = survivors[rng.gen_range(0..survivors.len())];
-                let b = survivors[rng.gen_range(0..survivors.len())];
-                let genes = if rng.gen_bool(0.9) {
-                    let child = discrete::uniform_crossover(&mut rng, a.genes(), b.genes());
-                    discrete::reset_mutation(&mut rng, &child, &cards, 0.08)
+                let a = survivors[state.rng.gen_range(0..survivors.len())];
+                let b = survivors[state.rng.gen_range(0..survivors.len())];
+                let genes = if state.rng.gen_bool(0.9) {
+                    let child = discrete::uniform_crossover(&mut state.rng, a.genes(), b.genes());
+                    discrete::reset_mutation(&mut state.rng, &child, &cards, 0.08)
                 } else {
-                    discrete::reset_mutation(&mut rng, a.genes(), &cards, 0.15)
+                    discrete::reset_mutation(&mut state.rng, a.genes(), &cards, 0.15)
                 };
                 next.push(Genome::from_genes(genes));
             }
-            population = next;
+            state.population = next;
+            state.generation = generation + 1;
         }
 
-        Ok(OoeOutcome { backbones: history })
+        if completed {
+            // A terminal checkpoint (generation == budget) makes resuming
+            // a finished run a cheap no-op replay of its stored history.
+            self.write_checkpoint(opts, &state)?;
+        }
+        Ok(OoeOutcome { backbones: state.history, telemetry })
     }
 }
 
@@ -279,6 +535,7 @@ fn rank_order(points: &[Vec<f64>]) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::resilience::AttemptOutcome;
     use hadas_hw::HwTarget;
 
     fn quick_run(seed: u64) -> OoeOutcome {
@@ -292,6 +549,8 @@ mod tests {
         assert!(!out.backbones().is_empty());
         assert!(!out.joint_models().is_empty(), "promoted backbones must carry IOE results");
         assert!(!out.pareto_models().is_empty());
+        assert!(!out.interrupted());
+        assert_eq!(out.telemetry().exhausted_evals, 0, "healthy substrate: no give-ups");
     }
 
     #[test]
@@ -336,5 +595,54 @@ mod tests {
         let order = rank_order(&pts);
         assert_eq!(order[0], 1);
         assert_eq!(order[2], 0);
+    }
+
+    #[test]
+    fn abort_flag_emits_a_partial_front() {
+        let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+        let flag = Arc::new(AtomicBool::new(true));
+        let opts = SearchOptions { abort: Some(Arc::clone(&flag)), ..Default::default() };
+        let out = Ooe::new(&hadas, HadasConfig::smoke_test()).run_with(&opts).unwrap();
+        assert!(out.interrupted(), "pre-set abort flag must stop at the first boundary");
+        assert!(out.backbones().is_empty(), "nothing was evaluated before the stop");
+        assert!(out.pareto_models().is_empty());
+    }
+
+    #[test]
+    fn stop_after_generations_caps_the_call() {
+        let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+        let cfg = HadasConfig::smoke_test(); // 4 generations
+        let opts = SearchOptions { stop_after_generations: Some(1), ..Default::default() };
+        let out = Ooe::new(&hadas, cfg).run_with(&opts).unwrap();
+        assert!(out.interrupted());
+        assert_eq!(out.telemetry().generations_completed, 1);
+        assert!(!out.backbones().is_empty(), "one full generation of evaluations");
+        assert!(out.backbones().iter().all(|b| b.generation == 0));
+    }
+
+    /// Every attempt fails: all candidates must degrade, none may kill
+    /// the engine, and the outcome is an empty-but-well-formed front.
+    #[derive(Debug)]
+    struct AlwaysDown;
+    impl FaultModel for AlwaysDown {
+        fn eval_attempt(&self, _key: u64, _attempt: u32) -> AttemptOutcome {
+            AttemptOutcome::TransientFailure { cost_ms: 50.0 }
+        }
+    }
+
+    #[test]
+    fn a_dead_substrate_degrades_instead_of_erroring() {
+        let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+        let mut cfg = HadasConfig::smoke_test();
+        cfg.ooe = crate::EngineBudget::new(6, 12); // keep it tiny
+        cfg.ioe = crate::EngineBudget::new(4, 8);
+        let opts = SearchOptions { faults: Arc::new(AlwaysDown), ..Default::default() };
+        let out = Ooe::new(&hadas, cfg).run_with(&opts).unwrap();
+        assert!(out.telemetry().exhausted_evals > 0);
+        assert!(out.telemetry().transient_failures > 0);
+        assert!(
+            out.joint_models().is_empty(),
+            "nothing can be measured on a dead substrate, but the run still finishes"
+        );
     }
 }

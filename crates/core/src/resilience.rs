@@ -1,0 +1,339 @@
+//! Fault-tolerant candidate evaluation: retry with exponential backoff
+//! under a per-candidate timeout budget.
+//!
+//! On real Jetson-class substrates, candidate scoring is a *measurement*:
+//! it can fail transiently (a DVFS latch glitch, a busy power rail, a
+//! sensor hiccup) or hang past its deadline. The search must not die on
+//! the first such failure, and it must not spin forever on a candidate
+//! whose measurement never lands. This module gives both engines the
+//! wrapper they need:
+//!
+//! * [`FaultModel`] — the injection point. The default [`NoFaults`] makes
+//!   every attempt succeed instantly; `hadas-runtime`'s `FaultInjector`
+//!   implements it to perturb OOE/IOE scoring deterministically.
+//! * [`RetryPolicy`] — attempts × exponential backoff × timeout budget.
+//!   All time is *simulated* (the substrate is a model), so retries are
+//!   free at test speed but the accounting mirrors a real deployment.
+//!
+//! Determinism contract: a [`FaultModel`] must be a pure function of
+//! `(key, attempt)`. That is what makes a resumed search replay the very
+//! same fault history as an uninterrupted one — the chaos tests pin it.
+
+use serde::{Deserialize, Serialize};
+
+/// The fate of one evaluation attempt, as decided by a [`FaultModel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttemptOutcome {
+    /// The attempt completes; the measurement is valid.
+    Ok {
+        /// Simulated wall-clock cost of the attempt in milliseconds.
+        cost_ms: f64,
+    },
+    /// The attempt fails transiently (retryable).
+    TransientFailure {
+        /// Simulated milliseconds burned before the failure surfaced.
+        cost_ms: f64,
+    },
+    /// The attempt hangs until its per-attempt deadline fires.
+    Timeout {
+        /// Simulated milliseconds lost to the hang (the deadline).
+        cost_ms: f64,
+    },
+}
+
+/// Decides the fate of evaluation attempts. Implementations MUST be pure
+/// functions of `(key, attempt)` — the resumability guarantee of the
+/// search depends on replayed attempts seeing identical outcomes.
+pub trait FaultModel: Send + Sync + std::fmt::Debug {
+    /// The outcome of attempt number `attempt` (0-based) at evaluating
+    /// the candidate identified by `key`.
+    fn eval_attempt(&self, key: u64, attempt: u32) -> AttemptOutcome;
+}
+
+/// The healthy substrate: every attempt succeeds instantly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoFaults;
+
+impl FaultModel for NoFaults {
+    fn eval_attempt(&self, _key: u64, _attempt: u32) -> AttemptOutcome {
+        AttemptOutcome::Ok { cost_ms: 0.0 }
+    }
+}
+
+/// Retry schedule for one candidate evaluation: up to `max_attempts`
+/// tries, exponential backoff between them, all bounded by a simulated
+/// per-candidate timeout budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum attempts per candidate (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before retry `k` is `base_backoff_ms · factor^(k−1)`.
+    pub base_backoff_ms: f64,
+    /// Exponential backoff growth factor (≥ 1).
+    pub backoff_factor: f64,
+    /// Total simulated milliseconds a candidate may consume across
+    /// attempts and backoff before the search gives up on it.
+    pub timeout_budget_ms: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ms: 10.0,
+            backoff_factor: 2.0,
+            timeout_budget_ms: 2_000.0,
+        }
+    }
+}
+
+/// What one retried evaluation cost, successful or not.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryReceipt {
+    /// Attempts made (≥ 1 unless the budget was already empty).
+    pub attempts: u32,
+    /// Transient failures absorbed along the way.
+    pub transient_failures: u32,
+    /// Attempt-level timeouts absorbed along the way.
+    pub timeouts: u32,
+    /// Simulated milliseconds spent on attempts plus backoff.
+    pub spent_ms: f64,
+}
+
+impl RetryPolicy {
+    /// Validates the schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::HadasError::InvalidConfig`] for a zero attempt
+    /// count, a sub-unit backoff factor, or non-finite/negative budgets.
+    pub fn validate(&self) -> Result<(), crate::HadasError> {
+        if self.max_attempts == 0 {
+            return Err(crate::HadasError::InvalidConfig("retry policy needs ≥ 1 attempt".into()));
+        }
+        if self.backoff_factor < 1.0 || !self.backoff_factor.is_finite() {
+            return Err(crate::HadasError::InvalidConfig(format!(
+                "backoff factor {} must be a finite value ≥ 1",
+                self.backoff_factor
+            )));
+        }
+        let backoff_ok = self.base_backoff_ms >= 0.0 && self.base_backoff_ms.is_finite();
+        let budget_ok = self.timeout_budget_ms > 0.0;
+        if !backoff_ok || !budget_ok {
+            return Err(crate::HadasError::InvalidConfig(
+                "backoff must be ≥ 0 ms and the timeout budget positive".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Runs `work` under this schedule, consulting `faults` before each
+    /// attempt. Returns `Ok((Some(value), receipt))` on success,
+    /// `Ok((None, receipt))` when the fault budget is exhausted — the
+    /// caller degrades the candidate (infeasibility penalty / skipped
+    /// promotion) instead of aborting the whole search. Hard errors from
+    /// `work` itself (configuration bugs) propagate immediately.
+    ///
+    /// # Errors
+    ///
+    /// Only errors returned by `work`.
+    pub fn run<T>(
+        &self,
+        faults: &dyn FaultModel,
+        key: u64,
+        mut work: impl FnMut() -> Result<T, crate::HadasError>,
+    ) -> Result<(Option<T>, RetryReceipt), crate::HadasError> {
+        let mut receipt =
+            RetryReceipt { attempts: 0, transient_failures: 0, timeouts: 0, spent_ms: 0.0 };
+        let mut backoff = self.base_backoff_ms;
+        for attempt in 0..self.max_attempts {
+            receipt.attempts = attempt + 1;
+            match faults.eval_attempt(key, attempt) {
+                AttemptOutcome::Ok { cost_ms } => {
+                    receipt.spent_ms += cost_ms.max(0.0);
+                    if receipt.spent_ms > self.timeout_budget_ms {
+                        // The successful attempt landed after the
+                        // candidate's deadline: the measurement is void.
+                        receipt.timeouts += 1;
+                        return Ok((None, receipt));
+                    }
+                    return Ok((Some(work()?), receipt));
+                }
+                AttemptOutcome::TransientFailure { cost_ms } => {
+                    receipt.transient_failures += 1;
+                    receipt.spent_ms += cost_ms.max(0.0);
+                }
+                AttemptOutcome::Timeout { cost_ms } => {
+                    receipt.timeouts += 1;
+                    receipt.spent_ms += cost_ms.max(0.0);
+                }
+            }
+            // Exponential backoff before the next attempt (simulated).
+            receipt.spent_ms += backoff;
+            backoff *= self.backoff_factor;
+            if receipt.spent_ms > self.timeout_budget_ms {
+                return Ok((None, receipt));
+            }
+        }
+        Ok((None, receipt))
+    }
+}
+
+/// Aggregate fault-handling telemetry of one search run. Not part of the
+/// deterministic Pareto payload: an interrupted-and-resumed run replays
+/// only the tail of the fault history, so counters may legitimately
+/// differ from an uninterrupted run's while the front stays identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SearchTelemetry {
+    /// Candidate evaluations that needed more than one attempt.
+    pub retried_evals: usize,
+    /// Transient failures absorbed across all evaluations.
+    pub transient_failures: usize,
+    /// Attempt-level timeouts absorbed across all evaluations.
+    pub timeouts: usize,
+    /// Candidates abandoned after their whole retry/timeout budget.
+    pub exhausted_evals: usize,
+    /// Simulated milliseconds spent on retries and backoff.
+    pub fault_overhead_ms: f64,
+    /// Generations fully completed by this run (resumed runs count from
+    /// their checkpoint).
+    pub generations_completed: usize,
+    /// Whether the run stopped early (abort flag or time budget) and
+    /// emitted a partial Pareto front.
+    pub interrupted: bool,
+}
+
+impl SearchTelemetry {
+    /// Folds one evaluation's receipt into the run totals.
+    pub fn absorb(&mut self, receipt: &RetryReceipt, exhausted: bool) {
+        if receipt.attempts > 1 {
+            self.retried_evals += 1;
+        }
+        self.transient_failures += receipt.transient_failures as usize;
+        self.timeouts += receipt.timeouts as usize;
+        self.fault_overhead_ms += receipt.spent_ms;
+        if exhausted {
+            self.exhausted_evals += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fails the first `fail_first` attempts of every key transiently.
+    #[derive(Debug)]
+    struct FlakyFirst {
+        fail_first: u32,
+    }
+
+    impl FaultModel for FlakyFirst {
+        fn eval_attempt(&self, _key: u64, attempt: u32) -> AttemptOutcome {
+            if attempt < self.fail_first {
+                AttemptOutcome::TransientFailure { cost_ms: 5.0 }
+            } else {
+                AttemptOutcome::Ok { cost_ms: 1.0 }
+            }
+        }
+    }
+
+    #[test]
+    fn no_faults_succeeds_first_try() {
+        let policy = RetryPolicy::default();
+        let (value, receipt) = policy.run(&NoFaults, 1, || Ok(42)).unwrap();
+        assert_eq!(value, Some(42));
+        assert_eq!(receipt.attempts, 1);
+        assert_eq!(receipt.spent_ms, 0.0);
+    }
+
+    #[test]
+    fn transient_failures_are_retried_with_backoff() {
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ms: 10.0,
+            backoff_factor: 2.0,
+            timeout_budget_ms: 1_000.0,
+        };
+        let (value, receipt) = policy.run(&FlakyFirst { fail_first: 2 }, 7, || Ok("ok")).unwrap();
+        assert_eq!(value, Some("ok"));
+        assert_eq!(receipt.attempts, 3);
+        assert_eq!(receipt.transient_failures, 2);
+        // 5 + 10 (backoff) + 5 + 20 (backoff) + 1 = 41 simulated ms.
+        assert!((receipt.spent_ms - 41.0).abs() < 1e-9, "spent {}", receipt.spent_ms);
+    }
+
+    #[test]
+    fn budget_exhaustion_gives_up_gracefully() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_backoff_ms: 100.0,
+            backoff_factor: 2.0,
+            timeout_budget_ms: 250.0,
+        };
+        let mut calls = 0usize;
+        let (value, receipt) = policy
+            .run(&FlakyFirst { fail_first: 99 }, 7, || {
+                calls += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(value, None, "budget exhaustion must not yield a value");
+        assert_eq!(calls, 0, "work never ran");
+        assert!(receipt.spent_ms > 250.0 || receipt.attempts == policy.max_attempts);
+    }
+
+    #[test]
+    fn attempt_cap_gives_up_too() {
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_backoff_ms: 0.0,
+            backoff_factor: 1.0,
+            timeout_budget_ms: 1e9,
+        };
+        let (value, receipt) = policy.run(&FlakyFirst { fail_first: 99 }, 3, || Ok(0u8)).unwrap();
+        assert_eq!(value, None);
+        assert_eq!(receipt.attempts, 2);
+    }
+
+    #[test]
+    fn hard_errors_propagate() {
+        let policy = RetryPolicy::default();
+        let err = policy
+            .run(&NoFaults, 1, || -> Result<(), _> {
+                Err(crate::HadasError::Internal("boom".into()))
+            })
+            .unwrap_err();
+        assert!(matches!(err, crate::HadasError::Internal(_)));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_schedules() {
+        let mut p = RetryPolicy::default();
+        assert!(p.validate().is_ok());
+        p.max_attempts = 0;
+        assert!(p.validate().is_err());
+        let p = RetryPolicy { backoff_factor: 0.5, ..RetryPolicy::default() };
+        assert!(p.validate().is_err());
+        let p = RetryPolicy { timeout_budget_ms: 0.0, ..RetryPolicy::default() };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn telemetry_folds_receipts() {
+        let mut t = SearchTelemetry::default();
+        t.absorb(
+            &RetryReceipt { attempts: 3, transient_failures: 2, timeouts: 0, spent_ms: 40.0 },
+            false,
+        );
+        t.absorb(
+            &RetryReceipt { attempts: 4, transient_failures: 1, timeouts: 3, spent_ms: 500.0 },
+            true,
+        );
+        assert_eq!(t.retried_evals, 2);
+        assert_eq!(t.transient_failures, 3);
+        assert_eq!(t.timeouts, 3);
+        assert_eq!(t.exhausted_evals, 1);
+        assert!((t.fault_overhead_ms - 540.0).abs() < 1e-9);
+    }
+}

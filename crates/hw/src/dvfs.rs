@@ -66,6 +66,51 @@ impl DvfsLadder {
         DvfsSetting { compute: self.compute_ghz.len() - 1, emc: self.emc_ghz.len() - 1 }
     }
 
+    /// Highest compute-ladder index whose frequency stays at or below
+    /// `cap` × the top compute frequency — the effective ceiling of the
+    /// ladder during a thermal-throttle episode.
+    ///
+    /// `cap` is clamped to `[0, 1]`; a cap below the bottom step still
+    /// returns index 0 (the SoC can always run its slowest step, it just
+    /// runs hot — real governors latch to the floor, they do not halt).
+    pub fn thermal_cap_index(&self, cap: f64) -> usize {
+        let cap = cap.clamp(0.0, 1.0);
+        let top = self.compute_ghz[self.compute_ghz.len() - 1];
+        let limit = top * cap;
+        self.compute_ghz.iter().rposition(|&f| f <= limit + 1e-12).unwrap_or(0)
+    }
+
+    /// Whether `setting`'s compute axis is feasible under a thermal cap
+    /// (fraction of the top compute frequency). Settings with an
+    /// out-of-range compute index are reported infeasible rather than
+    /// erroring: during a throttle episode the question is "can I latch
+    /// this?", and the answer for a bogus index is simply "no".
+    pub fn respects_thermal_cap(&self, setting: &DvfsSetting, cap: f64) -> bool {
+        setting.compute <= self.thermal_cap_index(cap) && setting.compute < self.compute_ghz.len()
+    }
+
+    /// Clamps `setting`'s compute axis to the thermal-cap ceiling,
+    /// leaving the EMC axis untouched (Jetson-class throttling caps the
+    /// compute clock; the memory controller keeps its programmed step).
+    /// Also defensively clamps an out-of-range compute index to the top
+    /// of the ladder before applying the cap.
+    pub fn clamp_to_thermal_cap(&self, setting: &DvfsSetting, cap: f64) -> DvfsSetting {
+        let ceiling = self.thermal_cap_index(cap);
+        DvfsSetting { compute: setting.compute.min(ceiling), emc: setting.emc }
+    }
+
+    /// The compute frequency of `setting` as a fraction of the top step,
+    /// the scale thermal caps are expressed on. Out-of-range indices
+    /// clamp to the top step.
+    pub fn compute_fraction(&self, setting: &DvfsSetting) -> f64 {
+        let idx = setting.compute.min(self.compute_ghz.len() - 1);
+        let top = self.compute_ghz[self.compute_ghz.len() - 1];
+        if top <= 0.0 {
+            return 1.0;
+        }
+        self.compute_ghz[idx] / top
+    }
+
     /// Resolves a setting into concrete `(compute_ghz, emc_ghz)`.
     ///
     /// # Errors
@@ -142,6 +187,47 @@ mod tests {
             l.resolve(&DvfsSetting::new(0, 5)),
             Err(HwError::DvfsOutOfRange { axis: "emc", .. })
         ));
+    }
+
+    #[test]
+    fn thermal_cap_index_tracks_the_ladder() {
+        let l = DvfsLadder::linspace(11, 0.1, 1.0, 4, 0.2, 1.8);
+        // Steps are 0.1, 0.19, ..., 1.0; a 50% cap allows up to 0.5 GHz.
+        assert_eq!(l.thermal_cap_index(1.0), 10);
+        let idx = l.thermal_cap_index(0.5);
+        assert!(l.compute_ghz()[idx] <= 0.5 + 1e-12);
+        assert!(idx + 1 == 11 || l.compute_ghz()[idx + 1] > 0.5);
+        // A cap below the bottom step still leaves the floor step usable.
+        assert_eq!(l.thermal_cap_index(0.0), 0);
+        assert_eq!(l.thermal_cap_index(-3.0), 0);
+    }
+
+    #[test]
+    fn clamp_to_thermal_cap_caps_compute_only() {
+        let l = DvfsLadder::linspace(11, 0.1, 1.0, 4, 0.2, 1.8);
+        let hot = DvfsSetting::new(10, 3);
+        let clamped = l.clamp_to_thermal_cap(&hot, 0.5);
+        assert!(clamped.compute < 10);
+        assert_eq!(clamped.emc, 3, "EMC axis is untouched by thermal caps");
+        assert!(l.respects_thermal_cap(&clamped, 0.5));
+        assert!(!l.respects_thermal_cap(&hot, 0.5));
+        // Out-of-range compute indices clamp instead of erroring.
+        let bogus = DvfsSetting::new(99, 0);
+        assert!(l.clamp_to_thermal_cap(&bogus, 1.0).compute == 10);
+        assert!(!l.respects_thermal_cap(&bogus, 1.0));
+    }
+
+    #[test]
+    fn compute_fraction_is_monotone_and_bounded() {
+        let l = DvfsLadder::linspace(13, 0.1, 1.4, 11, 0.2, 1.8);
+        let mut last = 0.0;
+        for c in 0..l.compute_steps() {
+            let f = l.compute_fraction(&DvfsSetting::new(c, 0));
+            assert!(f >= last && f <= 1.0 + 1e-12);
+            last = f;
+        }
+        assert!((l.compute_fraction(&DvfsSetting::new(12, 0)) - 1.0).abs() < 1e-12);
+        assert!((l.compute_fraction(&DvfsSetting::new(500, 0)) - 1.0).abs() < 1e-12);
     }
 
     #[test]

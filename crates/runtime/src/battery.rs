@@ -5,21 +5,40 @@ use serde::{Deserialize, Serialize};
 /// State of charge (SoC) is the system-state signal the paper's intro
 /// names as a driver for runtime adaptation; [`crate::SocPolicy`] keys
 /// its mode switching off it.
+///
+/// Real packs do not deliver their full charge: below a *cutoff* the
+/// terminal voltage sags under load until the regulator browns out, so
+/// the last joules are unusable. [`Battery::with_cutoff`] models that;
+/// [`Battery::new`] keeps the ideal (zero-cutoff) pack.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Battery {
     capacity_j: f64,
     charge_j: f64,
+    cutoff_j: f64,
 }
 
 impl Battery {
-    /// A battery with `capacity_j` joules, initially full.
+    /// A battery with `capacity_j` joules, initially full, no cutoff.
     ///
     /// # Panics
     ///
     /// Panics if the capacity is not positive.
     pub fn new(capacity_j: f64) -> Self {
+        Battery::with_cutoff(capacity_j, 0.0)
+    }
+
+    /// A battery whose last `cutoff_j` joules are unusable (brown-out
+    /// threshold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not positive, or the cutoff is negative
+    /// or at/above the capacity — a pack that can never deliver a joule
+    /// is a configuration bug, not a runtime state.
+    pub fn with_cutoff(capacity_j: f64, cutoff_j: f64) -> Self {
         assert!(capacity_j > 0.0, "battery capacity must be positive");
-        Battery { capacity_j, charge_j: capacity_j }
+        assert!((0.0..capacity_j).contains(&cutoff_j), "cutoff must lie in [0, capacity)");
+        Battery { capacity_j, charge_j: capacity_j, cutoff_j }
     }
 
     /// Total capacity in joules.
@@ -32,25 +51,35 @@ impl Battery {
         self.charge_j
     }
 
+    /// The brown-out threshold in joules (0 for an ideal pack).
+    pub fn cutoff_j(&self) -> f64 {
+        self.cutoff_j
+    }
+
+    /// Usable charge above the cutoff, in joules.
+    pub fn usable_j(&self) -> f64 {
+        (self.charge_j - self.cutoff_j).max(0.0)
+    }
+
     /// State of charge in `[0, 1]`.
     pub fn soc(&self) -> f64 {
         self.charge_j / self.capacity_j
     }
 
-    /// Whether the battery is depleted.
+    /// Whether the battery is depleted (at or below its cutoff).
     pub fn is_empty(&self) -> bool {
-        self.charge_j <= 0.0
+        self.charge_j <= self.cutoff_j
     }
 
-    /// Drains `energy_j`; returns `false` if the battery was exhausted by
-    /// the draw (charge clamps at zero).
+    /// Drains `energy_j`; returns `false` if the draw left the battery
+    /// at or below its cutoff (charge clamps at zero; negative draws are
+    /// ignored — there is no recharge path on this substrate).
     pub fn drain(&mut self, energy_j: f64) -> bool {
         self.charge_j -= energy_j.max(0.0);
         if self.charge_j <= 0.0 {
             self.charge_j = 0.0;
-            return false;
         }
-        true
+        !self.is_empty()
     }
 }
 
@@ -78,5 +107,41 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_is_rejected() {
         let _ = Battery::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff")]
+    fn cutoff_at_capacity_is_rejected() {
+        let _ = Battery::with_cutoff(10.0, 10.0);
+    }
+
+    #[test]
+    fn sag_below_cutoff_browns_out_with_charge_left() {
+        let mut b = Battery::with_cutoff(100.0, 20.0);
+        assert!((b.usable_j() - 80.0).abs() < 1e-12);
+        assert!(b.drain(70.0), "still above cutoff");
+        assert!(!b.drain(15.0), "crossing the cutoff browns out");
+        assert!(b.is_empty());
+        assert!(b.charge_j() > 0.0, "unusable charge remains in the pack");
+        assert_eq!(b.usable_j(), 0.0);
+    }
+
+    #[test]
+    fn drain_is_recharge_free_and_monotone() {
+        let mut b = Battery::new(50.0);
+        let mut last = b.charge_j();
+        for draw in [5.0, 0.0, -3.0, 12.5, 100.0, -1.0] {
+            b.drain(draw);
+            assert!(b.charge_j() <= last + 1e-12, "charge must never increase (draw {draw})");
+            last = b.charge_j();
+        }
+        assert_eq!(b.charge_j(), 0.0);
+    }
+
+    #[test]
+    fn negative_draws_are_ignored() {
+        let mut b = Battery::new(10.0);
+        assert!(b.drain(-5.0));
+        assert_eq!(b.charge_j(), 10.0);
     }
 }

@@ -1,0 +1,370 @@
+//! Deterministic, seeded fault injection for the simulated edge substrate.
+//!
+//! Real Jetson-class deployments do not run on the idealized device the
+//! search optimizes for: SoCs thermal-throttle and cap their DVFS ladder,
+//! measurements glitch or hang, battery voltage sags under load, and
+//! arrival streams burst. [`FaultInjector`] reproduces all four, driven
+//! entirely by a seed so every chaos run is replayable:
+//!
+//! * **Thermal-throttle episodes** — windows during which the compute
+//!   clock is capped at a fraction of its top frequency
+//!   ([`FaultInjector::thermal_cap_at`]). The simulator and
+//!   [`crate::DegradePolicy`] react by stepping to feasible modes.
+//! * **Transient evaluation faults** — the injector implements the core
+//!   engines' [`FaultModel`] hook, failing or hanging a deterministic
+//!   fraction of candidate measurements. The outcome is a pure function
+//!   of `(key, attempt)`, so a checkpoint-resumed search replays the
+//!   exact same fault history (the chaos tests pin this).
+//! * **Voltage-sag episodes** — windows during which every joule drawn
+//!   from the battery costs extra ([`FaultInjector::sag_multiplier_at`]),
+//!   modelling IR drop at low charge and cold temperature.
+//! * **Workload bursts** — windows during which the arrival rate is
+//!   multiplied ([`FaultInjector::rate_multiplier_at`]), for
+//!   [`crate::WorkloadTrace::generate_modulated`].
+
+use hadas::{AttemptOutcome, FaultModel, HadasError};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::hash::{Hash, Hasher};
+
+/// Per-category salts so the thermal/sag/burst episode streams and the
+/// measurement-fault stream are independent draws from one seed.
+const THERMAL_SALT: u64 = 0x5448_4552_4d41_4c5f; // "THERMAL_"
+const SAG_SALT: u64 = 0x5341_475f_5341_475f; // "SAG_SAG_"
+const BURST_SALT: u64 = 0x4255_5253_545f_5f5f; // "BURST___"
+const EVAL_SALT: u64 = 0x4556_414c_5f5f_5f5f; // "EVAL____"
+
+/// One contiguous fault episode on the simulated timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEpisode {
+    /// Episode start, seconds from trace start.
+    pub start_s: f64,
+    /// Episode end (exclusive), seconds from trace start.
+    pub end_s: f64,
+}
+
+impl FaultEpisode {
+    /// Whether `t` falls inside the episode.
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start_s && t < self.end_s
+    }
+}
+
+/// Configuration of the seeded fault injector. All episode counts refer
+/// to the `[0, horizon_s)` timeline; rates are per-attempt probabilities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed of every fault stream.
+    pub seed: u64,
+    /// Simulated timeline length the episodes are scattered over (s).
+    pub horizon_s: f64,
+    /// Duration of each episode (s).
+    pub episode_s: f64,
+    /// Number of thermal-throttle episodes.
+    pub thermal_episodes: usize,
+    /// Compute-clock cap during a thermal episode, as a fraction of the
+    /// top compute frequency (`[0, 1]`; 1.0 disables throttling).
+    pub thermal_cap: f64,
+    /// Number of battery voltage-sag episodes.
+    pub sag_episodes: usize,
+    /// Extra energy cost during a sag: every joule drawn costs
+    /// `1 + sag_depth` joules (`≥ 0`).
+    pub sag_depth: f64,
+    /// Number of workload-burst episodes.
+    pub burst_episodes: usize,
+    /// Arrival-rate multiplier during a burst (`≥ 1`).
+    pub burst_multiplier: f64,
+    /// Probability that one candidate-measurement attempt fails
+    /// transiently (`[0, 1)`).
+    pub transient_rate: f64,
+    /// Probability that one attempt hangs to its deadline (`[0, 1)`).
+    pub timeout_rate: f64,
+    /// Simulated cost of a successful measurement attempt (ms).
+    pub ok_cost_ms: f64,
+    /// Simulated cost burned by a transient failure (ms).
+    pub failure_cost_ms: f64,
+    /// Simulated deadline burned by a hung attempt (ms).
+    pub timeout_cost_ms: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            horizon_s: 120.0,
+            episode_s: 15.0,
+            thermal_episodes: 2,
+            thermal_cap: 0.5,
+            sag_episodes: 2,
+            sag_depth: 0.3,
+            burst_episodes: 2,
+            burst_multiplier: 3.0,
+            transient_rate: 0.05,
+            timeout_rate: 0.02,
+            ok_cost_ms: 5.0,
+            failure_cost_ms: 20.0,
+            timeout_cost_ms: 250.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A calm substrate: no episodes, no measurement faults. Useful as a
+    /// baseline in A/B chaos comparisons.
+    pub fn calm(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            thermal_episodes: 0,
+            sag_episodes: 0,
+            burst_episodes: 0,
+            transient_rate: 0.0,
+            timeout_rate: 0.0,
+            ..Default::default()
+        }
+    }
+
+    /// The default chaos level with an explicit seed.
+    pub fn chaos(seed: u64) -> Self {
+        FaultConfig { seed, ..Default::default() }
+    }
+
+    /// Validates ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadasError::InvalidConfig`] for out-of-range rates,
+    /// caps, multipliers, or a non-positive horizon.
+    pub fn validate(&self) -> Result<(), HadasError> {
+        let ok = |v: f64| v.is_finite() && (0.0..1.0).contains(&v);
+        if !ok(self.transient_rate) || !ok(self.timeout_rate) {
+            return Err(HadasError::InvalidConfig("fault rates must lie in [0, 1)".into()));
+        }
+        if self.transient_rate + self.timeout_rate >= 1.0 {
+            return Err(HadasError::InvalidConfig(
+                "transient + timeout rate must stay below 1 or no attempt ever lands".into(),
+            ));
+        }
+        if !self.thermal_cap.is_finite() || !(0.0..=1.0).contains(&self.thermal_cap) {
+            return Err(HadasError::InvalidConfig("thermal cap must lie in [0, 1]".into()));
+        }
+        let positive = |v: f64| v.is_finite() && v > 0.0;
+        if !positive(self.horizon_s) || !positive(self.episode_s) {
+            return Err(HadasError::InvalidConfig(
+                "fault horizon and episode length must be positive".into(),
+            ));
+        }
+        if !self.sag_depth.is_finite() || self.sag_depth < 0.0 {
+            return Err(HadasError::InvalidConfig("sag depth must be ≥ 0".into()));
+        }
+        if !self.burst_multiplier.is_finite() || self.burst_multiplier < 1.0 {
+            return Err(HadasError::InvalidConfig("burst multiplier must be ≥ 1".into()));
+        }
+        let cost_ok = |v: f64| v.is_finite() && v >= 0.0;
+        if !cost_ok(self.ok_cost_ms)
+            || !cost_ok(self.failure_cost_ms)
+            || !cost_ok(self.timeout_cost_ms)
+        {
+            return Err(HadasError::InvalidConfig("attempt costs must be ≥ 0 ms".into()));
+        }
+        Ok(())
+    }
+}
+
+/// The seeded fault injector: precomputed episode timelines plus a pure
+/// per-attempt measurement-fault stream (the [`FaultModel`] impl).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    thermal: Vec<FaultEpisode>,
+    sag: Vec<FaultEpisode>,
+    burst: Vec<FaultEpisode>,
+}
+
+impl FaultInjector {
+    /// Builds the injector, scattering each episode category over the
+    /// horizon with an independent seeded stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadasError::InvalidConfig`] if `config` fails
+    /// [`FaultConfig::validate`].
+    pub fn new(config: FaultConfig) -> Result<Self, HadasError> {
+        config.validate()?;
+        let scatter = |count: usize, salt: u64| -> Vec<FaultEpisode> {
+            let mut rng = StdRng::seed_from_u64(config.seed ^ salt);
+            let span = (config.horizon_s - config.episode_s).max(0.0);
+            let mut eps: Vec<FaultEpisode> = (0..count)
+                .map(|_| {
+                    let start = if span > 0.0 { rng.gen_range(0.0..span) } else { 0.0 };
+                    FaultEpisode { start_s: start, end_s: start + config.episode_s }
+                })
+                .collect();
+            eps.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+            eps
+        };
+        Ok(FaultInjector {
+            thermal: scatter(config.thermal_episodes, THERMAL_SALT),
+            sag: scatter(config.sag_episodes, SAG_SALT),
+            burst: scatter(config.burst_episodes, BURST_SALT),
+            config,
+        })
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// The thermal-throttle episodes, time-ordered.
+    pub fn thermal_episodes(&self) -> &[FaultEpisode] {
+        &self.thermal
+    }
+
+    /// The voltage-sag episodes, time-ordered.
+    pub fn sag_episodes(&self) -> &[FaultEpisode] {
+        &self.sag
+    }
+
+    /// The workload-burst episodes, time-ordered.
+    pub fn burst_episodes(&self) -> &[FaultEpisode] {
+        &self.burst
+    }
+
+    /// The compute-clock cap in force at time `t`: `thermal_cap` inside a
+    /// throttle episode, 1.0 (unthrottled) outside.
+    pub fn thermal_cap_at(&self, t: f64) -> f64 {
+        if self.thermal.iter().any(|e| e.contains(t)) {
+            self.config.thermal_cap
+        } else {
+            1.0
+        }
+    }
+
+    /// The energy-cost multiplier at time `t`: `1 + sag_depth` inside a
+    /// sag episode, 1.0 outside.
+    pub fn sag_multiplier_at(&self, t: f64) -> f64 {
+        if self.sag.iter().any(|e| e.contains(t)) {
+            1.0 + self.config.sag_depth
+        } else {
+            1.0
+        }
+    }
+
+    /// The arrival-rate multiplier at time `t`: `burst_multiplier` inside
+    /// a burst episode, 1.0 outside.
+    pub fn rate_multiplier_at(&self, t: f64) -> f64 {
+        if self.burst.iter().any(|e| e.contains(t)) {
+            self.config.burst_multiplier
+        } else {
+            1.0
+        }
+    }
+
+    /// A uniform draw in `[0, 1)` that is a pure function of
+    /// `(seed, key, attempt)` — the determinism the resume contract needs.
+    fn uniform(&self, key: u64, attempt: u32) -> f64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        (self.config.seed ^ EVAL_SALT).hash(&mut h);
+        key.hash(&mut h);
+        attempt.hash(&mut h);
+        (h.finish() % 1_000_000) as f64 / 1_000_000.0
+    }
+}
+
+impl FaultModel for FaultInjector {
+    fn eval_attempt(&self, key: u64, attempt: u32) -> AttemptOutcome {
+        let u = self.uniform(key, attempt);
+        if u < self.config.transient_rate {
+            AttemptOutcome::TransientFailure { cost_ms: self.config.failure_cost_ms }
+        } else if u < self.config.transient_rate + self.config.timeout_rate {
+            AttemptOutcome::Timeout { cost_ms: self.config.timeout_cost_ms }
+        } else {
+            AttemptOutcome::Ok { cost_ms: self.config.ok_cost_ms }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = FaultInjector::new(FaultConfig::chaos(9)).unwrap();
+        let b = FaultInjector::new(FaultConfig::chaos(9)).unwrap();
+        assert_eq!(a, b);
+        let c = FaultInjector::new(FaultConfig::chaos(10)).unwrap();
+        assert_ne!(a, c, "different seeds must scatter differently");
+    }
+
+    #[test]
+    fn eval_attempts_are_pure_in_key_and_attempt() {
+        let inj = FaultInjector::new(FaultConfig::chaos(3)).unwrap();
+        for key in 0..64u64 {
+            for attempt in 0..4u32 {
+                assert_eq!(inj.eval_attempt(key, attempt), inj.eval_attempt(key, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn fault_rates_are_roughly_honoured() {
+        let cfg = FaultConfig { transient_rate: 0.3, timeout_rate: 0.1, ..FaultConfig::chaos(5) };
+        let inj = FaultInjector::new(cfg).unwrap();
+        let n = 20_000u64;
+        let mut transient = 0usize;
+        let mut timeout = 0usize;
+        for key in 0..n {
+            match inj.eval_attempt(key, 0) {
+                AttemptOutcome::TransientFailure { .. } => transient += 1,
+                AttemptOutcome::Timeout { .. } => timeout += 1,
+                AttemptOutcome::Ok { .. } => {}
+            }
+        }
+        let ft = transient as f64 / n as f64;
+        let fo = timeout as f64 / n as f64;
+        assert!((ft - 0.3).abs() < 0.03, "transient fraction {ft}");
+        assert!((fo - 0.1).abs() < 0.03, "timeout fraction {fo}");
+    }
+
+    #[test]
+    fn episode_queries_follow_the_timeline() {
+        let inj = FaultInjector::new(FaultConfig::chaos(7)).unwrap();
+        assert_eq!(inj.thermal_episodes().len(), 2);
+        let ep = inj.thermal_episodes()[0];
+        let mid = (ep.start_s + ep.end_s) / 2.0;
+        assert_eq!(inj.thermal_cap_at(mid), 0.5);
+        assert_eq!(inj.thermal_cap_at(-1.0), 1.0, "before the timeline: healthy");
+        let sag = inj.sag_episodes()[0];
+        assert!((inj.sag_multiplier_at(sag.start_s) - 1.3).abs() < 1e-12);
+        let burst = inj.burst_episodes()[0];
+        assert!((inj.rate_multiplier_at(burst.start_s) - 3.0).abs() < 1e-12);
+        assert_eq!(inj.rate_multiplier_at(1e9), 1.0);
+    }
+
+    #[test]
+    fn calm_config_injects_nothing() {
+        let inj = FaultInjector::new(FaultConfig::calm(1)).unwrap();
+        for t in 0..120 {
+            assert_eq!(inj.thermal_cap_at(t as f64), 1.0);
+            assert_eq!(inj.sag_multiplier_at(t as f64), 1.0);
+            assert_eq!(inj.rate_multiplier_at(t as f64), 1.0);
+        }
+        for key in 0..256u64 {
+            assert!(matches!(inj.eval_attempt(key, 0), AttemptOutcome::Ok { .. }));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let starved =
+            FaultConfig { transient_rate: 0.7, timeout_rate: 0.4, ..FaultConfig::default() };
+        assert!(FaultInjector::new(starved).is_err(), "rates summing ≥ 1 starve the search");
+        let hot = FaultConfig { thermal_cap: 1.5, ..FaultConfig::default() };
+        assert!(FaultInjector::new(hot).is_err());
+        let thin = FaultConfig { burst_multiplier: 0.5, ..FaultConfig::default() };
+        assert!(FaultInjector::new(thin).is_err());
+        let flat = FaultConfig { horizon_s: 0.0, ..FaultConfig::default() };
+        assert!(FaultInjector::new(flat).is_err());
+    }
+}

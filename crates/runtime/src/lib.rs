@@ -39,13 +39,17 @@
 //! ```
 
 mod battery;
+mod faults;
 mod modes;
 mod policy;
 mod sim;
 mod trace;
 
 pub use battery::Battery;
+pub use faults::{FaultConfig, FaultEpisode, FaultInjector};
 pub use modes::{modes_from_pareto, OperatingMode};
-pub use policy::{LatencyPolicy, PolicyState, ScalingPolicy, SocPolicy, StaticPolicy};
+pub use policy::{
+    DegradePolicy, LatencyPolicy, PolicyState, ScalingPolicy, SocPolicy, StaticPolicy,
+};
 pub use sim::{RuntimeReport, RuntimeSimulator};
 pub use trace::{Arrival, Regime, TraceConfig, WorkloadTrace};

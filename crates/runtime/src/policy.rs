@@ -10,6 +10,17 @@ pub struct PolicyState {
     pub time_s: f64,
     /// Mean latency (ms) over the last control window.
     pub recent_latency_ms: f64,
+    /// The compute-clock cap currently in force, as a fraction of the top
+    /// compute frequency: 1.0 when unthrottled, lower during a
+    /// thermal-throttle episode (see [`crate::FaultInjector`]).
+    pub thermal_cap: f64,
+}
+
+impl PolicyState {
+    /// A healthy-substrate state (no throttle) — the common case.
+    pub fn healthy(soc: f64, time_s: f64, recent_latency_ms: f64) -> Self {
+        PolicyState { soc, time_s, recent_latency_ms, thermal_cap: 1.0 }
+    }
 }
 
 /// A mode-selection policy over an ordered mode list (index 0 = most
@@ -143,16 +154,95 @@ impl ScalingPolicy for LatencyPolicy {
     }
 }
 
+/// A thermal-aware wrapper: defers to an inner policy while the substrate
+/// is healthy, and steps toward the frugal end of the mode ladder during
+/// a throttle episode until it finds a mode whose pinned compute clock
+/// fits under the cap. If no mode fits, it latches the mode with the
+/// lowest compute clock — the closest the deployment can get to what the
+/// SoC's governor will force anyway.
+///
+/// Construction precomputes each mode's compute-clock fraction from the
+/// device ladder, so `select` stays allocation-free.
+#[derive(Debug)]
+pub struct DegradePolicy {
+    inner: Box<dyn ScalingPolicy + Send + Sync>,
+    /// Per-mode compute frequency as a fraction of the top step.
+    fractions: Vec<f64>,
+    label: String,
+}
+
+impl DegradePolicy {
+    /// Wraps `inner`, reading each mode's compute fraction off the
+    /// device ladder of `hadas`.
+    pub fn new(
+        hadas: &hadas::Hadas,
+        modes: &[crate::OperatingMode],
+        inner: Box<dyn ScalingPolicy + Send + Sync>,
+    ) -> Self {
+        let ladder = hadas.device().ladder();
+        let fractions = modes.iter().map(|m| ladder.compute_fraction(m.dvfs())).collect();
+        let label = format!("degrade({})", inner.name());
+        DegradePolicy { inner, fractions, label }
+    }
+
+    /// Wraps `inner` with explicit per-mode compute fractions (top step
+    /// = 1.0). Useful in tests and for modes not built from a device.
+    pub fn from_fractions(
+        fractions: Vec<f64>,
+        inner: Box<dyn ScalingPolicy + Send + Sync>,
+    ) -> Self {
+        let label = format!("degrade({})", inner.name());
+        DegradePolicy { inner, fractions, label }
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &dyn ScalingPolicy {
+        self.inner.as_ref()
+    }
+
+    /// The precomputed per-mode compute-clock fractions.
+    pub fn fractions(&self) -> &[f64] {
+        &self.fractions
+    }
+}
+
+impl ScalingPolicy for DegradePolicy {
+    fn select(&self, state: &PolicyState, num_modes: usize) -> usize {
+        let last = num_modes.saturating_sub(1);
+        let base = self.inner.select(state, num_modes).min(last);
+        if state.thermal_cap >= 1.0 {
+            return base;
+        }
+        let n = num_modes.min(self.fractions.len());
+        // Step down (toward frugal) from the inner choice to the first
+        // mode whose compute clock fits under the cap.
+        for i in base..n {
+            if self.fractions[i] <= state.thermal_cap + 1e-12 {
+                return i;
+            }
+        }
+        // None fits: latch the slowest clock available.
+        (0..n)
+            .min_by(|&a, &b| self.fractions[a].total_cmp(&self.fractions[b]))
+            .unwrap_or(base)
+            .min(last)
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn state(soc: f64) -> PolicyState {
-        PolicyState { soc, time_s: 0.0, recent_latency_ms: 0.0 }
+        PolicyState::healthy(soc, 0.0, 0.0)
     }
 
     fn lat_state(recent_latency_ms: f64) -> PolicyState {
-        PolicyState { soc: 1.0, time_s: 0.0, recent_latency_ms }
+        PolicyState::healthy(1.0, 0.0, recent_latency_ms)
     }
 
     #[test]
@@ -197,5 +287,48 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn latency_policy_rejects_zero_target() {
         let _ = LatencyPolicy::new(0.0);
+    }
+
+    fn throttled(soc: f64, cap: f64) -> PolicyState {
+        PolicyState { soc, time_s: 0.0, recent_latency_ms: 0.0, thermal_cap: cap }
+    }
+
+    #[test]
+    fn degrade_policy_defers_when_healthy_and_steps_down_under_a_cap() {
+        // Performance mode pinned at the top clock, balanced at 70%,
+        // eco at 40%.
+        let p = DegradePolicy::from_fractions(vec![1.0, 0.7, 0.4], Box::new(SocPolicy::thirds()));
+        // Healthy: identical to the inner policy.
+        assert_eq!(p.select(&throttled(0.9, 1.0), 3), 0);
+        assert_eq!(p.select(&throttled(0.1, 1.0), 3), 2);
+        // 60% cap: performance (1.0) is infeasible, balanced (0.7) too,
+        // eco (0.4) fits.
+        assert_eq!(p.select(&throttled(0.9, 0.6), 3), 2);
+        // 75% cap: balanced is the first feasible step down.
+        assert_eq!(p.select(&throttled(0.9, 0.75), 3), 1);
+        // Inner already frugal: stays there.
+        assert_eq!(p.select(&throttled(0.1, 0.75), 3), 2);
+    }
+
+    #[test]
+    fn degrade_policy_latches_the_slowest_clock_when_nothing_fits() {
+        let p = DegradePolicy::from_fractions(vec![1.0, 0.9, 0.8], Box::new(StaticPolicy::new(0)));
+        assert_eq!(p.select(&throttled(1.0, 0.5), 3), 2, "slowest clock wins");
+    }
+
+    #[test]
+    fn degrade_policy_output_is_always_in_range() {
+        let p = DegradePolicy::from_fractions(
+            vec![1.0, 0.7, 0.4, 0.2, 0.1],
+            Box::new(SocPolicy::new(vec![0.8, 0.6, 0.4, 0.2])),
+        );
+        for num_modes in 1..=5 {
+            for soc_step in 0..=10 {
+                for cap_step in 0..=10 {
+                    let s = throttled(soc_step as f64 / 10.0, cap_step as f64 / 10.0);
+                    assert!(p.select(&s, num_modes) < num_modes);
+                }
+            }
+        }
     }
 }

@@ -1,4 +1,4 @@
-use crate::{Battery, OperatingMode, ScalingPolicy, WorkloadTrace};
+use crate::{Battery, FaultInjector, OperatingMode, ScalingPolicy, WorkloadTrace};
 use hadas::{Hadas, HadasError};
 use serde::{Deserialize, Serialize};
 
@@ -35,13 +35,20 @@ pub struct RuntimeReport {
     pub final_soc: f64,
     /// Time the battery died, if it did (seconds).
     pub died_at_s: Option<f64>,
+    /// Inputs served in a mode *below* the policy's choice because the
+    /// simulator had to enforce a thermal cap the policy ignored.
+    pub degraded: usize,
+    /// Control windows that opened under an active thermal cap.
+    pub throttled_windows: usize,
+    /// Extra joules paid to battery voltage sag (energy drawn beyond the
+    /// modes' nominal costs).
+    pub sag_energy_j: f64,
 }
 
 /// Serves workload traces with a set of operating modes under a scaling
 /// policy, accounting energy against a battery.
 #[derive(Debug)]
 pub struct RuntimeSimulator<'a> {
-    #[allow(dead_code)]
     hadas: &'a Hadas,
     modes: Vec<OperatingMode>,
 }
@@ -63,7 +70,9 @@ impl<'a> RuntimeSimulator<'a> {
         &self.modes
     }
 
-    /// Serves `trace` with `policy` on a battery of `battery_j` joules.
+    /// Serves `trace` with `policy` on a battery of `battery_j` joules,
+    /// on a healthy substrate — [`RuntimeSimulator::run_with_faults`]
+    /// with no injector.
     ///
     /// # Errors
     ///
@@ -74,6 +83,48 @@ impl<'a> RuntimeSimulator<'a> {
         policy: &dyn ScalingPolicy,
         battery_j: f64,
     ) -> Result<RuntimeReport, HadasError> {
+        self.run_with_faults(trace, policy, battery_j, None)
+    }
+
+    /// The mode actually latched under a thermal cap: the first mode at
+    /// or below (more frugal than) `choice` whose pinned compute clock
+    /// fits under the cap; if none fits, the mode with the slowest
+    /// compute clock — the closest deployable point to what the SoC's
+    /// governor forces.
+    fn enforce_cap(&self, choice: usize, cap: f64) -> usize {
+        if cap >= 1.0 {
+            return choice;
+        }
+        let ladder = self.hadas.device().ladder();
+        for i in choice..self.modes.len() {
+            if ladder.respects_thermal_cap(self.modes[i].dvfs(), cap) {
+                return i;
+            }
+        }
+        (0..self.modes.len())
+            .min_by(|&a, &b| {
+                ladder
+                    .compute_fraction(self.modes[a].dvfs())
+                    .total_cmp(&ladder.compute_fraction(self.modes[b].dvfs()))
+            })
+            .unwrap_or(choice)
+    }
+
+    /// Serves `trace` with `policy` on a faulty substrate: thermal
+    /// throttling caps which modes may run (the simulator *enforces* the
+    /// cap even when the policy ignores it, counting the affected serves
+    /// as `degraded`), and voltage sag inflates every joule drawn.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadasError::InvalidConfig`] for a non-positive battery.
+    pub fn run_with_faults(
+        &self,
+        trace: &WorkloadTrace,
+        policy: &dyn ScalingPolicy,
+        battery_j: f64,
+        faults: Option<&FaultInjector>,
+    ) -> Result<RuntimeReport, HadasError> {
         if battery_j <= 0.0 {
             return Err(HadasError::InvalidConfig("battery capacity must be positive".into()));
         }
@@ -81,6 +132,7 @@ impl<'a> RuntimeSimulator<'a> {
         let mut current_mode = 0usize;
         let mut next_control = 0.0f64;
         let mut window_latencies: Vec<f64> = Vec::new();
+        let mut window_degraded = false;
 
         let mut served = 0usize;
         let mut dropped = 0usize;
@@ -90,6 +142,9 @@ impl<'a> RuntimeSimulator<'a> {
         let mut switches = 0usize;
         let mut occupancy = vec![0usize; self.modes.len()];
         let mut died_at = None;
+        let mut degraded = 0usize;
+        let mut throttled_windows = 0usize;
+        let mut sag_energy = 0.0f64;
 
         for arrival in trace.arrivals() {
             if battery.is_empty() {
@@ -104,27 +159,42 @@ impl<'a> RuntimeSimulator<'a> {
                     window_latencies.iter().sum::<f64>() / window_latencies.len() as f64
                 };
                 window_latencies.clear();
+                let cap = faults.map_or(1.0, |f| f.thermal_cap_at(arrival.time_s));
+                if cap < 1.0 {
+                    throttled_windows += 1;
+                }
                 let state = crate::policy::PolicyState {
                     soc: battery.soc(),
                     time_s: arrival.time_s,
                     recent_latency_ms: recent,
+                    thermal_cap: cap,
                 };
-                let choice = policy.select(&state, self.modes.len());
-                if choice != current_mode {
+                // Defensive clamp: a buggy policy must never index out
+                // of the mode list.
+                let choice = policy.select(&state, self.modes.len()).min(self.modes.len() - 1);
+                // The SoC's governor has the last word: enforce the cap
+                // even when the policy ignored it.
+                let enforced = self.enforce_cap(choice, cap);
+                window_degraded = enforced != choice;
+                if enforced != current_mode {
                     switches += 1;
                     battery.drain(SWITCH_ENERGY_J);
                     energy += SWITCH_ENERGY_J;
                     latencies.push(SWITCH_LATENCY_S * 1e3);
-                    current_mode = choice;
+                    current_mode = enforced;
                 }
                 next_control = arrival.time_s + CONTROL_WINDOW_S;
             }
 
             let outcome = self.modes[current_mode].serve(arrival.difficulty);
-            let alive = battery.drain(outcome.cost.energy_j);
-            energy += outcome.cost.energy_j;
+            let sag = faults.map_or(1.0, |f| f.sag_multiplier_at(arrival.time_s));
+            let drawn = outcome.cost.energy_j * sag;
+            let alive = battery.drain(drawn);
+            energy += drawn;
+            sag_energy += drawn - outcome.cost.energy_j;
             served += 1;
             occupancy[current_mode] += 1;
+            degraded += usize::from(window_degraded);
             correct += usize::from(outcome.correct);
             latencies.push(outcome.cost.latency_ms());
             window_latencies.push(outcome.cost.latency_ms());
@@ -156,6 +226,9 @@ impl<'a> RuntimeSimulator<'a> {
             mode_occupancy: occupancy.iter().map(|&c| c as f64 / served.max(1) as f64).collect(),
             final_soc: battery.soc(),
             died_at_s: died_at,
+            degraded,
+            throttled_windows,
+            sag_energy_j: sag_energy,
         })
     }
 }
@@ -238,5 +311,60 @@ mod tests {
         let (hadas, modes, trace) = fixture();
         let sim = RuntimeSimulator::new(&hadas, modes);
         assert!(sim.run(&trace, &StaticPolicy::new(0), 0.0).is_err());
+    }
+
+    fn stormy_injector() -> crate::FaultInjector {
+        // Episodes cover the 40 s fixture trace densely.
+        let cfg = crate::FaultConfig {
+            horizon_s: 40.0,
+            episode_s: 12.0,
+            thermal_episodes: 2,
+            thermal_cap: 0.5,
+            sag_episodes: 2,
+            sag_depth: 0.4,
+            ..crate::FaultConfig::chaos(17)
+        };
+        crate::FaultInjector::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn a_throttled_sagging_trace_still_serves_everything() {
+        let (hadas, modes, trace) = fixture();
+        let sim = RuntimeSimulator::new(&hadas, modes);
+        let inj = stormy_injector();
+        let healthy = sim.run(&trace, &SocPolicy::thirds(), 1e6).unwrap();
+        let stormy = sim.run_with_faults(&trace, &SocPolicy::thirds(), 1e6, Some(&inj)).unwrap();
+        assert_eq!(stormy.served, trace.len(), "faults degrade, they do not drop");
+        assert!(stormy.throttled_windows > 0, "the throttle episodes must be seen");
+        assert!(stormy.sag_energy_j > 0.0, "sag episodes must cost extra energy");
+        assert!(
+            stormy.energy_j > healthy.energy_j - 1e-9,
+            "a sagging substrate cannot be cheaper: {} vs {}",
+            stormy.energy_j,
+            healthy.energy_j
+        );
+        // Bounded degradation: throttling may trade accuracy for
+        // feasibility, but the floor is the most frugal mode's accuracy.
+        assert!(stormy.accuracy_pct > 50.0, "accuracy {}", stormy.accuracy_pct);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let (hadas, modes, trace) = fixture();
+        let sim = RuntimeSimulator::new(&hadas, modes);
+        let inj = stormy_injector();
+        let a = sim.run_with_faults(&trace, &SocPolicy::thirds(), 300.0, Some(&inj)).unwrap();
+        let b = sim.run_with_faults(&trace, &SocPolicy::thirds(), 300.0, Some(&inj)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn healthy_run_reports_no_fault_accounting() {
+        let (hadas, modes, trace) = fixture();
+        let sim = RuntimeSimulator::new(&hadas, modes);
+        let report = sim.run(&trace, &SocPolicy::thirds(), 1e6).unwrap();
+        assert_eq!(report.degraded, 0);
+        assert_eq!(report.throttled_windows, 0);
+        assert_eq!(report.sag_energy_j, 0.0);
     }
 }

@@ -17,10 +17,12 @@ impl Regime {
     /// The difficulty distribution of this regime.
     pub fn difficulty(&self) -> DifficultyDistribution {
         match self {
-            // Validated constants; construction cannot fail.
-            Regime::Easy => DifficultyDistribution::new(1.4, 4.5).expect("valid shapes"),
+            // Validated constants; construction cannot fail, and if the
+            // validation rules ever tighten, degrading to the nominal
+            // mixed distribution beats panicking mid-simulation.
+            Regime::Easy => DifficultyDistribution::new(1.4, 4.5).unwrap_or_default(),
             Regime::Mixed => DifficultyDistribution::default(),
-            Regime::Hard => DifficultyDistribution::new(2.6, 1.4).expect("valid shapes"),
+            Regime::Hard => DifficultyDistribution::new(2.6, 1.4).unwrap_or_default(),
         }
     }
 }
@@ -70,11 +72,25 @@ impl WorkloadTrace {
     /// arrivals (exponential gaps) whose difficulties follow the scheduled
     /// regime at each arrival time.
     pub fn generate(config: &TraceConfig, seed: u64) -> Self {
+        Self::generate_modulated(config, seed, |_| 1.0)
+    }
+
+    /// Generates a trace whose instantaneous arrival rate is
+    /// `rate_hz × rate_multiplier(t)` — the hook workload-burst fault
+    /// episodes plug into (see `FaultInjector::rate_multiplier_at`).
+    /// Multipliers at or below zero are treated as a quiet (but not
+    /// silent) stream so generation always terminates.
+    pub fn generate_modulated(
+        config: &TraceConfig,
+        seed: u64,
+        rate_multiplier: impl Fn(f64) -> f64,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut arrivals = Vec::new();
         let mut t = 0.0f64;
         while t < config.duration_s {
-            let gap = -(1.0 - rng.gen_range(0.0..1.0f64)).ln() / config.rate_hz.max(1e-9);
+            let rate = config.rate_hz.max(1e-9) * rate_multiplier(t).max(1e-3);
+            let gap = -(1.0 - rng.gen_range(0.0..1.0f64)).ln() / rate;
             t += gap;
             if t >= config.duration_s {
                 break;
@@ -174,5 +190,28 @@ mod tests {
         let cfg = TraceConfig::default();
         assert_eq!(WorkloadTrace::generate(&cfg, 1), WorkloadTrace::generate(&cfg, 1));
         assert_ne!(WorkloadTrace::generate(&cfg, 1), WorkloadTrace::generate(&cfg, 2));
+    }
+
+    #[test]
+    fn bursts_pack_more_arrivals_into_their_window() {
+        let cfg = TraceConfig::default(); // 120 s at 15 Hz
+        let burst = |t: f64| if (40.0..80.0).contains(&t) { 4.0 } else { 1.0 };
+        let trace = WorkloadTrace::generate_modulated(&cfg, 21, burst);
+        let count = |lo: f64, hi: f64| {
+            trace.arrivals().iter().filter(|a| a.time_s >= lo && a.time_s < hi).count()
+        };
+        let quiet = count(0.0, 40.0);
+        let bursty = count(40.0, 80.0);
+        assert!(bursty > 2 * quiet, "burst window must be markedly denser: {bursty} vs {quiet}");
+        // Modulated generation stays deterministic.
+        assert_eq!(trace, WorkloadTrace::generate_modulated(&cfg, 21, burst));
+    }
+
+    #[test]
+    fn zero_or_negative_multipliers_still_terminate() {
+        let cfg = TraceConfig { duration_s: 5.0, rate_hz: 10.0, ..Default::default() };
+        let trace = WorkloadTrace::generate_modulated(&cfg, 3, |_| 0.0);
+        assert!(trace.len() < 5, "a dead stream yields almost nothing");
+        assert!(trace.arrivals().iter().all(|a| a.time_s < cfg.duration_s));
     }
 }

@@ -1,0 +1,252 @@
+//! Chaos harness (see DESIGN.md, "Fault model & recovery").
+//!
+//! Two contracts are pinned here, end to end across the workspace:
+//!
+//! 1. **Resume equals uninterrupted.** Killing the bi-level search at a
+//!    generation boundary and resuming from its checkpoint must produce a
+//!    *byte-identical* serialized Pareto front to a run that was never
+//!    interrupted — with and without injected evaluation faults. The
+//!    checkpoint carries the population, the RNG state, and the full
+//!    evaluation history, and fault draws are pure functions of
+//!    `(key, attempt)`, so nothing about the interruption may leak into
+//!    the result.
+//!
+//! 2. **Throttled traces degrade smoothly.** A runtime trace served under
+//!    thermal-throttle, voltage-sag, and arrival-burst episodes must still
+//!    serve the stream, switch modes, and lose only bounded accuracy —
+//!    the substrate misbehaving is an operating condition, not a crash.
+
+use hadas_suite::core::{Hadas, HadasConfig, SearchCheckpoint, SearchOptions};
+use hadas_suite::hw::HwTarget;
+use hadas_suite::runtime::{
+    modes_from_pareto, DegradePolicy, FaultConfig, FaultInjector, PolicyState, RuntimeSimulator,
+    ScalingPolicy, SocPolicy, StaticPolicy, TraceConfig, WorkloadTrace,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Seeds the CI chaos job sweeps (kept tiny: each seed is a full bi-level
+/// search run three times).
+const SEED_MATRIX: [u64; 2] = [5, 11];
+
+/// The seeds this process actually sweeps: the CI job matrix pins one
+/// seed per worker via `HADAS_CHAOS_SEED`; locally the whole fixed
+/// matrix runs. Reproducing a CI failure is therefore
+/// `HADAS_CHAOS_SEED=<n> cargo test -q --test chaos`.
+fn seed_matrix() -> Vec<u64> {
+    match std::env::var("HADAS_CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("HADAS_CHAOS_SEED must be a u64")],
+        Err(_) => SEED_MATRIX.to_vec(),
+    }
+}
+
+/// Serialize a Pareto front with the same JSON shape the `hadas search`
+/// CLI writes to `results/` (and `tests/determinism.rs` pins).
+fn front_json(outcome: &hadas_suite::core::OoeOutcome, seed: u64) -> String {
+    let models: Vec<serde_json::Value> = outcome
+        .pareto_models()
+        .iter()
+        .map(|m| {
+            serde_json::json!({
+                "genome": m.subnet.genome().genes(),
+                "exits": m.placement.positions(),
+                "dvfs": {"compute": m.dvfs.compute, "emc": m.dvfs.emc},
+                "accuracy_pct": m.dynamic.accuracy_pct,
+                "energy_mj": m.dynamic.energy_mj,
+                "latency_ms": m.dynamic.latency_ms,
+            })
+        })
+        .collect();
+    serde_json::to_string(&serde_json::json!({ "seed": seed, "pareto": models }))
+        .expect("pareto front serializes")
+}
+
+/// A scratch checkpoint path unique to this test + process.
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hadas-chaos-{tag}-{}.json", std::process::id()))
+}
+
+/// Runs the smoke search, killed after `kill_after` generations and
+/// resumed, returning the final front JSON. `base` customizes faults.
+fn killed_and_resumed(seed: u64, kill_after: usize, base: &SearchOptions, tag: &str) -> String {
+    let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+    let cfg = HadasConfig::smoke_test().with_seed(seed);
+    let path = scratch(&format!("{tag}-{seed}"));
+
+    let first = SearchOptions {
+        faults: Arc::clone(&base.faults),
+        retry: base.retry,
+        checkpoint_path: Some(path.clone()),
+        stop_after_generations: Some(kill_after),
+        ..SearchOptions::default()
+    };
+    let partial = hadas.run_with(&cfg, &first).expect("interrupted run still yields a front");
+    assert!(partial.interrupted(), "stopping early must be reported");
+    assert_eq!(partial.telemetry().generations_completed, kill_after);
+    assert!(path.exists(), "the checkpoint must be on disk after the kill");
+
+    let second = SearchOptions {
+        faults: Arc::clone(&base.faults),
+        retry: base.retry,
+        checkpoint_path: Some(path.clone()),
+        resume_from: Some(
+            SearchCheckpoint::load(&path).expect("checkpoint written at the kill point loads"),
+        ),
+        ..SearchOptions::default()
+    };
+    let outcome = hadas.run_with(&cfg, &second).expect("resumed run completes");
+    assert!(!outcome.interrupted(), "the resumed run must run to completion");
+
+    let _ = std::fs::remove_file(&path);
+    front_json(&outcome, seed)
+}
+
+fn uninterrupted(seed: u64, base: &SearchOptions) -> String {
+    let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+    let cfg = HadasConfig::smoke_test().with_seed(seed);
+    let opts = SearchOptions {
+        faults: Arc::clone(&base.faults),
+        retry: base.retry,
+        ..SearchOptions::default()
+    };
+    let outcome = hadas.run_with(&cfg, &opts).expect("uninterrupted run completes");
+    front_json(&outcome, seed)
+}
+
+#[test]
+fn resume_equals_uninterrupted_on_a_healthy_substrate() {
+    for seed in seed_matrix() {
+        let straight = uninterrupted(seed, &SearchOptions::default());
+        let resumed = killed_and_resumed(seed, 2, &SearchOptions::default(), "healthy");
+        assert_eq!(
+            straight, resumed,
+            "kill-at-generation-2 + resume must be byte-identical (seed {seed})"
+        );
+        assert!(straight.contains("\"genome\""), "front must be non-trivial: {straight}");
+    }
+}
+
+#[test]
+fn resume_equals_uninterrupted_under_injected_faults() {
+    let seed = seed_matrix()[0];
+    let faulty = SearchOptions {
+        faults: Arc::new(
+            FaultInjector::new(FaultConfig::chaos(99)).expect("chaos preset validates"),
+        ),
+        ..SearchOptions::default()
+    };
+    let straight = uninterrupted(seed, &faulty);
+    let resumed = killed_and_resumed(seed, 3, &faulty, "faulty");
+    assert_eq!(
+        straight, resumed,
+        "fault draws are pure in (key, attempt): the kill point must not leak into the front"
+    );
+    // And recoverable faults must not change *what* is found, only how
+    // long it takes: the healthy and faulty fronts agree too.
+    assert_eq!(straight, uninterrupted(seed, &SearchOptions::default()));
+}
+
+#[test]
+fn a_stale_checkpoint_is_refused_not_mangled() {
+    let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+    let cfg = HadasConfig::smoke_test().with_seed(5);
+    let path = scratch("stale");
+    let first = SearchOptions {
+        checkpoint_path: Some(path.clone()),
+        stop_after_generations: Some(2),
+        ..SearchOptions::default()
+    };
+    hadas.run_with(&cfg, &first).expect("interrupted run");
+
+    // Resuming under a different seed must fail loudly instead of
+    // silently splicing two unrelated searches together.
+    let resumed = SearchOptions {
+        resume_from: Some(SearchCheckpoint::load(&path).expect("loads")),
+        ..SearchOptions::default()
+    };
+    let err = hadas.run_with(&HadasConfig::smoke_test().with_seed(6), &resumed);
+    assert!(err.is_err(), "a mismatched checkpoint must be rejected");
+    let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------
+// Runtime-side chaos: throttle + sag + bursts on a served trace.
+// ---------------------------------------------------------------------
+
+fn runtime_fixture() -> (Hadas, Vec<hadas_suite::runtime::OperatingMode>) {
+    let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+    let outcome = hadas.run(&HadasConfig::smoke_test()).expect("smoke search");
+    let modes = modes_from_pareto(&hadas, &outcome, 3).expect("deployable modes");
+    (hadas, modes)
+}
+
+#[test]
+fn a_fault_injected_trace_finishes_with_bounded_degradation() {
+    let (hadas, modes) = runtime_fixture();
+    let injector = FaultInjector::new(FaultConfig {
+        horizon_s: 40.0,
+        episode_s: 12.0,
+        thermal_cap: 0.5,
+        sag_depth: 0.4,
+        burst_multiplier: 3.0,
+        ..FaultConfig::chaos(23)
+    })
+    .expect("storm config validates");
+
+    // Bursts reshape the arrival stream itself, not just its service.
+    let cfg = TraceConfig { duration_s: 40.0, rate_hz: 10.0, ..Default::default() };
+    let calm_trace = WorkloadTrace::generate(&cfg, 13);
+    let trace = WorkloadTrace::generate_modulated(&cfg, 13, |t| injector.rate_multiplier_at(t));
+    assert!(trace.len() >= calm_trace.len(), "bursts only add arrivals");
+
+    let sim = RuntimeSimulator::new(&hadas, modes.clone());
+    let policy = DegradePolicy::new(&hadas, &modes, Box::new(SocPolicy::thirds()));
+
+    // Budget the battery so the SoC thresholds are actually crossed.
+    let unbounded = sim.run(&trace, &StaticPolicy::new(0), 1e6).expect("sizing run");
+    let budget = unbounded.energy_j * 0.7;
+    let healthy = sim.run(&trace, &policy, budget).expect("healthy run");
+    let stormy = sim.run_with_faults(&trace, &policy, budget, Some(&injector)).expect("stormy run");
+
+    assert!(stormy.served > 0, "the stream must still be served");
+    assert!(stormy.mode_switches > 0, "the governor must react to the drain");
+    assert!(stormy.throttled_windows > 0, "thermal episodes must be observed");
+    assert!(stormy.sag_energy_j > 0.0, "sag episodes must cost real joules");
+    assert!(
+        stormy.accuracy_pct > healthy.accuracy_pct - 20.0,
+        "degradation must be bounded: stormy {:.2}% vs healthy {:.2}%",
+        stormy.accuracy_pct,
+        healthy.accuracy_pct
+    );
+    assert!(stormy.accuracy_pct > 50.0, "absolute floor: {:.2}%", stormy.accuracy_pct);
+}
+
+#[test]
+fn policy_selection_is_in_range_and_monotone_in_soc() {
+    // Satellite invariant: for every policy, state, and mode count the
+    // selected index stays in range; and for the SoC governor, draining
+    // the battery never selects a *faster* mode.
+    let policies: Vec<Box<dyn ScalingPolicy>> = vec![
+        Box::new(SocPolicy::thirds()),
+        Box::new(StaticPolicy::new(7)),
+        Box::new(DegradePolicy::from_fractions(vec![1.0, 0.7, 0.4], Box::new(SocPolicy::thirds()))),
+    ];
+    for policy in &policies {
+        for num_modes in 1..=4 {
+            let mut last_choice = 0usize;
+            // Sweep SoC downwards: monotone non-decreasing mode index.
+            for step in 0..=100 {
+                let soc = 1.0 - f64::from(step) / 100.0;
+                let state = PolicyState::healthy(soc, 10.0, 30.0);
+                let choice = policy.select(&state, num_modes);
+                assert!(choice < num_modes, "{} chose {choice} of {num_modes}", policy.name());
+                assert!(
+                    choice >= last_choice,
+                    "{} un-degraded from {last_choice} to {choice} as SoC fell to {soc}",
+                    policy.name()
+                );
+                last_choice = choice;
+            }
+        }
+    }
+}
