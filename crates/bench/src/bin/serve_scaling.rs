@@ -1,0 +1,111 @@
+//! Serving-engine scaling study: one searched mode ladder on the TX2
+//! GPU, replayed through the open-loop serving engine for every
+//! governor × worker-pool combination. Shows throughput scaling with
+//! the pool and the tail-latency / SLO price of each governor.
+//!
+//! Writes `results/BENCH_serve.json`; the CI smoke job asserts the
+//! throughput column is monotone in the worker count.
+
+use hadas::Hadas;
+use hadas_bench::{scaled_config, write_json};
+use hadas_hw::HwTarget;
+use hadas_runtime::modes_from_pareto;
+use hadas_serve::{GovernorKind, ServeConfig, ServeEngine};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct ServeRow {
+    governor: String,
+    workers: usize,
+    offered: usize,
+    served: usize,
+    shed: usize,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    slo_violation_rate: f64,
+    energy_j: f64,
+    mode_switches: usize,
+    mode_occupancy: Vec<f64>,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = scaled_config().with_seed(7);
+    let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+    let outcome = hadas.run(&cfg)?;
+    let modes = modes_from_pareto(&hadas, &outcome, 3)?;
+    println!("SERVE — governor x worker-pool scaling on {}", HwTarget::Tx2PascalGpu.name());
+    println!(
+        "{:<10} {:>7} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8}",
+        "governor",
+        "workers",
+        "offered",
+        "served",
+        "thr(rps)",
+        "p50(ms)",
+        "p99(ms)",
+        "SLO(%)",
+        "sw"
+    );
+    println!("{}", "-".repeat(84));
+    let mut rows = Vec::new();
+    for governor in [GovernorKind::Static, GovernorKind::Latency, GovernorKind::Queue] {
+        for workers in [1usize, 2, 4] {
+            let serve_cfg = ServeConfig {
+                seed: 7,
+                duration_s: 10.0,
+                rps: 200.0,
+                workers,
+                governor,
+                ..ServeConfig::default()
+            };
+            let r = ServeEngine::new(&hadas, modes.clone(), serve_cfg)?.run()?;
+            println!(
+                "{:<10} {:>7} {:>9} {:>9} {:>9.1} {:>8.1} {:>8.1} {:>8.2} {:>8}",
+                governor.name(),
+                workers,
+                r.offered,
+                r.served,
+                r.throughput_rps,
+                r.latency.p50_ms,
+                r.latency.p99_ms,
+                r.slo.violation_rate * 100.0,
+                r.mode_switches
+            );
+            rows.push(ServeRow {
+                governor: governor.name().to_string(),
+                workers,
+                offered: r.offered,
+                served: r.served,
+                shed: r.shed,
+                throughput_rps: r.throughput_rps,
+                p50_ms: r.latency.p50_ms,
+                p95_ms: r.latency.p95_ms,
+                p99_ms: r.latency.p99_ms,
+                slo_violation_rate: r.slo.violation_rate,
+                energy_j: r.energy_j,
+                mode_switches: r.mode_switches,
+                mode_occupancy: r.mode_occupancy.clone(),
+            });
+        }
+    }
+    for governor in [GovernorKind::Static, GovernorKind::Latency, GovernorKind::Queue] {
+        let mut last = 0.0;
+        for row in rows.iter().filter(|r| r.governor == governor.name()) {
+            assert!(
+                row.throughput_rps > last,
+                "throughput must scale with the pool under {} ({} workers: {} vs {})",
+                row.governor,
+                row.workers,
+                row.throughput_rps,
+                last
+            );
+            last = row.throughput_rps;
+        }
+    }
+    println!();
+    println!("throughput grows monotonically 1 -> 4 workers under every governor");
+    write_json("BENCH_serve", &rows);
+    Ok(())
+}

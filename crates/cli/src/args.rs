@@ -104,6 +104,31 @@ pub enum Command {
         /// Device measurements to fit on.
         samples: usize,
     },
+    /// Deploy a searched mode ladder behind the open-loop serving engine.
+    Serve {
+        /// Hardware target.
+        target: HwTarget,
+        /// Budget preset for the mode-producing search.
+        scale: Scale,
+        /// Seed of the search, arrival stream, and SLO classes.
+        seed: u64,
+        /// Mean offered load (requests/s).
+        rps: f64,
+        /// Arrival-stream length (seconds).
+        duration_s: f64,
+        /// Worker lanes in the pool.
+        workers: usize,
+        /// Maximum requests per batch.
+        batch_max: usize,
+        /// Interactive-class deadline (ms).
+        slo_ms: f64,
+        /// DVFS governor driving mode selection.
+        governor: hadas_serve::GovernorKind,
+        /// Inject substrate fault episodes with this fault seed.
+        faults: Option<u64>,
+        /// Optional JSON output path for the full report.
+        json: Option<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -277,8 +302,93 @@ impl Command {
                     .unwrap_or(3_000);
                 Ok(Command::Proxy { target, samples })
             }
+            "serve" => {
+                let flags = take_flags(
+                    rest,
+                    &[
+                        "target",
+                        "scale",
+                        "seed",
+                        "rps",
+                        "duration",
+                        "workers",
+                        "batch-max",
+                        "slo-ms",
+                        "governor",
+                        "faults",
+                        "json",
+                    ],
+                )?;
+                let target = parse_target(
+                    flag(&flags, "target")
+                        .ok_or_else(|| ParseCliError("serve requires --target".into()))?,
+                )?;
+                let scale =
+                    flag(&flags, "scale").map(parse_scale).transpose()?.unwrap_or_default();
+                let seed = flag(&flags, "seed")
+                    .map(|s| s.parse::<u64>().map_err(|e| ParseCliError(format!("bad seed: {e}"))))
+                    .transpose()?
+                    .unwrap_or(7);
+                let rps = flag(&flags, "rps")
+                    .map(|s| s.parse::<f64>().map_err(|e| ParseCliError(format!("bad rps: {e}"))))
+                    .transpose()?
+                    .unwrap_or(150.0);
+                let duration_s = flag(&flags, "duration")
+                    .map(|s| {
+                        s.parse::<f64>().map_err(|e| ParseCliError(format!("bad duration: {e}")))
+                    })
+                    .transpose()?
+                    .unwrap_or(10.0);
+                let workers = flag(&flags, "workers")
+                    .map(|s| {
+                        s.parse::<usize>().map_err(|e| ParseCliError(format!("bad workers: {e}")))
+                    })
+                    .transpose()?
+                    .unwrap_or(2);
+                let batch_max = flag(&flags, "batch-max")
+                    .map(|s| {
+                        s.parse::<usize>().map_err(|e| ParseCliError(format!("bad batch-max: {e}")))
+                    })
+                    .transpose()?
+                    .unwrap_or(8);
+                let slo_ms = flag(&flags, "slo-ms")
+                    .map(|s| {
+                        s.parse::<f64>().map_err(|e| ParseCliError(format!("bad slo-ms: {e}")))
+                    })
+                    .transpose()?
+                    .unwrap_or(120.0);
+                let governor = flag(&flags, "governor")
+                    .map(|s| {
+                        hadas_serve::GovernorKind::parse(s).ok_or_else(|| {
+                            ParseCliError(format!(
+                                "unknown governor '{s}' (expected static, latency, or queue)"
+                            ))
+                        })
+                    })
+                    .transpose()?
+                    .unwrap_or(hadas_serve::GovernorKind::Queue);
+                let faults = flag(&flags, "faults")
+                    .map(|s| {
+                        s.parse::<u64>()
+                            .map_err(|e| ParseCliError(format!("bad fault seed: {e}")))
+                    })
+                    .transpose()?;
+                Ok(Command::Serve {
+                    target,
+                    scale,
+                    seed,
+                    rps,
+                    duration_s,
+                    workers,
+                    batch_max,
+                    slo_ms,
+                    governor,
+                    faults,
+                    json: flag(&flags, "json").map(str::to_string),
+                })
+            }
             other => Err(ParseCliError(format!(
-                "unknown command '{other}' (try: devices, baselines, search, ioe, check, proxy, help)"
+                "unknown command '{other}' (try: devices, baselines, search, ioe, check, proxy, serve, help)"
             ))),
         }
     }
@@ -378,6 +488,53 @@ mod tests {
             Command::Check { target: Some(HwTarget::Tx2PascalGpu) }
         );
         assert!(Command::parse(&argv("check --target warp-drive")).is_err());
+    }
+
+    #[test]
+    fn serve_parses_all_flags() {
+        let cmd = Command::parse(&argv(
+            "serve --target tx2-gpu --scale quick --seed 9 --rps 200 --duration 5 \
+             --workers 4 --batch-max 16 --slo-ms 80 --governor latency --faults 3 \
+             --json out.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                target: HwTarget::Tx2PascalGpu,
+                scale: Scale::Quick,
+                seed: 9,
+                rps: 200.0,
+                duration_s: 5.0,
+                workers: 4,
+                batch_max: 16,
+                slo_ms: 80.0,
+                governor: hadas_serve::GovernorKind::Latency,
+                faults: Some(3),
+                json: Some("out.json".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn serve_defaults_apply() {
+        let cmd = Command::parse(&argv("serve --target agx-gpu")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Serve {
+                target: HwTarget::AgxVoltaGpu,
+                seed: 7,
+                workers: 2,
+                batch_max: 8,
+                governor: hadas_serve::GovernorKind::Queue,
+                faults: None,
+                json: None,
+                ..
+            }
+        ));
+        assert!(Command::parse(&argv("serve")).is_err(), "serve requires --target");
+        assert!(Command::parse(&argv("serve --target tx2-gpu --governor warp")).is_err());
+        assert!(Command::parse(&argv("serve --target tx2-gpu --rps fast")).is_err());
     }
 
     #[test]

@@ -5,7 +5,8 @@
 use crate::Command;
 use hadas::{DeploymentPicker, Hadas, SearchCheckpoint, SearchOptions};
 use hadas_hw::{DeviceModel, HwTarget, ProxyCostModel};
-use hadas_runtime::{FaultConfig, FaultInjector};
+use hadas_runtime::{modes_from_pareto, FaultConfig, FaultInjector};
+use hadas_serve::{ServeConfig, ServeEngine};
 use hadas_space::{baselines, SearchSpace};
 use std::error::Error;
 use std::io::Write;
@@ -24,6 +25,9 @@ USAGE:
   hadas ioe       --target <t> [--baseline a0..a6] [--scale ...] [--seed N]
   hadas check     [--target <t>]
   hadas proxy     --target <t> [--samples N]
+  hadas serve     --target <t> [--scale ...] [--seed N] [--rps R] [--duration S]
+                  [--workers N] [--batch-max N] [--slo-ms MS]
+                  [--governor static|latency|queue] [--faults SEED] [--json PATH]
 
 TARGETS: agx-gpu, agx-cpu, tx2-gpu, tx2-cpu
 
@@ -32,6 +36,11 @@ ROBUSTNESS:
   --resume PATH          restore a checkpointed run (same target/scale/seed)
   --max-generations N    stop after N generations with a partial front
   --faults SEED          inject seeded transient faults into evaluations
+
+SERVING:
+  `serve` searches a mode ladder, then replays a seeded open-loop
+  arrival stream through the multi-worker serving engine; the same
+  seed and config always produce a byte-identical report.
 ";
 
 /// Executes a parsed command, writing the report to `out`.
@@ -246,6 +255,101 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
                 return Err(format!("{} feasibility check(s) failed", broken.len()).into());
             }
         }
+        Command::Serve {
+            target,
+            scale,
+            seed,
+            rps,
+            duration_s,
+            workers,
+            batch_max,
+            slo_ms,
+            governor,
+            faults,
+            json,
+        } => {
+            let hadas = Hadas::for_target(target);
+            let cfg = scale.config().with_seed(seed);
+            writeln!(
+                out,
+                "searching {} for a mode ladder (seed {seed}), then serving \
+                 {rps:.0} rps for {duration_s:.0} s on {workers} worker(s)...",
+                target.name()
+            )?;
+            let outcome = hadas.run(&cfg)?;
+            let modes = modes_from_pareto(&hadas, &outcome, 3)?;
+            for (i, m) in modes.iter().enumerate() {
+                writeln!(out, "  mode {i}: {}", m.name)?;
+            }
+            let serve_cfg = ServeConfig {
+                seed,
+                duration_s,
+                rps,
+                workers,
+                batch_max,
+                slo_ms,
+                governor,
+                faults: faults.map(|fault_seed| FaultConfig {
+                    horizon_s: duration_s,
+                    ..FaultConfig::chaos(fault_seed)
+                }),
+                ..ServeConfig::default()
+            };
+            let report = ServeEngine::new(&hadas, modes, serve_cfg)?.run()?;
+            writeln!(
+                out,
+                "offered {} | served {} | shed {} | batches {} (mean size {:.2})",
+                report.offered, report.served, report.shed, report.batches, report.mean_batch_size
+            )?;
+            writeln!(
+                out,
+                "throughput {:.1} rps over {:.2} s | energy {:.2} J (sag {:.3} J)",
+                report.throughput_rps, report.makespan_s, report.energy_j, report.sag_energy_j
+            )?;
+            writeln!(
+                out,
+                "latency p50/p95/p99 {:.1}/{:.1}/{:.1} ms | SLO violations {} ({:.2}%)",
+                report.latency.p50_ms,
+                report.latency.p95_ms,
+                report.latency.p99_ms,
+                report.slo.violations,
+                report.slo.violation_rate * 100.0
+            )?;
+            writeln!(
+                out,
+                "governor {} | {} mode switches | occupancy {}",
+                report.governor,
+                report.mode_switches,
+                report
+                    .mode_occupancy
+                    .iter()
+                    .map(|f| format!("{:.2}", f))
+                    .collect::<Vec<_>>()
+                    .join("/")
+            )?;
+            writeln!(
+                out,
+                "accuracy {:.2}% | exit fractions {}",
+                report.accuracy_pct,
+                report
+                    .exit_fractions
+                    .iter()
+                    .map(|f| format!("{:.2}", f))
+                    .collect::<Vec<_>>()
+                    .join("/")
+            )?;
+            if report.degraded_batches > 0 || report.throttled_windows > 0 {
+                writeln!(
+                    out,
+                    "faults: {} degraded batches, {} throttled control windows",
+                    report.degraded_batches, report.throttled_windows
+                )?;
+            }
+            if let Some(path) = json {
+                std::fs::write(&path, report.to_json()?)?;
+                writeln!(out, "wrote serve report to {path}")?;
+            }
+        }
         Command::Proxy { target, samples } => {
             let device = DeviceModel::for_target(target);
             let space = SearchSpace::attentive_nas();
@@ -405,6 +509,66 @@ mod tests {
         });
         assert!(text.contains("deployment pick"));
         assert!(text.contains("% gain"));
+    }
+
+    fn serve_cmd(json: Option<String>) -> Command {
+        Command::Serve {
+            target: HwTarget::Tx2PascalGpu,
+            scale: Scale::Quick,
+            seed: 7,
+            rps: 120.0,
+            duration_s: 4.0,
+            workers: 2,
+            batch_max: 8,
+            slo_ms: 120.0,
+            governor: hadas_serve::GovernorKind::Queue,
+            faults: None,
+            json,
+        }
+    }
+
+    #[test]
+    fn serve_reports_are_deterministic_and_written() {
+        let dir = std::env::temp_dir().join(format!("hadas-cli-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("serve.json");
+        let path_s = path.to_string_lossy().into_owned();
+
+        let a = run(serve_cmd(Some(path_s.clone())));
+        assert!(a.contains("throughput"), "{a}");
+        assert!(a.contains("SLO violations"), "{a}");
+        assert!(a.contains("mode 0:"), "the ladder prints: {a}");
+        let json_a = std::fs::read_to_string(&path).expect("report lands on disk");
+        assert!(json_a.contains("\"throughput_rps\""), "{json_a}");
+
+        let b = run(serve_cmd(Some(path_s)));
+        let json_b = std::fs::read_to_string(&path).expect("second report");
+        assert_eq!(a, b, "same seed must print identically");
+        assert_eq!(json_a, json_b, "same seed must serialise byte-identically");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_with_faults_reports_chaos() {
+        let cmd = match serve_cmd(None) {
+            Command::Serve { target, scale, seed, rps, duration_s, .. } => Command::Serve {
+                target,
+                scale,
+                seed,
+                rps,
+                duration_s,
+                workers: 2,
+                batch_max: 8,
+                slo_ms: 120.0,
+                governor: hadas_serve::GovernorKind::Queue,
+                faults: Some(11),
+                json: None,
+            },
+            other => other,
+        };
+        let text = run(cmd);
+        assert!(text.contains("throughput"), "{text}");
     }
 
     #[test]

@@ -81,7 +81,11 @@ pub trait CostModel: std::fmt::Debug + Send + Sync {
                 }
             }
         }
-        unreachable!("position validated above")
+        // `position` was validated against `num_mbconv_layers()` above, so
+        // the loop returns unless the subnet's layer list disagrees with
+        // its own MBConv count — report that as the range error it is
+        // rather than aborting a search mid-candidate.
+        Err(HwError::ExitPositionOutOfRange { position, layers: seen })
     }
 }
 

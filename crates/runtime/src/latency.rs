@@ -1,0 +1,181 @@
+//! Deterministic latency accounting shared by the closed-loop
+//! [`crate::RuntimeSimulator`] and the open-loop `hadas-serve` engine.
+//!
+//! Percentile semantics are pinned here (and by unit tests below) so every
+//! report in the workspace means the same thing by "p95": **nearest-rank
+//! with a zero-based floor index** over the sorted samples —
+//! `sorted[floor(n · p)]`, clamped to the last sample. This matches the
+//! inline computation the simulator shipped with, so extracting it changed
+//! no report bytes.
+
+use serde::{Deserialize, Serialize};
+
+/// An exact (sample-keeping) latency histogram with deterministic
+/// percentile queries.
+///
+/// Samples are kept in insertion order and sorted on demand; all queries
+/// are pure functions of the recorded multiset, so two runs that record
+/// the same values in any order summarize identically.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+/// The latency summary every workspace report embeds: mean plus the three
+/// tail percentiles the serving literature quotes.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Arithmetic mean (ms).
+    pub mean_ms: f64,
+    /// Median (ms).
+    pub p50_ms: f64,
+    /// 95th percentile (ms).
+    pub p95_ms: f64,
+    /// 99th percentile (ms).
+    pub p99_ms: f64,
+    /// Largest recorded sample (ms).
+    pub max_ms: f64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Builds a histogram from an existing sample vector.
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        Histogram { samples }
+    }
+
+    /// Records one latency sample (ms).
+    pub fn record(&mut self, value_ms: f64) {
+        self.samples.push(value_ms);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean of the samples, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// The `p`-th percentile (`p` in `[0, 1]`) under the pinned
+    /// nearest-rank semantics: `sorted[floor(n · p)]` clamped to the last
+    /// sample; `0.0` when empty. Non-finite or out-of-range `p` clamps
+    /// into `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let p = if p.is_finite() { p.clamp(0.0, 1.0) } else { 1.0 };
+        let idx = (sorted.len() as f64 * p) as usize;
+        sorted.get(idx).or(sorted.last()).copied().unwrap_or(0.0)
+    }
+
+    /// Mean, p50/p95/p99 and max in one sort — the summary embedded in
+    /// [`crate::RuntimeReport`] and `hadas-serve`'s `ServeReport`.
+    pub fn summary(&self) -> LatencySummary {
+        if self.samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let nearest = |p: f64| -> f64 {
+            let idx = (sorted.len() as f64 * p) as usize;
+            sorted.get(idx).or(sorted.last()).copied().unwrap_or(0.0)
+        };
+        LatencySummary {
+            mean_ms: self.mean(),
+            p50_ms: nearest(0.5),
+            p95_ms: nearest(0.95),
+            p99_ms: nearest(0.99),
+            max_ms: sorted.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_summarizes_to_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.summary(), LatencySummary::default());
+        assert_eq!(h.percentile(0.95), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn percentile_semantics_are_pinned_on_known_inputs() {
+        // 1..=100: floor-index nearest rank ⇒ p50 = sorted[50] = 51.0,
+        // p95 = sorted[95] = 96.0, p99 = sorted[99] = 100.0.
+        let h = Histogram::from_samples((1..=100).map(f64::from).collect());
+        assert_eq!(h.percentile(0.5), 51.0);
+        assert_eq!(h.percentile(0.95), 96.0);
+        assert_eq!(h.percentile(0.99), 100.0);
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.percentile(1.0), 100.0, "p=1 clamps to the last sample");
+        let s = h.summary();
+        assert_eq!((s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms), (51.0, 96.0, 100.0, 100.0));
+        assert!((s.mean_ms - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_answers_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(42.0);
+        for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.percentile(p), 42.0);
+        }
+    }
+
+    #[test]
+    fn recording_order_does_not_matter() {
+        let a = Histogram::from_samples(vec![3.0, 1.0, 2.0, 9.0, 5.0]);
+        let b = Histogram::from_samples(vec![9.0, 5.0, 3.0, 2.0, 1.0]);
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn matches_the_simulators_historical_p95_formula() {
+        // The formula sim.rs used inline before extraction:
+        // sorted[(len as f64 * 0.95) as usize] or last.
+        for n in [1usize, 7, 20, 99, 1000] {
+            let vals: Vec<f64> = (0..n).map(|i| i as f64 * 0.25).collect();
+            let h = Histogram::from_samples(vals.clone());
+            let mut sorted = vals;
+            sorted.sort_by(f64::total_cmp);
+            let expect = sorted
+                .get((sorted.len() as f64 * 0.95) as usize)
+                .or(sorted.last())
+                .copied()
+                .unwrap();
+            assert_eq!(h.percentile(0.95), expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_percentiles_clamp() {
+        let h = Histogram::from_samples(vec![1.0, 2.0, 3.0]);
+        assert_eq!(h.percentile(-0.5), 1.0);
+        assert_eq!(h.percentile(7.0), 3.0);
+        assert_eq!(h.percentile(f64::NAN), 3.0);
+    }
+}

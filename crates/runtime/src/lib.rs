@@ -40,6 +40,7 @@
 
 mod battery;
 mod faults;
+pub mod latency;
 mod modes;
 mod policy;
 mod sim;
@@ -47,9 +48,10 @@ mod trace;
 
 pub use battery::Battery;
 pub use faults::{FaultConfig, FaultEpisode, FaultInjector};
-pub use modes::{modes_from_pareto, OperatingMode};
+pub use latency::{Histogram, LatencySummary};
+pub use modes::{enforce_thermal_cap, modes_from_pareto, OperatingMode, ServeOutcome};
 pub use policy::{
     DegradePolicy, LatencyPolicy, PolicyState, ScalingPolicy, SocPolicy, StaticPolicy,
 };
-pub use sim::{RuntimeReport, RuntimeSimulator};
+pub use sim::{RuntimeReport, RuntimeSimulator, SimConfig};
 pub use trace::{Arrival, Regime, TraceConfig, WorkloadTrace};

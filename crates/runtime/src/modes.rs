@@ -111,6 +111,36 @@ impl OperatingMode {
     }
 }
 
+/// The mode actually deployable under a thermal cap, starting from the
+/// policy's `choice`: the first mode at or below (more frugal than)
+/// `choice` whose pinned compute clock fits under the cap; if none fits,
+/// the mode with the slowest compute clock — the closest deployable point
+/// to what the SoC's governor forces. Shared by the closed-loop
+/// [`crate::RuntimeSimulator`] and the open-loop `hadas-serve` engine so
+/// both enforce identical throttle semantics.
+pub fn enforce_thermal_cap(
+    ladder: &hadas_hw::DvfsLadder,
+    modes: &[OperatingMode],
+    choice: usize,
+    cap: f64,
+) -> usize {
+    if cap >= 1.0 || modes.is_empty() {
+        return choice;
+    }
+    for (i, mode) in modes.iter().enumerate().skip(choice.min(modes.len() - 1)) {
+        if ladder.respects_thermal_cap(mode.dvfs(), cap) {
+            return i;
+        }
+    }
+    (0..modes.len())
+        .min_by(|&a, &b| {
+            ladder
+                .compute_fraction(modes[a].dvfs())
+                .total_cmp(&ladder.compute_fraction(modes[b].dvfs()))
+        })
+        .unwrap_or(choice)
+}
+
 /// Extracts `k` evenly spread operating modes from a joint-search outcome,
 /// ordered most-accurate first ("performance") down to most-frugal
 /// ("eco"). Modes come from the Pareto set over (accuracy, −energy).

@@ -14,12 +14,53 @@ pub struct PolicyState {
     /// compute frequency: 1.0 when unthrottled, lower during a
     /// thermal-throttle episode (see [`crate::FaultInjector`]).
     pub thermal_cap: f64,
+    /// Requests waiting in the serving queue at the decision point. The
+    /// closed-loop simulator serves each arrival to completion before the
+    /// next, so it always reports 0; the open-loop `hadas-serve` engine
+    /// reports its batcher depth here, which is what lets DVFS react to
+    /// load rather than only battery state.
+    pub queue_depth: usize,
+    /// Fraction of recently completed requests that missed their SLO
+    /// deadline, in `[0, 1]` (0 when unknown or not serving under SLOs).
+    pub slo_pressure: f64,
 }
 
 impl PolicyState {
-    /// A healthy-substrate state (no throttle) — the common case.
+    /// A healthy-substrate state (no throttle, no queue) — the common
+    /// case for closed-loop simulation.
     pub fn healthy(soc: f64, time_s: f64, recent_latency_ms: f64) -> Self {
-        PolicyState { soc, time_s, recent_latency_ms, thermal_cap: 1.0 }
+        PolicyState {
+            soc,
+            time_s,
+            recent_latency_ms,
+            thermal_cap: 1.0,
+            queue_depth: 0,
+            slo_pressure: 0.0,
+        }
+    }
+
+    /// A state under serving load: full battery, the given queue depth and
+    /// SLO pressure — what `hadas-serve`'s governors decide on.
+    pub fn loaded(
+        time_s: f64,
+        recent_latency_ms: f64,
+        queue_depth: usize,
+        slo_pressure: f64,
+    ) -> Self {
+        PolicyState {
+            soc: 1.0,
+            time_s,
+            recent_latency_ms,
+            thermal_cap: 1.0,
+            queue_depth,
+            slo_pressure,
+        }
+    }
+
+    /// Replaces the thermal cap (builder-style, for fault injection).
+    pub fn with_thermal_cap(mut self, cap: f64) -> Self {
+        self.thermal_cap = cap;
+        self
     }
 }
 
@@ -290,7 +331,7 @@ mod tests {
     }
 
     fn throttled(soc: f64, cap: f64) -> PolicyState {
-        PolicyState { soc, time_s: 0.0, recent_latency_ms: 0.0, thermal_cap: cap }
+        PolicyState::healthy(soc, 0.0, 0.0).with_thermal_cap(cap)
     }
 
     #[test]
@@ -314,6 +355,18 @@ mod tests {
     fn degrade_policy_latches_the_slowest_clock_when_nothing_fits() {
         let p = DegradePolicy::from_fractions(vec![1.0, 0.9, 0.8], Box::new(StaticPolicy::new(0)));
         assert_eq!(p.select(&throttled(1.0, 0.5), 3), 2, "slowest clock wins");
+    }
+
+    #[test]
+    fn loaded_state_carries_queue_pressure() {
+        let s = PolicyState::loaded(10.0, 25.0, 17, 0.4);
+        assert_eq!(s.queue_depth, 17);
+        assert!((s.slo_pressure - 0.4).abs() < 1e-12);
+        assert_eq!(s.soc, 1.0, "open-loop serving assumes wall power");
+        assert_eq!(s.thermal_cap, 1.0);
+        assert_eq!(s.with_thermal_cap(0.5).thermal_cap, 0.5);
+        let h = PolicyState::healthy(0.7, 0.0, 0.0);
+        assert_eq!((h.queue_depth, h.slo_pressure), (0, 0.0));
     }
 
     #[test]

@@ -1,14 +1,53 @@
-use crate::{Battery, FaultInjector, OperatingMode, ScalingPolicy, WorkloadTrace};
+use crate::{Battery, FaultInjector, Histogram, OperatingMode, ScalingPolicy, WorkloadTrace};
 use hadas::{Hadas, HadasError};
 use serde::{Deserialize, Serialize};
 
-/// Cost of one DVFS/model mode switch (frequency re-latch plus weight and
-/// threshold swap), charged whenever the policy changes mode.
-const SWITCH_LATENCY_S: f64 = 2.0e-3;
-const SWITCH_ENERGY_J: f64 = 8.0e-3;
+/// Tunable mode-switch costs and control cadence, shared by the
+/// closed-loop [`RuntimeSimulator`] and the open-loop `hadas-serve`
+/// engine so both account the same per-device overheads.
+///
+/// Defaults reproduce the constants the simulator originally hardcoded; a
+/// deployment with a slower weight swap or a different governor cadence
+/// overrides the fields (the struct is serde-serializable so device
+/// profiles can carry it).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Latency of one DVFS/model mode switch (frequency re-latch plus
+    /// weight and threshold swap), seconds.
+    pub switch_latency_s: f64,
+    /// Energy of one mode switch, joules.
+    pub switch_energy_j: f64,
+    /// Control-window length: the scaling policy re-evaluates once per
+    /// window, seconds.
+    pub control_window_s: f64,
+}
 
-/// Control-window length: the policy re-evaluates once per window.
-const CONTROL_WINDOW_S: f64 = 1.0;
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { switch_latency_s: 2.0e-3, switch_energy_j: 8.0e-3, control_window_s: 1.0 }
+    }
+}
+
+impl SimConfig {
+    /// Validates ranges: switch costs must be finite and non-negative,
+    /// the control window finite and positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadasError::InvalidConfig`] on violation.
+    pub fn validate(&self) -> Result<(), HadasError> {
+        let cost_ok = |v: f64| v.is_finite() && v >= 0.0;
+        if !cost_ok(self.switch_latency_s) || !cost_ok(self.switch_energy_j) {
+            return Err(HadasError::InvalidConfig(
+                "mode-switch costs must be finite and ≥ 0".into(),
+            ));
+        }
+        if !self.control_window_s.is_finite() || self.control_window_s <= 0.0 {
+            return Err(HadasError::InvalidConfig("control window must be positive".into()));
+        }
+        Ok(())
+    }
+}
 
 /// Aggregate outcome of one runtime simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -51,23 +90,39 @@ pub struct RuntimeReport {
 pub struct RuntimeSimulator<'a> {
     hadas: &'a Hadas,
     modes: Vec<OperatingMode>,
+    config: SimConfig,
 }
 
 impl<'a> RuntimeSimulator<'a> {
     /// Creates a simulator over an ordered mode list (index 0 = most
-    /// accurate).
+    /// accurate) with default [`SimConfig`] switch costs.
     ///
     /// # Panics
     ///
     /// Panics if `modes` is empty — there is nothing to deploy.
     pub fn new(hadas: &'a Hadas, modes: Vec<OperatingMode>) -> Self {
+        Self::with_config(hadas, modes, SimConfig::default())
+    }
+
+    /// Creates a simulator with explicit per-device switch costs and
+    /// control cadence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modes` is empty — there is nothing to deploy.
+    pub fn with_config(hadas: &'a Hadas, modes: Vec<OperatingMode>, config: SimConfig) -> Self {
         assert!(!modes.is_empty(), "at least one operating mode required");
-        RuntimeSimulator { hadas, modes }
+        RuntimeSimulator { hadas, modes, config }
     }
 
     /// The deployed modes.
     pub fn modes(&self) -> &[OperatingMode] {
         &self.modes
+    }
+
+    /// The switch-cost / control-cadence configuration in force.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
     }
 
     /// Serves `trace` with `policy` on a battery of `battery_j` joules,
@@ -86,28 +141,11 @@ impl<'a> RuntimeSimulator<'a> {
         self.run_with_faults(trace, policy, battery_j, None)
     }
 
-    /// The mode actually latched under a thermal cap: the first mode at
-    /// or below (more frugal than) `choice` whose pinned compute clock
-    /// fits under the cap; if none fits, the mode with the slowest
-    /// compute clock — the closest deployable point to what the SoC's
-    /// governor forces.
+    /// The mode actually latched under a thermal cap — delegates to the
+    /// shared [`crate::enforce_thermal_cap`] so the closed-loop simulator
+    /// and the open-loop `hadas-serve` engine throttle identically.
     fn enforce_cap(&self, choice: usize, cap: f64) -> usize {
-        if cap >= 1.0 {
-            return choice;
-        }
-        let ladder = self.hadas.device().ladder();
-        for i in choice..self.modes.len() {
-            if ladder.respects_thermal_cap(self.modes[i].dvfs(), cap) {
-                return i;
-            }
-        }
-        (0..self.modes.len())
-            .min_by(|&a, &b| {
-                ladder
-                    .compute_fraction(self.modes[a].dvfs())
-                    .total_cmp(&ladder.compute_fraction(self.modes[b].dvfs()))
-            })
-            .unwrap_or(choice)
+        crate::modes::enforce_thermal_cap(self.hadas.device().ladder(), &self.modes, choice, cap)
     }
 
     /// Serves `trace` with `policy` on a faulty substrate: thermal
@@ -128,6 +166,7 @@ impl<'a> RuntimeSimulator<'a> {
         if battery_j <= 0.0 {
             return Err(HadasError::InvalidConfig("battery capacity must be positive".into()));
         }
+        self.config.validate()?;
         let mut battery = Battery::new(battery_j);
         let mut current_mode = 0usize;
         let mut next_control = 0.0f64;
@@ -138,7 +177,7 @@ impl<'a> RuntimeSimulator<'a> {
         let mut dropped = 0usize;
         let mut correct = 0usize;
         let mut energy = 0.0f64;
-        let mut latencies: Vec<f64> = Vec::new();
+        let mut latencies = Histogram::new();
         let mut switches = 0usize;
         let mut occupancy = vec![0usize; self.modes.len()];
         let mut died_at = None;
@@ -168,6 +207,10 @@ impl<'a> RuntimeSimulator<'a> {
                     time_s: arrival.time_s,
                     recent_latency_ms: recent,
                     thermal_cap: cap,
+                    // Closed loop: every arrival is served to completion
+                    // before the next is considered, so no queue forms.
+                    queue_depth: 0,
+                    slo_pressure: 0.0,
                 };
                 // Defensive clamp: a buggy policy must never index out
                 // of the mode list.
@@ -178,12 +221,12 @@ impl<'a> RuntimeSimulator<'a> {
                 window_degraded = enforced != choice;
                 if enforced != current_mode {
                     switches += 1;
-                    battery.drain(SWITCH_ENERGY_J);
-                    energy += SWITCH_ENERGY_J;
-                    latencies.push(SWITCH_LATENCY_S * 1e3);
+                    battery.drain(self.config.switch_energy_j);
+                    energy += self.config.switch_energy_j;
+                    latencies.record(self.config.switch_latency_s * 1e3);
                     current_mode = enforced;
                 }
-                next_control = arrival.time_s + CONTROL_WINDOW_S;
+                next_control = arrival.time_s + self.config.control_window_s;
             }
 
             let outcome = self.modes[current_mode].serve(arrival.difficulty);
@@ -196,24 +239,15 @@ impl<'a> RuntimeSimulator<'a> {
             occupancy[current_mode] += 1;
             degraded += usize::from(window_degraded);
             correct += usize::from(outcome.correct);
-            latencies.push(outcome.cost.latency_ms());
+            latencies.record(outcome.cost.latency_ms());
             window_latencies.push(outcome.cost.latency_ms());
             if !alive && died_at.is_none() {
                 died_at = Some(arrival.time_s);
             }
         }
 
-        latencies.sort_by(f64::total_cmp);
-        let mean_latency_ms = if latencies.is_empty() {
-            0.0
-        } else {
-            latencies.iter().sum::<f64>() / latencies.len() as f64
-        };
-        let p95_latency_ms = latencies
-            .get(((latencies.len() as f64) * 0.95) as usize)
-            .or(latencies.last())
-            .copied()
-            .unwrap_or(0.0);
+        let mean_latency_ms = latencies.mean();
+        let p95_latency_ms = latencies.percentile(0.95);
         Ok(RuntimeReport {
             policy: policy.name().to_string(),
             served,
@@ -304,6 +338,54 @@ mod tests {
         let a = sim.run(&trace, &SocPolicy::thirds(), 300.0).unwrap();
         let b = sim.run(&trace, &SocPolicy::thirds(), 300.0).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn switch_costs_are_tunable_via_sim_config() {
+        /// Toggles between modes 0 and 1 every control window, so the
+        /// switch count is a pure function of the trace length.
+        #[derive(Debug)]
+        struct TogglePolicy;
+        impl ScalingPolicy for TogglePolicy {
+            fn select(&self, state: &crate::PolicyState, num_modes: usize) -> usize {
+                (state.time_s as usize % 2).min(num_modes - 1)
+            }
+            fn name(&self) -> &str {
+                "toggle"
+            }
+        }
+
+        let (hadas, modes, trace) = fixture();
+        // Defaults are the historical constants, so `new` == default config.
+        assert_eq!(*RuntimeSimulator::new(&hadas, modes.clone()).config(), SimConfig::default());
+        let baseline =
+            RuntimeSimulator::new(&hadas, modes.clone()).run(&trace, &TogglePolicy, 1e6).unwrap();
+        assert!(baseline.mode_switches >= 10, "the toggle policy must switch every window");
+        // An order of magnitude pricier switches: on an unbounded battery
+        // the energy gap is exactly #switches × Δswitch_energy.
+        let pricey = SimConfig { switch_energy_j: 8.0e-2, ..SimConfig::default() };
+        let report = RuntimeSimulator::with_config(&hadas, modes, pricey)
+            .run(&trace, &TogglePolicy, 1e6)
+            .unwrap();
+        assert_eq!(report.mode_switches, baseline.mode_switches, "same trajectory");
+        let expected_gap = report.mode_switches as f64 * (8.0e-2 - 8.0e-3);
+        assert!(
+            (report.energy_j - baseline.energy_j - expected_gap).abs() < 1e-9,
+            "pricier switches must account exactly: {} vs {} (gap {expected_gap})",
+            report.energy_j,
+            baseline.energy_j,
+        );
+    }
+
+    #[test]
+    fn degenerate_sim_config_is_rejected() {
+        assert!(SimConfig::default().validate().is_ok());
+        let bad_window = SimConfig { control_window_s: 0.0, ..SimConfig::default() };
+        assert!(bad_window.validate().is_err());
+        let bad_cost = SimConfig { switch_energy_j: -1.0, ..SimConfig::default() };
+        assert!(bad_cost.validate().is_err());
+        let nan = SimConfig { switch_latency_s: f64::NAN, ..SimConfig::default() };
+        assert!(nan.validate().is_err());
     }
 
     #[test]

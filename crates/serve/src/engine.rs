@@ -1,0 +1,303 @@
+use crate::pool::{run_pool, BatchJob};
+use crate::{
+    build_governor, generate_requests, Batcher, Request, ServeConfig, ServeReport, SloSummary,
+};
+use hadas::{Hadas, HadasError};
+use hadas_runtime::{
+    enforce_thermal_cap, DegradePolicy, FaultInjector, Histogram, OperatingMode, PolicyState,
+    ScalingPolicy,
+};
+
+/// The open-loop serving engine: a virtual-time scheduler that forms
+/// deadline-aware batches, runs the configured DVFS governor once per
+/// control window, sheds requests whose deadlines are infeasible under
+/// the current backlog, and shards the per-batch reduction across a real
+/// worker-thread pool.
+///
+/// Determinism contract: the schedule (batch composition, dispatch
+/// times, mode choices) is computed single-threaded on a virtual clock,
+/// every per-batch reduction is a pure function of its job, and results
+/// are folded in schedule order — so one `(config, modes)` pair yields a
+/// byte-identical [`ServeReport`] for any worker count and any OS thread
+/// interleaving.
+#[derive(Debug)]
+pub struct ServeEngine<'a> {
+    hadas: &'a Hadas,
+    modes: Vec<OperatingMode>,
+    config: ServeConfig,
+    governor: DegradePolicy,
+}
+
+impl<'a> ServeEngine<'a> {
+    /// Builds an engine over an ordered mode list (index 0 = most
+    /// accurate), validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadasError::InvalidConfig`] for an empty mode list or a
+    /// configuration that fails [`ServeConfig::validate`].
+    pub fn new(
+        hadas: &'a Hadas,
+        modes: Vec<OperatingMode>,
+        config: ServeConfig,
+    ) -> Result<Self, HadasError> {
+        config.validate()?;
+        if modes.is_empty() {
+            return Err(HadasError::InvalidConfig("at least one operating mode required".into()));
+        }
+        let governor = build_governor(hadas, &modes, &config);
+        Ok(ServeEngine { hadas, modes, config, governor })
+    }
+
+    /// The deployed modes.
+    pub fn modes(&self) -> &[OperatingMode] {
+        &self.modes
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Whether a request arriving into the current backlog can still meet
+    /// its deadline: earliest lane availability plus batch overhead plus
+    /// one per-item service estimate for everything ahead of it.
+    fn admissible(
+        request: &Request,
+        earliest_free: f64,
+        backlog: usize,
+        mode: &OperatingMode,
+        overhead_s: f64,
+    ) -> bool {
+        let begin = request.time_s.max(earliest_free);
+        let own = mode.serve(request.difficulty).cost.latency_s;
+        let est_finish = begin + overhead_s + (backlog as f64 + 1.0) * own;
+        est_finish <= request.deadline_s + 1e-12
+    }
+
+    /// Serves the configured arrival stream to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadasError::InvalidConfig`] for an invalid embedded
+    /// fault configuration, or if the worker pool panicked (a bug, since
+    /// reductions are pure).
+    pub fn run(&self) -> Result<ServeReport, HadasError> {
+        let injector = match &self.config.faults {
+            Some(f) => Some(FaultInjector::new(f.clone())?),
+            None => None,
+        };
+        let requests = generate_requests(&self.config, injector.as_ref());
+        let offered = requests.len();
+        let overhead_s = self.config.batch_overhead_ms * 1e-3;
+        let n_modes = self.modes.len();
+        let ladder = self.hadas.device().ladder();
+
+        let mut batcher = Batcher::new(self.config.batch_max);
+        let mut worker_free = vec![0.0f64; self.config.workers];
+        let mut jobs: Vec<BatchJob> = Vec::new();
+        let mut shed = 0usize;
+        let mut current_mode = 0usize;
+        let mut next_control = 0.0f64;
+        let mut switches = 0usize;
+        let mut switch_energy = 0.0f64;
+        let mut throttled_windows = 0usize;
+        let mut window_degraded = false;
+        let mut degraded_batches = 0usize;
+        let mut makespan = 0.0f64;
+
+        // Rolling per-window statistics feeding the governor.
+        let mut win_latencies: Vec<f64> = Vec::new();
+        let mut win_completed = 0usize;
+        let mut win_violations = 0usize;
+
+        let mut i = 0usize; // next arrival index
+        let mut now = 0.0f64;
+        let mut seq = 0usize;
+
+        while i < requests.len() || !batcher.is_empty() {
+            let earliest_free = worker_free.iter().copied().fold(f64::INFINITY, f64::min);
+            if batcher.is_empty() {
+                // Jump the clock to the next arrival and admit or shed it.
+                let r = requests[i];
+                i += 1;
+                now = now.max(r.time_s);
+                if Self::admissible(&r, earliest_free, 0, &self.modes[current_mode], overhead_s) {
+                    batcher.push(r);
+                } else {
+                    shed += 1;
+                }
+                continue;
+            }
+            let (lane, free) = worker_free
+                .iter()
+                .copied()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map_or((0, 0.0), |x| x);
+            let start_if_now = now.max(free);
+            // Early-exit-aware service estimate: price the planned batch
+            // through the current mode's exit thresholds.
+            let est_service_s = overhead_s
+                + batcher
+                    .plan()
+                    .iter()
+                    .map(|r| self.modes[current_mode].serve(r.difficulty).cost.latency_s)
+                    .sum::<f64>();
+            let next_arrival = requests.get(i).map(|r| r.time_s);
+            if !batcher.should_dispatch(start_if_now, est_service_s, next_arrival) {
+                // Slack remains: absorb the next arrival first.
+                let r = requests[i];
+                i += 1;
+                now = now.max(r.time_s);
+                if Self::admissible(
+                    &r,
+                    earliest_free,
+                    batcher.len(),
+                    &self.modes[current_mode],
+                    overhead_s,
+                ) {
+                    batcher.push(r);
+                } else {
+                    shed += 1;
+                }
+                continue;
+            }
+
+            // Dispatch: control decision first (once per window).
+            let mut start = start_if_now;
+            if start >= next_control {
+                let recent = if win_latencies.is_empty() {
+                    0.0
+                } else {
+                    win_latencies.iter().sum::<f64>() / win_latencies.len() as f64
+                };
+                let pressure = if win_completed == 0 {
+                    0.0
+                } else {
+                    win_violations as f64 / win_completed as f64
+                };
+                win_latencies.clear();
+                win_completed = 0;
+                win_violations = 0;
+                let cap = injector.as_ref().map_or(1.0, |f| f.thermal_cap_at(start));
+                if cap < 1.0 {
+                    throttled_windows += 1;
+                }
+                let state = PolicyState::loaded(start, recent, batcher.len(), pressure)
+                    .with_thermal_cap(cap);
+                let choice = self.governor.select(&state, n_modes).min(n_modes - 1);
+                // The SoC's governor has the last word, exactly as in the
+                // closed-loop simulator.
+                let enforced = enforce_thermal_cap(ladder, &self.modes, choice, cap);
+                window_degraded = enforced != choice;
+                if enforced != current_mode {
+                    switches += 1;
+                    switch_energy += self.config.sim.switch_energy_j;
+                    start += self.config.sim.switch_latency_s;
+                    current_mode = enforced;
+                }
+                next_control = start + self.config.sim.control_window_s;
+            }
+
+            let batch = batcher.take_batch();
+            if batch.is_empty() {
+                break; // unreachable by construction; never spin
+            }
+            let outcomes: Vec<_> =
+                batch.iter().map(|r| self.modes[current_mode].serve(r.difficulty)).collect();
+            let service_s = overhead_s + outcomes.iter().map(|o| o.cost.latency_s).sum::<f64>();
+            let finish = start + service_s;
+            worker_free[lane] = finish;
+            makespan = makespan.max(finish);
+            degraded_batches += usize::from(window_degraded);
+            for r in &batch {
+                win_completed += 1;
+                win_latencies.push((finish - r.time_s) * 1e3);
+                win_violations += usize::from(finish > r.deadline_s + 1e-12);
+            }
+            let sag = injector.as_ref().map_or(1.0, |f| f.sag_multiplier_at(start));
+            jobs.push(BatchJob {
+                seq,
+                worker: lane,
+                mode: current_mode,
+                finish_s: finish,
+                sag,
+                requests: batch,
+                outcomes,
+            });
+            seq += 1;
+            now = start;
+        }
+
+        // Shard the reduction across the pool, then fold in schedule order.
+        let exit_slots = self.modes.iter().map(|m| m.placement().len()).max().unwrap_or(0) + 1;
+        let results = run_pool(jobs, self.config.workers, exit_slots)?;
+
+        let batches = results.len();
+        let mut served = 0usize;
+        let mut correct = 0usize;
+        let mut energy = switch_energy;
+        let mut sag_energy = 0.0f64;
+        let mut latencies = Histogram::new();
+        let mut violations = 0usize;
+        let mut interactive = (0usize, 0usize);
+        let mut bulk = (0usize, 0usize);
+        let mut exit_counts = vec![0usize; exit_slots];
+        let mut occupancy = vec![0usize; n_modes];
+        let mut per_worker = vec![0usize; self.config.workers];
+        for r in &results {
+            served += r.size;
+            correct += r.correct;
+            energy += r.energy_j;
+            sag_energy += r.sag_energy_j;
+            for &l in &r.latencies_ms {
+                latencies.record(l);
+            }
+            violations += r.violations;
+            interactive.0 += r.interactive.0;
+            interactive.1 += r.interactive.1;
+            bulk.0 += r.bulk.0;
+            bulk.1 += r.bulk.1;
+            for (acc, &c) in exit_counts.iter_mut().zip(r.exit_hist.iter()) {
+                *acc += c;
+            }
+            occupancy[r.mode.min(n_modes - 1)] += r.size;
+            per_worker[r.worker.min(self.config.workers - 1)] += r.size;
+        }
+        let denom = served.max(1) as f64;
+        Ok(ServeReport {
+            governor: self.governor.name().to_string(),
+            workers: self.config.workers,
+            rps: self.config.rps,
+            duration_s: self.config.duration_s,
+            seed: self.config.seed,
+            offered,
+            served,
+            shed,
+            batches,
+            mean_batch_size: served as f64 / batches.max(1) as f64,
+            makespan_s: makespan,
+            throughput_rps: served as f64 / makespan.max(self.config.duration_s),
+            accuracy_pct: if served > 0 { correct as f64 / served as f64 * 100.0 } else { 0.0 },
+            energy_j: energy,
+            sag_energy_j: sag_energy,
+            latency: latencies.summary(),
+            slo: SloSummary {
+                target_ms: self.config.slo_ms,
+                violations,
+                violation_rate: violations as f64 / denom,
+                interactive_served: interactive.0,
+                interactive_violations: interactive.1,
+                bulk_served: bulk.0,
+                bulk_violations: bulk.1,
+            },
+            exit_fractions: exit_counts.iter().map(|&c| c as f64 / denom).collect(),
+            mode_occupancy: occupancy.iter().map(|&c| c as f64 / denom).collect(),
+            mode_switches: switches,
+            degraded_batches,
+            throttled_windows,
+            per_worker_served: per_worker,
+        })
+    }
+}

@@ -1,0 +1,98 @@
+use crate::{GovernorKind, ServeConfig};
+use hadas::Hadas;
+use hadas_runtime::{
+    DegradePolicy, LatencyPolicy, OperatingMode, PolicyState, ScalingPolicy, StaticPolicy,
+};
+
+/// A load-driven DVFS governor: steps toward the frugal (fast, cheap) end
+/// of the mode ladder as the batcher backlog deepens, with an extra step
+/// whenever recent SLO pressure crosses a threshold. The inverse of
+/// [`hadas_runtime::SocPolicy`]'s battery story — here the scarce resource
+/// is deadline slack, not charge.
+///
+/// Stateless: the decision is a pure function of the observed
+/// [`PolicyState`], so control windows can be replayed deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuePolicy {
+    depth_per_step: usize,
+    pressure_threshold: f64,
+    label: String,
+}
+
+impl QueuePolicy {
+    /// Steps one mode down for every `depth_per_step` queued requests
+    /// (a zero step is treated as 1), plus one more while the fraction of
+    /// recent completions missing their SLO exceeds `pressure_threshold`.
+    pub fn new(depth_per_step: usize, pressure_threshold: f64) -> Self {
+        let depth_per_step = depth_per_step.max(1);
+        QueuePolicy {
+            depth_per_step,
+            pressure_threshold,
+            label: format!("queue[{depth_per_step}]"),
+        }
+    }
+}
+
+impl ScalingPolicy for QueuePolicy {
+    fn select(&self, state: &PolicyState, num_modes: usize) -> usize {
+        let mut step = state.queue_depth / self.depth_per_step;
+        if state.slo_pressure > self.pressure_threshold {
+            step += 1;
+        }
+        step.min(num_modes.saturating_sub(1))
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Builds the configured governor, wrapped in a [`DegradePolicy`] so
+/// thermal-throttle episodes always pull the selection to a feasible mode
+/// before [`hadas_runtime::enforce_thermal_cap`] has to override it.
+pub fn build_governor(
+    hadas: &Hadas,
+    modes: &[OperatingMode],
+    config: &ServeConfig,
+) -> DegradePolicy {
+    let inner: Box<dyn ScalingPolicy + Send + Sync> = match config.governor {
+        GovernorKind::Static => Box::new(StaticPolicy::new(0)),
+        GovernorKind::Latency => Box::new(LatencyPolicy::new(config.slo_ms)),
+        GovernorKind::Queue => Box::new(QueuePolicy::new(config.batch_max, 0.1)),
+    };
+    DegradePolicy::new(hadas, modes, inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loaded(depth: usize, pressure: f64) -> PolicyState {
+        PolicyState::loaded(0.0, 0.0, depth, pressure)
+    }
+
+    #[test]
+    fn queue_policy_steps_with_backlog() {
+        let p = QueuePolicy::new(8, 0.1);
+        assert_eq!(p.select(&loaded(0, 0.0), 4), 0);
+        assert_eq!(p.select(&loaded(7, 0.0), 4), 0);
+        assert_eq!(p.select(&loaded(8, 0.0), 4), 1);
+        assert_eq!(p.select(&loaded(16, 0.0), 4), 2);
+        assert_eq!(p.select(&loaded(80, 0.0), 4), 3, "clamps to the frugal end");
+    }
+
+    #[test]
+    fn slo_pressure_adds_one_step() {
+        let p = QueuePolicy::new(8, 0.1);
+        assert_eq!(p.select(&loaded(0, 0.5), 4), 1);
+        assert_eq!(p.select(&loaded(8, 0.5), 4), 2);
+        assert_eq!(p.select(&loaded(0, 0.05), 4), 0, "below threshold: no step");
+    }
+
+    #[test]
+    fn zero_depth_per_step_is_saturated_to_one() {
+        let p = QueuePolicy::new(0, 0.1);
+        assert_eq!(p.select(&loaded(2, 0.0), 4), 2);
+        assert_eq!(p.name(), "queue[1]");
+    }
+}

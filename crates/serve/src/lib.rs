@@ -1,0 +1,58 @@
+//! # hadas-serve
+//!
+//! The open-loop serving side of "Edge Performance Scaling": a
+//! multi-worker inference server for a deployed HADAS outcome — a
+//! backbone with early exits, the Pareto mode ladder, and a DVFS
+//! governor — driven by a seeded Poisson/burst arrival stream.
+//!
+//! Where [`hadas_runtime`]'s closed-loop simulator serves each arrival to
+//! completion before considering the next (the battery-budget story),
+//! this crate models the *throughput* story: requests queue, batches
+//! form, deadlines bind, and the governor reacts to load instead of
+//! charge. Components:
+//!
+//! * [`generate_requests`] — the arrival stream: Poisson-ish arrivals
+//!   with drifting difficulty regimes (and burst fault episodes), each
+//!   tagged with an SLO class and absolute deadline.
+//! * [`Batcher`] — deadline-aware dynamic batching: EDF across SLO
+//!   classes, FIFO within, size-or-slack closing with an early-exit-aware
+//!   service estimate.
+//! * Admission control — requests whose deadline is infeasible under the
+//!   current backlog are shed at arrival, keeping the queue bounded.
+//! * [`QueuePolicy`] and [`build_governor`] — queue-depth/SLO-pressure
+//!   DVFS governors built on [`hadas_runtime::ScalingPolicy`], always
+//!   wrapped in thermal-cap-aware degradation.
+//! * [`ServeEngine`] — the virtual-time scheduler plus a sharded
+//!   reduction pool over vendored crossbeam channels; results are tagged
+//!   with schedule order and folded deterministically, so a fixed seed
+//!   yields a byte-identical [`ServeReport`] for any worker count.
+//!
+//! ```no_run
+//! use hadas_serve::{ServeConfig, ServeEngine};
+//! # use hadas::{Hadas, HadasConfig};
+//! # use hadas_hw::HwTarget;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+//! let outcome = hadas.run(&HadasConfig::smoke_test())?;
+//! let modes = hadas_runtime::modes_from_pareto(&hadas, &outcome, 3)?;
+//! let config = ServeConfig { rps: 120.0, workers: 2, ..ServeConfig::default() };
+//! let report = ServeEngine::new(&hadas, modes, config)?.run()?;
+//! println!("{:.1} req/s at p99 {:.1} ms", report.throughput_rps, report.latency.p99_ms);
+//! # Ok(())
+//! # }
+//! ```
+
+mod batch;
+mod config;
+mod engine;
+mod governor;
+mod pool;
+mod report;
+mod request;
+
+pub use batch::Batcher;
+pub use config::{GovernorKind, ServeConfig};
+pub use engine::ServeEngine;
+pub use governor::{build_governor, QueuePolicy};
+pub use report::{ServeReport, SloSummary};
+pub use request::{generate_requests, Request, SloClass};

@@ -1,0 +1,207 @@
+//! The sharded reduction pool: scheduled batches stream over vendored
+//! crossbeam channels to real worker threads, each of which reduces its
+//! batches with a *pure* function of the job. Results carry the schedule
+//! sequence number, and the engine folds them in sequence order — so the
+//! final report is byte-identical no matter how the OS interleaves the
+//! workers.
+
+use crate::Request;
+use crossbeam::channel;
+use hadas::HadasError;
+use hadas_runtime::ServeOutcome;
+
+/// One scheduled batch: everything a worker needs to reduce it, fixed at
+/// schedule time so the reduction is a pure function of the job.
+#[derive(Debug, Clone)]
+pub(crate) struct BatchJob {
+    /// Position in the dispatch schedule (the reduction sort key).
+    pub seq: usize,
+    /// Worker lane the scheduler assigned (timing lane, not the thread
+    /// that happens to reduce the job).
+    pub worker: usize,
+    /// Operating-mode index the batch ran under.
+    pub mode: usize,
+    /// Completion instant on the virtual timeline (seconds).
+    pub finish_s: f64,
+    /// Voltage-sag energy multiplier in force at dispatch.
+    pub sag: f64,
+    /// The batched requests, in dispatch order.
+    pub requests: Vec<Request>,
+    /// Per-request serve outcomes under `mode`, aligned with `requests`.
+    pub outcomes: Vec<ServeOutcome>,
+}
+
+/// The reduced shard of one batch.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct BatchResult {
+    /// Schedule sequence number (reduction sort key).
+    pub seq: usize,
+    /// Scheduler-assigned worker lane.
+    pub worker: usize,
+    /// Operating-mode index the batch ran under.
+    pub mode: usize,
+    /// Requests in the batch.
+    pub size: usize,
+    /// Energy drawn, sag included (joules).
+    pub energy_j: f64,
+    /// Extra joules paid to voltage sag beyond the nominal mode costs.
+    pub sag_energy_j: f64,
+    /// Correct predictions.
+    pub correct: usize,
+    /// Exit-depth histogram: slot `k` counts exits at head `k`, the last
+    /// slot counts full-backbone runs.
+    pub exit_hist: Vec<usize>,
+    /// Per-request completion latency (arrival → batch finish), ms, in
+    /// dispatch order.
+    pub latencies_ms: Vec<f64>,
+    /// Requests whose completion missed their deadline.
+    pub violations: usize,
+    /// `(served, violations)` for the interactive class.
+    pub interactive: (usize, usize),
+    /// `(served, violations)` for the bulk class.
+    pub bulk: (usize, usize),
+}
+
+/// Reduces one batch — pure: no clocks, no RNG, no shared state.
+fn reduce_batch(job: &BatchJob, exit_slots: usize) -> BatchResult {
+    let mut energy = 0.0f64;
+    let mut nominal = 0.0f64;
+    let mut correct = 0usize;
+    let mut exit_hist = vec![0usize; exit_slots.max(1)];
+    let mut latencies_ms = Vec::with_capacity(job.requests.len());
+    let mut violations = 0usize;
+    let mut interactive = (0usize, 0usize);
+    let mut bulk = (0usize, 0usize);
+    let last = exit_hist.len() - 1;
+    for (r, o) in job.requests.iter().zip(job.outcomes.iter()) {
+        nominal += o.cost.energy_j;
+        energy += o.cost.energy_j * job.sag;
+        correct += usize::from(o.correct);
+        let slot = o.exit.map_or(last, |k| k.min(last));
+        exit_hist[slot] += 1;
+        latencies_ms.push((job.finish_s - r.time_s) * 1e3);
+        let late = job.finish_s > r.deadline_s + 1e-12;
+        violations += usize::from(late);
+        let class = match r.class {
+            crate::SloClass::Interactive => &mut interactive,
+            crate::SloClass::Bulk => &mut bulk,
+        };
+        class.0 += 1;
+        class.1 += usize::from(late);
+    }
+    BatchResult {
+        seq: job.seq,
+        worker: job.worker,
+        mode: job.mode,
+        size: job.requests.len(),
+        energy_j: energy,
+        sag_energy_j: energy - nominal,
+        correct,
+        exit_hist,
+        latencies_ms,
+        violations,
+        interactive,
+        bulk,
+    }
+}
+
+/// Runs the reduction pool: `workers` scoped threads pull jobs from a
+/// shared channel, reduce them, and send tagged results back; the caller
+/// receives them sorted by schedule sequence.
+///
+/// # Errors
+///
+/// Returns [`HadasError::InvalidConfig`] if a worker thread panicked
+/// (reductions are pure, so this indicates a bug, not bad input).
+pub(crate) fn run_pool(
+    jobs: Vec<BatchJob>,
+    workers: usize,
+    exit_slots: usize,
+) -> Result<Vec<BatchResult>, HadasError> {
+    let (job_tx, job_rx) = channel::unbounded();
+    for job in jobs {
+        if job_tx.send(job).is_err() {
+            break; // receivers gone: nothing to reduce
+        }
+    }
+    drop(job_tx);
+    let (res_tx, res_rx) = channel::unbounded();
+    let mut results: Vec<BatchResult> = crossbeam::thread::scope(|s| {
+        for _ in 0..workers.max(1) {
+            let rx = job_rx.clone();
+            let tx = res_tx.clone();
+            s.spawn(move |_| {
+                while let Ok(job) = rx.recv() {
+                    if tx.send(reduce_batch(&job, exit_slots)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        // Drop the prototype sender so the stream closes when the last
+        // worker exits, then drain on this thread while workers run.
+        drop(res_tx);
+        res_rx.iter().collect()
+    })
+    .map_err(|_| HadasError::InvalidConfig("serve worker pool panicked".into()))?;
+    results.sort_by_key(|r| r.seq);
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SloClass;
+    use hadas_hw::CostReport;
+
+    fn job(seq: usize, n: usize) -> BatchJob {
+        let requests: Vec<Request> = (0..n)
+            .map(|i| Request {
+                id: seq * 100 + i,
+                time_s: 0.0,
+                difficulty: 0.5,
+                class: if i % 2 == 0 { SloClass::Interactive } else { SloClass::Bulk },
+                deadline_s: if i % 3 == 0 { 0.05 } else { 10.0 },
+            })
+            .collect();
+        let outcomes: Vec<ServeOutcome> = (0..n)
+            .map(|i| ServeOutcome {
+                cost: CostReport { latency_s: 0.01, energy_j: 0.2 },
+                correct: i % 2 == 0,
+                exit: if i % 2 == 0 { Some(0) } else { None },
+            })
+            .collect();
+        BatchJob { seq, worker: seq % 2, mode: 0, finish_s: 0.1, sag: 1.5, requests, outcomes }
+    }
+
+    #[test]
+    fn reduction_is_pure_and_accounts_sag() {
+        let j = job(0, 4);
+        let a = reduce_batch(&j, 3);
+        let b = reduce_batch(&j, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.size, 4);
+        assert_eq!(a.correct, 2);
+        assert!((a.energy_j - 4.0 * 0.2 * 1.5).abs() < 1e-12);
+        assert!((a.sag_energy_j - 4.0 * 0.2 * 0.5).abs() < 1e-12);
+        assert_eq!(a.exit_hist, vec![2, 0, 2], "even indices exit at 0, odd run full");
+        assert_eq!(a.violations, 2, "deadlines at 0.05 s are missed at finish 0.1 s");
+        assert_eq!(a.interactive.0 + a.bulk.0, 4);
+    }
+
+    #[test]
+    fn pool_returns_results_in_schedule_order_for_any_worker_count() {
+        let jobs: Vec<BatchJob> = (0..20).map(|s| job(s, 3)).collect();
+        let single = run_pool(jobs.clone(), 1, 3).unwrap();
+        for workers in [2, 4, 7] {
+            let multi = run_pool(jobs.clone(), workers, 3).unwrap();
+            assert_eq!(single, multi, "reduction must not depend on thread count");
+        }
+        assert!(single.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn empty_schedule_reduces_to_nothing() {
+        assert!(run_pool(Vec::new(), 4, 2).unwrap().is_empty());
+    }
+}

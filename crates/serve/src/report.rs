@@ -1,0 +1,91 @@
+use hadas_runtime::LatencySummary;
+use serde::{Deserialize, Serialize};
+
+/// Deadline accounting of one serving run, split by SLO class.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SloSummary {
+    /// The interactive-class deadline budget (ms).
+    pub target_ms: f64,
+    /// Served requests that missed their deadline.
+    pub violations: usize,
+    /// `violations / served` (0 when nothing was served).
+    pub violation_rate: f64,
+    /// Interactive requests served.
+    pub interactive_served: usize,
+    /// Interactive requests that missed their deadline.
+    pub interactive_violations: usize,
+    /// Bulk requests served.
+    pub bulk_served: usize,
+    /// Bulk requests that missed their deadline.
+    pub bulk_violations: usize,
+}
+
+/// Aggregate outcome of one open-loop serving run.
+///
+/// Everything here is reduced from the per-batch shards in schedule order,
+/// so the same `(config, modes)` pair always produces byte-identical JSON
+/// — including under `--faults` and with any worker count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Governor name (e.g. `degrade(queue[8])`).
+    pub governor: String,
+    /// Worker lanes in the pool.
+    pub workers: usize,
+    /// Mean offered load (requests/s).
+    pub rps: f64,
+    /// Arrival-stream length (s).
+    pub duration_s: f64,
+    /// The run seed.
+    pub seed: u64,
+    /// Requests offered by the arrival stream.
+    pub offered: usize,
+    /// Requests admitted and served.
+    pub served: usize,
+    /// Requests shed at admission (deadline infeasible under backlog).
+    pub shed: usize,
+    /// Batches dispatched.
+    pub batches: usize,
+    /// `served / batches` (0 when no batch dispatched).
+    pub mean_batch_size: f64,
+    /// Completion time of the last batch (s).
+    pub makespan_s: f64,
+    /// `served / max(makespan, duration)` (requests/s).
+    pub throughput_rps: f64,
+    /// Accuracy over served requests (percent).
+    pub accuracy_pct: f64,
+    /// Total energy drawn, sag and mode switches included (joules).
+    pub energy_j: f64,
+    /// Extra joules paid to voltage sag beyond nominal mode costs.
+    pub sag_energy_j: f64,
+    /// Completion-latency distribution (arrival → batch finish).
+    pub latency: LatencySummary,
+    /// Deadline accounting.
+    pub slo: SloSummary,
+    /// Fraction of served requests leaving at each exit head; the last
+    /// slot is the full-backbone fraction.
+    pub exit_fractions: Vec<f64>,
+    /// Fraction of served requests handled per operating mode.
+    pub mode_occupancy: Vec<f64>,
+    /// Mode switches latched by the governor.
+    pub mode_switches: usize,
+    /// Batches served in a mode *below* the governor's choice because a
+    /// thermal cap had to be enforced.
+    pub degraded_batches: usize,
+    /// Control windows that opened under an active thermal cap.
+    pub throttled_windows: usize,
+    /// Requests served per worker lane.
+    pub per_worker_served: Vec<usize>,
+}
+
+impl ServeReport {
+    /// Serialises the report as pretty JSON — the byte-identical artifact
+    /// the determinism contract is stated over.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialisation failures (none for this struct in
+    /// practice).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+}

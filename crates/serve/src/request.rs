@@ -1,0 +1,127 @@
+use crate::ServeConfig;
+use hadas_runtime::{FaultInjector, TraceConfig, WorkloadTrace};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Salt separating the SLO-class stream from the arrival stream so both
+/// are independent draws from one seed.
+const CLASS_SALT: u64 = 0x534c_4f5f_434c_4153; // "SLO_CLAS"
+
+/// The service-level class of a request, deciding its deadline budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SloClass {
+    /// Tight deadline: `slo_ms` after arrival.
+    Interactive,
+    /// Relaxed deadline: `slo_ms × bulk_slo_factor` after arrival.
+    Bulk,
+}
+
+/// One admitted-or-sheddable inference request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Arrival index (stable across the run; ties broken by this).
+    pub id: usize,
+    /// Arrival time, seconds from stream start.
+    pub time_s: f64,
+    /// The sample's latent difficulty (drives early exits).
+    pub difficulty: f64,
+    /// The SLO class.
+    pub class: SloClass,
+    /// Absolute completion deadline, seconds from stream start.
+    pub deadline_s: f64,
+}
+
+impl Request {
+    /// Deadline slack remaining at time `now` (negative once late).
+    pub fn slack_s(&self, now: f64) -> f64 {
+        self.deadline_s - now
+    }
+}
+
+/// Generates the request stream for one serving run: Poisson-ish arrivals
+/// with regime-scheduled difficulties (burst fault episodes modulate the
+/// instantaneous rate), each tagged with a seeded SLO class and the
+/// absolute deadline its class implies.
+pub fn generate_requests(config: &ServeConfig, faults: Option<&FaultInjector>) -> Vec<Request> {
+    let trace_cfg = TraceConfig {
+        duration_s: config.duration_s,
+        rate_hz: config.rps,
+        ..TraceConfig::default()
+    };
+    let trace = match faults {
+        Some(f) => {
+            WorkloadTrace::generate_modulated(&trace_cfg, config.seed, |t| f.rate_multiplier_at(t))
+        }
+        None => WorkloadTrace::generate(&trace_cfg, config.seed),
+    };
+    let mut rng = StdRng::seed_from_u64(config.seed ^ CLASS_SALT);
+    let slo_s = config.slo_ms * 1e-3;
+    trace
+        .arrivals()
+        .iter()
+        .enumerate()
+        .map(|(id, a)| {
+            let bulk = rng.gen_range(0.0..1.0f64) < config.bulk_fraction;
+            let (class, budget) = if bulk {
+                (SloClass::Bulk, slo_s * config.bulk_slo_factor)
+            } else {
+                (SloClass::Interactive, slo_s)
+            };
+            Request {
+                id,
+                time_s: a.time_s,
+                difficulty: a.difficulty,
+                class,
+                deadline_s: a.time_s + budget,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_time_ordered() {
+        let cfg = ServeConfig::default();
+        let a = generate_requests(&cfg, None);
+        let b = generate_requests(&cfg, None);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.windows(2).all(|w| w[1].time_s >= w[0].time_s));
+        assert!(a.iter().enumerate().all(|(i, r)| r.id == i));
+    }
+
+    #[test]
+    fn class_mix_follows_the_configured_fraction() {
+        let cfg = ServeConfig { duration_s: 60.0, rps: 100.0, ..ServeConfig::default() };
+        let reqs = generate_requests(&cfg, None);
+        let bulk = reqs.iter().filter(|r| r.class == SloClass::Bulk).count();
+        let frac = bulk as f64 / reqs.len() as f64;
+        assert!((frac - cfg.bulk_fraction).abs() < 0.05, "bulk fraction {frac}");
+        for r in &reqs {
+            let budget = r.deadline_s - r.time_s;
+            let expected = match r.class {
+                SloClass::Interactive => cfg.slo_ms * 1e-3,
+                SloClass::Bulk => cfg.slo_ms * 1e-3 * cfg.bulk_slo_factor,
+            };
+            assert!((budget - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn burst_faults_densify_the_stream() {
+        let cfg = ServeConfig { duration_s: 60.0, rps: 40.0, ..ServeConfig::default() };
+        let calm = generate_requests(&cfg, None);
+        let inj = FaultInjector::new(hadas_runtime::FaultConfig {
+            horizon_s: 60.0,
+            burst_episodes: 3,
+            burst_multiplier: 4.0,
+            ..hadas_runtime::FaultConfig::chaos(cfg.seed)
+        })
+        .unwrap();
+        let bursty = generate_requests(&cfg, Some(&inj));
+        assert!(bursty.len() > calm.len(), "{} vs {}", bursty.len(), calm.len());
+    }
+}

@@ -1,0 +1,117 @@
+//! End-to-end contracts of the serving engine: byte-identical reports
+//! from a fixed seed (including under faults and multi-worker pools),
+//! throughput that scales with the pool, and governors that actually
+//! move the mode ladder under load.
+
+use hadas::{Hadas, HadasConfig};
+use hadas_hw::HwTarget;
+use hadas_runtime::{modes_from_pareto, FaultConfig, OperatingMode};
+use hadas_serve::{GovernorKind, ServeConfig, ServeEngine};
+
+fn fixture() -> (Hadas, Vec<OperatingMode>) {
+    let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+    let outcome = hadas.run(&HadasConfig::smoke_test()).unwrap();
+    let modes = modes_from_pareto(&hadas, &outcome, 3).unwrap();
+    (hadas, modes)
+}
+
+fn config(workers: usize, governor: GovernorKind) -> ServeConfig {
+    ServeConfig {
+        seed: 7,
+        duration_s: 8.0,
+        rps: 150.0,
+        workers,
+        governor,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn reports_are_byte_identical_across_runs() {
+    let (hadas, modes) = fixture();
+    for workers in [1usize, 3] {
+        let cfg = config(workers, GovernorKind::Queue);
+        let a = ServeEngine::new(&hadas, modes.clone(), cfg.clone()).unwrap().run().unwrap();
+        let b = ServeEngine::new(&hadas, modes.clone(), cfg).unwrap().run().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.to_json().unwrap(),
+            b.to_json().unwrap(),
+            "same seed + config must serialise byte-identically (workers={workers})"
+        );
+    }
+}
+
+#[test]
+fn faulty_runs_are_byte_identical_too() {
+    let (hadas, modes) = fixture();
+    let mut cfg = config(2, GovernorKind::Queue);
+    cfg.faults = Some(FaultConfig { horizon_s: 8.0, episode_s: 2.0, ..FaultConfig::chaos(11) });
+    let a = ServeEngine::new(&hadas, modes.clone(), cfg.clone()).unwrap().run().unwrap();
+    let b = ServeEngine::new(&hadas, modes, cfg).unwrap().run().unwrap();
+    assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+    assert!(a.throttled_windows > 0 || a.sag_energy_j > 0.0, "chaos must be visible");
+}
+
+#[test]
+fn throughput_scales_with_the_worker_pool() {
+    let (hadas, modes) = fixture();
+    let mut last = 0.0;
+    for workers in [1usize, 2, 4] {
+        let cfg = config(workers, GovernorKind::Queue);
+        let r = ServeEngine::new(&hadas, modes.clone(), cfg).unwrap().run().unwrap();
+        assert!(
+            r.throughput_rps > last,
+            "throughput must grow with the pool: {} rps at {workers} workers vs {last}",
+            r.throughput_rps
+        );
+        assert_eq!(r.served + r.shed, r.offered, "every request is served or shed");
+        assert_eq!(r.per_worker_served.iter().sum::<usize>(), r.served);
+        assert_eq!(r.per_worker_served.len(), workers);
+        last = r.throughput_rps;
+    }
+}
+
+#[test]
+fn load_governors_leave_the_pinned_mode() {
+    let (hadas, modes) = fixture();
+    let pinned = ServeEngine::new(&hadas, modes.clone(), config(1, GovernorKind::Static))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(pinned.mode_switches, 0, "the static governor never moves");
+    assert!((pinned.mode_occupancy[0] - 1.0).abs() < 1e-12);
+    let adaptive = ServeEngine::new(&hadas, modes.clone(), config(1, GovernorKind::Queue))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(adaptive.mode_switches >= 1, "a saturated queue must push the governor");
+    assert!(adaptive.mode_occupancy[0] < 1.0, "load must shift occupancy off performance");
+}
+
+#[test]
+fn report_accounting_is_self_consistent() {
+    let (hadas, modes) = fixture();
+    let r =
+        ServeEngine::new(&hadas, modes, config(2, GovernorKind::Latency)).unwrap().run().unwrap();
+    assert!(r.served > 0 && r.batches > 0);
+    assert!((r.mean_batch_size - r.served as f64 / r.batches as f64).abs() < 1e-12);
+    let occ: f64 = r.mode_occupancy.iter().sum();
+    assert!((occ - 1.0).abs() < 1e-9);
+    let exits: f64 = r.exit_fractions.iter().sum();
+    assert!((exits - 1.0).abs() < 1e-9);
+    assert_eq!(r.slo.interactive_served + r.slo.bulk_served, r.served);
+    assert_eq!(r.slo.interactive_violations + r.slo.bulk_violations, r.slo.violations);
+    assert!(r.latency.p50_ms <= r.latency.p95_ms && r.latency.p95_ms <= r.latency.p99_ms);
+    assert!(r.latency.p99_ms <= r.latency.max_ms);
+    assert!(r.energy_j > 0.0);
+    assert!(r.makespan_s >= r.duration_s * 0.5, "work cannot finish before it mostly arrives");
+}
+
+#[test]
+fn empty_modes_and_bad_configs_are_rejected() {
+    let (hadas, modes) = fixture();
+    assert!(ServeEngine::new(&hadas, Vec::new(), ServeConfig::default()).is_err());
+    let bad = ServeConfig { workers: 0, ..ServeConfig::default() };
+    assert!(ServeEngine::new(&hadas, modes, bad).is_err());
+}

@@ -160,7 +160,11 @@ impl Subnet {
                 }
             }
         }
-        unreachable!("position validated above")
+        // `pos` was validated against `num_mbconv_layers()` above, so the
+        // loop returns unless the layer list disagrees with its own MBConv
+        // count; degrade to the full-backbone MAC count (prefix == whole
+        // model) instead of aborting — callers treat it as "no savings".
+        acc
     }
 
     /// Fraction of total MACs spent by the prefix ending at MBConv layer

@@ -15,6 +15,7 @@ pub use hadas_exits as exits;
 pub use hadas_hw as hw;
 pub use hadas_nn as nn;
 pub use hadas_runtime as runtime;
+pub use hadas_serve as serve;
 pub use hadas_space as space;
 pub use hadas_supernet as supernet;
 pub use hadas_tensor as tensor;

@@ -2,7 +2,10 @@
 //!
 //! Provides `crossbeam::thread::scope` with the crossbeam 0.8 call shape
 //! (`scope.spawn(|_| ...)`, outer `Result`), implemented on top of
-//! `std::thread::scope` (stable since Rust 1.63).
+//! `std::thread::scope` (stable since Rust 1.63), and
+//! `crossbeam::channel` with the `crossbeam-channel` call shape
+//! (cloneable multi-consumer `Receiver`, `recv(&self)`), implemented on
+//! top of `std::sync::mpsc`.
 
 /// Scoped-thread API compatible with `crossbeam::thread`.
 pub mod thread {
@@ -81,6 +84,170 @@ pub mod thread {
             })
             .expect("no panics");
             assert_eq!(hits.load(std::sync::atomic::Ordering::SeqCst), 1);
+        }
+    }
+}
+
+/// Multi-producer multi-consumer channels compatible with the
+/// `crossbeam-channel` API subset this workspace uses: `unbounded()`,
+/// cloneable `Sender`/`Receiver`, `recv(&self)` and draining iteration.
+///
+/// Implemented over `std::sync::mpsc` with the single consumer endpoint
+/// shared behind an `Arc<Mutex<..>>`; receive order across multiple
+/// consumers is whatever the lock hands out (same as upstream crossbeam,
+/// where cross-consumer ordering is unspecified). Workloads that need
+/// deterministic results must therefore tag messages and reduce in a
+/// fixed order — exactly the `hadas-serve` contract.
+pub mod channel {
+    use std::sync::{mpsc, Arc, Mutex};
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    /// Carries the unsent message, matching crossbeam.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] once the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// The sending half of a channel. Cloneable; the channel disconnects
+    /// when every `Sender` is dropped.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `msg`, failing only when every receiver has been dropped.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SendError`] carrying `msg` back on disconnection.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    /// The receiving half of a channel. Cloneable: clones share one queue,
+    /// so messages are distributed (each is seen by exactly one receiver).
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or the channel disconnects.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] once the channel is empty and every
+        /// sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            // A poisoned queue mutex means another consumer panicked
+            // mid-recv; treat the channel as disconnected rather than
+            // propagating the panic (non-poisoning, like parking_lot).
+            let guard = match self.inner.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.recv().map_err(|_| RecvError)
+        }
+
+        /// A draining blocking iterator: yields messages until the channel
+        /// disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Blocking iterator over received messages (see [`Receiver::iter`]).
+    #[derive(Debug)]
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: Arc::new(Mutex::new(rx)) })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn messages_round_trip_in_order_for_one_consumer() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let got: Vec<i32> = rx.iter().collect();
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn cloned_receivers_partition_the_stream() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            let n = 100usize;
+            let total: usize = crate::thread::scope(|s| {
+                let a = s.spawn(move |_| rx.iter().count());
+                let b = s.spawn(move |_| rx2.iter().count());
+                for i in 0..n {
+                    tx.send(i).unwrap();
+                }
+                drop(tx);
+                a.join().unwrap() + b.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(total, n, "every message is seen exactly once");
+        }
+
+        #[test]
+        fn send_fails_once_receivers_are_gone() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+
+        #[test]
+        fn recv_fails_once_senders_are_gone_and_queue_drains() {
+            let (tx, rx) = unbounded::<u8>();
+            tx.send(1).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Err(RecvError));
         }
     }
 }
