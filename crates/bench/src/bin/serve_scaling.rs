@@ -1,33 +1,74 @@
 //! Serving-engine scaling study: one searched mode ladder on the TX2
 //! GPU, replayed through the open-loop serving engine for every
 //! governor × worker-pool combination. Shows throughput scaling with
-//! the pool and the tail-latency / SLO price of each governor.
+//! the pool and the tail-latency / SLO price of each governor, plus an
+//! overload pair (brownout ladder off/on at 3× load) showing *how* a
+//! config degrades, not just how fast it goes.
 //!
 //! Writes `results/BENCH_serve.json`; the CI smoke job asserts the
-//! throughput column is monotone in the worker count.
+//! throughput column is monotone in the worker count and that the
+//! brownout ladder lowers the interactive violation rate under
+//! overload.
 
 use hadas::Hadas;
 use hadas_bench::{scaled_config, write_json};
 use hadas_hw::HwTarget;
 use hadas_runtime::modes_from_pareto;
-use hadas_serve::{GovernorKind, ServeConfig, ServeEngine};
+use hadas_serve::{BrownoutConfig, GovernorKind, ServeConfig, ServeEngine, ServeReport};
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
 struct ServeRow {
     governor: String,
     workers: usize,
+    rps: f64,
     offered: usize,
     served: usize,
     shed: usize,
+    rejected: usize,
+    dead_lettered: usize,
     throughput_rps: f64,
     p50_ms: f64,
     p95_ms: f64,
     p99_ms: f64,
     slo_violation_rate: f64,
+    interactive_violation_rate: f64,
     energy_j: f64,
     mode_switches: usize,
     mode_occupancy: Vec<f64>,
+    brownout_enabled: bool,
+    brownout_worst_tier: usize,
+    brownout_escalations: usize,
+    brownout_tier_windows: Vec<usize>,
+}
+
+impl ServeRow {
+    fn from_report(governor: GovernorKind, rps: f64, r: &ServeReport) -> Self {
+        ServeRow {
+            governor: governor.name().to_string(),
+            workers: r.workers,
+            rps,
+            offered: r.offered,
+            served: r.served,
+            shed: r.shed,
+            rejected: r.rejected,
+            dead_lettered: r.dead_lettered,
+            throughput_rps: r.throughput_rps,
+            p50_ms: r.latency.p50_ms,
+            p95_ms: r.latency.p95_ms,
+            p99_ms: r.latency.p99_ms,
+            slo_violation_rate: r.slo.violation_rate,
+            interactive_violation_rate: r.slo.interactive_violations as f64
+                / r.slo.interactive_served.max(1) as f64,
+            energy_j: r.energy_j,
+            mode_switches: r.mode_switches,
+            mode_occupancy: r.mode_occupancy.clone(),
+            brownout_enabled: r.brownout.enabled,
+            brownout_worst_tier: r.brownout.worst_tier,
+            brownout_escalations: r.brownout.escalations,
+            brownout_tier_windows: r.brownout.tier_windows.clone(),
+        }
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -73,21 +114,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 r.slo.violation_rate * 100.0,
                 r.mode_switches
             );
-            rows.push(ServeRow {
-                governor: governor.name().to_string(),
-                workers,
-                offered: r.offered,
-                served: r.served,
-                shed: r.shed,
-                throughput_rps: r.throughput_rps,
-                p50_ms: r.latency.p50_ms,
-                p95_ms: r.latency.p95_ms,
-                p99_ms: r.latency.p99_ms,
-                slo_violation_rate: r.slo.violation_rate,
-                energy_j: r.energy_j,
-                mode_switches: r.mode_switches,
-                mode_occupancy: r.mode_occupancy.clone(),
-            });
+            rows.push(ServeRow::from_report(governor, 200.0, &r));
         }
     }
     for governor in [GovernorKind::Static, GovernorKind::Latency, GovernorKind::Queue] {
@@ -106,6 +133,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
     println!("throughput grows monotonically 1 -> 4 workers under every governor");
+
+    // Overload pair: 3x the study load with and without the brownout
+    // ladder, same queue governor and pool. Tracks the degradation
+    // story in the same JSON the scaling rows land in.
+    println!();
+    println!("OVERLOAD — brownout ladder off/on at 600 rps, queue governor, 2 workers");
+    let mut overload_rows = Vec::new();
+    for brownout in [false, true] {
+        let serve_cfg = ServeConfig {
+            seed: 7,
+            duration_s: 10.0,
+            rps: 600.0,
+            workers: 2,
+            governor: GovernorKind::Queue,
+            brownout: brownout.then(BrownoutConfig::default),
+            ..ServeConfig::default()
+        };
+        let r = ServeEngine::new(&hadas, modes.clone(), serve_cfg)?.run()?;
+        let row = ServeRow::from_report(GovernorKind::Queue, 600.0, &r);
+        println!(
+            "  brownout {:<3}: p99 {:>7.1} ms | interactive SLO viol {:>5.2}% | \
+             shed {} rejected {} | worst tier {} ({} escalations)",
+            if brownout { "on" } else { "off" },
+            row.p99_ms,
+            row.interactive_violation_rate * 100.0,
+            row.shed,
+            row.rejected,
+            row.brownout_worst_tier,
+            row.brownout_escalations
+        );
+        assert_eq!(
+            r.served + r.shed + r.rejected + r.dead_lettered,
+            r.offered,
+            "request accounting must balance"
+        );
+        overload_rows.push(row);
+    }
+    assert!(
+        overload_rows[1].interactive_violation_rate < overload_rows[0].interactive_violation_rate,
+        "the brownout ladder must lower the interactive violation rate under overload"
+    );
+    assert!(overload_rows[1].brownout_escalations > 0, "3x overload must climb the ladder");
+    println!("  brownout strictly lowers the interactive violation rate under overload");
+    rows.extend(overload_rows);
+
     write_json("BENCH_serve", &rows);
     Ok(())
 }

@@ -126,6 +126,16 @@ pub enum Command {
         governor: hadas_serve::GovernorKind,
         /// Inject substrate fault episodes with this fault seed.
         faults: Option<u64>,
+        /// Inject execution-plane worker chaos (crashes, stragglers,
+        /// transient batch failures) with this fault seed; the
+        /// supervised pool must heal back to the fault-free report.
+        chaos: Option<u64>,
+        /// Enable the brownout degradation ladder (shed bulk → force
+        /// early exits → reject admissions) under overload.
+        brownout: bool,
+        /// Straggler-detection multiple of the batch service estimate
+        /// before a hedge is issued.
+        hedge_factor: f64,
         /// Optional JSON output path for the full report.
         json: Option<String>,
     },
@@ -316,6 +326,9 @@ impl Command {
                         "slo-ms",
                         "governor",
                         "faults",
+                        "chaos",
+                        "brownout",
+                        "hedge-factor",
                         "json",
                     ],
                 )?;
@@ -373,6 +386,29 @@ impl Command {
                             .map_err(|e| ParseCliError(format!("bad fault seed: {e}")))
                     })
                     .transpose()?;
+                let chaos = flag(&flags, "chaos")
+                    .map(|s| {
+                        s.parse::<u64>()
+                            .map_err(|e| ParseCliError(format!("bad chaos seed: {e}")))
+                    })
+                    .transpose()?;
+                let brownout = flag(&flags, "brownout")
+                    .map(|s| match s {
+                        "on" => Ok(true),
+                        "off" => Ok(false),
+                        other => Err(ParseCliError(format!(
+                            "bad brownout '{other}' (expected on or off)"
+                        ))),
+                    })
+                    .transpose()?
+                    .unwrap_or(false);
+                let hedge_factor = flag(&flags, "hedge-factor")
+                    .map(|s| {
+                        s.parse::<f64>()
+                            .map_err(|e| ParseCliError(format!("bad hedge-factor: {e}")))
+                    })
+                    .transpose()?
+                    .unwrap_or(3.0);
                 Ok(Command::Serve {
                     target,
                     scale,
@@ -384,6 +420,9 @@ impl Command {
                     slo_ms,
                     governor,
                     faults,
+                    chaos,
+                    brownout,
+                    hedge_factor,
                     json: flag(&flags, "json").map(str::to_string),
                 })
             }
@@ -495,7 +534,7 @@ mod tests {
         let cmd = Command::parse(&argv(
             "serve --target tx2-gpu --scale quick --seed 9 --rps 200 --duration 5 \
              --workers 4 --batch-max 16 --slo-ms 80 --governor latency --faults 3 \
-             --json out.json",
+             --chaos 13 --brownout on --hedge-factor 2.5 --json out.json",
         ))
         .unwrap();
         assert_eq!(
@@ -511,6 +550,9 @@ mod tests {
                 slo_ms: 80.0,
                 governor: hadas_serve::GovernorKind::Latency,
                 faults: Some(3),
+                chaos: Some(13),
+                brownout: true,
+                hedge_factor: 2.5,
                 json: Some("out.json".into()),
             }
         );
@@ -528,13 +570,25 @@ mod tests {
                 batch_max: 8,
                 governor: hadas_serve::GovernorKind::Queue,
                 faults: None,
+                chaos: None,
+                brownout: false,
                 json: None,
                 ..
             }
         ));
+        assert!(matches!(cmd, Command::Serve { hedge_factor, .. } if hedge_factor == 3.0));
         assert!(Command::parse(&argv("serve")).is_err(), "serve requires --target");
         assert!(Command::parse(&argv("serve --target tx2-gpu --governor warp")).is_err());
         assert!(Command::parse(&argv("serve --target tx2-gpu --rps fast")).is_err());
+    }
+
+    #[test]
+    fn serve_resilience_flags_validate() {
+        assert!(Command::parse(&argv("serve --target tx2-gpu --chaos loud")).is_err());
+        assert!(Command::parse(&argv("serve --target tx2-gpu --brownout maybe")).is_err());
+        assert!(Command::parse(&argv("serve --target tx2-gpu --hedge-factor soon")).is_err());
+        let cmd = Command::parse(&argv("serve --target tx2-gpu --brownout off")).unwrap();
+        assert!(matches!(cmd, Command::Serve { brownout: false, .. }));
     }
 
     #[test]

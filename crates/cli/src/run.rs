@@ -27,7 +27,9 @@ USAGE:
   hadas proxy     --target <t> [--samples N]
   hadas serve     --target <t> [--scale ...] [--seed N] [--rps R] [--duration S]
                   [--workers N] [--batch-max N] [--slo-ms MS]
-                  [--governor static|latency|queue] [--faults SEED] [--json PATH]
+                  [--governor static|latency|queue] [--faults SEED]
+                  [--chaos SEED] [--brownout on|off] [--hedge-factor K]
+                  [--json PATH]
 
 TARGETS: agx-gpu, agx-cpu, tx2-gpu, tx2-cpu
 
@@ -41,6 +43,13 @@ SERVING:
   `serve` searches a mode ladder, then replays a seeded open-loop
   arrival stream through the multi-worker serving engine; the same
   seed and config always produce a byte-identical report.
+  --chaos SEED           inject worker crashes, stragglers, and transient
+                         batch failures; the supervised pool heals them
+                         and the report stays byte-identical to fault-free
+  --brownout on|off      enable the overload degradation ladder (shed bulk
+                         -> force early exits -> reject admissions)
+  --hedge-factor K       hedge a straggling batch once it exceeds K times
+                         its service estimate (default 3.0)
 ";
 
 /// Executes a parsed command, writing the report to `out`.
@@ -266,6 +275,9 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
             slo_ms,
             governor,
             faults,
+            chaos,
+            brownout,
+            hedge_factor,
             json,
         } => {
             let hadas = Hadas::for_target(target);
@@ -293,13 +305,27 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
                     horizon_s: duration_s,
                     ..FaultConfig::chaos(fault_seed)
                 }),
+                chaos: chaos.map(|chaos_seed| FaultConfig {
+                    horizon_s: duration_s,
+                    ..FaultConfig::worker_chaos(chaos_seed)
+                }),
+                brownout: brownout.then(hadas_serve::BrownoutConfig::default),
+                hedge_factor,
                 ..ServeConfig::default()
             };
-            let report = ServeEngine::new(&hadas, modes, serve_cfg)?.run()?;
+            let (report, telemetry) =
+                ServeEngine::new(&hadas, modes, serve_cfg)?.run_instrumented()?;
             writeln!(
                 out,
-                "offered {} | served {} | shed {} | batches {} (mean size {:.2})",
-                report.offered, report.served, report.shed, report.batches, report.mean_batch_size
+                "offered {} | served {} | shed {} | rejected {} | dead-lettered {} \
+                 | batches {} (mean size {:.2})",
+                report.offered,
+                report.served,
+                report.shed,
+                report.rejected,
+                report.dead_lettered,
+                report.batches,
+                report.mean_batch_size
             )?;
             writeln!(
                 out,
@@ -343,6 +369,37 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
                     out,
                     "faults: {} degraded batches, {} throttled control windows",
                     report.degraded_batches, report.throttled_windows
+                )?;
+            }
+            if chaos.is_some() {
+                writeln!(
+                    out,
+                    "chaos healed: {} crashes ({} respawns), {} retries, {} re-dispatches, \
+                     {} hedges ({} duplicates), {} breaker trips, {} dead-lettered",
+                    telemetry.crashes,
+                    telemetry.respawns,
+                    telemetry.retries,
+                    telemetry.redispatches,
+                    telemetry.hedges,
+                    telemetry.duplicate_results,
+                    telemetry.breaker_trips,
+                    telemetry.dead_letter_requests
+                )?;
+            }
+            if report.brownout.enabled {
+                writeln!(
+                    out,
+                    "brownout: worst tier {} | windows {} | {} escalations / {} de-escalations",
+                    report.brownout.worst_tier,
+                    report
+                        .brownout
+                        .tier_windows
+                        .iter()
+                        .map(|w| w.to_string())
+                        .collect::<Vec<_>>()
+                        .join("/"),
+                    report.brownout.escalations,
+                    report.brownout.deescalations
                 )?;
             }
             if let Some(path) = json {
@@ -523,6 +580,9 @@ mod tests {
             slo_ms: 120.0,
             governor: hadas_serve::GovernorKind::Queue,
             faults: None,
+            chaos: None,
+            brownout: false,
+            hedge_factor: 3.0,
             json,
         }
     }
@@ -549,26 +609,65 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
-    #[test]
-    fn serve_with_faults_reports_chaos() {
-        let cmd = match serve_cmd(None) {
-            Command::Serve { target, scale, seed, rps, duration_s, .. } => Command::Serve {
+    /// Rebuilds the canonical serve command with resilience knobs set.
+    fn serve_cmd_with(
+        faults: Option<u64>,
+        chaos: Option<u64>,
+        brownout: bool,
+        rps: f64,
+    ) -> Command {
+        match serve_cmd(None) {
+            Command::Serve {
+                target,
+                scale,
+                seed,
+                duration_s,
+                workers,
+                batch_max,
+                slo_ms,
+                governor,
+                hedge_factor,
+                json,
+                ..
+            } => Command::Serve {
                 target,
                 scale,
                 seed,
                 rps,
                 duration_s,
-                workers: 2,
-                batch_max: 8,
-                slo_ms: 120.0,
-                governor: hadas_serve::GovernorKind::Queue,
-                faults: Some(11),
-                json: None,
+                workers,
+                batch_max,
+                slo_ms,
+                governor,
+                faults,
+                chaos,
+                brownout,
+                hedge_factor,
+                json,
             },
             other => other,
-        };
-        let text = run(cmd);
+        }
+    }
+
+    #[test]
+    fn serve_with_faults_reports_chaos() {
+        let text = run(serve_cmd_with(Some(11), None, false, 120.0));
         assert!(text.contains("throughput"), "{text}");
+        assert!(!text.contains("chaos healed"), "no worker chaos requested: {text}");
+    }
+
+    #[test]
+    fn serve_with_worker_chaos_prints_healing_telemetry() {
+        let text = run(serve_cmd_with(None, Some(13), false, 120.0));
+        assert!(text.contains("chaos healed"), "{text}");
+        assert!(text.contains("dead-lettered"), "{text}");
+    }
+
+    #[test]
+    fn serve_with_brownout_prints_ladder_summary() {
+        let text = run(serve_cmd_with(None, None, true, 600.0));
+        assert!(text.contains("brownout: worst tier"), "{text}");
+        assert!(text.contains("escalations"), "{text}");
     }
 
     #[test]

@@ -68,7 +68,8 @@ pub use ioe::{Ioe, IoeOutcome, IoeSolution};
 pub use objectives::{DynamicFitness, StaticFitness};
 pub use ooe::{EvaluatedBackbone, JointModel, Ooe, OoeOutcome, SearchOptions};
 pub use resilience::{
-    AttemptOutcome, FaultModel, NoFaults, RetryPolicy, RetryReceipt, SearchTelemetry,
+    AttemptOutcome, BreakerState, CircuitBreaker, FaultModel, NoFaults, RetryPolicy, RetryReceipt,
+    SearchTelemetry,
 };
 
 use hadas_accuracy::AccuracyModel;

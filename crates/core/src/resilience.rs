@@ -179,6 +179,104 @@ impl RetryPolicy {
     }
 }
 
+/// The state of a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Healthy: work flows with the full retry budget.
+    Closed,
+    /// Tripped: callers fast-fail (one attempt, no retries) while the
+    /// cooldown drains.
+    Open,
+    /// Cooldown elapsed: the next unit of work is a probe — success
+    /// re-closes the breaker, failure re-opens it.
+    HalfOpen,
+}
+
+/// A deterministic circuit breaker over consecutive failures.
+///
+/// The serving supervisor folds one `record_*` call per batch *in
+/// schedule order* (after one [`CircuitBreaker::tick`] per batch), so
+/// the breaker trajectory — and therefore the retry budget it grants
+/// each batch — is a pure function of the fault history. No wall clocks:
+/// "time" is the unit of work itself, which is what keeps chaos runs
+/// replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: u32,
+    state: BreakerState,
+    consecutive_failures: u32,
+    cooldown_left: u32,
+    trips: usize,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `threshold` consecutive failures
+    /// (≥ 1; zero is saturated to 1) and staying open for `cooldown`
+    /// units of work before probing.
+    pub fn new(threshold: u32, cooldown: u32) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            cooldown_left: 0,
+            trips: 0,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether callers should fast-fail (open breaker).
+    pub fn is_open(&self) -> bool {
+        self.state == BreakerState::Open
+    }
+
+    /// How often the breaker has tripped (closed/half-open → open).
+    pub fn trips(&self) -> usize {
+        self.trips
+    }
+
+    /// Advances one unit of work: drains the cooldown of an open breaker
+    /// and moves it to half-open when the cooldown elapses. Call exactly
+    /// once per unit of work, before consulting [`CircuitBreaker::is_open`].
+    pub fn tick(&mut self) {
+        if self.state == BreakerState::Open {
+            self.cooldown_left = self.cooldown_left.saturating_sub(1);
+            if self.cooldown_left == 0 {
+                self.state = BreakerState::HalfOpen;
+            }
+        }
+    }
+
+    /// Records a successful unit of work.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Closed;
+        }
+    }
+
+    /// Records a failed unit of work, tripping the breaker when the
+    /// consecutive-failure threshold is reached (or immediately when a
+    /// half-open probe fails).
+    pub fn record_failure(&mut self) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let probe_failed = self.state == BreakerState::HalfOpen;
+        if probe_failed
+            || (self.state == BreakerState::Closed && self.consecutive_failures >= self.threshold)
+        {
+            self.state = BreakerState::Open;
+            self.cooldown_left = self.cooldown.max(1);
+            self.trips += 1;
+            self.consecutive_failures = 0;
+        }
+    }
+}
+
 /// Aggregate fault-handling telemetry of one search run. Not part of the
 /// deterministic Pareto payload: an interrupted-and-resumed run replays
 /// only the tail of the fault history, so counters may legitimately
@@ -317,6 +415,76 @@ mod tests {
         assert!(p.validate().is_err());
         let p = RetryPolicy { timeout_budget_ms: 0.0, ..RetryPolicy::default() };
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn breaker_trips_on_consecutive_failures_and_recovers() {
+        let mut b = CircuitBreaker::new(3, 2);
+        assert_eq!(b.state(), BreakerState::Closed);
+        for _ in 0..2 {
+            b.tick();
+            b.record_failure();
+        }
+        assert!(!b.is_open(), "two failures stay under the threshold");
+        b.tick();
+        b.record_failure();
+        assert!(b.is_open(), "third consecutive failure trips");
+        assert_eq!(b.trips(), 1);
+        // Cooldown: one tick drains one unit; after two the probe opens.
+        b.tick();
+        assert!(b.is_open());
+        b.tick();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed, "a good probe re-closes");
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn failed_probe_reopens_immediately() {
+        let mut b = CircuitBreaker::new(1, 1);
+        b.tick();
+        b.record_failure();
+        assert!(b.is_open());
+        b.tick();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_failure();
+        assert!(b.is_open(), "a failed probe must not wait for the threshold");
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let mut b = CircuitBreaker::new(2, 1);
+        b.tick();
+        b.record_failure();
+        b.tick();
+        b.record_success();
+        b.tick();
+        b.record_failure();
+        assert!(!b.is_open(), "non-consecutive failures never trip");
+        let b2 = CircuitBreaker::new(0, 0);
+        assert_eq!(b2, CircuitBreaker::new(1, 0), "zero threshold saturates to one");
+    }
+
+    #[test]
+    fn breaker_trajectory_is_deterministic() {
+        let fates = [true, true, true, false, true, true, true, true, false];
+        let run = || {
+            let mut b = CircuitBreaker::new(2, 2);
+            let mut log = Vec::new();
+            for &fail in &fates {
+                b.tick();
+                log.push((b.state(), b.is_open()));
+                if fail {
+                    b.record_failure();
+                } else {
+                    b.record_success();
+                }
+            }
+            (log, b.trips())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

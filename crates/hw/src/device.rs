@@ -155,6 +155,14 @@ impl DeviceModel {
         self.v_min + (self.v_max - self.v_min) * (f_ghz - f_lo) / (f_hi - f_lo)
     }
 
+    /// First and last rungs of one clock ladder. Ladders from the public
+    /// constructors are never empty; a degenerate empty slice folds to
+    /// `(0, 0)`, which [`DeviceModel::voltage`] maps to `v_max` instead of
+    /// panicking mid-pricing.
+    fn clock_bounds(ghz: &[f64]) -> (f64, f64) {
+        (ghz.first().copied().unwrap_or(0.0), ghz.last().copied().unwrap_or(0.0))
+    }
+
     /// Latency and energy of one layer at `setting`.
     ///
     /// # Errors
@@ -173,10 +181,8 @@ impl DeviceModel {
         let t_mem = bytes / (self.bytes_per_cycle * f_m * 1e9);
         let t = t_compute.max(t_mem) + self.overhead_s;
 
-        let c_lo = self.ladder.compute_ghz()[0];
-        let c_hi = *self.ladder.compute_ghz().last().expect("non-empty ladder");
-        let m_lo = self.ladder.emc_ghz()[0];
-        let m_hi = *self.ladder.emc_ghz().last().expect("non-empty ladder");
+        let (c_lo, c_hi) = Self::clock_bounds(self.ladder.compute_ghz());
+        let (m_lo, m_hi) = Self::clock_bounds(self.ladder.emc_ghz());
         let v_c = self.voltage(f_c, c_lo, c_hi);
         let v_m = self.voltage(f_m, m_lo, m_hi);
         let busy_c = (t_compute / t).min(1.0);
@@ -196,8 +202,7 @@ impl DeviceModel {
     /// Returns [`HwError::DvfsOutOfRange`] for invalid settings.
     pub fn invoke_cost(&self, setting: &DvfsSetting) -> Result<CostReport, HwError> {
         let (f_c, _) = self.ladder.resolve(setting)?;
-        let c_lo = self.ladder.compute_ghz()[0];
-        let c_hi = *self.ladder.compute_ghz().last().expect("non-empty ladder");
+        let (c_lo, c_hi) = Self::clock_bounds(self.ladder.compute_ghz());
         let t = self.invoke_overhead_s * c_hi / f_c;
         let v_c = self.voltage(f_c, c_lo, c_hi);
         let p = self.static_w + self.invoke_busy * self.dyn_compute * v_c * v_c * f_c;
@@ -252,7 +257,11 @@ impl DeviceModel {
                 }
             }
         }
-        unreachable!("position validated above")
+        // `position <= total` was validated above, so the loop always
+        // returns for well-formed subnets; a subnet whose exitable-layer
+        // count disagrees with `num_mbconv_layers` surfaces as an error
+        // instead of a panic.
+        Err(HwError::ExitPositionOutOfRange { position, layers: total })
     }
 }
 

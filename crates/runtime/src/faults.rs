@@ -33,6 +33,7 @@ const THERMAL_SALT: u64 = 0x5448_4552_4d41_4c5f; // "THERMAL_"
 const SAG_SALT: u64 = 0x5341_475f_5341_475f; // "SAG_SAG_"
 const BURST_SALT: u64 = 0x4255_5253_545f_5f5f; // "BURST___"
 const EVAL_SALT: u64 = 0x4556_414c_5f5f_5f5f; // "EVAL____"
+const CRASH_SALT: u64 = 0x4352_4153_485f_5f5f; // "CRASH___"
 
 /// One contiguous fault episode on the simulated timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -79,6 +80,11 @@ pub struct FaultConfig {
     pub transient_rate: f64,
     /// Probability that one attempt hangs to its deadline (`[0, 1)`).
     pub timeout_rate: f64,
+    /// Probability that the worker executing one attempt crashes outright
+    /// (`[0, 1)`). Drawn from an independent salt so enabling crashes
+    /// never perturbs the transient/timeout stream — the serving
+    /// supervisor relies on that to keep recovery byte-identical.
+    pub crash_rate: f64,
     /// Simulated cost of a successful measurement attempt (ms).
     pub ok_cost_ms: f64,
     /// Simulated cost burned by a transient failure (ms).
@@ -101,6 +107,7 @@ impl Default for FaultConfig {
             burst_multiplier: 3.0,
             transient_rate: 0.05,
             timeout_rate: 0.02,
+            crash_rate: 0.0,
             ok_cost_ms: 5.0,
             failure_cost_ms: 20.0,
             timeout_cost_ms: 250.0,
@@ -119,6 +126,7 @@ impl FaultConfig {
             burst_episodes: 0,
             transient_rate: 0.0,
             timeout_rate: 0.0,
+            crash_rate: 0.0,
             ..Default::default()
         }
     }
@@ -126,6 +134,25 @@ impl FaultConfig {
     /// The default chaos level with an explicit seed.
     pub fn chaos(seed: u64) -> Self {
         FaultConfig { seed, ..Default::default() }
+    }
+
+    /// Execution-plane chaos for the serving supervisor: transient batch
+    /// failures, stragglers (timeout draws), and worker crashes — but
+    /// **zero substrate episodes** (no thermal caps, sags, or bursts).
+    /// Episodes reshape the virtual-time schedule itself; execution-plane
+    /// faults by construction do not, which is exactly what lets the
+    /// recovered `ServeReport` stay byte-identical to a fault-free run.
+    pub fn worker_chaos(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            thermal_episodes: 0,
+            sag_episodes: 0,
+            burst_episodes: 0,
+            transient_rate: 0.06,
+            timeout_rate: 0.04,
+            crash_rate: 0.03,
+            ..Default::default()
+        }
     }
 
     /// Validates ranges.
@@ -136,7 +163,7 @@ impl FaultConfig {
     /// caps, multipliers, or a non-positive horizon.
     pub fn validate(&self) -> Result<(), HadasError> {
         let ok = |v: f64| v.is_finite() && (0.0..1.0).contains(&v);
-        if !ok(self.transient_rate) || !ok(self.timeout_rate) {
+        if !ok(self.transient_rate) || !ok(self.timeout_rate) || !ok(self.crash_rate) {
             return Err(HadasError::InvalidConfig("fault rates must lie in [0, 1)".into()));
         }
         if self.transient_rate + self.timeout_rate >= 1.0 {
@@ -261,13 +288,27 @@ impl FaultInjector {
     }
 
     /// A uniform draw in `[0, 1)` that is a pure function of
-    /// `(seed, key, attempt)` — the determinism the resume contract needs.
-    fn uniform(&self, key: u64, attempt: u32) -> f64 {
+    /// `(seed ^ salt, key, attempt)` — the determinism the resume and
+    /// serving-recovery contracts both need.
+    fn draw(&self, salt: u64, key: u64, attempt: u32) -> f64 {
         let mut h = std::collections::hash_map::DefaultHasher::new();
-        (self.config.seed ^ EVAL_SALT).hash(&mut h);
+        (self.config.seed ^ salt).hash(&mut h);
         key.hash(&mut h);
         attempt.hash(&mut h);
         (h.finish() % 1_000_000) as f64 / 1_000_000.0
+    }
+
+    fn uniform(&self, key: u64, attempt: u32) -> f64 {
+        self.draw(EVAL_SALT, key, attempt)
+    }
+
+    /// Whether the worker executing attempt `attempt` of the unit of work
+    /// identified by `key` crashes outright (thread death, not a
+    /// retryable measurement error). Pure in `(key, attempt)` and drawn
+    /// from an independent salt, so crash injection composes with the
+    /// transient/timeout stream without perturbing it.
+    pub fn crash_at(&self, key: u64, attempt: u32) -> bool {
+        self.config.crash_rate > 0.0 && self.draw(CRASH_SALT, key, attempt) < self.config.crash_rate
     }
 }
 
@@ -356,7 +397,39 @@ mod tests {
     }
 
     #[test]
+    fn crash_draws_are_pure_independent_and_roughly_honoured() {
+        let cfg = FaultConfig { crash_rate: 0.2, ..FaultConfig::worker_chaos(13) };
+        let with = FaultInjector::new(cfg.clone()).unwrap();
+        let without = FaultInjector::new(FaultConfig { crash_rate: 0.0, ..cfg }).unwrap();
+        let n = 20_000u64;
+        let mut crashes = 0usize;
+        for key in 0..n {
+            assert_eq!(with.crash_at(key, 0), with.crash_at(key, 0), "pure in (key, attempt)");
+            assert_eq!(
+                with.eval_attempt(key, 0),
+                without.eval_attempt(key, 0),
+                "enabling crashes must not perturb the transient/timeout stream"
+            );
+            crashes += usize::from(with.crash_at(key, 0));
+            assert!(!without.crash_at(key, 0), "zero rate never crashes");
+        }
+        let fc = crashes as f64 / n as f64;
+        assert!((fc - 0.2).abs() < 0.03, "crash fraction {fc}");
+    }
+
+    #[test]
+    fn worker_chaos_has_no_substrate_episodes() {
+        let inj = FaultInjector::new(FaultConfig::worker_chaos(5)).unwrap();
+        assert!(inj.thermal_episodes().is_empty());
+        assert!(inj.sag_episodes().is_empty());
+        assert!(inj.burst_episodes().is_empty());
+        assert!(inj.config().crash_rate > 0.0);
+    }
+
+    #[test]
     fn validate_rejects_degenerate_configs() {
+        let crashy = FaultConfig { crash_rate: 1.5, ..FaultConfig::default() };
+        assert!(FaultInjector::new(crashy).is_err());
         let starved =
             FaultConfig { transient_rate: 0.7, timeout_rate: 0.4, ..FaultConfig::default() };
         assert!(FaultInjector::new(starved).is_err(), "rates summing ≥ 1 starve the search");

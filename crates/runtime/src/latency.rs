@@ -53,6 +53,23 @@ impl Histogram {
         self.samples.push(value_ms);
     }
 
+    /// Absorbs every sample of `other` into this histogram.
+    ///
+    /// Because queries are pure functions of the recorded *multiset*,
+    /// merging per-shard histograms yields exactly the percentiles of the
+    /// whole stream — the property the sharded serve reduction and the
+    /// proptests in `crates/runtime/tests/props.rs` rely on. (The mean is
+    /// a floating-point sum, so it agrees with the whole-stream mean up
+    /// to summation-order rounding.)
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// The recorded samples, in insertion order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
     /// Number of recorded samples.
     pub fn len(&self) -> usize {
         self.samples.len()
@@ -169,6 +186,23 @@ mod tests {
                 .unwrap();
             assert_eq!(h.percentile(0.95), expect, "n = {n}");
         }
+    }
+
+    #[test]
+    fn merging_shards_equals_the_whole_stream() {
+        let whole: Vec<f64> = (0..100).map(|i| f64::from(i) * 1.7).collect();
+        let mut merged = Histogram::new();
+        for shard in whole.chunks(7) {
+            merged.merge(&Histogram::from_samples(shard.to_vec()));
+        }
+        let reference = Histogram::from_samples(whole);
+        assert_eq!(merged.len(), reference.len());
+        for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(merged.percentile(p), reference.percentile(p));
+        }
+        let empty = Histogram::new();
+        merged.merge(&empty);
+        assert_eq!(merged.summary(), reference.summary());
     }
 
     #[test]

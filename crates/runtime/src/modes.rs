@@ -109,6 +109,29 @@ impl OperatingMode {
             exit: None,
         }
     }
+
+    /// Serves one input with the exit depth capped at head `max_exit`
+    /// (0-based): inputs a capable exit at or above the cap would have
+    /// taken behave as in [`OperatingMode::serve`]; everything else is
+    /// **forced out** at the deepest allowed head — cheap, bounded
+    /// latency, but incorrect for inputs beyond that head's capability.
+    ///
+    /// This is the brownout `ForceEarlyExit` tier's accuracy-for-latency
+    /// trade: the serve cost becomes bounded by `exit_costs[cap]` instead
+    /// of the full backbone. A mode without exits falls back to
+    /// [`OperatingMode::serve`] (there is nothing to cap).
+    pub fn serve_capped(&self, difficulty: f64, max_exit: usize) -> ServeOutcome {
+        if self.exit_costs.is_empty() {
+            return self.serve(difficulty);
+        }
+        let cap = max_exit.min(self.exit_costs.len() - 1);
+        for (k, &t) in self.exit_thresholds.iter().enumerate().take(cap + 1) {
+            if difficulty <= t {
+                return ServeOutcome { cost: self.exit_costs[k], correct: true, exit: Some(k) };
+            }
+        }
+        ServeOutcome { cost: self.exit_costs[cap], correct: false, exit: Some(cap) }
+    }
 }
 
 /// The mode actually deployable under a thermal cap, starting from the
@@ -216,6 +239,35 @@ mod tests {
         assert!(easy.exit.is_some(), "easy inputs should exit early");
         assert!(easy.cost.energy_j < hard.cost.energy_j);
         assert!(hard.exit.is_none(), "hard inputs run the full model");
+    }
+
+    #[test]
+    fn capped_serving_bounds_cost_and_sacrifices_hard_inputs() {
+        let (_, modes) = fixture();
+        for mode in &modes {
+            let exits = mode.placement().len();
+            for d in [0.0, 0.3, 0.6, 0.9, 0.99] {
+                let capped = mode.serve_capped(d, 0);
+                let free = mode.serve(d);
+                assert!(
+                    capped.cost.latency_s <= free.cost.latency_s + 1e-12,
+                    "the cap may only cheapen serving"
+                );
+                if exits > 0 {
+                    assert!(capped.exit.is_some(), "capped serving never runs the full backbone");
+                    assert!(capped.exit.unwrap_or(usize::MAX) == 0, "cap 0 forces the first head");
+                }
+                // A cap at (or past) the deepest head changes nothing for
+                // inputs an exit would have taken anyway.
+                if free.exit.is_some() {
+                    assert_eq!(mode.serve_capped(d, exits.saturating_sub(1)), free);
+                }
+            }
+            let hard = mode.serve_capped(0.999, 0);
+            if exits > 0 {
+                assert!(!hard.correct, "forced-out hard inputs are sacrificed");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Property-based tests for [`hadas_runtime::Histogram`]: merging
+//! per-shard histograms must reproduce exactly the whole-stream
+//! percentiles (the invariant the sharded serve reduction is built on),
+//! and every summary must be quantile-monotone.
+
+use hadas_runtime::Histogram;
+use proptest::prelude::*;
+
+/// Samples plus a shard-boundary plan: `cuts` are interpreted modulo the
+/// current remainder so any vector induces a valid partition.
+fn samples_strategy() -> impl Strategy<Value = (Vec<f64>, Vec<usize>)> {
+    (
+        proptest::collection::vec(0.0f64..5_000.0, 0..200),
+        proptest::collection::vec(0usize..64, 0..8),
+    )
+}
+
+/// Splits `samples` into contiguous shards at the (pseudo-)boundaries.
+fn shard(samples: &[f64], cuts: &[usize]) -> Vec<Vec<f64>> {
+    let mut shards = Vec::new();
+    let mut rest = samples;
+    for &c in cuts {
+        if rest.is_empty() {
+            break;
+        }
+        let k = c % (rest.len() + 1);
+        let (head, tail) = rest.split_at(k);
+        shards.push(head.to_vec());
+        rest = tail;
+    }
+    shards.push(rest.to_vec());
+    shards
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging shard histograms in shard order reproduces the
+    /// whole-stream percentiles *bit-for-bit*: queries are pure
+    /// functions of the sample multiset, and a contiguous partition
+    /// even preserves insertion order.
+    #[test]
+    fn merge_of_shards_equals_whole_stream((samples, cuts) in samples_strategy()) {
+        let whole = Histogram::from_samples(samples.clone());
+        let mut merged = Histogram::new();
+        for piece in shard(&samples, &cuts) {
+            merged.merge(&Histogram::from_samples(piece));
+        }
+        prop_assert_eq!(merged.len(), whole.len());
+        prop_assert_eq!(merged.samples(), whole.samples());
+        for p in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            // Bit-for-bit: queries are pure functions of the multiset.
+            prop_assert_eq!(merged.percentile(p).to_bits(), whole.percentile(p).to_bits());
+        }
+        prop_assert_eq!(merged.summary(), whole.summary());
+    }
+
+    /// Merge is order-insensitive for every percentile query: reversing
+    /// the shard fold changes only insertion order, never the multiset.
+    #[test]
+    fn merge_is_shard_order_insensitive((samples, cuts) in samples_strategy()) {
+        let shards = shard(&samples, &cuts);
+        let mut forward = Histogram::new();
+        for s in &shards {
+            forward.merge(&Histogram::from_samples(s.clone()));
+        }
+        let mut backward = Histogram::new();
+        for s in shards.iter().rev() {
+            backward.merge(&Histogram::from_samples(s.clone()));
+        }
+        // Percentiles sort first, so they are exactly order-insensitive;
+        // the mean is a float sum and only agrees up to rounding.
+        let (f, b) = (forward.summary(), backward.summary());
+        prop_assert_eq!(f.p50_ms.to_bits(), b.p50_ms.to_bits());
+        prop_assert_eq!(f.p95_ms.to_bits(), b.p95_ms.to_bits());
+        prop_assert_eq!(f.p99_ms.to_bits(), b.p99_ms.to_bits());
+        prop_assert_eq!(f.max_ms.to_bits(), b.max_ms.to_bits());
+        prop_assert!((f.mean_ms - b.mean_ms).abs() <= 1e-9 * (1.0 + f.mean_ms.abs()));
+    }
+
+    /// Every summary is quantile-monotone (p50 <= p95 <= p99 <= max) and
+    /// bounded by the sample range; the mean sits inside the range too.
+    #[test]
+    fn summaries_are_quantile_monotone(
+        samples in proptest::collection::vec(0.0f64..5_000.0, 1..200)
+    ) {
+        let h = Histogram::from_samples(samples.clone());
+        let s = h.summary();
+        prop_assert!(s.p50_ms <= s.p95_ms, "p50 {} > p95 {}", s.p50_ms, s.p95_ms);
+        prop_assert!(s.p95_ms <= s.p99_ms, "p95 {} > p99 {}", s.p95_ms, s.p99_ms);
+        prop_assert!(s.p99_ms <= s.max_ms, "p99 {} > max {}", s.p99_ms, s.max_ms);
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(s.p50_ms >= lo && s.max_ms <= hi);
+        prop_assert!(s.mean_ms >= lo - 1e-9 && s.mean_ms <= hi + 1e-9);
+    }
+
+    /// `percentile` is monotone in `p` across the whole unit interval,
+    /// p=0 is the minimum, and p=1 is the maximum.
+    #[test]
+    fn percentile_is_monotone_in_p(
+        samples in proptest::collection::vec(0.0f64..5_000.0, 1..100),
+        mut ps in proptest::collection::vec(0.0f64..=1.0, 2..12)
+    ) {
+        let h = Histogram::from_samples(samples.clone());
+        ps.sort_by(f64::total_cmp);
+        let mut prev = f64::NEG_INFINITY;
+        for &p in &ps {
+            let q = h.percentile(p);
+            prop_assert!(q >= prev, "percentile({p}) = {q} < {prev}");
+            prev = q;
+        }
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(h.percentile(0.0).to_bits(), lo.to_bits());
+        prop_assert_eq!(h.percentile(1.0).to_bits(), hi.to_bits());
+    }
+}

@@ -192,7 +192,7 @@ mod tests {
         assert_eq!(b.earliest_deadline(), None);
         b.push(req(0, 0.0, SloClass::Bulk, 2.0));
         b.push(req(1, 0.1, SloClass::Interactive, 0.1));
-        let d = b.earliest_deadline().unwrap();
+        let d = b.earliest_deadline().expect("two queued requests have a deadline");
         assert!((d - 0.2).abs() < 1e-12);
     }
 }

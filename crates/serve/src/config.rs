@@ -1,4 +1,5 @@
-use hadas::HadasError;
+use crate::BrownoutConfig;
+use hadas::{HadasError, RetryPolicy};
 use hadas_runtime::{FaultConfig, SimConfig};
 use serde::{Deserialize, Serialize};
 
@@ -76,7 +77,31 @@ pub struct ServeConfig {
     /// simulator.
     pub sim: SimConfig,
     /// Optional substrate faults (thermal throttle, voltage sag, bursts).
+    /// These reshape the virtual-time schedule itself and therefore the
+    /// report.
     pub faults: Option<FaultConfig>,
+    /// Optional execution-plane chaos (worker crashes, transient batch
+    /// failures, stragglers) replayed by the supervised pool. Unlike
+    /// `faults`, chaos never touches the schedule: a recovered run's
+    /// report is byte-identical to the fault-free one whenever no batch
+    /// dead-letters. Use [`FaultConfig::worker_chaos`] here — substrate
+    /// episodes in this slot would silently go unused.
+    pub chaos: Option<FaultConfig>,
+    /// Straggler hedge factor (> 1): a batch attempt delayed past
+    /// `(hedge_factor − 1) ×` its estimated service time is hedged with a
+    /// concurrent duplicate on another lane.
+    pub hedge_factor: f64,
+    /// Per-batch retry budget for transient failures, crashes, and
+    /// stragglers under chaos.
+    pub retry: RetryPolicy,
+    /// Consecutive failing batches before the supervisor's circuit
+    /// breaker trips open (fast-failing retries to a single attempt).
+    pub breaker_threshold: u32,
+    /// Batches an open breaker waits before probing again.
+    pub breaker_cooldown: u32,
+    /// Optional brownout degradation ladder stepping service down under
+    /// overload (see [`BrownoutConfig`]); `None` disables it.
+    pub brownout: Option<BrownoutConfig>,
 }
 
 impl Default for ServeConfig {
@@ -94,6 +119,12 @@ impl Default for ServeConfig {
             governor: GovernorKind::Queue,
             sim: SimConfig::default(),
             faults: None,
+            chaos: None,
+            hedge_factor: 3.0,
+            retry: RetryPolicy::default(),
+            breaker_threshold: 8,
+            breaker_cooldown: 4,
+            brownout: None,
         }
     }
 }
@@ -129,6 +160,18 @@ impl ServeConfig {
         self.sim.validate()?;
         if let Some(f) = &self.faults {
             f.validate()?;
+        }
+        if let Some(c) = &self.chaos {
+            c.validate()?;
+        }
+        if !self.hedge_factor.is_finite() || self.hedge_factor <= 1.0 {
+            return Err(HadasError::InvalidConfig(
+                "hedge_factor must be a finite value > 1".into(),
+            ));
+        }
+        self.retry.validate()?;
+        if let Some(b) = &self.brownout {
+            b.validate()?;
         }
         Ok(())
     }
@@ -171,5 +214,27 @@ mod tests {
             c.faults =
                 Some(FaultConfig { thermal_cap: 2.0, ..hadas_runtime::FaultConfig::default() });
         }));
+        assert!(bad(|c| c.chaos = Some(FaultConfig { crash_rate: 1.5, ..FaultConfig::default() })));
+        assert!(bad(|c| c.hedge_factor = 1.0));
+        assert!(bad(|c| c.hedge_factor = f64::INFINITY));
+        assert!(bad(|c| c.retry.max_attempts = 0));
+        assert!(bad(|c| {
+            c.brownout =
+                Some(BrownoutConfig { hysteresis_windows: 0, ..BrownoutConfig::default() });
+        }));
+    }
+
+    #[test]
+    fn chaos_and_brownout_default_off() {
+        let c = ServeConfig::default();
+        assert!(c.chaos.is_none());
+        assert!(c.brownout.is_none());
+        assert!(c.hedge_factor > 1.0);
+        let with = ServeConfig {
+            chaos: Some(FaultConfig::worker_chaos(5)),
+            brownout: Some(BrownoutConfig::default()),
+            ..ServeConfig::default()
+        };
+        assert!(with.validate().is_ok());
     }
 }

@@ -1,8 +1,9 @@
-use crate::pool::{run_pool, BatchJob};
+use crate::pool::{run_pool, BatchJob, ChaosPlan, ResilienceTelemetry};
 use crate::{
-    build_governor, generate_requests, Batcher, Request, ServeConfig, ServeReport, SloSummary,
+    apply_brownout, build_governor, generate_requests, Batcher, BrownoutLadder, BrownoutSummary,
+    BrownoutTier, Request, ServeConfig, ServeReport, SloClass, SloSummary,
 };
-use hadas::{Hadas, HadasError};
+use hadas::{CircuitBreaker, Hadas, HadasError};
 use hadas_runtime::{
     enforce_thermal_cap, DegradePolicy, FaultInjector, Histogram, OperatingMode, PolicyState,
     ScalingPolicy,
@@ -11,15 +12,18 @@ use hadas_runtime::{
 /// The open-loop serving engine: a virtual-time scheduler that forms
 /// deadline-aware batches, runs the configured DVFS governor once per
 /// control window, sheds requests whose deadlines are infeasible under
-/// the current backlog, and shards the per-batch reduction across a real
-/// worker-thread pool.
+/// the current backlog, steps a brownout ladder under overload, and
+/// shards the per-batch reduction across a supervised worker-thread pool.
 ///
 /// Determinism contract: the schedule (batch composition, dispatch
-/// times, mode choices) is computed single-threaded on a virtual clock,
-/// every per-batch reduction is a pure function of its job, and results
-/// are folded in schedule order — so one `(config, modes)` pair yields a
-/// byte-identical [`ServeReport`] for any worker count and any OS thread
-/// interleaving.
+/// times, mode choices, brownout tiers) is computed single-threaded on a
+/// virtual clock, every per-batch reduction is a pure function of its
+/// job, and results are folded in schedule order — so one
+/// `(config, modes)` pair yields a byte-identical [`ServeReport`] for
+/// any worker count and any OS thread interleaving. Execution-plane
+/// chaos ([`ServeConfig::chaos`]) is erased by the supervisor's recovery
+/// whenever no batch dead-letters, so the chaos report matches the
+/// fault-free one byte for byte.
 #[derive(Debug)]
 pub struct ServeEngine<'a> {
     hadas: &'a Hadas,
@@ -79,24 +83,44 @@ impl<'a> ServeEngine<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`HadasError::InvalidConfig`] for an invalid embedded
-    /// fault configuration, or if the worker pool panicked (a bug, since
-    /// reductions are pure).
+    /// As [`ServeEngine::run_instrumented`].
     pub fn run(&self) -> Result<ServeReport, HadasError> {
+        self.run_instrumented().map(|(report, _)| report)
+    }
+
+    /// Serves the configured arrival stream to completion, additionally
+    /// returning the supervisor's [`ResilienceTelemetry`] (crash/respawn/
+    /// retry/hedge counters). The telemetry is deliberately *not* part of
+    /// the serialized report: recovery erases execution faults from the
+    /// deterministic payload, and these counters are the place where the
+    /// faults remain visible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadasError::InvalidConfig`] for an invalid embedded
+    /// fault configuration, or [`HadasError::Internal`] if the worker
+    /// pool broke its supervision protocol (a bug, since reductions are
+    /// pure).
+    pub fn run_instrumented(&self) -> Result<(ServeReport, ResilienceTelemetry), HadasError> {
         let injector = match &self.config.faults {
             Some(f) => Some(FaultInjector::new(f.clone())?),
+            None => None,
+        };
+        let chaos = match &self.config.chaos {
+            Some(c) => Some(FaultInjector::new(c.clone())?),
             None => None,
         };
         let requests = generate_requests(&self.config, injector.as_ref());
         let offered = requests.len();
         let overhead_s = self.config.batch_overhead_ms * 1e-3;
         let n_modes = self.modes.len();
-        let ladder = self.hadas.device().ladder();
+        let ladder_hw = self.hadas.device().ladder();
 
         let mut batcher = Batcher::new(self.config.batch_max);
         let mut worker_free = vec![0.0f64; self.config.workers];
         let mut jobs: Vec<BatchJob> = Vec::new();
         let mut shed = 0usize;
+        let mut rejected = 0usize;
         let mut current_mode = 0usize;
         let mut next_control = 0.0f64;
         let mut switches = 0usize;
@@ -105,6 +129,8 @@ impl<'a> ServeEngine<'a> {
         let mut window_degraded = false;
         let mut degraded_batches = 0usize;
         let mut makespan = 0.0f64;
+        let mut brownout = self.config.brownout.map(BrownoutLadder::new);
+        let exit_cap = self.config.brownout.map_or(0, |b| b.max_exit_depth);
 
         // Rolling per-window statistics feeding the governor.
         let mut win_latencies: Vec<f64> = Vec::new();
@@ -115,6 +141,32 @@ impl<'a> ServeEngine<'a> {
         let mut now = 0.0f64;
         let mut seq = 0usize;
 
+        // Admission of one arrival: the brownout ladder turns it away
+        // first (rejected), then deadline feasibility sheds it, and only
+        // then does it join the batcher.
+        let admit = |r: Request,
+                     earliest_free: f64,
+                     batcher: &mut Batcher,
+                     brownout: &Option<BrownoutLadder>,
+                     current_mode: usize,
+                     shed: &mut usize,
+                     rejected: &mut usize| {
+            let tier = brownout.as_ref().map_or(BrownoutTier::Normal, BrownoutLadder::tier);
+            if tier.rejects_admissions() || (tier.sheds_bulk() && r.class == SloClass::Bulk) {
+                *rejected += 1;
+            } else if Self::admissible(
+                &r,
+                earliest_free,
+                batcher.len(),
+                &self.modes[current_mode],
+                overhead_s,
+            ) {
+                batcher.push(r);
+            } else {
+                *shed += 1;
+            }
+        };
+
         while i < requests.len() || !batcher.is_empty() {
             let earliest_free = worker_free.iter().copied().fold(f64::INFINITY, f64::min);
             if batcher.is_empty() {
@@ -122,11 +174,15 @@ impl<'a> ServeEngine<'a> {
                 let r = requests[i];
                 i += 1;
                 now = now.max(r.time_s);
-                if Self::admissible(&r, earliest_free, 0, &self.modes[current_mode], overhead_s) {
-                    batcher.push(r);
-                } else {
-                    shed += 1;
-                }
+                admit(
+                    r,
+                    earliest_free,
+                    &mut batcher,
+                    &brownout,
+                    current_mode,
+                    &mut shed,
+                    &mut rejected,
+                );
                 continue;
             }
             let (lane, free) = worker_free
@@ -150,17 +206,15 @@ impl<'a> ServeEngine<'a> {
                 let r = requests[i];
                 i += 1;
                 now = now.max(r.time_s);
-                if Self::admissible(
-                    &r,
+                admit(
+                    r,
                     earliest_free,
-                    batcher.len(),
-                    &self.modes[current_mode],
-                    overhead_s,
-                ) {
-                    batcher.push(r);
-                } else {
-                    shed += 1;
-                }
+                    &mut batcher,
+                    &brownout,
+                    current_mode,
+                    &mut shed,
+                    &mut rejected,
+                );
                 continue;
             }
 
@@ -184,12 +238,17 @@ impl<'a> ServeEngine<'a> {
                 if cap < 1.0 {
                     throttled_windows += 1;
                 }
+                let tier = match brownout.as_mut() {
+                    Some(l) => l.observe(batcher.len(), pressure, cap),
+                    None => BrownoutTier::Normal,
+                };
                 let state = PolicyState::loaded(start, recent, batcher.len(), pressure)
                     .with_thermal_cap(cap);
                 let choice = self.governor.select(&state, n_modes).min(n_modes - 1);
+                let choice = apply_brownout(choice, tier, n_modes);
                 // The SoC's governor has the last word, exactly as in the
                 // closed-loop simulator.
-                let enforced = enforce_thermal_cap(ladder, &self.modes, choice, cap);
+                let enforced = enforce_thermal_cap(ladder_hw, &self.modes, choice, cap);
                 window_degraded = enforced != choice;
                 if enforced != current_mode {
                     switches += 1;
@@ -204,8 +263,15 @@ impl<'a> ServeEngine<'a> {
             if batch.is_empty() {
                 break; // unreachable by construction; never spin
             }
-            let outcomes: Vec<_> =
-                batch.iter().map(|r| self.modes[current_mode].serve(r.difficulty)).collect();
+            let tier = brownout.as_ref().map_or(BrownoutTier::Normal, BrownoutLadder::tier);
+            let outcomes: Vec<_> = if tier.forces_early_exit() {
+                batch
+                    .iter()
+                    .map(|r| self.modes[current_mode].serve_capped(r.difficulty, exit_cap))
+                    .collect()
+            } else {
+                batch.iter().map(|r| self.modes[current_mode].serve(r.difficulty)).collect()
+            };
             let service_s = overhead_s + outcomes.iter().map(|o| o.cost.latency_s).sum::<f64>();
             let finish = start + service_s;
             worker_free[lane] = finish;
@@ -230,9 +296,24 @@ impl<'a> ServeEngine<'a> {
             now = start;
         }
 
-        // Shard the reduction across the pool, then fold in schedule order.
+        // Execution-plane chaos is resolved into a pure recovery script
+        // *before* any worker thread runs: the supervisor acts it out, it
+        // never improvises on wall-clock timing.
+        let plan = chaos.as_ref().map(|inj| {
+            ChaosPlan::build(
+                inj,
+                &self.config.retry,
+                CircuitBreaker::new(self.config.breaker_threshold, self.config.breaker_cooldown),
+                self.config.hedge_factor,
+                self.config.batch_overhead_ms,
+                &jobs,
+            )
+        });
+
+        // Shard the reduction across the supervised pool, then fold in
+        // schedule order.
         let exit_slots = self.modes.iter().map(|m| m.placement().len()).max().unwrap_or(0) + 1;
-        let results = run_pool(jobs, self.config.workers, exit_slots)?;
+        let (results, telemetry) = run_pool(jobs, self.config.workers, exit_slots, plan.as_ref())?;
 
         let batches = results.len();
         let mut served = 0usize;
@@ -266,7 +347,7 @@ impl<'a> ServeEngine<'a> {
             per_worker[r.worker.min(self.config.workers - 1)] += r.size;
         }
         let denom = served.max(1) as f64;
-        Ok(ServeReport {
+        let report = ServeReport {
             governor: self.governor.name().to_string(),
             workers: self.config.workers,
             rps: self.config.rps,
@@ -275,6 +356,8 @@ impl<'a> ServeEngine<'a> {
             offered,
             served,
             shed,
+            rejected,
+            dead_lettered: telemetry.dead_letter_requests,
             batches,
             mean_batch_size: served as f64 / batches.max(1) as f64,
             makespan_s: makespan,
@@ -298,6 +381,10 @@ impl<'a> ServeEngine<'a> {
             degraded_batches,
             throttled_windows,
             per_worker_served: per_worker,
-        })
+            brownout: brownout
+                .as_ref()
+                .map_or_else(BrownoutSummary::disabled, BrownoutLadder::summary),
+        };
+        Ok((report, telemetry))
     }
 }

@@ -47,6 +47,19 @@ impl ScalingPolicy for QueuePolicy {
     }
 }
 
+/// Applies the brownout ladder's mode bias to a governor choice: from
+/// [`crate::BrownoutTier::ForceEarlyExit`] on, the selection is pushed
+/// one step toward the frugal end (higher index) — the ladder trades
+/// accuracy for latency, so the governor should not be spending the
+/// saved headroom on a hotter mode.
+pub fn apply_brownout(choice: usize, tier: crate::BrownoutTier, n_modes: usize) -> usize {
+    if tier.forces_early_exit() {
+        (choice + 1).min(n_modes.saturating_sub(1))
+    } else {
+        choice
+    }
+}
+
 /// Builds the configured governor, wrapped in a [`DegradePolicy`] so
 /// thermal-throttle episodes always pull the selection to a feasible mode
 /// before [`hadas_runtime::enforce_thermal_cap`] has to override it.
@@ -94,5 +107,15 @@ mod tests {
         let p = QueuePolicy::new(0, 0.1);
         assert_eq!(p.select(&loaded(2, 0.0), 4), 2);
         assert_eq!(p.name(), "queue[1]");
+    }
+
+    #[test]
+    fn brownout_bias_kicks_in_at_force_early_exit() {
+        use crate::BrownoutTier;
+        assert_eq!(apply_brownout(1, BrownoutTier::Normal, 4), 1);
+        assert_eq!(apply_brownout(1, BrownoutTier::ShedBulk, 4), 1);
+        assert_eq!(apply_brownout(1, BrownoutTier::ForceEarlyExit, 4), 2);
+        assert_eq!(apply_brownout(3, BrownoutTier::RejectNewAdmissions, 4), 3, "clamped");
+        assert_eq!(apply_brownout(0, BrownoutTier::ForceEarlyExit, 1), 0);
     }
 }

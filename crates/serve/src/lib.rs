@@ -22,10 +22,20 @@
 //! * [`QueuePolicy`] and [`build_governor`] — queue-depth/SLO-pressure
 //!   DVFS governors built on [`hadas_runtime::ScalingPolicy`], always
 //!   wrapped in thermal-cap-aware degradation.
-//! * [`ServeEngine`] — the virtual-time scheduler plus a sharded
-//!   reduction pool over vendored crossbeam channels; results are tagged
-//!   with schedule order and folded deterministically, so a fixed seed
-//!   yields a byte-identical [`ServeReport`] for any worker count.
+//! * [`ServeEngine`] — the virtual-time scheduler plus a *supervised*
+//!   sharded reduction pool over vendored crossbeam channels; results are
+//!   tagged with schedule order and folded deterministically, so a fixed
+//!   seed yields a byte-identical [`ServeReport`] for any worker count.
+//!   Under injected execution chaos (`ServeConfig::chaos`) the supervisor
+//!   respawns crashed workers, re-dispatches lost batches, retries
+//!   transient failures, and hedges stragglers — and the recovered report
+//!   stays byte-identical to the fault-free one whenever nothing
+//!   dead-letters ([`ServeEngine::run_instrumented`] exposes the healing
+//!   counters out-of-band as [`ResilienceTelemetry`]).
+//! * [`BrownoutLadder`] — explicit overload degradation tiers
+//!   (shed bulk → force early exits → reject admissions) with hysteresis,
+//!   keeping interactive tail latency bounded under bursts instead of
+//!   letting it collapse.
 //!
 //! ```no_run
 //! use hadas_serve::{ServeConfig, ServeEngine};
@@ -43,6 +53,7 @@
 //! ```
 
 mod batch;
+mod brownout;
 mod config;
 mod engine;
 mod governor;
@@ -51,8 +62,10 @@ mod report;
 mod request;
 
 pub use batch::Batcher;
+pub use brownout::{BrownoutConfig, BrownoutLadder, BrownoutSummary, BrownoutTier, BROWNOUT_TIERS};
 pub use config::{GovernorKind, ServeConfig};
 pub use engine::ServeEngine;
-pub use governor::{build_governor, QueuePolicy};
+pub use governor::{apply_brownout, build_governor, QueuePolicy};
+pub use pool::ResilienceTelemetry;
 pub use report::{ServeReport, SloSummary};
 pub use request::{generate_requests, Request, SloClass};

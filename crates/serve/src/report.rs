@@ -1,3 +1,4 @@
+use crate::BrownoutSummary;
 use hadas_runtime::LatencySummary;
 use serde::{Deserialize, Serialize};
 
@@ -43,6 +44,15 @@ pub struct ServeReport {
     pub served: usize,
     /// Requests shed at admission (deadline infeasible under backlog).
     pub shed: usize,
+    /// Requests turned away by the brownout ladder (bulk arrivals in
+    /// [`crate::BrownoutTier::ShedBulk`] and everything in
+    /// [`crate::BrownoutTier::RejectNewAdmissions`]).
+    pub rejected: usize,
+    /// Requests in batches whose every reduction attempt failed under
+    /// chaos. Zero whenever recovery succeeds — the precondition of the
+    /// byte-identity contract. `served + shed + rejected + dead_lettered
+    /// == offered` always holds.
+    pub dead_lettered: usize,
     /// Batches dispatched.
     pub batches: usize,
     /// `served / batches` (0 when no batch dispatched).
@@ -75,6 +85,10 @@ pub struct ServeReport {
     pub throttled_windows: usize,
     /// Requests served per worker lane.
     pub per_worker_served: Vec<usize>,
+    /// Brownout-ladder accounting (tier occupancy, transitions); the
+    /// disabled summary when no ladder was configured. Scheduling-plane
+    /// only, so it serializes without breaking recovery byte-identity.
+    pub brownout: BrownoutSummary,
 }
 
 impl ServeReport {

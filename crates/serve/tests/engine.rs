@@ -65,7 +65,11 @@ fn throughput_scales_with_the_worker_pool() {
             "throughput must grow with the pool: {} rps at {workers} workers vs {last}",
             r.throughput_rps
         );
-        assert_eq!(r.served + r.shed, r.offered, "every request is served or shed");
+        assert_eq!(
+            r.served + r.shed + r.rejected + r.dead_lettered,
+            r.offered,
+            "every request is served, shed, rejected, or dead-lettered"
+        );
         assert_eq!(r.per_worker_served.iter().sum::<usize>(), r.served);
         assert_eq!(r.per_worker_served.len(), workers);
         last = r.throughput_rps;
@@ -106,6 +110,99 @@ fn report_accounting_is_self_consistent() {
     assert!(r.latency.p99_ms <= r.latency.max_ms);
     assert!(r.energy_j > 0.0);
     assert!(r.makespan_s >= r.duration_s * 0.5, "work cannot finish before it mostly arrives");
+}
+
+#[test]
+fn chaos_recovery_is_byte_identical_to_fault_free() {
+    let (hadas, modes) = fixture();
+    for workers in [1usize, 2, 4] {
+        let clean_cfg = config(workers, GovernorKind::Queue);
+        let clean =
+            ServeEngine::new(&hadas, modes.clone(), clean_cfg.clone()).unwrap().run().unwrap();
+        let chaos_cfg = ServeConfig {
+            chaos: Some(FaultConfig { horizon_s: 8.0, ..FaultConfig::worker_chaos(7) }),
+            retry: hadas::RetryPolicy { max_attempts: 6, ..Default::default() },
+            ..clean_cfg
+        };
+        let (healed, telemetry) =
+            ServeEngine::new(&hadas, modes.clone(), chaos_cfg).unwrap().run_instrumented().unwrap();
+        assert_eq!(healed.dead_lettered, 0, "the chaos preset must heal ({workers} workers)");
+        assert_eq!(
+            healed.to_json().unwrap(),
+            clean.to_json().unwrap(),
+            "supervised recovery must be invisible in the report ({workers} workers)"
+        );
+        assert!(
+            telemetry.crashes + telemetry.retries + telemetry.hedges > 0,
+            "chaos must actually inject faults ({workers} workers): {telemetry:?}"
+        );
+    }
+}
+
+#[test]
+fn brownout_bounds_interactive_tail_latency_under_overload() {
+    let (hadas, modes) = fixture();
+    // A 4× overload relative to the baseline scenario: the queue governor
+    // alone cannot keep interactive deadlines.
+    let overload = ServeConfig { rps: 600.0, ..config(2, GovernorKind::Queue) };
+    let collapsed =
+        ServeEngine::new(&hadas, modes.clone(), overload.clone()).unwrap().run().unwrap();
+    let braked = ServeEngine::new(
+        &hadas,
+        modes.clone(),
+        ServeConfig { brownout: Some(hadas_serve::BrownoutConfig::default()), ..overload },
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+
+    for r in [&collapsed, &braked] {
+        assert_eq!(
+            r.served + r.shed + r.rejected + r.dead_lettered,
+            r.offered,
+            "accounting must balance under overload"
+        );
+    }
+    assert_eq!(collapsed.rejected, 0, "without a ladder nothing is rejected");
+    assert!(collapsed.brownout.tier_windows.iter().all(|&w| w == 0));
+    assert!(!collapsed.brownout.enabled);
+
+    assert!(braked.brownout.enabled);
+    assert!(braked.brownout.escalations > 0, "4x overload must escalate: {:?}", braked.brownout);
+    assert!(braked.brownout.worst_tier >= 1, "{:?}", braked.brownout);
+    assert!(braked.rejected > 0 || braked.shed > 0, "the ladder must turn load away");
+
+    let rate = |r: &hadas_serve::ServeReport| {
+        r.slo.interactive_violations as f64 / r.slo.interactive_served.max(1) as f64
+    };
+    assert!(
+        rate(&braked) < rate(&collapsed),
+        "brownout must strictly lower the interactive violation rate: {:.3} vs {:.3}",
+        rate(&braked),
+        rate(&collapsed)
+    );
+    assert!(
+        braked.latency.p99_ms <= collapsed.latency.p99_ms,
+        "shedding early keeps the tail bounded: {:.1} ms vs {:.1} ms",
+        braked.latency.p99_ms,
+        collapsed.latency.p99_ms
+    );
+    // Bounded in absolute terms too: the tail stays pinned to the bulk
+    // deadline budget (admission control sheds anything infeasible;
+    // service of the last admitted batch may overhang it slightly)
+    // instead of growing with the queue.
+    let bulk_budget_ms = overload_bulk_budget_ms(&braked);
+    assert!(
+        braked.latency.p99_ms <= bulk_budget_ms * 1.1,
+        "p99 {:.1} ms must stay within the bulk budget {bulk_budget_ms:.1} ms (+10%)",
+        braked.latency.p99_ms
+    );
+}
+
+/// The bulk-class deadline budget of the run (`slo_ms × bulk_slo_factor`
+/// of the default config the overload scenario inherits).
+fn overload_bulk_budget_ms(r: &hadas_serve::ServeReport) -> f64 {
+    r.slo.target_ms * ServeConfig::default().bulk_slo_factor
 }
 
 #[test]

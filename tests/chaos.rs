@@ -15,6 +15,14 @@
 //!    thermal-throttle, voltage-sag, and arrival-burst episodes must still
 //!    serve the stream, switch modes, and lose only bounded accuracy —
 //!    the substrate misbehaving is an operating condition, not a crash.
+//!
+//! 3. **Recovery equals fault-free.** An open-loop serving run under
+//!    execution-plane chaos (worker crashes, transient batch failures,
+//!    stragglers) must heal — respawn, re-dispatch, retry, hedge — back
+//!    to a [`hadas_suite::serve::ServeReport`] that serializes
+//!    *byte-identically* to the fault-free run, with zero dead letters,
+//!    for every worker count. On a mismatch the soak writes both reports
+//!    to `results/` so CI failures ship their own repro artifact.
 
 use hadas_suite::core::{Hadas, HadasConfig, SearchCheckpoint, SearchOptions};
 use hadas_suite::hw::HwTarget;
@@ -219,6 +227,83 @@ fn a_fault_injected_trace_finishes_with_bounded_degradation() {
         healthy.accuracy_pct
     );
     assert!(stormy.accuracy_pct > 50.0, "absolute floor: {:.2}%", stormy.accuracy_pct);
+}
+
+// ---------------------------------------------------------------------
+// Serve-side chaos: supervised recovery equals fault-free, byte for byte.
+// ---------------------------------------------------------------------
+
+/// One open-loop serving run; `chaos_seed` switches the execution-plane
+/// fault injection on.
+fn serve_run(
+    hadas: &Hadas,
+    modes: &[hadas_suite::runtime::OperatingMode],
+    workers: usize,
+    chaos_seed: Option<u64>,
+) -> (hadas_suite::serve::ServeReport, hadas_suite::serve::ResilienceTelemetry) {
+    use hadas_suite::serve::{ServeConfig, ServeEngine};
+    let config = ServeConfig {
+        seed: 42,
+        duration_s: 6.0,
+        rps: 150.0,
+        workers,
+        chaos: chaos_seed.map(|s| FaultConfig { horizon_s: 6.0, ..FaultConfig::worker_chaos(s) }),
+        retry: hadas_suite::core::RetryPolicy { max_attempts: 6, ..Default::default() },
+        ..ServeConfig::default()
+    };
+    ServeEngine::new(hadas, modes.to_vec(), config)
+        .expect("serve config validates")
+        .run_instrumented()
+        .expect("serve run completes")
+}
+
+/// Writes the two mismatching reports next to the other CI artifacts so
+/// a failing soak ships its own repro.
+fn dump_serve_diff(tag: &str, clean: &str, healed: &str) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("results");
+    let _ = std::fs::create_dir_all(&dir);
+    let _ = std::fs::write(dir.join(format!("chaos_serve_clean_{tag}.json")), clean);
+    let _ = std::fs::write(dir.join(format!("chaos_serve_healed_{tag}.json")), healed);
+}
+
+#[test]
+fn supervised_serving_heals_back_to_the_fault_free_report() {
+    let (hadas, modes) = runtime_fixture();
+    for seed in seed_matrix() {
+        let mut healed_something = false;
+        // The virtual schedule depends on the lane count, so each worker
+        // count is compared against its own fault-free run.
+        for workers in [1usize, 2, 3] {
+            let (clean, calm) = serve_run(&hadas, &modes, workers, None);
+            assert_eq!(calm, Default::default(), "a fault-free run reports no healing activity");
+            let clean_json = clean.to_json().expect("report serializes");
+
+            let (healed, telemetry) = serve_run(&hadas, &modes, workers, Some(seed));
+            assert_eq!(
+                healed.dead_lettered, 0,
+                "worker chaos must be fully healed (seed {seed}, {workers} workers)"
+            );
+            assert_eq!(
+                healed.served + healed.shed + healed.rejected + healed.dead_lettered,
+                healed.offered,
+                "request accounting must balance (seed {seed}, {workers} workers)"
+            );
+            let healed_json = healed.to_json().expect("report serializes");
+            if healed_json != clean_json {
+                dump_serve_diff(&format!("{seed}_{workers}w"), &clean_json, &healed_json);
+            }
+            assert_eq!(
+                healed_json, clean_json,
+                "recovery must be invisible (seed {seed}, {workers} workers; \
+                 mismatching reports written to results/)"
+            );
+            healed_something |= telemetry.crashes > 0
+                || telemetry.retries > 0
+                || telemetry.hedges > 0
+                || telemetry.redispatches > 0;
+        }
+        assert!(healed_something, "the chaos preset must actually inject work (seed {seed})");
+    }
 }
 
 #[test]
