@@ -79,6 +79,41 @@ pub enum Command {
         /// fault seed (transient failures, timeouts; retried with
         /// backoff, degraded on exhaustion).
         faults: Option<u64>,
+        /// Inject deterministic data-plane chaos into candidate
+        /// evaluations with this seed: a fixed fraction of fitness
+        /// measurements comes back NaN and must be quarantined to the
+        /// finite worst-case penalty without perturbing the rest of
+        /// the front.
+        data_chaos: Option<u64>,
+    },
+    /// Train the weight-sharing micro-supernet under the divergence
+    /// guard (numeric sentinels, epoch checkpoint/rollback, poisoned-
+    /// sample quarantine).
+    Train {
+        /// Training epochs.
+        epochs: usize,
+        /// Batch size.
+        batch: usize,
+        /// Initial learning rate.
+        lr: f32,
+        /// Seed of the dataset, the weights, and the subnet sampler.
+        seed: u64,
+        /// Corrupt the train split with the seeded chaos injector
+        /// (label flips, NaN/extreme pixels, truncated reads) before
+        /// training; per-sample validation must quarantine the
+        /// detectable poison.
+        data_chaos: Option<u64>,
+        /// Write a resumable training checkpoint here at every epoch
+        /// boundary.
+        checkpoint: Option<String>,
+        /// Resume from the checkpoint at `--train-checkpoint` if it
+        /// exists (and keep checkpointing to it).
+        resume: bool,
+        /// Stop after this many epochs *this call* (the chaos
+        /// workflow's deterministic kill point).
+        max_epochs: Option<usize>,
+        /// Optional JSON output path for the train report + telemetry.
+        json: Option<String>,
     },
     /// Run the inner engine on one AttentiveNAS baseline.
     Ioe {
@@ -236,6 +271,7 @@ impl Command {
                         "resume",
                         "max-generations",
                         "faults",
+                        "data-chaos",
                     ],
                 )?;
                 let target = parse_target(
@@ -260,6 +296,12 @@ impl Command {
                             .map_err(|e| ParseCliError(format!("bad fault seed: {e}")))
                     })
                     .transpose()?;
+                let data_chaos = flag(&flags, "data-chaos")
+                    .map(|s| {
+                        s.parse::<u64>()
+                            .map_err(|e| ParseCliError(format!("bad data-chaos seed: {e}")))
+                    })
+                    .transpose()?;
                 Ok(Command::Search {
                     target,
                     scale,
@@ -269,6 +311,82 @@ impl Command {
                     resume: flag(&flags, "resume").map(str::to_string),
                     max_generations,
                     faults,
+                    data_chaos,
+                })
+            }
+            "train" => {
+                let flags = take_flags(
+                    rest,
+                    &[
+                        "epochs",
+                        "batch",
+                        "lr",
+                        "seed",
+                        "data-chaos",
+                        "train-checkpoint",
+                        "resume-train",
+                        "max-epochs",
+                        "json",
+                    ],
+                )?;
+                let epochs = flag(&flags, "epochs")
+                    .map(|s| {
+                        s.parse::<usize>().map_err(|e| ParseCliError(format!("bad epochs: {e}")))
+                    })
+                    .transpose()?
+                    .unwrap_or(4);
+                let batch = flag(&flags, "batch")
+                    .map(|s| {
+                        s.parse::<usize>().map_err(|e| ParseCliError(format!("bad batch: {e}")))
+                    })
+                    .transpose()?
+                    .unwrap_or(16);
+                let lr = flag(&flags, "lr")
+                    .map(|s| s.parse::<f32>().map_err(|e| ParseCliError(format!("bad lr: {e}"))))
+                    .transpose()?
+                    .unwrap_or(0.05);
+                let seed = flag(&flags, "seed")
+                    .map(|s| s.parse::<u64>().map_err(|e| ParseCliError(format!("bad seed: {e}"))))
+                    .transpose()?
+                    .unwrap_or(7);
+                let data_chaos = flag(&flags, "data-chaos")
+                    .map(|s| {
+                        s.parse::<u64>()
+                            .map_err(|e| ParseCliError(format!("bad data-chaos seed: {e}")))
+                    })
+                    .transpose()?;
+                let max_epochs = flag(&flags, "max-epochs")
+                    .map(|s| {
+                        s.parse::<usize>()
+                            .map_err(|e| ParseCliError(format!("bad max-epochs: {e}")))
+                    })
+                    .transpose()?;
+                let resume = flag(&flags, "resume-train")
+                    .map(|s| match s {
+                        "on" => Ok(true),
+                        "off" => Ok(false),
+                        other => Err(ParseCliError(format!(
+                            "bad resume-train '{other}' (expected on or off)"
+                        ))),
+                    })
+                    .transpose()?
+                    .unwrap_or(false);
+                let checkpoint = flag(&flags, "train-checkpoint").map(str::to_string);
+                if resume && checkpoint.is_none() {
+                    return Err(ParseCliError(
+                        "--resume-train on requires --train-checkpoint PATH".into(),
+                    ));
+                }
+                Ok(Command::Train {
+                    epochs,
+                    batch,
+                    lr,
+                    seed,
+                    data_chaos,
+                    checkpoint,
+                    resume,
+                    max_epochs,
+                    json: flag(&flags, "json").map(str::to_string),
                 })
             }
             "ioe" => {
@@ -427,7 +545,7 @@ impl Command {
                 })
             }
             other => Err(ParseCliError(format!(
-                "unknown command '{other}' (try: devices, baselines, search, ioe, check, proxy, serve, help)"
+                "unknown command '{other}' (try: devices, baselines, search, train, ioe, check, proxy, serve, help)"
             ))),
         }
     }
@@ -462,6 +580,7 @@ mod tests {
                 resume: None,
                 max_generations: None,
                 faults: None,
+                data_chaos: None,
             }
         );
     }
@@ -480,6 +599,7 @@ mod tests {
                 resume: None,
                 max_generations: None,
                 faults: None,
+                data_chaos: None,
             }
         );
     }
@@ -509,6 +629,67 @@ mod tests {
         ));
         assert!(Command::parse(&argv("search --target tx2-gpu --max-generations lots")).is_err());
         assert!(Command::parse(&argv("search --target tx2-gpu --faults many")).is_err());
+    }
+
+    #[test]
+    fn search_parses_data_chaos() {
+        let cmd = Command::parse(&argv("search --target tx2-gpu --data-chaos 17")).unwrap();
+        assert!(matches!(cmd, Command::Search { data_chaos: Some(17), .. }));
+        assert!(Command::parse(&argv("search --target tx2-gpu --data-chaos loud")).is_err());
+    }
+
+    #[test]
+    fn train_parses_all_flags() {
+        let cmd = Command::parse(&argv(
+            "train --epochs 6 --batch 8 --lr 0.1 --seed 11 --data-chaos 3 \
+             --train-checkpoint ckpt.json --resume-train on --max-epochs 2 --json out.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Train {
+                epochs: 6,
+                batch: 8,
+                lr: 0.1,
+                seed: 11,
+                data_chaos: Some(3),
+                checkpoint: Some("ckpt.json".into()),
+                resume: true,
+                max_epochs: Some(2),
+                json: Some("out.json".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn train_defaults_apply() {
+        let cmd = Command::parse(&argv("train")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Train {
+                epochs: 4,
+                batch: 16,
+                lr: 0.05,
+                seed: 7,
+                data_chaos: None,
+                checkpoint: None,
+                resume: false,
+                max_epochs: None,
+                json: None,
+            }
+        );
+    }
+
+    #[test]
+    fn train_flags_validate() {
+        assert!(Command::parse(&argv("train --epochs many")).is_err());
+        assert!(Command::parse(&argv("train --lr hot")).is_err());
+        assert!(Command::parse(&argv("train --resume-train maybe")).is_err());
+        assert!(
+            Command::parse(&argv("train --resume-train on")).is_err(),
+            "resume without a checkpoint path must be rejected"
+        );
+        assert!(Command::parse(&argv("train --data-chaos wild")).is_err());
     }
 
     #[test]

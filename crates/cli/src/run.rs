@@ -4,13 +4,16 @@
 
 use crate::Command;
 use hadas::{DeploymentPicker, Hadas, SearchCheckpoint, SearchOptions};
+use hadas_dataset::{CorruptionConfig, DatasetConfig, SyntheticDataset};
 use hadas_hw::{DeviceModel, HwTarget, ProxyCostModel};
 use hadas_runtime::{modes_from_pareto, FaultConfig, FaultInjector};
 use hadas_serve::{ServeConfig, ServeEngine};
 use hadas_space::{baselines, SearchSpace};
+use hadas_supernet::{MicroSupernet, SubnetChoice, SupernetConfig, TrainOptions};
+use rand::{rngs::StdRng, SeedableRng};
 use std::error::Error;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 const USAGE: &str = "\
@@ -21,7 +24,10 @@ USAGE:
   hadas baselines --target <t>
   hadas search    --target <t> [--scale quick|mid|paper] [--seed N] [--json PATH]
                   [--checkpoint PATH] [--resume PATH] [--max-generations N]
-                  [--faults SEED]
+                  [--faults SEED] [--data-chaos SEED]
+  hadas train     [--epochs N] [--batch N] [--lr F] [--seed N]
+                  [--data-chaos SEED] [--train-checkpoint PATH]
+                  [--resume-train on|off] [--max-epochs N] [--json PATH]
   hadas ioe       --target <t> [--baseline a0..a6] [--scale ...] [--seed N]
   hadas check     [--target <t>]
   hadas proxy     --target <t> [--samples N]
@@ -38,6 +44,23 @@ ROBUSTNESS:
   --resume PATH          restore a checkpointed run (same target/scale/seed)
   --max-generations N    stop after N generations with a partial front
   --faults SEED          inject seeded transient faults into evaluations
+  --data-chaos SEED      (search) poison a fixed fraction of fitness
+                         measurements with NaN; the engines quarantine them
+                         to the finite worst-case penalty and report the
+                         count, leaving the rest of the front untouched
+
+TRAINING:
+  `train` runs the divergence-guarded weight-sharing supernet trainer:
+  per-sample validation quarantines poisoned inputs, numeric sentinels
+  catch NaN losses/gradients, and epoch boundaries snapshot resumable
+  state. A run killed at epoch k (--max-epochs k) and resumed
+  (--resume-train on) is byte-identical to an uninterrupted run.
+  --data-chaos SEED      (train) corrupt the train split with the seeded
+                         injector (label flips, NaN/extreme pixels,
+                         truncated reads) before training
+  --train-checkpoint P   write a resumable checkpoint at every epoch
+  --resume-train on|off  restore from --train-checkpoint if it exists
+  --max-epochs N         stop after N epochs with a partial report
 
 SERVING:
   `serve` searches a mode ladder, then replays a seeded open-loop
@@ -112,6 +135,7 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
             resume,
             max_generations,
             faults,
+            data_chaos,
         } => {
             let hadas = Hadas::for_target(target);
             let cfg = scale.config().with_seed(seed);
@@ -131,6 +155,7 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
                 opts.checkpoint_path = Some(path.into());
             }
             opts.stop_after_generations = max_generations;
+            opts.data_chaos = data_chaos;
             if let Some(fault_seed) = faults {
                 opts.faults = Arc::new(FaultInjector::new(FaultConfig::chaos(fault_seed))?);
             }
@@ -196,6 +221,14 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
                     telemetry.fault_overhead_ms
                 )?;
             }
+            if data_chaos.is_some() {
+                writeln!(
+                    out,
+                    "data chaos: {} non-finite fitness evaluation(s) quarantined \
+                     to the worst-case penalty",
+                    telemetry.quarantined_evals
+                )?;
+            }
             if telemetry.interrupted {
                 let resume_hint = opts
                     .checkpoint_path
@@ -207,6 +240,106 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
                     "search interrupted after {} generation(s); partial front{resume_hint}",
                     telemetry.generations_completed
                 )?;
+            }
+        }
+        Command::Train {
+            epochs,
+            batch,
+            lr,
+            seed,
+            data_chaos,
+            checkpoint,
+            resume,
+            max_epochs,
+            json,
+        } => {
+            let net_cfg = SupernetConfig::tiny();
+            let mut data_cfg = DatasetConfig::small();
+            data_cfg.classes = net_cfg.classes;
+            data_cfg.image_size = net_cfg.image_size;
+            data_cfg.train_size = 96;
+            data_cfg.test_size = 48;
+            let mut data = SyntheticDataset::generate(&data_cfg, seed)?;
+            if let Some(chaos_seed) = data_chaos {
+                let (corrupted, report) =
+                    data.with_corruption(&CorruptionConfig::chaos(chaos_seed))?;
+                data = corrupted;
+                writeln!(
+                    out,
+                    "data chaos (seed {chaos_seed}): corrupted {} of {} train samples \
+                     ({} detectably poisoned)",
+                    report.total(),
+                    data.train().len(),
+                    report.detectable()
+                )?;
+            }
+            let mut net = MicroSupernet::new(&net_cfg, &mut StdRng::seed_from_u64(seed))?;
+            let mut opts = TrainOptions::new(epochs, batch, lr, seed);
+            if let Some(path) = &checkpoint {
+                opts = opts.with_checkpoint(PathBuf::from(path), resume);
+            }
+            if let Some(k) = max_epochs {
+                opts = opts.stop_after(k);
+            }
+            writeln!(
+                out,
+                "training micro-supernet ({} subnets) for {epochs} epoch(s), \
+                 batch {batch}, lr {lr}, seed {seed}...",
+                net_cfg.cardinality()
+            )?;
+            let (report, telemetry) = net.train_with(&data, &opts)?;
+            // `evaluate` returns a top-1 fraction; report it in percent.
+            let acc = net.evaluate(&data, &SubnetChoice::max(&net_cfg))? * 100.0;
+            writeln!(
+                out,
+                "final loss {:.6} over {} step(s) | max-subnet test accuracy {:.2}%",
+                report.final_loss, report.steps, acc
+            )?;
+            writeln!(
+                out,
+                "telemetry: {} quarantined sample(s), {} rollback(s), \
+                 {} clipped step(s), {} checkpoint(s) written",
+                telemetry.quarantined,
+                telemetry.rollbacks,
+                telemetry.clipped_steps,
+                telemetry.checkpoints_written
+            )?;
+            if let Some(e) = telemetry.resumed_from_epoch {
+                writeln!(out, "resumed from epoch {e}")?;
+            }
+            for a in &telemetry.anomalies {
+                writeln!(out, "anomaly: {a}")?;
+            }
+            if telemetry.interrupted {
+                let hint = checkpoint
+                    .as_deref()
+                    .map(|p| format!(" — resume with --resume-train on --train-checkpoint {p}"))
+                    .unwrap_or_default();
+                writeln!(out, "training interrupted at an epoch boundary; partial weights{hint}")?;
+            }
+            if let Some(path) = json {
+                let payload = serde_json::json!({
+                    "evaluation": {
+                        "final_loss": report.final_loss,
+                        "steps": report.steps,
+                        "test_accuracy_pct": acc,
+                    },
+                    "telemetry": {
+                        "quarantined": telemetry.quarantined,
+                        "rollbacks": telemetry.rollbacks,
+                        "clipped_steps": telemetry.clipped_steps,
+                        "anomalies": telemetry.anomalies,
+                        "resumed_from_epoch": telemetry
+                            .resumed_from_epoch
+                            .map_or(serde_json::Value::Null, |e| {
+                                serde_json::Value::from(e as u64)
+                            }),
+                        "checkpoints_written": telemetry.checkpoints_written,
+                        "interrupted": telemetry.interrupted,
+                    },
+                });
+                std::fs::write(&path, serde_json::to_string_pretty(&payload)?)?;
+                writeln!(out, "wrote train report to {path}")?;
             }
         }
         Command::Ioe { target, baseline, scale, seed } => {
@@ -477,6 +610,7 @@ mod tests {
             resume: None,
             max_generations: None,
             faults: None,
+            data_chaos: None,
         }
     }
 
@@ -502,6 +636,7 @@ mod tests {
                     resume,
                     max_generations: None,
                     faults: Some(99),
+                    data_chaos: None,
                 }
             }
             other => other,
@@ -528,6 +663,7 @@ mod tests {
                 resume: None,
                 max_generations: Some(1),
                 faults: None,
+                data_chaos: None,
             },
             other => other,
         };
@@ -545,6 +681,7 @@ mod tests {
                 resume: Some(path_s),
                 max_generations: None,
                 faults: None,
+                data_chaos: None,
             },
             other => other,
         };
@@ -552,6 +689,137 @@ mod tests {
         assert!(text.contains("resuming from"), "{text}");
         assert!(!text.contains("interrupted"), "resumed run finishes: {text}");
         assert!(text.contains("acc (%)"), "{text}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn search_with_data_chaos_reports_quarantine() {
+        let cmd = match search_cmd(3) {
+            Command::Search { target, scale, seed, json, checkpoint, resume, .. } => {
+                Command::Search {
+                    target,
+                    scale,
+                    seed,
+                    json,
+                    checkpoint,
+                    resume,
+                    max_generations: None,
+                    faults: None,
+                    data_chaos: Some(17),
+                }
+            }
+            other => other,
+        };
+        let text = run(cmd);
+        assert!(text.contains("data chaos:"), "{text}");
+        assert!(text.contains("quarantined"), "{text}");
+        assert!(text.contains("acc (%)"), "the front still prints: {text}");
+    }
+
+    fn train_cmd(seed: u64) -> Command {
+        Command::Train {
+            epochs: 2,
+            batch: 16,
+            lr: 0.05,
+            seed,
+            data_chaos: None,
+            checkpoint: None,
+            resume: false,
+            max_epochs: None,
+            json: None,
+        }
+    }
+
+    #[test]
+    fn train_reports_loss_and_telemetry() {
+        let text = run(train_cmd(7));
+        assert!(text.contains("final loss"), "{text}");
+        assert!(text.contains("test accuracy"), "{text}");
+        assert!(text.contains("0 quarantined sample(s)"), "clean data: {text}");
+        assert!(!text.contains("interrupted"), "{text}");
+    }
+
+    #[test]
+    fn train_with_data_chaos_quarantines_and_finishes_finite() {
+        let cmd = match train_cmd(7) {
+            Command::Train { epochs, batch, lr, seed, .. } => Command::Train {
+                epochs,
+                batch,
+                lr,
+                seed,
+                data_chaos: Some(3),
+                checkpoint: None,
+                resume: false,
+                max_epochs: None,
+                json: None,
+            },
+            other => other,
+        };
+        let text = run(cmd);
+        assert!(text.contains("data chaos (seed 3)"), "{text}");
+        assert!(!text.contains("0 quarantined sample(s)"), "poison must be caught: {text}");
+        assert!(!text.contains("final loss NaN"), "{text}");
+        assert!(text.contains("final loss"), "{text}");
+    }
+
+    #[test]
+    fn killed_train_resumes_to_identical_evaluation() {
+        let dir = std::env::temp_dir().join(format!("hadas-cli-train-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let ckpt = dir.join("train.json").to_string_lossy().into_owned();
+        let json_a = dir.join("straight.json");
+        let json_b = dir.join("resumed.json");
+
+        let straight = Command::Train {
+            epochs: 3,
+            batch: 16,
+            lr: 0.05,
+            seed: 11,
+            data_chaos: None,
+            checkpoint: None,
+            resume: false,
+            max_epochs: None,
+            json: Some(json_a.to_string_lossy().into_owned()),
+        };
+        run(straight);
+
+        let killed = Command::Train {
+            epochs: 3,
+            batch: 16,
+            lr: 0.05,
+            seed: 11,
+            data_chaos: None,
+            checkpoint: Some(ckpt.clone()),
+            resume: false,
+            max_epochs: Some(1),
+            json: None,
+        };
+        let text = run(killed);
+        assert!(text.contains("interrupted"), "{text}");
+        assert!(text.contains("--resume-train on"), "{text}");
+
+        let resumed = Command::Train {
+            epochs: 3,
+            batch: 16,
+            lr: 0.05,
+            seed: 11,
+            data_chaos: None,
+            checkpoint: Some(ckpt),
+            resume: true,
+            max_epochs: None,
+            json: Some(json_b.to_string_lossy().into_owned()),
+        };
+        let text = run(resumed);
+        assert!(text.contains("resumed from epoch 1"), "{text}");
+
+        let a: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&json_a).expect("straight json"))
+                .expect("parse");
+        let b: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&json_b).expect("resumed json"))
+                .expect("parse");
+        assert_eq!(a.get("evaluation"), b.get("evaluation"), "kill+resume must be byte-identical");
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -78,6 +78,9 @@ struct IoeProblem<'a> {
     /// Salt mixed into fault keys so the inner fault stream is distinct
     /// from the search-time quality-noise stream and from other IOE runs.
     fault_salt: u64,
+    /// Seed of the deterministic data-chaos injector; `None` disables
+    /// NaN-poisoning of candidate measurements.
+    data_chaos: Option<u64>,
     /// Fault-handling counters for this run. `Nsga2::run` drives
     /// `evaluate` from a single thread, so a `RefCell` suffices.
     telemetry: RefCell<SearchTelemetry>,
@@ -158,6 +161,13 @@ impl IoeProblem<'_> {
         model.subnet().genome().genes().hash(&mut h);
         let u = (h.finish() % 10_000) as f64 / 10_000.0;
         objectives[0] += (u * 2.0 - 1.0) * Self::QUALITY_NOISE;
+        // Data chaos: a poisoned measurement comes back NaN. The
+        // quarantine in `evaluate` must catch it — never the engine.
+        if let Some(chaos) = self.data_chaos {
+            if crate::ooe::chaos_poisons(chaos, self.fault_key(genome)) {
+                objectives[0] = f64::NAN;
+            }
+        }
         objectives
     }
 }
@@ -188,7 +198,17 @@ impl Problem for IoeProblem<'_> {
             Err(_) => return vec![Self::INFEASIBLE_PENALTY; 3],
         };
         self.telemetry.borrow_mut().absorb(&receipt, value.is_none());
-        value.unwrap_or_else(|| vec![Self::INFEASIBLE_PENALTY; 3])
+        let objectives = value.unwrap_or_else(|| vec![Self::INFEASIBLE_PENALTY; 3]);
+        // NaN-fitness quarantine: a non-finite objective vector breaks
+        // every ordering axiom dominance sorting relies on, and in
+        // release builds nothing would catch it — the poisoned candidate
+        // could sit unchallenged in the Pareto front. Degrade it to the
+        // finite worst case so it is selected away instead.
+        if objectives.iter().any(|v| !v.is_finite()) {
+            self.telemetry.borrow_mut().quarantined_evals += 1;
+            return vec![Self::INFEASIBLE_PENALTY; 3];
+        }
+        objectives
     }
 
     fn crossover(&self, rng: &mut dyn RngCore, a: &Vec<usize>, b: &Vec<usize>) -> Vec<usize> {
@@ -226,6 +246,7 @@ impl<'a> Ioe<'a> {
         faults: &'p dyn FaultModel,
         retry: &'p RetryPolicy,
         fault_salt: u64,
+        data_chaos: Option<u64>,
     ) -> IoeProblem<'p> {
         let candidates = ExitPlacement::candidates(self.subnet.num_mbconv_layers());
         let mut cardinalities = vec![2usize; candidates.len()];
@@ -241,6 +262,7 @@ impl<'a> Ioe<'a> {
             faults,
             retry,
             fault_salt,
+            data_chaos,
             telemetry: RefCell::new(SearchTelemetry::default()),
         }
     }
@@ -279,9 +301,29 @@ impl<'a> Ioe<'a> {
         faults: &dyn FaultModel,
         retry: &RetryPolicy,
     ) -> Result<(IoeOutcome, SearchTelemetry), HadasError> {
+        self.run_with_chaos(seed, faults, retry, None)
+    }
+
+    /// [`Ioe::run_with`] plus the deterministic data-chaos injector: when
+    /// `data_chaos` is set, a fixed fraction of candidate measurements
+    /// come back NaN-poisoned and must be quarantined to the finite
+    /// infeasibility penalty (counted in
+    /// [`SearchTelemetry::quarantined_evals`]). The final reporting pass
+    /// is always exact and chaos-free.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ioe::run_with`].
+    pub fn run_with_chaos(
+        &self,
+        seed: u64,
+        faults: &dyn FaultModel,
+        retry: &RetryPolicy,
+        data_chaos: Option<u64>,
+    ) -> Result<(IoeOutcome, SearchTelemetry), HadasError> {
         self.config.validate()?;
         retry.validate()?;
-        let problem = self.problem_with(faults, retry, seed);
+        let problem = self.problem_with(faults, retry, seed, data_chaos);
         let nsga = Nsga2::new(Nsga2Config::with_budget(
             self.config.ioe.population,
             self.config.ioe.iterations,
@@ -304,7 +346,7 @@ impl<'a> Ioe<'a> {
     pub fn run_random(&self, seed: u64) -> Result<IoeOutcome, HadasError> {
         self.config.validate()?;
         let retry = RetryPolicy::default();
-        let problem = self.problem_with(&NoFaults, &retry, seed);
+        let problem = self.problem_with(&NoFaults, &retry, seed, None);
         let mut rng = StdRng::seed_from_u64(seed);
         let result = hadas_evo::random_search(&problem, self.config.ioe.iterations, &mut rng);
         self.outcome_from(&problem, &result)

@@ -22,6 +22,13 @@ impl StaticFitness {
     pub fn to_plot_axes(self) -> Vec<f64> {
         vec![self.accuracy_pct, -self.energy_mj]
     }
+
+    /// Whether every component is a finite number. A NaN or infinite
+    /// fitness must never enter dominance arithmetic — the engines
+    /// quarantine it to a finite worst-case penalty instead.
+    pub fn is_finite(self) -> bool {
+        self.accuracy_pct.is_finite() && self.latency_ms.is_finite() && self.energy_mj.is_finite()
+    }
 }
 
 /// Dynamic fitness `D(x, f | b)` of a multi-exit model with a DVFS

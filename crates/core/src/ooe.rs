@@ -22,6 +22,25 @@ const STATIC_FAULT_SALT: u64 = 0x5354_4154_4943_5f53; // "STATIC_S"
 /// as opposed to one flaky candidate measurement inside it).
 const IOE_RUN_FAULT_SALT: u64 = 0x494f_455f_5255_4e5f; // "IOE_RUN_"
 
+/// Fraction of measurements the data-chaos injector poisons with NaN.
+pub(crate) const DATA_CHAOS_RATE: f64 = 0.1;
+
+/// Salt separating the data-chaos poison stream from the fault streams.
+const DATA_CHAOS_SALT: u64 = 0x4441_5441_5f43_4841; // "DATA_CHA"
+
+/// Deterministic data-chaos poison model: whether the measurement
+/// identified by `key` comes back NaN-poisoned under chaos seed `seed`.
+/// Pure in `(seed, key)`, so a resumed run replays the identical poison
+/// history — the quarantine path stays byte-reproducible.
+pub(crate) fn chaos_poisons(seed: u64, key: u64) -> bool {
+    let mut h = DefaultHasher::new();
+    DATA_CHAOS_SALT.hash(&mut h);
+    seed.hash(&mut h);
+    key.hash(&mut h);
+    let u = (h.finish() >> 11) as f64 / (1u64 << 53) as f64;
+    u < DATA_CHAOS_RATE
+}
+
 /// The static fitness assigned to a backbone whose measurement never
 /// landed within its retry/timeout budget: zero accuracy at prohibitive
 /// cost, so it is selected away without poisoning dominance arithmetic.
@@ -83,6 +102,14 @@ pub struct SearchOptions {
     /// Wall-clock budget in seconds; on exhaustion the run stops at the
     /// next generation boundary with a partial front.
     pub time_budget_s: Option<f64>,
+    /// Seed of the deterministic data-chaos injector: when set, a fixed
+    /// fraction of candidate measurements (outer static evaluations and
+    /// inner dynamic ones) come back NaN-poisoned. The engines must
+    /// quarantine every poisoned fitness to the finite worst-case penalty
+    /// — counted in [`SearchTelemetry::quarantined_evals`] — so the
+    /// Pareto arithmetic never sees a non-finite number. `None` disables
+    /// injection.
+    pub data_chaos: Option<u64>,
 }
 
 impl Default for SearchOptions {
@@ -95,6 +122,7 @@ impl Default for SearchOptions {
             abort: None,
             stop_after_generations: None,
             time_budget_s: None,
+            data_chaos: None,
         }
     }
 }
@@ -364,7 +392,22 @@ impl<'a> Ooe<'a> {
                             })?;
                         let exhausted = value.is_none();
                         telemetry.absorb(&receipt, exhausted);
-                        let fitness = value.unwrap_or(FAILED_STATIC_FITNESS);
+                        let mut fitness = value.unwrap_or(FAILED_STATIC_FITNESS);
+                        // Data chaos: a poisoned measurement comes back
+                        // NaN; the quarantine below must catch it.
+                        if let Some(chaos) = opts.data_chaos {
+                            if chaos_poisons(chaos, fault_key) {
+                                fitness.accuracy_pct = f64::NAN;
+                            }
+                        }
+                        // NaN-fitness quarantine: a non-finite vector
+                        // would satisfy no ordering axiom and could sit
+                        // unchallenged in release-mode dominance sorts.
+                        // Degrade it to the finite worst case instead.
+                        if !fitness.is_finite() {
+                            telemetry.quarantined_evals += 1;
+                            fitness = FAILED_STATIC_FITNESS;
+                        }
                         state.history.push(EvaluatedBackbone {
                             subnet,
                             fitness,
@@ -410,13 +453,15 @@ impl<'a> Ooe<'a> {
                     let config = self.config.clone();
                     let faults = Arc::clone(&opts.faults);
                     let retry = opts.retry;
+                    let data_chaos = opts.data_chaos;
                     scope.spawn(move |_| {
                         let run_key = seed ^ IOE_RUN_FAULT_SALT;
                         let attempt = retry.run(faults.as_ref(), run_key, || {
-                            Ioe::new(hadas, subnet.clone(), config.clone()).run_with(
+                            Ioe::new(hadas, subnet.clone(), config.clone()).run_with_chaos(
                                 seed,
                                 faults.as_ref(),
                                 &retry,
+                                data_chaos,
                             )
                         });
                         match attempt {
@@ -428,6 +473,7 @@ impl<'a> Ooe<'a> {
                                 t.transient_failures += inner.transient_failures;
                                 t.timeouts += inner.timeouts;
                                 t.exhausted_evals += inner.exhausted_evals;
+                                t.quarantined_evals += inner.quarantined_evals;
                                 t.fault_overhead_ms += inner.fault_overhead_ms;
                             }
                             Ok((None, receipt)) => {
@@ -451,6 +497,7 @@ impl<'a> Ooe<'a> {
                 telemetry.transient_failures += sub.transient_failures;
                 telemetry.timeouts += sub.timeouts;
                 telemetry.exhausted_evals += sub.exhausted_evals;
+                telemetry.quarantined_evals += sub.quarantined_evals;
                 telemetry.fault_overhead_ms += sub.fault_overhead_ms;
             }
             for &i in &promoted {
@@ -628,6 +675,50 @@ mod tests {
         fn eval_attempt(&self, _key: u64, _attempt: u32) -> AttemptOutcome {
             AttemptOutcome::TransientFailure { cost_ms: 50.0 }
         }
+    }
+
+    #[test]
+    fn data_chaos_quarantines_nan_fitness_and_stays_deterministic() {
+        let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+        let cfg = HadasConfig::smoke_test().with_seed(21);
+        let opts = SearchOptions { data_chaos: Some(77), ..Default::default() };
+        let out = Ooe::new(&hadas, cfg.clone()).run_with(&opts).unwrap();
+        assert!(
+            out.telemetry().quarantined_evals > 0,
+            "chaos rate {DATA_CHAOS_RATE} over a whole run must poison something"
+        );
+        // Every fitness the outcome carries is finite: quarantine caught
+        // all injected NaNs before they reached dominance arithmetic.
+        for b in out.backbones() {
+            assert!(b.fitness.is_finite(), "non-finite fitness escaped quarantine");
+        }
+        for m in out.pareto_models() {
+            assert!(m.dynamic.accuracy_pct.is_finite());
+            assert!(m.dynamic.energy_mj.is_finite());
+        }
+        // The poison stream is pure in (seed, key): identical runs agree.
+        let again = Ooe::new(&hadas, cfg).run_with(&opts).unwrap();
+        assert_eq!(out.telemetry().quarantined_evals, again.telemetry().quarantined_evals);
+        let pa: Vec<f64> = out.pareto_models().iter().map(|m| m.dynamic.energy_mj).collect();
+        let pb: Vec<f64> = again.pareto_models().iter().map(|m| m.dynamic.energy_mj).collect();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn chaos_poison_stream_is_pure_and_hits_the_configured_rate() {
+        let hits = (0..20_000).filter(|&k| chaos_poisons(5, k)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!(
+            (rate - DATA_CHAOS_RATE).abs() < 0.02,
+            "empirical poison rate {rate} far from {DATA_CHAOS_RATE}"
+        );
+        for k in 0..100 {
+            assert_eq!(chaos_poisons(9, k), chaos_poisons(9, k));
+        }
+        // Different seeds give different streams.
+        let a: Vec<bool> = (0..256).map(|k| chaos_poisons(1, k)).collect();
+        let b: Vec<bool> = (0..256).map(|k| chaos_poisons(2, k)).collect();
+        assert_ne!(a, b);
     }
 
     #[test]

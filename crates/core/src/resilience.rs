@@ -291,6 +291,11 @@ pub struct SearchTelemetry {
     pub timeouts: usize,
     /// Candidates abandoned after their whole retry/timeout budget.
     pub exhausted_evals: usize,
+    /// Evaluations whose fitness came back non-finite (NaN/∞) — from a
+    /// poisoned measurement or injected data chaos — and were quarantined
+    /// to the finite worst-case penalty instead of entering dominance
+    /// arithmetic.
+    pub quarantined_evals: usize,
     /// Simulated milliseconds spent on retries and backoff.
     pub fault_overhead_ms: f64,
     /// Generations fully completed by this run (resumed runs count from

@@ -1,0 +1,441 @@
+//! Data-plane chaos: a seeded corruption injector that poisons training
+//! samples the way real pipelines fail — flipped labels, NaN or
+//! extreme-magnitude pixels, truncated reads — plus the per-sample
+//! validator that catches the detectable corruptions before they reach a
+//! gradient.
+//!
+//! Every corruption decision is a **pure function of `(seed, index)`**:
+//! the same config poisons the same samples the same way on every run,
+//! so a training run killed mid-epoch and resumed sees an identical
+//! dataset, and the chaos tests can pin byte-identical outcomes.
+//!
+//! Detectability is deliberately asymmetric, mirroring reality:
+//! non-finite and extreme pixels are caught by [`Sample::defect`] and
+//! quarantined; *label flips are silent* — no validator can know the
+//! true label — so they stay in the train split as label noise the
+//! training guard must tolerate.
+
+use crate::{DatasetError, Sample, SyntheticDataset};
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Pixels beyond this magnitude are treated as corrupt by
+/// [`Sample::defect`]. Clean synthetic pixels are prototype/noise blends
+/// with |value| ≲ 10, so the margin is ~100×.
+pub const MAX_ABS_PIXEL: f32 = 1.0e3;
+
+/// What the per-sample validator found wrong.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SampleDefect {
+    /// A pixel was NaN or infinite (also the signature of a truncated
+    /// read: missing tail data scans as non-finite).
+    NonFinitePixel {
+        /// Flat index of the first offending pixel.
+        index: usize,
+    },
+    /// A pixel exceeded [`MAX_ABS_PIXEL`] in magnitude.
+    ExtremePixel {
+        /// Flat index of the first offending pixel.
+        index: usize,
+        /// The offending value.
+        value: f32,
+    },
+    /// The label was outside the class range.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+}
+
+impl fmt::Display for SampleDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleDefect::NonFinitePixel { index } => {
+                write!(f, "non-finite pixel at flat index {index}")
+            }
+            SampleDefect::ExtremePixel { index, value } => {
+                write!(f, "extreme pixel {value} at flat index {index}")
+            }
+            SampleDefect::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+        }
+    }
+}
+
+impl Sample {
+    /// Validates this sample: every pixel finite and within
+    /// `max_abs`, label within `classes`. Returns the first defect
+    /// found, or `None` for a clean sample.
+    pub fn defect(&self, classes: usize, max_abs: f32) -> Option<SampleDefect> {
+        if self.label >= classes {
+            return Some(SampleDefect::LabelOutOfRange { label: self.label, classes });
+        }
+        for (i, &v) in self.image.as_slice().iter().enumerate() {
+            if !v.is_finite() {
+                return Some(SampleDefect::NonFinitePixel { index: i });
+            }
+            if v.abs() > max_abs {
+                return Some(SampleDefect::ExtremePixel { index: i, value: v });
+            }
+        }
+        None
+    }
+}
+
+/// Seeded corruption rates for the train split. Kinds are drawn from
+/// disjoint probability intervals, so one sample suffers at most one
+/// corruption and the per-kind fractions match the configured rates in
+/// expectation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorruptionConfig {
+    /// Seed of the pure `(seed, index)` corruption stream.
+    pub seed: u64,
+    /// Fraction of samples whose label is silently flipped to a
+    /// different class (undetectable label noise).
+    pub label_flip_rate: f64,
+    /// Fraction of samples with a burst of NaN pixels.
+    pub pixel_nan_rate: f64,
+    /// Fraction of samples with extreme-magnitude pixels.
+    pub extreme_rate: f64,
+    /// Fraction of samples whose tail is truncated (tail pixels read as
+    /// non-finite).
+    pub truncate_rate: f64,
+    /// Magnitude written by the extreme-pixel corruption.
+    pub magnitude: f32,
+}
+
+impl CorruptionConfig {
+    /// A no-op injector: all rates zero. Applying it is byte-identical
+    /// to not applying any injector.
+    pub fn clean(seed: u64) -> Self {
+        CorruptionConfig {
+            seed,
+            label_flip_rate: 0.0,
+            pixel_nan_rate: 0.0,
+            extreme_rate: 0.0,
+            truncate_rate: 0.0,
+            magnitude: 1.0e6,
+        }
+    }
+
+    /// The preset `hadas train --data-chaos SEED` uses: ~5% silent label
+    /// flips plus ~10% detectable poison (NaN bursts, extreme pixels,
+    /// truncated tails).
+    pub fn chaos(seed: u64) -> Self {
+        CorruptionConfig {
+            seed,
+            label_flip_rate: 0.05,
+            pixel_nan_rate: 0.04,
+            extreme_rate: 0.03,
+            truncate_rate: 0.03,
+            magnitude: 1.0e6,
+        }
+    }
+
+    /// Fraction of samples the validator is expected to quarantine (the
+    /// detectable corruptions; label flips are silent).
+    pub fn detectable_rate(&self) -> f64 {
+        self.pixel_nan_rate + self.extreme_rate + self.truncate_rate
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] if any rate is outside
+    /// `[0, 1]`, the rates sum past 1, or the magnitude is not a
+    /// detectably-extreme finite value.
+    pub fn validate(&self) -> Result<(), DatasetError> {
+        let rates =
+            [self.label_flip_rate, self.pixel_nan_rate, self.extreme_rate, self.truncate_rate];
+        if rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
+            return Err(DatasetError::InvalidConfig("corruption rates must be in [0, 1]".into()));
+        }
+        if rates.iter().sum::<f64>() > 1.0 {
+            return Err(DatasetError::InvalidConfig(
+                "corruption rates must sum to at most 1".into(),
+            ));
+        }
+        if !self.magnitude.is_finite() || self.magnitude <= MAX_ABS_PIXEL {
+            return Err(DatasetError::InvalidConfig(format!(
+                "extreme magnitude must be finite and above the validator bound {MAX_ABS_PIXEL}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// What the injector did, per train-split index.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CorruptionReport {
+    /// Indices whose labels were silently flipped.
+    pub label_flipped: Vec<usize>,
+    /// Indices poisoned with NaN pixel bursts.
+    pub nan_poisoned: Vec<usize>,
+    /// Indices poisoned with extreme-magnitude pixels.
+    pub extreme_poisoned: Vec<usize>,
+    /// Indices whose tails were truncated.
+    pub truncated: Vec<usize>,
+}
+
+impl CorruptionReport {
+    /// Total corrupted samples.
+    pub fn total(&self) -> usize {
+        self.label_flipped.len()
+            + self.nan_poisoned.len()
+            + self.extreme_poisoned.len()
+            + self.truncated.len()
+    }
+
+    /// Corruptions the validator can catch (everything except silent
+    /// label flips).
+    pub fn detectable(&self) -> usize {
+        self.nan_poisoned.len() + self.extreme_poisoned.len() + self.truncated.len()
+    }
+}
+
+/// A uniform draw in `[0, 1)`, pure in `(seed, index, salt)`.
+fn draw(seed: u64, index: u64, salt: u64) -> f64 {
+    let mut h = DefaultHasher::new();
+    (seed, index, salt).hash(&mut h);
+    (h.finish() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A raw hash word, pure in `(seed, index, salt)`.
+fn word(seed: u64, index: u64, salt: u64) -> u64 {
+    let mut h = DefaultHasher::new();
+    (seed, index, salt, 0xC0FFEEu64).hash(&mut h);
+    h.finish()
+}
+
+const SALT_KIND: u64 = 1;
+const SALT_DETAIL: u64 = 2;
+const SALT_COUNT: u64 = 3;
+
+fn corrupt_sample(cfg: &CorruptionConfig, classes: usize, index: usize, sample: &mut Sample) {
+    let u = draw(cfg.seed, index as u64, SALT_KIND);
+    let flip_hi = cfg.label_flip_rate;
+    let nan_hi = flip_hi + cfg.pixel_nan_rate;
+    let extreme_hi = nan_hi + cfg.extreme_rate;
+    let truncate_hi = extreme_hi + cfg.truncate_rate;
+    let pixels = sample.image.len();
+    if u < flip_hi {
+        if classes > 1 {
+            let offset = 1 + (word(cfg.seed, index as u64, SALT_DETAIL) as usize) % (classes - 1);
+            sample.label = (sample.label + offset) % classes;
+        }
+    } else if u < nan_hi {
+        let count = 1 + (word(cfg.seed, index as u64, SALT_COUNT) as usize) % 8;
+        let data = sample.image.as_mut_slice();
+        for k in 0..count.min(pixels) {
+            let pos = (word(cfg.seed, index as u64, SALT_DETAIL.wrapping_add(k as u64)) as usize)
+                % pixels;
+            data[pos] = f32::NAN;
+        }
+    } else if u < extreme_hi {
+        let count = 1 + (word(cfg.seed, index as u64, SALT_COUNT) as usize) % 8;
+        let data = sample.image.as_mut_slice();
+        for k in 0..count.min(pixels) {
+            let w = word(cfg.seed, index as u64, SALT_DETAIL.wrapping_add(k as u64));
+            let pos = (w as usize) % pixels;
+            let sign = if w & (1 << 63) == 0 { 1.0 } else { -1.0 };
+            data[pos] = sign * cfg.magnitude;
+        }
+    } else if u < truncate_hi {
+        // A truncated read: the tail of the record is missing, so those
+        // pixels scan as non-finite. Keep [25%, 75%) of the prefix.
+        let keep_frac = 0.25 + 0.5 * draw(cfg.seed, index as u64, SALT_DETAIL);
+        let keep = ((pixels as f64) * keep_frac) as usize;
+        let data = sample.image.as_mut_slice();
+        for v in data.iter_mut().skip(keep.max(1)) {
+            *v = f32::NAN;
+        }
+    }
+}
+
+impl SyntheticDataset {
+    /// Returns a copy of this dataset whose **train split** has been run
+    /// through the corruption injector. The test split and prototypes
+    /// are untouched (evaluation stays clean so corrupted-training
+    /// effects are measurable).
+    ///
+    /// Pure in `(cfg.seed, index)`: identical inputs produce identical
+    /// corruption on every run, and an all-zero-rate config returns a
+    /// byte-identical dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] for an invalid `cfg`.
+    pub fn with_corruption(
+        &self,
+        cfg: &CorruptionConfig,
+    ) -> Result<(SyntheticDataset, CorruptionReport), DatasetError> {
+        cfg.validate()?;
+        let classes = self.config().classes;
+        let mut out = self.clone();
+        let mut report = CorruptionReport::default();
+        for (i, sample) in out.train_mut().iter_mut().enumerate() {
+            let before_label = sample.label;
+            let u = draw(cfg.seed, i as u64, SALT_KIND);
+            corrupt_sample(cfg, classes, i, sample);
+            let flip_hi = cfg.label_flip_rate;
+            let nan_hi = flip_hi + cfg.pixel_nan_rate;
+            let extreme_hi = nan_hi + cfg.extreme_rate;
+            let truncate_hi = extreme_hi + cfg.truncate_rate;
+            if u < flip_hi {
+                if sample.label != before_label {
+                    report.label_flipped.push(i);
+                }
+            } else if u < nan_hi {
+                report.nan_poisoned.push(i);
+            } else if u < extreme_hi {
+                report.extreme_poisoned.push(i);
+            } else if u < truncate_hi {
+                report.truncated.push(i);
+            }
+        }
+        Ok((out, report))
+    }
+
+    /// Validates every training sample and returns a sanitized dataset
+    /// (quarantined samples removed from the train split, config's
+    /// `train_size` adjusted) plus the quarantined indices, in order.
+    ///
+    /// Deterministic: validation is a pure scan, so kill/resume cycles
+    /// see the same sanitized split.
+    pub fn quarantine_train(&self, max_abs: f32) -> (SyntheticDataset, Vec<usize>) {
+        let classes = self.config().classes;
+        let mut quarantined = Vec::new();
+        let mut clean = self.clone();
+        let kept: Vec<Sample> = self
+            .train()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                if s.defect(classes, max_abs).is_some() {
+                    quarantined.push(i);
+                    None
+                } else {
+                    Some(s.clone())
+                }
+            })
+            .collect();
+        clean.set_train(kept);
+        (clean, quarantined)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetConfig;
+
+    fn data() -> SyntheticDataset {
+        let mut cfg = DatasetConfig::small();
+        cfg.train_size = 200;
+        SyntheticDataset::generate(&cfg, 7).unwrap()
+    }
+
+    #[test]
+    fn clean_config_is_byte_identical_to_no_injector() {
+        let d = data();
+        let (corrupted, report) = d.with_corruption(&CorruptionConfig::clean(3)).unwrap();
+        assert_eq!(report.total(), 0);
+        for (a, b) in d.train().iter().zip(corrupted.train()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn corruption_is_pure_in_seed_and_index() {
+        let d = data();
+        let cfg = CorruptionConfig::chaos(11);
+        let (a, ra) = d.with_corruption(&cfg).unwrap();
+        let (b, rb) = d.with_corruption(&cfg).unwrap();
+        assert_eq!(ra, rb);
+        for (x, y) in a.train().iter().zip(b.train()) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(
+                x.image.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                y.image.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+        let (c, rc) = d.with_corruption(&CorruptionConfig::chaos(12)).unwrap();
+        assert!(rc != ra || c.train() != a.train(), "different seeds should differ");
+    }
+
+    #[test]
+    fn detectable_corruptions_are_quarantined_and_flips_are_silent() {
+        let d = data();
+        let cfg = CorruptionConfig::chaos(5);
+        let (corrupted, report) = d.with_corruption(&cfg).unwrap();
+        assert!(report.detectable() > 0, "chaos preset must poison something at n=200");
+        let (clean, quarantined) = corrupted.quarantine_train(MAX_ABS_PIXEL);
+        let mut expected: Vec<usize> = report
+            .nan_poisoned
+            .iter()
+            .chain(&report.extreme_poisoned)
+            .chain(&report.truncated)
+            .copied()
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(quarantined, expected, "validator must catch exactly the detectable poison");
+        assert_eq!(clean.train().len(), d.train().len() - quarantined.len());
+        assert_eq!(clean.config().train_size, clean.train().len());
+        // Every surviving sample is valid.
+        for s in clean.train() {
+            assert!(s.defect(clean.config().classes, MAX_ABS_PIXEL).is_none());
+        }
+        // Label flips survive sanitization (silent noise).
+        if let Some(&i) = report.label_flipped.first() {
+            assert!(!quarantined.contains(&i));
+        }
+    }
+
+    #[test]
+    fn defect_detects_each_corruption_kind() {
+        let d = data();
+        let classes = d.config().classes;
+        let mut s = d.train()[0].clone();
+        assert!(s.defect(classes, MAX_ABS_PIXEL).is_none());
+        s.image.as_mut_slice()[3] = f32::NAN;
+        assert!(matches!(
+            s.defect(classes, MAX_ABS_PIXEL),
+            Some(SampleDefect::NonFinitePixel { index: 3 })
+        ));
+        let mut s = d.train()[0].clone();
+        s.image.as_mut_slice()[5] = 5.0e4;
+        assert!(matches!(
+            s.defect(classes, MAX_ABS_PIXEL),
+            Some(SampleDefect::ExtremePixel { index: 5, .. })
+        ));
+        let mut s = d.train()[0].clone();
+        s.label = classes + 1;
+        assert!(matches!(
+            s.defect(classes, MAX_ABS_PIXEL),
+            Some(SampleDefect::LabelOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_injectors() {
+        let mut cfg = CorruptionConfig::chaos(0);
+        cfg.label_flip_rate = 1.5;
+        assert!(cfg.validate().is_err());
+        let mut cfg = CorruptionConfig::chaos(0);
+        cfg.label_flip_rate = 0.5;
+        cfg.pixel_nan_rate = 0.6;
+        assert!(cfg.validate().is_err());
+        let mut cfg = CorruptionConfig::chaos(0);
+        cfg.magnitude = 1.0; // below the validator bound: undetectable
+        assert!(cfg.validate().is_err());
+        let mut cfg = CorruptionConfig::chaos(0);
+        cfg.magnitude = f32::INFINITY;
+        assert!(cfg.validate().is_err());
+    }
+}

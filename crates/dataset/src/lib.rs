@@ -28,10 +28,12 @@
 //! # }
 //! ```
 
+mod chaos;
 mod difficulty;
 mod error;
 mod synth;
 
+pub use chaos::{CorruptionConfig, CorruptionReport, SampleDefect, MAX_ABS_PIXEL};
 pub use difficulty::DifficultyDistribution;
 pub use error::DatasetError;
 pub use synth::{DatasetConfig, Sample, SyntheticDataset};

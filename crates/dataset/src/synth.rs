@@ -113,22 +113,20 @@ impl SyntheticDataset {
         let prototypes: Vec<Tensor> =
             (0..config.classes).map(|_| normal(&mut rng, &dims, 0.0, 1.0)).collect();
 
-        let make_split = |count: usize, rng: &mut StdRng| -> Vec<Sample> {
+        let make_split = |count: usize, rng: &mut StdRng| -> Result<Vec<Sample>, DatasetError> {
             (0..count)
                 .map(|i| {
                     let label = i % config.classes;
                     let d = config.difficulty.sample(rng);
                     let noise = normal(rng, &dims, 0.0, 1.0);
-                    let image = prototypes[label]
-                        .scale(1.0 - d as f32)
-                        .add(&noise.scale(d as f32))
-                        .expect("prototype and noise share a shape");
-                    Sample { image, label, difficulty: d }
+                    let image =
+                        prototypes[label].scale(1.0 - d as f32).add(&noise.scale(d as f32))?;
+                    Ok(Sample { image, label, difficulty: d })
                 })
                 .collect()
         };
-        let train = make_split(config.train_size, &mut rng);
-        let test = make_split(config.test_size, &mut rng);
+        let train = make_split(config.train_size, &mut rng)?;
+        let test = make_split(config.test_size, &mut rng)?;
         Ok(SyntheticDataset { config: config.clone(), prototypes, train, test })
     }
 
@@ -145,6 +143,18 @@ impl SyntheticDataset {
     /// The training split.
     pub fn train(&self) -> &[Sample] {
         &self.train
+    }
+
+    /// Mutable access to the training split (corruption injector).
+    pub(crate) fn train_mut(&mut self) -> &mut Vec<Sample> {
+        &mut self.train
+    }
+
+    /// Replaces the training split, keeping `config.train_size`
+    /// consistent (quarantine sanitization).
+    pub(crate) fn set_train(&mut self, train: Vec<Sample>) {
+        self.config.train_size = train.len();
+        self.train = train;
     }
 
     /// The test split.

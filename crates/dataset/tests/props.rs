@@ -1,7 +1,10 @@
 //! Property-based tests of the synthetic dataset: distribution-function
-//! identities and batch integrity over random configurations.
+//! identities, batch integrity, config validation, and the seeded
+//! corruption injector's purity/quarantine contracts.
 
-use hadas_dataset::{DatasetConfig, DifficultyDistribution, SyntheticDataset};
+use hadas_dataset::{
+    CorruptionConfig, DatasetConfig, DifficultyDistribution, SyntheticDataset, MAX_ABS_PIXEL,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -87,5 +90,162 @@ proptest! {
                 &[cfg.channels, cfg.image_size, cfg.image_size]
             );
         }
+    }
+
+    /// Zero-sizing any structural config field is rejected, and a valid
+    /// config round-trips through generation at its declared sizes.
+    #[test]
+    fn config_validation_rejects_degenerate_fields(
+        which in 0usize..3,
+        seed in 0u64..100,
+    ) {
+        let mut cfg = DatasetConfig::small();
+        match which {
+            0 => cfg.classes = 0,
+            1 => cfg.channels = 0,
+            _ => cfg.image_size = 0,
+        }
+        prop_assert!(cfg.validate().is_err());
+        prop_assert!(SyntheticDataset::generate(&cfg, seed).is_err());
+
+        let good = DatasetConfig::small();
+        let data = SyntheticDataset::generate(&good, seed).expect("valid config");
+        prop_assert_eq!(data.train().len(), good.train_size);
+        prop_assert_eq!(data.test().len(), good.test_size);
+    }
+
+    /// Corruption-rate validation: rates outside [0, 1], rate sums past
+    /// 1, and magnitudes the validator could not catch are all rejected.
+    #[test]
+    fn corruption_config_validation_bounds_rates(r in 0.0f64..0.4) {
+        let mut cfg = CorruptionConfig::chaos(1);
+        cfg.label_flip_rate = -r - 0.01;
+        prop_assert!(cfg.validate().is_err(), "negative rate must fail");
+
+        let mut cfg = CorruptionConfig::chaos(1);
+        cfg.pixel_nan_rate = 0.4 + r;
+        cfg.extreme_rate = 0.4;
+        cfg.truncate_rate = 0.3;
+        prop_assert!(cfg.validate().is_err(), "rates summing past 1 must fail");
+
+        let mut cfg = CorruptionConfig::chaos(1);
+        cfg.magnitude = MAX_ABS_PIXEL * (r as f32);
+        prop_assert!(cfg.validate().is_err(), "sub-threshold magnitude must fail");
+
+        prop_assert!(CorruptionConfig::chaos(1).validate().is_ok());
+        prop_assert!(CorruptionConfig::clean(1).validate().is_ok());
+    }
+
+    /// The injector is pure in `(seed, index)`: applying the same config
+    /// twice yields identical reports, and a clean config is a no-op.
+    #[test]
+    fn corruption_is_pure_and_clean_config_is_identity(
+        seed in 0u64..200,
+        chaos_seed in 0u64..200,
+    ) {
+        let mut cfg = DatasetConfig::small();
+        cfg.train_size = 128;
+        let data = SyntheticDataset::generate(&cfg, seed).expect("valid config");
+
+        let chaos = CorruptionConfig::chaos(chaos_seed);
+        let (a, ra) = data.with_corruption(&chaos).expect("valid chaos");
+        let (b, rb) = data.with_corruption(&chaos).expect("valid chaos");
+        prop_assert_eq!(&ra, &rb);
+        for (x, y) in a.train().iter().zip(b.train()) {
+            prop_assert_eq!(x.label, y.label);
+            let (xs, ys) = (x.image.as_slice(), y.image.as_slice());
+            prop_assert_eq!(xs.len(), ys.len());
+            for (&u, &v) in xs.iter().zip(ys) {
+                prop_assert!(u.to_bits() == v.to_bits());
+            }
+        }
+
+        let (c, rc) = data.with_corruption(&CorruptionConfig::clean(chaos_seed))
+            .expect("valid clean");
+        prop_assert_eq!(rc.total(), 0);
+        for (x, y) in c.train().iter().zip(data.train()) {
+            prop_assert_eq!(x.label, y.label);
+            for (&u, &v) in x.image.as_slice().iter().zip(y.image.as_slice()) {
+                prop_assert!(u.to_bits() == v.to_bits());
+            }
+        }
+    }
+
+    /// Quarantine catches exactly the detectable corruptions: every
+    /// reported NaN/extreme/truncated index is removed, silent label
+    /// flips survive, and the test split is never touched.
+    #[test]
+    fn quarantine_catches_exactly_the_detectable_poison(
+        seed in 0u64..200,
+        chaos_seed in 0u64..200,
+    ) {
+        let mut cfg = DatasetConfig::small();
+        cfg.train_size = 128;
+        let data = SyntheticDataset::generate(&cfg, seed).expect("valid config");
+        let (corrupted, report) = data
+            .with_corruption(&CorruptionConfig::chaos(chaos_seed))
+            .expect("valid chaos");
+
+        let (clean, quarantined) = corrupted.quarantine_train(MAX_ABS_PIXEL);
+        let mut expected: Vec<usize> = report
+            .nan_poisoned
+            .iter()
+            .chain(&report.extreme_poisoned)
+            .chain(&report.truncated)
+            .copied()
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(&quarantined, &expected);
+        prop_assert_eq!(
+            clean.train().len(),
+            corrupted.train().len() - quarantined.len()
+        );
+        for s in clean.train() {
+            prop_assert!(s.defect(cfg.classes, MAX_ABS_PIXEL).is_none());
+        }
+        // The test split stays byte-identical: evaluation is never poisoned.
+        for (x, y) in corrupted.test().iter().zip(data.test()) {
+            prop_assert_eq!(x.label, y.label);
+            for (&u, &v) in x.image.as_slice().iter().zip(y.image.as_slice()) {
+                prop_assert!(u.to_bits() == v.to_bits());
+            }
+        }
+        // Silent label flips are NOT quarantined.
+        for &i in &report.label_flipped {
+            prop_assert!(!quarantined.contains(&i), "label flips are undetectable");
+        }
+    }
+
+    /// Corruption kinds are drawn from disjoint intervals, so one sample
+    /// suffers at most one corruption and empirical per-kind fractions
+    /// stay near the configured rates on a large split.
+    #[test]
+    fn corruption_rates_hit_their_targets(chaos_seed in 0u64..50) {
+        let mut cfg = DatasetConfig::small();
+        cfg.train_size = 2_000;
+        let data = SyntheticDataset::generate(&cfg, 7).expect("valid config");
+        let chaos = CorruptionConfig::chaos(chaos_seed);
+        let (_, report) = data.with_corruption(&chaos).expect("valid chaos");
+
+        let n = cfg.train_size as f64;
+        let detectable = report.detectable() as f64 / n;
+        prop_assert!(
+            (detectable - chaos.detectable_rate()).abs() < 0.05,
+            "detectable fraction {detectable} vs configured {}",
+            chaos.detectable_rate()
+        );
+        // Disjoint kinds: no index appears in two report buckets.
+        let mut all: Vec<usize> = report
+            .label_flipped
+            .iter()
+            .chain(&report.nan_poisoned)
+            .chain(&report.extreme_poisoned)
+            .chain(&report.truncated)
+            .copied()
+            .collect();
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), before);
     }
 }

@@ -6,16 +6,33 @@
 /// Whether point `a` Pareto-dominates point `b`: no worse in every
 /// objective and strictly better in at least one.
 ///
+/// **Non-finite quarantine.** A point containing a NaN or infinite
+/// objective is *quarantined*: every fully-finite point dominates it,
+/// and it dominates nothing (quarantined points are mutually
+/// non-dominated). Naive float comparisons would instead let NaN slip
+/// through `<`/`>` as "incomparable", silently placing poisoned fitness
+/// vectors in the Pareto front — a release-mode hazard the debug
+/// assertions never caught. The quarantine keeps the dominance relation
+/// a strict partial order over the whole population, so
+/// [`fast_non_dominated_sort`] still produces a clean partition with
+/// poisoned points sunk into the trailing front.
+///
 /// # Panics
 ///
 /// Panics if the points have different dimensionality — mixing objective
 /// spaces is a programming error.
 pub fn dominates(a: &[f64], b: &[f64]) -> bool {
     assert_eq!(a.len(), b.len(), "objective dimensionality mismatch");
-    let result = dominates_unchecked(a, b);
-    // Relation sanity on finite objectives (NaN breaks the order axioms
-    // by design, so it is excluded from the debug contract).
-    if cfg!(debug_assertions) && a.iter().chain(b.iter()).all(|v| v.is_finite()) {
+    let a_finite = a.iter().all(|v| v.is_finite());
+    let b_finite = b.iter().all(|v| v.is_finite());
+    let result = match (a_finite, b_finite) {
+        (true, true) => dominates_unchecked(a, b),
+        // A healthy point always dominates a poisoned one; a poisoned
+        // point dominates nothing (including other poisoned points).
+        (true, false) => true,
+        (false, _) => false,
+    };
+    if cfg!(debug_assertions) && a_finite && b_finite {
         debug_assert!(!(result && a == b), "dominance must be irreflexive: {a:?}");
         debug_assert!(
             !(result && dominates_unchecked(b, a)),
@@ -25,7 +42,8 @@ pub fn dominates(a: &[f64], b: &[f64]) -> bool {
     result
 }
 
-/// The raw dominance test, without the debug-mode relation checks.
+/// The raw dominance test over finite points, without the quarantine or
+/// the debug-mode relation checks.
 fn dominates_unchecked(a: &[f64], b: &[f64]) -> bool {
     let mut strictly_better = false;
     for (&x, &y) in a.iter().zip(b.iter()) {
@@ -103,6 +121,12 @@ fn debug_assert_fronts_partition(n: usize, fronts: &[Vec<usize>]) {
 /// Crowding distance of each member of `front` (indices into `points`):
 /// the NSGA-II diversity measure. Boundary points get `f64::INFINITY`.
 ///
+/// Members with non-finite objectives are excluded from the computation
+/// and receive a distance of `0.0` — a quarantined point must never win
+/// a diversity tiebreak, and letting NaN into the sort would poison its
+/// neighbours' distances. On an all-finite front the result is
+/// bit-identical to the classical algorithm.
+///
 /// Returned in the same order as `front`.
 #[allow(clippy::needless_range_loop)]
 pub fn crowding_distance(points: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
@@ -110,23 +134,29 @@ pub fn crowding_distance(points: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
     if m == 0 {
         return Vec::new();
     }
-    if m <= 2 {
-        return vec![f64::INFINITY; m];
-    }
-    let dims = points[front[0]].len();
     let mut distance = vec![0.0f64; m];
+    let finite: Vec<usize> =
+        (0..m).filter(|&w| points[front[w]].iter().all(|v| v.is_finite())).collect();
+    let k = finite.len();
+    if k <= 2 {
+        for &w in &finite {
+            distance[w] = f64::INFINITY;
+        }
+        return distance;
+    }
+    let dims = points[front[finite[0]]].len();
     for d in 0..dims {
-        let mut order: Vec<usize> = (0..m).collect();
+        let mut order: Vec<usize> = finite.clone();
         order.sort_by(|&a, &b| points[front[a]][d].total_cmp(&points[front[b]][d]));
         let lo = points[front[order[0]]][d];
-        let hi = points[front[order[m - 1]]][d];
+        let hi = points[front[order[k - 1]]][d];
         distance[order[0]] = f64::INFINITY;
-        distance[order[m - 1]] = f64::INFINITY;
+        distance[order[k - 1]] = f64::INFINITY;
         let span = hi - lo;
         if span <= 0.0 {
             continue;
         }
-        for w in 1..m - 1 {
+        for w in 1..k - 1 {
             let prev = points[front[order[w - 1]]][d];
             let next = points[front[order[w + 1]]][d];
             if distance[order[w]].is_finite() {
@@ -232,5 +262,71 @@ mod tests {
         let pts = vec![vec![1.0, 1.0], vec![2.0, 0.0]];
         assert!(crowding_distance(&pts, &[0]).iter().all(|d| d.is_infinite()));
         assert!(crowding_distance(&pts, &[0, 1]).iter().all(|d| d.is_infinite()));
+    }
+
+    #[test]
+    fn non_finite_points_are_dominated_by_all_and_dominate_nothing() {
+        let healthy = [1.0, 1.0];
+        let poisoned = [f64::NAN, 5.0];
+        let infinite = [f64::INFINITY, 0.0];
+        assert!(dominates(&healthy, &poisoned));
+        assert!(dominates(&healthy, &infinite));
+        assert!(!dominates(&poisoned, &healthy));
+        assert!(!dominates(&infinite, &healthy));
+        // Quarantined points are mutually non-dominated (one trailing front).
+        assert!(!dominates(&poisoned, &infinite));
+        assert!(!dominates(&infinite, &poisoned));
+        assert!(!dominates(&poisoned, &poisoned));
+    }
+
+    #[test]
+    fn sort_sinks_poisoned_points_into_the_trailing_front() {
+        let pts = vec![
+            vec![3.0, 3.0],            // front 0
+            vec![f64::NAN, 9.0],       // quarantined
+            vec![2.0, 2.0],            // front 1
+            vec![9.0, f64::NAN],       // quarantined
+            vec![f64::INFINITY, 99.0], // quarantined
+        ];
+        let fronts = fast_non_dominated_sort(&pts);
+        assert_eq!(fronts.len(), 3);
+        assert_eq!(fronts[0], vec![0]);
+        assert_eq!(fronts[1], vec![2]);
+        let mut trailing = fronts[2].clone();
+        trailing.sort_unstable();
+        assert_eq!(trailing, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn crowding_gives_quarantined_members_zero_and_never_nan() {
+        let pts = vec![
+            vec![0.0, 3.0],
+            vec![1.0, 2.0],
+            vec![f64::NAN, 1.0],
+            vec![2.0, 1.0],
+            vec![3.0, 0.0],
+        ];
+        let front = vec![0, 1, 2, 3, 4];
+        let d = crowding_distance(&pts, &front);
+        assert_eq!(d[2], 0.0, "quarantined member must never win a diversity tiebreak");
+        assert!(d.iter().all(|v| !v.is_nan()));
+        assert!(d[0].is_infinite() && d[4].is_infinite());
+        assert!(d[1].is_finite() && d[1] > 0.0);
+        // The finite members' distances match a front that never
+        // contained the poisoned point.
+        let clean_pts = vec![pts[0].clone(), pts[1].clone(), pts[3].clone(), pts[4].clone()];
+        let clean = crowding_distance(&clean_pts, &[0, 1, 2, 3]);
+        assert_eq!(d[1].to_bits(), clean[1].to_bits());
+        assert_eq!(d[3].to_bits(), clean[2].to_bits());
+    }
+
+    #[test]
+    fn all_poisoned_population_forms_one_front() {
+        let pts = vec![vec![f64::NAN, 0.0], vec![0.0, f64::NAN], vec![f64::NAN, f64::NAN]];
+        let fronts = fast_non_dominated_sort(&pts);
+        assert_eq!(fronts.len(), 1);
+        assert_eq!(fronts[0].len(), 3);
+        let d = crowding_distance(&pts, &fronts[0]);
+        assert!(d.iter().all(|v| *v == 0.0));
     }
 }

@@ -3,7 +3,8 @@
 //! of the non-dominated sort.
 
 use hadas_evo::{
-    dominates, fast_non_dominated_sort, hypervolume, hypervolume_2d, ratio_of_dominance,
+    crowding_distance, dominates, fast_non_dominated_sort, hypervolume, hypervolume_2d,
+    ratio_of_dominance,
 };
 use proptest::prelude::*;
 
@@ -96,5 +97,62 @@ proptest! {
             }
         }
         prop_assert_eq!(rank, rank_rev);
+    }
+
+    /// NaN/infinite fitness vectors sink to the trailing front as one
+    /// quarantined group, never perturb the ranking of the finite
+    /// population, and never poison crowding distances.
+    #[test]
+    fn poisoned_points_sink_without_perturbing_finite_ranks(
+        pts in points_strategy(2, 20),
+        poison_count in 1usize..4,
+    ) {
+        let clean_fronts = fast_non_dominated_sort(&pts);
+        let mut mixed = pts.clone();
+        for i in 0..poison_count {
+            mixed.push(match i % 3 {
+                0 => vec![f64::NAN, 1.0],
+                1 => vec![2.0, f64::INFINITY],
+                _ => vec![f64::NAN, f64::NAN],
+            });
+        }
+        let fronts = fast_non_dominated_sort(&mixed);
+
+        // Still a partition.
+        let mut seen = vec![0usize; mixed.len()];
+        for f in &fronts { for &i in f { seen[i] += 1; } }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+
+        // Every poisoned point lands in the single trailing front, and
+        // that front is purely poisoned.
+        let last = fronts.len() - 1;
+        for (r, f) in fronts.iter().enumerate() {
+            for &i in f {
+                prop_assert!(
+                    (i >= pts.len()) == (r == last),
+                    "index {} in front {} of {}", i, r, last
+                );
+            }
+        }
+
+        // Finite ranking is unchanged by the injection.
+        let mut rank_clean = vec![0usize; pts.len()];
+        for (r, f) in clean_fronts.iter().enumerate() { for &i in f { rank_clean[i] = r; } }
+        for (r, f) in fronts.iter().enumerate() {
+            for &i in f {
+                if i < pts.len() {
+                    prop_assert_eq!(r, rank_clean[i]);
+                }
+            }
+        }
+
+        // Crowding over a mixed set: poisoned members get exactly zero,
+        // and nothing is NaN.
+        let all: Vec<usize> = (0..mixed.len()).collect();
+        let d = crowding_distance(&mixed, &all);
+        for &dist in d.iter().skip(pts.len()) {
+            prop_assert_eq!(dist, 0.0);
+        }
+        prop_assert!(d.iter().all(|v| !v.is_nan()));
     }
 }

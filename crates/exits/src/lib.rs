@@ -45,7 +45,7 @@ pub use head::ExitHead;
 pub use multi::{MultiExitReport, MultiExitTrainer};
 pub use placement::ExitPlacement;
 pub use simulator::FeatureSimulator;
-pub use trainer::{ExitTrainer, TrainReport};
+pub use trainer::{ExitTrainOptions, ExitTrainer, TrainReport};
 
 /// First layer (1-based) at which the paper allows an exit.
 pub const MIN_EXIT_POSITION: usize = 5;

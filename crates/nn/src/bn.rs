@@ -51,6 +51,11 @@ impl BatchNorm2d {
     pub fn running_mean(&self) -> &[f32] {
         &self.running_mean
     }
+
+    /// The running (inference-time) channel variances.
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
 }
 
 impl Layer for BatchNorm2d {
@@ -184,6 +189,29 @@ impl Layer for BatchNorm2d {
 
     fn set_training(&mut self, training: bool) {
         self.training = training;
+    }
+
+    /// Running mean followed by running variance — the non-trainable
+    /// state a checkpoint must carry for byte-identical resume.
+    fn state_buffer(&self) -> Vec<f32> {
+        let mut buf = Vec::with_capacity(2 * self.channels);
+        buf.extend_from_slice(&self.running_mean);
+        buf.extend_from_slice(&self.running_var);
+        buf
+    }
+
+    fn load_state_buffer(&mut self, buf: &[f32]) -> Result<(), NnError> {
+        if buf.len() != 2 * self.channels {
+            return Err(NnError::Checkpoint(format!(
+                "BatchNorm2d over {} channels expects a {}-element state buffer, got {}",
+                self.channels,
+                2 * self.channels,
+                buf.len()
+            )));
+        }
+        self.running_mean.copy_from_slice(&buf[..self.channels]);
+        self.running_var.copy_from_slice(&buf[self.channels..]);
+        Ok(())
     }
 }
 

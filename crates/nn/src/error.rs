@@ -1,3 +1,4 @@
+use crate::NumericAnomaly;
 use hadas_tensor::TensorError;
 use std::error::Error;
 use std::fmt;
@@ -28,6 +29,11 @@ pub enum NnError {
         /// Number of classes.
         classes: usize,
     },
+    /// A training guard tripped on a numeric anomaly (non-finite loss or
+    /// gradient, or a loss spike) and the rollback budget is exhausted.
+    Numeric(NumericAnomaly),
+    /// A training checkpoint could not be written, read, or applied.
+    Checkpoint(String),
 }
 
 impl fmt::Display for NnError {
@@ -43,6 +49,8 @@ impl fmt::Display for NnError {
             NnError::LabelOutOfRange { label, classes } => {
                 write!(f, "label {label} out of range for {classes} classes")
             }
+            NnError::Numeric(a) => write!(f, "numeric anomaly during training: {a}"),
+            NnError::Checkpoint(msg) => write!(f, "train checkpoint failed: {msg}"),
         }
     }
 }
@@ -51,6 +59,7 @@ impl Error for NnError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             NnError::Tensor(e) => Some(e),
+            NnError::Numeric(a) => Some(a),
             _ => None,
         }
     }
@@ -59,6 +68,12 @@ impl Error for NnError {
 impl From<TensorError> for NnError {
     fn from(e: TensorError) -> Self {
         NnError::Tensor(e)
+    }
+}
+
+impl From<NumericAnomaly> for NnError {
+    fn from(a: NumericAnomaly) -> Self {
+        NnError::Numeric(a)
     }
 }
 

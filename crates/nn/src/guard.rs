@@ -1,0 +1,332 @@
+//! Numeric training sentinels: every optimizer step passes through a
+//! [`TrainGuard`] that (a) rejects non-finite losses, (b) rejects
+//! non-finite gradients, (c) detects loss *spikes* against a rolling
+//! window of recent losses, and (d) optionally clips the global gradient
+//! norm. A tripped guard escalates a typed [`NumericAnomaly`] instead of
+//! letting a NaN propagate into the shared weights — the training-plane
+//! analogue of the serving plane's supervised worker pool.
+//!
+//! The guard is *pure bookkeeping*: with clipping disabled
+//! ([`GuardConfig::monitor_only`]) it never changes a single weight, so
+//! wrapping an existing training loop in a monitor-only guard is
+//! bit-identical to the unguarded loop.
+
+use crate::Param;
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// A typed numeric anomaly observed during training.
+///
+/// Carried inside [`crate::NnError::Numeric`] so callers can match on the
+/// escalation instead of parsing a message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum NumericAnomaly {
+    /// The scalar loss was NaN or infinite.
+    NonFiniteLoss {
+        /// Optimizer step at which the loss was observed.
+        step: usize,
+        /// The offending loss value.
+        loss: f32,
+    },
+    /// A parameter gradient contained a NaN or infinite element.
+    NonFiniteGradient {
+        /// Optimizer step at which the gradient was observed.
+        step: usize,
+        /// Index of the offending parameter in the parameter list.
+        param: usize,
+    },
+    /// The loss jumped far above the rolling-window baseline — divergence
+    /// caught *before* it reaches NaN.
+    LossSpike {
+        /// Optimizer step at which the spike was observed.
+        step: usize,
+        /// The offending loss value.
+        loss: f32,
+        /// Mean loss over the rolling window it was compared against.
+        baseline: f32,
+    },
+}
+
+impl fmt::Display for NumericAnomaly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericAnomaly::NonFiniteLoss { step, loss } => {
+                write!(f, "non-finite loss {loss} at step {step}")
+            }
+            NumericAnomaly::NonFiniteGradient { step, param } => {
+                write!(f, "non-finite gradient in parameter {param} at step {step}")
+            }
+            NumericAnomaly::LossSpike { step, loss, baseline } => {
+                write!(f, "loss spike {loss} (baseline {baseline}) at step {step}")
+            }
+        }
+    }
+}
+
+impl Error for NumericAnomaly {}
+
+/// Guard thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardConfig {
+    /// Clip the global gradient norm to this value; `None` disables
+    /// clipping (finiteness checks still apply).
+    pub max_grad_norm: Option<f32>,
+    /// Number of recent losses forming the spike baseline. `0` disables
+    /// spike detection.
+    pub spike_window: usize,
+    /// A loss greater than `spike_factor × window-mean` trips the guard
+    /// (only once the window is full, so warm-up noise is ignored).
+    pub spike_factor: f32,
+}
+
+impl Default for GuardConfig {
+    /// Production guard: clip at global norm 10, spike at 10× an 8-step
+    /// baseline.
+    fn default() -> Self {
+        GuardConfig { max_grad_norm: Some(10.0), spike_window: 8, spike_factor: 10.0 }
+    }
+}
+
+impl GuardConfig {
+    /// Monitor-only guard: finiteness and spike checks without clipping.
+    /// Wrapping a healthy training loop in this config is bit-identical
+    /// to no guard at all.
+    pub fn monitor_only() -> Self {
+        GuardConfig { max_grad_norm: None, ..GuardConfig::default() }
+    }
+}
+
+/// The per-step sentinel. Feed it every loss and every gradient set; it
+/// escalates a [`NumericAnomaly`] the moment training leaves the finite
+/// regime.
+#[derive(Debug, Clone)]
+pub struct TrainGuard {
+    config: GuardConfig,
+    window: VecDeque<f32>,
+    step: usize,
+    clipped_steps: usize,
+}
+
+impl TrainGuard {
+    /// Creates a guard with the given thresholds.
+    pub fn new(config: GuardConfig) -> Self {
+        let cap = config.spike_window;
+        TrainGuard { config, window: VecDeque::with_capacity(cap), step: 0, clipped_steps: 0 }
+    }
+
+    /// Checks one scalar loss: finiteness first, then the rolling-window
+    /// spike test. Finite, unremarkable losses join the window.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`NumericAnomaly`] that tripped the guard.
+    pub fn observe_loss(&mut self, loss: f32) -> Result<(), NumericAnomaly> {
+        self.step += 1;
+        if !loss.is_finite() {
+            return Err(NumericAnomaly::NonFiniteLoss { step: self.step, loss });
+        }
+        if self.config.spike_window > 0 && self.window.len() == self.config.spike_window {
+            // Window length is the small configured `spike_window`, so
+            // the usize->f32 conversion is exact.
+            let len = self.window.len() as f32; // lint:allow(cast)
+            let baseline = self.window.iter().sum::<f32>() / len;
+            if baseline.is_finite() && baseline > 0.0 && loss > baseline * self.config.spike_factor
+            {
+                return Err(NumericAnomaly::LossSpike { step: self.step, loss, baseline });
+            }
+        }
+        if self.config.spike_window > 0 {
+            if self.window.len() == self.config.spike_window {
+                self.window.pop_front();
+            }
+            self.window.push_back(loss);
+        }
+        Ok(())
+    }
+
+    /// Checks every gradient for finiteness and, if configured, rescales
+    /// all gradients so the *global* L2 norm is at most
+    /// `max_grad_norm`. Returns the pre-clip global norm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericAnomaly::NonFiniteGradient`] naming the first
+    /// offending parameter.
+    pub fn clip_gradients(&mut self, params: &mut [&mut Param]) -> Result<f32, NumericAnomaly> {
+        let mut norm_sq = 0.0f64;
+        for (i, p) in params.iter().enumerate() {
+            for &g in p.grad().as_slice() {
+                if !g.is_finite() {
+                    return Err(NumericAnomaly::NonFiniteGradient { step: self.step, param: i });
+                }
+                norm_sq += f64::from(g) * f64::from(g);
+            }
+        }
+        // Accumulated in f64 to dodge overflow; rounding back into the
+        // f32 parameter domain is deliberate.
+        let norm = norm_sq.sqrt() as f32; // lint:allow(cast)
+        if let Some(max) = self.config.max_grad_norm {
+            if norm > max {
+                let scale = max / norm;
+                for p in params.iter_mut() {
+                    for g in p.grad_mut().as_mut_slice() {
+                        *g *= scale;
+                    }
+                }
+                self.clipped_steps += 1;
+            }
+        }
+        Ok(norm)
+    }
+
+    /// Forgets the spike window — call after a rollback so the restored
+    /// epoch is not compared against the diverged run's losses.
+    pub fn reset_window(&mut self) {
+        self.window.clear();
+    }
+
+    /// Optimizer steps observed so far.
+    pub fn steps(&self) -> usize {
+        self.step
+    }
+
+    /// Steps on which clipping actually rescaled the gradients.
+    pub fn clipped_steps(&self) -> usize {
+        self.clipped_steps
+    }
+
+    /// The guard's thresholds.
+    pub fn config(&self) -> &GuardConfig {
+        &self.config
+    }
+}
+
+/// Side-channel counters for one guarded training run — surfaced next to
+/// the train report (never *in* the byte-diffed report, because rollback
+/// counts legitimately differ between an interrupted-and-resumed run and
+/// an uninterrupted one).
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct TrainTelemetry {
+    /// Samples quarantined by per-sample validation before training.
+    pub quarantined: usize,
+    /// Train-split indices of the quarantined samples.
+    pub quarantined_indices: Vec<usize>,
+    /// Epoch rollbacks performed after a tripped guard.
+    pub rollbacks: u32,
+    /// Steps on which gradient clipping rescaled the gradients.
+    pub clipped_steps: usize,
+    /// Human-readable description of every guard trip, in order.
+    pub anomalies: Vec<String>,
+    /// Epoch the run resumed from, if it restored a checkpoint.
+    pub resumed_from_epoch: Option<usize>,
+    /// Epoch-boundary checkpoints written to disk.
+    pub checkpoints_written: usize,
+    /// The run stopped early at a configured epoch boundary (chaos
+    /// harness kill point) rather than completing every epoch.
+    pub interrupted: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadas_tensor::Tensor;
+
+    #[test]
+    fn finite_losses_pass_and_fill_window() {
+        let mut g = TrainGuard::new(GuardConfig::default());
+        for i in 0..20 {
+            g.observe_loss(1.0 + (i as f32) * 0.01).unwrap();
+        }
+        assert_eq!(g.steps(), 20);
+    }
+
+    #[test]
+    fn nan_and_inf_losses_trip_immediately() {
+        let mut g = TrainGuard::new(GuardConfig::default());
+        assert!(matches!(
+            g.observe_loss(f32::NAN),
+            Err(NumericAnomaly::NonFiniteLoss { step: 1, .. })
+        ));
+        let mut g = TrainGuard::new(GuardConfig::default());
+        assert!(g.observe_loss(f32::INFINITY).is_err());
+    }
+
+    #[test]
+    fn spike_trips_only_after_window_fills() {
+        let cfg = GuardConfig { spike_window: 4, spike_factor: 10.0, max_grad_norm: None };
+        let mut g = TrainGuard::new(cfg.clone());
+        // Window not yet full: a huge loss is tolerated (warm-up).
+        g.observe_loss(1.0).unwrap();
+        g.observe_loss(100.0).unwrap();
+        let mut g = TrainGuard::new(cfg);
+        for _ in 0..4 {
+            g.observe_loss(1.0).unwrap();
+        }
+        assert!(matches!(g.observe_loss(10.5), Err(NumericAnomaly::LossSpike { .. })));
+        // A loss inside the envelope still passes.
+        assert!(g.observe_loss(9.9).is_ok());
+    }
+
+    #[test]
+    fn reset_window_forgives_history() {
+        let cfg = GuardConfig { spike_window: 2, spike_factor: 2.0, max_grad_norm: None };
+        let mut g = TrainGuard::new(cfg);
+        g.observe_loss(1.0).unwrap();
+        g.observe_loss(1.0).unwrap();
+        assert!(g.observe_loss(5.0).is_err());
+        g.reset_window();
+        assert!(g.observe_loss(5.0).is_ok(), "fresh window has no baseline");
+    }
+
+    #[test]
+    fn non_finite_gradient_names_the_parameter() {
+        let mut g = TrainGuard::new(GuardConfig::default());
+        let mut a = Param::new(Tensor::ones(&[2]));
+        let mut b = Param::new(Tensor::ones(&[2]));
+        b.grad_mut().as_mut_slice()[1] = f32::NAN;
+        let mut params = vec![&mut a, &mut b];
+        assert!(matches!(
+            g.clip_gradients(&mut params),
+            Err(NumericAnomaly::NonFiniteGradient { param: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn clipping_rescales_to_the_configured_norm() {
+        let cfg = GuardConfig { max_grad_norm: Some(1.0), ..GuardConfig::default() };
+        let mut g = TrainGuard::new(cfg);
+        let mut p = Param::new(Tensor::ones(&[4]));
+        for v in p.grad_mut().as_mut_slice() {
+            *v = 3.0;
+        }
+        let mut params = vec![&mut p];
+        let norm = g.clip_gradients(&mut params).unwrap();
+        assert!((norm - 6.0).abs() < 1e-5);
+        let clipped: f32 = p.grad().as_slice().iter().map(|&v| v * v).sum::<f32>().sqrt();
+        assert!((clipped - 1.0).abs() < 1e-5);
+        assert_eq!(g.clipped_steps(), 1);
+    }
+
+    #[test]
+    fn monitor_only_never_touches_gradients() {
+        let mut g = TrainGuard::new(GuardConfig::monitor_only());
+        let mut p = Param::new(Tensor::ones(&[4]));
+        for v in p.grad_mut().as_mut_slice() {
+            *v = 3.0;
+        }
+        let before = p.grad().clone();
+        let mut params = vec![&mut p];
+        g.clip_gradients(&mut params).unwrap();
+        assert_eq!(p.grad(), &before);
+        assert_eq!(g.clipped_steps(), 0);
+    }
+
+    #[test]
+    fn anomaly_display_is_informative() {
+        let a = NumericAnomaly::LossSpike { step: 7, loss: 50.0, baseline: 1.0 };
+        assert!(a.to_string().contains("spike"));
+        assert!(a.to_string().contains('7'));
+    }
+}

@@ -39,6 +39,7 @@ mod act;
 mod bn;
 mod conv;
 mod error;
+mod guard;
 mod linear;
 mod loss;
 mod maxpool;
@@ -48,11 +49,13 @@ mod param;
 mod pool;
 mod schedule;
 mod sequential;
+mod train_state;
 
 pub use act::{HSwish, Relu};
 pub use bn::BatchNorm2d;
 pub use conv::Conv2d;
 pub use error::NnError;
+pub use guard::{GuardConfig, NumericAnomaly, TrainGuard, TrainTelemetry};
 pub use linear::Linear;
 pub use loss::{hybrid_exit_loss, kd_loss, nll_loss};
 pub use maxpool::MaxPool2d;
@@ -62,3 +65,4 @@ pub use param::Param;
 pub use pool::{Flatten, GlobalAvgPool};
 pub use schedule::{CosineAnnealing, LrSchedule, StepDecay};
 pub use sequential::{Layer, Sequential};
+pub use train_state::{TrainCheckpoint, TRAIN_CHECKPOINT_SCHEMA};

@@ -48,6 +48,29 @@ impl Sgd {
         self.lr = lr;
     }
 
+    /// The momentum coefficient.
+    pub fn momentum(&self) -> f32 {
+        self.momentum
+    }
+
+    /// The L2 weight-decay coefficient.
+    pub fn weight_decay(&self) -> f32 {
+        self.weight_decay
+    }
+
+    /// The velocity buffers, in parameter-list order (empty slots for
+    /// parameters the optimizer has not stepped yet). Exposed for
+    /// training checkpoints: byte-identical resume requires restoring
+    /// momentum state exactly.
+    pub fn velocity_tensors(&self) -> &[Tensor] {
+        &self.velocity
+    }
+
+    /// Replaces the velocity buffers (training-checkpoint restore).
+    pub fn set_velocity_tensors(&mut self, velocity: Vec<Tensor>) {
+        self.velocity = velocity;
+    }
+
     /// Applies one update step to `params` using their accumulated
     /// gradients. Gradients are *not* zeroed; call
     /// [`crate::Sequential::zero_grad`] before the next accumulation.

@@ -34,6 +34,31 @@ pub trait Layer: std::fmt::Debug + Send {
     /// Switches between training and inference behaviour (batch norm uses
     /// batch statistics when training, running statistics otherwise).
     fn set_training(&mut self, _training: bool) {}
+
+    /// Non-trainable state the layer needs for exact checkpoint/resume
+    /// (batch-norm running statistics). Empty for stateless layers.
+    fn state_buffer(&self) -> Vec<f32> {
+        Vec::new()
+    }
+
+    /// Restores state previously captured by [`Layer::state_buffer`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Checkpoint`] if `buf` has the wrong length for
+    /// this layer (the default implementation accepts only an empty
+    /// buffer).
+    fn load_state_buffer(&mut self, buf: &[f32]) -> Result<(), NnError> {
+        if buf.is_empty() {
+            Ok(())
+        } else {
+            Err(NnError::Checkpoint(format!(
+                "layer {} is stateless but was handed a {}-element state buffer",
+                self.name(),
+                buf.len()
+            )))
+        }
+    }
 }
 
 /// An ordered stack of layers executed front to back.
@@ -127,6 +152,40 @@ impl Sequential {
         for layer in &mut self.layers {
             layer.set_training(training);
         }
+    }
+
+    /// Per-layer non-trainable state buffers in network order (empty
+    /// entries for stateless layers) — batch-norm running statistics and
+    /// the like, needed for byte-identical checkpoint/resume.
+    pub fn state_buffers(&self) -> Vec<Vec<f32>> {
+        self.layers.iter().map(|l| l.state_buffer()).collect()
+    }
+
+    /// Restores per-layer state captured by [`Sequential::state_buffers`].
+    ///
+    /// An empty `buffers` slice is a no-op, so checkpoints written before
+    /// layer state was tracked still load (their batch-norm statistics
+    /// simply stay at the live values).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Checkpoint`] if the buffer count or any buffer
+    /// length does not match this network.
+    pub fn load_state_buffers(&mut self, buffers: &[Vec<f32>]) -> Result<(), NnError> {
+        if buffers.is_empty() {
+            return Ok(());
+        }
+        if buffers.len() != self.layers.len() {
+            return Err(NnError::Checkpoint(format!(
+                "checkpoint has {} layer-state buffers, network has {} layers",
+                buffers.len(),
+                self.layers.len()
+            )));
+        }
+        for (layer, buf) in self.layers.iter_mut().zip(buffers) {
+            layer.load_state_buffer(buf)?;
+        }
+        Ok(())
     }
 }
 

@@ -39,8 +39,10 @@ mod config;
 mod error;
 mod shared;
 mod supernet;
+mod train;
 
 pub use config::{SubnetChoice, SupernetConfig};
 pub use error::SupernetError;
 pub use shared::{SharedConv2d, SharedLinear};
 pub use supernet::{MicroSupernet, SupernetTrainReport};
+pub use train::TrainOptions;

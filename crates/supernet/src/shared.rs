@@ -65,7 +65,7 @@ impl SharedConv2d {
 
     /// Copies the active weight slice `(c_out × c_in·k²)` out of the
     /// shared tensor.
-    fn sliced_weight(&self, c_in: usize, c_out: usize) -> Tensor {
+    fn sliced_weight(&self, c_in: usize, c_out: usize) -> Result<Tensor, SupernetError> {
         let k2 = self.kernel * self.kernel;
         let full_cols = self.c_in_max * k2;
         let cols = c_in * k2;
@@ -74,7 +74,7 @@ impl SharedConv2d {
         for r in 0..c_out {
             out.extend_from_slice(&src[r * full_cols..r * full_cols + cols]);
         }
-        Tensor::from_vec(out, &[c_out, cols]).expect("slice dimensions are consistent")
+        Ok(Tensor::from_vec(out, &[c_out, cols])?)
     }
 
     /// Sliced forward pass: `x` is `(n, c_in, h, w)` with `c_in ≤
@@ -101,7 +101,7 @@ impl SharedConv2d {
         }
         let geo = Conv2dGeometry::new(h, w, self.kernel, 1, self.kernel / 2)?;
         let cols = im2col(x, &geo)?;
-        let w_s = self.sliced_weight(c_in, c_out);
+        let w_s = self.sliced_weight(c_in, c_out)?;
         let mut y = cols.matmul(&w_s.transpose()?)?;
         let rows = y.shape().dims()[0];
         {
@@ -174,7 +174,7 @@ impl SharedConv2d {
                 }
             }
         }
-        let w_s = self.sliced_weight(c_in, c_out);
+        let w_s = self.sliced_weight(c_in, c_out)?;
         let grad_cols = grad_mat.matmul(&w_s)?;
         Ok(col2im(&grad_cols, n, c_in, &cache.geo)?)
     }
@@ -218,13 +218,13 @@ impl SharedLinear {
         vec![&mut self.weight, &mut self.bias]
     }
 
-    fn sliced_weight(&self, in_act: usize) -> Tensor {
+    fn sliced_weight(&self, in_act: usize) -> Result<Tensor, SupernetError> {
         let src = self.weight.value().as_slice();
         let mut out = Vec::with_capacity(self.out * in_act);
         for r in 0..self.out {
             out.extend_from_slice(&src[r * self.in_max..r * self.in_max + in_act]);
         }
-        Tensor::from_vec(out, &[self.out, in_act]).expect("slice dims consistent")
+        Ok(Tensor::from_vec(out, &[self.out, in_act])?)
     }
 
     /// Sliced forward: `x` is `(n, in_act)` with `in_act ≤ in_max`.
@@ -241,7 +241,7 @@ impl SharedLinear {
             )));
         }
         let in_act = dims[1];
-        let y = x.linear(&self.sliced_weight(in_act), self.bias.value())?;
+        let y = x.linear(&self.sliced_weight(in_act)?, self.bias.value())?;
         self.cache = Some((x.clone(), in_act));
         Ok(y)
     }
@@ -276,7 +276,7 @@ impl SharedLinear {
                 }
             }
         }
-        Ok(grad_out.matmul(&self.sliced_weight(in_act))?)
+        Ok(grad_out.matmul(&self.sliced_weight(in_act)?)?)
     }
 
     /// Zeroes the shared gradients.

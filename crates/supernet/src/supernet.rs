@@ -1,6 +1,10 @@
-use crate::{SharedConv2d, SharedLinear, SubnetChoice, SupernetConfig, SupernetError};
+use crate::{
+    SharedConv2d, SharedLinear, SubnetChoice, SupernetConfig, SupernetError, TrainOptions,
+};
 use hadas_dataset::SyntheticDataset;
-use hadas_nn::{accuracy, nll_loss, Layer, Relu, Sgd};
+use hadas_nn::{
+    accuracy, nll_loss, Layer, NnError, Relu, Sgd, TrainCheckpoint, TrainGuard, TrainTelemetry,
+};
 use hadas_tensor::Tensor;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -54,8 +58,10 @@ impl MicroSupernet {
             stages.push(layers);
             relus.push(stage_relus);
         }
-        let classifier =
-            SharedLinear::new(rng, *config.max_widths.last().expect("stages > 0"), config.classes);
+        let last_width = *config.max_widths.last().ok_or_else(|| {
+            SupernetError::InvalidChoice("supernet config must declare at least one stage".into())
+        })?;
+        let classifier = SharedLinear::new(rng, last_width, config.classes);
         Ok(MicroSupernet {
             config: config.clone(),
             stem,
@@ -147,6 +153,10 @@ impl MicroSupernet {
     /// **max** subnet, the **min** subnet, and one **random** subnet on
     /// the same batch, then applies the accumulated shared gradients.
     ///
+    /// Equivalent to [`MicroSupernet::train_with`] under monitor-only
+    /// defaults ([`TrainOptions::new`]) — bit-identical to the
+    /// historical unguarded loop on healthy data.
+    ///
     /// # Errors
     ///
     /// Propagates batching and NN errors.
@@ -158,20 +168,98 @@ impl MicroSupernet {
         lr: f32,
         seed: u64,
     ) -> Result<SupernetTrainReport, SupernetError> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut opt = Sgd::new(lr, 0.9, 1e-4);
+        self.train_with(data, &TrainOptions::new(epochs, batch, lr, seed)).map(|(r, _)| r)
+    }
+
+    /// Divergence-guarded sandwich-rule training: per-sample validation
+    /// quarantines poisoned inputs up front, a [`TrainGuard`] checks
+    /// every loss and gradient (escalating a typed
+    /// [`hadas_nn::NumericAnomaly`] instead of propagating NaN into the
+    /// shared weights), epoch boundaries snapshot the full resumable
+    /// state (params, SGD velocity, RNG stream, learning rate) — to
+    /// disk when `opts.checkpoint` is set — and a tripped guard rolls
+    /// back to the last good epoch with the learning rate backed off by
+    /// `opts.lr_backoff`, up to `opts.max_rollbacks` times.
+    ///
+    /// The kill/resume contract (pinned by `tests/chaos.rs`): a run
+    /// stopped at epoch `k` via `opts.stop_after_epochs` and resumed
+    /// with `opts.resume` produces a **byte-identical** report and
+    /// trained weights to an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates batching, NN, and checkpoint errors; returns
+    /// [`SupernetError::Nn`] wrapping [`NnError::Numeric`] once the
+    /// rollback budget is exhausted.
+    pub fn train_with(
+        &mut self,
+        data: &SyntheticDataset,
+        opts: &TrainOptions,
+    ) -> Result<(SupernetTrainReport, TrainTelemetry), SupernetError> {
+        let mut telemetry = TrainTelemetry::default();
+        // Per-sample validation: quarantine detectably-poisoned samples
+        // before they reach a gradient. A no-op (and a pure copy) on
+        // clean data.
+        let (clean, quarantined) = if opts.validate_data {
+            data.quarantine_train(opts.max_abs_pixel)
+        } else {
+            (data.clone(), Vec::new())
+        };
+        telemetry.quarantined = quarantined.len();
+        telemetry.quarantined_indices = quarantined;
+        let data = &clean;
+
+        let fingerprint = opts.fingerprint(&self.config, data.train().len());
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let mut opt = Sgd::new(opts.lr, 0.9, 1e-4);
+        let mut guard = TrainGuard::new(opts.guard.clone());
         let max_choice = SubnetChoice::max(&self.config);
         let min_choice = SubnetChoice::min(&self.config);
         let train_size = data.train().len();
         let mut steps = 0usize;
+        let mut epoch = 0usize;
+        let mut rollbacks = 0u32;
         let mut last_epoch_loss = 0.0f32;
-        for _epoch in 0..epochs {
+
+        if opts.resume {
+            if let Some(path) = &opts.checkpoint {
+                if path.exists() {
+                    let ckpt = TrainCheckpoint::load(path).map_err(SupernetError::Nn)?;
+                    ckpt.validate_against(fingerprint).map_err(SupernetError::Nn)?;
+                    let mut params = self.all_params();
+                    ckpt.restore(&mut params, &mut opt).map_err(SupernetError::Nn)?;
+                    drop(params);
+                    rng = StdRng::from_state(ckpt.rng_state);
+                    epoch = ckpt.epoch;
+                    steps = ckpt.steps;
+                    rollbacks = ckpt.rollbacks;
+                    telemetry.resumed_from_epoch = Some(ckpt.epoch);
+                }
+            }
+        }
+
+        // The in-memory last-good-epoch snapshot divergence rollback
+        // restores (identical to what goes to disk).
+        let mut last_good = {
+            let params = self.all_params();
+            TrainCheckpoint::capture(
+                fingerprint,
+                epoch,
+                steps,
+                rollbacks,
+                rng.state(),
+                &params,
+                &opt,
+            )
+        };
+
+        'training: while epoch < opts.epochs {
             let mut epoch_loss = 0.0f32;
             let mut batches = 0usize;
             let mut start = 0usize;
-            while start + batch <= train_size {
+            while start + opts.batch <= train_size {
                 let (images, labels) = data
-                    .train_batch(start, batch)
+                    .train_batch(start, opts.batch)
                     .map_err(|e| SupernetError::InvalidChoice(e.to_string()))?;
                 self.zero_grad();
                 // Max subnet pass (anchor of the sandwich rule).
@@ -187,15 +275,71 @@ impl MicroSupernet {
                 let logits_s = self.forward(&images, &sampled)?;
                 let (_, grad_s) = nll_loss(&logits_s, &labels).map_err(SupernetError::Nn)?;
                 self.backward(&grad_s, &sampled)?;
+                // Numeric sentinel: loss finiteness + spike window, then
+                // gradient finiteness + optional global-norm clipping.
+                let guarded = guard.observe_loss(loss).and_then(|()| {
+                    let mut params = self.all_params();
+                    guard.clip_gradients(&mut params).map(|_| ())
+                });
+                if let Err(anomaly) = guarded {
+                    telemetry.anomalies.push(anomaly.to_string());
+                    if rollbacks >= opts.max_rollbacks {
+                        return Err(SupernetError::Nn(NnError::Numeric(anomaly)));
+                    }
+                    rollbacks += 1;
+                    telemetry.rollbacks = rollbacks;
+                    // Roll back to the last good epoch with a backed-off
+                    // learning rate and a fresh spike window.
+                    let mut params = self.all_params();
+                    last_good.restore(&mut params, &mut opt).map_err(SupernetError::Nn)?;
+                    drop(params);
+                    let new_lr = (opt.lr() / opts.lr_backoff).max(1e-6);
+                    opt.set_lr(new_lr);
+                    rng = StdRng::from_state(last_good.rng_state);
+                    epoch = last_good.epoch;
+                    steps = last_good.steps;
+                    guard.reset_window();
+                    // Persist the backoff so a second trip (or a resume)
+                    // doesn't undo it.
+                    last_good.lr = new_lr;
+                    last_good.rollbacks = rollbacks;
+                    continue 'training;
+                }
                 opt.step(self.all_params());
                 epoch_loss += loss;
                 batches += 1;
                 steps += 1;
-                start += batch;
+                start += opts.batch;
             }
             last_epoch_loss = epoch_loss / batches.max(1) as f32;
+            epoch += 1;
+            // Epoch boundary: refresh the rollback snapshot, and persist
+            // it if checkpointing is on.
+            last_good = {
+                let params = self.all_params();
+                TrainCheckpoint::capture(
+                    fingerprint,
+                    epoch,
+                    steps,
+                    rollbacks,
+                    rng.state(),
+                    &params,
+                    &opt,
+                )
+            };
+            if let Some(path) = &opts.checkpoint {
+                last_good.write(path).map_err(SupernetError::Nn)?;
+                telemetry.checkpoints_written += 1;
+            }
+            if let Some(stop) = opts.stop_after_epochs {
+                if epoch >= stop && epoch < opts.epochs {
+                    telemetry.interrupted = true;
+                    break 'training;
+                }
+            }
         }
-        Ok(SupernetTrainReport { final_loss: last_epoch_loss, steps })
+        telemetry.clipped_steps = guard.clipped_steps();
+        Ok((SupernetTrainReport { final_loss: last_epoch_loss, steps }, telemetry))
     }
 
     /// Top-1 accuracy of one subnet on the test split.
@@ -317,6 +461,156 @@ mod tests {
             net.evaluate(&data, &SubnetChoice::max(&cfg)).unwrap()
         };
         assert_eq!(run(7), run(7));
+    }
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("hadas-supernet-{tag}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn train_with_monitor_defaults_matches_plain_train() {
+        let cfg = SupernetConfig::tiny();
+        let data = tiny_data();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut a = MicroSupernet::new(&cfg, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut b = MicroSupernet::new(&cfg, &mut rng).unwrap();
+        let ra = a.train(&data, 3, 16, 0.05, 9).unwrap();
+        let (rb, t) = b.train_with(&data, &TrainOptions::new(3, 16, 0.05, 9)).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(t.quarantined, 0);
+        assert_eq!(t.rollbacks, 0);
+        let ea = a.evaluate(&data, &SubnetChoice::max(&cfg)).unwrap();
+        let eb = b.evaluate(&data, &SubnetChoice::max(&cfg)).unwrap();
+        assert_eq!(ea.to_bits(), eb.to_bits());
+    }
+
+    #[test]
+    fn kill_at_epoch_and_resume_is_byte_identical() {
+        let cfg = SupernetConfig::tiny();
+        let data = tiny_data();
+        let build = || {
+            let mut rng = StdRng::seed_from_u64(5);
+            MicroSupernet::new(&cfg, &mut rng).unwrap()
+        };
+        // Uninterrupted run.
+        let mut full = build();
+        let (full_report, _) = full.train_with(&data, &TrainOptions::new(6, 16, 0.05, 9)).unwrap();
+        // Killed at epoch 3.
+        let path = scratch("kill-resume");
+        std::fs::remove_file(&path).ok();
+        let mut killed = build();
+        let (partial, t1) = killed
+            .train_with(
+                &data,
+                &TrainOptions::new(6, 16, 0.05, 9)
+                    .with_checkpoint(path.clone(), false)
+                    .stop_after(3),
+            )
+            .unwrap();
+        assert!(t1.interrupted);
+        assert!(partial.steps < full_report.steps);
+        // Resumed in a fresh process-equivalent (fresh net, fresh RNG).
+        let mut resumed = build();
+        let (resumed_report, t2) = resumed
+            .train_with(
+                &data,
+                &TrainOptions::new(6, 16, 0.05, 9).with_checkpoint(path.clone(), true),
+            )
+            .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(t2.resumed_from_epoch, Some(3));
+        assert_eq!(resumed_report, full_report, "resume must splice the exact trajectory");
+        for choice in [SubnetChoice::max(&cfg), SubnetChoice::min(&cfg)] {
+            let a = full.evaluate(&data, &choice).unwrap();
+            let b = resumed.evaluate(&data, &choice).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits(), "evaluations must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn resume_refuses_a_mismatched_fingerprint() {
+        let cfg = SupernetConfig::tiny();
+        let data = tiny_data();
+        let path = scratch("stale");
+        std::fs::remove_file(&path).ok();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = MicroSupernet::new(&cfg, &mut rng).unwrap();
+        net.train_with(
+            &data,
+            &TrainOptions::new(4, 16, 0.05, 9).with_checkpoint(path.clone(), false).stop_after(2),
+        )
+        .unwrap();
+        // Different seed => different fingerprint => refuse to splice.
+        let err = net.train_with(
+            &data,
+            &TrainOptions::new(4, 16, 0.05, 10).with_checkpoint(path.clone(), true),
+        );
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, Err(SupernetError::Nn(hadas_nn::NnError::Checkpoint(_)))));
+    }
+
+    #[test]
+    fn poisoned_data_is_quarantined_and_training_stays_finite() {
+        let cfg = SupernetConfig::tiny();
+        let mut dcfg = hadas_dataset::DatasetConfig::small();
+        dcfg.classes = cfg.classes;
+        dcfg.train_size = 192;
+        dcfg.test_size = 48;
+        let data = SyntheticDataset::generate(&dcfg, 42).unwrap();
+        let chaos = hadas_dataset::CorruptionConfig::chaos(13);
+        let (poisoned, report) = data.with_corruption(&chaos).unwrap();
+        assert!(report.detectable() > 0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = MicroSupernet::new(&cfg, &mut rng).unwrap();
+        let opts = TrainOptions::new(3, 16, 0.05, 9).with_guard(hadas_nn::GuardConfig::default());
+        let (train_report, telemetry) = net.train_with(&poisoned, &opts).unwrap();
+        assert_eq!(telemetry.quarantined, report.detectable());
+        assert!(telemetry.quarantined > 0);
+        assert!(train_report.final_loss.is_finite());
+    }
+
+    #[test]
+    fn divergence_rolls_back_with_lr_backoff_and_finishes_finite() {
+        // A too-hot learning rate spikes the loss within the first
+        // epochs; the guard must catch it, roll back to the last good
+        // epoch, and back the LR off until training survives. The
+        // trajectory is deterministic for the pinned seeds.
+        let cfg = SupernetConfig::tiny();
+        let data = tiny_data();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = MicroSupernet::new(&cfg, &mut rng).unwrap();
+        let guard =
+            hadas_nn::GuardConfig { max_grad_norm: Some(10.0), spike_window: 4, spike_factor: 2.0 };
+        let mut opts = TrainOptions::new(3, 16, 5.0, 9).with_guard(guard);
+        opts.max_rollbacks = 12;
+        opts.lr_backoff = 4.0;
+        let (report, telemetry) = net.train_with(&data, &opts).unwrap();
+        assert!(telemetry.rollbacks > 0, "lr=5 must trip the spike guard at least once");
+        assert!(!telemetry.anomalies.is_empty());
+        assert!(report.final_loss.is_finite());
+    }
+
+    #[test]
+    fn exhausted_rollback_budget_escalates_a_typed_anomaly() {
+        // Same too-hot setup as the rollback test, but with a zero
+        // rollback budget: the first tripped guard must escalate the
+        // typed anomaly instead of silently continuing.
+        let cfg = SupernetConfig::tiny();
+        let data = tiny_data();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = MicroSupernet::new(&cfg, &mut rng).unwrap();
+        let guard =
+            hadas_nn::GuardConfig { max_grad_norm: Some(10.0), spike_window: 4, spike_factor: 2.0 };
+        let mut opts = TrainOptions::new(3, 16, 5.0, 9).with_guard(guard);
+        opts.max_rollbacks = 0;
+        let err = net.train_with(&data, &opts);
+        assert!(matches!(
+            err,
+            Err(SupernetError::Nn(hadas_nn::NnError::Numeric(
+                hadas_nn::NumericAnomaly::LossSpike { .. }
+            )))
+        ));
     }
 
     #[test]

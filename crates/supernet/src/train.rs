@@ -1,0 +1,135 @@
+//! Options for divergence-guarded supernet training: guard thresholds,
+//! epoch-boundary checkpointing, kill points for the chaos harness, and
+//! the rollback/LR-backoff budget.
+
+use crate::SupernetConfig;
+use hadas_nn::GuardConfig;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
+
+/// Configuration of one guarded training run
+/// ([`crate::MicroSupernet::train_with`]).
+///
+/// The plain [`crate::MicroSupernet::train`] wrapper uses
+/// [`TrainOptions::new`], which is **bit-identical** to the historical
+/// unguarded loop on healthy data: monitor-only guard (no clipping), no
+/// checkpointing, and per-sample validation that is a no-op on a clean
+/// dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainOptions {
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Initial learning rate (may be backed off by divergence rollback).
+    pub lr: f32,
+    /// Seed of the subnet-sampling RNG.
+    pub seed: u64,
+    /// Numeric-guard thresholds.
+    pub guard: GuardConfig,
+    /// Epoch-boundary checkpoint file, if any.
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from `checkpoint` when it exists (refused on a
+    /// fingerprint mismatch).
+    pub resume: bool,
+    /// Stop gracefully after this many *completed* epochs — the chaos
+    /// harness's kill point. The final checkpoint is written first.
+    pub stop_after_epochs: Option<usize>,
+    /// Divergence rollbacks allowed before the run fails with the
+    /// escalated [`hadas_nn::NumericAnomaly`].
+    pub max_rollbacks: u32,
+    /// Factor the learning rate is divided by on each rollback.
+    pub lr_backoff: f32,
+    /// Per-sample validation bound: pixels beyond this magnitude (or
+    /// non-finite) quarantine the sample before training.
+    pub max_abs_pixel: f32,
+    /// Run per-sample validation before training (default). Disabling
+    /// it lets poison reach the loss — the [`hadas_nn::TrainGuard`] is
+    /// then the last line of defence, escalating a typed anomaly
+    /// instead of silently corrupting the shared weights.
+    pub validate_data: bool,
+}
+
+impl TrainOptions {
+    /// Monitor-only defaults matching the historical `train` signature.
+    pub fn new(epochs: usize, batch: usize, lr: f32, seed: u64) -> Self {
+        TrainOptions {
+            epochs,
+            batch,
+            lr,
+            seed,
+            guard: GuardConfig::monitor_only(),
+            checkpoint: None,
+            resume: false,
+            stop_after_epochs: None,
+            max_rollbacks: 3,
+            lr_backoff: 2.0,
+            max_abs_pixel: hadas_dataset::MAX_ABS_PIXEL,
+            validate_data: true,
+        }
+    }
+
+    /// Replaces the guard thresholds.
+    #[must_use]
+    pub fn with_guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// Enables epoch-boundary checkpoints at `path`; `resume` restores
+    /// from an existing checkpoint first.
+    #[must_use]
+    pub fn with_checkpoint(mut self, path: PathBuf, resume: bool) -> Self {
+        self.checkpoint = Some(path);
+        self.resume = resume;
+        self
+    }
+
+    /// Sets the graceful kill point (chaos harness).
+    #[must_use]
+    pub fn stop_after(mut self, epochs: usize) -> Self {
+        self.stop_after_epochs = Some(epochs);
+        self
+    }
+
+    /// Fingerprint of everything that shapes the training trajectory —
+    /// model config, schedule, seed, guard thresholds, rollback policy,
+    /// and sanitized train-split size. Checkpoints from a different
+    /// fingerprint are refused on resume, because splicing two
+    /// different trajectories would silently break the byte-identical
+    /// determinism contract. Deliberately *excludes* the kill point and
+    /// checkpoint path: an interrupted run and its resumption share a
+    /// fingerprint.
+    pub fn fingerprint(&self, config: &SupernetConfig, train_len: usize) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.epochs.hash(&mut h);
+        self.batch.hash(&mut h);
+        self.lr.to_bits().hash(&mut h);
+        self.seed.hash(&mut h);
+        format!("{config:?}").hash(&mut h);
+        format!("{:?}", self.guard).hash(&mut h);
+        self.max_rollbacks.hash(&mut h);
+        self.lr_backoff.to_bits().hash(&mut h);
+        self.max_abs_pixel.to_bits().hash(&mut h);
+        self.validate_data.hash(&mut h);
+        train_len.hash(&mut h);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_ignores_kill_point_but_not_schedule() {
+        let cfg = SupernetConfig::tiny();
+        let base = TrainOptions::new(8, 16, 0.05, 9);
+        let killed = base.clone().stop_after(3).with_checkpoint("x.json".into(), true);
+        assert_eq!(base.fingerprint(&cfg, 96), killed.fingerprint(&cfg, 96));
+        let other = TrainOptions::new(9, 16, 0.05, 9);
+        assert_ne!(base.fingerprint(&cfg, 96), other.fingerprint(&cfg, 96));
+        assert_ne!(base.fingerprint(&cfg, 96), base.fingerprint(&cfg, 95));
+    }
+}

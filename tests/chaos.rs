@@ -23,13 +23,26 @@
 //!    *byte-identically* to the fault-free run, with zero dead letters,
 //!    for every worker count. On a mismatch the soak writes both reports
 //!    to `results/` so CI failures ship their own repro artifact.
+//!
+//! 4. **The training plane honours the same contracts** (see DESIGN.md,
+//!    "Training resilience"): killing guarded supernet training at an
+//!    epoch boundary and resuming from its checkpoint — into a *fresh,
+//!    differently initialised* model — reproduces the uninterrupted
+//!    run's loss, step count, and test accuracy bit for bit; a poisoned
+//!    train split is quarantined per-sample before any gradient and the
+//!    run still ends with a finite loss; and NaN-poisoned fitness never
+//!    perturbs the finite Pareto front, at the dominance-sort level and
+//!    end-to-end through `--data-chaos` searches.
 
 use hadas_suite::core::{Hadas, HadasConfig, SearchCheckpoint, SearchOptions};
+use hadas_suite::dataset::{CorruptionConfig, DatasetConfig, SyntheticDataset};
 use hadas_suite::hw::HwTarget;
 use hadas_suite::runtime::{
     modes_from_pareto, DegradePolicy, FaultConfig, FaultInjector, PolicyState, RuntimeSimulator,
     ScalingPolicy, SocPolicy, StaticPolicy, TraceConfig, WorkloadTrace,
 };
+use hadas_suite::supernet::{MicroSupernet, SubnetChoice, SupernetConfig, TrainOptions};
+use rand::{rngs::StdRng, SeedableRng};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -303,6 +316,202 @@ fn supervised_serving_heals_back_to_the_fault_free_report() {
                 || telemetry.redispatches > 0;
         }
         assert!(healed_something, "the chaos preset must actually inject work (seed {seed})");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Training-plane chaos: kill/resume, data poison, NaN-fitness quarantine.
+// ---------------------------------------------------------------------
+
+/// The tiny supernet + matching dataset the CLI `hadas train` command
+/// also uses: small enough for CI, real enough to exercise the full
+/// guarded sandwich-rule loop.
+fn train_fixture(seed: u64) -> (SupernetConfig, SyntheticDataset) {
+    let net = SupernetConfig::tiny();
+    let mut cfg = DatasetConfig::small();
+    cfg.classes = net.classes;
+    cfg.image_size = net.image_size;
+    cfg.train_size = 96;
+    cfg.test_size = 48;
+    let data = SyntheticDataset::generate(&cfg, seed).expect("valid dataset config");
+    (net, data)
+}
+
+#[test]
+fn train_kill_at_epoch_then_resume_is_byte_identical() {
+    for seed in seed_matrix() {
+        let (net_cfg, data) = train_fixture(seed);
+        let opts = TrainOptions::new(3, 16, 0.05, seed);
+
+        // The uninterrupted reference run.
+        let mut straight =
+            MicroSupernet::new(&net_cfg, &mut StdRng::seed_from_u64(seed)).expect("net builds");
+        let (ref_report, ref_tel) = straight.train_with(&data, &opts).expect("straight run");
+        assert!(!ref_tel.interrupted);
+        let ref_acc =
+            straight.evaluate(&data, &SubnetChoice::max(&net_cfg)).expect("straight eval");
+
+        // Kill at the epoch-1 boundary, checkpointing as we go.
+        let path = scratch(&format!("train-{seed}"));
+        let _ = std::fs::remove_file(&path);
+        let mut killed =
+            MicroSupernet::new(&net_cfg, &mut StdRng::seed_from_u64(seed)).expect("net builds");
+        let (_, kill_tel) = killed
+            .train_with(&data, &opts.clone().with_checkpoint(path.clone(), false).stop_after(1))
+            .expect("killed run reaches its kill point");
+        assert!(kill_tel.interrupted, "stopping early must be reported");
+        assert!(kill_tel.checkpoints_written >= 1, "the kill point must be on disk");
+        assert!(path.exists(), "checkpoint file must exist after the kill");
+
+        // Resume into a FRESH model with a *different* init seed: every
+        // weight, the SGD velocity, and the RNG stream must come from
+        // the checkpoint, not from whatever the new process happened to
+        // initialise.
+        let mut resumed = MicroSupernet::new(&net_cfg, &mut StdRng::seed_from_u64(seed ^ 0xD00D))
+            .expect("net builds");
+        let (res_report, res_tel) = resumed
+            .train_with(&data, &opts.clone().with_checkpoint(path.clone(), true))
+            .expect("resumed run completes");
+        assert_eq!(res_tel.resumed_from_epoch, Some(1), "resume must start at the kill epoch");
+        assert!(!res_tel.interrupted, "the resumed run must run to completion");
+        let res_acc = resumed.evaluate(&data, &SubnetChoice::max(&net_cfg)).expect("resumed eval");
+
+        assert_eq!(
+            ref_report.final_loss.to_bits(),
+            res_report.final_loss.to_bits(),
+            "kill-at-epoch-1 + resume must reproduce the final loss bit-for-bit (seed {seed}: \
+             {} vs {})",
+            ref_report.final_loss,
+            res_report.final_loss
+        );
+        assert_eq!(ref_report.steps, res_report.steps, "step accounting must match (seed {seed})");
+        assert_eq!(
+            ref_acc.to_bits(),
+            res_acc.to_bits(),
+            "the trained weights themselves must match: test accuracy {ref_acc} vs {res_acc} \
+             (seed {seed})"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn a_stale_train_checkpoint_is_refused_not_spliced() {
+    let seed = seed_matrix()[0];
+    let (net_cfg, data) = train_fixture(seed);
+    let path = scratch(&format!("train-stale-{seed}"));
+    let _ = std::fs::remove_file(&path);
+    let mut net =
+        MicroSupernet::new(&net_cfg, &mut StdRng::seed_from_u64(seed)).expect("net builds");
+    net.train_with(
+        &data,
+        &TrainOptions::new(3, 16, 0.05, seed).with_checkpoint(path.clone(), false).stop_after(1),
+    )
+    .expect("interrupted run");
+
+    // Resuming under a different schedule must fail loudly instead of
+    // silently splicing two unrelated trajectories together.
+    let mut fresh =
+        MicroSupernet::new(&net_cfg, &mut StdRng::seed_from_u64(seed)).expect("net builds");
+    let err = fresh.train_with(
+        &data,
+        &TrainOptions::new(3, 16, 0.1, seed).with_checkpoint(path.clone(), true),
+    );
+    assert!(err.is_err(), "a mismatched train checkpoint must be rejected");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn poisoned_training_quarantines_the_poison_and_stays_finite() {
+    for seed in seed_matrix() {
+        let (net_cfg, data) = train_fixture(seed);
+        let (poisoned, report) =
+            data.with_corruption(&CorruptionConfig::chaos(seed)).expect("chaos preset validates");
+        assert!(report.detectable() > 0, "the preset must inject detectable poison (seed {seed})");
+
+        let mut net =
+            MicroSupernet::new(&net_cfg, &mut StdRng::seed_from_u64(seed)).expect("net builds");
+        let (rep, tel) = net
+            .train_with(&poisoned, &TrainOptions::new(2, 16, 0.05, seed))
+            .expect("training on a quarantined split completes");
+        assert_eq!(
+            tel.quarantined,
+            report.detectable(),
+            "per-sample validation must catch exactly the detectable poison (seed {seed})"
+        );
+        assert!(
+            rep.final_loss.is_finite(),
+            "the final loss must be finite under data chaos (seed {seed}): {}",
+            rep.final_loss
+        );
+        let acc = net.evaluate(&poisoned, &SubnetChoice::max(&net_cfg)).expect("eval");
+        assert!(acc.is_finite() && acc >= 0.0, "accuracy must stay sane: {acc} (seed {seed})");
+    }
+}
+
+#[test]
+fn nan_fitness_never_perturbs_the_finite_fronts() {
+    use hadas_suite::evo::{crowding_distance, fast_non_dominated_sort};
+
+    // A two-front finite population...
+    let finite: Vec<Vec<f64>> =
+        vec![vec![4.0, 1.0], vec![1.0, 4.0], vec![3.0, 3.0], vec![2.0, 2.0], vec![0.5, 0.5]];
+    let clean_fronts = fast_non_dominated_sort(&finite);
+    let clean_serialized =
+        serde_json::to_string(&serde_json::json!(clean_fronts)).expect("fronts serialize");
+
+    // ...plus injected NaN/∞ fitness vectors, as a poisoned evaluation
+    // would produce in release mode.
+    let mut poisoned = finite.clone();
+    poisoned.push(vec![f64::NAN, 9.0]);
+    poisoned.push(vec![9.0, f64::INFINITY]);
+    poisoned.push(vec![f64::NAN, f64::NAN]);
+    let fronts = fast_non_dominated_sort(&poisoned);
+
+    // The finite fronts — membership, order, serialization — are
+    // unchanged; the poisoned points sink into one pure trailing front
+    // where the diversity tiebreak can never favour them.
+    let finite_fronts: Vec<Vec<usize>> = fronts[..fronts.len() - 1].to_vec();
+    let serialized =
+        serde_json::to_string(&serde_json::json!(finite_fronts)).expect("fronts serialize");
+    assert_eq!(
+        serialized, clean_serialized,
+        "injected NaN fitness must not change the finite front serialization"
+    );
+    let trailing = fronts.last().expect("non-empty partition");
+    let mut sunk = trailing.clone();
+    sunk.sort_unstable();
+    assert_eq!(sunk, vec![5, 6, 7], "poisoned points must sink into the trailing front");
+    let d = crowding_distance(&poisoned, trailing);
+    assert!(d.iter().all(|v| *v == 0.0), "poisoned points never win a diversity tiebreak");
+}
+
+#[test]
+fn data_chaos_search_quarantines_and_yields_a_finite_deterministic_front() {
+    for seed in seed_matrix() {
+        let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+        let cfg = HadasConfig::smoke_test().with_seed(seed);
+        let opts = SearchOptions { data_chaos: Some(seed), ..SearchOptions::default() };
+
+        let out = hadas.run_with(&cfg, &opts).expect("chaotic search completes");
+        assert!(
+            out.telemetry().quarantined_evals > 0,
+            "the chaos rate must actually poison measurements (seed {seed})"
+        );
+        for m in out.pareto_models() {
+            assert!(
+                m.dynamic.accuracy_pct.is_finite()
+                    && m.dynamic.energy_mj.is_finite()
+                    && m.dynamic.latency_ms.is_finite(),
+                "poisoned fitness must never survive into the front (seed {seed})"
+            );
+        }
+
+        // Quarantine is pure in (seed, index): the same chaotic search
+        // twice is byte-identical, telemetry included.
+        let again = hadas.run_with(&cfg, &opts).expect("chaotic search repeats");
+        assert_eq!(front_json(&out, seed), front_json(&again, seed));
+        assert_eq!(out.telemetry().quarantined_evals, again.telemetry().quarantined_evals);
     }
 }
 
