@@ -74,7 +74,7 @@ fn bench_proxy(c: &mut Criterion) {
     c.bench_function("hw/proxy_fit_1k", |b| {
         b.iter(|| hadas_hw::ProxyCostModel::fit(black_box(&device), &space, 1_000, 1))
     });
-    let proxy = hadas_hw::ProxyCostModel::fit(&device, &space, 1_000, 1);
+    let proxy = hadas_hw::ProxyCostModel::fit(&device, &space, 1_000, 1).expect("proxy fits");
     let net = space.decode(&baselines::baseline_genome(3)).expect("a3 decodes");
     let dvfs = hadas_hw::CostModel::default_dvfs(&proxy);
     c.bench_function("hw/proxy_subnet_cost", |b| {

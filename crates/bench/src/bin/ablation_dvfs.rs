@@ -4,7 +4,7 @@
 //! clocks and compared against its searched DVFS pairing.
 
 use hadas::{DynamicModel, Hadas};
-use hadas_bench::{all_targets, scaled_config, write_json};
+use hadas_bench::{all_targets, bench_env};
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -16,7 +16,7 @@ struct DvfsAblation {
 }
 
 fn main() {
-    let cfg = scaled_config();
+    let cfg = bench_env!().scaled_config();
     println!("ABLATION — DVFS contribution per hardware setting");
     println!(
         "{:<24} {:>16} {:>16} {:>16}",
@@ -60,5 +60,5 @@ fn main() {
     }
     println!();
     println!("DVFS adds a consistent extra energy cut on top of early exits (paper Table III: EEx vs EEx_DVFS columns)");
-    write_json("ablation_dvfs", &rows);
+    bench_env!().write_json("ablation_dvfs", &rows);
 }

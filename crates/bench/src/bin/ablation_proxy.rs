@@ -9,7 +9,7 @@
 //! queries each search consumed.
 
 use hadas::{Hadas, HadasConfig};
-use hadas_bench::{scaled_config, write_json};
+use hadas_bench::bench_env;
 use hadas_evo::{fast_non_dominated_sort, hypervolume_2d};
 use hadas_hw::{CostModel, DeviceModel, HwTarget, ProxyCostModel};
 use hadas_space::SearchSpace;
@@ -92,15 +92,15 @@ fn true_front_hv(hadas_exact: &Hadas, outcome: &hadas::OoeOutcome, cfg: &HadasCo
 }
 
 fn main() {
-    let cfg = scaled_config();
+    let cfg = bench_env!().scaled_config();
     let space = SearchSpace::attentive_nas();
     let device = DeviceModel::for_target(HwTarget::Tx2PascalGpu);
 
     // One-off proxy fit + held-out validation.
     let fit_start = Instant::now();
-    let proxy = ProxyCostModel::fit(&device, &space, 3_000, 17);
+    let proxy = ProxyCostModel::fit(&device, &space, 3_000, 17).expect("proxy fits");
     let fit_ms = fit_start.elapsed().as_millis();
-    let v = proxy.validate(&device, &space, 100, 18);
+    let v = proxy.validate(&device, &space, 100, 18).expect("proxy validates");
     println!("proxy fit on {} device measurements in {} ms", proxy.training_samples(), fit_ms);
     println!(
         "held-out MAPE: latency {:.1}%, energy {:.1}% over {} subnet queries",
@@ -149,5 +149,5 @@ fn main() {
         retained * 100.0
     );
     println!("(paper: proxy cuts search time from 2-3 GPU days to ~1 with comparable results)");
-    write_json("ablation_proxy", &runs);
+    bench_env!().write_json("ablation_proxy", &runs);
 }

@@ -4,7 +4,7 @@
 //! quality and the number of IOE invocations (the dominant search cost).
 
 use hadas::Hadas;
-use hadas_bench::{scaled_config, write_json};
+use hadas_bench::bench_env;
 use hadas_evo::{fast_non_dominated_sort, hypervolume_2d};
 use hadas_hw::HwTarget;
 use serde::Serialize;
@@ -19,7 +19,7 @@ struct PruningRun {
 
 fn run(prune_fraction: f64) -> PruningRun {
     let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
-    let mut cfg = scaled_config();
+    let mut cfg = bench_env!().scaled_config();
     cfg.prune_fraction = prune_fraction;
     let outcome = hadas.run(&cfg).expect("joint search runs");
     let ioe_invocations = outcome.backbones().iter().filter(|b| b.ioe.is_some()).count();
@@ -63,5 +63,5 @@ fn main() {
         (1.0 - pruned.ioe_invocations as f64 / full.ioe_invocations as f64) * 100.0,
         pruned.front_hv / full.front_hv * 100.0
     );
-    write_json("ablation_pruning", &runs);
+    bench_env!().write_json("ablation_pruning", &runs);
 }

@@ -3,7 +3,7 @@
 //! hypervolume of the exact (re-measured) fronts, averaged over seeds.
 
 use hadas::Hadas;
-use hadas_bench::{scaled_config, write_json};
+use hadas_bench::bench_env;
 use hadas_evo::{hypervolume_2d, ratio_of_dominance};
 use hadas_hw::HwTarget;
 use hadas_space::baselines;
@@ -21,7 +21,7 @@ struct RandomAblation {
 fn main() {
     let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
     let subnet = hadas.space().decode(&baselines::baseline_genome(3)).expect("a3 decodes");
-    let cfg = scaled_config();
+    let cfg = bench_env!().scaled_config();
     let reference = [-0.5f64, 0.0];
     println!(
         "ABLATION — NSGA-II vs random search in the inner engine ({} evaluations each)",
@@ -59,5 +59,5 @@ fn main() {
     }
     println!();
     println!("NSGA-II wins hypervolume on {wins}/5 seeds — the evolutionary engine earns its keep");
-    write_json("ablation_random", &rows);
+    bench_env!().write_json("ablation_random", &rows);
 }

@@ -7,7 +7,7 @@
 //! before its running Pareto front first dominates each baseline.
 
 use hadas::Hadas;
-use hadas_bench::{all_targets, baseline_subnets, scaled_config, write_json};
+use hadas_bench::{all_targets, baseline_subnets, bench_env};
 use hadas_evo::{dominates, hypervolume_2d};
 use serde::Serialize;
 
@@ -21,7 +21,7 @@ struct ConvergencePanel {
 }
 
 fn main() {
-    let cfg = scaled_config();
+    let cfg = bench_env!().scaled_config();
     let mut panels = Vec::new();
     for target in all_targets() {
         let hadas = Hadas::for_target(target);
@@ -99,5 +99,5 @@ fn main() {
         "on average the first third of the budget reaches {:.0}% of the final hypervolume",
         early_share * 100.0
     );
-    write_json("convergence", &panels);
+    bench_env!().write_json("convergence", &panels);
 }

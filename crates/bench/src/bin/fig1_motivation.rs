@@ -4,12 +4,12 @@
 //! *Dyn w/HW* (early exits + DVFS).
 
 use hadas::{report::Fig1Bars, DynamicModel, Hadas, StaticFitness};
-use hadas_bench::{scaled_config, select_solution, write_json};
+use hadas_bench::{bench_env, select_solution};
 use hadas_hw::HwTarget;
 use hadas_space::Subnet;
 
 fn stage_bars(hadas: &Hadas, name: &str, subnet: &Subnet, seed: u64, acc_floor: f64) -> Fig1Bars {
-    let cfg = scaled_config();
+    let cfg = bench_env!().scaled_config();
     let device = hadas.device();
     let cost = device.subnet_cost(subnet, &device.default_dvfs()).expect("valid subnet");
     let static_fitness = StaticFitness {
@@ -39,7 +39,7 @@ fn stage_bars(hadas: &Hadas, name: &str, subnet: &Subnet, seed: u64, acc_floor: 
 
 fn main() {
     let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
-    let cfg = scaled_config();
+    let cfg = bench_env!().scaled_config();
     let nets = hadas_bench::baseline_subnets(&hadas);
     let a0 = &nets[0].1;
     let a6 = &nets[6].1;
@@ -107,6 +107,7 @@ fn main() {
     );
     let labels: Vec<String> = bars.iter().map(|b| b.model.clone()).collect();
     hadas_bench::svg::write_svg(
+        &bench_env!().results_dir(),
         "fig1_accuracy",
         &hadas_bench::svg::grouped_bars(
             "Fig. 1 — accuracy per stage",
@@ -119,6 +120,7 @@ fn main() {
         ),
     );
     hadas_bench::svg::write_svg(
+        &bench_env!().results_dir(),
         "fig1_energy",
         &hadas_bench::svg::grouped_bars(
             "Fig. 1 — energy per stage",
@@ -131,5 +133,5 @@ fn main() {
             ],
         ),
     );
-    write_json("fig1_motivation", &bars);
+    bench_env!().write_json("fig1_motivation", &bars);
 }

@@ -5,7 +5,7 @@
 
 use hadas::report::{Fig5Panel, ScatterPoint};
 use hadas::Hadas;
-use hadas_bench::{all_targets, optimized_baselines, scaled_config, write_json};
+use hadas_bench::{all_targets, bench_env, optimized_baselines};
 use hadas_evo::{fast_non_dominated_sort, ratio_of_dominance};
 
 fn to_points(axes: &[Vec<f64>]) -> Vec<ScatterPoint> {
@@ -18,7 +18,7 @@ fn to_points(axes: &[Vec<f64>]) -> Vec<ScatterPoint> {
 }
 
 fn main() {
-    let cfg = scaled_config();
+    let cfg = bench_env!().scaled_config();
     let mut panels = Vec::new();
     let mut rod_sum = 0.0;
     for target in all_targets() {
@@ -82,6 +82,7 @@ fn main() {
     for panel in &panels {
         let slug = panel.hardware.to_lowercase().replace([' ', '.'], "_");
         hadas_bench::svg::write_svg(
+            &bench_env!().results_dir(),
             &format!("fig5_ioe_{slug}"),
             &hadas_bench::svg::scatter_panel(
                 &format!("Fig. 5 (bottom) — {}", panel.hardware),
@@ -92,5 +93,5 @@ fn main() {
             ),
         );
     }
-    write_json("fig5_ioe", &panels);
+    bench_env!().write_json("fig5_ioe", &panels);
 }

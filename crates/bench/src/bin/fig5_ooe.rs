@@ -4,11 +4,11 @@
 
 use hadas::report::{Fig5Panel, ScatterPoint};
 use hadas::Hadas;
-use hadas_bench::{all_targets, baseline_subnets, scaled_config, write_json};
+use hadas_bench::{all_targets, baseline_subnets, bench_env};
 use hadas_evo::dominates;
 
 fn main() {
-    let cfg = scaled_config();
+    let cfg = bench_env!().scaled_config();
     let mut panels = Vec::new();
     for target in all_targets() {
         let hadas = Hadas::for_target(target);
@@ -71,6 +71,7 @@ fn main() {
     for panel in &panels {
         let slug = panel.hardware.to_lowercase().replace([' ', '.'], "_");
         hadas_bench::svg::write_svg(
+            &bench_env!().results_dir(),
             &format!("fig5_ooe_{slug}"),
             &hadas_bench::svg::scatter_panel(
                 &format!("Fig. 5 (top) — {}", panel.hardware),
@@ -81,5 +82,5 @@ fn main() {
             ),
         );
     }
-    write_json("fig5_ooe", &panels);
+    bench_env!().write_json("fig5_ooe", &panels);
 }

@@ -4,7 +4,7 @@
 
 use hadas::report::Fig6Bar;
 use hadas::Hadas;
-use hadas_bench::{all_targets, optimized_baselines, scaled_config, write_json};
+use hadas_bench::{all_targets, bench_env, optimized_baselines};
 use hadas_evo::{fast_non_dominated_sort, hypervolume_2d, ratio_of_dominance};
 
 fn front(axes: &[Vec<f64>]) -> Vec<Vec<f64>> {
@@ -16,7 +16,7 @@ fn front(axes: &[Vec<f64>]) -> Vec<Vec<f64>> {
 }
 
 fn main() {
-    let cfg = scaled_config();
+    let cfg = bench_env!().scaled_config();
     // Reference point for (energy gain, mean N_i): slightly below the
     // worst useful values so every sane solution contributes volume.
     let reference = [-0.5f64, 0.0];
@@ -72,6 +72,7 @@ fn main() {
     }
     let labels: Vec<String> = bars.iter().map(|b| b.hardware.clone()).collect();
     hadas_bench::svg::write_svg(
+        &bench_env!().results_dir(),
         "fig6_hv",
         &hadas_bench::svg::grouped_bars(
             "Fig. 6a — hypervolume",
@@ -84,6 +85,7 @@ fn main() {
         ),
     );
     hadas_bench::svg::write_svg(
+        &bench_env!().results_dir(),
         "fig6_rod",
         &hadas_bench::svg::grouped_bars(
             "Fig. 6b — ratio of dominance",
@@ -95,5 +97,5 @@ fn main() {
             ],
         ),
     );
-    write_json("fig6_hv_rod", &bars);
+    bench_env!().write_json("fig6_hv_rod", &bars);
 }

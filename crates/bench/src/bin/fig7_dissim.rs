@@ -3,7 +3,7 @@
 //! enabled, over a low and a high range of γ.
 
 use hadas::Hadas;
-use hadas_bench::{scaled_config, write_json};
+use hadas_bench::bench_env;
 use hadas_evo::{fast_non_dominated_sort, ratio_of_dominance};
 use hadas_hw::HwTarget;
 use serde::Serialize;
@@ -25,7 +25,7 @@ fn front_of(axes: &[Vec<f64>]) -> Vec<Vec<f64>> {
 
 fn main() {
     let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
-    let base_cfg = scaled_config();
+    let base_cfg = bench_env!().scaled_config();
     // One fixed backbone, as in the paper's ablation.
     let subnet =
         hadas.space().decode(&hadas_space::baselines::baseline_genome(3)).expect("a3 decodes");
@@ -80,5 +80,5 @@ fn main() {
         best_with * 100.0,
         without.best_gain * 100.0
     );
-    write_json("fig7_dissim", &runs);
+    bench_env!().write_json("fig7_dissim", &runs);
 }

@@ -4,7 +4,7 @@
 //! simulator and the search honest while calibrating Table III.
 
 use hadas::{DynamicModel, Hadas};
-use hadas_bench::scaled_config;
+use hadas_bench::bench_env;
 use hadas_exits::ExitPlacement;
 use hadas_hw::{DvfsSetting, HwTarget};
 use hadas_space::{baselines, Genome, Subnet};
@@ -16,7 +16,7 @@ fn evenly_spaced(n_layers: usize, count: usize) -> Vec<usize> {
 fn probe(hadas: &Hadas, name: &str, subnet: &Subnet) {
     let device = hadas.device();
     let acc = hadas.accuracy();
-    let cfg = scaled_config();
+    let cfg = bench_env!().scaled_config();
     let e_b = device.subnet_cost(subnet, &device.default_dvfs()).expect("valid").energy_mj();
     let n = subnet.num_mbconv_layers();
     println!(

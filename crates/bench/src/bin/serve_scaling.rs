@@ -11,7 +11,7 @@
 //! overload.
 
 use hadas::Hadas;
-use hadas_bench::{scaled_config, write_json};
+use hadas_bench::bench_env;
 use hadas_hw::HwTarget;
 use hadas_runtime::modes_from_pareto;
 use hadas_serve::{BrownoutConfig, GovernorKind, ServeConfig, ServeEngine, ServeReport};
@@ -72,7 +72,7 @@ impl ServeRow {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = scaled_config().with_seed(7);
+    let cfg = bench_env!().scaled_config().with_seed(7);
     let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
     let outcome = hadas.run(&cfg)?;
     let modes = modes_from_pareto(&hadas, &outcome, 3)?;
@@ -178,6 +178,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  brownout strictly lowers the interactive violation rate under overload");
     rows.extend(overload_rows);
 
-    write_json("BENCH_serve", &rows);
+    bench_env!().write_json("BENCH_serve", &rows);
     Ok(())
 }

@@ -1,7 +1,7 @@
 //! Regenerates **Table I**: the related-work capability comparison.
 
 use hadas::related::TABLE_I;
-use hadas_bench::write_json;
+use hadas_bench::bench_env;
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -43,5 +43,5 @@ fn main() {
         TABLE_I.iter().filter(|w| w.capability_count() == 4).all(|w| w.name == "HADAS"),
         "HADAS must be the only framework with all four capabilities"
     );
-    write_json("table1_related", &rows);
+    bench_env!().write_json("table1_related", &rows);
 }

@@ -2,7 +2,7 @@
 //! the three HADAS subspaces (B, X, F), asserting they match the paper.
 
 use hadas::Hadas;
-use hadas_bench::{all_targets, write_json};
+use hadas_bench::{all_targets, bench_env};
 use hadas_exits::ExitPlacement;
 use hadas_hw::{DeviceModel, HwTarget};
 use hadas_space::SearchSpace;
@@ -119,6 +119,6 @@ fn main() {
     assert_eq!(DeviceModel::for_target(HwTarget::Tx2DenverCpu).ladder().compute_steps(), 12);
 
     let _ = Hadas::for_target(HwTarget::Tx2PascalGpu); // framework assembles
-    write_json("table2_spaces", &rows);
+    bench_env!().write_json("table2_spaces", &rows);
     println!("\nall Table II cardinalities match the paper");
 }

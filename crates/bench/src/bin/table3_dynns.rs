@@ -9,7 +9,7 @@
 
 use hadas::report::Table3Row;
 use hadas::{DynamicModel, Hadas, IoeOutcome};
-use hadas_bench::{scaled_config, select_solution, write_json};
+use hadas_bench::{bench_env, select_solution};
 use hadas_hw::HwTarget;
 use hadas_space::Subnet;
 
@@ -22,7 +22,7 @@ fn row(
     ioe: &IoeOutcome,
     acc_floor: f64,
 ) -> Option<Table3Row> {
-    let cfg = scaled_config();
+    let cfg = bench_env!().scaled_config();
     let device = hadas.device();
     let static_cost = device.subnet_cost(subnet, &device.default_dvfs()).expect("valid");
     let chosen = select_solution(ioe, static_cost.latency_ms(), acc_floor)?;
@@ -42,7 +42,7 @@ fn row(
 
 fn main() {
     let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
-    let cfg = scaled_config();
+    let cfg = bench_env!().scaled_config();
     let nets = hadas_bench::baseline_subnets(&hadas);
 
     let mut rows = Vec::new();
@@ -119,5 +119,5 @@ fn main() {
             b1.eex_acc, a6.eex_acc
         );
     }
-    write_json("table3_dynns", &rows);
+    bench_env!().write_json("table3_dynns", &rows);
 }

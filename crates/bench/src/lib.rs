@@ -20,49 +20,83 @@ use hadas_space::{baselines, Subnet};
 use serde::Serialize;
 use std::path::PathBuf;
 
-/// Returns the experiment configuration selected by `HADAS_SCALE`
-/// (`quick` default | `mid` | `paper`).
-pub fn scaled_config() -> HadasConfig {
-    match std::env::var("HADAS_SCALE").as_deref() {
-        Ok("paper") => HadasConfig::paper(),
-        Ok("mid") => {
-            let mut cfg = HadasConfig::paper();
-            cfg.ooe = hadas::EngineBudget::new(16, 128);
-            cfg.ioe = hadas::EngineBudget::new(24, 240);
-            cfg
+/// Ambient inputs for a bench binary, read once at the `main` boundary.
+///
+/// The library itself never touches the process environment (the
+/// determinism audit's `ambient-env` lint forbids it): binaries read
+/// `HADAS_SCALE` / `HADAS_RESULTS_DIR` — usually via [`bench_env!`] —
+/// and hand the values in, so library behaviour is a pure function of
+/// this struct.
+#[derive(Debug, Clone, Default)]
+pub struct BenchEnv {
+    scale: Option<String>,
+    results_override: Option<PathBuf>,
+}
+
+impl BenchEnv {
+    /// Packs ambient values read by the caller: the `HADAS_SCALE` tier
+    /// (`quick` default | `mid` | `paper`) and an optional
+    /// `HADAS_RESULTS_DIR` override.
+    pub fn new(scale: Option<String>, results_override: Option<PathBuf>) -> BenchEnv {
+        BenchEnv { scale, results_override }
+    }
+
+    /// The experiment configuration for the selected scale tier.
+    pub fn scaled_config(&self) -> HadasConfig {
+        match self.scale.as_deref() {
+            Some("paper") => HadasConfig::paper(),
+            Some("mid") => {
+                let mut cfg = HadasConfig::paper();
+                cfg.ooe = hadas::EngineBudget::new(16, 128);
+                cfg.ioe = hadas::EngineBudget::new(24, 240);
+                cfg
+            }
+            _ => {
+                let mut cfg = HadasConfig::paper();
+                cfg.ooe = hadas::EngineBudget::new(12, 60);
+                cfg.ioe = hadas::EngineBudget::new(16, 96);
+                cfg
+            }
         }
-        _ => {
-            let mut cfg = HadasConfig::paper();
-            cfg.ooe = hadas::EngineBudget::new(12, 60);
-            cfg.ioe = hadas::EngineBudget::new(16, 96);
-            cfg
-        }
+    }
+
+    /// The directory experiment JSON lands in (`results/` at the
+    /// workspace root unless overridden).
+    pub fn results_dir(&self) -> PathBuf {
+        // The binaries run from the workspace root under `cargo run`.
+        self.results_override.clone().unwrap_or_else(|| PathBuf::from("results"))
+    }
+
+    /// Writes an experiment record as pretty JSON under
+    /// [`BenchEnv::results_dir`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O or serialisation failure — the harness should fail
+    /// loudly rather than silently drop results.
+    pub fn write_json<T: Serialize>(&self, name: &str, data: &T) {
+        let record = hadas::report::Experiment::new(name, data);
+        let dir = self.results_dir();
+        std::fs::create_dir_all(&dir).expect("create results directory");
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, record.to_json().expect("serialise experiment"))
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!("[results] wrote {}", path.display());
     }
 }
 
-/// The directory experiment JSON lands in (`results/` at the workspace
-/// root, overridable via `HADAS_RESULTS_DIR`).
-pub fn results_dir() -> PathBuf {
-    std::env::var("HADAS_RESULTS_DIR").map(PathBuf::from).unwrap_or_else(|_| {
-        // The binaries run from the workspace root under `cargo run`.
-        PathBuf::from("results")
-    })
-}
-
-/// Writes an experiment record as pretty JSON under [`results_dir`].
-///
-/// # Panics
-///
-/// Panics on I/O or serialisation failure — the harness should fail loudly
-/// rather than silently drop results.
-pub fn write_json<T: Serialize>(name: &str, data: &T) {
-    let record = hadas::report::Experiment::new(name, data);
-    let dir = results_dir();
-    std::fs::create_dir_all(&dir).expect("create results directory");
-    let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, record.to_json().expect("serialise experiment"))
-        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
-    println!("[results] wrote {}", path.display());
+/// Builds a [`BenchEnv`] by reading `HADAS_SCALE` and
+/// `HADAS_RESULTS_DIR` **at the expansion site** — intended for bench
+/// binaries' `main`, which is the sanctioned ambient boundary. The env
+/// reads expand into the binary, not this library.
+#[macro_export]
+macro_rules! bench_env {
+    () => {
+        $crate::BenchEnv::new(
+            ::std::env::var("HADAS_SCALE").ok(),
+            ::std::env::var("HADAS_RESULTS_DIR").ok().map(::std::path::PathBuf::from),
+        )
+    };
 }
 
 /// Decodes the seven AttentiveNAS baselines against the standard space.
@@ -124,12 +158,19 @@ mod tests {
 
     #[test]
     fn quick_scale_is_small() {
-        let cfg = scaled_config();
-        if std::env::var("HADAS_SCALE").is_err() {
-            assert!(cfg.ooe.iterations <= 100);
-            assert!(cfg.ioe.iterations <= 200);
-        }
+        let cfg = BenchEnv::default().scaled_config();
+        assert!(cfg.ooe.iterations <= 100);
+        assert!(cfg.ioe.iterations <= 200);
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn scale_tiers_and_results_override_are_pure() {
+        let paper = BenchEnv::new(Some("paper".into()), None).scaled_config();
+        assert!(paper.ooe.iterations > BenchEnv::default().scaled_config().ooe.iterations);
+        let env = BenchEnv::new(None, Some(PathBuf::from("elsewhere")));
+        assert_eq!(env.results_dir(), PathBuf::from("elsewhere"));
+        assert_eq!(BenchEnv::default().results_dir(), PathBuf::from("results"));
     }
 
     #[test]

@@ -198,14 +198,14 @@ pub fn grouped_bars(
     s
 }
 
-/// Writes an SVG next to the JSON records under [`crate::results_dir`].
+/// Writes an SVG next to the JSON records under `dir` (usually
+/// [`crate::BenchEnv::results_dir`]).
 ///
 /// # Panics
 ///
-/// Panics on I/O failure, like [`crate::write_json`].
-pub fn write_svg(name: &str, svg: &str) {
-    let dir = crate::results_dir();
-    std::fs::create_dir_all(&dir).expect("create results directory");
+/// Panics on I/O failure, like [`crate::BenchEnv::write_json`].
+pub fn write_svg(dir: &std::path::Path, name: &str, svg: &str) {
+    std::fs::create_dir_all(dir).expect("create results directory");
     let path = dir.join(format!("{name}.svg"));
     std::fs::write(&path, svg).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     println!("[results] wrote {}", path.display());

@@ -543,8 +543,8 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
         Command::Proxy { target, samples } => {
             let device = DeviceModel::for_target(target);
             let space = SearchSpace::attentive_nas();
-            let proxy = ProxyCostModel::fit(&device, &space, samples, 17);
-            let v = proxy.validate(&device, &space, 100, 18);
+            let proxy = ProxyCostModel::fit(&device, &space, samples, 17)?;
+            let v = proxy.validate(&device, &space, 100, 18)?;
             writeln!(out, "proxy for {} fitted on {samples} measurements", target.name())?;
             writeln!(
                 out,

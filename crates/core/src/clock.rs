@@ -1,0 +1,92 @@
+//! The virtual-time boundary: the one sanctioned place library code may
+//! read the wall clock.
+//!
+//! The determinism audit (`hadas-lint`'s `wall-clock-in-lib`) forbids
+//! `Instant::now()` / `SystemTime::now()` in library code: ad-hoc clock
+//! reads make time-budget decisions differ run to run and are invisible
+//! to tests. Instead, time-budgeted code takes a [`Deadline`]:
+//!
+//! - [`Deadline::unbounded`] — never expires; the default for tests and
+//!   for runs whose stopping rule is generation-count or cooperative
+//!   abort. Fully deterministic.
+//! - [`Deadline::wall`] — anchors a wall-clock budget **here**, behind
+//!   reviewed `lint:allow(det-wall-clock)` escapes, so every clock read
+//!   in the workspace's libraries flows through one audited seam.
+//!
+//! Callers that used to take `time_budget_s: Option<f64>` and call
+//! `Instant::now()` internally now accept a `Deadline` built at the
+//! binary/CLI boundary.
+
+use std::time::Instant;
+
+/// A stopping rule over elapsed wall time, constructed at the ambient
+/// boundary (a binary or the CLI) and passed into library code.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum Deadline {
+    /// Never expires — deterministic, the default.
+    #[default]
+    Unbounded,
+    /// Expires once `budget_s` seconds of wall time have elapsed since
+    /// the anchor instant.
+    Wall {
+        /// When the budget started counting.
+        started: Instant,
+        /// The budget, in seconds.
+        budget_s: f64,
+    },
+}
+
+impl Deadline {
+    /// A deadline that never expires.
+    pub fn unbounded() -> Deadline {
+        Deadline::Unbounded
+    }
+
+    /// Anchors a wall-clock budget of `budget_s` seconds starting now.
+    /// This is the workspace's sanctioned wall-clock read.
+    pub fn wall(budget_s: f64) -> Deadline {
+        Deadline::Wall { started: Instant::now(), budget_s } // lint:allow(det-wall-clock) the audited boundary
+    }
+
+    /// A wall deadline when `budget_s` is set, unbounded otherwise —
+    /// mirrors the former `Option<f64>` budget fields.
+    pub fn from_budget(budget_s: Option<f64>) -> Deadline {
+        match budget_s {
+            Some(b) => Deadline::wall(b),
+            None => Deadline::Unbounded,
+        }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        match self {
+            Deadline::Unbounded => false,
+            Deadline::Wall { started, budget_s } => {
+                started.elapsed().as_secs_f64() >= *budget_s // lint:allow(det-wall-clock) the audited boundary
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_expires() {
+        assert!(!Deadline::unbounded().expired());
+        assert!(!Deadline::default().expired());
+        assert!(!Deadline::from_budget(None).expired());
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        assert!(Deadline::wall(0.0).expired());
+        assert!(Deadline::from_budget(Some(0.0)).expired());
+    }
+
+    #[test]
+    fn generous_budget_does_not_expire() {
+        assert!(!Deadline::wall(3600.0).expired());
+    }
+}

@@ -41,6 +41,7 @@
 //! table and figure of the paper regenerates from `hadas-bench` binaries.
 
 mod checkpoint;
+pub mod clock;
 mod config;
 mod controller;
 mod deployment;
@@ -56,6 +57,7 @@ mod resilience;
 pub use checkpoint::{
     CheckpointBackbone, CheckpointIoe, CheckpointSolution, SearchCheckpoint, CHECKPOINT_SCHEMA,
 };
+pub use clock::Deadline;
 pub use config::{EngineBudget, HadasConfig};
 pub use controller::{
     simulate_stream, Controller, EntropyController, ExitDecision, IdealController,

@@ -1,4 +1,5 @@
 use crate::checkpoint::SearchCheckpoint;
+use crate::clock::Deadline;
 use crate::resilience::{FaultModel, NoFaults, RetryPolicy, SearchTelemetry};
 use crate::{DynamicFitness, Hadas, HadasConfig, HadasError, Ioe, IoeOutcome, StaticFitness};
 use hadas_evo::{crowding_distance, discrete, fast_non_dominated_sort};
@@ -8,12 +9,11 @@ use hadas_space::{Genome, Subnet};
 use parking_lot::Mutex;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Salt separating the static-evaluation fault stream from the IOE seed
 /// stream derived from the same genome hash.
@@ -219,7 +219,9 @@ struct EngineState {
     rng: StdRng,
     population: Vec<Genome>,
     history: Vec<EvaluatedBackbone>,
-    seen: HashMap<Vec<usize>, usize>,
+    // Ordered on purpose: hash iteration order is per-process random,
+    // and this map feeds checkpoint/resume state.
+    seen: BTreeMap<Vec<usize>, usize>,
 }
 
 impl<'a> Ooe<'a> {
@@ -280,7 +282,7 @@ impl<'a> Ooe<'a> {
                     rng,
                     population,
                     history: Vec::new(),
-                    seen: HashMap::new(),
+                    seen: BTreeMap::new(),
                 })
             }
         }
@@ -303,14 +305,14 @@ impl<'a> Ooe<'a> {
         .write(path)
     }
 
-    fn should_stop(opts: &SearchOptions, started: Instant, ran_this_call: usize) -> bool {
+    fn should_stop(opts: &SearchOptions, deadline: &Deadline, ran_this_call: usize) -> bool {
         if opts.abort.as_ref().is_some_and(|f| f.load(Ordering::Relaxed)) {
             return true;
         }
         if opts.stop_after_generations.is_some_and(|n| ran_this_call >= n) {
             return true;
         }
-        opts.time_budget_s.is_some_and(|b| started.elapsed().as_secs_f64() >= b)
+        deadline.expired()
     }
 
     /// Runs the bi-level search on a healthy substrate with no
@@ -351,10 +353,11 @@ impl<'a> Ooe<'a> {
         let cards = space.gene_cardinalities();
         let pop_size = self.config.ooe.population;
         let generations = self.config.ooe.generations();
-        let started = Instant::now();
+        // All wall-clock reads live behind the clock boundary.
+        let deadline = Deadline::from_budget(opts.time_budget_s);
         let mut telemetry = SearchTelemetry::default();
 
-        let ioe_cache: Mutex<HashMap<Vec<usize>, IoeOutcome>> = Mutex::new(HashMap::new());
+        let ioe_cache: Mutex<BTreeMap<Vec<usize>, IoeOutcome>> = Mutex::new(BTreeMap::new());
         let mut state = self.initial_state(opts)?;
         // Re-warm the IOE cache from restored history so resumed runs do
         // not recompute inner searches they already paid for.
@@ -370,7 +373,7 @@ impl<'a> Ooe<'a> {
             // Persist the exact state needed to (re-)run this generation;
             // a kill anywhere inside it resumes from this boundary.
             self.write_checkpoint(opts, &state)?;
-            if Self::should_stop(opts, started, ran_this_call) {
+            if Self::should_stop(opts, &deadline, ran_this_call) {
                 telemetry.interrupted = true;
                 break;
             }
@@ -440,7 +443,10 @@ impl<'a> Ooe<'a> {
                         && !ioe_cache.lock().contains_key(state.history[i].subnet.genome().genes())
                 })
                 .collect();
-            let errors: Mutex<Vec<HadasError>> = Mutex::new(Vec::new());
+            // Keyed on the (deterministic) history index, not completion
+            // order, so the surfaced error is the same whichever worker
+            // finishes first.
+            let errors: Mutex<BTreeMap<usize, HadasError>> = Mutex::new(BTreeMap::new());
             let sub_telemetry: Mutex<SearchTelemetry> = Mutex::new(SearchTelemetry::default());
             crossbeam::thread::scope(|scope| {
                 for &i in &pending {
@@ -482,13 +488,16 @@ impl<'a> Ooe<'a> {
                                 // generation and can be retried later.
                                 sub_telemetry.lock().absorb(&receipt, true);
                             }
-                            Err(e) => errors.lock().push(e),
+                            Err(e) => {
+                                errors.lock().insert(i, e);
+                            }
                         }
                     });
                 }
             })
             .map_err(|_| HadasError::Internal("an IOE worker thread panicked".into()))?;
-            if let Some(e) = errors.into_inner().into_iter().next() {
+            // Surface the error of the lowest-indexed failed backbone.
+            if let Some((_, e)) = errors.into_inner().into_iter().next() {
                 return Err(e);
             }
             {
@@ -526,6 +535,7 @@ impl<'a> Ooe<'a> {
                     let best_gain = state.history[i]
                         .ioe
                         .as_ref()
+                        // lint:allow(det-float-order) max is order-insensitive
                         .map(|o| o.pareto.iter().fold(0.0f64, |g, s| g.max(s.fitness.energy_gain)))
                         .unwrap_or(0.0);
                     vec![

@@ -94,7 +94,11 @@ impl MultiExitTrainer {
         &self.heads
     }
 
-    fn teacher_logits<R: Rng>(&self, rng: &mut R, samples: &[(usize, f64)]) -> Tensor {
+    fn teacher_logits<R: Rng>(
+        &self,
+        rng: &mut R,
+        samples: &[(usize, f64)],
+    ) -> Result<Tensor, ExitError> {
         let mut data = vec![0.0f32; samples.len() * self.classes];
         for (i, &(label, d)) in samples.iter().enumerate() {
             let winner = if d <= self.final_capability {
@@ -110,7 +114,7 @@ impl MultiExitTrainer {
             data[i * self.classes + winner] = 6.0;
         }
         Tensor::from_vec(data, &[samples.len(), self.classes])
-            .expect("teacher logits are shape-consistent")
+            .map_err(|e| ExitError::Nn(hadas_nn::NnError::Tensor(e)))
     }
 
     /// Trains every head jointly for `epochs` × `batches` steps of batch
@@ -140,12 +144,12 @@ impl MultiExitTrainer {
                 let samples: Vec<(usize, f64)> = (0..batch)
                     .map(|_| (rng.gen_range(0..self.classes), self.difficulty.sample(&mut rng)))
                     .collect();
-                let teacher = self.teacher_logits(&mut rng, &samples);
+                let teacher = self.teacher_logits(&mut rng, &samples)?;
                 // Forward every exit on its own prefix features.
                 let mut all_logits = Vec::with_capacity(self.heads.len());
                 let mut all_feats = Vec::with_capacity(self.heads.len());
                 for (head, sim) in self.heads.iter_mut().zip(&self.simulators) {
-                    let (feats, _) = sim.batch(&mut rng, &samples);
+                    let (feats, _) = sim.batch(&mut rng, &samples)?;
                     all_logits.push(head.forward(&feats)?);
                     all_feats.push(feats);
                 }
@@ -169,7 +173,7 @@ impl MultiExitTrainer {
             let samples: Vec<(usize, f64)> = (0..batch * 4)
                 .map(|_| (rng.gen_range(0..self.classes), self.difficulty.sample(&mut rng)))
                 .collect();
-            let (feats, labels) = sim.batch(&mut rng, &samples);
+            let (feats, labels) = sim.batch(&mut rng, &samples)?;
             let logits = head.forward(&feats)?;
             per_exit.push(TrainReport {
                 final_loss: last_epoch_loss,

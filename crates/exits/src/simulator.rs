@@ -1,3 +1,5 @@
+use crate::ExitError;
+use hadas_nn::NnError;
 use hadas_tensor::{normal, Tensor};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -74,31 +76,51 @@ impl FeatureSimulator {
 
     /// Generates the feature map for one `(label, difficulty)` sample.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `label` is outside the class range.
-    pub fn features<R: Rng>(&self, rng: &mut R, label: usize, difficulty: f64) -> Tensor {
+    /// Returns [`ExitError::InvalidPlacement`] if `label` is outside the
+    /// class range, or a tensor error if feature assembly fails.
+    pub fn features<R: Rng>(
+        &self,
+        rng: &mut R,
+        label: usize,
+        difficulty: f64,
+    ) -> Result<Tensor, ExitError> {
+        let direction = self.directions.get(label).ok_or_else(|| {
+            ExitError::InvalidPlacement(format!(
+                "label {label} outside the {}-class simulator",
+                self.directions.len()
+            ))
+        })?;
         let s = self.signal(difficulty) as f32;
         let dims = [self.channels, self.size, self.size];
         let noise = normal(rng, &dims, 0.0, 1.0);
-        self.directions[label]
+        direction
             .scale(s)
             .add(&noise.scale(1.0 - 0.6 * s))
-            .expect("direction and noise share a shape")
+            .map_err(|e| ExitError::Nn(NnError::Tensor(e)))
     }
 
     /// Generates a feature batch as an NCHW tensor plus labels, drawing
     /// samples from `(label, difficulty)` pairs.
-    pub fn batch<R: Rng>(&self, rng: &mut R, samples: &[(usize, f64)]) -> (Tensor, Vec<usize>) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FeatureSimulator::features`] errors.
+    pub fn batch<R: Rng>(
+        &self,
+        rng: &mut R,
+        samples: &[(usize, f64)],
+    ) -> Result<(Tensor, Vec<usize>), ExitError> {
         let mut data = Vec::with_capacity(samples.len() * self.channels * self.size * self.size);
         let mut labels = Vec::with_capacity(samples.len());
         for &(label, d) in samples {
-            data.extend_from_slice(self.features(rng, label, d).as_slice());
+            data.extend_from_slice(self.features(rng, label, d)?.as_slice());
             labels.push(label);
         }
         let t = Tensor::from_vec(data, &[samples.len(), self.channels, self.size, self.size])
-            .expect("batch assembly is shape-consistent");
-        (t, labels)
+            .map_err(|e| ExitError::Nn(NnError::Tensor(e)))?;
+        Ok((t, labels))
     }
 }
 
@@ -126,17 +148,26 @@ mod tests {
         let sim = FeatureSimulator::new(3, 5, 8, 4, 0.9);
         let mut rng = StdRng::seed_from_u64(1);
         // Cosine-ish similarity with own class direction should beat others.
-        let f = sim.features(&mut rng, 2, 0.05);
+        let f = sim.features(&mut rng, 2, 0.05).expect("in-range label");
         let own: f32 = f.mul(&sim.directions[2]).unwrap().sum();
         let other: f32 = f.mul(&sim.directions[0]).unwrap().sum();
         assert!(own > other, "own-class projection {own} vs other {other}");
     }
 
     #[test]
+    fn out_of_range_label_is_an_error() {
+        let sim = FeatureSimulator::new(0, 5, 4, 3, 0.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = sim.features(&mut rng, 7, 0.5).unwrap_err();
+        assert!(err.to_string().contains("label 7"), "{err}");
+    }
+
+    #[test]
     fn batch_shape_is_nchw() {
         let sim = FeatureSimulator::new(0, 10, 6, 4, 0.5);
         let mut rng = StdRng::seed_from_u64(2);
-        let (t, labels) = sim.batch(&mut rng, &[(0, 0.2), (3, 0.7), (9, 0.4)]);
+        let (t, labels) =
+            sim.batch(&mut rng, &[(0, 0.2), (3, 0.7), (9, 0.4)]).expect("in-range labels");
         assert_eq!(t.shape().dims(), &[3, 6, 4, 4]);
         assert_eq!(labels, vec![0, 3, 9]);
     }

@@ -204,7 +204,7 @@ impl ExitTrainer {
             let mut epoch_loss = 0.0f32;
             for _b in 0..self.train_batches {
                 let samples = self.draw_samples(&mut rng, self.batch_size);
-                let (feats, labels) = sim.batch(&mut rng, &samples);
+                let (feats, labels) = sim.batch(&mut rng, &samples)?;
                 let teacher = self.teacher_logits(&mut rng, &samples)?;
                 let logits = head.forward(&feats)?;
                 let (loss, grads) = hybrid_exit_loss(&[logits], &teacher, &labels, self.kd_temp)?;
@@ -270,7 +270,7 @@ impl ExitTrainer {
         // Held-out evaluation.
         head.set_training(false);
         let samples = self.draw_samples(&mut rng, self.batch_size * 4);
-        let (feats, labels) = sim.batch(&mut rng, &samples);
+        let (feats, labels) = sim.batch(&mut rng, &samples)?;
         let logits = head.forward(&feats)?;
         let test_accuracy = accuracy(&logits, &labels)?;
         head.set_training(true);

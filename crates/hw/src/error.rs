@@ -21,6 +21,8 @@ pub enum HwError {
         /// Number of MBConv layers in the subnet.
         layers: usize,
     },
+    /// The proxy cost model could not be fitted or validated.
+    ProxyFit(String),
 }
 
 impl fmt::Display for HwError {
@@ -32,6 +34,7 @@ impl fmt::Display for HwError {
             HwError::ExitPositionOutOfRange { position, layers } => {
                 write!(f, "exit position {position} exceeds {layers} MBConv layers")
             }
+            HwError::ProxyFit(why) => write!(f, "proxy cost model: {why}"),
         }
     }
 }

@@ -109,11 +109,20 @@ impl ProxyCostModel {
     /// measurements drawn from subnets of `space`. Deterministic given
     /// `seed`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `samples == 0` — fitting needs data.
-    pub fn fit(device: &DeviceModel, space: &SearchSpace, samples: usize, seed: u64) -> Self {
-        assert!(samples > 0, "proxy fitting needs at least one sample");
+    /// Returns [`HwError::ProxyFit`] if `samples == 0` (fitting needs
+    /// data) or a sampled genome fails to decode, and propagates device
+    /// cost-model errors.
+    pub fn fit(
+        device: &DeviceModel,
+        space: &SearchSpace,
+        samples: usize,
+        seed: u64,
+    ) -> Result<Self, HwError> {
+        if samples == 0 {
+            return Err(HwError::ProxyFit("fitting needs at least one sample".into()));
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         let ladder = device.ladder().clone();
         let mut lat_rows = Vec::with_capacity(samples);
@@ -122,17 +131,19 @@ impl ProxyCostModel {
         let mut erg_targets = Vec::with_capacity(samples);
         let mut collected = 0usize;
         while collected < samples {
-            let subnet = space.decode(&space.sample(&mut rng)).expect("sampled genomes decode");
+            let subnet = space
+                .decode(&space.sample(&mut rng))
+                .map_err(|e| HwError::ProxyFit(format!("sampled genome failed to decode: {e}")))?;
             let setting = DvfsSetting::new(
                 rng.gen_range(0..ladder.compute_steps()),
                 rng.gen_range(0..ladder.emc_steps()),
             );
-            let (f_c, f_m) = ladder.resolve(&setting).expect("valid setting");
+            let (f_c, f_m) = ladder.resolve(&setting)?;
             for layer in subnet.layers() {
                 if collected == samples {
                     break;
                 }
-                let truth = device.layer_cost(layer, &setting).expect("valid setting");
+                let truth = device.layer_cost(layer, &setting)?;
                 lat_rows.push(lat_features(layer, f_c, f_m));
                 lat_targets.push(truth.latency_s);
                 erg_rows.push(erg_features(truth.latency_s, f_c, f_m));
@@ -145,20 +156,23 @@ impl ProxyCostModel {
 
         // The invocation cost is a pure function of f_c: fit it exactly
         // from the ladder sweep.
-        let c_hi = *ladder.compute_ghz().last().expect("non-empty ladder");
+        let c_hi = *ladder
+            .compute_ghz()
+            .last()
+            .ok_or_else(|| HwError::ProxyFit("empty DVFS ladder".into()))?;
         let mut inv_rows = Vec::new();
         let mut inv_targets = Vec::new();
         let mut per_inv = 0.0;
         for c in 0..ladder.compute_steps() {
             let setting = DvfsSetting::new(c, 0);
-            let (f_c, f_m) = ladder.resolve(&setting).expect("valid");
-            let truth = device.invoke_cost(&setting).expect("valid");
+            let (f_c, f_m) = ladder.resolve(&setting)?;
+            let truth = device.invoke_cost(&setting)?;
             per_inv += truth.latency_s * f_c / c_hi / ladder.compute_steps() as f64;
             inv_rows.push(erg_features(truth.latency_s, f_c, f_m));
             inv_targets.push(truth.energy_j);
         }
         let invoke_erg_weights = least_squares(&inv_rows, &inv_targets);
-        ProxyCostModel {
+        Ok(ProxyCostModel {
             target: device.target(),
             ladder,
             lat_weights,
@@ -166,7 +180,7 @@ impl ProxyCostModel {
             invoke_lat_per_inv_fc: per_inv * c_hi,
             invoke_erg_weights,
             training_samples: samples,
-        }
+        })
     }
 
     /// Number of device measurements the fit consumed.
@@ -176,32 +190,39 @@ impl ProxyCostModel {
 
     /// Held-out validation: MAPE of full-subnet latency/energy predictions
     /// against `device` on `queries` random (subnet, DVFS) pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::ProxyFit`] if a sampled genome fails to
+    /// decode, and propagates device cost-model errors.
     pub fn validate(
         &self,
         device: &DeviceModel,
         space: &SearchSpace,
         queries: usize,
         seed: u64,
-    ) -> ProxyValidation {
+    ) -> Result<ProxyValidation, HwError> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut lat_err = 0.0;
         let mut erg_err = 0.0;
         for _ in 0..queries {
-            let subnet = space.decode(&space.sample(&mut rng)).expect("valid genome");
+            let subnet = space
+                .decode(&space.sample(&mut rng))
+                .map_err(|e| HwError::ProxyFit(format!("sampled genome failed to decode: {e}")))?;
             let setting = DvfsSetting::new(
                 rng.gen_range(0..self.ladder.compute_steps()),
                 rng.gen_range(0..self.ladder.emc_steps()),
             );
-            let truth = device.subnet_cost(&subnet, &setting).expect("valid");
-            let pred = CostModel::subnet_cost(self, &subnet, &setting).expect("valid");
+            let truth = device.subnet_cost(&subnet, &setting)?;
+            let pred = CostModel::subnet_cost(self, &subnet, &setting)?;
             lat_err += ((pred.latency_s - truth.latency_s) / truth.latency_s).abs();
             erg_err += ((pred.energy_j - truth.energy_j) / truth.energy_j).abs();
         }
-        ProxyValidation {
+        Ok(ProxyValidation {
             latency_mape: lat_err / queries as f64,
             energy_mape: erg_err / queries as f64,
             queries,
-        }
+        })
     }
 }
 
@@ -247,8 +268,8 @@ mod tests {
     fn proxy_predictions_track_the_device() {
         let device = DeviceModel::for_target(HwTarget::Tx2PascalGpu);
         let space = SearchSpace::attentive_nas();
-        let proxy = ProxyCostModel::fit(&device, &space, 2_000, 1);
-        let v = proxy.validate(&device, &space, 50, 2);
+        let proxy = ProxyCostModel::fit(&device, &space, 2_000, 1).expect("fits");
+        let v = proxy.validate(&device, &space, 50, 2).expect("validates");
         assert!(v.latency_mape < 0.10, "latency MAPE {:.3}", v.latency_mape);
         assert!(v.energy_mape < 0.10, "energy MAPE {:.3}", v.energy_mape);
     }
@@ -258,8 +279,8 @@ mod tests {
         let space = SearchSpace::attentive_nas();
         for target in HwTarget::ALL {
             let device = DeviceModel::for_target(target);
-            let proxy = ProxyCostModel::fit(&device, &space, 1_000, 7);
-            let v = proxy.validate(&device, &space, 25, 8);
+            let proxy = ProxyCostModel::fit(&device, &space, 1_000, 7).expect("fits");
+            let v = proxy.validate(&device, &space, 25, 8).expect("validates");
             assert!(
                 v.latency_mape < 0.2 && v.energy_mape < 0.2,
                 "{target}: lat {:.3}, erg {:.3}",
@@ -273,7 +294,7 @@ mod tests {
     fn proxy_preserves_latency_monotonicity() {
         let device = DeviceModel::for_target(HwTarget::AgxVoltaGpu);
         let space = SearchSpace::attentive_nas();
-        let proxy = ProxyCostModel::fit(&device, &space, 1_500, 3);
+        let proxy = ProxyCostModel::fit(&device, &space, 1_500, 3).expect("fits");
         let net = space.decode(&hadas_space::baselines::baseline_genome(3)).expect("a3");
         let emc = proxy.ladder().emc_steps() - 1;
         let mut prev = f64::INFINITY;
@@ -303,10 +324,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one sample")]
     fn fit_rejects_zero_samples() {
         let device = DeviceModel::for_target(HwTarget::Tx2PascalGpu);
         let space = SearchSpace::attentive_nas();
-        let _ = ProxyCostModel::fit(&device, &space, 0, 0);
+        let err = ProxyCostModel::fit(&device, &space, 0, 0).unwrap_err();
+        assert!(err.to_string().contains("at least one sample"), "{err}");
     }
 }

@@ -1,0 +1,831 @@
+//! Pass 3: AST-level determinism audit.
+//!
+//! Where pass 1 ([`crate::scan`]) is a sanitizing token scanner, this
+//! pass parses every **library target** in the workspace with the
+//! vendored `syn`/`proc-macro2` stand-ins and walks spanned token trees
+//! under an item-level map of `#[cfg(test)]` scopes. Five lints:
+//!
+//! - `unordered-iteration` — `HashMap`/`HashSet` typed state,
+//!   construction, or iteration in library code. Hash iteration order is
+//!   seed-randomized per process, so any hash container that feeds an
+//!   iteration (directly or by being collected and walked later) is a
+//!   reproducibility hazard. The fix is `BTreeMap`/`BTreeSet`.
+//! - `wall-clock-in-lib` — `Instant::now()` / `SystemTime::now()`
+//!   outside the CLI. Wall-clock reads in library code make time-budget
+//!   decisions differ run to run; they belong behind the virtual-time
+//!   boundary (`hadas::clock::Deadline`) or in binaries.
+//! - `ambient-env` — `std::env::var` (and friends), `read_dir` without
+//!   a sort in the same function, and `available_parallelism` in
+//!   library code. Ambient process state makes library behaviour depend
+//!   on the launcher; binaries read the environment and pass values in.
+//! - `unordered-reduction` — channel `recv` loops folding into state
+//!   without the seq-tag idiom (see `crates/serve/src/pool.rs`), and
+//!   `.lock().push(…)`/`.lock().extend(…)` accumulation in functions
+//!   that spawn threads. Completion-order reductions are the classic
+//!   parallel nondeterminism.
+//! - `float-order-hazard` — `.sum::<f32|f64>()` / float-seeded
+//!   `.fold(…)` in files with parallel markers. Float addition is not
+//!   associative, so a reduction's grouping must be reviewed (and
+//!   annotated) before the code grows a parallel plane.
+//!
+//! Each lint has a same-line escape comment, `// lint:allow(det-…)`
+//! (see [`allow_key`]); escapes are for *reviewed* sites and every one
+//! should carry a justification. Binary targets (`src/bin/`,
+//! `src/main.rs`) are out of scope — they are the ambient boundary —
+//! and the `cli` crate is exempt from the two ambient lints for the
+//! same reason.
+
+use crate::scan::Finding;
+use proc_macro2::{Delimiter, TokenStream, TokenTree};
+use std::path::Path;
+
+/// Names of the five determinism lints, in report order.
+pub const DET_LINT_NAMES: [&str; 5] = [
+    "unordered-iteration",
+    "wall-clock-in-lib",
+    "ambient-env",
+    "unordered-reduction",
+    "float-order-hazard",
+];
+
+/// The `lint:allow(…)` escape key for a determinism lint.
+///
+/// The keys are deliberately short and all `det-` prefixed so a grep for
+/// `lint:allow(det-` finds every reviewed escape in one pass.
+pub fn allow_key(lint: &str) -> &'static str {
+    match lint {
+        "unordered-iteration" => "det-unordered-iteration",
+        "wall-clock-in-lib" => "det-wall-clock",
+        "ambient-env" => "det-ambient-env",
+        "unordered-reduction" => "det-unordered-reduction",
+        "float-order-hazard" => "det-float-order",
+        _ => "det-unknown",
+    }
+}
+
+/// Crates exempt from the ambient lints (`wall-clock-in-lib`,
+/// `ambient-env`): the CLI **is** the ambient boundary.
+const AMBIENT_BOUNDARY_CRATES: [&str; 1] = ["cli"];
+
+/// A token flattened out of the tree, with its 1-based line.
+#[derive(Debug, Clone)]
+enum Tok {
+    Ident(String, usize),
+    Punct(char, usize),
+    Lit(String, usize),
+    Open(Delimiter, usize),
+    Close(Delimiter, usize),
+}
+
+impl Tok {
+    fn line(&self) -> usize {
+        match self {
+            Tok::Ident(_, l)
+            | Tok::Punct(_, l)
+            | Tok::Lit(_, l)
+            | Tok::Open(_, l)
+            | Tok::Close(_, l) => *l,
+        }
+    }
+
+    fn is_ident(&self, name: &str) -> bool {
+        matches!(self, Tok::Ident(i, _) if i == name)
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self, Tok::Punct(c, _) if *c == ch)
+    }
+}
+
+fn flatten_into(stream: &TokenStream, out: &mut Vec<Tok>) {
+    for tree in stream.iter() {
+        match tree {
+            TokenTree::Ident(i) => out.push(Tok::Ident(i.to_string(), i.span().start().line)),
+            TokenTree::Punct(p) => out.push(Tok::Punct(p.as_char(), p.span().start().line)),
+            TokenTree::Literal(l) => out.push(Tok::Lit(l.to_string(), l.span().start().line)),
+            TokenTree::Group(g) => {
+                let line = g.span().start().line;
+                out.push(Tok::Open(g.delimiter(), line));
+                flatten_into(&g.stream(), out);
+                out.push(Tok::Close(g.delimiter(), g.span().end().line));
+            }
+        }
+    }
+}
+
+fn flatten(stream: &TokenStream) -> Vec<Tok> {
+    let mut out = Vec::new();
+    flatten_into(stream, &mut out);
+    out
+}
+
+/// One function's analysis unit: flattened signature + body tokens.
+struct FnUnit {
+    sig: Vec<Tok>,
+    body: Vec<Tok>,
+}
+
+/// Per-file context shared by the detectors.
+struct FileCtx<'a> {
+    rel_path: String,
+    lines: Vec<&'a str>,
+    /// Names of struct fields typed `HashMap`/`HashSet` anywhere in the
+    /// file's lib items.
+    hash_fields: Vec<String>,
+    /// Whether the file contains parallel markers (spawn/scope/channel…).
+    parallel: bool,
+    audit_ambient: bool,
+    findings: Vec<Finding>,
+}
+
+impl FileCtx<'_> {
+    /// Records a finding unless the source line — or a comment line
+    /// directly above it, for lines too long to carry a trailer — has
+    /// the lint's `lint:allow(det-…)` escape. Duplicate
+    /// (lint, line, pattern) triples are collapsed.
+    fn hit(&mut self, lint: &'static str, line: usize, pattern: &'static str) {
+        let raw = self.lines.get(line.saturating_sub(1)).copied().unwrap_or("");
+        let escape = format!("lint:allow({})", allow_key(lint));
+        let above = line
+            .checked_sub(2)
+            .and_then(|i| self.lines.get(i))
+            .is_some_and(|l| l.trim_start().starts_with("//") && l.contains(&escape));
+        if raw.contains(&escape) || above {
+            return;
+        }
+        if self.findings.iter().any(|f| f.lint == lint && f.line == line && f.pattern == pattern) {
+            return;
+        }
+        self.findings.push(Finding {
+            lint,
+            file: self.rel_path.clone(),
+            line,
+            pattern,
+            snippet: raw.trim().to_string(),
+        });
+    }
+}
+
+fn is_hash_type(name: &str) -> bool {
+    name == "HashMap" || name == "HashSet"
+}
+
+const ITER_METHODS: [&str; 9] =
+    ["iter", "iter_mut", "into_iter", "keys", "values", "values_mut", "drain", "retain", "entry"];
+
+/// Collects identifiers bound to hash-typed values: `let` bindings whose
+/// type annotation or initializer mentions `HashMap`/`HashSet`, and
+/// signature parameters typed so.
+fn hash_bindings(unit: &FnUnit) -> Vec<String> {
+    let mut names = Vec::new();
+    // Parameters: `name : … HashMap<…> …` up to the next top-level `,`.
+    collect_typed_names(&unit.sig, &mut names);
+    // Let bindings: `let [mut] name …` — if the statement window up to
+    // the next `;` at the same nesting depth mentions a hash type.
+    let toks = &unit.body;
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(Tok::Ident(name, _)) = toks.get(j) {
+                // Scan the statement window for a hash type.
+                let mut depth = 0i64;
+                let mut k = j + 1;
+                let mut hashy = false;
+                while k < toks.len() {
+                    match &toks[k] {
+                        Tok::Open(_, _) => depth += 1,
+                        Tok::Close(_, _) => {
+                            if depth == 0 {
+                                break;
+                            }
+                            depth -= 1;
+                        }
+                        Tok::Punct(';', _) if depth == 0 => break,
+                        Tok::Ident(w, _) if is_hash_type(w) => hashy = true,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if hashy {
+                    names.push(name.clone());
+                }
+            }
+        }
+        i += 1;
+    }
+    names
+}
+
+/// Collects `name : Type` pairs whose type tokens mention a hash type
+/// (used for signature params and struct fields).
+fn collect_typed_names(toks: &[Tok], out: &mut Vec<String>) {
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        let named = matches!(&toks[i], Tok::Ident(_, _))
+            && toks[i + 1].is_punct(':')
+            && !toks.get(i + 2).is_some_and(|t| t.is_punct(':'));
+        if named {
+            // Type window: up to the next `,` at depth 0 (or end).
+            let mut depth = 0i64;
+            let mut k = i + 2;
+            let mut hashy = false;
+            while k < toks.len() {
+                match &toks[k] {
+                    Tok::Open(_, _) => depth += 1,
+                    Tok::Close(_, _) => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    Tok::Punct(',', _) if depth == 0 => break,
+                    Tok::Ident(w, _) if is_hash_type(w) => hashy = true,
+                    _ => {}
+                }
+                k += 1;
+            }
+            if hashy {
+                if let Tok::Ident(name, _) = &toks[i] {
+                    out.push(name.clone());
+                }
+            }
+            i = k;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// `unordered-iteration`: hash-typed state, construction, and iteration.
+fn det_unordered_iteration(ctx: &mut FileCtx<'_>, unit: &FnUnit) {
+    let lint = "unordered-iteration";
+    let toks = &unit.body;
+
+    // Hash-typed parameters are findings in their own right (the caller
+    // hands over unordered state).
+    let mut param_names = Vec::new();
+    collect_typed_names(&unit.sig, &mut param_names);
+    for t in &unit.sig {
+        if let Tok::Ident(w, line) = t {
+            if is_hash_type(w) {
+                ctx.hit(lint, *line, "hash-typed-param");
+            }
+        }
+    }
+
+    // Construction and collection inside the body.
+    let mut i = 0;
+    while i < toks.len() {
+        if let Tok::Ident(w, line) = &toks[i] {
+            if is_hash_type(w) {
+                // `HashMap::new(…)` / `::with_capacity` / `::from` / `::default`.
+                let ctor = toks[i + 1..].first().is_some_and(|t| t.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                    && matches!(toks.get(i + 3), Some(Tok::Ident(m, _))
+                        if matches!(m.as_str(), "new" | "with_capacity" | "from" | "default" | "from_iter"));
+                if ctor {
+                    ctx.hit(lint, *line, "hash-construct");
+                } else {
+                    // Type position: annotation, turbofish (`collect::<HashMap…>`),
+                    // or generic argument — still unordered state in lib code.
+                    ctx.hit(lint, *line, "hash-type-use");
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Iteration over names known to be hash-typed (params, lets, fields).
+    let mut tracked = hash_bindings(unit);
+    tracked.extend(ctx.hash_fields.iter().cloned());
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if let (Tok::Ident(name, _), true, Some(Tok::Ident(m, mline))) =
+            (&toks[i], toks[i + 1].is_punct('.'), toks.get(i + 2))
+        {
+            if tracked.iter().any(|t| t == name) && ITER_METHODS.contains(&m.as_str()) {
+                let line = *mline;
+                ctx.hit(lint, line, "hash-iterate");
+            }
+        }
+        // `for pat in name` / `for pat in &name { … }` over a tracked name.
+        if toks[i].is_ident("in") {
+            let mut k = i + 1;
+            while toks.get(k).is_some_and(|t| t.is_punct('&') || t.is_ident("mut")) {
+                k += 1;
+            }
+            if let (Some(Tok::Ident(name, line)), Some(next)) = (toks.get(k), toks.get(k + 1)) {
+                if tracked.iter().any(|t| t == name)
+                    && matches!(next, Tok::Open(Delimiter::Brace, _))
+                {
+                    ctx.hit(lint, *line, "hash-for-loop");
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// `wall-clock-in-lib`: `Instant::now()` / `SystemTime::now()`.
+fn det_wall_clock(ctx: &mut FileCtx<'_>, toks: &[Tok]) {
+    let mut i = 0;
+    while i + 3 < toks.len() {
+        if let Tok::Ident(w, line) = &toks[i] {
+            let is_clock = w == "Instant" || w == "SystemTime";
+            if is_clock
+                && toks[i + 1].is_punct(':')
+                && toks[i + 2].is_punct(':')
+                && toks[i + 3].is_ident("now")
+            {
+                let pattern = if w == "Instant" { "Instant::now" } else { "SystemTime::now" };
+                ctx.hit("wall-clock-in-lib", *line, pattern);
+            }
+        }
+        i += 1;
+    }
+}
+
+/// `ambient-env`: environment reads, unsorted `read_dir`, CPU probes.
+fn det_ambient_env(ctx: &mut FileCtx<'_>, toks: &[Tok]) {
+    let sorted = toks.iter().any(|t| matches!(t, Tok::Ident(w, _) if w.starts_with("sort")));
+    let mut i = 0;
+    while i < toks.len() {
+        if let Tok::Ident(w, line) = &toks[i] {
+            match w.as_str() {
+                "env" => {
+                    let call = toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                        && matches!(toks.get(i + 3), Some(Tok::Ident(m, _))
+                            if matches!(m.as_str(), "var" | "var_os" | "vars" | "vars_os"));
+                    if call {
+                        ctx.hit("ambient-env", *line, "env-read");
+                    }
+                }
+                "read_dir" if !sorted => {
+                    ctx.hit("ambient-env", *line, "unsorted-read-dir");
+                }
+                "available_parallelism" => {
+                    ctx.hit("ambient-env", *line, "available-parallelism");
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+}
+
+/// `unordered-reduction`: completion-order folds in parallel code.
+fn det_unordered_reduction(ctx: &mut FileCtx<'_>, toks: &[Tok]) {
+    let lint = "unordered-reduction";
+    let has_spawn = toks.iter().any(|t| t.is_ident("spawn"));
+    let has_recv = toks.iter().any(|t| t.is_ident("recv") || t.is_ident("try_recv"));
+    let has_loop =
+        toks.iter().any(|t| t.is_ident("while") || t.is_ident("loop") || t.is_ident("for"));
+    let has_seq = toks.iter().any(|t| matches!(t, Tok::Ident(w, _) if w.contains("seq")));
+
+    // `recv` in a loop with no seq-tag discipline in sight: results are
+    // folded in completion order. The fix is the `pool.rs` idiom — tag
+    // each dispatch with a sequence number and reduce keyed on it.
+    if has_recv && has_loop && !has_seq {
+        if let Some(line) =
+            toks.iter().find(|t| t.is_ident("recv") || t.is_ident("try_recv")).map(Tok::line)
+        {
+            ctx.hit(lint, line, "recv-no-seq");
+        }
+    }
+
+    // `.lock().push(…)` / `.lock().extend(…)` in a spawning function:
+    // shared-accumulator writes land in scheduler order.
+    if has_spawn {
+        let mut i = 0;
+        while i + 6 < toks.len() {
+            let locked_push = toks[i].is_punct('.')
+                && toks[i + 1].is_ident("lock")
+                && matches!(toks[i + 2], Tok::Open(Delimiter::Parenthesis, _))
+                && matches!(toks[i + 3], Tok::Close(Delimiter::Parenthesis, _))
+                && toks[i + 4].is_punct('.')
+                && matches!(&toks[i + 5], Tok::Ident(m, _) if m == "push" || m == "extend" || m == "append");
+            if locked_push {
+                ctx.hit(lint, toks[i + 5].line(), "locked-accumulate");
+            }
+            i += 1;
+        }
+    }
+}
+
+/// `float-order-hazard`: non-associative reductions near parallel code.
+fn det_float_order(ctx: &mut FileCtx<'_>, toks: &[Tok]) {
+    if !ctx.parallel {
+        return;
+    }
+    let lint = "float-order-hazard";
+    let mut i = 0;
+    while i < toks.len() {
+        // `.sum::<f32>()` / `.product::<f64>()`.
+        if i + 5 < toks.len()
+            && toks[i].is_punct('.')
+            && matches!(&toks[i + 1], Tok::Ident(m, _) if m == "sum" || m == "product")
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_punct(':')
+            && toks[i + 4].is_punct('<')
+            && matches!(&toks[i + 5], Tok::Ident(ty, _) if ty == "f32" || ty == "f64")
+        {
+            ctx.hit(lint, toks[i + 1].line(), "float-sum");
+        }
+        // `.fold(0.0…, …)` — float-seeded fold.
+        if i + 2 < toks.len() && toks[i].is_punct('.') && toks[i + 1].is_ident("fold") {
+            if let Some(Tok::Open(Delimiter::Parenthesis, _)) = toks.get(i + 2) {
+                // First argument tokens up to the first top-level comma.
+                let mut k = i + 3;
+                let mut depth = 0i64;
+                while k < toks.len() {
+                    match &toks[k] {
+                        Tok::Open(_, _) => depth += 1,
+                        Tok::Close(_, _) => {
+                            if depth == 0 {
+                                break;
+                            }
+                            depth -= 1;
+                        }
+                        Tok::Punct(',', _) if depth == 0 => break,
+                        Tok::Lit(text, _) if looks_float(text) => {
+                            ctx.hit(lint, toks[i + 1].line(), "float-fold");
+                            break;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+fn looks_float(lit: &str) -> bool {
+    let mantissa: String =
+        lit.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '_').collect();
+    mantissa.contains('.') || lit.ends_with("f32") || lit.ends_with("f64")
+}
+
+/// Walks the item tree, skipping `#[cfg(test)]` scopes, and runs every
+/// detector over each function unit.
+fn walk_items(ctx: &mut FileCtx<'_>, items: &[syn::Item]) {
+    for item in items {
+        if item.attrs().iter().any(syn::Attribute::is_cfg_test) {
+            continue;
+        }
+        match item {
+            syn::Item::Fn(f) => {
+                let unit = FnUnit { sig: flatten(&f.sig.tokens), body: flatten(&f.block) };
+                let mut all = unit.sig.clone();
+                all.extend(unit.body.iter().cloned());
+                det_unordered_iteration(ctx, &unit);
+                if ctx.audit_ambient {
+                    det_wall_clock(ctx, &all);
+                    det_ambient_env(ctx, &all);
+                }
+                det_unordered_reduction(ctx, &all);
+                det_float_order(ctx, &all);
+            }
+            syn::Item::Mod(m) => {
+                if let Some(content) = &m.content {
+                    walk_items(ctx, content);
+                }
+            }
+            syn::Item::Impl(i) => walk_items(ctx, &i.items),
+            syn::Item::Struct(s) => {
+                let toks = flatten(&s.fields);
+                for t in &toks {
+                    if let Tok::Ident(w, line) = t {
+                        if is_hash_type(w) {
+                            ctx.hit("unordered-iteration", *line, "hash-typed-field");
+                        }
+                    }
+                }
+            }
+            syn::Item::Verbatim(v) => {
+                // `use` imports are not findings by themselves; consts,
+                // statics, and type aliases typed hash are.
+                if v.keyword.as_deref() == Some("use") {
+                    continue;
+                }
+                let toks = flatten(&v.tokens);
+                for t in &toks {
+                    if let Tok::Ident(w, line) = t {
+                        if is_hash_type(w) {
+                            ctx.hit("unordered-iteration", *line, "hash-typed-item");
+                        }
+                    }
+                }
+                if ctx.audit_ambient {
+                    det_wall_clock(ctx, &toks);
+                }
+            }
+        }
+    }
+}
+
+/// Collects struct-field names typed `HashMap`/`HashSet` across the
+/// file's non-test items, so method bodies can resolve `self.name`
+/// iteration.
+fn collect_hash_fields(items: &[syn::Item], out: &mut Vec<String>) {
+    for item in items {
+        if item.attrs().iter().any(syn::Attribute::is_cfg_test) {
+            continue;
+        }
+        match item {
+            syn::Item::Struct(s) => {
+                let toks = flatten(&s.fields);
+                collect_typed_names(&toks, out);
+            }
+            syn::Item::Mod(m) => {
+                if let Some(content) = &m.content {
+                    collect_hash_fields(content, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Whether the parsed file contains parallel markers anywhere (including
+/// test code — a file with a parallel test exercises parallel lib code).
+fn has_parallel_marker(items: &[syn::Item]) -> bool {
+    fn stream_has(ts: &TokenStream) -> bool {
+        ts.iter().any(|t| match t {
+            TokenTree::Ident(i) => {
+                ["spawn", "scope", "channel", "Sender", "Receiver", "sync_channel"]
+                    .iter()
+                    .any(|m| *i == *m)
+            }
+            TokenTree::Group(g) => stream_has(&g.stream()),
+            _ => false,
+        })
+    }
+    fn item_has(item: &syn::Item) -> bool {
+        match item {
+            syn::Item::Fn(f) => stream_has(&f.sig.tokens) || stream_has(&f.block),
+            syn::Item::Mod(m) => m.content.as_deref().is_some_and(has_parallel_marker),
+            syn::Item::Impl(i) => i.items.iter().any(item_has),
+            syn::Item::Struct(s) => stream_has(&s.fields),
+            syn::Item::Verbatim(v) => stream_has(&v.tokens),
+        }
+    }
+    items.iter().any(item_has)
+}
+
+/// Audits one library source file. `rel_path` is `/`-separated relative
+/// to the workspace root and decides crate-level exemptions.
+///
+/// # Errors
+///
+/// Returns a message naming the file if it fails to lex or parse — the
+/// audit requires every lib target to parse.
+pub fn audit_source(rel_path: &str, source: &str) -> Result<Vec<Finding>, String> {
+    let rel = rel_path.replace('\\', "/");
+    let file = syn::parse_file(source).map_err(|e| format!("{rel}: parse error: {e}"))?;
+    let crate_name = rel.strip_prefix("crates/").and_then(|r| r.split('/').next()).unwrap_or("");
+    let audit_ambient = !AMBIENT_BOUNDARY_CRATES.contains(&crate_name);
+    let mut hash_fields = Vec::new();
+    collect_hash_fields(&file.items, &mut hash_fields);
+    let mut ctx = FileCtx {
+        rel_path: rel,
+        lines: source.lines().collect(),
+        hash_fields,
+        parallel: has_parallel_marker(&file.items),
+        audit_ambient,
+        findings: Vec::new(),
+    };
+    walk_items(&mut ctx, &file.items);
+    Ok(ctx.findings)
+}
+
+/// Whether `rel` (a `/`-separated path under the workspace root) is a
+/// library target for the determinism audit: under `crates/*/src/`,
+/// excluding binary targets (`src/main.rs`, `src/bin/**`).
+pub fn is_lib_target(rel: &str) -> bool {
+    let Some(rest) = rel.strip_prefix("crates/") else { return false };
+    let mut parts = rest.split('/');
+    let _crate_name = parts.next();
+    if parts.next() != Some("src") {
+        return false;
+    }
+    let tail: Vec<&str> = parts.collect();
+    match tail.as_slice() {
+        ["main.rs"] => false,
+        [first, ..] if *first == "bin" => false,
+        [] => false,
+        _ => true,
+    }
+}
+
+/// Runs the determinism audit over every library target under
+/// `root/crates/*/src`. Returns the number of files parsed and all
+/// findings.
+///
+/// # Errors
+///
+/// Returns an error string if the workspace cannot be read or any lib
+/// target fails to parse.
+pub fn audit_workspace(root: &Path) -> Result<(usize, Vec<Finding>), String> {
+    let crates_dir = root.join("crates");
+    let mut members: Vec<std::path::PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    members.sort();
+    let mut files = Vec::new();
+    for member in members {
+        let src = member.join("src");
+        if src.is_dir() {
+            crate::scan::collect_rs_files(&src, &mut files)
+                .map_err(|e| format!("walking {}: {e}", src.display()))?;
+        }
+    }
+    let mut parsed = 0usize;
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        if !is_lib_target(&rel) {
+            continue;
+        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        findings.extend(audit_source(&rel, &text)?);
+        parsed += 1;
+    }
+    Ok((parsed, findings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn audit(rel: &str, src: &str) -> Vec<Finding> {
+        audit_source(rel, src).expect("parses")
+    }
+
+    #[test]
+    fn flags_hash_construction_and_iteration() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f() {\n\
+                       let mut m: HashMap<u32, u32> = HashMap::new();\n\
+                       for (k, v) in &m { drop((k, v)); }\n\
+                       let _ = m.keys();\n\
+                   }\n";
+        let f = audit("crates/core/src/a.rs", src);
+        let pats: Vec<&str> = f.iter().map(|f| f.pattern).collect();
+        assert!(pats.contains(&"hash-construct"), "{f:?}");
+        assert!(pats.contains(&"hash-for-loop"), "{f:?}");
+        assert!(pats.contains(&"hash-iterate"), "{f:?}");
+        assert!(f.iter().all(|f| f.lint == "unordered-iteration"));
+        // The bare `use` import is not its own finding.
+        assert!(!f.iter().any(|f| f.line == 1), "{f:?}");
+    }
+
+    #[test]
+    fn flags_hash_typed_fields_and_self_iteration() {
+        let src = "use std::collections::HashMap;\n\
+                   pub struct S { seen: HashMap<Vec<usize>, usize> }\n\
+                   impl S {\n\
+                       pub fn walk(&self) -> usize { self.seen.iter().count() }\n\
+                   }\n";
+        let f = audit("crates/core/src/a.rs", src);
+        assert!(f.iter().any(|f| f.pattern == "hash-typed-field" && f.line == 2), "{f:?}");
+        assert!(f.iter().any(|f| f.pattern == "hash-iterate" && f.line == 4), "{f:?}");
+    }
+
+    #[test]
+    fn btree_collections_do_not_flag() {
+        let src = "use std::collections::BTreeMap;\n\
+                   fn f() {\n\
+                       let mut m: BTreeMap<u32, u32> = BTreeMap::new();\n\
+                       for (k, v) in &m { drop((k, v)); }\n\
+                   }\n";
+        assert!(audit("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_scopes_are_exempt() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                       use std::collections::HashMap;\n\
+                       fn t() { let m = HashMap::new(); let _ = m.keys(); }\n\
+                   }\n";
+        assert!(audit("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_escape_suppresses_on_same_line() {
+        let src = "fn f() {\n\
+                       let m = std::collections::HashMap::new(); // lint:allow(det-unordered-iteration) reviewed\n\
+                   }\n";
+        assert!(audit("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_escape_suppresses_from_preceding_comment_line() {
+        let src = "fn f() {\n\
+                       // lint:allow(det-unordered-iteration) reviewed: never iterated\n\
+                       let m = std::collections::HashMap::new();\n\
+                   }\n";
+        assert!(audit("crates/core/src/a.rs", src).is_empty());
+        // A non-comment line above does not count as an escape.
+        let src2 = "fn f() {\n\
+                        let note = \"lint:allow(det-unordered-iteration)\";\n\
+                        let m = std::collections::HashMap::new();\n\
+                    }\n";
+        assert!(!audit("crates/core/src/a.rs", src2).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flags_outside_cli_only() {
+        let src = "fn f() { let t = std::time::Instant::now(); drop(t); }\n";
+        let f = audit("crates/core/src/a.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, "wall-clock-in-lib");
+        assert_eq!(f[0].pattern, "Instant::now");
+        assert!(audit("crates/cli/src/a.rs", src).is_empty(), "cli is the ambient boundary");
+    }
+
+    #[test]
+    fn ambient_env_flags_reads_and_unsorted_read_dir() {
+        let src = "fn f() -> Option<String> { std::env::var(\"X\").ok() }\n\
+                   fn g(p: &std::path::Path) { let _ = std::fs::read_dir(p); }\n\
+                   fn sorted(p: &std::path::Path) {\n\
+                       let mut v: Vec<_> = std::fs::read_dir(p).into_iter().collect();\n\
+                       v.sort_by_key(|_| 0);\n\
+                   }\n";
+        let f = audit("crates/bench/src/a.rs", src);
+        assert!(f.iter().any(|f| f.pattern == "env-read" && f.line == 1), "{f:?}");
+        assert!(f.iter().any(|f| f.pattern == "unsorted-read-dir" && f.line == 2), "{f:?}");
+        assert!(
+            !f.iter().any(|f| f.pattern == "unsorted-read-dir" && f.line > 2),
+            "sorted read_dir is exempt: {f:?}"
+        );
+    }
+
+    #[test]
+    fn unordered_reduction_flags_seqless_recv_and_locked_push() {
+        let seqless = "fn collect(rx: &Receiver<u32>) -> Vec<u32> {\n\
+                           let mut out = Vec::new();\n\
+                           while let Ok(v) = rx.recv() { out.push(v); }\n\
+                           out\n\
+                       }\n";
+        let f = audit("crates/serve/src/a.rs", seqless);
+        assert!(f.iter().any(|f| f.pattern == "recv-no-seq"), "{f:?}");
+
+        let seqful = "fn collect(rx: &Receiver<(usize, u32)>) -> Vec<u32> {\n\
+                          let mut by_seq = std::collections::BTreeMap::new();\n\
+                          while let Ok((seq, v)) = rx.recv() { by_seq.insert(seq, v); }\n\
+                          by_seq.into_values().collect()\n\
+                      }\n";
+        assert!(
+            !audit("crates/serve/src/a.rs", seqful).iter().any(|f| f.lint == "unordered-reduction"),
+            "seq-tagged reduction is the sanctioned idiom"
+        );
+
+        let locked = "fn run() {\n\
+                          let out = Mutex::new(Vec::new());\n\
+                          scope(|s| { s.spawn(|_| { out.lock().push(1); }); });\n\
+                      }\n";
+        let f = audit("crates/core/src/a.rs", locked);
+        assert!(f.iter().any(|f| f.pattern == "locked-accumulate"), "{f:?}");
+    }
+
+    #[test]
+    fn float_order_flags_only_in_parallel_files() {
+        let parallel = "fn run() { spawn(|| {}); }\n\
+                        fn total(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n\
+                        fn best(xs: &[f64]) -> f64 { xs.iter().fold(0.0f64, |a, b| a.max(*b)) }\n";
+        let f = audit("crates/core/src/a.rs", parallel);
+        assert!(f.iter().any(|f| f.pattern == "float-sum" && f.line == 2), "{f:?}");
+        assert!(f.iter().any(|f| f.pattern == "float-fold" && f.line == 3), "{f:?}");
+
+        let serial = "fn total(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n";
+        assert!(audit("crates/core/src/b.rs", serial).is_empty());
+    }
+
+    #[test]
+    fn lib_target_scope_excludes_binaries() {
+        assert!(is_lib_target("crates/core/src/lib.rs"));
+        assert!(is_lib_target("crates/core/src/ooe.rs"));
+        assert!(is_lib_target("crates/serve/src/pool/inner.rs"));
+        assert!(!is_lib_target("crates/lint/src/main.rs"));
+        assert!(!is_lib_target("crates/bench/src/bin/fig5_ooe.rs"));
+        assert!(!is_lib_target("crates/core/tests/it.rs"));
+        assert!(!is_lib_target("vendor/syn/src/lib.rs"));
+    }
+
+    #[test]
+    fn parse_errors_name_the_file() {
+        let err = audit_source("crates/core/src/bad.rs", "fn broken( {").unwrap_err();
+        assert!(err.contains("crates/core/src/bad.rs"), "{err}");
+    }
+}

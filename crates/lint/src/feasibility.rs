@@ -354,18 +354,21 @@ pub fn run_builtin_checks(targets: &[HwTarget]) -> Vec<CheckReport> {
                     .unwrap_or_else(|e| vec![Violation::new("dvfs-measure", e.to_string())]);
                 out.push(report(format!("dvfs:{}", target.name()), profile));
 
-                let proxy = ProxyCostModel::fit(&device, &space, 240, 7);
-                let proxy_check = DvfsProfile::measure(target.name(), &proxy, &subnet)
-                    .map(|p| {
-                        p.validate()
-                            .into_iter()
-                            // The proxy is a linear fit: costs must be finite
-                            // and positive, but strict monotonicity is the
-                            // device model's contract, not the regression's.
-                            .filter(|v| v.check == "dvfs-finite" || v.check == "dvfs-shape")
-                            .collect()
-                    })
-                    .unwrap_or_else(|e| vec![Violation::new("proxy-measure", e.to_string())]);
+                let proxy_check = match ProxyCostModel::fit(&device, &space, 240, 7) {
+                    Ok(proxy) => DvfsProfile::measure(target.name(), &proxy, &subnet)
+                        .map(|p| {
+                            p.validate()
+                                .into_iter()
+                                // The proxy is a linear fit: costs must be
+                                // finite and positive, but strict monotonicity
+                                // is the device model's contract, not the
+                                // regression's.
+                                .filter(|v| v.check == "dvfs-finite" || v.check == "dvfs-shape")
+                                .collect()
+                        })
+                        .unwrap_or_else(|e| vec![Violation::new("proxy-measure", e.to_string())]),
+                    Err(e) => vec![Violation::new("proxy-fit", e.to_string())],
+                };
                 out.push(report(format!("proxy:{}", target.name()), proxy_check));
             }
         }

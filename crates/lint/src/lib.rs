@@ -1,6 +1,6 @@
 //! # hadas-lint
 //!
-//! Workspace static analysis for the HADAS reproduction, in two passes:
+//! Workspace static analysis for the HADAS reproduction, in three passes:
 //!
 //! 1. **Source lints** ([`scan`]): a lightweight line/token scanner (no
 //!    parser, no external deps) enforcing
@@ -14,25 +14,44 @@
 //!
 //!    A `// lint:allow(panic|rng|cast)` trailing comment exempts a line.
 //!
-//! 2. **Feasibility checks** ([`feasibility`]): instantiate the actual
+//! 2. **Determinism audit** ([`det`]): AST-level analysis over the
+//!    vendored `syn`/`proc-macro2` stand-ins — every library target is
+//!    parsed and walked for nondeterminism hazards:
+//!    - `unordered-iteration` (D1) — `HashMap`/`HashSet` state in lib
+//!      code (hash order is per-process random; use `BTreeMap`/`BTreeSet`);
+//!    - `wall-clock-in-lib` (D2) — `Instant::now`/`SystemTime::now`
+//!      outside the CLI boundary;
+//!    - `ambient-env` (D3) — `std::env::var`, unsorted `read_dir`,
+//!      `available_parallelism` in lib code;
+//!    - `unordered-reduction` (D4) — channel `recv` loops without the
+//!      seq-tag idiom, locked accumulator pushes under `spawn`;
+//!    - `float-order-hazard` (D5) — float `sum`/`fold` reductions in
+//!      files with parallel markers, flagged for review.
+//!
+//!    A `// lint:allow(det-…)` trailing comment exempts a reviewed line
+//!    (see [`det::allow_key`]).
+//!
+//! 3. **Feasibility checks** ([`feasibility`]): instantiate the actual
 //!    configuration objects and audit the invariants the search engines
 //!    rely on — genome bounds, exit-placement monotonicity, DVFS ladder
 //!    and cost-curve monotonicity, proxy sanity. Also exposed through the
 //!    `hadas check` CLI subcommand.
 //!
-//! The `hadas-lint` binary runs both passes and writes a machine-readable
-//! report to `results/static_analysis.json`, exiting non-zero on any
-//! violation.
+//! The `hadas-lint` binary runs all three passes and writes a
+//! machine-readable report to `results/static_analysis.json`, exiting
+//! non-zero on any violation.
 
 pub mod baseline;
+pub mod det;
 pub mod feasibility;
 pub mod report;
 pub mod scan;
 
 pub use baseline::Baseline;
+pub use det::{audit_source, audit_workspace, DET_LINT_NAMES};
 pub use feasibility::{
     check_exit_positions, check_genome, run_builtin_checks, CheckReport, DvfsProfile, Validate,
     Violation,
 };
-pub use report::{all_ok, evaluate, to_json, LintOutcome};
-pub use scan::{scan_source, scan_workspace, Finding};
+pub use report::{all_ok, evaluate, to_json, LintOutcome, ALL_LINT_NAMES};
+pub use scan::{display_path, sanitize, scan_source, scan_workspace, Finding};

@@ -6,7 +6,10 @@
 //! ```
 
 use hadas_hw::HwTarget;
-use hadas_lint::{all_ok, evaluate, run_builtin_checks, scan_workspace, to_json, Baseline};
+use hadas_lint::{
+    all_ok, audit_workspace, display_path, evaluate, run_builtin_checks, scan_workspace, to_json,
+    Baseline,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -49,17 +52,24 @@ fn run() -> Result<bool, String> {
     let baseline = Baseline::load(&args.baseline)?;
 
     // Pass 1: source lints.
-    let (files_scanned, findings) = scan_workspace(&args.root)?;
+    let (files_scanned, mut findings) = scan_workspace(&args.root)?;
+
+    // Pass 3: AST-level determinism audit over every lib target.
+    let (ast_files_parsed, det_findings) = audit_workspace(&args.root)?;
+    findings.extend(det_findings);
     let lints = evaluate(findings, &baseline);
 
     // Pass 2: feasibility checks over all four hardware targets.
     let checks = run_builtin_checks(&HwTarget::ALL);
 
     // Human-readable summary.
-    println!("hadas-lint: scanned {files_scanned} files under {}", args.root.display());
+    println!(
+        "hadas-lint: scanned {files_scanned} files (parsed {ast_files_parsed} lib targets) under {}",
+        display_path(&args.root)
+    );
     for l in &lints {
         let status = if l.ok { "ok" } else { "FAIL" };
-        println!("  [{status}] {:<18} {} finding(s), allowance {}", l.name, l.count(), l.allowance);
+        println!("  [{status}] {:<20} {} finding(s), allowance {}", l.name, l.count(), l.allowance);
         if !l.ok {
             for f in &l.findings {
                 println!("      {}:{} {} `{}`", f.file, f.line, f.pattern, f.snippet);
@@ -81,14 +91,14 @@ fn run() -> Result<bool, String> {
     }
 
     // Machine-readable report.
-    let payload = to_json(files_scanned, &lints, &checks);
+    let payload = to_json(files_scanned, ast_files_parsed, &lints, &checks);
     if let Some(dir) = args.json.parent() {
-        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", display_path(dir)))?;
     }
     let text = serde_json::to_string_pretty(&payload).map_err(|e| e.to_string())?;
     std::fs::write(&args.json, text)
-        .map_err(|e| format!("writing {}: {e}", args.json.display()))?;
-    println!("wrote {}", args.json.display());
+        .map_err(|e| format!("writing {}: {e}", display_path(&args.json)))?;
+    println!("wrote {}", display_path(&args.json));
 
     Ok(all_ok(&lints, &checks))
 }

@@ -2,9 +2,23 @@
 //! (`results/static_analysis.json`).
 
 use crate::baseline::Baseline;
+use crate::det::DET_LINT_NAMES;
 use crate::feasibility::CheckReport;
 use crate::scan::{Finding, LINT_NAMES};
 use serde_json::{json, Value};
+
+/// All lint names across pass 1 (source lints) and pass 3 (determinism
+/// audit), in report order.
+pub const ALL_LINT_NAMES: [&str; 8] = [
+    LINT_NAMES[0],
+    LINT_NAMES[1],
+    LINT_NAMES[2],
+    DET_LINT_NAMES[0],
+    DET_LINT_NAMES[1],
+    DET_LINT_NAMES[2],
+    DET_LINT_NAMES[3],
+    DET_LINT_NAMES[4],
+];
 
 /// Pass-1 outcome for one lint after applying the ratchet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,9 +45,10 @@ impl LintOutcome {
     }
 }
 
-/// Buckets raw findings per lint and applies the ratchet.
+/// Buckets raw findings per lint (pass 1 and pass 3) and applies the
+/// ratchet.
 pub fn evaluate(findings: Vec<Finding>, baseline: &Baseline) -> Vec<LintOutcome> {
-    LINT_NAMES
+    ALL_LINT_NAMES
         .iter()
         .map(|&name| {
             let findings: Vec<Finding> =
@@ -50,8 +65,15 @@ pub fn all_ok(lints: &[LintOutcome], checks: &[CheckReport]) -> bool {
     lints.iter().all(|l| l.ok) && checks.iter().all(CheckReport::ok)
 }
 
-/// Assembles the machine-readable report.
-pub fn to_json(files_scanned: usize, lints: &[LintOutcome], checks: &[CheckReport]) -> Value {
+/// Assembles the machine-readable report. `files_scanned` counts the
+/// pass-1 token scan; `ast_files_parsed` counts the pass-3 determinism
+/// audit's library targets.
+pub fn to_json(
+    files_scanned: usize,
+    ast_files_parsed: usize,
+    lints: &[LintOutcome],
+    checks: &[CheckReport],
+) -> Value {
     let lint_values: Vec<Value> = lints
         .iter()
         .map(|l| {
@@ -88,8 +110,9 @@ pub fn to_json(files_scanned: usize, lints: &[LintOutcome], checks: &[CheckRepor
         })
         .collect();
     json!({
-        "schema": "hadas-static-analysis/1",
+        "schema": "hadas-static-analysis/2",
         "files_scanned": files_scanned,
+        "ast_files_parsed": ast_files_parsed,
         "ok": all_ok(lints, checks),
         "lints": lint_values,
         "feasibility": check_values,
@@ -132,9 +155,21 @@ mod tests {
     #[test]
     fn json_report_shape() {
         let lints = evaluate(Vec::new(), &Baseline::default());
-        let v = to_json(7, &lints, &[]);
-        assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some("hadas-static-analysis/1"));
+        let v = to_json(7, 5, &lints, &[]);
+        assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some("hadas-static-analysis/2"));
         assert_eq!(v.get("files_scanned").and_then(Value::as_u64), Some(7));
-        assert_eq!(v.get("lints").and_then(Value::as_array).map(<[Value]>::len), Some(3));
+        assert_eq!(v.get("ast_files_parsed").and_then(Value::as_u64), Some(5));
+        assert_eq!(v.get("lints").and_then(Value::as_array).map(<[Value]>::len), Some(8));
+    }
+
+    #[test]
+    fn evaluate_buckets_det_findings() {
+        let src = "fn f() { let t = std::time::Instant::now(); drop(t); }\n";
+        let findings = crate::det::audit_source("crates/core/src/x.rs", src).expect("parses");
+        let lints = evaluate(findings, &Baseline::default());
+        assert_eq!(lints.len(), ALL_LINT_NAMES.len());
+        let wall = lints.iter().find(|l| l.name == "wall-clock-in-lib").expect("present");
+        assert_eq!(wall.count(), 1);
+        assert!(!wall.ok, "no baseline entry means allowance zero");
     }
 }

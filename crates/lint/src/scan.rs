@@ -102,7 +102,12 @@ pub fn sanitize(source: &str) -> String {
                     match b[i] {
                         b'\\' => {
                             out.push(b' ');
-                            out.push(b' ');
+                            // An escaped newline (line continuation) still
+                            // ends a display line; unterminated trailing
+                            // escapes must not push past the input length.
+                            if i + 1 < b.len() {
+                                out.push(if b[i + 1] == b'\n' { b'\n' } else { b' ' });
+                            }
                             i += 2;
                         }
                         b'"' => {
@@ -128,7 +133,11 @@ pub fn sanitize(source: &str) -> String {
                 };
                 match close {
                     Some(end) => {
-                        out.extend(std::iter::repeat_n(b' ', end + 1 - i));
+                        // Blank per byte so a raw newline inside a malformed
+                        // "char literal" keeps the line structure.
+                        out.extend(
+                            b[i..=end].iter().map(|&c| if c == b'\n' { b'\n' } else { b' ' }),
+                        );
                         i = end + 1;
                     }
                     None => {
@@ -289,8 +298,17 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
     findings
 }
 
+/// Renders a path for human-readable output with `/` separators on
+/// every platform, matching the `/`-separated `file` field of
+/// [`Finding`]. Without this, ratchet messages on non-Unix hosts print
+/// platform-native separators while the JSON report prints `/`, and the
+/// two stop being grep-compatible.
+pub fn display_path(path: &Path) -> String {
+    path.display().to_string().replace('\\', "/")
+}
+
 /// Recursively collects `.rs` files under `dir`, sorted for determinism.
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+pub(crate) fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     let mut entries: Vec<PathBuf> =
         std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
     entries.sort();
@@ -412,6 +430,17 @@ mod tests {
     fn l3_requires_token_boundaries() {
         let src = "fn f() { let alias_f64 = has_f64; }\n";
         assert!(scan_source("crates/nn/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn display_path_normalizes_separators() {
+        // A backslash is a literal path character on Unix, so this
+        // exercises the same normalization non-Unix hosts need.
+        let p = PathBuf::from("crates\\lint\\src").join("scan.rs");
+        let shown = display_path(&p);
+        assert!(!shown.contains('\\'), "{shown}");
+        assert_eq!(shown, "crates/lint/src/scan.rs");
+        assert_eq!(display_path(Path::new("crates/core/src/lib.rs")), "crates/core/src/lib.rs");
     }
 
     #[test]

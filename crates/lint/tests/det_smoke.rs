@@ -1,0 +1,73 @@
+//! End-to-end smoke for the pass-3 determinism audit: a workspace seeded
+//! with the `HashMap`-iteration fixture must fail under an empty (all
+//! zero) baseline. CI runs the same scenario against the compiled binary
+//! and asserts a non-zero exit; this test pins the library half so the
+//! contract also holds under `cargo test`.
+
+use hadas_lint::{audit_workspace, evaluate, Baseline};
+use std::fs;
+use std::path::PathBuf;
+
+/// Builds `<tmp>/crates/demo/src/` containing only the seeded fixture.
+fn fixture_workspace(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("hadas-det-smoke-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    let src = root.join("crates").join("demo").join("src");
+    fs::create_dir_all(&src).expect("create demo workspace");
+    let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("det_unordered_iteration.rs");
+    fs::copy(&fixture, src.join("lib.rs")).expect("copy fixture");
+    root
+}
+
+#[test]
+fn seeded_hash_iteration_fixture_fails_the_audit() {
+    let root = fixture_workspace("lib");
+    let (parsed, findings) = audit_workspace(&root).expect("fixture workspace parses");
+    assert_eq!(parsed, 1, "exactly the fixture lib target is audited");
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.lint == "unordered-iteration" && f.file == "crates/demo/src/lib.rs"),
+        "fixture must trip unordered-iteration: {findings:?}"
+    );
+    // `use std::collections::HashMap` alone is an import, not a finding:
+    // everything flagged must sit on the typed parameter or the loop.
+    assert!(findings.iter().all(|f| f.line > 6), "imports must not be flagged: {findings:?}");
+
+    // Under an empty baseline (allowance 0) the outcome must fail, which
+    // is what drives the binary's non-zero exit in CI.
+    let outcomes = evaluate(findings, &Baseline::default());
+    let det = outcomes.iter().find(|l| l.name == "unordered-iteration").expect("lint reported");
+    assert!(!det.ok, "zero allowance must fail on the fixture");
+
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn allow_escape_clears_the_fixture() {
+    let root = fixture_workspace("allowed");
+    let lib = root.join("crates").join("demo").join("src").join("lib.rs");
+    // One escape comment above the loop hit, one above the typed-param
+    // hit on the signature line — the "immediately preceding comment
+    // line" form of the escape.
+    let annotated = fs::read_to_string(&lib)
+        .expect("read fixture")
+        .replace(
+            "    for (_, v) in scores.iter() {",
+            "    // lint:allow(det-unordered-iteration) audited: sum is order-free\n    for (_, v) in scores.iter() {",
+        )
+        .replace(
+            "pub fn sum_scores(",
+            "// lint:allow(det-unordered-iteration) audited: order-free reduction\npub fn sum_scores(",
+        );
+    fs::write(&lib, annotated).expect("write annotated fixture");
+    let (_, findings) = audit_workspace(&root).expect("annotated workspace parses");
+    assert!(
+        findings.iter().all(|f| f.lint != "unordered-iteration"),
+        "allow escapes must clear the fixture: {findings:?}"
+    );
+    let _ = fs::remove_dir_all(&root);
+}

@@ -1,0 +1,15 @@
+//! Seeded determinism-audit fixture (see `tests/det_smoke.rs` and the CI
+//! "det-smoke" step): iterating a `HashMap` in library code is exactly
+//! the nondeterminism the D1 `unordered-iteration` lint exists to catch,
+//! so auditing this file must produce findings and a non-zero exit.
+
+use std::collections::HashMap;
+
+/// Sums scores in whatever order the hasher picks this run.
+pub fn sum_scores(scores: &HashMap<String, u64>) -> u64 {
+    let mut total = 0;
+    for (_, v) in scores.iter() {
+        total += v;
+    }
+    total
+}

@@ -1,0 +1,76 @@
+//! Property tests for the scanner's literal/comment blanking
+//! ([`hadas_lint::sanitize`]) — the foundation both the token lints and
+//! the determinism audit's escape comments stand on.
+//!
+//! The invariants: blanking never changes byte length or line structure
+//! (findings carry 1-based line numbers computed *after* blanking), code
+//! outside literals and comments passes through untouched, and text
+//! *inside* literals or comments can never produce a finding no matter
+//! which forbidden tokens it spells.
+
+use hadas_lint::{sanitize, scan_source};
+use proptest::prelude::*;
+
+/// Characters exercised by the adversarial inputs: whitespace/newlines,
+/// identifiers, and every delimiter the sanitizer cares about (quotes,
+/// backslash, slash, star, hash, apostrophe).
+const SOUP: &str = "[ \na-zA-Z0-9\"'\\\\/*#(){};_.!:<>=,&]{0,60}";
+
+/// Same alphabet minus anything that can open a literal or comment.
+const CODE: &str = "[ \na-zA-Z0-9(){};_.!:<>=,&]{0,60}";
+
+proptest! {
+    /// Blanking preserves byte length exactly, even for unterminated
+    /// strings, trailing escapes, and malformed char literals.
+    #[test]
+    fn sanitize_preserves_byte_length(s in SOUP) {
+        prop_assert_eq!(sanitize(&s).len(), s.len());
+    }
+
+    /// Every newline stays a newline at the same byte offset, so line
+    /// numbers computed on the sanitized text match the original file.
+    #[test]
+    fn sanitize_preserves_newline_positions(s in SOUP) {
+        let clean = sanitize(&s);
+        let lines = |t: &str| {
+            t.bytes().enumerate().filter(|&(_, b)| b == b'\n').map(|(i, _)| i).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(lines(&clean), lines(&s));
+    }
+
+    /// Source with no literal or comment openers is passed through
+    /// byte-for-byte: the sanitizer only ever *removes* text.
+    #[test]
+    fn sanitize_is_identity_on_literal_free_code(s in CODE) {
+        prop_assert_eq!(sanitize(&s), s);
+    }
+
+    /// Forbidden tokens spelled inside a string literal never become
+    /// findings — the literal is blanked before pattern matching. The
+    /// payload is seeded with every pattern the token lints look for.
+    #[test]
+    fn literal_text_never_triggers_lints(s in SOUP) {
+        let payload = format!(".unwrap() .expect( panic! as usize as f64 thread_rng {s}");
+        // `{:?}` produces a valid, fully escaped Rust string literal.
+        let src = format!("fn f() {{ let _ = {payload:?}; }}\n");
+        let findings = scan_source("crates/hw/src/prop_case.rs", &src);
+        prop_assert!(findings.is_empty(), "findings from literal text: {findings:?}");
+    }
+
+    /// The same forbidden tokens inside a block comment are equally
+    /// invisible, terminated or not.
+    #[test]
+    fn comment_text_never_triggers_lints(s in SOUP) {
+        let body = format!(".unwrap() as f32 {}", s.replace("*/", ""));
+        let src = format!("/* {body} */ fn f() {{}}\n// {}\n", body.replace('\n', " "));
+        let findings = scan_source("crates/tensor/src/prop_case.rs", &src);
+        prop_assert!(findings.is_empty(), "findings from comment text: {findings:?}");
+    }
+
+    /// The AST determinism audit must reject or accept arbitrary soup
+    /// without panicking (parse failures surface as `Err`, not aborts).
+    #[test]
+    fn ast_audit_never_panics_on_soup(s in SOUP) {
+        let _ = hadas_lint::audit_source("crates/x/src/lib.rs", &s);
+    }
+}

@@ -42,7 +42,7 @@ use crate::Request;
 use crossbeam::channel::{self, Receiver, Sender};
 use hadas::{AttemptOutcome, CircuitBreaker, FaultModel, HadasError, RetryPolicy};
 use hadas_runtime::{FaultInjector, ServeOutcome};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -186,8 +186,8 @@ impl ChaosPlan {
         for job in jobs {
             breaker.tick();
             let allowed = if breaker.is_open() { 1 } else { retry.max_attempts.max(1) };
-            let est_ms =
-                overhead_ms + job.outcomes.iter().map(|o| o.cost.latency_s).sum::<f64>() * 1e3;
+            let batch_s = job.outcomes.iter().map(|o| o.cost.latency_s).sum::<f64>(); // lint:allow(det-float-order) sequential sum over a seq-ordered Vec
+            let est_ms = overhead_ms + batch_s * 1e3;
             let hedge_slack_ms = (hedge_factor - 1.0).max(0.0) * est_ms;
             let mut chain: Vec<AttemptFate> = Vec::new();
             let mut attempt = 0u32;
@@ -458,7 +458,9 @@ pub(crate) fn run_pool(
     }
     let lanes_n = workers.max(1);
     let jobs: Vec<Arc<BatchJob>> = jobs.into_iter().map(Arc::new).collect();
-    let index_of_seq: HashMap<usize, usize> =
+    // Ordered on purpose: results are reduced keyed on seq, never on
+    // hash order (see the determinism audit's `unordered-iteration`).
+    let index_of_seq: BTreeMap<usize, usize> =
         jobs.iter().enumerate().map(|(i, j)| (j.seq, i)).collect();
 
     let (reply_tx, reply_rx) = channel::unbounded::<Reply>();

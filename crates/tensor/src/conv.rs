@@ -129,13 +129,17 @@ pub fn im2col(input: &Tensor, geo: &Conv2dGeometry) -> Result<Tensor, TensorErro
                 let base = row * cols;
                 for ch in 0..c {
                     for ky in 0..k {
-                        let iy = (oy * geo.stride + ky) as isize - geo.padding as isize;
+                        // In-bounds iff oy·s + ky ≥ padding (checked_sub) and
+                        // the resulting coordinate lands inside the image.
+                        let iy = (oy * geo.stride + ky).checked_sub(geo.padding);
                         for kx in 0..k {
-                            let ix = (ox * geo.stride + kx) as isize - geo.padding as isize;
+                            let ix = (ox * geo.stride + kx).checked_sub(geo.padding);
                             let col = ch * k * k + ky * k + kx;
-                            if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
-                                let off = ((img * c + ch) * h + iy as usize) * w + ix as usize;
-                                out[base + col] = src[off];
+                            if let (Some(iy), Some(ix)) = (iy, ix) {
+                                if iy < h && ix < w {
+                                    let off = ((img * c + ch) * h + iy) * w + ix;
+                                    out[base + col] = src[off];
+                                }
                             }
                         }
                     }
@@ -180,12 +184,15 @@ pub fn col2im(
                 let base = row * width;
                 for ch in 0..c {
                     for ky in 0..k {
-                        let iy = (oy * geo.stride + ky) as isize - geo.padding as isize;
+                        // Same padding arithmetic as the forward `im2col`.
+                        let iy = (oy * geo.stride + ky).checked_sub(geo.padding);
                         for kx in 0..k {
-                            let ix = (ox * geo.stride + kx) as isize - geo.padding as isize;
-                            if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
-                                let off = ((img * c + ch) * h + iy as usize) * w + ix as usize;
-                                out[off] += src[base + ch * k * k + ky * k + kx];
+                            let ix = (ox * geo.stride + kx).checked_sub(geo.padding);
+                            if let (Some(iy), Some(ix)) = (iy, ix) {
+                                if iy < h && ix < w {
+                                    let off = ((img * c + ch) * h + iy) * w + ix;
+                                    out[off] += src[base + ch * k * k + ky * k + kx];
+                                }
                             }
                         }
                     }

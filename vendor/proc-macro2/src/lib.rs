@@ -1,0 +1,920 @@
+//! Offline-vendored, API-compatible subset of the `proc-macro2` crate.
+//!
+//! Provides a standalone Rust lexer: [`TokenStream::from_str`] turns
+//! source text into a tree of [`TokenTree`]s ([`Group`] / [`Ident`] /
+//! [`Punct`] / [`Literal`]) whose [`Span`]s carry real line/column
+//! positions. This is the substrate `syn` (also vendored) parses items
+//! from and the substrate `hadas-lint`'s determinism audit resolves
+//! findings to `file:line` with.
+//!
+//! Differences from upstream (see `vendor/README.md`):
+//! - spans always carry line/column (upstream needs the `span-locations`
+//!   feature);
+//! - doc comments are skipped like ordinary comments instead of being
+//!   converted to `#[doc = "…"]` attributes;
+//! - no interning, no `proc_macro` bridging, no `Span::join`.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A line/column position in the lexed source.
+///
+/// `line` is 1-based; `column` is a 0-based UTF-8 character offset,
+/// matching upstream's `span-locations` behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LineColumn {
+    /// 1-based source line.
+    pub line: usize,
+    /// 0-based character column.
+    pub column: usize,
+}
+
+/// A region of source code attached to every token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    start: LineColumn,
+    end: LineColumn,
+}
+
+impl Span {
+    /// A span pointing at nothing in particular (line 1, column 0) —
+    /// used for synthesized tokens.
+    pub fn call_site() -> Span {
+        Span { start: LineColumn { line: 1, column: 0 }, end: LineColumn { line: 1, column: 0 } }
+    }
+
+    /// Position of the first character of the spanned region.
+    pub fn start(&self) -> LineColumn {
+        self.start
+    }
+
+    /// Position one past the last character of the spanned region.
+    pub fn end(&self) -> LineColumn {
+        self.end
+    }
+}
+
+/// Which bracket pair delimits a [`Group`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delimiter {
+    /// `( … )`
+    Parenthesis,
+    /// `{ … }`
+    Brace,
+    /// `[ … ]`
+    Bracket,
+    /// An invisible delimiter (never produced by the lexer; kept for
+    /// API-shape compatibility).
+    None,
+}
+
+/// Whether a [`Punct`] is immediately followed by another punctuation
+/// character (`Joint`) or not (`Alone`) — upstream's model for
+/// multi-character operators like `::` and `->`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Spacing {
+    /// Followed by whitespace, an identifier, a literal, or a delimiter.
+    Alone,
+    /// Glued to the next punctuation character.
+    Joint,
+}
+
+/// A delimited token sequence, e.g. a function body's `{ … }`.
+#[derive(Debug, Clone)]
+pub struct Group {
+    delimiter: Delimiter,
+    stream: TokenStream,
+    span: Span,
+}
+
+impl Group {
+    /// Creates a group from parts (used by tests and `quote`).
+    pub fn new(delimiter: Delimiter, stream: TokenStream) -> Group {
+        Group { delimiter, stream, span: Span::call_site() }
+    }
+
+    /// The delimiter surrounding this group.
+    pub fn delimiter(&self) -> Delimiter {
+        self.delimiter
+    }
+
+    /// The tokens between the delimiters.
+    pub fn stream(&self) -> TokenStream {
+        self.stream.clone()
+    }
+
+    /// The span from the opening to the closing delimiter.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+/// A word: identifier or keyword.
+#[derive(Debug, Clone)]
+pub struct Ident {
+    sym: String,
+    span: Span,
+}
+
+impl Ident {
+    /// Creates an identifier with the given span.
+    pub fn new(sym: &str, span: Span) -> Ident {
+        Ident { sym: sym.to_string(), span }
+    }
+
+    /// The identifier's span.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.sym)
+    }
+}
+
+impl<T: AsRef<str>> PartialEq<T> for Ident {
+    fn eq(&self, other: &T) -> bool {
+        self.sym == other.as_ref()
+    }
+}
+
+/// A single punctuation character with its [`Spacing`].
+#[derive(Debug, Clone)]
+pub struct Punct {
+    ch: char,
+    spacing: Spacing,
+    span: Span,
+}
+
+impl Punct {
+    /// Creates a punctuation token.
+    pub fn new(ch: char, spacing: Spacing) -> Punct {
+        Punct { ch, spacing, span: Span::call_site() }
+    }
+
+    /// The punctuation character.
+    pub fn as_char(&self) -> char {
+        self.ch
+    }
+
+    /// Whether the next token is glued punctuation.
+    pub fn spacing(&self) -> Spacing {
+        self.spacing
+    }
+
+    /// The token's span.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+/// A literal: string, raw string, byte string, char, byte, or number.
+/// The original source text is kept verbatim in the repr.
+#[derive(Debug, Clone)]
+pub struct Literal {
+    repr: String,
+    span: Span,
+}
+
+impl Literal {
+    /// The token's span.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// A single token tree: the lexer's unit of output.
+#[derive(Debug, Clone)]
+pub enum TokenTree {
+    /// A delimited subsequence of tokens.
+    Group(Group),
+    /// An identifier or keyword.
+    Ident(Ident),
+    /// A punctuation character.
+    Punct(Punct),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl TokenTree {
+    /// The span of this token (for groups, opening to closing delimiter).
+    pub fn span(&self) -> Span {
+        match self {
+            TokenTree::Group(g) => g.span(),
+            TokenTree::Ident(i) => i.span(),
+            TokenTree::Punct(p) => p.span(),
+            TokenTree::Literal(l) => l.span(),
+        }
+    }
+}
+
+/// A sequence of [`TokenTree`]s.
+#[derive(Debug, Clone, Default)]
+pub struct TokenStream {
+    trees: Vec<TokenTree>,
+}
+
+impl TokenStream {
+    /// An empty stream.
+    pub fn new() -> TokenStream {
+        TokenStream::default()
+    }
+
+    /// Whether the stream holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Number of top-level token trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Iterates over the top-level token trees without consuming.
+    pub fn iter(&self) -> std::slice::Iter<'_, TokenTree> {
+        self.trees.iter()
+    }
+}
+
+impl IntoIterator for TokenStream {
+    type Item = TokenTree;
+    type IntoIter = std::vec::IntoIter<TokenTree>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.trees.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a TokenStream {
+    type Item = &'a TokenTree;
+    type IntoIter = std::slice::Iter<'a, TokenTree>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.trees.iter()
+    }
+}
+
+impl FromIterator<TokenTree> for TokenStream {
+    fn from_iter<I: IntoIterator<Item = TokenTree>>(iter: I) -> TokenStream {
+        TokenStream { trees: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<TokenTree> for TokenStream {
+    fn extend<I: IntoIterator<Item = TokenTree>>(&mut self, iter: I) {
+        self.trees.extend(iter);
+    }
+}
+
+impl fmt::Display for TokenStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for tree in &self.trees {
+            if !first {
+                f.write_str(" ")?;
+            }
+            first = false;
+            match tree {
+                TokenTree::Group(g) => {
+                    let (open, close) = match g.delimiter() {
+                        Delimiter::Parenthesis => ("(", ")"),
+                        Delimiter::Brace => ("{", "}"),
+                        Delimiter::Bracket => ("[", "]"),
+                        Delimiter::None => ("", ""),
+                    };
+                    write!(f, "{open} {} {close}", g.stream)?;
+                }
+                TokenTree::Ident(i) => write!(f, "{i}")?,
+                TokenTree::Punct(p) => write!(f, "{}", p.as_char())?,
+                TokenTree::Literal(l) => write!(f, "{l}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A lexing failure with the position it occurred at.
+#[derive(Debug, Clone)]
+pub struct LexError {
+    message: String,
+    at: LineColumn,
+}
+
+impl LexError {
+    /// The position the lexer stopped at.
+    pub fn position(&self) -> LineColumn {
+        self.at
+    }
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at line {} column {}", self.message, self.at.line, self.at.column)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+impl FromStr for TokenStream {
+    type Err = LexError;
+
+    fn from_str(src: &str) -> Result<TokenStream, LexError> {
+        Lexer::new(src).lex_all()
+    }
+}
+
+/// The character classes the lexer distinguishes at a glance.
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn is_punct_char(c: char) -> bool {
+    matches!(
+        c,
+        '~' | '!'
+            | '@'
+            | '#'
+            | '$'
+            | '%'
+            | '^'
+            | '&'
+            | '*'
+            | '-'
+            | '='
+            | '+'
+            | '|'
+            | ';'
+            | ':'
+            | ','
+            | '<'
+            | '>'
+            | '.'
+            | '?'
+            | '/'
+            | '\''
+    )
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer { chars: src.chars().peekable(), line: 1, column: 0 }
+    }
+
+    fn here(&self) -> LineColumn {
+        LineColumn { line: self.line, column: self.column }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn peek2(&mut self) -> Option<char> {
+        let mut c = self.chars.clone();
+        c.next();
+        c.next()
+    }
+
+    fn peek3(&mut self) -> Option<char> {
+        let mut c = self.chars.clone();
+        c.next();
+        c.next();
+        c.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        match c {
+            Some('\n') => {
+                self.line += 1;
+                self.column = 0;
+            }
+            Some(_) => self.column += 1,
+            None => {}
+        }
+        c
+    }
+
+    fn error(&self, message: &str) -> LexError {
+        LexError { message: message.to_string(), at: self.here() }
+    }
+
+    fn lex_all(&mut self) -> Result<TokenStream, LexError> {
+        let (stream, closer) = self.lex_until(None)?;
+        if closer.is_some() {
+            return Err(self.error("unbalanced closing delimiter"));
+        }
+        Ok(stream)
+    }
+
+    /// Lexes tokens until end of input or the closing delimiter matching
+    /// `open`. Returns the stream and the closing char consumed (if any).
+    fn lex_until(&mut self, open: Option<char>) -> Result<(TokenStream, Option<char>), LexError> {
+        let mut trees = Vec::new();
+        loop {
+            // Skip whitespace and comments.
+            loop {
+                match self.peek() {
+                    Some(c) if c.is_whitespace() => {
+                        self.bump();
+                    }
+                    Some('/') if self.peek2() == Some('/') => {
+                        while let Some(c) = self.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            self.bump();
+                        }
+                    }
+                    Some('/') if self.peek2() == Some('*') => {
+                        self.bump();
+                        self.bump();
+                        let mut depth = 1usize;
+                        while depth > 0 {
+                            match (self.peek(), self.peek2()) {
+                                (Some('/'), Some('*')) => {
+                                    self.bump();
+                                    self.bump();
+                                    depth += 1;
+                                }
+                                (Some('*'), Some('/')) => {
+                                    self.bump();
+                                    self.bump();
+                                    depth -= 1;
+                                }
+                                (Some(_), _) => {
+                                    self.bump();
+                                }
+                                (None, _) => return Err(self.error("unterminated block comment")),
+                            }
+                        }
+                    }
+                    _ => break,
+                }
+            }
+
+            let start = self.here();
+            let Some(c) = self.peek() else {
+                if open.is_some() {
+                    return Err(self.error("unexpected end of input inside delimiters"));
+                }
+                return Ok((TokenStream { trees }, None));
+            };
+
+            match c {
+                '(' | '[' | '{' => {
+                    self.bump();
+                    let (inner, closer) = self.lex_until(Some(c))?;
+                    let expected = match c {
+                        '(' => ')',
+                        '[' => ']',
+                        _ => '}',
+                    };
+                    if closer != Some(expected) {
+                        return Err(self.error("mismatched delimiter"));
+                    }
+                    let delimiter = match c {
+                        '(' => Delimiter::Parenthesis,
+                        '[' => Delimiter::Bracket,
+                        _ => Delimiter::Brace,
+                    };
+                    trees.push(TokenTree::Group(Group {
+                        delimiter,
+                        stream: inner,
+                        span: Span { start, end: self.here() },
+                    }));
+                }
+                ')' | ']' | '}' => {
+                    self.bump();
+                    if open.is_none() {
+                        return Err(self.error("unbalanced closing delimiter"));
+                    }
+                    return Ok((TokenStream { trees }, Some(c)));
+                }
+                '"' => trees.push(self.lex_string(start, String::new())?),
+                'r' | 'b' if self.raw_or_byte_prefix() => {
+                    trees.push(self.lex_prefixed_literal(start)?);
+                }
+                '\'' => trees.push(self.lex_quote(start)?),
+                c if c.is_ascii_digit() => trees.push(self.lex_number(start)),
+                c if is_ident_start(c) => {
+                    let mut sym = String::new();
+                    while let Some(c) = self.peek() {
+                        if is_ident_continue(c) {
+                            sym.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    trees.push(TokenTree::Ident(Ident {
+                        sym,
+                        span: Span { start, end: self.here() },
+                    }));
+                }
+                c if is_punct_char(c) => {
+                    self.bump();
+                    let joint = self.peek().is_some_and(|n| is_punct_char(n) && n != '\'');
+                    trees.push(TokenTree::Punct(Punct {
+                        ch: c,
+                        spacing: if joint { Spacing::Joint } else { Spacing::Alone },
+                        span: Span { start, end: self.here() },
+                    }));
+                }
+                _ => return Err(self.error("unexpected character")),
+            }
+        }
+    }
+
+    /// Whether the upcoming `r`/`b` starts a raw string, byte string,
+    /// byte char, or raw identifier prefix rather than a plain ident.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        match (self.peek(), self.peek2()) {
+            (Some('r'), Some('"')) | (Some('b'), Some('"')) | (Some('b'), Some('\'')) => true,
+            (Some('r'), Some('#')) => {
+                // r#" raw string (r#ident raw identifiers fall through
+                // and lex as `r` + `#` + ident).
+                matches!(self.peek3(), Some('"') | Some('#'))
+            }
+            // `br"…"` / `br#"…"#`, but NOT identifiers like `branch`.
+            (Some('b'), Some('r')) => matches!(self.peek3(), Some('"') | Some('#')),
+            _ => false,
+        }
+    }
+
+    /// Lexes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, or `b'…'` after seeing
+    /// the prefix start.
+    fn lex_prefixed_literal(&mut self, start: LineColumn) -> Result<TokenTree, LexError> {
+        let mut repr = String::new();
+        let mut raw = false;
+        while let Some(c) = self.peek() {
+            match c {
+                'b' => {
+                    repr.push(c);
+                    self.bump();
+                }
+                'r' => {
+                    raw = true;
+                    repr.push(c);
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        if !raw {
+            return match self.peek() {
+                Some('"') => self.lex_string(start, repr),
+                Some('\'') => {
+                    // Byte char: b'x', b'\n', b'\x41'.
+                    repr.push('\'');
+                    self.bump();
+                    if self.peek() == Some('\\') {
+                        repr.push('\\');
+                        self.bump();
+                        // The escaped char, then anything up to the close
+                        // (covers multi-char escapes like \x41).
+                        match self.bump() {
+                            Some(c) => repr.push(c),
+                            None => return Err(self.error("unterminated byte escape")),
+                        }
+                        loop {
+                            match self.bump() {
+                                Some('\'') => break,
+                                Some(c) => repr.push(c),
+                                None => return Err(self.error("unterminated byte literal")),
+                            }
+                        }
+                        repr.push('\'');
+                        return Ok(TokenTree::Literal(Literal {
+                            repr,
+                            span: Span { start, end: self.here() },
+                        }));
+                    }
+                    match self.bump() {
+                        Some(c) => repr.push(c),
+                        None => return Err(self.error("unterminated byte literal")),
+                    }
+                    if self.bump() != Some('\'') {
+                        return Err(self.error("unterminated byte literal"));
+                    }
+                    repr.push('\'');
+                    Ok(TokenTree::Literal(Literal { repr, span: Span { start, end: self.here() } }))
+                }
+                _ => Err(self.error("malformed byte literal")),
+            };
+        }
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            hashes += 1;
+            repr.push('#');
+            self.bump();
+        }
+        if self.peek() != Some('"') {
+            return Err(self.error("malformed raw string"));
+        }
+        repr.push('"');
+        self.bump();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated raw string")),
+                Some('"') => {
+                    let mut trailing = 0usize;
+                    while trailing < hashes && self.peek() == Some('#') {
+                        trailing += 1;
+                        self.bump();
+                    }
+                    if trailing == hashes {
+                        repr.push('"');
+                        for _ in 0..hashes {
+                            repr.push('#');
+                        }
+                        return Ok(TokenTree::Literal(Literal {
+                            repr,
+                            span: Span { start, end: self.here() },
+                        }));
+                    }
+                    repr.push('"');
+                    for _ in 0..trailing {
+                        repr.push('#');
+                    }
+                }
+                Some(c) => repr.push(c),
+            }
+        }
+    }
+
+    /// Lexes a `"…"` string (escape-aware), appending to `repr` which may
+    /// already hold a `b` prefix.
+    fn lex_string(&mut self, start: LineColumn, mut repr: String) -> Result<TokenTree, LexError> {
+        repr.push('"');
+        self.bump();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string literal")),
+                Some('\\') => {
+                    repr.push('\\');
+                    match self.bump() {
+                        Some(c) => repr.push(c),
+                        None => return Err(self.error("unterminated string escape")),
+                    }
+                }
+                Some('"') => {
+                    repr.push('"');
+                    return Ok(TokenTree::Literal(Literal {
+                        repr,
+                        span: Span { start, end: self.here() },
+                    }));
+                }
+                Some(c) => repr.push(c),
+            }
+        }
+    }
+
+    /// Lexes a `'` token: a char literal (`'x'`, `'\n'`) or a lifetime
+    /// (`'a` — emitted, as upstream does, as a joint `'` punct followed
+    /// by an ident).
+    fn lex_quote(&mut self, start: LineColumn) -> Result<TokenTree, LexError> {
+        // Decide char-literal vs lifetime by lookahead.
+        let next = self.peek2();
+        let after = self.peek3();
+        let is_char = match next {
+            Some('\\') => true,
+            Some(c) if is_ident_start(c) => after == Some('\''),
+            Some(_) => after == Some('\''),
+            None => false,
+        };
+        if is_char {
+            let mut repr = String::from("'");
+            self.bump();
+            if self.peek() == Some('\\') {
+                repr.push('\\');
+                self.bump();
+                // The escaped char first (it may itself be a quote, as in
+                // '\''), then anything up to the close — covering the
+                // multi-char escapes \x41 and \u{10FFFF}.
+                match self.bump() {
+                    Some(c) => repr.push(c),
+                    None => return Err(self.error("unterminated char escape")),
+                }
+                loop {
+                    match self.bump() {
+                        None => return Err(self.error("unterminated char escape")),
+                        Some('\'') => {
+                            repr.push('\'');
+                            return Ok(TokenTree::Literal(Literal {
+                                repr,
+                                span: Span { start, end: self.here() },
+                            }));
+                        }
+                        Some(c) => repr.push(c),
+                    }
+                }
+            }
+            match self.bump() {
+                Some(c) => repr.push(c),
+                None => return Err(self.error("unterminated char literal")),
+            }
+            if self.bump() != Some('\'') {
+                return Err(self.error("unterminated char literal"));
+            }
+            repr.push('\'');
+            return Ok(TokenTree::Literal(Literal {
+                repr,
+                span: Span { start, end: self.here() },
+            }));
+        }
+        // Lifetime: joint quote + ident.
+        self.bump();
+        Ok(TokenTree::Punct(Punct {
+            ch: '\'',
+            spacing: Spacing::Joint,
+            span: Span { start, end: self.here() },
+        }))
+    }
+
+    /// Lexes a numeric literal: decimal, float (with exponent), hex,
+    /// octal, binary, underscores, and type suffixes.
+    fn lex_number(&mut self, start: LineColumn) -> TokenTree {
+        let mut repr = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                repr.push(c);
+                self.bump();
+            } else if c == '.' {
+                // A dot continues the number only for `1.`, `1.0`, never
+                // for `1..x` (range) or `1.method()` (call on int).
+                match self.peek2() {
+                    Some('.') => break,
+                    Some(c2) if is_ident_start(c2) => break,
+                    _ => {
+                        repr.push('.');
+                        self.bump();
+                    }
+                }
+            } else if (c == '+' || c == '-')
+                && (repr.ends_with('e') || repr.ends_with('E'))
+                && repr.starts_with(|d: char| d.is_ascii_digit())
+                && !repr.starts_with("0x")
+                && !repr.starts_with("0b")
+                && !repr.starts_with("0o")
+            {
+                // Signed float exponent: 1e-3.
+                repr.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenTree::Literal(Literal { repr, span: Span { start, end: self.here() } })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(src: &str) -> TokenStream {
+        src.parse().expect("lexes")
+    }
+
+    fn flat_text(ts: &TokenStream) -> String {
+        ts.to_string()
+    }
+
+    #[test]
+    fn lexes_idents_puncts_and_groups() {
+        let ts = lex("fn f(x: u32) -> u32 { x + 1 }");
+        assert_eq!(ts.len(), 7, "{ts:?}");
+        let TokenTree::Ident(first) = &ts.iter().next().expect("first") else {
+            panic!("expected ident");
+        };
+        assert!(*first == "fn");
+        assert!(flat_text(&ts).contains("x + 1"));
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let ts = lex("a\n  bc\n");
+        let trees: Vec<_> = ts.iter().collect();
+        assert_eq!(trees[0].span().start(), LineColumn { line: 1, column: 0 });
+        assert_eq!(trees[1].span().start(), LineColumn { line: 2, column: 2 });
+        assert_eq!(trees[1].span().end(), LineColumn { line: 2, column: 4 });
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_produce_code_tokens() {
+        let ts = lex("let x = \"HashMap :: new ( )\"; // HashMap\n/* Instant::now() */ let y = 1;");
+        let text = flat_text(&ts);
+        assert!(!text.contains("Instant"));
+        // The string literal keeps its repr but is a single Literal token.
+        let literals = ts.iter().filter(|t| matches!(t, TokenTree::Literal(_))).count();
+        assert_eq!(literals, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings() {
+        let ts = lex("/* outer /* inner */ still */ let r = r#\"quote \" inside\"#;");
+        let literals: Vec<_> = ts.iter().filter(|t| matches!(t, TokenTree::Literal(_))).collect();
+        assert_eq!(literals.len(), 1);
+        let TokenTree::Literal(l) = literals[0] else { unreachable!() };
+        assert!(l.to_string().starts_with("r#\""));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let ts = lex("fn f<'a>(s: &'a str) -> char { 'x' }");
+        let quotes = count_puncts(&ts, '\'');
+        assert_eq!(quotes, 2, "two lifetime quotes");
+        let chars: Vec<String> = collect_literals(&ts);
+        assert!(chars.contains(&"'x'".to_string()));
+    }
+
+    fn count_puncts(ts: &TokenStream, ch: char) -> usize {
+        let mut n = 0;
+        for t in ts {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ch => n += 1,
+                TokenTree::Group(g) => n += count_puncts(&g.stream(), ch),
+                _ => {}
+            }
+        }
+        n
+    }
+
+    fn collect_literals(ts: &TokenStream) -> Vec<String> {
+        let mut out = Vec::new();
+        for t in ts {
+            match t {
+                TokenTree::Literal(l) => out.push(l.to_string()),
+                TokenTree::Group(g) => out.extend(collect_literals(&g.stream())),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn numbers_with_suffixes_floats_and_ranges() {
+        let ts = lex("let a = 0.0f64; let b = 1e-3; let c = 0xFF_u8; for i in 0..10 {}");
+        let lits = collect_literals(&ts);
+        assert!(lits.contains(&"0.0f64".to_string()));
+        assert!(lits.contains(&"1e-3".to_string()));
+        assert!(lits.contains(&"0xFF_u8".to_string()));
+        assert!(lits.contains(&"0".to_string()) && lits.contains(&"10".to_string()));
+    }
+
+    #[test]
+    fn tuple_field_access_is_not_a_float() {
+        let ts = lex("let y = x.0 + z.1.2;");
+        let lits = collect_literals(&ts);
+        assert!(lits.contains(&"0".to_string()));
+    }
+
+    #[test]
+    fn spacing_distinguishes_joint_puncts() {
+        let ts = lex("a::b -> c");
+        let mut spacings = Vec::new();
+        for t in &ts {
+            if let TokenTree::Punct(p) = t {
+                spacings.push((p.as_char(), p.spacing()));
+            }
+        }
+        assert_eq!(spacings[0], (':', Spacing::Joint));
+        assert_eq!(spacings[1], (':', Spacing::Alone));
+        assert_eq!(spacings[2], ('-', Spacing::Joint));
+        assert_eq!(spacings[3], ('>', Spacing::Alone));
+    }
+
+    #[test]
+    fn unbalanced_delimiters_error_with_position() {
+        let err = "fn f() {".parse::<TokenStream>().expect_err("unbalanced");
+        assert!(err.to_string().contains("line 1"));
+        assert!("}".parse::<TokenStream>().is_err());
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let ts = lex("let a = b\"bytes\"; let b = b'x'; let c = br#\"raw\"#;");
+        let lits = collect_literals(&ts);
+        assert!(lits.contains(&"b\"bytes\"".to_string()));
+        assert!(lits.contains(&"b'x'".to_string()));
+        assert!(lits.contains(&"br#\"raw\"#".to_string()));
+    }
+}

@@ -1,0 +1,74 @@
+//! Offline-vendored, API-compatible subset of the `quote` crate.
+//!
+//! [`quote!`] builds a [`proc_macro2::TokenStream`] from literal Rust
+//! tokens by stringifying and re-lexing them through the vendored
+//! `proc-macro2` lexer. Unlike upstream there is **no `#var`
+//! interpolation** — the macro is for constructing fixture token
+//! streams (as `hadas-lint`'s tests do), not for code generation.
+
+pub use proc_macro2;
+use proc_macro2::{TokenStream, TokenTree};
+
+/// Types that can append themselves to a [`TokenStream`].
+pub trait ToTokens {
+    /// Appends `self`'s tokens to the stream.
+    fn to_tokens(&self, tokens: &mut TokenStream);
+
+    /// Renders `self` as a fresh stream.
+    fn to_token_stream(&self) -> TokenStream {
+        let mut ts = TokenStream::new();
+        self.to_tokens(&mut ts);
+        ts
+    }
+}
+
+impl ToTokens for TokenStream {
+    fn to_tokens(&self, tokens: &mut TokenStream) {
+        tokens.extend(self.clone());
+    }
+}
+
+impl ToTokens for TokenTree {
+    fn to_tokens(&self, tokens: &mut TokenStream) {
+        tokens.extend(std::iter::once(self.clone()));
+    }
+}
+
+impl<T: ToTokens + ?Sized> ToTokens for &T {
+    fn to_tokens(&self, tokens: &mut TokenStream) {
+        (**self).to_tokens(tokens);
+    }
+}
+
+/// Builds a [`TokenStream`] from the literal tokens given, by
+/// stringify-then-relex. Panics (at test/build time, not runtime
+/// library code) if the tokens do not re-lex, which for `stringify!`
+/// output cannot happen with balanced input.
+#[macro_export]
+macro_rules! quote {
+    () => { $crate::proc_macro2::TokenStream::new() };
+    ($($tt:tt)*) => {
+        stringify!($($tt)*)
+            .parse::<$crate::proc_macro2::TokenStream>()
+            .unwrap_or_default()
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quote_produces_relexed_tokens() {
+        let ts = quote! { fn f() { x.iter() } };
+        assert!(ts.to_string().contains("iter"));
+        assert_eq!(ts.len(), 4);
+    }
+
+    #[test]
+    fn empty_quote_is_empty() {
+        let ts = quote! {};
+        assert!(ts.is_empty());
+        assert!(ts.to_token_stream().is_empty());
+    }
+}

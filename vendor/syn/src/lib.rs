@@ -1,0 +1,629 @@
+//! Offline-vendored, API-compatible subset of the `syn` crate.
+//!
+//! [`parse_file`] lexes source text through the vendored `proc-macro2`
+//! and parses it into a [`File`] of [`Item`]s: functions (with their
+//! attribute lists, signatures, and body token streams), modules
+//! (recursively), impl and trait blocks (whose methods are parsed as
+//! nested items), structs/enums (with field tokens), and everything
+//! else as verbatim items. Expression-level constructs stay as token
+//! trees — deliberate: the consumers in this workspace (the
+//! `hadas-lint` determinism audit) walk spanned token trees under an
+//! item-level map of attributes and `#[cfg(test)]` scopes, which is the
+//! subset of upstream `syn` they need.
+//!
+//! Differences from upstream (see `vendor/README.md`): no expression
+//! AST, no generics model, no visitor traits; item payloads expose raw
+//! [`TokenStream`]s plus idents/attrs/spans.
+
+use proc_macro2::{Delimiter, Ident, Span, TokenStream, TokenTree};
+use std::fmt;
+
+/// A parse failure, with the span it was detected at when known.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+    span: Option<Span>,
+}
+
+impl Error {
+    /// Creates an error message anchored at `span`.
+    pub fn new(span: Span, message: impl fmt::Display) -> Error {
+        Error { message: message.to_string(), span: Some(span) }
+    }
+
+    /// The span the error was detected at, if known.
+    pub fn span(&self) -> Option<Span> {
+        self.span
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(s) => {
+                write!(f, "{} at line {} column {}", self.message, s.start().line, s.start().column)
+            }
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parse result alias, as upstream.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// One `#[…]` (or inner `#![…]`) attribute: the tokens between the
+/// brackets, plus the span of the whole attribute.
+#[derive(Debug, Clone)]
+pub struct Attribute {
+    /// Tokens inside the brackets, e.g. `cfg ( test )`.
+    pub tokens: TokenStream,
+    /// Span of the attribute.
+    pub span: Span,
+}
+
+impl Attribute {
+    /// The attribute's leading path ident (`cfg`, `derive`, `allow`, …),
+    /// if it starts with one.
+    pub fn path_ident(&self) -> Option<String> {
+        match self.tokens.iter().next() {
+            Some(TokenTree::Ident(i)) => Some(i.to_string()),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `#[cfg(test)]` (or any `cfg(…)` whose arguments
+    /// mention `test`, covering `cfg(any(test, feature = "…"))`).
+    pub fn is_cfg_test(&self) -> bool {
+        if self.path_ident().as_deref() != Some("cfg") {
+            return false;
+        }
+        fn mentions_test(ts: &TokenStream) -> bool {
+            ts.iter().any(|t| match t {
+                TokenTree::Ident(i) => *i == "test",
+                TokenTree::Group(g) => mentions_test(&g.stream()),
+                _ => false,
+            })
+        }
+        mentions_test(&self.tokens)
+    }
+}
+
+/// A named function item (free, impl method, or trait default method).
+#[derive(Debug, Clone)]
+pub struct ItemFn {
+    /// Attributes on the function.
+    pub attrs: Vec<Attribute>,
+    /// The function's signature.
+    pub sig: Signature,
+    /// The body's token stream (empty for bodiless trait methods).
+    pub block: TokenStream,
+    /// Span of the `fn` keyword.
+    pub span: Span,
+}
+
+/// The parsed parts of a function signature.
+#[derive(Debug, Clone)]
+pub struct Signature {
+    /// The function name.
+    pub ident: Ident,
+    /// Every signature token after the name (generics, args, return
+    /// type, where-clause) up to the body or `;`.
+    pub tokens: TokenStream,
+}
+
+/// A `mod` item.
+#[derive(Debug, Clone)]
+pub struct ItemMod {
+    /// Attributes on the module.
+    pub attrs: Vec<Attribute>,
+    /// The module name.
+    pub ident: Ident,
+    /// Parsed items for an inline `mod m { … }`; `None` for `mod m;`.
+    pub content: Option<Vec<Item>>,
+    /// Span of the `mod` keyword.
+    pub span: Span,
+}
+
+/// An `impl` or `trait` block; methods are parsed as nested items.
+#[derive(Debug, Clone)]
+pub struct ItemImpl {
+    /// Attributes on the block.
+    pub attrs: Vec<Attribute>,
+    /// Header tokens (`impl<'a> Trait for Type` / `trait Name: Bound`).
+    pub header: TokenStream,
+    /// The block's items (methods parse as [`Item::Fn`]).
+    pub items: Vec<Item>,
+    /// Span of the `impl`/`trait` keyword.
+    pub span: Span,
+}
+
+/// A `struct`, `enum`, or `union` definition.
+#[derive(Debug, Clone)]
+pub struct ItemStruct {
+    /// Attributes on the type.
+    pub attrs: Vec<Attribute>,
+    /// The type name.
+    pub ident: Ident,
+    /// Field/variant tokens: the `{ … }` or `( … )` body contents
+    /// (empty for unit structs).
+    pub fields: TokenStream,
+    /// Span of the defining keyword.
+    pub span: Span,
+}
+
+/// Any other item (use, const, static, type alias, macro definition,
+/// extern block…), kept verbatim.
+#[derive(Debug, Clone)]
+pub struct ItemVerbatim {
+    /// Attributes on the item.
+    pub attrs: Vec<Attribute>,
+    /// The item's defining keyword (`use`, `const`, `macro_rules`, …)
+    /// when one was recognized.
+    pub keyword: Option<String>,
+    /// The raw tokens of the item (excluding attributes).
+    pub tokens: TokenStream,
+    /// Span of the first token.
+    pub span: Span,
+}
+
+/// One top-level (or nested) item.
+#[derive(Debug, Clone)]
+pub enum Item {
+    /// `fn`.
+    Fn(ItemFn),
+    /// `mod`.
+    Mod(ItemMod),
+    /// `impl` or `trait` block.
+    Impl(ItemImpl),
+    /// `struct` / `enum` / `union`.
+    Struct(ItemStruct),
+    /// Everything else, verbatim.
+    Verbatim(ItemVerbatim),
+}
+
+impl Item {
+    /// The attributes on the item, whichever variant it is.
+    pub fn attrs(&self) -> &[Attribute] {
+        match self {
+            Item::Fn(i) => &i.attrs,
+            Item::Mod(i) => &i.attrs,
+            Item::Impl(i) => &i.attrs,
+            Item::Struct(i) => &i.attrs,
+            Item::Verbatim(i) => &i.attrs,
+        }
+    }
+
+    /// The item's anchoring span.
+    pub fn span(&self) -> Span {
+        match self {
+            Item::Fn(i) => i.span,
+            Item::Mod(i) => i.span,
+            Item::Impl(i) => i.span,
+            Item::Struct(i) => i.span,
+            Item::Verbatim(i) => i.span,
+        }
+    }
+}
+
+/// A parsed source file: inner attributes plus items.
+#[derive(Debug, Clone)]
+pub struct File {
+    /// Inner (`#![…]`) attributes.
+    pub attrs: Vec<Attribute>,
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// Parses a whole source file.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on lexing failures (unbalanced delimiters,
+/// unterminated literals) or on a malformed item frame.
+pub fn parse_file(src: &str) -> Result<File> {
+    let stream: TokenStream = src
+        .parse()
+        .map_err(|e: proc_macro2::LexError| Error { message: e.to_string(), span: None })?;
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut p = Parser { tokens, pos: 0 };
+    let attrs = p.inner_attributes();
+    let items = p.items()?;
+    Ok(File { attrs, items })
+}
+
+struct Parser {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&TokenTree> {
+        self.tokens.get(self.pos + offset)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_ident(&self) -> Option<String> {
+        match self.peek() {
+            Some(TokenTree::Ident(i)) => Some(i.to_string()),
+            _ => None,
+        }
+    }
+
+    fn peek_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    /// Leading `#![…]` inner attributes (file or module level).
+    fn inner_attributes(&mut self) -> Vec<Attribute> {
+        let mut attrs = Vec::new();
+        while self.peek_punct('#') {
+            let Some(TokenTree::Punct(bang)) = self.peek_at(1) else { break };
+            if bang.as_char() != '!' {
+                break;
+            }
+            let Some(TokenTree::Group(g)) = self.peek_at(2) else { break };
+            if g.delimiter() != Delimiter::Bracket {
+                break;
+            }
+            let span = g.span();
+            let tokens = g.stream();
+            attrs.push(Attribute { tokens, span });
+            self.pos += 3;
+        }
+        attrs
+    }
+
+    /// Leading `#[…]` outer attributes before an item.
+    fn outer_attributes(&mut self) -> Vec<Attribute> {
+        let mut attrs = Vec::new();
+        while self.peek_punct('#') {
+            let Some(TokenTree::Group(g)) = self.peek_at(1) else { break };
+            if g.delimiter() != Delimiter::Bracket {
+                break;
+            }
+            attrs.push(Attribute { tokens: g.stream(), span: g.span() });
+            self.pos += 2;
+        }
+        attrs
+    }
+
+    /// Skips a visibility qualifier (`pub`, `pub(crate)`, …).
+    fn visibility(&mut self) {
+        if self.peek_ident().as_deref() == Some("pub") {
+            self.bump();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn items(&mut self) -> Result<Vec<Item>> {
+        let mut items = Vec::new();
+        while self.peek().is_some() {
+            items.push(self.item()?);
+        }
+        Ok(items)
+    }
+
+    fn item(&mut self) -> Result<Item> {
+        let attrs = self.outer_attributes();
+        self.visibility();
+
+        let span = self.peek().map_or_else(Span::call_site, TokenTree::span);
+        // Qualifier keywords that may precede the defining keyword.
+        let mut keyword = None;
+        let mut qualifier_budget = 4usize; // const/async/unsafe/extern "C"
+        while let Some(word) = self.peek_ident() {
+            match word.as_str() {
+                "fn" | "mod" | "impl" | "trait" | "struct" | "enum" | "union" | "use"
+                | "static" | "type" | "macro_rules" | "macro" => {
+                    keyword = Some(word);
+                    break;
+                }
+                "const" => {
+                    // `const fn` is a qualifier; `const NAME` is an item.
+                    if matches!(self.peek_at(1), Some(TokenTree::Ident(i)) if *i == "fn") {
+                        self.bump();
+                    } else {
+                        keyword = Some(word);
+                        break;
+                    }
+                }
+                "async" | "unsafe" | "extern" | "auto" | "default" => {
+                    self.bump();
+                    // `extern "C"` carries a literal.
+                    if matches!(self.peek(), Some(TokenTree::Literal(_))) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+            qualifier_budget -= 1;
+            if qualifier_budget == 0 {
+                break;
+            }
+        }
+
+        match keyword.as_deref() {
+            Some("fn") => self.item_fn(attrs, span),
+            Some("mod") => self.item_mod(attrs, span),
+            Some("impl") | Some("trait") => self.item_impl(attrs, span),
+            Some("struct") | Some("enum") | Some("union") => self.item_struct(attrs, span),
+            _ => self.item_verbatim(attrs, keyword, span),
+        }
+    }
+
+    fn item_fn(&mut self, attrs: Vec<Attribute>, span: Span) -> Result<Item> {
+        self.bump(); // `fn`
+        let ident = match self.bump() {
+            Some(TokenTree::Ident(i)) => i,
+            other => {
+                return Err(Error {
+                    message: format!("expected function name, found {other:?}"),
+                    span: Some(span),
+                })
+            }
+        };
+        // Signature tokens up to the body brace or a `;` (trait method).
+        let mut sig_tokens = TokenStream::new();
+        loop {
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let block = g.stream();
+                    self.bump();
+                    return Ok(Item::Fn(ItemFn {
+                        attrs,
+                        sig: Signature { ident, tokens: sig_tokens },
+                        block,
+                        span,
+                    }));
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                    self.bump();
+                    return Ok(Item::Fn(ItemFn {
+                        attrs,
+                        sig: Signature { ident, tokens: sig_tokens },
+                        block: TokenStream::new(),
+                        span,
+                    }));
+                }
+                Some(_) => {
+                    let t = self.bump().into_iter();
+                    sig_tokens.extend(t);
+                }
+                None => {
+                    return Err(Error {
+                        message: "function signature with no body".into(),
+                        span: Some(span),
+                    })
+                }
+            }
+        }
+    }
+
+    fn item_mod(&mut self, attrs: Vec<Attribute>, span: Span) -> Result<Item> {
+        self.bump(); // `mod`
+        let ident = match self.bump() {
+            Some(TokenTree::Ident(i)) => i,
+            other => {
+                return Err(Error {
+                    message: format!("expected module name, found {other:?}"),
+                    span: Some(span),
+                })
+            }
+        };
+        match self.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                self.bump();
+                let mut inner = Parser { tokens: body, pos: 0 };
+                let mut mod_attrs = attrs;
+                mod_attrs.extend(inner.inner_attributes());
+                let content = inner.items()?;
+                Ok(Item::Mod(ItemMod { attrs: mod_attrs, ident, content: Some(content), span }))
+            }
+            _ => {
+                // `mod name;` — consume the semicolon if present.
+                if self.peek_punct(';') {
+                    self.bump();
+                }
+                Ok(Item::Mod(ItemMod { attrs, ident, content: None, span }))
+            }
+        }
+    }
+
+    fn item_impl(&mut self, attrs: Vec<Attribute>, span: Span) -> Result<Item> {
+        self.bump(); // `impl` / `trait`
+        let mut header = TokenStream::new();
+        loop {
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                    self.bump();
+                    let mut inner = Parser { tokens: body, pos: 0 };
+                    let items = inner.items()?;
+                    return Ok(Item::Impl(ItemImpl { attrs, header, items, span }));
+                }
+                Some(_) => {
+                    let t = self.bump().into_iter();
+                    header.extend(t);
+                }
+                None => {
+                    return Err(Error {
+                        message: "impl/trait with no body".into(),
+                        span: Some(span),
+                    })
+                }
+            }
+        }
+    }
+
+    fn item_struct(&mut self, attrs: Vec<Attribute>, span: Span) -> Result<Item> {
+        self.bump(); // `struct` / `enum` / `union`
+        let ident = match self.bump() {
+            Some(TokenTree::Ident(i)) => i,
+            other => {
+                return Err(Error {
+                    message: format!("expected type name, found {other:?}"),
+                    span: Some(span),
+                })
+            }
+        };
+        let mut fields = TokenStream::new();
+        loop {
+            match self.peek() {
+                // `struct S { … }` / `enum E { … }` field or variant body.
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    fields = g.stream();
+                    self.bump();
+                    return Ok(Item::Struct(ItemStruct { attrs, ident, fields, span }));
+                }
+                // Tuple struct `struct S(…)` — body then `;`.
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    fields = g.stream();
+                    self.bump();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                    self.bump();
+                    return Ok(Item::Struct(ItemStruct { attrs, ident, fields, span }));
+                }
+                // Generics / where-clause tokens.
+                Some(_) => {
+                    self.bump();
+                }
+                None => return Ok(Item::Struct(ItemStruct { attrs, ident, fields, span })),
+            }
+        }
+    }
+
+    /// Everything else: consume to the first top-level `;`, or — for
+    /// macro definitions and extern blocks — a trailing brace group.
+    fn item_verbatim(
+        &mut self,
+        attrs: Vec<Attribute>,
+        keyword: Option<String>,
+        span: Span,
+    ) -> Result<Item> {
+        let mut tokens = TokenStream::new();
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                    self.bump();
+                    return Ok(Item::Verbatim(ItemVerbatim { attrs, keyword, tokens, span }));
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let t = self.bump().into_iter();
+                    tokens.extend(t);
+                    // A brace group ends items like `macro_rules! m { … }`
+                    // unless a `;` immediately follows (e.g. `= { … };`).
+                    if self.peek_punct(';') {
+                        self.bump();
+                    }
+                    return Ok(Item::Verbatim(ItemVerbatim { attrs, keyword, tokens, span }));
+                }
+                Some(_) => {
+                    let t = self.bump().into_iter();
+                    tokens.extend(t);
+                }
+                None => return Ok(Item::Verbatim(ItemVerbatim { attrs, keyword, tokens, span })),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_functions_with_attrs_and_bodies() {
+        let file = parse_file("//! doc\n#[inline]\npub fn f(x: u32) -> u32 { x + 1 }\nfn g() {}\n")
+            .expect("parses");
+        assert_eq!(file.items.len(), 2);
+        let Item::Fn(f) = &file.items[0] else { panic!("expected fn") };
+        assert!(f.sig.ident == "f");
+        assert_eq!(f.attrs.len(), 1);
+        assert_eq!(f.attrs[0].path_ident().as_deref(), Some("inline"));
+        assert!(f.block.to_string().contains("x + 1"));
+        assert_eq!(f.span.start().line, 3);
+    }
+
+    #[test]
+    fn cfg_test_modules_parse_recursively() {
+        let src = "fn lib_code() {}\n#[cfg(test)]\nmod tests {\n    use super::*;\n    #[test]\n    fn t() { assert!(true); }\n}\n";
+        let file = parse_file(src).expect("parses");
+        assert_eq!(file.items.len(), 2);
+        let Item::Mod(m) = &file.items[1] else { panic!("expected mod") };
+        assert!(m.attrs.iter().any(Attribute::is_cfg_test));
+        let content = m.content.as_ref().expect("inline");
+        assert_eq!(content.len(), 2, "{content:?}");
+        assert!(matches!(&content[1], Item::Fn(f) if f.sig.ident == "t"));
+    }
+
+    #[test]
+    fn impl_and_trait_methods_are_nested_items() {
+        let src = "struct S { map: u32 }\nimpl S {\n    pub fn m(&self) -> u32 { self.map }\n}\ntrait T {\n    fn required(&self);\n    fn provided(&self) -> u32 { 7 }\n}\n";
+        let file = parse_file(src).expect("parses");
+        assert_eq!(file.items.len(), 3);
+        let Item::Impl(i) = &file.items[1] else { panic!("expected impl") };
+        assert_eq!(i.items.len(), 1);
+        let Item::Impl(t) = &file.items[2] else { panic!("expected trait") };
+        assert_eq!(t.items.len(), 2);
+        let Item::Fn(req) = &t.items[0] else { panic!("fn") };
+        assert!(req.block.is_empty(), "bodiless trait method");
+    }
+
+    #[test]
+    fn structs_enums_and_verbatim_items() {
+        let src = "use std::collections::HashMap;\npub struct P(pub u32);\npub enum E { A, B(u32) }\npub const N: usize = 3;\nstatic S: u32 = 1;\npub type Alias = u32;\n";
+        let file = parse_file(src).expect("parses");
+        assert_eq!(file.items.len(), 6);
+        assert!(matches!(&file.items[0], Item::Verbatim(v) if v.keyword.as_deref() == Some("use")));
+        assert!(matches!(&file.items[1], Item::Struct(s) if s.ident == "P"));
+        assert!(matches!(&file.items[2], Item::Struct(e) if e.ident == "E"));
+        assert!(
+            matches!(&file.items[3], Item::Verbatim(v) if v.keyword.as_deref() == Some("const"))
+        );
+    }
+
+    #[test]
+    fn const_fn_and_generics_parse() {
+        let src = "pub const fn zero<T: Default>() -> T where T: Clone { T::default() }\n";
+        let file = parse_file(src).expect("parses");
+        let Item::Fn(f) = &file.items[0] else { panic!("fn") };
+        assert!(f.sig.ident == "zero");
+        assert!(f.sig.tokens.to_string().contains("where"));
+    }
+
+    #[test]
+    fn macro_rules_definitions_are_verbatim() {
+        let src = "macro_rules! m { ($x:expr) => { $x + 1 }; }\nfn after() {}\n";
+        let file = parse_file(src).expect("parses");
+        assert_eq!(file.items.len(), 2);
+        assert!(matches!(
+            &file.items[0],
+            Item::Verbatim(v) if v.keyword.as_deref() == Some("macro_rules")
+        ));
+        assert!(matches!(&file.items[1], Item::Fn(_)));
+    }
+
+    #[test]
+    fn lex_errors_surface_as_parse_errors() {
+        assert!(parse_file("fn broken( {").is_err());
+    }
+}
