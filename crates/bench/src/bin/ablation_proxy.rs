@@ -91,7 +91,7 @@ fn true_front_hv(hadas_exact: &Hadas, outcome: &hadas::OoeOutcome, cfg: &HadasCo
     hypervolume_2d(&front, &[-0.5, 0.0])
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = bench_env!().scaled_config();
     let space = SearchSpace::attentive_nas();
     let device = DeviceModel::for_target(HwTarget::Tx2PascalGpu);
@@ -125,7 +125,7 @@ fn main() {
     ] {
         counter.queries.store(0, std::sync::atomic::Ordering::Relaxed);
         let start = Instant::now();
-        let outcome = hadas.run(&cfg).expect("search runs");
+        let outcome = hadas.run(&cfg)?;
         let wall_ms = start.elapsed().as_millis();
         let device_queries = fixed_queries
             .unwrap_or_else(|| counter.queries.load(std::sync::atomic::Ordering::Relaxed));
@@ -150,4 +150,5 @@ fn main() {
     );
     println!("(paper: proxy cuts search time from 2-3 GPU days to ~1 with comparable results)");
     bench_env!().write_json("ablation_proxy", &runs);
+    Ok(())
 }

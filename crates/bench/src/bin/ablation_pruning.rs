@@ -17,11 +17,11 @@ struct PruningRun {
     front_hv: f64,
 }
 
-fn run(prune_fraction: f64) -> PruningRun {
+fn run(prune_fraction: f64) -> Result<PruningRun, hadas::HadasError> {
     let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
     let mut cfg = bench_env!().scaled_config();
     cfg.prune_fraction = prune_fraction;
-    let outcome = hadas.run(&cfg).expect("joint search runs");
+    let outcome = hadas.run(&cfg)?;
     let ioe_invocations = outcome.backbones().iter().filter(|b| b.ioe.is_some()).count();
     let models = outcome.pareto_models();
     let axes: Vec<Vec<f64>> = models
@@ -31,15 +31,15 @@ fn run(prune_fraction: f64) -> PruningRun {
     let fronts = fast_non_dominated_sort(&axes);
     let front: Vec<Vec<f64>> =
         fronts.first().map(|f| f.iter().map(|&i| axes[i].clone()).collect()).unwrap_or_default();
-    PruningRun {
+    Ok(PruningRun {
         prune_fraction,
         ioe_invocations,
         joint_models: models.len(),
         front_hv: hypervolume_2d(&front, &[-0.5, 0.0]),
-    }
+    })
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("ABLATION — OOE early-selection pruning (TX2 Pascal GPU)");
     println!(
         "{:>15} {:>17} {:>13} {:>10}",
@@ -48,7 +48,7 @@ fn main() {
     println!("{}", "-".repeat(60));
     let mut runs = Vec::new();
     for f in [0.25, 0.5, 1.0] {
-        let r = run(f);
+        let r = run(f)?;
         println!(
             "{:>15.2} {:>17} {:>13} {:>10.4}",
             r.prune_fraction, r.ioe_invocations, r.joint_models, r.front_hv
@@ -64,4 +64,5 @@ fn main() {
         pruned.front_hv / full.front_hv * 100.0
     );
     bench_env!().write_json("ablation_pruning", &runs);
+    Ok(())
 }

@@ -20,12 +20,12 @@ struct ConvergencePanel {
     first_domination: Vec<(String, Option<usize>)>,
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = bench_env!().scaled_config();
     let mut panels = Vec::new();
     for target in all_targets() {
         let hadas = Hadas::for_target(target);
-        let outcome = hadas.run(&cfg).expect("joint search runs");
+        let outcome = hadas.run(&cfg)?;
         let axes = outcome.static_axes();
 
         // Baselines as (name, [acc, -energy]) targets to dominate.
@@ -100,4 +100,5 @@ fn main() {
         early_share * 100.0
     );
     bench_env!().write_json("convergence", &panels);
+    Ok(())
 }

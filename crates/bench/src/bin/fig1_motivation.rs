@@ -37,7 +37,7 @@ fn stage_bars(hadas: &Hadas, name: &str, subnet: &Subnet, seed: u64, acc_floor: 
     }
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
     let cfg = bench_env!().scaled_config();
     let nets = hadas_bench::baseline_subnets(&hadas);
@@ -49,7 +49,7 @@ fn main() {
 
     // The HADAS model: from a joint run, the backbone whose deployment
     // pick is cheapest while holding a6-level dynamic accuracy.
-    let outcome = hadas.run(&cfg).expect("joint search runs");
+    let outcome = hadas.run(&cfg)?;
     let floor = a6_bars.dyn_fitness.accuracy_pct - 0.5;
     let device = hadas.device();
     let hadas_subnet = outcome
@@ -134,4 +134,5 @@ fn main() {
         ),
     );
     bench_env!().write_json("fig1_motivation", &bars);
+    Ok(())
 }

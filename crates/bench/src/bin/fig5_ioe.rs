@@ -17,7 +17,7 @@ fn to_points(axes: &[Vec<f64>]) -> Vec<ScatterPoint> {
         .collect()
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = bench_env!().scaled_config();
     let mut panels = Vec::new();
     let mut rod_sum = 0.0;
@@ -26,7 +26,7 @@ fn main() {
 
         // HADAS side: joint run, collect every IOE point of every promoted
         // backbone (the (B, X, F) cloud of the figure).
-        let outcome = hadas.run(&cfg).expect("joint search runs");
+        let outcome = hadas.run(&cfg)?;
         let mut hadas_axes: Vec<Vec<f64>> = Vec::new();
         for b in outcome.backbones() {
             if let Some(ioe) = &b.ioe {
@@ -94,4 +94,5 @@ fn main() {
         );
     }
     bench_env!().write_json("fig5_ioe", &panels);
+    Ok(())
 }

@@ -7,12 +7,12 @@ use hadas::Hadas;
 use hadas_bench::{all_targets, baseline_subnets, bench_env};
 use hadas_evo::dominates;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = bench_env!().scaled_config();
     let mut panels = Vec::new();
     for target in all_targets() {
         let hadas = Hadas::for_target(target);
-        let outcome = hadas.run(&cfg).expect("joint search runs");
+        let outcome = hadas.run(&cfg)?;
         let axes = outcome.static_axes();
         let front: Vec<Vec<f64>> =
             outcome.static_pareto().iter().map(|b| b.fitness.to_plot_axes()).collect();
@@ -83,4 +83,5 @@ fn main() {
         );
     }
     bench_env!().write_json("fig5_ooe", &panels);
+    Ok(())
 }

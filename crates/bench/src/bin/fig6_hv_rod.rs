@@ -15,7 +15,7 @@ fn front(axes: &[Vec<f64>]) -> Vec<Vec<f64>> {
     fronts[0].iter().map(|&i| axes[i].clone()).collect()
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = bench_env!().scaled_config();
     // Reference point for (energy gain, mean N_i): slightly below the
     // worst useful values so every sane solution contributes volume.
@@ -29,7 +29,7 @@ fn main() {
     println!("{}", "-".repeat(76));
     for target in all_targets() {
         let hadas = Hadas::for_target(target);
-        let outcome = hadas.run(&cfg).expect("joint search runs");
+        let outcome = hadas.run(&cfg)?;
         let mut hadas_axes: Vec<Vec<f64>> = Vec::new();
         for b in outcome.backbones() {
             if let Some(ioe) = &b.ioe {
@@ -98,4 +98,5 @@ fn main() {
         ),
     );
     bench_env!().write_json("fig6_hv_rod", &bars);
+    Ok(())
 }

@@ -10,6 +10,7 @@
 //! brownout ladder lowers the interactive violation rate under
 //! overload.
 
+use hadas::executor::ExecTelemetry;
 use hadas::Hadas;
 use hadas_bench::bench_env;
 use hadas_hw::HwTarget;
@@ -40,10 +41,14 @@ struct ServeRow {
     brownout_worst_tier: usize,
     brownout_escalations: usize,
     brownout_tier_windows: Vec<usize>,
+    /// Execution-plane resilience counters (lane respawns included) —
+    /// the same schema `BENCH_search.json` rows embed, so the serve and
+    /// search planes share one telemetry vocabulary.
+    executor: ExecTelemetry,
 }
 
 impl ServeRow {
-    fn from_report(governor: GovernorKind, rps: f64, r: &ServeReport) -> Self {
+    fn from_report(governor: GovernorKind, rps: f64, r: &ServeReport, exec: ExecTelemetry) -> Self {
         ServeRow {
             governor: governor.name().to_string(),
             workers: r.workers,
@@ -67,6 +72,7 @@ impl ServeRow {
             brownout_worst_tier: r.brownout.worst_tier,
             brownout_escalations: r.brownout.escalations,
             brownout_tier_windows: r.brownout.tier_windows.clone(),
+            executor: exec,
         }
     }
 }
@@ -101,7 +107,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 governor,
                 ..ServeConfig::default()
             };
-            let r = ServeEngine::new(&hadas, modes.clone(), serve_cfg)?.run()?;
+            let (r, exec) =
+                ServeEngine::new(&hadas, modes.clone(), serve_cfg)?.run_instrumented()?;
             println!(
                 "{:<10} {:>7} {:>9} {:>9} {:>9.1} {:>8.1} {:>8.1} {:>8.2} {:>8}",
                 governor.name(),
@@ -114,7 +121,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 r.slo.violation_rate * 100.0,
                 r.mode_switches
             );
-            rows.push(ServeRow::from_report(governor, 200.0, &r));
+            rows.push(ServeRow::from_report(governor, 200.0, &r, exec));
         }
     }
     for governor in [GovernorKind::Static, GovernorKind::Latency, GovernorKind::Queue] {
@@ -150,8 +157,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             brownout: brownout.then(BrownoutConfig::default),
             ..ServeConfig::default()
         };
-        let r = ServeEngine::new(&hadas, modes.clone(), serve_cfg)?.run()?;
-        let row = ServeRow::from_report(GovernorKind::Queue, 600.0, &r);
+        let (r, exec) = ServeEngine::new(&hadas, modes.clone(), serve_cfg)?.run_instrumented()?;
+        let row = ServeRow::from_report(GovernorKind::Queue, 600.0, &r, exec);
         println!(
             "  brownout {:<3}: p99 {:>7.1} ms | interactive SLO viol {:>5.2}% | \
              shed {} rejected {} | worst tier {} ({} escalations)",

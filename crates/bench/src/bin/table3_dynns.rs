@@ -40,7 +40,7 @@ fn row(
     })
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
     let cfg = bench_env!().scaled_config();
     let nets = hadas_bench::baseline_subnets(&hadas);
@@ -60,7 +60,7 @@ fn main() {
 
     // HADAS b1..b4: b1 is the cheapest DyNN with a6-level dynamic
     // accuracy; b2..b4 the next-cheapest still clearly above a0's.
-    let outcome = hadas.run(&cfg).expect("joint search runs");
+    let outcome = hadas.run(&cfg)?;
     let mut candidates: Vec<Table3Row> = outcome
         .backbones()
         .iter()
@@ -120,4 +120,5 @@ fn main() {
         );
     }
     bench_env!().write_json("table3_dynns", &rows);
+    Ok(())
 }

@@ -85,6 +85,15 @@ pub enum Command {
         /// finite worst-case penalty without perturbing the rest of
         /// the front.
         data_chaos: Option<u64>,
+        /// Worker lanes for the supervised evaluation phases (static
+        /// population evals and nested IOE runs). `0` auto-sizes to
+        /// the host; any value yields a byte-identical front.
+        workers: usize,
+        /// Inject execution-plane chaos (worker crashes, dispatch
+        /// failures, stragglers) into the supervised executor with
+        /// this seed; crashed lanes respawn and lost evaluations
+        /// re-dispatch so the healed front matches the fault-free one.
+        chaos: Option<u64>,
     },
     /// Train the weight-sharing micro-supernet under the divergence
     /// guard (numeric sentinels, epoch checkpoint/rollback, poisoned-
@@ -272,6 +281,8 @@ impl Command {
                         "max-generations",
                         "faults",
                         "data-chaos",
+                        "workers",
+                        "chaos",
                     ],
                 )?;
                 let target = parse_target(
@@ -302,6 +313,18 @@ impl Command {
                             .map_err(|e| ParseCliError(format!("bad data-chaos seed: {e}")))
                     })
                     .transpose()?;
+                let workers = flag(&flags, "workers")
+                    .map(|s| {
+                        s.parse::<usize>().map_err(|e| ParseCliError(format!("bad workers: {e}")))
+                    })
+                    .transpose()?
+                    .unwrap_or(0);
+                let chaos = flag(&flags, "chaos")
+                    .map(|s| {
+                        s.parse::<u64>()
+                            .map_err(|e| ParseCliError(format!("bad chaos seed: {e}")))
+                    })
+                    .transpose()?;
                 Ok(Command::Search {
                     target,
                     scale,
@@ -312,6 +335,8 @@ impl Command {
                     max_generations,
                     faults,
                     data_chaos,
+                    workers,
+                    chaos,
                 })
             }
             "train" => {
@@ -581,6 +606,8 @@ mod tests {
                 max_generations: None,
                 faults: None,
                 data_chaos: None,
+                workers: 0,
+                chaos: None,
             }
         );
     }
@@ -600,6 +627,8 @@ mod tests {
                 max_generations: None,
                 faults: None,
                 data_chaos: None,
+                workers: 0,
+                chaos: None,
             }
         );
     }
@@ -636,6 +665,14 @@ mod tests {
         let cmd = Command::parse(&argv("search --target tx2-gpu --data-chaos 17")).unwrap();
         assert!(matches!(cmd, Command::Search { data_chaos: Some(17), .. }));
         assert!(Command::parse(&argv("search --target tx2-gpu --data-chaos loud")).is_err());
+    }
+
+    #[test]
+    fn search_parses_parallel_flags() {
+        let cmd = Command::parse(&argv("search --target tx2-gpu --workers 4 --chaos 13")).unwrap();
+        assert!(matches!(cmd, Command::Search { workers: 4, chaos: Some(13), .. }));
+        assert!(Command::parse(&argv("search --target tx2-gpu --workers many")).is_err());
+        assert!(Command::parse(&argv("search --target tx2-gpu --chaos loud")).is_err());
     }
 
     #[test]

@@ -24,7 +24,8 @@ USAGE:
   hadas baselines --target <t>
   hadas search    --target <t> [--scale quick|mid|paper] [--seed N] [--json PATH]
                   [--checkpoint PATH] [--resume PATH] [--max-generations N]
-                  [--faults SEED] [--data-chaos SEED]
+                  [--faults SEED] [--data-chaos SEED] [--workers N]
+                  [--chaos SEED]
   hadas train     [--epochs N] [--batch N] [--lr F] [--seed N]
                   [--data-chaos SEED] [--train-checkpoint PATH]
                   [--resume-train on|off] [--max-epochs N] [--json PATH]
@@ -48,6 +49,13 @@ ROBUSTNESS:
                          measurements with NaN; the engines quarantine them
                          to the finite worst-case penalty and report the
                          count, leaving the rest of the front untouched
+  --workers N            (search) worker lanes for the supervised parallel
+                         evaluation phases; the front is byte-identical at
+                         any count (0 = auto-size to the host)
+  --chaos SEED           (search) inject execution-plane chaos — worker
+                         crashes, dispatch failures, stragglers — into the
+                         supervised executor; lanes respawn and lost evals
+                         re-dispatch, healing to the fault-free front
 
 TRAINING:
   `train` runs the divergence-guarded weight-sharing supernet trainer:
@@ -136,6 +144,8 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
             max_generations,
             faults,
             data_chaos,
+            workers,
+            chaos,
         } => {
             let hadas = Hadas::for_target(target);
             let cfg = scale.config().with_seed(seed);
@@ -156,15 +166,21 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
             }
             opts.stop_after_generations = max_generations;
             opts.data_chaos = data_chaos;
+            opts.workers = workers;
             if let Some(fault_seed) = faults {
                 opts.faults = Arc::new(FaultInjector::new(FaultConfig::chaos(fault_seed))?);
             }
+            if let Some(chaos_seed) = chaos {
+                opts.exec_chaos =
+                    Some(Arc::new(FaultInjector::new(FaultConfig::worker_chaos(chaos_seed))?));
+            }
             writeln!(
                 out,
-                "searching {} (OOE {} / IOE {} iterations, seed {seed})...",
+                "searching {} (OOE {} / IOE {} iterations, seed {seed}, {} worker lane(s))...",
                 target.name(),
                 cfg.ooe.iterations,
-                cfg.ioe.iterations
+                cfg.ioe.iterations,
+                if workers == 0 { "auto".to_string() } else { workers.to_string() }
             )?;
             let outcome = hadas.run_with(&cfg, &opts)?;
             let telemetry = *outcome.telemetry();
@@ -227,6 +243,22 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
                     "data chaos: {} non-finite fitness evaluation(s) quarantined \
                      to the worst-case penalty",
                     telemetry.quarantined_evals
+                )?;
+            }
+            if chaos.is_some() {
+                let exec = outcome.exec_telemetry();
+                writeln!(
+                    out,
+                    "chaos healed: {} crashes ({} respawns), {} retries, {} re-dispatches, \
+                     {} hedges ({} duplicates), {} breaker trips, {} dead-lettered",
+                    exec.crashes,
+                    exec.respawns,
+                    exec.retries,
+                    exec.redispatches,
+                    exec.hedges,
+                    exec.duplicate_results,
+                    exec.breaker_trips,
+                    exec.dead_letter_units
                 )?;
             }
             if telemetry.interrupted {
@@ -516,7 +548,7 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
                     telemetry.hedges,
                     telemetry.duplicate_results,
                     telemetry.breaker_trips,
-                    telemetry.dead_letter_requests
+                    telemetry.dead_letter_units
                 )?;
             }
             if report.brownout.enabled {
@@ -611,6 +643,8 @@ mod tests {
             max_generations: None,
             faults: None,
             data_chaos: None,
+            workers: 0,
+            chaos: None,
         }
     }
 
@@ -637,6 +671,8 @@ mod tests {
                     max_generations: None,
                     faults: Some(99),
                     data_chaos: None,
+                    workers: 0,
+                    chaos: None,
                 }
             }
             other => other,
@@ -664,6 +700,8 @@ mod tests {
                 max_generations: Some(1),
                 faults: None,
                 data_chaos: None,
+                workers: 0,
+                chaos: None,
             },
             other => other,
         };
@@ -682,6 +720,8 @@ mod tests {
                 max_generations: None,
                 faults: None,
                 data_chaos: None,
+                workers: 0,
+                chaos: None,
             },
             other => other,
         };
@@ -707,6 +747,8 @@ mod tests {
                     max_generations: None,
                     faults: None,
                     data_chaos: Some(17),
+                    workers: 0,
+                    chaos: None,
                 }
             }
             other => other,
@@ -715,6 +757,41 @@ mod tests {
         assert!(text.contains("data chaos:"), "{text}");
         assert!(text.contains("quarantined"), "{text}");
         assert!(text.contains("acc (%)"), "the front still prints: {text}");
+    }
+
+    #[test]
+    fn parallel_search_under_exec_chaos_heals_to_the_same_front() {
+        let baseline = run(search_cmd(3));
+        let cmd = match search_cmd(3) {
+            Command::Search { target, scale, seed, json, checkpoint, resume, .. } => {
+                Command::Search {
+                    target,
+                    scale,
+                    seed,
+                    json,
+                    checkpoint,
+                    resume,
+                    max_generations: None,
+                    faults: None,
+                    data_chaos: None,
+                    workers: 4,
+                    chaos: Some(13),
+                }
+            }
+            other => other,
+        };
+        let text = run(cmd);
+        assert!(text.contains("chaos healed:"), "{text}");
+        // Everything but the banner (worker count) and the healing
+        // summary is byte-identical to the clean auto-width run.
+        let front = |t: &str| {
+            t.lines()
+                .skip(1)
+                .filter(|l| !l.starts_with("chaos healed"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(front(&baseline), front(&text), "healed chaos must not show in the front");
     }
 
     fn train_cmd(seed: u64) -> Command {

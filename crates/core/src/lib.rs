@@ -47,6 +47,7 @@ mod controller;
 mod deployment;
 mod dynmodel;
 mod error;
+pub mod executor;
 mod ioe;
 mod objectives;
 mod ooe;
@@ -66,6 +67,7 @@ pub use controller::{
 pub use deployment::DeploymentPicker;
 pub use dynmodel::{DynamicEvaluation, DynamicModel};
 pub use error::HadasError;
+pub use executor::{ExecTelemetry, FateResolver};
 pub use ioe::{Ioe, IoeOutcome, IoeSolution};
 pub use objectives::{DynamicFitness, StaticFitness};
 pub use ooe::{EvaluatedBackbone, JointModel, Ooe, OoeOutcome, SearchOptions};

@@ -1,12 +1,14 @@
 use crate::checkpoint::SearchCheckpoint;
 use crate::clock::Deadline;
-use crate::resilience::{FaultModel, NoFaults, RetryPolicy, SearchTelemetry};
+use crate::executor::{
+    modeled_makespan_ms, run_supervised, ChaosPlan, ExecTelemetry, FateResolver, JobSpec,
+};
+use crate::resilience::{CircuitBreaker, FaultModel, NoFaults, RetryPolicy, SearchTelemetry};
 use crate::{DynamicFitness, Hadas, HadasConfig, HadasError, Ioe, IoeOutcome, StaticFitness};
 use hadas_evo::{crowding_distance, discrete, fast_non_dominated_sort};
 use hadas_exits::ExitPlacement;
 use hadas_hw::DvfsSetting;
 use hadas_space::{Genome, Subnet};
-use parking_lot::Mutex;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
@@ -46,6 +48,36 @@ pub(crate) fn chaos_poisons(seed: u64, key: u64) -> bool {
 /// cost, so it is selected away without poisoning dominance arithmetic.
 const FAILED_STATIC_FITNESS: StaticFitness =
     StaticFitness { accuracy_pct: 0.0, latency_ms: 1.0e9, energy_mj: 1.0e9 };
+
+/// Consecutive dispatch failures that open the execution-plane circuit
+/// breaker during supervised evaluation phases (mirrors the serving
+/// pool's default shape).
+const EXEC_BREAKER_THRESHOLD: u32 = 8;
+/// Jobs an open execution-plane breaker stays open for before probing.
+const EXEC_BREAKER_COOLDOWN: u32 = 4;
+/// Hedge factor of the supervised evaluation phases: an attempt
+/// straggling past `factor × est_ms` gets a concurrent hedge on the
+/// next lane.
+const EXEC_HEDGE_FACTOR: f64 = 3.0;
+/// Virtual service-time estimate of one static backbone evaluation
+/// (milliseconds). Uniform on purpose: the modeled scaling curve then
+/// reflects pure lane balance, not a guessed cost model.
+const STATIC_EVAL_EST_MS: f64 = 1.0;
+
+/// Worker-lane count for the supervised evaluation phases: an explicit
+/// request wins; `0` auto-sizes to the host's parallelism, capped at 8
+/// (the widest configuration the chaos matrix pins byte-identity for —
+/// correctness holds at any width, the cap just bounds thread churn on
+/// big hosts).
+fn effective_workers(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    // Only sizes worker lanes — the front is byte-identical at any
+    // width (tests/chaos.rs pins it), so the probe cannot leak.
+    // lint:allow(det-ambient-env) reviewed
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(8)
+}
 
 /// One backbone evaluated by the outer engine.
 #[derive(Debug, Clone)]
@@ -110,6 +142,21 @@ pub struct SearchOptions {
     /// Pareto arithmetic never sees a non-finite number. `None` disables
     /// injection.
     pub data_chaos: Option<u64>,
+    /// Worker lanes for the supervised evaluation phases (static
+    /// population evaluations and nested IOE runs), driven through the
+    /// shared [`crate::executor`]. `0` (the default) auto-sizes to the
+    /// host's parallelism capped at 8. The serialized Pareto front is
+    /// byte-identical at any worker count — lanes only change wall
+    /// clock, never results.
+    pub workers: usize,
+    /// Execution-plane chaos: a [`FateResolver`] that scripts worker
+    /// crashes, transient dispatch failures, and stragglers for the
+    /// supervised executor (distinct from `faults`, which poisons the
+    /// *measurements* themselves). Crashed lanes respawn and lost
+    /// evaluations re-dispatch, so whenever nothing dead-letters the
+    /// healed front is byte-identical to the fault-free run. `None`
+    /// runs the executor clean.
+    pub exec_chaos: Option<Arc<dyn FateResolver>>,
 }
 
 impl Default for SearchOptions {
@@ -123,6 +170,8 @@ impl Default for SearchOptions {
             stop_after_generations: None,
             time_budget_s: None,
             data_chaos: None,
+            workers: 0,
+            exec_chaos: None,
         }
     }
 }
@@ -132,6 +181,8 @@ impl Default for SearchOptions {
 pub struct OoeOutcome {
     backbones: Vec<EvaluatedBackbone>,
     telemetry: SearchTelemetry,
+    exec: ExecTelemetry,
+    modeled_ms: f64,
 }
 
 impl OoeOutcome {
@@ -152,6 +203,24 @@ impl OoeOutcome {
     /// time budget) and this is a partial front.
     pub fn interrupted(&self) -> bool {
         self.telemetry.interrupted
+    }
+
+    /// Execution-plane resilience telemetry of the supervised evaluation
+    /// phases: crashes healed, lanes respawned, retries, hedges, and
+    /// dead letters. Zero everywhere on a clean run. Informational, like
+    /// [`OoeOutcome::telemetry`].
+    pub fn exec_telemetry(&self) -> &ExecTelemetry {
+        &self.exec
+    }
+
+    /// Deterministic virtual-time makespan of every supervised
+    /// evaluation phase, in modeled milliseconds: each phase's jobs are
+    /// dealt round-robin over the worker lanes and the slowest lane is
+    /// charged. A pure function of `(config, seed, workers, chaos)` —
+    /// no wall clock — so generation-throughput scaling curves derived
+    /// from it reproduce bit-for-bit on any host.
+    pub fn modeled_makespan_ms(&self) -> f64 {
+        self.modeled_ms
     }
 
     /// Static plot axes `[accuracy, −energy]` of the whole history.
@@ -224,10 +293,42 @@ struct EngineState {
     seen: BTreeMap<Vec<usize>, usize>,
 }
 
+/// One static-evaluation job handed to the supervised executor: a
+/// not-yet-seen genome, decoded, with its content-derived fault key
+/// (stable across worker counts and resume).
+struct StaticEvalJob {
+    genes: Vec<usize>,
+    subnet: Subnet,
+    fault_key: u64,
+}
+
+/// One nested-IOE job handed to the supervised executor.
+struct IoeEvalJob {
+    history_idx: usize,
+    subnet: Subnet,
+    seed: u64,
+}
+
 impl<'a> Ooe<'a> {
     /// Creates an outer engine.
     pub fn new(hadas: &'a Hadas, config: HadasConfig) -> Self {
         Ooe { hadas, config }
+    }
+
+    /// Resolves the execution-plane chaos script for one supervised
+    /// phase — a pure function of `(resolver, retry, specs)`, so the
+    /// recovery choreography replays identically at every worker count.
+    /// `None` (no exec chaos) runs each job as a single clean attempt.
+    fn exec_plan(&self, opts: &SearchOptions, specs: &[JobSpec]) -> Option<ChaosPlan> {
+        opts.exec_chaos.as_ref().map(|resolver| {
+            ChaosPlan::build(
+                resolver.as_ref(),
+                &opts.retry,
+                CircuitBreaker::new(EXEC_BREAKER_THRESHOLD, EXEC_BREAKER_COOLDOWN),
+                EXEC_HEDGE_FACTOR,
+                specs,
+            )
+        })
     }
 
     fn static_fitness(&self, subnet: &Subnet) -> Result<StaticFitness, HadasError> {
@@ -356,14 +457,17 @@ impl<'a> Ooe<'a> {
         // All wall-clock reads live behind the clock boundary.
         let deadline = Deadline::from_budget(opts.time_budget_s);
         let mut telemetry = SearchTelemetry::default();
+        let mut exec = ExecTelemetry::default();
+        let mut modeled_ms = 0.0f64;
+        let lanes = effective_workers(opts.workers);
 
-        let ioe_cache: Mutex<BTreeMap<Vec<usize>, IoeOutcome>> = Mutex::new(BTreeMap::new());
+        let mut ioe_cache: BTreeMap<Vec<usize>, IoeOutcome> = BTreeMap::new();
         let mut state = self.initial_state(opts)?;
         // Re-warm the IOE cache from restored history so resumed runs do
         // not recompute inner searches they already paid for.
         for b in &state.history {
             if let Some(ioe) = &b.ioe {
-                ioe_cache.lock().insert(b.subnet.genome().genes().to_vec(), ioe.clone());
+                ioe_cache.insert(b.subnet.genome().genes().to_vec(), ioe.clone());
             }
         }
 
@@ -379,27 +483,51 @@ impl<'a> Ooe<'a> {
             }
             let generation = state.generation;
 
-            // Static evaluation (deduplicated against history), wrapped
-            // in retry-with-backoff under the per-candidate budget.
-            let mut indices = Vec::with_capacity(state.population.len());
+            // Static evaluation, driven through the supervised executor:
+            // unique unseen genomes become jobs in first-appearance order,
+            // the retry-with-backoff measurement is the (pure) job
+            // closure, and the fold back into history runs on this thread
+            // in job order — so history order, telemetry, quarantine, and
+            // surfaced errors are identical at every worker count.
+            let mut planned: BTreeMap<Vec<usize>, usize> = BTreeMap::new();
+            let mut jobs: Vec<StaticEvalJob> = Vec::new();
             for genome in &state.population {
                 let key = genome.genes().to_vec();
-                let idx = match state.seen.get(&key) {
-                    Some(&i) => i,
-                    None => {
-                        let subnet = space.decode(genome)?;
-                        let fault_key = self.genome_seed(genome) ^ STATIC_FAULT_SALT;
-                        let (value, receipt) =
-                            opts.retry.run(opts.faults.as_ref(), fault_key, || {
-                                self.static_fitness(&subnet)
-                            })?;
+                if state.seen.contains_key(&key) || planned.contains_key(&key) {
+                    continue;
+                }
+                let subnet = space.decode(genome)?;
+                let fault_key = self.genome_seed(genome) ^ STATIC_FAULT_SALT;
+                planned.insert(key, jobs.len());
+                jobs.push(StaticEvalJob { genes: genome.genes().to_vec(), subnet, fault_key });
+            }
+            let specs: Vec<JobSpec> = jobs
+                .iter()
+                .map(|j| JobSpec { key: j.fault_key, est_ms: STATIC_EVAL_EST_MS, weight: 1 })
+                .collect();
+            let plan = self.exec_plan(opts, &specs);
+            modeled_ms += modeled_makespan_ms(&specs, lanes, plan.as_ref());
+            let (slots, phase_exec) = run_supervised(
+                &jobs,
+                lanes,
+                |job| {
+                    opts.retry.run(opts.faults.as_ref(), job.fault_key, || {
+                        self.static_fitness(&job.subnet)
+                    })
+                },
+                plan.as_ref(),
+            )?;
+            exec.merge(&phase_exec);
+            for (job, slot) in jobs.into_iter().zip(slots) {
+                let fitness = match slot {
+                    Some(Ok((value, receipt))) => {
                         let exhausted = value.is_none();
                         telemetry.absorb(&receipt, exhausted);
                         let mut fitness = value.unwrap_or(FAILED_STATIC_FITNESS);
                         // Data chaos: a poisoned measurement comes back
                         // NaN; the quarantine below must catch it.
                         if let Some(chaos) = opts.data_chaos {
-                            if chaos_poisons(chaos, fault_key) {
+                            if chaos_poisons(chaos, job.fault_key) {
                                 fitness.accuracy_pct = f64::NAN;
                             }
                         }
@@ -411,16 +539,30 @@ impl<'a> Ooe<'a> {
                             telemetry.quarantined_evals += 1;
                             fitness = FAILED_STATIC_FITNESS;
                         }
-                        state.history.push(EvaluatedBackbone {
-                            subnet,
-                            fitness,
-                            generation,
-                            ioe: None,
-                        });
-                        state.seen.insert(key, state.history.len() - 1);
-                        state.history.len() - 1
+                        fitness
+                    }
+                    Some(Err(e)) => return Err(e),
+                    // Dead-lettered by the execution plane (every
+                    // dispatch attempt crashed or failed): degrade like
+                    // an exhausted measurement.
+                    None => {
+                        telemetry.exhausted_evals += 1;
+                        FAILED_STATIC_FITNESS
                     }
                 };
+                state.history.push(EvaluatedBackbone {
+                    subnet: job.subnet,
+                    fitness,
+                    generation,
+                    ioe: None,
+                });
+                state.seen.insert(job.genes, state.history.len() - 1);
+            }
+            let mut indices = Vec::with_capacity(state.population.len());
+            for genome in &state.population {
+                let idx = *state.seen.get(genome.genes()).ok_or_else(|| {
+                    HadasError::Internal("a population genome vanished from the eval index".into())
+                })?;
                 indices.push(idx);
             }
 
@@ -432,87 +574,97 @@ impl<'a> Ooe<'a> {
                 ((pop_size as f64 * self.config.prune_fraction).ceil() as usize).clamp(1, pop_size);
             let promoted: Vec<usize> = order.iter().take(promote).map(|&k| indices[k]).collect();
 
-            // Nested IOEs for promoted backbones (parallel, cached, and
+            // Nested IOEs for promoted backbones, driven through the same
+            // supervised executor (cached across generations, and
             // individually fault-wrapped: a backbone whose inner run
-            // keeps failing is skipped this generation, not fatal).
-            let pending: Vec<usize> = promoted
+            // keeps failing is skipped this generation, not fatal). The
+            // fold below runs in job order on this thread, so cache
+            // contents, telemetry (including the float overhead sum),
+            // and the surfaced error no longer depend on completion
+            // order.
+            let ioe_jobs: Vec<IoeEvalJob> = promoted
                 .iter()
                 .copied()
                 .filter(|&i| {
                     state.history[i].ioe.is_none()
-                        && !ioe_cache.lock().contains_key(state.history[i].subnet.genome().genes())
+                        && !ioe_cache.contains_key(state.history[i].subnet.genome().genes())
                 })
-                .collect();
-            // Keyed on the (deterministic) history index, not completion
-            // order, so the surfaced error is the same whichever worker
-            // finishes first.
-            let errors: Mutex<BTreeMap<usize, HadasError>> = Mutex::new(BTreeMap::new());
-            let sub_telemetry: Mutex<SearchTelemetry> = Mutex::new(SearchTelemetry::default());
-            crossbeam::thread::scope(|scope| {
-                for &i in &pending {
+                .map(|i| {
                     let subnet = state.history[i].subnet.clone();
                     let seed = self.genome_seed(subnet.genome());
-                    let cache = &ioe_cache;
-                    let errors = &errors;
-                    let sub_telemetry = &sub_telemetry;
-                    let hadas = self.hadas;
-                    let config = self.config.clone();
-                    let faults = Arc::clone(&opts.faults);
-                    let retry = opts.retry;
-                    let data_chaos = opts.data_chaos;
-                    scope.spawn(move |_| {
-                        let run_key = seed ^ IOE_RUN_FAULT_SALT;
-                        let attempt = retry.run(faults.as_ref(), run_key, || {
-                            Ioe::new(hadas, subnet.clone(), config.clone()).run_with_chaos(
-                                seed,
-                                faults.as_ref(),
-                                &retry,
-                                data_chaos,
+                    IoeEvalJob { history_idx: i, subnet, seed }
+                })
+                .collect();
+            let specs: Vec<JobSpec> = ioe_jobs
+                .iter()
+                .map(|j| JobSpec {
+                    key: j.seed ^ IOE_RUN_FAULT_SALT,
+                    // One inner run costs its candidate budget in virtual
+                    // time; this keeps the modeled scaling curve honest
+                    // about IOEs dominating a generation.
+                    est_ms: self.config.ioe.iterations as f64,
+                    weight: 1,
+                })
+                .collect();
+            let plan = self.exec_plan(opts, &specs);
+            modeled_ms += modeled_makespan_ms(&specs, lanes, plan.as_ref());
+            let (slots, phase_exec) = run_supervised(
+                &ioe_jobs,
+                lanes,
+                |job| {
+                    let run_key = job.seed ^ IOE_RUN_FAULT_SALT;
+                    opts.retry.run(opts.faults.as_ref(), run_key, || {
+                        Ioe::new(self.hadas, job.subnet.clone(), self.config.clone())
+                            .run_with_chaos(
+                                job.seed,
+                                opts.faults.as_ref(),
+                                &opts.retry,
+                                opts.data_chaos,
                             )
-                        });
-                        match attempt {
-                            Ok((Some((outcome, inner)), receipt)) => {
-                                cache.lock().insert(subnet.genome().genes().to_vec(), outcome);
-                                let mut t = sub_telemetry.lock();
-                                t.absorb(&receipt, false);
-                                t.retried_evals += inner.retried_evals;
-                                t.transient_failures += inner.transient_failures;
-                                t.timeouts += inner.timeouts;
-                                t.exhausted_evals += inner.exhausted_evals;
-                                t.quarantined_evals += inner.quarantined_evals;
-                                t.fault_overhead_ms += inner.fault_overhead_ms;
-                            }
-                            Ok((None, receipt)) => {
-                                // The whole inner run kept failing: the
-                                // backbone simply stays unpromoted this
-                                // generation and can be retried later.
-                                sub_telemetry.lock().absorb(&receipt, true);
-                            }
-                            Err(e) => {
-                                errors.lock().insert(i, e);
-                            }
-                        }
-                    });
+                    })
+                },
+                plan.as_ref(),
+            )?;
+            exec.merge(&phase_exec);
+            // Keyed on the (deterministic) history index, not completion
+            // order, so the surfaced error is the same at every worker
+            // count.
+            let mut errors: BTreeMap<usize, HadasError> = BTreeMap::new();
+            for (job, slot) in ioe_jobs.into_iter().zip(slots) {
+                match slot {
+                    Some(Ok((Some((outcome, inner)), receipt))) => {
+                        ioe_cache.insert(job.subnet.genome().genes().to_vec(), outcome);
+                        telemetry.absorb(&receipt, false);
+                        telemetry.retried_evals += inner.retried_evals;
+                        telemetry.transient_failures += inner.transient_failures;
+                        telemetry.timeouts += inner.timeouts;
+                        telemetry.exhausted_evals += inner.exhausted_evals;
+                        telemetry.quarantined_evals += inner.quarantined_evals;
+                        telemetry.fault_overhead_ms += inner.fault_overhead_ms;
+                    }
+                    Some(Ok((None, receipt))) => {
+                        // The whole inner run kept failing: the backbone
+                        // simply stays unpromoted this generation and can
+                        // be retried later.
+                        telemetry.absorb(&receipt, true);
+                    }
+                    Some(Err(e)) => {
+                        errors.insert(job.history_idx, e);
+                    }
+                    // Dead-lettered by the execution plane: same shape
+                    // as an exhausted inner run — skipped, retryable
+                    // next generation.
+                    None => telemetry.exhausted_evals += 1,
                 }
-            })
-            .map_err(|_| HadasError::Internal("an IOE worker thread panicked".into()))?;
-            // Surface the error of the lowest-indexed failed backbone.
-            if let Some((_, e)) = errors.into_inner().into_iter().next() {
-                return Err(e);
             }
-            {
-                let sub = sub_telemetry.into_inner();
-                telemetry.retried_evals += sub.retried_evals;
-                telemetry.transient_failures += sub.transient_failures;
-                telemetry.timeouts += sub.timeouts;
-                telemetry.exhausted_evals += sub.exhausted_evals;
-                telemetry.quarantined_evals += sub.quarantined_evals;
-                telemetry.fault_overhead_ms += sub.fault_overhead_ms;
+            // Surface the error of the lowest-indexed failed backbone.
+            if let Some((_, e)) = errors.into_iter().next() {
+                return Err(e);
             }
             for &i in &promoted {
                 if state.history[i].ioe.is_none() {
                     state.history[i].ioe =
-                        ioe_cache.lock().get(state.history[i].subnet.genome().genes()).cloned();
+                        ioe_cache.get(state.history[i].subnet.genome().genes()).cloned();
                 }
             }
 
@@ -571,7 +723,7 @@ impl<'a> Ooe<'a> {
             // a finished run a cheap no-op replay of its stored history.
             self.write_checkpoint(opts, &state)?;
         }
-        Ok(OoeOutcome { backbones: state.history, telemetry })
+        Ok(OoeOutcome { backbones: state.history, telemetry, exec, modeled_ms })
     }
 }
 
@@ -685,6 +837,75 @@ mod tests {
         fn eval_attempt(&self, _key: u64, _attempt: u32) -> AttemptOutcome {
             AttemptOutcome::TransientFailure { cost_ms: 50.0 }
         }
+    }
+
+    fn front_energies(out: &OoeOutcome) -> Vec<f64> {
+        out.pareto_models().iter().map(|m| m.dynamic.energy_mj).collect()
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_front() {
+        let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+        let cfg = HadasConfig::smoke_test().with_seed(31);
+        let sequential = Ooe::new(&hadas, cfg.clone())
+            .run_with(&SearchOptions { workers: 1, ..Default::default() })
+            .unwrap();
+        assert_eq!(sequential.exec_telemetry(), &ExecTelemetry::default());
+        assert!(sequential.modeled_makespan_ms() > 0.0);
+        for workers in [2, 4, 8] {
+            let parallel = Ooe::new(&hadas, cfg.clone())
+                .run_with(&SearchOptions { workers, ..Default::default() })
+                .unwrap();
+            assert_eq!(front_energies(&sequential), front_energies(&parallel));
+            assert_eq!(sequential.backbones().len(), parallel.backbones().len());
+            assert!(
+                parallel.modeled_makespan_ms() <= sequential.modeled_makespan_ms(),
+                "more lanes can only shrink the modeled makespan"
+            );
+        }
+    }
+
+    /// An execution-plane fate resolver that crashes the first attempt
+    /// of every fourth job (by fault key) and never touches the
+    /// measurement plane.
+    #[derive(Debug)]
+    struct QuarterCrasher;
+    impl FaultModel for QuarterCrasher {
+        fn eval_attempt(&self, _key: u64, _attempt: u32) -> AttemptOutcome {
+            AttemptOutcome::Ok { cost_ms: 1.0 }
+        }
+    }
+    impl crate::executor::FateResolver for QuarterCrasher {
+        fn crash_at(&self, key: u64, attempt: u32) -> bool {
+            attempt == 0 && key.is_multiple_of(4)
+        }
+    }
+
+    #[test]
+    fn exec_chaos_heals_to_the_fault_free_front() {
+        let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+        let cfg = HadasConfig::smoke_test().with_seed(33);
+        let clean = Ooe::new(&hadas, cfg.clone())
+            .run_with(&SearchOptions { workers: 2, ..Default::default() })
+            .unwrap();
+        let chaotic = Ooe::new(&hadas, cfg)
+            .run_with(&SearchOptions {
+                workers: 4,
+                exec_chaos: Some(Arc::new(QuarterCrasher)),
+                ..Default::default()
+            })
+            .unwrap();
+        let exec = chaotic.exec_telemetry();
+        assert!(exec.crashes > 0, "a quarter of the jobs must crash once");
+        assert_eq!(exec.respawns, exec.crashes, "every crash respawns its lane");
+        assert_eq!(exec.dead_letter_jobs, 0, "first-attempt crashes always recover");
+        assert_eq!(
+            front_energies(&clean),
+            front_energies(&chaotic),
+            "healed execution chaos must be invisible in the front"
+        );
+        assert_eq!(clean.backbones().len(), chaotic.backbones().len());
+        assert_eq!(clean.telemetry().quarantined_evals, chaotic.telemetry().quarantined_evals);
     }
 
     #[test]

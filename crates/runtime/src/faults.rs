@@ -325,6 +325,15 @@ impl FaultModel for FaultInjector {
     }
 }
 
+/// The shared execution-plane chaos source: the supervised executor
+/// (serve pool and OOE/IOE search alike) consults the injector's
+/// independent crash stream when scripting its recovery plan.
+impl hadas::executor::FateResolver for FaultInjector {
+    fn crash_at(&self, key: u64, attempt: u32) -> bool {
+        FaultInjector::crash_at(self, key, attempt)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

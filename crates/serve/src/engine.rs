@@ -1,4 +1,4 @@
-use crate::pool::{run_pool, BatchJob, ChaosPlan, ResilienceTelemetry};
+use crate::pool::{run_pool, serve_chaos_plan, BatchJob, ResilienceTelemetry};
 use crate::{
     apply_brownout, build_governor, generate_requests, Batcher, BrownoutLadder, BrownoutSummary,
     BrownoutTier, Request, ServeConfig, ServeReport, SloClass, SloSummary,
@@ -300,7 +300,7 @@ impl<'a> ServeEngine<'a> {
         // *before* any worker thread runs: the supervisor acts it out, it
         // never improvises on wall-clock timing.
         let plan = chaos.as_ref().map(|inj| {
-            ChaosPlan::build(
+            serve_chaos_plan(
                 inj,
                 &self.config.retry,
                 CircuitBreaker::new(self.config.breaker_threshold, self.config.breaker_cooldown),
@@ -357,7 +357,7 @@ impl<'a> ServeEngine<'a> {
             served,
             shed,
             rejected,
-            dead_lettered: telemetry.dead_letter_requests,
+            dead_lettered: telemetry.dead_letter_units,
             batches,
             mean_batch_size: served as f64 / batches.max(1) as f64,
             makespan_s: makespan,

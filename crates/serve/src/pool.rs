@@ -1,50 +1,34 @@
-//! The self-healing sharded reduction pool: scheduled batches stream over
-//! vendored crossbeam channels to supervised worker threads, each of
-//! which reduces its batches with a *pure* function of the job. Results
-//! carry the schedule sequence number, and the engine folds them in
-//! sequence order — so the final report is byte-identical no matter how
-//! the OS interleaves the workers.
+//! The self-healing sharded reduction pool, now a thin adapter over the
+//! shared supervised executor (`hadas::executor`, re-exported as
+//! `hadas_runtime::executor`): scheduled batches become executor jobs,
+//! the *pure* per-batch reduction becomes the executor's job closure,
+//! and the supervision machinery — one-dispatch-in-flight lanes, RAII
+//! death notices, lane respawn, retry-on-rotated-lane, concurrent
+//! hedging, circuit-breaker clamping, first-result-wins dedup, and
+//! in-schedule-order folding — lives in the executor, where the OOE/IOE
+//! search plane shares it.
 //!
-//! # Supervision
+//! The serving-specific residue kept here: the batch job/result shapes,
+//! the pure reduction itself, and the translation of a batch schedule
+//! into executor [`JobSpec`]s (seq as fault key, early-exit-aware
+//! latency estimate, request count as dead-letter weight).
 //!
-//! A supervisor keeps exactly **one dispatch in flight per worker lane**;
-//! queued work stays supervisor-side, so a dying worker can only ever
-//! lose the single batch it was holding. Execution-plane chaos —
-//! injected worker crashes, transient reduction failures, stragglers —
-//! is scripted by a [`ChaosPlan`]: a pure function of the fault seed
-//! that fixes the fate of every attempt of every batch *before* any
-//! thread runs. The supervisor then acts the plan out:
-//!
-//! * **crash** — the worker abandons its lane mid-batch and dies; the
-//!   RAII `DeathNotice` converts the death into a `Down` message, the
-//!   supervisor respawns the lane and re-dispatches the lost batch to
-//!   the next lane;
-//! * **transient failure** — the attempt's result is discarded and the
-//!   batch retried, up to the [`RetryPolicy`] attempt budget (clamped to
-//!   a single attempt while the [`CircuitBreaker`] is open);
-//! * **straggle** — the attempt lands late; a hedge duplicate is issued
-//!   *concurrently* on another lane and the first result per sequence
-//!   number wins (later duplicates are dropped);
-//! * **dead letter** — a batch whose every issued attempt failed is
-//!   excluded from the reduction and accounted, never silently lost.
-//!
-//! Because the plan — not cross-thread timing — decides every recovery
+//! Recovery invariant (pinned by the chaos suite): because the
+//! [`ChaosPlan`] — not cross-thread timing — decides every recovery
 //! action, a recovered run reduces the exact multiset of batches a
-//! fault-free run does. That is the invariant the chaos suite pins: the
-//! serialized `ServeReport` is byte-identical under injected faults
-//! whenever recovery succeeds (zero dead letters).
-//!
-//! Real (off-plan) worker panics ride the same machinery: the
-//! `DeathNotice` fires during unwinding, the lane respawns, and the lost
-//! batch is re-issued once before being dead-lettered.
+//! fault-free run does, so the serialized `ServeReport` is
+//! byte-identical under injected faults whenever recovery succeeds
+//! (zero dead letters), at any worker count.
 
 use crate::Request;
-use crossbeam::channel::{self, Receiver, Sender};
-use hadas::{AttemptOutcome, CircuitBreaker, FaultModel, HadasError, RetryPolicy};
+use hadas::executor::{run_supervised, JobSpec};
+use hadas::{CircuitBreaker, HadasError, RetryPolicy};
 use hadas_runtime::{FaultInjector, ServeOutcome};
-use std::collections::{BTreeMap, VecDeque};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+
+pub(crate) use hadas::executor::ChaosPlan;
+/// Execution-plane resilience counters (the executor's schema, shared
+/// verbatim with the search plane and both benches).
+pub use hadas::executor::ExecTelemetry as ResilienceTelemetry;
 
 /// One scheduled batch: everything a worker needs to reduce it, fixed at
 /// schedule time so the reduction is a pure function of the job.
@@ -98,153 +82,6 @@ pub(crate) struct BatchResult {
     pub bulk: (usize, usize),
 }
 
-/// The scripted fate of one reduction attempt.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum AttemptFate {
-    /// The attempt reduces its batch and lands on time.
-    Ok,
-    /// Transient reduction failure: the result is discarded, retry.
-    Fail,
-    /// The worker thread executing the attempt dies mid-batch.
-    Crash,
-    /// The attempt lands, but past the hedge deadline — a concurrent
-    /// hedge duplicate is issued and the first result wins.
-    Straggle,
-}
-
-/// Execution-plane resilience counters of one pool run. **Not** part of
-/// the serialized [`crate::ServeReport`]: recovery erases execution
-/// faults from the deterministic payload by design, so these live in a
-/// side channel (`ServeEngine::run_instrumented`) where byte-identity is
-/// not at stake.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ResilienceTelemetry {
-    /// Worker threads that died mid-batch (injected or real).
-    pub crashes: usize,
-    /// Worker lanes respawned by the supervisor.
-    pub respawns: usize,
-    /// Batch attempts re-issued after a transient reduction failure.
-    pub retries: usize,
-    /// Batch attempts re-issued after losing their worker.
-    pub redispatches: usize,
-    /// Hedge duplicates issued against straggling attempts.
-    pub hedges: usize,
-    /// Results dropped by first-result-wins dedup (seq already landed).
-    pub duplicate_results: usize,
-    /// Attempts that failed transiently (each may trigger one retry).
-    pub failed_attempts: usize,
-    /// Batches whose every issued attempt failed.
-    pub dead_letter_batches: usize,
-    /// Requests inside dead-lettered batches.
-    pub dead_letter_requests: usize,
-    /// Times the circuit breaker tripped open during the run.
-    pub breaker_trips: usize,
-}
-
-/// The pre-resolved chaos script of one pool run: per batch, the fate of
-/// every attempt that will be issued, plus which batches end up
-/// dead-lettered and the planned telemetry. A pure function of
-/// `(fault seed, retry policy, breaker, hedge factor, schedule)` — no
-/// thread timing anywhere — which is what makes recovery replayable.
-#[derive(Debug, Clone, PartialEq)]
-pub(crate) struct ChaosPlan {
-    /// `chains[i]` = fates of the attempts issued for `jobs[i]`, in
-    /// attempt order (length ≥ 1).
-    pub chains: Vec<Vec<AttemptFate>>,
-    /// Whether `jobs[i]` dead-letters (no attempt lands).
-    pub dead: Vec<bool>,
-    /// Planned counters (runtime fills in off-plan events, if any).
-    pub stats: ResilienceTelemetry,
-}
-
-impl ChaosPlan {
-    /// Resolves the full attempt chain of every job against the fault
-    /// injector, folding the circuit breaker in schedule order:
-    ///
-    /// * attempt `k+1` is issued iff attempt `k` did not land cleanly
-    ///   (`Fail`/`Crash` → retry/re-dispatch, `Straggle` → hedge) and the
-    ///   breaker-clamped attempt budget allows it;
-    /// * a batch lands iff any issued attempt is `Ok` or `Straggle`;
-    /// * the breaker sees one `tick` per batch and records a failure iff
-    ///   the batch's chain contains a `Fail` or `Crash`.
-    ///
-    /// A draw from [`FaultInjector::eval_attempt`] of `Timeout` counts as
-    /// a straggler only when the injected delay exceeds the hedge slack
-    /// `(hedge_factor − 1) × estimated service`; shorter delays land
-    /// within the hedge deadline and behave as `Ok`.
-    pub fn build(
-        injector: &FaultInjector,
-        retry: &RetryPolicy,
-        mut breaker: CircuitBreaker,
-        hedge_factor: f64,
-        overhead_ms: f64,
-        jobs: &[BatchJob],
-    ) -> ChaosPlan {
-        let mut chains = Vec::with_capacity(jobs.len());
-        let mut dead = Vec::with_capacity(jobs.len());
-        let mut stats = ResilienceTelemetry::default();
-        for job in jobs {
-            breaker.tick();
-            let allowed = if breaker.is_open() { 1 } else { retry.max_attempts.max(1) };
-            let batch_s = job.outcomes.iter().map(|o| o.cost.latency_s).sum::<f64>(); // lint:allow(det-float-order) sequential sum over a seq-ordered Vec
-            let est_ms = overhead_ms + batch_s * 1e3;
-            let hedge_slack_ms = (hedge_factor - 1.0).max(0.0) * est_ms;
-            let mut chain: Vec<AttemptFate> = Vec::new();
-            let mut attempt = 0u32;
-            loop {
-                let fate = if injector.crash_at(job.seq as u64, attempt) {
-                    AttemptFate::Crash
-                } else {
-                    match injector.eval_attempt(job.seq as u64, attempt) {
-                        AttemptOutcome::TransientFailure { .. } => AttemptFate::Fail,
-                        AttemptOutcome::Timeout { cost_ms } if cost_ms > hedge_slack_ms => {
-                            AttemptFate::Straggle
-                        }
-                        AttemptOutcome::Timeout { .. } | AttemptOutcome::Ok { .. } => {
-                            AttemptFate::Ok
-                        }
-                    }
-                };
-                chain.push(fate);
-                attempt += 1;
-                if fate == AttemptFate::Ok || attempt >= allowed {
-                    break;
-                }
-            }
-            for pair in chain.windows(2) {
-                match pair[0] {
-                    AttemptFate::Fail => stats.retries += 1,
-                    AttemptFate::Crash => stats.redispatches += 1,
-                    AttemptFate::Straggle => stats.hedges += 1,
-                    AttemptFate::Ok => {}
-                }
-            }
-            let crashes = chain.iter().filter(|&&f| f == AttemptFate::Crash).count();
-            stats.crashes += crashes;
-            stats.respawns += crashes;
-            stats.failed_attempts += chain.iter().filter(|&&f| f == AttemptFate::Fail).count();
-            let landings = chain
-                .iter()
-                .filter(|f| matches!(f, AttemptFate::Ok | AttemptFate::Straggle))
-                .count();
-            stats.duplicate_results += landings.saturating_sub(1);
-            if chain.iter().any(|f| matches!(f, AttemptFate::Fail | AttemptFate::Crash)) {
-                breaker.record_failure();
-            } else {
-                breaker.record_success();
-            }
-            if landings == 0 {
-                stats.dead_letter_batches += 1;
-                stats.dead_letter_requests += job.requests.len();
-            }
-            dead.push(landings == 0);
-            chains.push(chain);
-        }
-        stats.breaker_trips = breaker.trips();
-        ChaosPlan { chains, dead, stats }
-    }
-}
-
 /// Reduces one batch — pure: no clocks, no RNG, no shared state.
 fn reduce_batch(job: &BatchJob, exit_slots: usize) -> BatchResult {
     let mut energy = 0.0f64;
@@ -288,282 +125,76 @@ fn reduce_batch(job: &BatchJob, exit_slots: usize) -> BatchResult {
     }
 }
 
-/// One unit of work handed to a worker lane.
-#[derive(Debug)]
-struct Dispatch {
-    job: Arc<BatchJob>,
-    attempt: u32,
-    fate: AttemptFate,
-}
-
-/// What a worker (or its death) reports back to the supervisor. Every
-/// issued [`Dispatch`] resolves into exactly one `Reply`.
-#[derive(Debug)]
-enum Reply {
-    /// The attempt reduced its batch.
-    Done { worker: usize, seq: usize, result: Box<BatchResult> },
-    /// The attempt failed transiently; its result was discarded.
-    Failed { worker: usize, seq: usize, attempt: u32 },
-    /// The worker died while holding the attempt.
-    Down { worker: usize, seq: usize, attempt: u32 },
-}
-
-/// RAII death watch: armed while a worker holds a dispatch, it converts
-/// any exit without a reply — injected crash or real panic unwinding —
-/// into a `Down` message for the supervisor.
-struct DeathNotice {
-    tx: Sender<Reply>,
-    worker: usize,
-    seq: usize,
-    attempt: u32,
-    armed: bool,
-}
-
-impl Drop for DeathNotice {
-    fn drop(&mut self) {
-        if self.armed {
-            let _ = self.tx.send(Reply::Down {
-                worker: self.worker,
-                seq: self.seq,
-                attempt: self.attempt,
-            });
-        }
-    }
-}
-
-/// The worker body: one dispatch at a time, one reply per dispatch.
-fn worker_loop(worker: usize, rx: Receiver<Dispatch>, tx: Sender<Reply>, exit_slots: usize) {
-    while let Ok(d) = rx.recv() {
-        let mut notice =
-            DeathNotice { tx: tx.clone(), worker, seq: d.job.seq, attempt: d.attempt, armed: true };
-        match d.fate {
-            AttemptFate::Crash => {
-                // Injected worker death: abandon the lane mid-batch. The
-                // armed DeathNotice reports the loss on the way out —
-                // the same signal a real panic would produce.
-                return;
+/// Translates a batch schedule into executor job specs: the schedule
+/// sequence number keys the fault streams (so chaos plans replay
+/// identically across worker counts), the early-exit-aware latency
+/// estimate sets the hedge deadline, and the request count weights
+/// dead-letter accounting.
+fn specs_of(jobs: &[BatchJob], overhead_ms: f64) -> Vec<JobSpec> {
+    jobs.iter()
+        .map(|job| {
+            // lint:allow(det-float-order) sequential sum over a seq-ordered Vec
+            let batch_s = job.outcomes.iter().map(|o| o.cost.latency_s).sum::<f64>();
+            JobSpec {
+                key: job.seq as u64,
+                est_ms: overhead_ms + batch_s * 1e3,
+                weight: job.requests.len(),
             }
-            AttemptFate::Fail => {
-                notice.armed = false;
-                let failed = Reply::Failed { worker, seq: d.job.seq, attempt: d.attempt };
-                if tx.send(failed).is_err() {
-                    return;
-                }
-            }
-            AttemptFate::Ok | AttemptFate::Straggle => {
-                let result = Box::new(reduce_batch(&d.job, exit_slots));
-                notice.armed = false;
-                let done = Reply::Done { worker, seq: d.job.seq, result };
-                if tx.send(done).is_err() {
-                    return;
-                }
-            }
-        }
-    }
+        })
+        .collect()
 }
 
-/// One supervised worker lane: its dispatch channel, thread handle, and
-/// the supervisor-side queue of work not yet in flight.
-struct Lane {
-    tx: Sender<Dispatch>,
-    handle: Option<JoinHandle<()>>,
-    busy: bool,
-    queue: VecDeque<Dispatch>,
+/// Resolves the execution-plane chaos script for a batch schedule (see
+/// [`ChaosPlan::build`]): a pure function of
+/// `(fault seed, retry policy, breaker, hedge factor, schedule)` — no
+/// thread timing anywhere — which is what makes recovery replayable.
+pub(crate) fn serve_chaos_plan(
+    injector: &FaultInjector,
+    retry: &RetryPolicy,
+    breaker: CircuitBreaker,
+    hedge_factor: f64,
+    overhead_ms: f64,
+    jobs: &[BatchJob],
+) -> ChaosPlan {
+    ChaosPlan::build(injector, retry, breaker, hedge_factor, &specs_of(jobs, overhead_ms))
 }
 
-/// Spawns one worker thread for lane `idx`.
-fn spawn_worker(
-    idx: usize,
-    reply_tx: &Sender<Reply>,
-    exit_slots: usize,
-) -> Result<(Sender<Dispatch>, JoinHandle<()>), HadasError> {
-    let (tx, rx) = channel::unbounded::<Dispatch>();
-    let reply = reply_tx.clone();
-    let handle = std::thread::Builder::new()
-        .name(format!("hadas-serve-{idx}"))
-        .spawn(move || worker_loop(idx, rx, reply, exit_slots))
-        .map_err(|e| HadasError::Internal(format!("failed to spawn serve worker: {e}")))?;
-    Ok((tx, handle))
-}
-
-/// Sends the lane's next queued dispatch if nothing is in flight.
-fn pump(lane: &mut Lane) -> Result<(), HadasError> {
-    if lane.busy {
-        return Ok(());
-    }
-    let Some(d) = lane.queue.pop_front() else { return Ok(()) };
-    match lane.tx.send(d) {
-        Ok(()) => {
-            lane.busy = true;
-            Ok(())
-        }
-        // One-in-flight discipline makes this unreachable: a lane's
-        // channel only closes after its Down was processed and the lane
-        // respawned. Surface it rather than losing work silently.
-        Err(_) => Err(HadasError::Internal("serve pool lane disconnected unsupervised".into())),
-    }
-}
-
-/// The fates planned for `jobs[i]` (a single clean attempt without a plan).
-fn chain_of(plan: Option<&ChaosPlan>, i: usize) -> &[AttemptFate] {
-    const CLEAN: [AttemptFate; 1] = [AttemptFate::Ok];
-    plan.and_then(|p| p.chains.get(i)).map_or(&CLEAN[..], Vec::as_slice)
-}
-
-/// Enqueues attempt `start` of `jobs[i]` on its lane, chasing straggler
-/// fates: a `Straggle` attempt's hedge duplicate is issued immediately
-/// (concurrently), not on reply.
-fn issue(
-    lanes: &mut [Lane],
-    pending: &mut usize,
-    jobs: &[Arc<BatchJob>],
-    plan: Option<&ChaosPlan>,
-    i: usize,
-    start: usize,
-) -> Result<(), HadasError> {
-    let mut a = start;
-    loop {
-        let Some(&fate) = chain_of(plan, i).get(a) else { return Ok(()) };
-        let lane_idx = (jobs[i].worker + a) % lanes.len();
-        let d = Dispatch { job: Arc::clone(&jobs[i]), attempt: a as u32, fate };
-        lanes[lane_idx].queue.push_back(d);
-        *pending += 1;
-        pump(&mut lanes[lane_idx])?;
-        if fate != AttemptFate::Straggle {
-            return Ok(());
-        }
-        a += 1; // hedge the straggler concurrently
-    }
-}
-
-/// Runs the supervised reduction pool: `workers` lanes reduce the jobs,
-/// the supervisor replays the chaos plan's recovery script (respawn,
-/// re-dispatch, retry, hedge, dead-letter), and the caller receives the
-/// surviving results sorted by schedule sequence plus the resilience
-/// telemetry. Without a plan every job runs as a single clean attempt.
+/// Runs the supervised reduction pool: `workers` executor lanes reduce
+/// the jobs, the supervisor replays the chaos plan's recovery script
+/// (respawn, re-dispatch, retry, hedge, dead-letter), and the caller
+/// receives the surviving results in schedule order plus the resilience
+/// telemetry (dead-letter counters recomputed in request units).
+/// Without a plan every job runs as a single clean attempt.
 ///
 /// # Errors
 ///
-/// Returns [`HadasError::Internal`] if the pool loses a channel outside
-/// the supervision protocol (a bug, not an input condition).
+/// Returns [`HadasError::Internal`] if the executor loses a channel
+/// outside the supervision protocol (a bug, not an input condition).
 pub(crate) fn run_pool(
     jobs: Vec<BatchJob>,
     workers: usize,
     exit_slots: usize,
     plan: Option<&ChaosPlan>,
 ) -> Result<(Vec<BatchResult>, ResilienceTelemetry), HadasError> {
-    let mut stats = plan.map_or_else(ResilienceTelemetry::default, |p| p.stats);
-    if jobs.is_empty() {
-        return Ok((Vec::new(), stats));
-    }
-    let lanes_n = workers.max(1);
-    let jobs: Vec<Arc<BatchJob>> = jobs.into_iter().map(Arc::new).collect();
-    // Ordered on purpose: results are reduced keyed on seq, never on
-    // hash order (see the determinism audit's `unordered-iteration`).
-    let index_of_seq: BTreeMap<usize, usize> =
-        jobs.iter().enumerate().map(|(i, j)| (j.seq, i)).collect();
-
-    let (reply_tx, reply_rx) = channel::unbounded::<Reply>();
-    let mut lanes = Vec::with_capacity(lanes_n);
-    for idx in 0..lanes_n {
-        let (tx, handle) = spawn_worker(idx, &reply_tx, exit_slots)?;
-        lanes.push(Lane { tx, handle: Some(handle), busy: false, queue: VecDeque::new() });
-    }
-    let mut dead_handles: Vec<JoinHandle<()>> = Vec::new();
-    let mut results: Vec<Option<BatchResult>> = vec![None; jobs.len()];
-    let mut offplan_reissued = vec![false; jobs.len()];
-    let mut pending = 0usize;
-
-    for i in 0..jobs.len() {
-        issue(&mut lanes, &mut pending, &jobs, plan, i, 0)?;
-    }
-
-    while pending > 0 {
-        let reply = reply_rx
-            .recv()
-            .map_err(|_| HadasError::Internal("serve pool reply stream closed early".into()))?;
-        pending -= 1;
-        match reply {
-            Reply::Done { worker, seq, result } => {
-                lanes[worker].busy = false;
-                pump(&mut lanes[worker])?;
-                if let Some(&i) = index_of_seq.get(&seq) {
-                    if results[i].is_none() {
-                        results[i] = Some(*result); // first result wins
-                    }
-                }
-            }
-            Reply::Failed { worker, seq, attempt } => {
-                lanes[worker].busy = false;
-                pump(&mut lanes[worker])?;
-                if let Some(&i) = index_of_seq.get(&seq) {
-                    issue(&mut lanes, &mut pending, &jobs, plan, i, attempt as usize + 1)?;
-                }
-            }
-            Reply::Down { worker, seq, attempt } => {
-                // The lane is gone: respawn it before pumping its queue.
-                let (tx, handle) = spawn_worker(worker, &reply_tx, exit_slots)?;
-                let lane = &mut lanes[worker];
-                if let Some(old) = lane.handle.replace(handle) {
-                    dead_handles.push(old);
-                }
-                lane.tx = tx;
-                lane.busy = false;
-                pump(&mut lanes[worker])?;
-                let Some(&i) = index_of_seq.get(&seq) else { continue };
-                let a = attempt as usize;
-                if chain_of(plan, i).get(a) == Some(&AttemptFate::Crash) {
-                    // On-plan crash: re-dispatch the next attempt.
-                    issue(&mut lanes, &mut pending, &jobs, plan, i, a + 1)?;
-                } else if !offplan_reissued[i] {
-                    // A real (off-plan) panic: self-heal with one bounded
-                    // re-issue of the same attempt on a fresh thread. The
-                    // straggle chase already ran at the original enqueue,
-                    // so this is a single dispatch.
-                    offplan_reissued[i] = true;
-                    stats.crashes += 1;
-                    stats.respawns += 1;
-                    stats.redispatches += 1;
-                    let fate = chain_of(plan, i).get(a).copied().unwrap_or(AttemptFate::Ok);
-                    let lane_idx = (jobs[i].worker + a) % lanes_n;
-                    let d = Dispatch { job: Arc::clone(&jobs[i]), attempt, fate };
-                    lanes[lane_idx].queue.push_back(d);
-                    pending += 1;
-                    pump(&mut lanes[lane_idx])?;
-                }
-            }
-        }
-    }
-
-    // Drain: close every lane, then join (a panicked thread's join error
-    // was already handled through its DeathNotice).
-    for lane in &mut lanes {
-        let (closed_tx, _) = channel::unbounded::<Dispatch>();
-        lane.tx = closed_tx; // drop the real sender: worker exits recv loop
-        if let Some(h) = lane.handle.take() {
-            dead_handles.push(h);
-        }
-    }
-    drop(lanes);
-    for h in dead_handles {
-        let _ = h.join();
-    }
-
+    let (slots, mut stats) =
+        run_supervised(&jobs, workers.max(1), |job| reduce_batch(job, exit_slots), plan)?;
+    // Re-account dead letters in serving units: the executor counts
+    // plan-declared weights, but an off-plan double panic could kill a
+    // batch the plan never priced.
     let mut out: Vec<BatchResult> = Vec::with_capacity(jobs.len());
     let mut dead_batches = 0usize;
     let mut dead_requests = 0usize;
-    for (i, slot) in results.into_iter().enumerate() {
+    for (job, slot) in jobs.iter().zip(slots) {
         match slot {
             Some(r) => out.push(r),
             None => {
                 dead_batches += 1;
-                dead_requests += jobs[i].requests.len();
+                dead_requests += job.requests.len();
             }
         }
     }
-    stats.dead_letter_batches = dead_batches;
-    stats.dead_letter_requests = dead_requests;
-    out.sort_by_key(|r| r.seq);
+    stats.dead_letter_jobs = dead_batches;
+    stats.dead_letter_units = dead_requests;
     Ok((out, stats))
 }
 
@@ -597,7 +228,7 @@ mod tests {
     fn plan_for(jobs: &[BatchJob], cfg: FaultConfig, max_attempts: u32) -> ChaosPlan {
         let injector = FaultInjector::new(cfg).unwrap();
         let retry = RetryPolicy { max_attempts, ..RetryPolicy::default() };
-        ChaosPlan::build(&injector, &retry, CircuitBreaker::new(8, 4), 3.0, 1.0, jobs)
+        serve_chaos_plan(&injector, &retry, CircuitBreaker::new(8, 4), 3.0, 1.0, jobs)
     }
 
     #[test]
@@ -631,7 +262,7 @@ mod tests {
     fn empty_schedule_reduces_to_nothing() {
         let (out, stats) = run_pool(Vec::new(), 4, 2, None).unwrap();
         assert!(out.is_empty());
-        assert_eq!(stats.dead_letter_batches, 0);
+        assert_eq!(stats.dead_letter_jobs, 0);
     }
 
     #[test]
@@ -647,7 +278,12 @@ mod tests {
         assert_eq!(a.stats.respawns, a.stats.crashes, "every crash respawns its lane");
         for (chain, &dead) in a.chains.iter().zip(&a.dead) {
             assert!(!chain.is_empty());
-            let landed = chain.iter().any(|f| matches!(f, AttemptFate::Ok | AttemptFate::Straggle));
+            let landed = chain.iter().any(|f| {
+                matches!(
+                    f,
+                    hadas::executor::AttemptFate::Ok | hadas::executor::AttemptFate::Straggle
+                )
+            });
             assert_eq!(dead, !landed);
         }
     }
@@ -658,13 +294,13 @@ mod tests {
         let plan = plan_for(&jobs, FaultConfig::worker_chaos(7), 6);
         assert!(plan.stats.crashes > 0, "seed 7 must inject crashes for this test to bite");
         assert!(plan.stats.retries > 0, "seed 7 must inject transient failures");
-        assert_eq!(plan.stats.dead_letter_batches, 0, "six attempts always recover here");
+        assert_eq!(plan.stats.dead_letter_jobs, 0, "six attempts always recover here");
         let (clean, _) = run_pool(jobs.clone(), 3, 3, None).unwrap();
         for workers in [1, 2, 3, 5] {
             let (healed, stats) = run_pool(jobs.clone(), workers, 3, Some(&plan)).unwrap();
             assert_eq!(healed, clean, "recovery must erase the faults ({workers} workers)");
             assert_eq!(stats.crashes, plan.stats.crashes);
-            assert_eq!(stats.dead_letter_requests, 0);
+            assert_eq!(stats.dead_letter_units, 0);
         }
     }
 
@@ -683,7 +319,7 @@ mod tests {
         let plan = plan_for(&jobs, cfg, 4);
         assert!(plan.stats.hedges > 0, "stragglers must hedge");
         assert!(plan.stats.duplicate_results > 0, "a landed hedge duplicates its straggler");
-        assert_eq!(plan.stats.dead_letter_batches, 0, "stragglers still land");
+        assert_eq!(plan.stats.dead_letter_jobs, 0, "stragglers still land");
         let (clean, _) = run_pool(jobs.clone(), 2, 3, None).unwrap();
         let (hedged, stats) = run_pool(jobs, 4, 3, Some(&plan)).unwrap();
         assert_eq!(hedged, clean, "first-result-wins dedup keeps the payload identical");
@@ -701,15 +337,15 @@ mod tests {
             ..FaultConfig::worker_chaos(3)
         };
         let plan = plan_for(&jobs, cfg, 1);
-        assert!(plan.stats.dead_letter_batches > 0, "a 1-attempt budget must drop some");
+        assert!(plan.stats.dead_letter_jobs > 0, "a 1-attempt budget must drop some");
         let (a, sa) = run_pool(jobs.clone(), 3, 3, Some(&plan)).unwrap();
         let (b, sb) = run_pool(jobs.clone(), 5, 3, Some(&plan)).unwrap();
         assert_eq!(a, b, "dead-letter selection is part of the deterministic plan");
         assert_eq!(sa, sb);
-        assert_eq!(a.len() + sa.dead_letter_batches, jobs.len(), "no batch silently lost");
+        assert_eq!(a.len() + sa.dead_letter_jobs, jobs.len(), "no batch silently lost");
         let dead_req: usize =
             plan.dead.iter().zip(&jobs).filter(|(&d, _)| d).map(|(_, j)| j.requests.len()).sum();
-        assert_eq!(sa.dead_letter_requests, dead_req);
+        assert_eq!(sa.dead_letter_units, dead_req);
     }
 
     #[test]
@@ -724,9 +360,9 @@ mod tests {
         .unwrap();
         let retry = RetryPolicy { max_attempts: 4, ..RetryPolicy::default() };
         let clamped =
-            ChaosPlan::build(&injector, &retry, CircuitBreaker::new(1, 50), 3.0, 1.0, &jobs);
+            serve_chaos_plan(&injector, &retry, CircuitBreaker::new(1, 50), 3.0, 1.0, &jobs);
         let lenient =
-            ChaosPlan::build(&injector, &retry, CircuitBreaker::new(1_000, 1), 3.0, 1.0, &jobs);
+            serve_chaos_plan(&injector, &retry, CircuitBreaker::new(1_000, 1), 3.0, 1.0, &jobs);
         assert!(clamped.stats.breaker_trips > 0, "rate 0.6 must trip a threshold-1 breaker");
         assert_eq!(lenient.stats.breaker_trips, 0);
         assert!(
@@ -736,7 +372,7 @@ mod tests {
         let issued = |p: &ChaosPlan| p.chains.iter().map(Vec::len).sum::<usize>();
         assert!(issued(&clamped) < issued(&lenient), "the breaker must shed retry load");
         assert!(
-            clamped.stats.dead_letter_batches >= lenient.stats.dead_letter_batches,
+            clamped.stats.dead_letter_jobs >= lenient.stats.dead_letter_jobs,
             "fast-failing trades dead letters for stability"
         );
     }

@@ -97,6 +97,8 @@ fn killed_and_resumed(seed: u64, kill_after: usize, base: &SearchOptions, tag: &
     let first = SearchOptions {
         faults: Arc::clone(&base.faults),
         retry: base.retry,
+        workers: base.workers,
+        exec_chaos: base.exec_chaos.clone(),
         checkpoint_path: Some(path.clone()),
         stop_after_generations: Some(kill_after),
         ..SearchOptions::default()
@@ -109,6 +111,8 @@ fn killed_and_resumed(seed: u64, kill_after: usize, base: &SearchOptions, tag: &
     let second = SearchOptions {
         faults: Arc::clone(&base.faults),
         retry: base.retry,
+        workers: base.workers,
+        exec_chaos: base.exec_chaos.clone(),
         checkpoint_path: Some(path.clone()),
         resume_from: Some(
             SearchCheckpoint::load(&path).expect("checkpoint written at the kill point loads"),
@@ -128,6 +132,8 @@ fn uninterrupted(seed: u64, base: &SearchOptions) -> String {
     let opts = SearchOptions {
         faults: Arc::clone(&base.faults),
         retry: base.retry,
+        workers: base.workers,
+        exec_chaos: base.exec_chaos.clone(),
         ..SearchOptions::default()
     };
     let outcome = hadas.run_with(&cfg, &opts).expect("uninterrupted run completes");
@@ -188,6 +194,91 @@ fn a_stale_checkpoint_is_refused_not_mangled() {
     let err = hadas.run_with(&HadasConfig::smoke_test().with_seed(6), &resumed);
     assert!(err.is_err(), "a mismatched checkpoint must be rejected");
     let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------
+// Parallel search plane: the supervised executor drives OOE/IOE and the
+// front is byte-identical at any worker count, under kill/resume, and
+// under injected worker crashes (see DESIGN.md, "Parallel search plane").
+// ---------------------------------------------------------------------
+
+#[test]
+fn parallel_search_front_is_byte_identical_at_any_worker_count() {
+    for seed in seed_matrix() {
+        let sequential =
+            uninterrupted(seed, &SearchOptions { workers: 1, ..SearchOptions::default() });
+        assert!(sequential.contains("\"genome\""), "front must be non-trivial: {sequential}");
+        for workers in [2usize, 4, 8] {
+            let parallel =
+                uninterrupted(seed, &SearchOptions { workers, ..SearchOptions::default() });
+            assert_eq!(
+                sequential, parallel,
+                "the serialized front must not depend on the lane count \
+                 (seed {seed}, {workers} workers)"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_search_kill_and_resume_is_byte_identical() {
+    for seed in seed_matrix() {
+        let wide = SearchOptions { workers: 4, ..SearchOptions::default() };
+        let straight = uninterrupted(seed, &SearchOptions { workers: 1, ..Default::default() });
+        let resumed = killed_and_resumed(seed, 2, &wide, "parallel");
+        assert_eq!(
+            straight, resumed,
+            "kill-at-generation-2 + resume under 4 workers must reproduce the \
+             sequential front byte-for-byte (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn parallel_search_worker_crashes_heal_byte_identically() {
+    // Six attempts against the worker-chaos preset make a dead letter a
+    // ~1e-6 event per job; the retry policy is pinned on BOTH sides so
+    // only the injected chaos differs.
+    let retry = hadas_suite::core::RetryPolicy {
+        max_attempts: 6,
+        ..hadas_suite::core::RetryPolicy::default()
+    };
+    for seed in seed_matrix() {
+        let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
+        let cfg = HadasConfig::smoke_test().with_seed(seed);
+        let clean = hadas
+            .run_with(&cfg, &SearchOptions { workers: 1, retry, ..SearchOptions::default() })
+            .expect("fault-free run completes");
+        let clean_json = front_json(&clean, seed);
+
+        for workers in [1usize, 4] {
+            let injector = FaultInjector::new(FaultConfig::worker_chaos(seed))
+                .expect("worker-chaos preset validates");
+            let opts = SearchOptions {
+                workers,
+                retry,
+                exec_chaos: Some(Arc::new(injector)),
+                ..SearchOptions::default()
+            };
+            let healed = hadas.run_with(&cfg, &opts).expect("chaotic run completes");
+            let exec = healed.exec_telemetry();
+            assert!(
+                exec.crashes > 0,
+                "the preset must actually crash workers (seed {seed}, {workers} workers)"
+            );
+            assert_eq!(exec.respawns, exec.crashes, "every crash must respawn its lane");
+            assert_eq!(
+                exec.dead_letter_jobs, 0,
+                "six attempts must recover every evaluation (seed {seed}, {workers} workers)"
+            );
+            assert_eq!(
+                front_json(&healed, seed),
+                clean_json,
+                "healed worker crashes must be invisible in the serialized front \
+                 (seed {seed}, {workers} workers)"
+            );
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
