@@ -15,7 +15,7 @@ struct DvfsAblation {
     dvfs_extra_energy_cut: f64,
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = bench_env!().scaled_config();
     println!("ABLATION — DVFS contribution per hardware setting");
     println!(
@@ -26,9 +26,8 @@ fn main() {
     let mut rows = Vec::new();
     for target in all_targets() {
         let hadas = Hadas::for_target(target);
-        let subnet =
-            hadas.space().decode(&hadas_space::baselines::baseline_genome(4)).expect("a4 decodes");
-        let ioe = hadas.run_ioe(&subnet, &cfg, 0xDF5).expect("IOE runs");
+        let subnet = hadas.space().decode(&hadas_space::baselines::baseline_genome(4))?;
+        let ioe = hadas.run_ioe(&subnet, &cfg, 0xDF5)?;
         let device = hadas.device();
         let mut sum_exits = 0.0;
         let mut sum_dvfs = 0.0;
@@ -37,8 +36,7 @@ fn main() {
         for s in &ioe.pareto {
             let at_max =
                 DynamicModel::new(subnet.clone(), s.placement.clone(), device.default_dvfs())
-                    .evaluate(hadas.accuracy(), device, cfg.gamma, cfg.use_dissimilarity)
-                    .expect("valid model");
+                    .evaluate(hadas.accuracy(), device, cfg.gamma, cfg.use_dissimilarity)?;
             sum_exits += at_max.fitness.energy_gain;
             sum_dvfs += s.fitness.energy_gain;
             extra += 1.0 - s.fitness.energy_mj / at_max.fitness.energy_mj;
@@ -61,4 +59,5 @@ fn main() {
     println!();
     println!("DVFS adds a consistent extra energy cut on top of early exits (paper Table III: EEx vs EEx_DVFS columns)");
     bench_env!().write_json("ablation_dvfs", &rows);
+    Ok(())
 }

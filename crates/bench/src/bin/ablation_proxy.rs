@@ -67,28 +67,28 @@ impl CostModel for CountingDevice {
     }
 }
 
-fn true_front_hv(hadas_exact: &Hadas, outcome: &hadas::OoeOutcome, cfg: &HadasConfig) -> f64 {
+fn true_front_hv(
+    hadas_exact: &Hadas,
+    outcome: &hadas::OoeOutcome,
+    cfg: &HadasConfig,
+) -> Result<f64, hadas::HadasError> {
     // Re-measure every Pareto model on the exact device (the deployment
     // reality check a proxy-driven search must pass).
-    let axes: Vec<Vec<f64>> = outcome
-        .pareto_models()
-        .iter()
-        .map(|m| {
-            let eval = hadas::DynamicModel::new(m.subnet.clone(), m.placement.clone(), m.dvfs)
-                .evaluate(
-                    hadas_exact.accuracy(),
-                    hadas_exact.device(),
-                    cfg.gamma,
-                    cfg.use_dissimilarity,
-                )
-                .expect("valid model");
-            vec![eval.fitness.energy_gain, eval.fitness.accuracy_pct / 100.0]
-        })
-        .collect();
+    let mut axes: Vec<Vec<f64>> = Vec::new();
+    for m in outcome.pareto_models() {
+        let eval = hadas::DynamicModel::new(m.subnet.clone(), m.placement.clone(), m.dvfs)
+            .evaluate(
+                hadas_exact.accuracy(),
+                hadas_exact.device(),
+                cfg.gamma,
+                cfg.use_dissimilarity,
+            )?;
+        axes.push(vec![eval.fitness.energy_gain, eval.fitness.accuracy_pct / 100.0]);
+    }
     let fronts = fast_non_dominated_sort(&axes);
     let front: Vec<Vec<f64>> =
         fronts.first().map(|f| f.iter().map(|&i| axes[i].clone()).collect()).unwrap_or_default();
-    hypervolume_2d(&front, &[-0.5, 0.0])
+    Ok(hypervolume_2d(&front, &[-0.5, 0.0]))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -98,9 +98,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // One-off proxy fit + held-out validation.
     let fit_start = Instant::now();
-    let proxy = ProxyCostModel::fit(&device, &space, 3_000, 17).expect("proxy fits");
+    let proxy = ProxyCostModel::fit(&device, &space, 3_000, 17)?;
     let fit_ms = fit_start.elapsed().as_millis();
-    let v = proxy.validate(&device, &space, 100, 18).expect("proxy validates");
+    let v = proxy.validate(&device, &space, 100, 18)?;
     println!("proxy fit on {} device measurements in {} ms", proxy.training_samples(), fit_ms);
     println!(
         "held-out MAPE: latency {:.1}%, energy {:.1}% over {} subnet queries",
@@ -129,7 +129,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let wall_ms = start.elapsed().as_millis();
         let device_queries = fixed_queries
             .unwrap_or_else(|| counter.queries.load(std::sync::atomic::Ordering::Relaxed));
-        let hv = true_front_hv(&exact, &outcome, &cfg);
+        let hv = true_front_hv(&exact, &outcome, &cfg)?;
         println!(
             "{mode}: {device_queries} device queries, wall {wall_ms} ms, {} pareto models, true-front HV {hv:.4}",
             outcome.pareto_models().len()

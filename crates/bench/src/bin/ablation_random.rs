@@ -18,9 +18,9 @@ struct RandomAblation {
     random_rod: f64,
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
-    let subnet = hadas.space().decode(&baselines::baseline_genome(3)).expect("a3 decodes");
+    let subnet = hadas.space().decode(&baselines::baseline_genome(3))?;
     let cfg = bench_env!().scaled_config();
     let reference = [-0.5f64, 0.0];
     println!(
@@ -35,8 +35,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut wins = 0usize;
     for seed in [11u64, 22, 33, 44, 55] {
-        let nsga = hadas.run_ioe(&subnet, &cfg, seed).expect("runs");
-        let random = hadas.run_ioe_random(&subnet, &cfg, seed).expect("runs");
+        let nsga = hadas.run_ioe(&subnet, &cfg, seed)?;
+        let random = hadas.run_ioe_random(&subnet, &cfg, seed)?;
         let nf = nsga.pareto_axes();
         let rf = random.pareto_axes();
         let row = RandomAblation {
@@ -60,4 +60,5 @@ fn main() {
     println!();
     println!("NSGA-II wins hypervolume on {wins}/5 seeds — the evolutionary engine earns its keep");
     bench_env!().write_json("ablation_random", &rows);
+    Ok(())
 }

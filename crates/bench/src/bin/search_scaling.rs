@@ -162,6 +162,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("modeled generation throughput grows monotonically 1 -> 8 workers");
     println!("front byte-identical across all worker counts and under healed chaos");
 
-    bench_env!().write_json("BENCH_search", &rows);
+    bench_env!().write_bench("BENCH_search", 7, &rows)?;
     Ok(())
 }

@@ -170,11 +170,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             row.brownout_worst_tier,
             row.brownout_escalations
         );
-        assert_eq!(
-            r.served + r.shed + r.rejected + r.dead_lettered,
-            r.offered,
-            "request accounting must balance"
-        );
+        assert!(r.accounting_balances(), "request accounting must balance");
         overload_rows.push(row);
     }
     assert!(
@@ -185,6 +181,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  brownout strictly lowers the interactive violation rate under overload");
     rows.extend(overload_rows);
 
-    bench_env!().write_json("BENCH_serve", &rows);
+    bench_env!().write_bench("BENCH_serve", 7, &rows)?;
     Ok(())
 }

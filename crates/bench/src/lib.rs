@@ -17,8 +17,30 @@ pub mod svg;
 use hadas::{Hadas, HadasConfig, IoeOutcome};
 use hadas_hw::HwTarget;
 use hadas_space::{baselines, Subnet};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
+
+/// Schema tag stamped on every `results/BENCH_*.json` record (see
+/// [`BenchEnv::write_bench`]). Bump when the header shape changes.
+pub const BENCH_SCHEMA: &str = "hadas-bench/1";
+
+/// The shared header every `BENCH_*` record carries, so rows from
+/// `BENCH_serve` / `BENCH_search` / `BENCH_fleet` runs are mergeable:
+/// a consumer can join on `(schema, bench, scale, seed)` without
+/// guessing which harness settings produced a file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord<T> {
+    /// The header schema tag ([`BENCH_SCHEMA`]).
+    pub schema: String,
+    /// Bench name (the `BENCH_*` file stem).
+    pub bench: String,
+    /// The `HADAS_SCALE` tier the run resolved to.
+    pub scale: String,
+    /// The bench's base seed echo.
+    pub seed: u64,
+    /// The payload rows.
+    pub rows: T,
+}
 
 /// Ambient inputs for a bench binary, read once at the `main` boundary.
 ///
@@ -60,6 +82,16 @@ impl BenchEnv {
         }
     }
 
+    /// The scale tier this environment resolves to (`quick` | `mid` |
+    /// `paper`) — the normalized echo stamped into bench headers.
+    pub fn scale_name(&self) -> &'static str {
+        match self.scale.as_deref() {
+            Some("paper") => "paper",
+            Some("mid") => "mid",
+            _ => "quick",
+        }
+    }
+
     /// The directory experiment JSON lands in (`results/` at the
     /// workspace root unless overridden).
     pub fn results_dir(&self) -> PathBuf {
@@ -82,6 +114,36 @@ impl BenchEnv {
         std::fs::write(&path, record.to_json().expect("serialise experiment"))
             .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
         println!("[results] wrote {}", path.display());
+    }
+
+    /// Writes a `BENCH_*` record under [`BenchEnv::results_dir`] with
+    /// the shared schema header ([`BenchRecord`]): `schema`, the bench
+    /// name, the resolved scale tier, and the base seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or serialisation failures for the caller's `main` to
+    /// surface — the scaling benches fail loudly instead of dropping
+    /// results.
+    pub fn write_bench<T: Serialize>(
+        &self,
+        name: &str,
+        seed: u64,
+        rows: &T,
+    ) -> Result<PathBuf, Box<dyn std::error::Error>> {
+        let record = BenchRecord {
+            schema: BENCH_SCHEMA.to_string(),
+            bench: name.to_string(),
+            scale: self.scale_name().to_string(),
+            seed,
+            rows,
+        };
+        let dir = self.results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, serde_json::to_string_pretty(&record)?)?;
+        println!("[results] wrote {}", path.display());
+        Ok(path)
     }
 }
 

@@ -183,20 +183,50 @@ pub enum Command {
         /// Optional JSON output path for the full report.
         json: Option<String>,
     },
+    /// Serve a heterogeneous device fleet under the global router and
+    /// the unit supervisor.
+    Fleet {
+        /// One hardware target per device unit, from `--devices`
+        /// (e.g. `agx-gpu:2,tx2-gpu:4` or `mixed:16`).
+        devices: Vec<HwTarget>,
+        /// Budget preset for the per-target mode-producing searches.
+        scale: Scale,
+        /// Seed of the searches, arrival stream, and SLO classes.
+        seed: u64,
+        /// Simulated users (arrival-stream volume; duration = users/rps).
+        users: usize,
+        /// Fleet-wide mean offered load (requests/s).
+        rps: f64,
+        /// Fleet supervisor worker lanes; any count yields a
+        /// byte-identical report.
+        workers: usize,
+        /// Interactive-class deadline (ms).
+        slo_ms: f64,
+        /// Pin every device to one governor (`None` rotates the
+        /// replica governor ladder).
+        governor: Option<hadas_serve::GovernorKind>,
+        /// Router cost weight: seconds of finish-time penalty per
+        /// estimated joule.
+        energy_weight: f64,
+        /// Inject per-device substrate fault episodes with this seed.
+        faults: Option<u64>,
+        /// Inject unit-level chaos (device crashes, stragglers) with
+        /// this seed; supervision must heal back to the fault-free
+        /// report whenever nothing dead-letters.
+        chaos: Option<u64>,
+        /// Optional JSON output path for the full fleet report.
+        json: Option<String>,
+    },
     /// Print usage.
     Help,
 }
 
 fn parse_target(s: &str) -> Result<HwTarget, ParseCliError> {
-    match s {
-        "agx-gpu" => Ok(HwTarget::AgxVoltaGpu),
-        "agx-cpu" => Ok(HwTarget::AgxCarmelCpu),
-        "tx2-gpu" => Ok(HwTarget::Tx2PascalGpu),
-        "tx2-cpu" => Ok(HwTarget::Tx2DenverCpu),
-        other => Err(ParseCliError(format!(
-            "unknown target '{other}' (expected agx-gpu, agx-cpu, tx2-gpu, or tx2-cpu)"
-        ))),
-    }
+    HwTarget::parse_cli(s).ok_or_else(|| {
+        ParseCliError(format!(
+            "unknown target '{s}' (expected agx-gpu, agx-cpu, tx2-gpu, or tx2-cpu)"
+        ))
+    })
 }
 
 fn parse_scale(s: &str) -> Result<Scale, ParseCliError> {
@@ -569,8 +599,101 @@ impl Command {
                     json: flag(&flags, "json").map(str::to_string),
                 })
             }
+            "fleet" => {
+                let flags = take_flags(
+                    rest,
+                    &[
+                        "devices",
+                        "scale",
+                        "seed",
+                        "users",
+                        "rps",
+                        "workers",
+                        "slo-ms",
+                        "governor",
+                        "energy-weight",
+                        "faults",
+                        "chaos",
+                        "json",
+                    ],
+                )?;
+                let devices = hadas_fleet::parse_device_spec(
+                    flag(&flags, "devices").unwrap_or("mixed:8"),
+                )
+                .map_err(|e| ParseCliError(format!("bad devices spec: {e}")))?;
+                let scale =
+                    flag(&flags, "scale").map(parse_scale).transpose()?.unwrap_or_default();
+                let seed = flag(&flags, "seed")
+                    .map(|s| s.parse::<u64>().map_err(|e| ParseCliError(format!("bad seed: {e}"))))
+                    .transpose()?
+                    .unwrap_or(7);
+                let users = flag(&flags, "users")
+                    .map(|s| {
+                        s.parse::<usize>().map_err(|e| ParseCliError(format!("bad users: {e}")))
+                    })
+                    .transpose()?
+                    .unwrap_or(4_000);
+                let rps = flag(&flags, "rps")
+                    .map(|s| s.parse::<f64>().map_err(|e| ParseCliError(format!("bad rps: {e}"))))
+                    .transpose()?
+                    .unwrap_or(400.0);
+                let workers = flag(&flags, "workers")
+                    .map(|s| {
+                        s.parse::<usize>().map_err(|e| ParseCliError(format!("bad workers: {e}")))
+                    })
+                    .transpose()?
+                    .unwrap_or(1);
+                let slo_ms = flag(&flags, "slo-ms")
+                    .map(|s| {
+                        s.parse::<f64>().map_err(|e| ParseCliError(format!("bad slo-ms: {e}")))
+                    })
+                    .transpose()?
+                    .unwrap_or(120.0);
+                let governor = flag(&flags, "governor")
+                    .map(|s| {
+                        hadas_serve::GovernorKind::parse(s).ok_or_else(|| {
+                            ParseCliError(format!(
+                                "unknown governor '{s}' (expected static, latency, or queue)"
+                            ))
+                        })
+                    })
+                    .transpose()?;
+                let energy_weight = flag(&flags, "energy-weight")
+                    .map(|s| {
+                        s.parse::<f64>()
+                            .map_err(|e| ParseCliError(format!("bad energy-weight: {e}")))
+                    })
+                    .transpose()?
+                    .unwrap_or(0.02);
+                let faults = flag(&flags, "faults")
+                    .map(|s| {
+                        s.parse::<u64>()
+                            .map_err(|e| ParseCliError(format!("bad fault seed: {e}")))
+                    })
+                    .transpose()?;
+                let chaos = flag(&flags, "chaos")
+                    .map(|s| {
+                        s.parse::<u64>()
+                            .map_err(|e| ParseCliError(format!("bad chaos seed: {e}")))
+                    })
+                    .transpose()?;
+                Ok(Command::Fleet {
+                    devices,
+                    scale,
+                    seed,
+                    users,
+                    rps,
+                    workers,
+                    slo_ms,
+                    governor,
+                    energy_weight,
+                    faults,
+                    chaos,
+                    json: flag(&flags, "json").map(str::to_string),
+                })
+            }
             other => Err(ParseCliError(format!(
-                "unknown command '{other}' (try: devices, baselines, search, train, ioe, check, proxy, serve, help)"
+                "unknown command '{other}' (try: devices, baselines, search, train, ioe, check, proxy, serve, fleet, help)"
             ))),
         }
     }
@@ -807,6 +930,57 @@ mod tests {
         assert!(Command::parse(&argv("serve --target tx2-gpu --hedge-factor soon")).is_err());
         let cmd = Command::parse(&argv("serve --target tx2-gpu --brownout off")).unwrap();
         assert!(matches!(cmd, Command::Serve { brownout: false, .. }));
+    }
+
+    #[test]
+    fn fleet_parses_all_flags() {
+        let cmd = Command::parse(&argv(
+            "fleet --devices agx-gpu:2,tx2-gpu:1 --scale quick --seed 9 --users 5000 \
+             --rps 250 --workers 4 --slo-ms 80 --governor latency --energy-weight 0.05 \
+             --faults 3 --chaos 13 --json fleet.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Fleet {
+                devices: vec![HwTarget::AgxVoltaGpu, HwTarget::AgxVoltaGpu, HwTarget::Tx2PascalGpu],
+                scale: Scale::Quick,
+                seed: 9,
+                users: 5000,
+                rps: 250.0,
+                workers: 4,
+                slo_ms: 80.0,
+                governor: Some(hadas_serve::GovernorKind::Latency),
+                energy_weight: 0.05,
+                faults: Some(3),
+                chaos: Some(13),
+                json: Some("fleet.json".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn fleet_defaults_apply() {
+        let cmd = Command::parse(&argv("fleet")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Fleet {
+                seed: 7,
+                users: 4_000,
+                workers: 1,
+                governor: None,
+                faults: None,
+                chaos: None,
+                json: None,
+                ..
+            }
+        ));
+        // `mixed:8` expands round-robin across all four targets.
+        assert!(matches!(cmd, Command::Fleet { ref devices, .. } if devices.len() == 8));
+        assert!(Command::parse(&argv("fleet --devices tx2-gpu:0")).is_err());
+        assert!(Command::parse(&argv("fleet --devices warp-drive:2")).is_err());
+        assert!(Command::parse(&argv("fleet --users none")).is_err());
+        assert!(Command::parse(&argv("fleet --energy-weight heavy")).is_err());
     }
 
     #[test]

@@ -37,6 +37,10 @@ USAGE:
                   [--governor static|latency|queue] [--faults SEED]
                   [--chaos SEED] [--brownout on|off] [--hedge-factor K]
                   [--json PATH]
+  hadas fleet     [--devices SPEC] [--scale ...] [--seed N] [--users N]
+                  [--rps R] [--workers N] [--slo-ms MS]
+                  [--governor static|latency|queue] [--energy-weight W]
+                  [--faults SEED] [--chaos SEED] [--json PATH]
 
 TARGETS: agx-gpu, agx-cpu, tx2-gpu, tx2-cpu
 
@@ -81,6 +85,25 @@ SERVING:
                          -> force early exits -> reject admissions)
   --hedge-factor K       hedge a straggling batch once it exceeds K times
                          its service estimate (default 3.0)
+
+FLEET:
+  `fleet` searches one mode ladder per distinct hardware target, then
+  serves a fleet-wide arrival stream across N device units under a
+  global latency/energy-aware router and the unit supervisor; the
+  report is byte-identical at any --workers count, and under --chaos
+  whenever zero units dead-letter.
+  --devices SPEC         device mix: `agx-gpu:2,tx2-gpu:4` counts per
+                         target, or `mixed:N` round-robin over all four
+                         profiles (default mixed:8)
+  --users N              simulated users; the stream runs users/rps
+                         seconds (default 4000)
+  --energy-weight W      router score = est. finish time + W x est.
+                         joules (default 0.02; 0 routes on latency)
+  --faults SEED          per-device substrate fault episodes (thermal
+                         throttle, voltage sag), device d seeded SEED+d
+  --chaos SEED           unit-level chaos: whole device units crash and
+                         straggle; the supervisor respawns them and
+                         re-dispatches their substreams
 ";
 
 /// Executes a parsed command, writing the report to `out`.
@@ -572,6 +595,119 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
                 writeln!(out, "wrote serve report to {path}")?;
             }
         }
+        Command::Fleet {
+            devices,
+            scale,
+            seed,
+            users,
+            rps,
+            workers,
+            slo_ms,
+            governor,
+            energy_weight,
+            faults,
+            chaos,
+            json,
+        } => {
+            let cfg = scale.config().with_seed(seed);
+            let planes = hadas_fleet::build_planes(&devices, &cfg)?;
+            writeln!(
+                out,
+                "searched {} plane(s) for {} ({} device(s)); serving {users} users \
+                 at {rps:.0} rps on {workers} fleet worker(s)...",
+                planes.len(),
+                hadas_fleet::canonical_spec(&devices),
+                devices.len()
+            )?;
+            let fleet_cfg = hadas_fleet::FleetConfig {
+                devices,
+                users,
+                rps,
+                workers,
+                seed,
+                slo_ms,
+                governor,
+                energy_weight,
+                faults: faults.map(FaultConfig::chaos),
+                chaos: chaos.map(FaultConfig::worker_chaos),
+                ..hadas_fleet::FleetConfig::default()
+            };
+            let run = hadas_fleet::FleetEngine::new(&planes, fleet_cfg)?.run()?;
+            let report = &run.report;
+            writeln!(
+                out,
+                "offered {} | routed {} (fleet-rejected {}) | served {} | shed {} \
+                 | rejected {} | dead-lettered {}",
+                report.offered,
+                report.routed,
+                report.fleet_rejected,
+                report.served,
+                report.shed,
+                report.rejected,
+                report.dead_lettered
+            )?;
+            writeln!(
+                out,
+                "throughput {:.1} rps over {:.2} s | energy {:.2} J (sag {:.3} J)",
+                report.throughput_rps, report.makespan_s, report.energy_j, report.sag_energy_j
+            )?;
+            writeln!(
+                out,
+                "latency p50/p95/p99 {:.1}/{:.1}/{:.1} ms | SLO violations {} ({:.2}%) \
+                 [interactive {}/{}, bulk {}/{}]",
+                report.latency.p50_ms,
+                report.latency.p95_ms,
+                report.latency.p99_ms,
+                report.slo.violations,
+                report.slo.violation_rate * 100.0,
+                report.slo.interactive_violations,
+                report.slo.interactive_served,
+                report.slo.bulk_violations,
+                report.slo.bulk_served
+            )?;
+            writeln!(
+                out,
+                "router: {} interactive + {} bulk routed, {} best-effort placements, \
+                 {} unhealthy device(s)",
+                report.router.interactive_routed,
+                report.router.bulk_routed,
+                report.router.slo_infeasible_routed,
+                report.unhealthy_devices
+            )?;
+            for h in report.health.iter().filter(|h| !h.healthy) {
+                writeln!(
+                    out,
+                    "  device {} ({}, {}): worst tier {} | min cap {:.2} | {} dead-lettered",
+                    h.device,
+                    h.target,
+                    h.governor,
+                    h.worst_tier,
+                    h.min_thermal_cap,
+                    h.dead_lettered
+                )?;
+            }
+            if chaos.is_some() {
+                let t = &run.telemetry;
+                writeln!(
+                    out,
+                    "chaos healed: {} unit crashes ({} respawns), {} retries, \
+                     {} re-dispatches, {} hedges ({} duplicates), {} breaker trips, \
+                     {} dead-lettered unit(s)",
+                    t.crashes,
+                    t.respawns,
+                    t.retries,
+                    t.redispatches,
+                    t.hedges,
+                    t.duplicate_results,
+                    t.breaker_trips,
+                    t.dead_letter_units
+                )?;
+            }
+            if let Some(path) = json {
+                std::fs::write(&path, report.to_json()?)?;
+                writeln!(out, "wrote fleet report to {path}")?;
+            }
+        }
         Command::Proxy { target, samples } => {
             let device = DeviceModel::for_target(target);
             let space = SearchSpace::attentive_nas();
@@ -1013,6 +1149,53 @@ mod tests {
         let text = run(serve_cmd_with(None, None, true, 600.0));
         assert!(text.contains("brownout: worst tier"), "{text}");
         assert!(text.contains("escalations"), "{text}");
+    }
+
+    fn fleet_cmd(workers: usize, chaos: Option<u64>, json: Option<String>) -> Command {
+        Command::Fleet {
+            devices: vec![HwTarget::Tx2PascalGpu, HwTarget::Tx2PascalGpu],
+            scale: Scale::Quick,
+            seed: 9,
+            users: 600,
+            rps: 200.0,
+            workers,
+            slo_ms: 120.0,
+            governor: None,
+            energy_weight: 0.02,
+            faults: None,
+            chaos,
+            json,
+        }
+    }
+
+    #[test]
+    fn fleet_reports_are_identical_across_worker_counts() {
+        let dir = std::env::temp_dir().join(format!("hadas-cli-fleet-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("fleet.json");
+        let path_s = path.to_string_lossy().into_owned();
+
+        let a = run(fleet_cmd(1, None, Some(path_s.clone())));
+        assert!(a.contains("routed"), "{a}");
+        assert!(a.contains("throughput"), "{a}");
+        let json_a = std::fs::read_to_string(&path).expect("report lands on disk");
+        assert!(json_a.contains("\"device_mix\""), "{json_a}");
+
+        let b = run(fleet_cmd(4, None, Some(path_s)));
+        let json_b = std::fs::read_to_string(&path).expect("second report");
+        assert_eq!(json_a, json_b, "fleet worker count must not leak into the report");
+        // Console output differs only in the announced worker count.
+        let body = |t: &str| t.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(body(&a), body(&b), "{a}\n---\n{b}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fleet_chaos_prints_healing_telemetry() {
+        let text = run(fleet_cmd(2, Some(13), None));
+        assert!(text.contains("chaos healed:"), "{text}");
+        assert!(text.contains("dead-lettered unit(s)"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,492 @@
+//! The fleet engine: N heterogeneous device units in shared virtual
+//! time, supervised through the core executor, under the global router.
+//!
+//! One run is two deterministic passes. First the *scheduling pass*,
+//! single-threaded: generate the fleet-wide arrival stream, route every
+//! request to a device (or fleet-reject it), and fix each unit's serve
+//! configuration. Then the *execution pass*: each unit becomes one
+//! supervised executor job — spawned on a fleet worker lane, monitored
+//! (crashes surface as lane deaths, retried with seq-preserving
+//! re-dispatch of the unit's whole in-flight substream), and reduced by
+//! the pure per-unit serve run. Results fold in device-index order, so
+//! the serialized [`FleetReport`] is byte-identical across fleet worker
+//! counts and under injected unit crashes that heal with zero dead
+//! letters.
+
+use crate::router::{route, DeviceEstimate};
+use crate::{DeviceHealthReport, DeviceSummary, FleetConfig, FleetReport};
+use hadas::executor::{run_supervised, ChaosPlan, JobSpec};
+use hadas::{CircuitBreaker, Hadas, HadasConfig, HadasError};
+use hadas_hw::HwTarget;
+use hadas_runtime::{modes_from_pareto, FaultConfig, FaultInjector, Histogram, OperatingMode};
+use hadas_serve::{
+    generate_requests, BrownoutConfig, Request, ResilienceTelemetry, ServeConfig, ServeEngine,
+    ServeTrace, SloSummary,
+};
+
+/// One searched deployment plane: the HADAS engine and Pareto mode
+/// ladder every device of one hardware target shares.
+#[derive(Debug)]
+pub struct DevicePlane {
+    target: HwTarget,
+    hadas: Hadas,
+    modes: Vec<OperatingMode>,
+}
+
+impl DevicePlane {
+    /// The hardware target this plane deploys to.
+    pub fn target(&self) -> HwTarget {
+        self.target
+    }
+
+    /// The deployed mode ladder (index 0 = most accurate).
+    pub fn modes(&self) -> &[OperatingMode] {
+        &self.modes
+    }
+}
+
+/// Searches one deployment plane per *distinct* target among `targets`
+/// (in [`HwTarget::ALL`] order): runs the bi-level search under
+/// `search` and deploys the top-3 Pareto mode ladder. Device replicas
+/// of one target share the plane; the governor rotation differentiates
+/// them.
+///
+/// # Errors
+///
+/// Returns [`HadasError::InvalidConfig`] for an empty target list, or
+/// whatever the search/mode extraction surfaces.
+pub fn build_planes(
+    targets: &[HwTarget],
+    search: &HadasConfig,
+) -> Result<Vec<DevicePlane>, HadasError> {
+    let mut planes = Vec::new();
+    for target in HwTarget::ALL {
+        if !targets.contains(&target) {
+            continue;
+        }
+        let hadas = Hadas::for_target(target);
+        let outcome = hadas.run(search)?;
+        let modes = modes_from_pareto(&hadas, &outcome, 3)?;
+        planes.push(DevicePlane { target, hadas, modes });
+    }
+    if planes.is_empty() {
+        return Err(HadasError::InvalidConfig("no targets to build device planes for".into()));
+    }
+    Ok(planes)
+}
+
+/// One device unit as a supervised executor job: everything the pure
+/// unit run needs, fixed at schedule time.
+#[derive(Debug, Clone)]
+struct DeviceJob {
+    device: usize,
+    plane: usize,
+    config: ServeConfig,
+    requests: Vec<Request>,
+}
+
+/// The outcome of one fleet run: the deterministic report plus the
+/// supervisor's out-of-band resilience telemetry (unit crashes healed,
+/// retries, hedges — deliberately *not* serialized in the report).
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    /// The deterministic serialized report.
+    pub report: FleetReport,
+    /// Fleet supervisor counters; the side channel where healed unit
+    /// faults remain visible.
+    pub telemetry: ResilienceTelemetry,
+}
+
+/// The fleet serving engine over a set of searched device planes.
+#[derive(Debug)]
+pub struct FleetEngine<'a> {
+    planes: &'a [DevicePlane],
+    plane_ix: Vec<usize>,
+    config: FleetConfig,
+}
+
+impl<'a> FleetEngine<'a> {
+    /// Builds a fleet over the device planes, validating the
+    /// configuration and resolving every device's target to its plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadasError::InvalidConfig`] if the configuration fails
+    /// [`FleetConfig::validate`] or a device's target has no plane.
+    pub fn new(planes: &'a [DevicePlane], config: FleetConfig) -> Result<Self, HadasError> {
+        config.validate()?;
+        let mut plane_ix = Vec::with_capacity(config.devices.len());
+        for (d, target) in config.devices.iter().enumerate() {
+            let ix = planes.iter().position(|p| p.target == *target).ok_or_else(|| {
+                HadasError::InvalidConfig(format!(
+                    "device {d} targets {} but no plane was built for it",
+                    target.cli_name()
+                ))
+            })?;
+            plane_ix.push(ix);
+        }
+        Ok(FleetEngine { planes, plane_ix, config })
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The router's modeled per-request cost of device `d`: the plane's
+    /// mode-0 (most accurate) serve cost at nominal difficulty.
+    fn estimate_of(&self, d: usize) -> DeviceEstimate {
+        let outcome = self.planes[self.plane_ix[d]].modes[0].serve(0.5);
+        DeviceEstimate { service_s: outcome.cost.latency_s, energy_j: outcome.cost.energy_j }
+    }
+
+    /// The serve configuration of device `d`: the fleet's SLO envelope,
+    /// the replica's governor, the per-device substrate fault stream,
+    /// and the always-on brownout ladder composing with the router's
+    /// modeled admission.
+    fn device_config(&self, d: usize, duration_s: f64) -> ServeConfig {
+        ServeConfig {
+            seed: self.config.seed,
+            duration_s,
+            rps: self.config.rps,
+            workers: 1,
+            batch_max: self.config.batch_max,
+            slo_ms: self.config.slo_ms,
+            bulk_slo_factor: self.config.bulk_slo_factor,
+            bulk_fraction: self.config.bulk_fraction,
+            governor: self.config.governor_of(d),
+            faults: self.config.faults.as_ref().map(|f| FaultConfig {
+                seed: f.seed.wrapping_add(d as u64),
+                horizon_s: duration_s,
+                ..f.clone()
+            }),
+            chaos: None,
+            hedge_factor: self.config.hedge_factor,
+            retry: self.config.retry,
+            breaker_threshold: self.config.breaker_threshold,
+            breaker_cooldown: self.config.breaker_cooldown,
+            brownout: Some(BrownoutConfig::default()),
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Runs the fleet to completion (see module docs for the two-pass
+    /// structure and the determinism contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadasError::InvalidConfig`] for invalid embedded
+    /// configurations, or [`HadasError::Internal`] if a unit breaks the
+    /// request-conservation identity or the supervisor breaks protocol.
+    pub fn run(&self) -> Result<FleetRun, HadasError> {
+        let duration_s = self.config.duration_s();
+        let n = self.config.devices.len();
+
+        // Scheduling pass: one fleet-wide arrival stream, routed.
+        let gen_cfg = ServeConfig {
+            seed: self.config.seed,
+            duration_s,
+            rps: self.config.rps,
+            slo_ms: self.config.slo_ms,
+            bulk_slo_factor: self.config.bulk_slo_factor,
+            bulk_fraction: self.config.bulk_fraction,
+            ..ServeConfig::default()
+        };
+        let requests = generate_requests(&gen_cfg, None);
+        let offered = requests.len();
+        let estimates: Vec<DeviceEstimate> = (0..n).map(|d| self.estimate_of(d)).collect();
+        let routing = route(&self.config, &estimates, requests);
+
+        let jobs: Vec<DeviceJob> = routing
+            .substreams
+            .into_iter()
+            .enumerate()
+            .map(|(d, substream)| DeviceJob {
+                device: d,
+                plane: self.plane_ix[d],
+                config: self.device_config(d, duration_s),
+                requests: substream,
+            })
+            .collect();
+        for job in &jobs {
+            job.config.validate()?;
+        }
+
+        // Unit-level chaos script: pure in (seed, schedule), so the
+        // recovery replay is identical at any fleet worker count.
+        let plan = match &self.config.chaos {
+            Some(c) => {
+                let injector =
+                    FaultInjector::new(FaultConfig { horizon_s: duration_s, ..c.clone() })?;
+                let specs: Vec<JobSpec> = jobs
+                    .iter()
+                    .map(|j| JobSpec {
+                        key: j.device as u64,
+                        est_ms: estimates[j.device].service_s * 1e3 * j.requests.len() as f64,
+                        weight: j.requests.len(),
+                    })
+                    .collect();
+                Some(ChaosPlan::build(
+                    &injector,
+                    &self.config.retry,
+                    CircuitBreaker::new(
+                        self.config.breaker_threshold,
+                        self.config.breaker_cooldown,
+                    ),
+                    self.config.hedge_factor,
+                    &specs,
+                ))
+            }
+            None => None,
+        };
+
+        // Execution pass: device units as supervised jobs.
+        let planes = self.planes;
+        let run_unit = |job: &DeviceJob| -> Result<ServeTrace, HadasError> {
+            let plane = &planes[job.plane];
+            ServeEngine::new(&plane.hadas, plane.modes.clone(), job.config.clone())?
+                .run_requests(job.requests.clone())
+        };
+        let (slots, telemetry) =
+            run_supervised(&jobs, self.config.workers, run_unit, plan.as_ref())?;
+
+        // Fold in device-index order.
+        let mut served = 0usize;
+        let mut shed = 0usize;
+        let mut rejected = 0usize;
+        let mut dead_lettered = 0usize;
+        let mut energy = 0.0f64;
+        let mut sag_energy = 0.0f64;
+        let mut makespan = 0.0f64;
+        let mut global = Histogram::new();
+        let mut violations = 0usize;
+        let mut interactive = (0usize, 0usize);
+        let mut bulk = (0usize, 0usize);
+        let mut per_device = Vec::with_capacity(n);
+        let mut health = Vec::with_capacity(n);
+        for (job, slot) in jobs.iter().zip(slots) {
+            let d = job.device;
+            let assigned = job.requests.len();
+            let target = planes[job.plane].target.cli_name();
+            let governor = self.config.governor_of(d).name();
+            match slot {
+                None => {
+                    // The unit's whole substream died with it: account
+                    // it as dead letters, never silently lost.
+                    dead_lettered += assigned;
+                    per_device.push(DeviceSummary {
+                        device: d,
+                        target: target.to_string(),
+                        governor: governor.to_string(),
+                        assigned,
+                        served: 0,
+                        shed: 0,
+                        rejected: 0,
+                        dead_lettered: assigned,
+                        energy_j: 0.0,
+                        slo_violations: 0,
+                        p99_ms: 0.0,
+                    });
+                    health.push(DeviceHealthReport::dead_unit(d, target, governor, assigned));
+                }
+                Some(Err(e)) => return Err(e),
+                Some(Ok(trace)) => {
+                    let r = &trace.report;
+                    if !r.accounting_balances() || r.offered != assigned {
+                        return Err(HadasError::Internal(format!(
+                            "device {d} broke request conservation \
+                             ({} + {} + {} + {} vs {assigned} assigned)",
+                            r.served, r.shed, r.rejected, r.dead_lettered
+                        )));
+                    }
+                    served += r.served;
+                    shed += r.shed;
+                    rejected += r.rejected;
+                    dead_lettered += r.dead_lettered;
+                    energy += r.energy_j;
+                    sag_energy += r.sag_energy_j;
+                    makespan = makespan.max(r.makespan_s);
+                    global.merge(&trace.latencies);
+                    violations += r.slo.violations;
+                    interactive.0 += r.slo.interactive_served;
+                    interactive.1 += r.slo.interactive_violations;
+                    bulk.0 += r.slo.bulk_served;
+                    bulk.1 += r.slo.bulk_violations;
+                    per_device.push(DeviceSummary {
+                        device: d,
+                        target: target.to_string(),
+                        governor: governor.to_string(),
+                        assigned,
+                        served: r.served,
+                        shed: r.shed,
+                        rejected: r.rejected,
+                        dead_lettered: r.dead_lettered,
+                        energy_j: r.energy_j,
+                        slo_violations: r.slo.violations,
+                        p99_ms: r.latency.p99_ms,
+                    });
+                    health.push(DeviceHealthReport::from_trace(d, target, governor, &trace));
+                }
+            }
+        }
+
+        let routed = routing.summary.routed();
+        let unhealthy = health.iter().filter(|h| !h.healthy).count();
+        let report = FleetReport {
+            devices: n,
+            device_mix: crate::canonical_spec(&self.config.devices),
+            users: self.config.users,
+            rps: self.config.rps,
+            duration_s,
+            seed: self.config.seed,
+            offered,
+            routed,
+            fleet_rejected: routing.summary.rejected(),
+            served,
+            shed,
+            rejected,
+            dead_lettered,
+            makespan_s: makespan,
+            throughput_rps: served as f64 / makespan.max(duration_s),
+            energy_j: energy,
+            sag_energy_j: sag_energy,
+            latency: global.summary(),
+            slo: SloSummary {
+                target_ms: self.config.slo_ms,
+                violations,
+                violation_rate: violations as f64 / served.max(1) as f64,
+                interactive_served: interactive.0,
+                interactive_violations: interactive.1,
+                bulk_served: bulk.0,
+                bulk_violations: bulk.1,
+            },
+            router: routing.summary,
+            per_device,
+            health,
+            unhealthy_devices: unhealthy,
+        };
+        if !report.accounting_balances() {
+            return Err(HadasError::Internal("fleet report broke request conservation".into()));
+        }
+        Ok(FleetRun { report, telemetry })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadas_runtime::FaultConfig;
+
+    fn planes() -> Vec<DevicePlane> {
+        build_planes(&[HwTarget::Tx2PascalGpu, HwTarget::AgxCarmelCpu], &HadasConfig::smoke_test())
+            .unwrap()
+    }
+
+    fn small_config() -> FleetConfig {
+        FleetConfig {
+            devices: vec![
+                HwTarget::Tx2PascalGpu,
+                HwTarget::AgxCarmelCpu,
+                HwTarget::Tx2PascalGpu,
+                HwTarget::AgxCarmelCpu,
+            ],
+            users: 900,
+            rps: 300.0,
+            seed: 42,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn reports_are_byte_identical_across_fleet_worker_counts() {
+        let planes = planes();
+        let base = FleetEngine::new(&planes, small_config()).unwrap().run().unwrap();
+        let base_json = base.report.to_json().unwrap();
+        assert!(base.report.accounting_balances());
+        assert!(base.report.served > 0, "the fleet must serve");
+        for workers in [2usize, 4, 8] {
+            let cfg = FleetConfig { workers, ..small_config() };
+            let run = FleetEngine::new(&planes, cfg).unwrap().run().unwrap();
+            assert_eq!(
+                run.report.to_json().unwrap(),
+                base_json,
+                "fleet worker count {workers} must not leak into the report"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_chaos_heals_back_to_the_fault_free_report() {
+        let planes = planes();
+        let clean = FleetEngine::new(&planes, small_config()).unwrap().run().unwrap();
+        let mut healed_something = false;
+        for seed in [3u64, 5, 7, 11] {
+            let cfg = FleetConfig {
+                chaos: Some(FaultConfig {
+                    crash_rate: 0.25,
+                    transient_rate: 0.15,
+                    ..FaultConfig::worker_chaos(seed)
+                }),
+                retry: hadas::RetryPolicy { max_attempts: 6, ..hadas::RetryPolicy::default() },
+                workers: 3,
+                ..small_config()
+            };
+            let run = FleetEngine::new(&planes, cfg).unwrap().run().unwrap();
+            if run.telemetry.crashes > 0 || run.telemetry.retries > 0 {
+                healed_something = true;
+            }
+            assert_eq!(run.report.dead_lettered, 0, "six attempts must recover (seed {seed})");
+            assert_eq!(
+                run.report.to_json().unwrap(),
+                clean.report.to_json().unwrap(),
+                "healed chaos must be invisible in the report (seed {seed})"
+            );
+        }
+        assert!(healed_something, "some seed must actually inject unit faults");
+    }
+
+    #[test]
+    fn dead_units_surface_as_dead_letters_not_loss() {
+        let planes = planes();
+        let cfg = FleetConfig {
+            chaos: Some(FaultConfig {
+                crash_rate: 0.9,
+                transient_rate: 0.0,
+                timeout_rate: 0.0,
+                ..FaultConfig::worker_chaos(13)
+            }),
+            retry: hadas::RetryPolicy { max_attempts: 1, ..hadas::RetryPolicy::default() },
+            workers: 2,
+            ..small_config()
+        };
+        let run = FleetEngine::new(&planes, cfg).unwrap().run().unwrap();
+        assert!(run.report.dead_lettered > 0, "crash rate 0.9 × 1 attempt must kill a unit");
+        assert!(run.report.accounting_balances(), "dead letters stay conserved");
+        assert_eq!(
+            run.report.unhealthy_devices,
+            run.report.health.iter().filter(|h| !h.healthy).count()
+        );
+        assert!(run.report.health.iter().any(|h| !h.healthy));
+    }
+
+    #[test]
+    fn missing_plane_is_an_invalid_config() {
+        let planes = build_planes(&[HwTarget::Tx2PascalGpu], &HadasConfig::smoke_test()).unwrap();
+        let cfg = FleetConfig { devices: vec![HwTarget::AgxVoltaGpu], ..FleetConfig::default() };
+        assert!(FleetEngine::new(&planes, cfg).is_err());
+    }
+
+    #[test]
+    fn health_reports_cover_every_device_in_order() {
+        let planes = planes();
+        let run = FleetEngine::new(&planes, small_config()).unwrap().run().unwrap();
+        assert_eq!(run.report.health.len(), 4);
+        assert_eq!(run.report.per_device.len(), 4);
+        for (d, (h, s)) in run.report.health.iter().zip(&run.report.per_device).enumerate() {
+            assert_eq!(h.device, d);
+            assert_eq!(s.device, d);
+            assert_eq!(s.assigned, run.report.router.assigned[d]);
+            assert_eq!(s.served + s.shed + s.rejected + s.dead_lettered, s.assigned);
+        }
+    }
+}

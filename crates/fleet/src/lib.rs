@@ -1,0 +1,47 @@
+//! # hadas-fleet — deterministic multi-device fleet serving
+//!
+//! Fleet-scale serving for the HADAS reproduction: N heterogeneous
+//! device units — the four calibrated hardware profiles × per-replica
+//! DVFS governor states, each wrapping a [`hadas_serve::ServeEngine`] —
+//! driven in shared deterministic virtual time under a global
+//! latency/energy-aware router and supervised through the core
+//! executor.
+//!
+//! The plane decomposes into:
+//!
+//! - **Specs** ([`parse_device_spec`] / [`canonical_spec`]): the CLI
+//!   grammar `agx-gpu:2,tx2-gpu:4` (or `mixed:N`) for the device mix.
+//! - **Planes** ([`build_planes`], [`DevicePlane`]): one bi-level
+//!   search per distinct hardware target; replicas share the searched
+//!   mode ladder and differentiate by governor rotation.
+//! - **Router** ([`RouterSummary`]): a pure, single-threaded admission
+//!   pass routing every arrival by SLO class, estimated
+//!   latency/energy cost, and modeled device health, composing with
+//!   each unit's own brownout ladder.
+//! - **Units** ([`DeviceHealthReport`], [`DeviceSummary`]): each
+//!   device runs as one supervised executor job; crashes respawn with
+//!   seq-preserving re-dispatch, exhausted budgets dead-letter the
+//!   unit, and periodic health samples condense per unit.
+//! - **Engine** ([`FleetEngine`] → [`FleetRun`] / [`FleetReport`]):
+//!   schedules single-threaded, executes under the supervisor, folds
+//!   in device order.
+//!
+//! Determinism contract: the serialized [`FleetReport`] is
+//! byte-identical across fleet worker counts and byte-identical to the
+//! fault-free run under injected unit crashes whenever zero units
+//! dead-letter; supervision effort stays out-of-band in
+//! [`FleetRun::telemetry`].
+
+mod config;
+mod engine;
+mod report;
+mod router;
+mod spec;
+mod unit;
+
+pub use config::{FleetConfig, GOVERNOR_ROTATION};
+pub use engine::{build_planes, DevicePlane, FleetEngine, FleetRun};
+pub use report::FleetReport;
+pub use router::{DeviceEstimate, RouterSummary};
+pub use spec::{canonical_spec, parse_device_spec};
+pub use unit::{DeviceHealthReport, DeviceSummary};

@@ -1,0 +1,259 @@
+//! The global fleet router: a pure, single-threaded admission pass over
+//! the fleet-wide arrival stream in virtual time.
+//!
+//! For every arrival the router models each device's health — a backlog
+//! of estimated finish times drained as the clock advances, mapped onto
+//! the brownout ladder's depth thresholds — and admits the request to
+//! the cheapest *admissible* device by estimated completion plus an
+//! energy-weighted cost, restricted to deadline-feasible devices for
+//! interactive traffic whenever any exists. Requests no device admits
+//! are fleet-rejected per class.
+//!
+//! Determinism contract: routing consults only modeled state (estimated
+//! costs, modeled depths) — never the chaos plan and never execution
+//! outcomes — so the decision sequence is a pure function of
+//! `(config, device estimates, arrival stream)` and is byte-identical
+//! across fleet worker counts and under recovered unit crashes. The
+//! modeled per-device admission composes with each device's own
+//! brownout ladder, which still runs downstream on the real backlog.
+
+use crate::FleetConfig;
+use hadas_serve::{BrownoutConfig, Request, SloClass};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The router's modeled per-request cost of one device: the mode-0
+/// (most accurate) service estimate at nominal difficulty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceEstimate {
+    /// Estimated per-request service time (seconds).
+    pub service_s: f64,
+    /// Estimated per-request energy (joules).
+    pub energy_j: f64,
+}
+
+/// Serialized routing accounting of one fleet run: the router-decision
+/// histogram (assignments per device) and per-class admission counters.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RouterSummary {
+    /// The energy weight the decisions were scored under.
+    pub energy_weight: f64,
+    /// Requests assigned per device (the decision histogram; index =
+    /// device index).
+    pub assigned: Vec<usize>,
+    /// Interactive requests routed to a device.
+    pub interactive_routed: usize,
+    /// Bulk requests routed to a device.
+    pub bulk_routed: usize,
+    /// Interactive requests no device admitted (fleet-rejected).
+    pub interactive_rejected: usize,
+    /// Bulk requests no device admitted (fleet-rejected).
+    pub bulk_rejected: usize,
+    /// Interactive requests routed even though no admissible device
+    /// could model a deadline-feasible finish (best-effort placements).
+    pub slo_infeasible_routed: usize,
+}
+
+impl RouterSummary {
+    /// Total requests routed to some device.
+    pub fn routed(&self) -> usize {
+        self.interactive_routed + self.bulk_routed
+    }
+
+    /// Total requests no device admitted.
+    pub fn rejected(&self) -> usize {
+        self.interactive_rejected + self.bulk_rejected
+    }
+}
+
+/// The outcome of routing one arrival stream: per-device substreams (in
+/// arrival order, original ids and times preserved) plus the accounting.
+#[derive(Debug, Clone)]
+pub(crate) struct RoutingOutcome {
+    /// `substreams[d]` = the requests admitted to device `d`.
+    pub substreams: Vec<Vec<Request>>,
+    /// The serialized routing accounting.
+    pub summary: RouterSummary,
+}
+
+/// Modeled per-device admission state: the backlog of estimated finish
+/// times, drained as virtual time advances.
+struct ModeledDevice {
+    backlog: VecDeque<f64>,
+    free_s: f64,
+}
+
+/// Routes the fleet-wide arrival stream over the devices (see module
+/// docs for the admission and scoring rules).
+pub(crate) fn route(
+    config: &FleetConfig,
+    estimates: &[DeviceEstimate],
+    requests: Vec<Request>,
+) -> RoutingOutcome {
+    let n = estimates.len();
+    let ladder = BrownoutConfig::default();
+    let mut modeled: Vec<ModeledDevice> =
+        (0..n).map(|_| ModeledDevice { backlog: VecDeque::new(), free_s: 0.0 }).collect();
+    let mut substreams: Vec<Vec<Request>> = (0..n).map(|_| Vec::new()).collect();
+    let mut summary = RouterSummary {
+        energy_weight: config.energy_weight,
+        assigned: vec![0; n],
+        ..RouterSummary::default()
+    };
+
+    for r in requests {
+        let now = r.time_s;
+        for m in &mut modeled {
+            while m.backlog.front().is_some_and(|&f| f <= now) {
+                m.backlog.pop_front();
+            }
+        }
+        // Admissible = the modeled brownout tier of the device's depth
+        // admits this class.
+        let mut best: Option<(usize, f64, f64)> = None; // (device, score, finish)
+        let mut best_feasible: Option<(usize, f64, f64)> = None;
+        for (d, (m, est)) in modeled.iter().zip(estimates).enumerate() {
+            let depth = m.backlog.len();
+            if depth >= ladder.reject_depth {
+                continue;
+            }
+            if r.class == SloClass::Bulk && depth >= ladder.shed_bulk_depth {
+                continue;
+            }
+            let finish = m.free_s.max(now) + est.service_s;
+            let score = (finish - now) + config.energy_weight * est.energy_j;
+            if best.as_ref().is_none_or(|&(_, s, _)| score < s) {
+                best = Some((d, score, finish));
+            }
+            if finish <= r.deadline_s + 1e-12
+                && best_feasible.as_ref().is_none_or(|&(_, s, _)| score < s)
+            {
+                best_feasible = Some((d, score, finish));
+            }
+        }
+        let choice = if r.class == SloClass::Interactive {
+            match best_feasible {
+                Some(c) => Some(c),
+                None => {
+                    if best.is_some() {
+                        summary.slo_infeasible_routed += 1;
+                    }
+                    best
+                }
+            }
+        } else {
+            best
+        };
+        match choice {
+            Some((d, _, finish)) => {
+                match r.class {
+                    SloClass::Interactive => summary.interactive_routed += 1,
+                    SloClass::Bulk => summary.bulk_routed += 1,
+                }
+                summary.assigned[d] += 1;
+                modeled[d].backlog.push_back(finish);
+                modeled[d].free_s = finish;
+                substreams[d].push(r);
+            }
+            None => match r.class {
+                SloClass::Interactive => summary.interactive_rejected += 1,
+                SloClass::Bulk => summary.bulk_rejected += 1,
+            },
+        }
+    }
+    RoutingOutcome { substreams, summary }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadas_hw::HwTarget;
+
+    fn req(id: usize, t: f64, class: SloClass, deadline: f64) -> Request {
+        Request { id, time_s: t, difficulty: 0.5, class, deadline_s: deadline }
+    }
+
+    fn cfg(n: usize) -> FleetConfig {
+        FleetConfig {
+            devices: vec![HwTarget::Tx2PascalGpu; n],
+            energy_weight: 0.0,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_conserves_requests() {
+        let est = vec![
+            DeviceEstimate { service_s: 0.01, energy_j: 0.1 },
+            DeviceEstimate { service_s: 0.02, energy_j: 0.05 },
+        ];
+        let reqs: Vec<Request> = (0..200)
+            .map(|i| {
+                let class = if i % 3 == 0 { SloClass::Bulk } else { SloClass::Interactive };
+                req(i, i as f64 * 0.004, class, i as f64 * 0.004 + 0.12)
+            })
+            .collect();
+        let a = route(&cfg(2), &est, reqs.clone());
+        let b = route(&cfg(2), &est, reqs.clone());
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.substreams, b.substreams);
+        assert_eq!(a.summary.routed() + a.summary.rejected(), reqs.len());
+        let assigned: usize = a.summary.assigned.iter().sum();
+        assert_eq!(assigned, a.summary.routed());
+        for s in &a.substreams {
+            assert!(s.windows(2).all(|w| w[0].time_s <= w[1].time_s), "arrival order preserved");
+        }
+    }
+
+    #[test]
+    fn faster_device_wins_when_idle_and_ties_break_by_index() {
+        let est = vec![
+            DeviceEstimate { service_s: 0.05, energy_j: 0.0 },
+            DeviceEstimate { service_s: 0.01, energy_j: 0.0 },
+        ];
+        let out = route(&cfg(2), &est, vec![req(0, 0.0, SloClass::Interactive, 1.0)]);
+        assert_eq!(out.summary.assigned, vec![0, 1], "the faster device wins");
+        let tied = vec![
+            DeviceEstimate { service_s: 0.01, energy_j: 0.0 },
+            DeviceEstimate { service_s: 0.01, energy_j: 0.0 },
+        ];
+        let out = route(&cfg(2), &tied, vec![req(0, 0.0, SloClass::Interactive, 1.0)]);
+        assert_eq!(out.summary.assigned, vec![1, 0], "ties break toward the lowest index");
+    }
+
+    #[test]
+    fn energy_weight_steers_away_from_hot_devices() {
+        let est = vec![
+            DeviceEstimate { service_s: 0.010, energy_j: 5.0 },
+            DeviceEstimate { service_s: 0.011, energy_j: 0.1 },
+        ];
+        let latency_only = route(&cfg(2), &est, vec![req(0, 0.0, SloClass::Interactive, 1.0)]);
+        assert_eq!(latency_only.summary.assigned, vec![1, 0]);
+        let mut c = cfg(2);
+        c.energy_weight = 0.01;
+        let weighted = route(&c, &est, vec![req(0, 0.0, SloClass::Interactive, 1.0)]);
+        assert_eq!(weighted.summary.assigned, vec![0, 1], "joules now outweigh the millisecond");
+    }
+
+    #[test]
+    fn saturated_devices_shed_bulk_then_reject_everything() {
+        let est = vec![DeviceEstimate { service_s: 10.0, energy_j: 0.0 }];
+        let ladder = BrownoutConfig::default();
+        // Everything arrives at t=0 against a 10 s service estimate, so
+        // the modeled backlog only grows.
+        let reqs: Vec<Request> = (0..3 * ladder.reject_depth)
+            .map(|i| {
+                let class = if i % 2 == 0 { SloClass::Bulk } else { SloClass::Interactive };
+                req(i, 0.0, class, 0.2)
+            })
+            .collect();
+        let out = route(&cfg(1), &est, reqs);
+        assert!(out.summary.bulk_rejected > 0, "bulk is turned away at the shed tier");
+        assert!(out.summary.interactive_rejected > 0, "reject tier turns everything away");
+        assert_eq!(out.summary.assigned[0], ladder.reject_depth, "depth caps at the reject rung");
+        assert!(
+            out.summary.slo_infeasible_routed > 0,
+            "deep interactive placements are best-effort"
+        );
+    }
+}

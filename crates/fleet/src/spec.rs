@@ -1,0 +1,124 @@
+//! Fleet device specs: the `--devices SPEC` mini-language.
+//!
+//! `SPEC` is a comma-separated list of `<target>:<count>` entries where
+//! `<target>` is a CLI hardware spelling (`agx-gpu`, `agx-cpu`,
+//! `tx2-gpu`, `tx2-cpu`) or `mixed`, which expands round-robin over all
+//! four targets. Device indices follow spec order, so the spec is the
+//! canonical description of the fleet's unit layout.
+
+use hadas::HadasError;
+use hadas_hw::HwTarget;
+
+/// Parses a `--devices` spec into one [`HwTarget`] per device unit, in
+/// spec order (`mixed:N` expands round-robin over [`HwTarget::ALL`]).
+///
+/// # Errors
+///
+/// Returns [`HadasError::InvalidConfig`] for malformed entries, unknown
+/// targets, zero counts, or an empty spec.
+pub fn parse_device_spec(spec: &str) -> Result<Vec<HwTarget>, HadasError> {
+    let mut devices = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            return Err(HadasError::InvalidConfig(format!("empty entry in device spec '{spec}'")));
+        }
+        let (name, count) = match entry.split_once(':') {
+            Some((n, c)) => {
+                let count = c.parse::<usize>().map_err(|e| {
+                    HadasError::InvalidConfig(format!("bad device count '{c}' in '{entry}': {e}"))
+                })?;
+                (n, count)
+            }
+            None => (entry, 1),
+        };
+        if count == 0 {
+            return Err(HadasError::InvalidConfig(format!(
+                "device count must be ≥ 1 in '{entry}'"
+            )));
+        }
+        if name == "mixed" {
+            devices.extend((0..count).map(|i| HwTarget::ALL[i % HwTarget::ALL.len()]));
+        } else {
+            let target = HwTarget::parse_cli(name).ok_or_else(|| {
+                HadasError::InvalidConfig(format!(
+                    "unknown device target '{name}' in '{entry}' \
+                     (expected agx-gpu, agx-cpu, tx2-gpu, tx2-cpu, or mixed)"
+                ))
+            })?;
+            devices.extend(std::iter::repeat_n(target, count));
+        }
+    }
+    if devices.is_empty() {
+        return Err(HadasError::InvalidConfig("device spec resolves to zero devices".into()));
+    }
+    Ok(devices)
+}
+
+/// The canonical spec echo of a device list: per-target counts in
+/// [`HwTarget::ALL`] order (`agx-gpu:2,tx2-gpu:4`). Parsing the echo
+/// yields a fleet with the same per-target composition.
+pub fn canonical_spec(devices: &[HwTarget]) -> String {
+    let mut parts = Vec::new();
+    for target in HwTarget::ALL {
+        let count = devices.iter().filter(|&&t| t == target).count();
+        if count > 0 {
+            parts.push(format!("{}:{count}", target.cli_name()));
+        }
+    }
+    parts.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_entries_expand_in_spec_order() {
+        let d = parse_device_spec("tx2-gpu:2,agx-cpu:1,tx2-gpu:1").unwrap();
+        assert_eq!(
+            d,
+            vec![
+                HwTarget::Tx2PascalGpu,
+                HwTarget::Tx2PascalGpu,
+                HwTarget::AgxCarmelCpu,
+                HwTarget::Tx2PascalGpu,
+            ]
+        );
+    }
+
+    #[test]
+    fn bare_target_means_one_device() {
+        assert_eq!(parse_device_spec("agx-gpu").unwrap(), vec![HwTarget::AgxVoltaGpu]);
+    }
+
+    #[test]
+    fn mixed_expands_round_robin_over_all_targets() {
+        let d = parse_device_spec("mixed:6").unwrap();
+        assert_eq!(d.len(), 6);
+        assert_eq!(d[0], HwTarget::ALL[0]);
+        assert_eq!(d[4], HwTarget::ALL[0]);
+        assert_eq!(d[5], HwTarget::ALL[1]);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        assert!(parse_device_spec("").is_err());
+        assert!(parse_device_spec("tx2-gpu:0").is_err());
+        assert!(parse_device_spec("tx2-gpu:lots").is_err());
+        assert!(parse_device_spec("warp-drive:2").is_err());
+        assert!(parse_device_spec("tx2-gpu:1,,agx-cpu:1").is_err());
+    }
+
+    #[test]
+    fn canonical_echo_round_trips_composition() {
+        let d = parse_device_spec("mixed:9,tx2-gpu:3").unwrap();
+        let echo = canonical_spec(&d);
+        let again = parse_device_spec(&echo).unwrap();
+        for target in HwTarget::ALL {
+            let a = d.iter().filter(|&&t| t == target).count();
+            let b = again.iter().filter(|&&t| t == target).count();
+            assert_eq!(a, b, "{} count must survive the echo", target.cli_name());
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Device units: the fleet's view of one supervised serve engine.
+//!
+//! A unit's lifecycle under the fleet supervisor is a small state
+//! machine (see DESIGN.md "Fleet plane"):
+//!
+//! ```text
+//! Spawned ──run──▶ Reporting ──fold──▶ Healthy | Unhealthy
+//!    ▲                 │crash
+//!    └──── respawn ◀───┘          (attempt budget exhausted ⇒ DeadLettered)
+//! ```
+//!
+//! The unit's periodic [`hadas_serve::HealthSample`]s condense into one
+//! [`DeviceHealthReport`] per unit — the night-report idiom: queue
+//! depth, brownout tier, thermal cap, sag energy, dead letters — and a
+//! [`DeviceSummary`] carries the unit's request accounting into the
+//! fleet report. Both are scheduling-plane quantities, byte-identical
+//! across fleet worker counts and recovered unit crashes.
+
+use hadas_serve::ServeTrace;
+use serde::{Deserialize, Serialize};
+
+/// The condensed health telemetry of one device unit over a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceHealthReport {
+    /// Device index in the fleet.
+    pub device: usize,
+    /// CLI spelling of the device's hardware target.
+    pub target: String,
+    /// The governor the replica ran.
+    pub governor: String,
+    /// Control windows observed.
+    pub windows: usize,
+    /// Deepest batcher backlog seen at a window boundary.
+    pub max_queue_depth: usize,
+    /// Most degraded brownout tier latched (tier index, 0 = Normal).
+    pub worst_tier: usize,
+    /// Tightest thermal frequency cap in force (`1.0` = never capped).
+    pub min_thermal_cap: f64,
+    /// Control windows opened under an active thermal cap.
+    pub throttled_windows: usize,
+    /// Extra joules paid to voltage sag beyond nominal mode costs.
+    pub sag_energy_j: f64,
+    /// Requests lost by the unit (assigned requests of a dead-lettered
+    /// unit; zero whenever supervision heals).
+    pub dead_lettered: usize,
+    /// The supervisor's verdict: no forced-early-exit/reject tier, no
+    /// thermal throttling, and nothing dead-lettered.
+    pub healthy: bool,
+}
+
+impl DeviceHealthReport {
+    /// Condenses a unit's serve trace into its health report.
+    pub(crate) fn from_trace(
+        device: usize,
+        target: &str,
+        governor: &str,
+        trace: &ServeTrace,
+    ) -> Self {
+        let mut max_depth = 0usize;
+        let mut worst_tier = 0usize;
+        let mut min_cap = 1.0f64;
+        for s in &trace.health {
+            max_depth = max_depth.max(s.queue_depth);
+            worst_tier = worst_tier.max(s.tier.index());
+            min_cap = min_cap.min(s.thermal_cap);
+        }
+        let dead = trace.report.dead_lettered;
+        DeviceHealthReport {
+            device,
+            target: target.to_string(),
+            governor: governor.to_string(),
+            windows: trace.health.len(),
+            max_queue_depth: max_depth,
+            worst_tier,
+            min_thermal_cap: min_cap,
+            throttled_windows: trace.report.throttled_windows,
+            sag_energy_j: trace.report.sag_energy_j,
+            dead_lettered: dead,
+            healthy: worst_tier < 2 && min_cap >= 1.0 && dead == 0,
+        }
+    }
+
+    /// The report of a unit whose every supervised attempt failed: its
+    /// assigned requests are dead letters and the unit is unhealthy.
+    pub(crate) fn dead_unit(device: usize, target: &str, governor: &str, assigned: usize) -> Self {
+        DeviceHealthReport {
+            device,
+            target: target.to_string(),
+            governor: governor.to_string(),
+            windows: 0,
+            max_queue_depth: 0,
+            worst_tier: 0,
+            min_thermal_cap: 1.0,
+            throttled_windows: 0,
+            sag_energy_j: 0.0,
+            dead_lettered: assigned,
+            healthy: false,
+        }
+    }
+}
+
+/// Per-unit request accounting and headline costs inside the fleet
+/// report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSummary {
+    /// Device index in the fleet.
+    pub device: usize,
+    /// CLI spelling of the device's hardware target.
+    pub target: String,
+    /// The governor the replica ran.
+    pub governor: String,
+    /// Requests the router assigned to this unit.
+    pub assigned: usize,
+    /// Requests the unit served.
+    pub served: usize,
+    /// Requests the unit shed at admission.
+    pub shed: usize,
+    /// Requests the unit's brownout ladder rejected.
+    pub rejected: usize,
+    /// Requests lost with the unit (zero whenever supervision heals).
+    pub dead_lettered: usize,
+    /// Energy the unit drew (joules).
+    pub energy_j: f64,
+    /// Served requests that missed their deadline.
+    pub slo_violations: usize,
+    /// The unit's p99 completion latency (ms; 0 when nothing served).
+    pub p99_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dead_unit_reports_are_unhealthy_and_carry_their_assignment() {
+        let r = DeviceHealthReport::dead_unit(3, "tx2-gpu", "queue", 120);
+        assert!(!r.healthy);
+        assert_eq!(r.dead_lettered, 120);
+        assert_eq!(r.windows, 0);
+        assert_eq!(r.device, 3);
+    }
+}

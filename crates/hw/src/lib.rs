@@ -79,6 +79,23 @@ impl HwTarget {
             HwTarget::Tx2DenverCpu => "NVIDIA Denver CPU",
         }
     }
+
+    /// The canonical CLI spelling, shared by `hadas --target` and fleet
+    /// device specs (`agx-gpu` | `agx-cpu` | `tx2-gpu` | `tx2-cpu`).
+    pub fn cli_name(&self) -> &'static str {
+        match self {
+            HwTarget::AgxVoltaGpu => "agx-gpu",
+            HwTarget::AgxCarmelCpu => "agx-cpu",
+            HwTarget::Tx2PascalGpu => "tx2-gpu",
+            HwTarget::Tx2DenverCpu => "tx2-cpu",
+        }
+    }
+
+    /// Parses a CLI spelling (the inverse of [`HwTarget::cli_name`]);
+    /// `None` for anything else.
+    pub fn parse_cli(s: &str) -> Option<HwTarget> {
+        HwTarget::ALL.into_iter().find(|t| t.cli_name() == s)
+    }
 }
 
 impl std::fmt::Display for HwTarget {
@@ -95,5 +112,14 @@ mod tests {
     fn four_targets_with_distinct_names() {
         let names: std::collections::HashSet<_> = HwTarget::ALL.iter().map(|t| t.name()).collect();
         assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn cli_names_round_trip() {
+        for t in HwTarget::ALL {
+            assert_eq!(HwTarget::parse_cli(t.cli_name()), Some(t));
+        }
+        assert_eq!(HwTarget::parse_cli("warp-drive"), None);
+        assert_eq!(HwTarget::parse_cli("AGX-GPU"), None, "spellings are exact");
     }
 }

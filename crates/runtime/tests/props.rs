@@ -32,8 +32,51 @@ fn shard(samples: &[f64], cuts: &[usize]) -> Vec<Vec<f64>> {
     shards
 }
 
+/// Fleet-scale shard plan: 200–500 integer-valued samples cut into
+/// single- or double-sample shards (always 100+ of them, one per device
+/// unit in a large fleet) plus random sort keys that induce an
+/// arbitrary merge order over the shards.
+fn fleet_shards_strategy() -> impl Strategy<Value = (Vec<f64>, usize, Vec<u64>)> {
+    (
+        proptest::collection::vec(0u32..5_000u32, 200..500),
+        1usize..=2,
+        proptest::collection::vec(0u64..u64::MAX, 500..501),
+    )
+        .prop_map(|(xs, k, keys)| (xs.into_iter().map(f64::from).collect(), k, keys))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fleet reduction's invariant at fleet scale: merging 100+
+    /// per-device shard histograms in *any* order is bit-identical to
+    /// the whole-stream histogram — every percentile, the max, and
+    /// (because latencies here are integer-valued, so the float sum is
+    /// exact at any association) even the mean.
+    #[test]
+    fn fleet_scale_merge_is_bit_identical_in_any_order(
+        (samples, k, keys) in fleet_shards_strategy()
+    ) {
+        let whole = Histogram::from_samples(samples.clone());
+        let shards: Vec<&[f64]> = samples.chunks(k).collect();
+        prop_assert!(shards.len() >= 100, "fleet scale means 100+ shards, got {}", shards.len());
+        let mut order: Vec<usize> = (0..shards.len()).collect();
+        order.sort_by_key(|&i| (keys[i], i));
+        let mut merged = Histogram::new();
+        for &i in &order {
+            merged.merge(&Histogram::from_samples(shards[i].to_vec()));
+        }
+        prop_assert_eq!(merged.len(), whole.len());
+        for p in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(merged.percentile(p).to_bits(), whole.percentile(p).to_bits());
+        }
+        let (m, w) = (merged.summary(), whole.summary());
+        prop_assert_eq!(m.p50_ms.to_bits(), w.p50_ms.to_bits());
+        prop_assert_eq!(m.p95_ms.to_bits(), w.p95_ms.to_bits());
+        prop_assert_eq!(m.p99_ms.to_bits(), w.p99_ms.to_bits());
+        prop_assert_eq!(m.max_ms.to_bits(), w.max_ms.to_bits());
+        prop_assert_eq!(m.mean_ms.to_bits(), w.mean_ms.to_bits());
+    }
 
     /// Merging shard histograms in shard order reproduces the
     /// whole-stream percentiles *bit-for-bit*: queries are pure

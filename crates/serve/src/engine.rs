@@ -32,6 +32,43 @@ pub struct ServeEngine<'a> {
     governor: DegradePolicy,
 }
 
+/// One periodic health sample from the engine's control loop: the
+/// observable state a fleet supervisor monitors per device. Samples are
+/// scheduling-plane quantities on the virtual clock, so the health trace
+/// is byte-identical across worker counts and recovered chaos runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthSample {
+    /// Control-window index (0-based).
+    pub window: usize,
+    /// Virtual time the window opened (seconds).
+    pub at_s: f64,
+    /// Batcher backlog observed at the window boundary.
+    pub queue_depth: usize,
+    /// Brownout tier latched for the window.
+    pub tier: BrownoutTier,
+    /// Thermal frequency cap in force (`1.0` = uncapped).
+    pub thermal_cap: f64,
+    /// Recent SLO-violation fraction fed to the governor.
+    pub slo_pressure: f64,
+}
+
+/// Everything one serving run produces: the serialized report plus the
+/// raw completion-latency histogram (mergeable fleet-wide via
+/// [`Histogram::merge`]), the per-window health trace, and the
+/// out-of-band resilience telemetry.
+#[derive(Debug, Clone)]
+pub struct ServeTrace {
+    /// The deterministic serialized report.
+    pub report: ServeReport,
+    /// Raw completion latencies (ms), in schedule order.
+    pub latencies: Histogram,
+    /// Per-control-window health samples, in window order.
+    pub health: Vec<HealthSample>,
+    /// Supervisor counters (crashes healed, retries, hedges); not part
+    /// of any deterministic payload.
+    pub telemetry: ResilienceTelemetry,
+}
+
 impl<'a> ServeEngine<'a> {
     /// Builds an engine over an ordered mode list (index 0 = most
     /// accurate), validating the configuration.
@@ -106,11 +143,33 @@ impl<'a> ServeEngine<'a> {
             Some(f) => Some(FaultInjector::new(f.clone())?),
             None => None,
         };
+        let requests = generate_requests(&self.config, injector.as_ref());
+        self.run_requests(requests).map(|trace| (trace.report, trace.telemetry))
+    }
+
+    /// Serves a *provided* arrival stream to completion — the fleet
+    /// plane's entry point: a global router splits one fleet-wide stream
+    /// into per-device substreams and each device serves its share here,
+    /// keeping original arrival times and ids. Returns the full
+    /// [`ServeTrace`] (report, raw latency histogram, health trace,
+    /// telemetry). Requests must be sorted by arrival time.
+    ///
+    /// [`ServeConfig::faults`] still drives the thermal/sag substrate of
+    /// this run (arrival-stream modulation is the caller's business when
+    /// the stream is provided).
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::run_instrumented`].
+    pub fn run_requests(&self, requests: Vec<Request>) -> Result<ServeTrace, HadasError> {
+        let injector = match &self.config.faults {
+            Some(f) => Some(FaultInjector::new(f.clone())?),
+            None => None,
+        };
         let chaos = match &self.config.chaos {
             Some(c) => Some(FaultInjector::new(c.clone())?),
             None => None,
         };
-        let requests = generate_requests(&self.config, injector.as_ref());
         let offered = requests.len();
         let overhead_s = self.config.batch_overhead_ms * 1e-3;
         let n_modes = self.modes.len();
@@ -136,6 +195,7 @@ impl<'a> ServeEngine<'a> {
         let mut win_latencies: Vec<f64> = Vec::new();
         let mut win_completed = 0usize;
         let mut win_violations = 0usize;
+        let mut health: Vec<HealthSample> = Vec::new();
 
         let mut i = 0usize; // next arrival index
         let mut now = 0.0f64;
@@ -242,6 +302,14 @@ impl<'a> ServeEngine<'a> {
                     Some(l) => l.observe(batcher.len(), pressure, cap),
                     None => BrownoutTier::Normal,
                 };
+                health.push(HealthSample {
+                    window: health.len(),
+                    at_s: start,
+                    queue_depth: batcher.len(),
+                    tier,
+                    thermal_cap: cap,
+                    slo_pressure: pressure,
+                });
                 let state = PolicyState::loaded(start, recent, batcher.len(), pressure)
                     .with_thermal_cap(cap);
                 let choice = self.governor.select(&state, n_modes).min(n_modes - 1);
@@ -385,6 +453,6 @@ impl<'a> ServeEngine<'a> {
                 .as_ref()
                 .map_or_else(BrownoutSummary::disabled, BrownoutLadder::summary),
         };
-        Ok((report, telemetry))
+        Ok(ServeTrace { report, latencies, health, telemetry })
     }
 }

@@ -64,8 +64,8 @@ mod request;
 pub use batch::Batcher;
 pub use brownout::{BrownoutConfig, BrownoutLadder, BrownoutSummary, BrownoutTier, BROWNOUT_TIERS};
 pub use config::{GovernorKind, ServeConfig};
-pub use engine::ServeEngine;
+pub use engine::{HealthSample, ServeEngine, ServeTrace};
 pub use governor::{apply_brownout, build_governor, QueuePolicy};
 pub use pool::ResilienceTelemetry;
-pub use report::{ServeReport, SloSummary};
+pub use report::{accounting_balances, ServeReport, SloSummary};
 pub use request::{generate_requests, Request, SloClass};

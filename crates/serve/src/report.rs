@@ -2,6 +2,28 @@ use crate::BrownoutSummary;
 use hadas_runtime::LatencySummary;
 use serde::{Deserialize, Serialize};
 
+/// The request-conservation identity every serving plane obeys, stated
+/// once: every offered request is exactly one of served, shed at
+/// admission, rejected by an admission ladder, or dead-lettered by the
+/// execution plane —
+///
+/// ```text
+/// served + shed + rejected + dead_lettered == offered
+/// ```
+///
+/// [`ServeReport::accounting_balances`] checks it per device run and the
+/// fleet plane reuses it per unit and fleet-wide, so call sites assert
+/// through this helper instead of restating the sum.
+pub fn accounting_balances(
+    served: usize,
+    shed: usize,
+    rejected: usize,
+    dead_lettered: usize,
+    offered: usize,
+) -> bool {
+    served + shed + rejected + dead_lettered == offered
+}
+
 /// Deadline accounting of one serving run, split by SLO class.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct SloSummary {
@@ -50,8 +72,8 @@ pub struct ServeReport {
     pub rejected: usize,
     /// Requests in batches whose every reduction attempt failed under
     /// chaos. Zero whenever recovery succeeds — the precondition of the
-    /// byte-identity contract. `served + shed + rejected + dead_lettered
-    /// == offered` always holds.
+    /// byte-identity contract. The conservation identity
+    /// [`accounting_balances`] always holds.
     pub dead_lettered: usize,
     /// Batches dispatched.
     pub batches: usize,
@@ -101,5 +123,24 @@ impl ServeReport {
     /// practice).
     pub fn to_json(&self) -> Result<String, serde_json::Error> {
         serde_json::to_string_pretty(self)
+    }
+
+    /// Whether this run satisfies the request-conservation identity
+    /// [`accounting_balances`].
+    pub fn accounting_balances(&self) -> bool {
+        accounting_balances(self.served, self.shed, self.rejected, self.dead_lettered, self.offered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_identity_is_the_exact_sum() {
+        assert!(accounting_balances(5, 2, 1, 0, 8));
+        assert!(accounting_balances(0, 0, 0, 0, 0));
+        assert!(!accounting_balances(5, 2, 1, 0, 9), "a lost request must trip the identity");
+        assert!(!accounting_balances(5, 2, 1, 2, 8), "double counting must trip it too");
     }
 }

@@ -12,6 +12,7 @@ pub use hadas_accuracy as accuracy;
 pub use hadas_dataset as dataset;
 pub use hadas_evo as evo;
 pub use hadas_exits as exits;
+pub use hadas_fleet as fleet;
 pub use hadas_hw as hw;
 pub use hadas_nn as nn;
 pub use hadas_runtime as runtime;

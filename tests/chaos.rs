@@ -33,6 +33,13 @@
 //!    run still ends with a finite loss; and NaN-poisoned fitness never
 //!    perturbs the finite Pareto front, at the dominance-sort level and
 //!    end-to-end through `--data-chaos` searches.
+//!
+//! 5. **The fleet plane inherits the serving contracts.** A
+//!    [`hadas_suite::fleet::FleetReport`] serializes byte-identically at
+//!    any fleet worker count, and under injected *device-unit* crashes
+//!    the supervisor respawns units and re-dispatches their substreams
+//!    until the healed report matches the fault-free one with zero dead
+//!    letters. Mismatches ship `chaos_fleet_*` repro artifacts.
 
 use hadas_suite::core::{Hadas, HadasConfig, SearchCheckpoint, SearchOptions};
 use hadas_suite::dataset::{CorruptionConfig, DatasetConfig, SyntheticDataset};
@@ -387,9 +394,8 @@ fn supervised_serving_heals_back_to_the_fault_free_report() {
                 healed.dead_lettered, 0,
                 "worker chaos must be fully healed (seed {seed}, {workers} workers)"
             );
-            assert_eq!(
-                healed.served + healed.shed + healed.rejected + healed.dead_lettered,
-                healed.offered,
+            assert!(
+                healed.accounting_balances(),
                 "request accounting must balance (seed {seed}, {workers} workers)"
             );
             let healed_json = healed.to_json().expect("report serializes");
@@ -408,6 +414,114 @@ fn supervised_serving_heals_back_to_the_fault_free_report() {
         }
         assert!(healed_something, "the chaos preset must actually inject work (seed {seed})");
     }
+}
+
+// ---------------------------------------------------------------------
+// Fleet-plane chaos: worker-count byte-identity and unit-crash healing.
+// ---------------------------------------------------------------------
+
+/// The searched device planes the fleet contracts run over (two targets
+/// at the smoke budget, like the serving fixture).
+fn fleet_fixture() -> Vec<hadas_suite::fleet::DevicePlane> {
+    hadas_suite::fleet::build_planes(
+        &[HwTarget::Tx2PascalGpu, HwTarget::AgxCarmelCpu],
+        &HadasConfig::smoke_test(),
+    )
+    .expect("fleet planes build at the smoke budget")
+}
+
+/// One fleet run over `planes`; `chaos_seed` switches unit-level chaos on.
+fn fleet_run(
+    planes: &[hadas_suite::fleet::DevicePlane],
+    workers: usize,
+    chaos_seed: Option<u64>,
+) -> hadas_suite::fleet::FleetRun {
+    let config = hadas_suite::fleet::FleetConfig {
+        devices: vec![
+            HwTarget::Tx2PascalGpu,
+            HwTarget::AgxCarmelCpu,
+            HwTarget::Tx2PascalGpu,
+            HwTarget::AgxCarmelCpu,
+            HwTarget::Tx2PascalGpu,
+            HwTarget::AgxCarmelCpu,
+        ],
+        users: 900,
+        rps: 300.0,
+        workers,
+        seed: 42,
+        chaos: chaos_seed.map(|s| FaultConfig {
+            crash_rate: 0.25,
+            transient_rate: 0.15,
+            ..FaultConfig::worker_chaos(s)
+        }),
+        retry: hadas_suite::core::RetryPolicy { max_attempts: 6, ..Default::default() },
+        ..hadas_suite::fleet::FleetConfig::default()
+    };
+    hadas_suite::fleet::FleetEngine::new(planes, config)
+        .expect("fleet config validates")
+        .run()
+        .expect("fleet run completes")
+}
+
+/// Writes the two mismatching fleet reports next to the other CI
+/// artifacts so a failing soak ships its own repro.
+fn dump_fleet_diff(tag: &str, clean: &str, healed: &str) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("results");
+    let _ = std::fs::create_dir_all(&dir);
+    let _ = std::fs::write(dir.join(format!("chaos_fleet_clean_{tag}.json")), clean);
+    let _ = std::fs::write(dir.join(format!("chaos_fleet_healed_{tag}.json")), healed);
+}
+
+#[test]
+fn fleet_report_is_byte_identical_at_any_worker_count() {
+    let planes = fleet_fixture();
+    let base = fleet_run(&planes, 1, None);
+    assert!(base.report.accounting_balances(), "fleet accounting must balance");
+    assert!(base.report.served > 0, "the fleet must serve");
+    assert_eq!(base.report.dead_lettered, 0, "a clean run must not dead-letter");
+    assert_eq!(base.telemetry, Default::default(), "a clean run needs no healing");
+    let base_json = base.report.to_json().expect("fleet report serializes");
+    for workers in [2usize, 4, 8] {
+        let run = fleet_run(&planes, workers, None);
+        let json = run.report.to_json().expect("fleet report serializes");
+        if json != base_json {
+            dump_fleet_diff(&format!("{workers}w"), &base_json, &json);
+        }
+        assert_eq!(
+            json, base_json,
+            "fleet worker count {workers} must not leak into the report \
+             (mismatching reports written to results/)"
+        );
+    }
+}
+
+#[test]
+fn fleet_unit_crashes_heal_back_to_the_fault_free_report() {
+    let planes = fleet_fixture();
+    let clean_json = fleet_run(&planes, 2, None).report.to_json().expect("report serializes");
+    let mut healed_something = false;
+    for seed in seed_matrix() {
+        let healed = fleet_run(&planes, 3, Some(seed));
+        assert_eq!(
+            healed.report.dead_lettered, 0,
+            "the retry budget must heal every device unit (seed {seed})"
+        );
+        assert!(healed.report.accounting_balances(), "accounting must balance (seed {seed})");
+        let healed_json = healed.report.to_json().expect("report serializes");
+        if healed_json != clean_json {
+            dump_fleet_diff(&format!("seed{seed}"), &clean_json, &healed_json);
+        }
+        assert_eq!(
+            healed_json, clean_json,
+            "healed unit chaos must be invisible (seed {seed}; \
+             mismatching reports written to results/)"
+        );
+        healed_something |= healed.telemetry.crashes > 0
+            || healed.telemetry.retries > 0
+            || healed.telemetry.hedges > 0
+            || healed.telemetry.redispatches > 0;
+    }
+    assert!(healed_something, "some seed must actually inject unit faults");
 }
 
 // ---------------------------------------------------------------------
