@@ -23,12 +23,11 @@ fn front_of(axes: &[Vec<f64>]) -> Vec<Vec<f64>> {
     fronts.first().map(|f| f.iter().map(|&i| axes[i].clone()).collect()).unwrap_or_default()
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hadas = Hadas::for_target(HwTarget::Tx2PascalGpu);
     let base_cfg = bench_env!().scaled_config();
     // One fixed backbone, as in the paper's ablation.
-    let subnet =
-        hadas.space().decode(&hadas_space::baselines::baseline_genome(3)).expect("a3 decodes");
+    let subnet = hadas.space().decode(&hadas_space::baselines::baseline_genome(3))?;
 
     let variants: Vec<(String, bool, f64)> = vec![
         ("no dissim".into(), false, 0.0),
@@ -41,7 +40,7 @@ fn main() {
     let mut runs = Vec::new();
     for (label, dissim, gamma) in variants {
         let cfg = base_cfg.clone().with_dissimilarity(dissim, gamma);
-        let ioe = hadas.run_ioe(&subnet, &cfg, 0xF167).expect("IOE runs");
+        let ioe = hadas.run_ioe(&subnet, &cfg, 0xF167)?;
         let axes = ioe.history_axes();
         let front = front_of(&axes);
         let best_gain = front.iter().map(|p| p[0]).fold(f64::MIN, f64::max);
@@ -81,4 +80,5 @@ fn main() {
         without.best_gain * 100.0
     );
     bench_env!().write_json("fig7_dissim", &runs);
+    Ok(())
 }

@@ -214,6 +214,14 @@ pub enum Command {
         /// this seed; supervision must heal back to the fault-free
         /// report whenever nothing dead-letters.
         chaos: Option<u64>,
+        /// Workload-drift scenario name driving the arrival stream and
+        /// every device's thermal substrate (`None` = calm workload;
+        /// see [`hadas_runtime::SCENARIO_NAMES`]).
+        scenario: Option<String>,
+        /// Run the live reconfiguration controller: epoch-wise
+        /// operating-point swaps along each device's Pareto front,
+        /// zero-drop via validated engine snapshots.
+        reconfigure: bool,
         /// Optional JSON output path for the full fleet report.
         json: Option<String>,
     },
@@ -614,6 +622,8 @@ impl Command {
                         "energy-weight",
                         "faults",
                         "chaos",
+                        "scenario",
+                        "reconfigure",
                         "json",
                     ],
                 )?;
@@ -677,6 +687,28 @@ impl Command {
                             .map_err(|e| ParseCliError(format!("bad chaos seed: {e}")))
                     })
                     .transpose()?;
+                let scenario = match flag(&flags, "scenario") {
+                    None | Some("none") => None,
+                    Some(name) if hadas_runtime::SCENARIO_NAMES.contains(&name) => {
+                        Some(name.to_string())
+                    }
+                    Some(other) => {
+                        return Err(ParseCliError(format!(
+                            "unknown scenario '{other}' (expected none, {})",
+                            hadas_runtime::SCENARIO_NAMES.join(", ")
+                        )));
+                    }
+                };
+                let reconfigure = flag(&flags, "reconfigure")
+                    .map(|s| match s {
+                        "on" => Ok(true),
+                        "off" => Ok(false),
+                        other => Err(ParseCliError(format!(
+                            "bad reconfigure '{other}' (expected on or off)"
+                        ))),
+                    })
+                    .transpose()?
+                    .unwrap_or(false);
                 Ok(Command::Fleet {
                     devices,
                     scale,
@@ -689,6 +721,8 @@ impl Command {
                     energy_weight,
                     faults,
                     chaos,
+                    scenario,
+                    reconfigure,
                     json: flag(&flags, "json").map(str::to_string),
                 })
             }
@@ -937,7 +971,7 @@ mod tests {
         let cmd = Command::parse(&argv(
             "fleet --devices agx-gpu:2,tx2-gpu:1 --scale quick --seed 9 --users 5000 \
              --rps 250 --workers 4 --slo-ms 80 --governor latency --energy-weight 0.05 \
-             --faults 3 --chaos 13 --json fleet.json",
+             --faults 3 --chaos 13 --scenario diurnal --reconfigure on --json fleet.json",
         ))
         .unwrap();
         assert_eq!(
@@ -954,9 +988,28 @@ mod tests {
                 energy_weight: 0.05,
                 faults: Some(3),
                 chaos: Some(13),
+                scenario: Some("diurnal".into()),
+                reconfigure: true,
                 json: Some("fleet.json".into()),
             }
         );
+    }
+
+    #[test]
+    fn fleet_scenario_flags_validate() {
+        for name in hadas_runtime::SCENARIO_NAMES {
+            let cmd = Command::parse(&argv(&format!("fleet --scenario {name}"))).unwrap();
+            assert!(matches!(
+                cmd,
+                Command::Fleet { scenario: Some(ref s), .. } if s == name
+            ));
+        }
+        let calm = Command::parse(&argv("fleet --scenario none")).unwrap();
+        assert!(matches!(calm, Command::Fleet { scenario: None, .. }));
+        assert!(Command::parse(&argv("fleet --scenario heatwave")).is_err());
+        assert!(Command::parse(&argv("fleet --reconfigure maybe")).is_err());
+        let off = Command::parse(&argv("fleet --reconfigure off")).unwrap();
+        assert!(matches!(off, Command::Fleet { reconfigure: false, .. }));
     }
 
     #[test]
@@ -971,6 +1024,8 @@ mod tests {
                 governor: None,
                 faults: None,
                 chaos: None,
+                scenario: None,
+                reconfigure: false,
                 json: None,
                 ..
             }

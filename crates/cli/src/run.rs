@@ -40,7 +40,8 @@ USAGE:
   hadas fleet     [--devices SPEC] [--scale ...] [--seed N] [--users N]
                   [--rps R] [--workers N] [--slo-ms MS]
                   [--governor static|latency|queue] [--energy-weight W]
-                  [--faults SEED] [--chaos SEED] [--json PATH]
+                  [--faults SEED] [--chaos SEED] [--scenario NAME]
+                  [--reconfigure on|off] [--json PATH]
 
 TARGETS: agx-gpu, agx-cpu, tx2-gpu, tx2-cpu
 
@@ -100,10 +101,23 @@ FLEET:
   --energy-weight W      router score = est. finish time + W x est.
                          joules (default 0.02; 0 routes on latency)
   --faults SEED          per-device substrate fault episodes (thermal
-                         throttle, voltage sag), device d seeded SEED+d
+                         throttle, voltage sag), device d seeded SEED+d;
+                         with --reconfigure on the stream also draws
+                         swap failures, exercising snapshot rollback
   --chaos SEED           unit-level chaos: whole device units crash and
                          straggle; the supervisor respawns them and
                          re-dispatches their substreams
+  --scenario NAME        replayable long-horizon workload drift over the
+                         run: calm, diurnal, thermal-season,
+                         battery-decay, demand-shift, or composite
+                         (seeded by --seed; none = no drift)
+  --reconfigure on|off   live operating-point reconfiguration: a
+                         hysteresis controller watches per-device epoch
+                         pressure (SLO misses, thermal caps, battery
+                         state-of-charge) and slides each device's mode
+                         window along its searched Pareto front through
+                         zero-drop validated snapshot swaps; substrate
+                         swap failures roll back onto the old window
 ";
 
 /// Executes a parsed command, writing the report to `out`.
@@ -607,17 +621,27 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
             energy_weight,
             faults,
             chaos,
+            scenario,
+            reconfigure,
             json,
         } => {
             let cfg = scale.config().with_seed(seed);
             let planes = hadas_fleet::build_planes(&devices, &cfg)?;
+            let duration_s = users as f64 / rps;
+            let scenario = scenario
+                .as_deref()
+                .map(|name| hadas_runtime::Scenario::from_name(name, seed, duration_s))
+                .transpose()?;
             writeln!(
                 out,
                 "searched {} plane(s) for {} ({} device(s)); serving {users} users \
-                 at {rps:.0} rps on {workers} fleet worker(s)...",
+                 at {rps:.0} rps on {workers} fleet worker(s) \
+                 [scenario {}, reconfigure {}]...",
                 planes.len(),
                 hadas_fleet::canonical_spec(&devices),
-                devices.len()
+                devices.len(),
+                scenario.as_ref().map_or("none", hadas_runtime::Scenario::name),
+                if reconfigure { "on" } else { "off" }
             )?;
             let fleet_cfg = hadas_fleet::FleetConfig {
                 devices,
@@ -628,8 +652,15 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
                 slo_ms,
                 governor,
                 energy_weight,
-                faults: faults.map(FaultConfig::chaos),
+                // A reconfiguring fleet's substrate faults include swap
+                // failures, so `--faults` also exercises the rollback path.
+                faults: faults.map(|s| FaultConfig {
+                    swap_fail_rate: if reconfigure { 0.2 } else { 0.0 },
+                    ..FaultConfig::chaos(s)
+                }),
                 chaos: chaos.map(FaultConfig::worker_chaos),
+                scenario,
+                reconfigure,
                 ..hadas_fleet::FleetConfig::default()
             };
             let run = hadas_fleet::FleetEngine::new(&planes, fleet_cfg)?.run()?;
@@ -674,6 +705,22 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
                 report.router.slo_infeasible_routed,
                 report.unhealthy_devices
             )?;
+            if report.reconfig.enabled {
+                let rc = &report.reconfig;
+                writeln!(
+                    out,
+                    "reconfig [{}]: {} swap(s) over {} epoch(s) ({} up, {} down, \
+                     {} rollback(s)), {} dropped by swap | final anchors {:?}",
+                    rc.scenario,
+                    rc.swaps,
+                    rc.epochs,
+                    rc.escalations,
+                    rc.deescalations,
+                    rc.swap_rollbacks,
+                    rc.dropped_by_swap,
+                    rc.final_anchors
+                )?;
+            }
             for h in report.health.iter().filter(|h| !h.healthy) {
                 writeln!(
                     out,
@@ -1164,6 +1211,8 @@ mod tests {
             energy_weight: 0.02,
             faults: None,
             chaos,
+            scenario: None,
+            reconfigure: false,
             json,
         }
     }
@@ -1196,6 +1245,66 @@ mod tests {
         let text = run(fleet_cmd(2, Some(13), None));
         assert!(text.contains("chaos healed:"), "{text}");
         assert!(text.contains("dead-lettered unit(s)"), "{text}");
+    }
+
+    #[test]
+    fn fleet_reconfiguration_prints_the_swap_summary() {
+        let cmd = match fleet_cmd(1, None, None) {
+            Command::Fleet { devices, scale, seed, users, rps, workers, slo_ms, .. } => {
+                Command::Fleet {
+                    devices,
+                    scale,
+                    seed,
+                    users,
+                    rps,
+                    workers,
+                    slo_ms,
+                    governor: None,
+                    energy_weight: 0.02,
+                    faults: None,
+                    chaos: None,
+                    scenario: Some("composite".into()),
+                    reconfigure: true,
+                    json: None,
+                }
+            }
+            other => unreachable!("fleet_cmd builds a fleet command, got {other:?}"),
+        };
+        let text = run(cmd);
+        assert!(text.contains("scenario composite"), "{text}");
+        assert!(text.contains("reconfig [composite]:"), "{text}");
+        assert!(text.contains("0 dropped by swap"), "{text}");
+    }
+
+    #[test]
+    fn fleet_substrate_faults_under_reconfiguration_roll_swaps_back() {
+        let cmd = match fleet_cmd(1, None, None) {
+            Command::Fleet { devices, scale, seed, users, rps, workers, slo_ms, .. } => {
+                Command::Fleet {
+                    devices,
+                    scale,
+                    seed,
+                    users,
+                    rps,
+                    workers,
+                    slo_ms,
+                    governor: None,
+                    energy_weight: 0.02,
+                    faults: Some(12),
+                    chaos: None,
+                    scenario: Some("composite".into()),
+                    reconfigure: true,
+                    json: None,
+                }
+            }
+            other => unreachable!("fleet_cmd builds a fleet command, got {other:?}"),
+        };
+        let text = run(cmd);
+        // With --reconfigure on, the substrate stream draws swap
+        // failures: the run must report rollbacks but never drops.
+        assert!(text.contains("rollback(s)"), "{text}");
+        assert!(!text.contains(" 0 rollback(s)"), "fault seed 12 at 0.2 must roll back: {text}");
+        assert!(text.contains("0 dropped by swap"), "{text}");
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //! stream, the router's cost weights, and the supervision knobs shared
 //! with the serve plane.
 
+use crate::ReconfigConfig;
 use hadas::{HadasError, RetryPolicy};
 use hadas_hw::HwTarget;
-use hadas_runtime::FaultConfig;
+use hadas_runtime::{FaultConfig, Scenario};
 use hadas_serve::GovernorKind;
 
 /// The per-replica DVFS-governor rotation applied when no governor is
@@ -66,6 +67,18 @@ pub struct FleetConfig {
     pub breaker_threshold: u32,
     /// Units an open breaker waits before probing again.
     pub breaker_cooldown: u32,
+    /// Optional long-horizon workload-drift scenario (diurnal cycles,
+    /// thermal seasons, battery decay, demand shifts). Modulates the
+    /// fleet-wide arrival stream and every device's thermal substrate;
+    /// composes with `faults`. Scheduling-plane, pure in `(seed, t)`.
+    pub scenario: Option<Scenario>,
+    /// Whether the live reconfiguration controller runs (epoch-wise
+    /// operating-point swaps against the drift; see
+    /// [`crate::ReconfigSummary`]). Off = pinned-mode fleet.
+    pub reconfigure: bool,
+    /// Controller knobs for the reconfiguration plane (consulted only
+    /// with `reconfigure` on).
+    pub reconfig: ReconfigConfig,
 }
 
 impl Default for FleetConfig {
@@ -88,6 +101,9 @@ impl Default for FleetConfig {
             retry: RetryPolicy::default(),
             breaker_threshold: 8,
             breaker_cooldown: 4,
+            scenario: None,
+            reconfigure: false,
+            reconfig: ReconfigConfig::default(),
         }
     }
 }
@@ -143,7 +159,13 @@ impl FleetConfig {
             ));
         }
         self.retry.validate()?;
+        self.reconfig.validate()?;
         Ok(())
+    }
+
+    /// The name of the drift scenario in force (`"none"` without one).
+    pub fn scenario_name(&self) -> &str {
+        self.scenario.as_ref().map_or("none", Scenario::name)
     }
 
     /// The governor driving device `d`: the pinned kind, or the replica
@@ -184,6 +206,20 @@ mod tests {
         assert!(bad(|c| c.hedge_factor = 1.0));
         assert!(bad(|c| c.retry.max_attempts = 0));
         assert!(bad(|c| c.chaos = Some(FaultConfig { crash_rate: 2.0, ..FaultConfig::default() })));
+        assert!(bad(|c| c.reconfig.epochs = 0));
+        assert!(bad(|c| c.reconfig.pressure_threshold = -0.5));
+    }
+
+    #[test]
+    fn scenario_name_echoes_the_drift_in_force() {
+        let calm = FleetConfig::default();
+        assert_eq!(calm.scenario_name(), "none");
+        let drifted = FleetConfig {
+            scenario: Some(Scenario::from_name("diurnal", 7, 10.0).unwrap()),
+            ..FleetConfig::default()
+        };
+        assert_eq!(drifted.scenario_name(), "diurnal");
+        assert!(drifted.validate().is_ok());
     }
 
     #[test]

@@ -2,35 +2,49 @@
 //! time, supervised through the core executor, under the global router.
 //!
 //! One run is two deterministic passes. First the *scheduling pass*,
-//! single-threaded: generate the fleet-wide arrival stream, route every
-//! request to a device (or fleet-reject it), and fix each unit's serve
-//! configuration. Then the *execution pass*: each unit becomes one
-//! supervised executor job — spawned on a fleet worker lane, monitored
-//! (crashes surface as lane deaths, retried with seq-preserving
-//! re-dispatch of the unit's whole in-flight substream), and reduced by
-//! the pure per-unit serve run. Results fold in device-index order, so
-//! the serialized [`FleetReport`] is byte-identical across fleet worker
-//! counts and under injected unit crashes that heal with zero dead
-//! letters.
+//! single-threaded: generate the fleet-wide arrival stream (drift
+//! scenario included), route every request to a device (or fleet-reject
+//! it), and fix each unit's serve configuration. Then the *execution
+//! pass*: each unit becomes one supervised executor job — spawned on a
+//! fleet worker lane, monitored (crashes surface as lane deaths,
+//! retried with seq-preserving re-dispatch of the unit's whole
+//! in-flight substream), and reduced by the pure per-unit serve run.
+//! Results fold in device-index order, so the serialized
+//! [`FleetReport`] is byte-identical across fleet worker counts and
+//! under injected unit crashes that heal with zero dead letters.
+//!
+//! With `FleetConfig::reconfigure` on, the run is segmented into epochs
+//! (see [`crate::ReconfigConfig`]): each epoch routes its stream slice
+//! under refreshed estimates, serves every device one segment forward,
+//! and the controller slides per-device mode windows along the full
+//! Pareto front via zero-drop snapshot swaps — the same two-pass
+//! structure applied per epoch, so every byte-identity contract above
+//! carries over, and a mid-swap unit crash heals exactly like any other
+//! unit crash.
 
-use crate::router::{route, DeviceEstimate};
-use crate::{DeviceHealthReport, DeviceSummary, FleetConfig, FleetReport};
+use crate::reconfig::{decide_anchor, AnchorDecision, EpochPressure, RECONFIG_WINDOW};
+use crate::router::{route, DeviceEstimate, Router};
+use crate::{
+    DeviceHealthReport, DeviceSummary, FleetConfig, FleetReport, ReconfigSummary, RouterSummary,
+};
 use hadas::executor::{run_supervised, ChaosPlan, JobSpec};
 use hadas::{CircuitBreaker, Hadas, HadasConfig, HadasError};
 use hadas_hw::HwTarget;
 use hadas_runtime::{modes_from_pareto, FaultConfig, FaultInjector, Histogram, OperatingMode};
 use hadas_serve::{
-    generate_requests, BrownoutConfig, Request, ResilienceTelemetry, ServeConfig, ServeEngine,
-    ServeTrace, SloSummary,
+    generate_requests, BrownoutConfig, EngineSnapshot, Request, ResilienceTelemetry, ServeConfig,
+    ServeEngine, ServeTrace, SessionState, SloSummary,
 };
 
-/// One searched deployment plane: the HADAS engine and Pareto mode
-/// ladder every device of one hardware target shares.
+/// One searched deployment plane: the HADAS engine, the pinned top-3
+/// mode ladder, and the latency-monotone reconfiguration staircase
+/// every device of one hardware target shares.
 #[derive(Debug)]
 pub struct DevicePlane {
     target: HwTarget,
     hadas: Hadas,
     modes: Vec<OperatingMode>,
+    front: Vec<OperatingMode>,
 }
 
 impl DevicePlane {
@@ -39,17 +53,44 @@ impl DevicePlane {
         self.target
     }
 
-    /// The deployed mode ladder (index 0 = most accurate).
+    /// The deployed pinned-mode ladder (index 0 = most accurate).
     pub fn modes(&self) -> &[OperatingMode] {
         &self.modes
+    }
+
+    /// The reconfiguration staircase: the latency-monotone subset of
+    /// the accuracy-sorted Pareto front (each step strictly reduces the
+    /// modeled per-request service time, and on a Pareto front that
+    /// also means cheaper energy in practice). Anchor 0 is the most
+    /// accurate point; escalating is guaranteed to speed the device up,
+    /// which the raw accuracy ordering does **not** guarantee — the
+    /// full front trades accuracy against energy too, so it contains
+    /// accuracy-lower points that are *slower*.
+    pub fn front(&self) -> &[OperatingMode] {
+        &self.front
+    }
+
+    /// The contiguous [`RECONFIG_WINDOW`]-mode slice of the staircase
+    /// at `anchor` (clipped to the staircase's end, so the deepest
+    /// anchors run shrunken windows down to a single mode).
+    pub(crate) fn window(&self, anchor: usize) -> Vec<OperatingMode> {
+        let lo = anchor.min(self.front.len() - 1);
+        let hi = (lo + RECONFIG_WINDOW).min(self.front.len());
+        self.front[lo..hi].to_vec()
+    }
+
+    /// The deepest window anchor this staircase admits.
+    pub(crate) fn max_anchor(&self) -> usize {
+        self.front.len() - 1
     }
 }
 
 /// Searches one deployment plane per *distinct* target among `targets`
 /// (in [`HwTarget::ALL`] order): runs the bi-level search under
-/// `search` and deploys the top-3 Pareto mode ladder. Device replicas
-/// of one target share the plane; the governor rotation differentiates
-/// them.
+/// `search` and deploys both the top-3 Pareto mode ladder and the
+/// latency-monotone reconfiguration staircase (see
+/// [`DevicePlane::front`]). Device replicas of one target share the
+/// plane; the governor rotation differentiates them.
 ///
 /// # Errors
 ///
@@ -67,7 +108,19 @@ pub fn build_planes(
         let hadas = Hadas::for_target(target);
         let outcome = hadas.run(search)?;
         let modes = modes_from_pareto(&hadas, &outcome, 3)?;
-        planes.push(DevicePlane { target, hadas, modes });
+        // The reconfiguration staircase: walk the accuracy-sorted front
+        // and keep a point only if it strictly lowers the modeled
+        // service time, so every escalation is a real speed-up.
+        let mut front = Vec::new();
+        let mut fastest = f64::INFINITY;
+        for mode in modes_from_pareto(&hadas, &outcome, usize::MAX)? {
+            let latency_s = mode.serve(0.5).cost.latency_s;
+            if latency_s < fastest {
+                fastest = latency_s;
+                front.push(mode);
+            }
+        }
+        planes.push(DevicePlane { target, hadas, modes, front });
     }
     if planes.is_empty() {
         return Err(HadasError::InvalidConfig("no targets to build device planes for".into()));
@@ -83,6 +136,27 @@ struct DeviceJob {
     plane: usize,
     config: ServeConfig,
     requests: Vec<Request>,
+}
+
+/// One device × epoch segment as a supervised executor job under the
+/// reconfiguration plane: the session state rides in, the post-segment
+/// state rides out.
+#[derive(Debug, Clone)]
+struct EpochJob {
+    device: usize,
+    plane: usize,
+    anchor: usize,
+    config: ServeConfig,
+    state: SessionState,
+    requests: Vec<Request>,
+    drain: bool,
+}
+
+/// What one device contributed to the fold: a completed trace, or a
+/// dead unit whose assignment became dead letters.
+enum UnitOutcome {
+    Dead { assigned: usize },
+    Done { assigned: usize, trace: Box<ServeTrace> },
 }
 
 /// The outcome of one fleet run: the deterministic report plus the
@@ -133,17 +207,28 @@ impl<'a> FleetEngine<'a> {
         &self.config
     }
 
-    /// The router's modeled per-request cost of device `d`: the plane's
-    /// mode-0 (most accurate) serve cost at nominal difficulty.
+    /// The router's modeled per-request cost of device `d` under the
+    /// pinned ladder: the plane's mode-0 (most accurate) serve cost at
+    /// nominal difficulty.
     fn estimate_of(&self, d: usize) -> DeviceEstimate {
         let outcome = self.planes[self.plane_ix[d]].modes[0].serve(0.5);
         DeviceEstimate { service_s: outcome.cost.latency_s, energy_j: outcome.cost.energy_j }
     }
 
+    /// The router's modeled per-request cost of device `d` at window
+    /// `anchor` — refreshed after every swap so routing sees the
+    /// device's *current* operating point.
+    fn estimate_at(&self, d: usize, anchor: usize) -> DeviceEstimate {
+        let plane = &self.planes[self.plane_ix[d]];
+        let mode = &plane.front[anchor.min(plane.front.len() - 1)];
+        let outcome = mode.serve(0.5);
+        DeviceEstimate { service_s: outcome.cost.latency_s, energy_j: outcome.cost.energy_j }
+    }
+
     /// The serve configuration of device `d`: the fleet's SLO envelope,
     /// the replica's governor, the per-device substrate fault stream,
-    /// and the always-on brownout ladder composing with the router's
-    /// modeled admission.
+    /// the shared drift scenario, and the always-on brownout ladder
+    /// composing with the router's modeled admission.
     fn device_config(&self, d: usize, duration_s: f64) -> ServeConfig {
         ServeConfig {
             seed: self.config.seed,
@@ -166,12 +251,30 @@ impl<'a> FleetEngine<'a> {
             breaker_threshold: self.config.breaker_threshold,
             breaker_cooldown: self.config.breaker_cooldown,
             brownout: Some(BrownoutConfig::default()),
+            scenario: self.config.scenario.clone(),
+            ..ServeConfig::default()
+        }
+    }
+
+    /// The fleet-wide arrival-stream generator configuration (scenario
+    /// modulation included).
+    fn gen_config(&self, duration_s: f64) -> ServeConfig {
+        ServeConfig {
+            seed: self.config.seed,
+            duration_s,
+            rps: self.config.rps,
+            slo_ms: self.config.slo_ms,
+            bulk_slo_factor: self.config.bulk_slo_factor,
+            bulk_fraction: self.config.bulk_fraction,
+            scenario: self.config.scenario.clone(),
             ..ServeConfig::default()
         }
     }
 
     /// Runs the fleet to completion (see module docs for the two-pass
-    /// structure and the determinism contract).
+    /// structure and the determinism contract): the pinned-mode path,
+    /// or the epoch-wise reconfiguration path when
+    /// `FleetConfig::reconfigure` is on.
     ///
     /// # Errors
     ///
@@ -179,20 +282,21 @@ impl<'a> FleetEngine<'a> {
     /// configurations, or [`HadasError::Internal`] if a unit breaks the
     /// request-conservation identity or the supervisor breaks protocol.
     pub fn run(&self) -> Result<FleetRun, HadasError> {
+        if self.config.reconfigure {
+            self.run_reconfigured()
+        } else {
+            self.run_pinned()
+        }
+    }
+
+    /// The pinned-mode fleet: one routing pass, one supervised
+    /// execution pass, every device on its fixed top-3 ladder.
+    fn run_pinned(&self) -> Result<FleetRun, HadasError> {
         let duration_s = self.config.duration_s();
         let n = self.config.devices.len();
 
         // Scheduling pass: one fleet-wide arrival stream, routed.
-        let gen_cfg = ServeConfig {
-            seed: self.config.seed,
-            duration_s,
-            rps: self.config.rps,
-            slo_ms: self.config.slo_ms,
-            bulk_slo_factor: self.config.bulk_slo_factor,
-            bulk_fraction: self.config.bulk_fraction,
-            ..ServeConfig::default()
-        };
-        let requests = generate_requests(&gen_cfg, None);
+        let requests = generate_requests(&self.gen_config(duration_s), None);
         let offered = requests.len();
         let estimates: Vec<DeviceEstimate> = (0..n).map(|d| self.estimate_of(d)).collect();
         let routing = route(&self.config, &estimates, requests);
@@ -250,7 +354,275 @@ impl<'a> FleetEngine<'a> {
         let (slots, telemetry) =
             run_supervised(&jobs, self.config.workers, run_unit, plan.as_ref())?;
 
-        // Fold in device-index order.
+        let mut outcomes = Vec::with_capacity(n);
+        for (job, slot) in jobs.iter().zip(slots) {
+            let assigned = job.requests.len();
+            match slot {
+                None => outcomes.push(UnitOutcome::Dead { assigned }),
+                Some(Err(e)) => return Err(e),
+                Some(Ok(trace)) => {
+                    outcomes.push(UnitOutcome::Done { assigned, trace: Box::new(trace) });
+                }
+            }
+        }
+
+        let reconfig = ReconfigSummary::disabled(self.config.scenario_name());
+        let report = self.fold_report(offered, routing.summary, outcomes, reconfig)?;
+        Ok(FleetRun { report, telemetry })
+    }
+
+    /// The live-reconfiguration fleet: epoch-segmented routing and
+    /// serving with zero-drop operating-point swaps at every epoch
+    /// barrier (see `crate::reconfig` for the controller).
+    fn run_reconfigured(&self) -> Result<FleetRun, HadasError> {
+        let duration_s = self.config.duration_s();
+        let n = self.config.devices.len();
+        let rc = self.config.reconfig.clone();
+        let epochs = rc.epochs;
+
+        let requests = generate_requests(&self.gen_config(duration_s), None);
+        let offered = requests.len();
+
+        // The substrate stream swap-failure draws come from; chaos
+        // stays execution-plane and never reaches a decision.
+        let swap_faults = match &self.config.faults {
+            Some(f) => {
+                Some(FaultInjector::new(FaultConfig { horizon_s: duration_s, ..f.clone() })?)
+            }
+            None => None,
+        };
+        let chaos_injector = match &self.config.chaos {
+            Some(c) => {
+                Some(FaultInjector::new(FaultConfig { horizon_s: duration_s, ..c.clone() })?)
+            }
+            None => None,
+        };
+
+        let device_cfgs: Vec<ServeConfig> =
+            (0..n).map(|d| self.device_config(d, duration_s)).collect();
+        for cfg in &device_cfgs {
+            cfg.validate()?;
+        }
+
+        // Fresh zeroed sessions, exported immediately: the per-epoch
+        // jobs are pure (state in → state out).
+        let mut states: Vec<SessionState> = Vec::with_capacity(n);
+        for (d, cfg) in device_cfgs.iter().enumerate() {
+            let plane = &self.planes[self.plane_ix[d]];
+            let engine = ServeEngine::new(&plane.hadas, plane.window(0), cfg.clone())?;
+            states.push(engine.session()?.state());
+        }
+
+        let mut router = Router::new(&self.config, n);
+        let mut anchors = vec![0usize; n];
+        let mut calm = vec![0usize; n];
+        #[derive(Clone, Copy, Default)]
+        struct Mark {
+            interactive_served: usize,
+            interactive_violations: usize,
+            health_len: usize,
+        }
+        let mut marks = vec![Mark::default(); n];
+        let mut summary = ReconfigSummary {
+            enabled: true,
+            scenario: self.config.scenario_name().to_string(),
+            epochs,
+            swaps: 0,
+            swap_rollbacks: 0,
+            dropped_by_swap: 0,
+            escalations: 0,
+            deescalations: 0,
+            final_anchors: Vec::new(),
+        };
+        let mut telemetry = ResilienceTelemetry::default();
+
+        let epoch_len = duration_s / epochs as f64;
+        let mut lo = 0usize;
+        for e in 0..epochs {
+            let drain = e + 1 == epochs;
+            let hi = if drain {
+                requests.len()
+            } else {
+                let t_hi = (e as f64 + 1.0) * epoch_len;
+                lo + requests[lo..].partition_point(|r| r.time_s < t_hi)
+            };
+
+            // Scheduling pass for this epoch: refreshed estimates, the
+            // persistent router extends its modeled backlogs.
+            let estimates: Vec<DeviceEstimate> =
+                (0..n).map(|d| self.estimate_at(d, anchors[d])).collect();
+            let substreams = router.route_slice(&estimates, &requests[lo..hi]);
+            lo = hi;
+
+            let jobs: Vec<EpochJob> = substreams
+                .into_iter()
+                .enumerate()
+                .map(|(d, substream)| EpochJob {
+                    device: d,
+                    plane: self.plane_ix[d],
+                    anchor: anchors[d],
+                    config: device_cfgs[d].clone(),
+                    state: states[d].clone(),
+                    requests: substream,
+                    drain,
+                })
+                .collect();
+
+            let plan = match &chaos_injector {
+                Some(injector) => {
+                    let specs: Vec<JobSpec> = jobs
+                        .iter()
+                        .map(|j| JobSpec {
+                            key: (e * n + j.device) as u64,
+                            est_ms: estimates[j.device].service_s * 1e3 * j.requests.len() as f64,
+                            weight: j.requests.len(),
+                        })
+                        .collect();
+                    Some(ChaosPlan::build(
+                        injector,
+                        &self.config.retry,
+                        CircuitBreaker::new(
+                            self.config.breaker_threshold,
+                            self.config.breaker_cooldown,
+                        ),
+                        self.config.hedge_factor,
+                        &specs,
+                    ))
+                }
+                None => None,
+            };
+
+            // Execution pass: one pure segment per device.
+            let planes = self.planes;
+            let run_unit = |job: &EpochJob| -> Result<SessionState, HadasError> {
+                let plane = &planes[job.plane];
+                let engine =
+                    ServeEngine::new(&plane.hadas, plane.window(job.anchor), job.config.clone())?;
+                let mut session = engine.resume(job.state.clone())?;
+                session.serve_segment(&job.requests, job.drain)?;
+                Ok(session.state())
+            };
+            let (slots, t) = run_supervised(&jobs, self.config.workers, run_unit, plan.as_ref())?;
+            telemetry.merge(&t);
+
+            // Fold the epoch in device order.
+            for (job, slot) in jobs.iter().zip(slots) {
+                let d = job.device;
+                match slot {
+                    None => {
+                        // The unit died for the whole epoch: its
+                        // in-flight queue and the epoch's substream are
+                        // dead letters; the pre-epoch state carries on.
+                        let mut st = job.state.clone();
+                        st.dead_letter_queue();
+                        st.offered += job.requests.len();
+                        st.dead_lettered += job.requests.len();
+                        states[d] = st;
+                    }
+                    Some(Err(err)) => return Err(err),
+                    Some(Ok(st)) => states[d] = st,
+                }
+            }
+
+            if drain {
+                break;
+            }
+
+            // Controller pass, single-threaded in device order: read
+            // epoch pressure, decide, and execute swaps through the
+            // validated snapshot seam.
+            let t_end = (e as f64 + 1.0) * epoch_len;
+            let capacity_factor =
+                self.config.scenario.as_ref().map_or(1.0, |s| s.battery_capacity_factor_at(t_end));
+            for d in 0..n {
+                let st = &mut states[d];
+                let mark = marks[d];
+                let min_thermal_cap = st.health[mark.health_len.min(st.health.len())..]
+                    .iter()
+                    .map(|h| h.thermal_cap)
+                    .fold(1.0f64, f64::min);
+                let soc = if rc.battery_j > 0.0 {
+                    let capacity = (rc.battery_j * capacity_factor).max(1e-9);
+                    (1.0 - (st.energy_j + st.switch_energy_j) / capacity).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
+                let pressure = EpochPressure {
+                    interactive_served: st.interactive_served - mark.interactive_served,
+                    interactive_violations: st.interactive_violations - mark.interactive_violations,
+                    min_thermal_cap,
+                    soc,
+                };
+                marks[d] = Mark {
+                    interactive_served: st.interactive_served,
+                    interactive_violations: st.interactive_violations,
+                    health_len: st.health.len(),
+                };
+                let max_anchor = self.planes[self.plane_ix[d]].max_anchor();
+                let decision = decide_anchor(&rc, &pressure, anchors[d], max_anchor, &mut calm[d]);
+                let target = match decision {
+                    AnchorDecision::Hold => continue,
+                    AnchorDecision::Escalate => anchors[d] + 1,
+                    AnchorDecision::Deescalate => anchors[d] - 1,
+                };
+
+                // Zero-drop swap: drain-to-barrier already happened
+                // (the segment ended), so snapshot, validate, restore.
+                // A substrate swap-failure draw rolls the device back
+                // onto the old window from the same snapshot.
+                let queued_before = st.queue_len();
+                let snapshot = EngineSnapshot::capture(st.clone())?;
+                let restored = snapshot.into_state()?;
+                summary.dropped_by_swap += queued_before.saturating_sub(restored.queue_len());
+                *st = restored;
+                let failed =
+                    swap_faults.as_ref().is_some_and(|f| f.swap_failure_at((e * n + d) as u64));
+                if failed {
+                    summary.swap_rollbacks += 1;
+                    continue;
+                }
+                anchors[d] = target;
+                st.mode_switches += 1;
+                st.switch_energy_j += device_cfgs[d].sim.switch_energy_j;
+                summary.swaps += 1;
+                match decision {
+                    AnchorDecision::Escalate => summary.escalations += 1,
+                    AnchorDecision::Deescalate => summary.deescalations += 1,
+                    AnchorDecision::Hold => unreachable!("hold decisions continue above"),
+                }
+            }
+        }
+
+        // Close every session under its final window and fold.
+        summary.final_anchors = anchors.clone();
+        let router_summary = router.into_summary();
+        let mut outcomes = Vec::with_capacity(n);
+        for (d, state) in states.into_iter().enumerate() {
+            let plane = &self.planes[self.plane_ix[d]];
+            let engine =
+                ServeEngine::new(&plane.hadas, plane.window(anchors[d]), device_cfgs[d].clone())?;
+            let trace = engine.resume(state)?.finish();
+            outcomes.push(UnitOutcome::Done {
+                assigned: router_summary.assigned[d],
+                trace: Box::new(trace),
+            });
+        }
+        let report = self.fold_report(offered, router_summary, outcomes, summary)?;
+        Ok(FleetRun { report, telemetry })
+    }
+
+    /// Folds per-unit outcomes into the fleet report, in device order —
+    /// shared by both run paths, so a reconfigured report and a pinned
+    /// report are built by the same accounting.
+    fn fold_report(
+        &self,
+        offered: usize,
+        router_summary: RouterSummary,
+        outcomes: Vec<UnitOutcome>,
+        reconfig: ReconfigSummary,
+    ) -> Result<FleetReport, HadasError> {
+        let duration_s = self.config.duration_s();
+        let n = self.config.devices.len();
         let mut served = 0usize;
         let mut shed = 0usize;
         let mut rejected = 0usize;
@@ -264,13 +636,11 @@ impl<'a> FleetEngine<'a> {
         let mut bulk = (0usize, 0usize);
         let mut per_device = Vec::with_capacity(n);
         let mut health = Vec::with_capacity(n);
-        for (job, slot) in jobs.iter().zip(slots) {
-            let d = job.device;
-            let assigned = job.requests.len();
-            let target = planes[job.plane].target.cli_name();
+        for (d, outcome) in outcomes.into_iter().enumerate() {
+            let target = self.planes[self.plane_ix[d]].target.cli_name();
             let governor = self.config.governor_of(d).name();
-            match slot {
-                None => {
+            match outcome {
+                UnitOutcome::Dead { assigned } => {
                     // The unit's whole substream died with it: account
                     // it as dead letters, never silently lost.
                     dead_lettered += assigned;
@@ -283,14 +653,14 @@ impl<'a> FleetEngine<'a> {
                         shed: 0,
                         rejected: 0,
                         dead_lettered: assigned,
+                        mode_switches: 0,
                         energy_j: 0.0,
                         slo_violations: 0,
                         p99_ms: 0.0,
                     });
                     health.push(DeviceHealthReport::dead_unit(d, target, governor, assigned));
                 }
-                Some(Err(e)) => return Err(e),
-                Some(Ok(trace)) => {
+                UnitOutcome::Done { assigned, trace } => {
                     let r = &trace.report;
                     if !r.accounting_balances() || r.offered != assigned {
                         return Err(HadasError::Internal(format!(
@@ -321,6 +691,7 @@ impl<'a> FleetEngine<'a> {
                         shed: r.shed,
                         rejected: r.rejected,
                         dead_lettered: r.dead_lettered,
+                        mode_switches: r.mode_switches,
                         energy_j: r.energy_j,
                         slo_violations: r.slo.violations,
                         p99_ms: r.latency.p99_ms,
@@ -330,9 +701,11 @@ impl<'a> FleetEngine<'a> {
             }
         }
 
-        let routed = routing.summary.routed();
+        let routed = router_summary.routed();
         let unhealthy = health.iter().filter(|h| !h.healthy).count();
         let report = FleetReport {
+            schema: crate::FLEET_REPORT_SCHEMA,
+            fingerprint: 0,
             devices: n,
             device_mix: crate::canonical_spec(&self.config.devices),
             users: self.config.users,
@@ -341,7 +714,7 @@ impl<'a> FleetEngine<'a> {
             seed: self.config.seed,
             offered,
             routed,
-            fleet_rejected: routing.summary.rejected(),
+            fleet_rejected: router_summary.rejected(),
             served,
             shed,
             rejected,
@@ -360,7 +733,9 @@ impl<'a> FleetEngine<'a> {
                 bulk_served: bulk.0,
                 bulk_violations: bulk.1,
             },
-            router: routing.summary,
+            scenario: self.config.scenario_name().to_string(),
+            reconfig,
+            router: router_summary,
             per_device,
             health,
             unhealthy_devices: unhealthy,
@@ -368,14 +743,14 @@ impl<'a> FleetEngine<'a> {
         if !report.accounting_balances() {
             return Err(HadasError::Internal("fleet report broke request conservation".into()));
         }
-        Ok(FleetRun { report, telemetry })
+        Ok(report)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hadas_runtime::FaultConfig;
+    use hadas_runtime::{FaultConfig, Scenario};
 
     fn planes() -> Vec<DevicePlane> {
         build_planes(&[HwTarget::Tx2PascalGpu, HwTarget::AgxCarmelCpu], &HadasConfig::smoke_test())
@@ -397,6 +772,15 @@ mod tests {
         }
     }
 
+    fn drift_config() -> FleetConfig {
+        let base = small_config();
+        FleetConfig {
+            scenario: Some(Scenario::from_name("composite", 42, base.duration_s()).unwrap()),
+            reconfigure: true,
+            ..base
+        }
+    }
+
     #[test]
     fn reports_are_byte_identical_across_fleet_worker_counts() {
         let planes = planes();
@@ -411,6 +795,26 @@ mod tests {
                 run.report.to_json().unwrap(),
                 base_json,
                 "fleet worker count {workers} must not leak into the report"
+            );
+        }
+    }
+
+    #[test]
+    fn reconfigured_reports_are_byte_identical_across_worker_counts() {
+        let planes = planes();
+        let base = FleetEngine::new(&planes, drift_config()).unwrap().run().unwrap();
+        let base_json = base.report.to_json().unwrap();
+        assert!(base.report.accounting_balances());
+        assert!(base.report.reconfig.enabled);
+        assert_eq!(base.report.reconfig.dropped_by_swap, 0, "the zero-drop invariant");
+        assert_eq!(base.report.scenario, "composite");
+        for workers in [2usize, 4, 8] {
+            let cfg = FleetConfig { workers, ..drift_config() };
+            let run = FleetEngine::new(&planes, cfg).unwrap().run().unwrap();
+            assert_eq!(
+                run.report.to_json().unwrap(),
+                base_json,
+                "worker count {workers} must not leak into a reconfigured report"
             );
         }
     }
@@ -446,6 +850,71 @@ mod tests {
     }
 
     #[test]
+    fn mid_swap_unit_chaos_heals_back_to_the_fault_free_reconfigured_report() {
+        let planes = planes();
+        let clean = FleetEngine::new(&planes, drift_config()).unwrap().run().unwrap();
+        let mut healed_something = false;
+        for seed in [3u64, 5, 7] {
+            let cfg = FleetConfig {
+                chaos: Some(FaultConfig {
+                    crash_rate: 0.2,
+                    transient_rate: 0.1,
+                    ..FaultConfig::worker_chaos(seed)
+                }),
+                retry: hadas::RetryPolicy { max_attempts: 6, ..hadas::RetryPolicy::default() },
+                workers: 3,
+                ..drift_config()
+            };
+            let run = FleetEngine::new(&planes, cfg).unwrap().run().unwrap();
+            healed_something |= run.telemetry.crashes > 0 || run.telemetry.retries > 0;
+            assert_eq!(run.report.dead_lettered, 0, "six attempts must recover (seed {seed})");
+            assert_eq!(
+                run.report.to_json().unwrap(),
+                clean.report.to_json().unwrap(),
+                "epoch crashes landing around swaps must heal invisibly (seed {seed})"
+            );
+        }
+        assert!(healed_something, "some seed must actually inject epoch faults");
+    }
+
+    #[test]
+    fn reconfiguration_swaps_under_drift_and_drops_nothing() {
+        let planes = planes();
+        let run = FleetEngine::new(&planes, drift_config()).unwrap().run().unwrap();
+        let rc = &run.report.reconfig;
+        assert!(rc.enabled);
+        assert_eq!(rc.epochs, 8);
+        assert!(rc.swaps > 0, "composite drift must force at least one live swap");
+        assert_eq!(rc.dropped_by_swap, 0, "swaps must never drop a queued request");
+        assert_eq!(rc.swaps, rc.escalations + rc.deescalations);
+        assert_eq!(rc.final_anchors.len(), 4);
+        assert!(run.report.accounting_balances(), "conservation survives swaps");
+        assert!(
+            run.report
+                .per_device
+                .iter()
+                .zip(&rc.final_anchors)
+                .all(|(s, &a)| { a == 0 || s.mode_switches > 0 }),
+            "a moved anchor implies at least one latched switch"
+        );
+    }
+
+    #[test]
+    fn swap_failures_roll_back_and_stay_accounted() {
+        let planes = planes();
+        let base = drift_config();
+        let cfg = FleetConfig {
+            faults: Some(FaultConfig { seed: 9, swap_fail_rate: 0.9, ..FaultConfig::default() }),
+            ..base
+        };
+        let run = FleetEngine::new(&planes, cfg).unwrap().run().unwrap();
+        let rc = &run.report.reconfig;
+        assert!(rc.swap_rollbacks > 0, "a 0.9 swap-failure rate must roll something back");
+        assert_eq!(rc.dropped_by_swap, 0, "rollbacks drop nothing either");
+        assert!(run.report.accounting_balances());
+    }
+
+    #[test]
     fn dead_units_surface_as_dead_letters_not_loss() {
         let planes = planes();
         let cfg = FleetConfig {
@@ -467,6 +936,37 @@ mod tests {
             run.report.health.iter().filter(|h| !h.healthy).count()
         );
         assert!(run.report.health.iter().any(|h| !h.healthy));
+    }
+
+    #[test]
+    fn dead_epochs_dead_letter_their_slice_and_stay_conserved() {
+        let planes = planes();
+        let cfg = FleetConfig {
+            chaos: Some(FaultConfig {
+                crash_rate: 0.9,
+                transient_rate: 0.0,
+                timeout_rate: 0.0,
+                ..FaultConfig::worker_chaos(13)
+            }),
+            retry: hadas::RetryPolicy { max_attempts: 1, ..hadas::RetryPolicy::default() },
+            workers: 2,
+            ..drift_config()
+        };
+        let run = FleetEngine::new(&planes, cfg).unwrap().run().unwrap();
+        assert!(run.report.dead_lettered > 0, "crash rate 0.9 × 1 attempt must kill an epoch");
+        assert!(run.report.accounting_balances(), "dead epochs stay conserved");
+    }
+
+    #[test]
+    fn fleet_report_json_round_trips_through_the_gated_restore() {
+        let planes = planes();
+        let run = FleetEngine::new(&planes, small_config()).unwrap().run().unwrap();
+        let json = run.report.to_json().unwrap();
+        let restored = FleetReport::from_json(&json).unwrap();
+        assert_eq!(restored.served, run.report.served);
+        assert_ne!(restored.fingerprint, 0);
+        let tampered = json.replace("\"devices\": 4", "\"devices\": 5");
+        assert!(FleetReport::from_json(&tampered).is_err(), "tampering must be refused");
     }
 
     #[test]

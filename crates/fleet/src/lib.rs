@@ -25,6 +25,14 @@
 //! - **Engine** ([`FleetEngine`] → [`FleetRun`] / [`FleetReport`]):
 //!   schedules single-threaded, executes under the supervisor, folds
 //!   in device order.
+//! - **Reconfiguration** ([`ReconfigConfig`] → [`ReconfigSummary`]):
+//!   with `FleetConfig::reconfigure` on, a hysteresis controller reads
+//!   per-device epoch pressure (SLO violations, thermal caps, battery
+//!   state-of-charge under the drift [`hadas_runtime::Scenario`]) and
+//!   slides each device's operating window along the full searched
+//!   Pareto front via zero-drop snapshot swaps
+//!   ([`hadas_serve::EngineSnapshot`]); substrate swap failures roll
+//!   back onto the old window from the same snapshot.
 //!
 //! Determinism contract: the serialized [`FleetReport`] is
 //! byte-identical across fleet worker counts and byte-identical to the
@@ -34,6 +42,7 @@
 
 mod config;
 mod engine;
+mod reconfig;
 mod report;
 mod router;
 mod spec;
@@ -41,7 +50,10 @@ mod unit;
 
 pub use config::{FleetConfig, GOVERNOR_ROTATION};
 pub use engine::{build_planes, DevicePlane, FleetEngine, FleetRun};
-pub use report::FleetReport;
+pub use reconfig::{
+    decide_anchor, AnchorDecision, EpochPressure, ReconfigConfig, ReconfigSummary, RECONFIG_WINDOW,
+};
+pub use report::{FleetReport, FLEET_REPORT_SCHEMA};
 pub use router::{DeviceEstimate, RouterSummary};
 pub use spec::{canonical_spec, parse_device_spec};
 pub use unit::{DeviceHealthReport, DeviceSummary};

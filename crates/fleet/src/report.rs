@@ -1,9 +1,15 @@
 //! The serialized outcome of one fleet run.
 
-use crate::{DeviceHealthReport, DeviceSummary, RouterSummary};
+use crate::{DeviceHealthReport, DeviceSummary, ReconfigSummary, RouterSummary};
+use hadas::HadasError;
 use hadas_runtime::LatencySummary;
-use hadas_serve::{accounting_balances, SloSummary};
+use hadas_serve::{accounting_balances, fingerprint64, zero_fingerprint_field, SloSummary};
 use serde::{Deserialize, Serialize};
+
+/// Schema tag stamped into every serialized [`FleetReport`]. Bump on
+/// any report shape change; [`FleetReport::from_json`] refuses other
+/// versions, mirroring `SearchCheckpoint`'s gated restore.
+pub const FLEET_REPORT_SCHEMA: u32 = 1;
 
 /// Aggregate outcome of one fleet run, folded from the per-device
 /// traces in device-index order.
@@ -17,6 +23,15 @@ use serde::{Deserialize, Serialize};
 /// unit crashes whenever zero units dead-letter.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetReport {
+    /// Report schema version ([`FLEET_REPORT_SCHEMA`]); stamped by
+    /// [`FleetReport::to_json`].
+    pub schema: u32,
+    /// FNV-1a fingerprint of the serialized report with this field
+    /// zeroed; stamped by [`FleetReport::to_json`], checked by
+    /// [`FleetReport::from_json`]. Zero while in memory. Leads the
+    /// struct so fingerprint zeroing always targets the fleet-level
+    /// field.
+    pub fingerprint: u64,
     /// Device units in the fleet.
     pub devices: usize,
     /// Canonical device-mix echo (see [`crate::canonical_spec`]).
@@ -64,6 +79,12 @@ pub struct FleetReport {
     pub latency: LatencySummary,
     /// Global deadline accounting, split by SLO class.
     pub slo: SloSummary,
+    /// Name of the workload-drift scenario in force (`"none"`).
+    pub scenario: String,
+    /// Live-reconfiguration accounting: swaps, rollbacks, the zero-drop
+    /// counter, and final anchors ([`ReconfigSummary::disabled`] for a
+    /// pinned-mode fleet).
+    pub reconfig: ReconfigSummary,
     /// Router accounting: the per-device decision histogram and
     /// per-class admission counters.
     pub router: RouterSummary,
@@ -84,7 +105,43 @@ impl FleetReport {
     /// Propagates serialisation failures (none for this struct in
     /// practice).
     pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+        let mut stamped = self.clone();
+        stamped.schema = FLEET_REPORT_SCHEMA;
+        stamped.fingerprint = 0;
+        let zeroed = serde_json::to_string_pretty(&stamped)?;
+        stamped.fingerprint = fingerprint64(zeroed.as_bytes());
+        serde_json::to_string_pretty(&stamped)
+    }
+
+    /// Parses a serialized fleet report, refusing stale schemas and
+    /// content whose fingerprint does not match the bytes — the same
+    /// gated restore contract as `SearchCheckpoint`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadasError::Checkpoint`] for unparsable JSON, a schema
+    /// other than [`FLEET_REPORT_SCHEMA`], or a fingerprint mismatch
+    /// (tampered or truncated content).
+    pub fn from_json(json: &str) -> Result<Self, HadasError> {
+        let report: FleetReport = serde_json::from_str(json)
+            .map_err(|e| HadasError::Checkpoint(format!("parse fleet report: {e}")))?;
+        if report.schema != FLEET_REPORT_SCHEMA {
+            return Err(HadasError::Checkpoint(format!(
+                "fleet report schema {} unsupported (expected {FLEET_REPORT_SCHEMA})",
+                report.schema
+            )));
+        }
+        let zeroed = zero_fingerprint_field(json).ok_or_else(|| {
+            HadasError::Checkpoint("fleet report carries no fingerprint field".to_string())
+        })?;
+        let expected = fingerprint64(zeroed.as_bytes());
+        if report.fingerprint != expected {
+            return Err(HadasError::Checkpoint(format!(
+                "fleet report fingerprint {:#018x} does not match its content ({expected:#018x})",
+                report.fingerprint
+            )));
+        }
+        Ok(report)
     }
 
     /// Whether the fleet-level request-conservation identity holds: the

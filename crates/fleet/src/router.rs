@@ -83,85 +83,132 @@ struct ModeledDevice {
     free_s: f64,
 }
 
-/// Routes the fleet-wide arrival stream over the devices (see module
-/// docs for the admission and scoring rules).
+/// A persistent fleet router: the modeled per-device backlogs survive
+/// across [`Router::route_slice`] calls, so the reconfiguration plane
+/// can route one epoch at a time under *refreshed* device estimates
+/// while the modeled state stays continuous — routing the whole stream
+/// in one slice with fixed estimates is exactly [`route`].
+pub(crate) struct Router {
+    energy_weight: f64,
+    ladder: BrownoutConfig,
+    modeled: Vec<ModeledDevice>,
+    summary: RouterSummary,
+}
+
+impl Router {
+    /// A fresh router over `n` idle modeled devices.
+    pub(crate) fn new(config: &FleetConfig, n: usize) -> Self {
+        Router {
+            energy_weight: config.energy_weight,
+            ladder: BrownoutConfig::default(),
+            modeled: (0..n)
+                .map(|_| ModeledDevice { backlog: VecDeque::new(), free_s: 0.0 })
+                .collect(),
+            summary: RouterSummary {
+                energy_weight: config.energy_weight,
+                assigned: vec![0; n],
+                ..RouterSummary::default()
+            },
+        }
+    }
+
+    /// Routes one contiguous slice of the arrival stream (sorted by
+    /// time, later than every slice routed before) under the current
+    /// estimates, returning the per-device substreams of this slice.
+    /// See the module docs for the admission and scoring rules.
+    pub(crate) fn route_slice(
+        &mut self,
+        estimates: &[DeviceEstimate],
+        requests: &[Request],
+    ) -> Vec<Vec<Request>> {
+        let n = self.modeled.len();
+        debug_assert_eq!(estimates.len(), n);
+        let mut substreams: Vec<Vec<Request>> = (0..n).map(|_| Vec::new()).collect();
+        for &r in requests {
+            let now = r.time_s;
+            for m in &mut self.modeled {
+                while m.backlog.front().is_some_and(|&f| f <= now) {
+                    m.backlog.pop_front();
+                }
+            }
+            // Admissible = the modeled brownout tier of the device's
+            // depth admits this class.
+            let mut best: Option<(usize, f64, f64)> = None; // (device, score, finish)
+            let mut best_feasible: Option<(usize, f64, f64)> = None;
+            for (d, (m, est)) in self.modeled.iter().zip(estimates).enumerate() {
+                let depth = m.backlog.len();
+                if depth >= self.ladder.reject_depth {
+                    continue;
+                }
+                if r.class == SloClass::Bulk && depth >= self.ladder.shed_bulk_depth {
+                    continue;
+                }
+                let finish = m.free_s.max(now) + est.service_s;
+                let score = (finish - now) + self.energy_weight * est.energy_j;
+                if best.as_ref().is_none_or(|&(_, s, _)| score < s) {
+                    best = Some((d, score, finish));
+                }
+                if finish <= r.deadline_s + 1e-12
+                    && best_feasible.as_ref().is_none_or(|&(_, s, _)| score < s)
+                {
+                    best_feasible = Some((d, score, finish));
+                }
+            }
+            let choice = if r.class == SloClass::Interactive {
+                match best_feasible {
+                    Some(c) => Some(c),
+                    None => {
+                        if best.is_some() {
+                            self.summary.slo_infeasible_routed += 1;
+                        }
+                        best
+                    }
+                }
+            } else {
+                best
+            };
+            match choice {
+                Some((d, _, finish)) => {
+                    match r.class {
+                        SloClass::Interactive => self.summary.interactive_routed += 1,
+                        SloClass::Bulk => self.summary.bulk_routed += 1,
+                    }
+                    self.summary.assigned[d] += 1;
+                    self.modeled[d].backlog.push_back(finish);
+                    self.modeled[d].free_s = finish;
+                    substreams[d].push(r);
+                }
+                None => match r.class {
+                    SloClass::Interactive => self.summary.interactive_rejected += 1,
+                    SloClass::Bulk => self.summary.bulk_rejected += 1,
+                },
+            }
+        }
+        substreams
+    }
+
+    /// The accumulated routing accounting.
+    #[cfg(test)]
+    pub(crate) fn summary(&self) -> &RouterSummary {
+        &self.summary
+    }
+
+    /// Closes the router, yielding the accumulated accounting.
+    pub(crate) fn into_summary(self) -> RouterSummary {
+        self.summary
+    }
+}
+
+/// Routes the whole fleet-wide arrival stream over the devices in one
+/// pass under fixed estimates (the pinned-mode fleet path).
 pub(crate) fn route(
     config: &FleetConfig,
     estimates: &[DeviceEstimate],
     requests: Vec<Request>,
 ) -> RoutingOutcome {
-    let n = estimates.len();
-    let ladder = BrownoutConfig::default();
-    let mut modeled: Vec<ModeledDevice> =
-        (0..n).map(|_| ModeledDevice { backlog: VecDeque::new(), free_s: 0.0 }).collect();
-    let mut substreams: Vec<Vec<Request>> = (0..n).map(|_| Vec::new()).collect();
-    let mut summary = RouterSummary {
-        energy_weight: config.energy_weight,
-        assigned: vec![0; n],
-        ..RouterSummary::default()
-    };
-
-    for r in requests {
-        let now = r.time_s;
-        for m in &mut modeled {
-            while m.backlog.front().is_some_and(|&f| f <= now) {
-                m.backlog.pop_front();
-            }
-        }
-        // Admissible = the modeled brownout tier of the device's depth
-        // admits this class.
-        let mut best: Option<(usize, f64, f64)> = None; // (device, score, finish)
-        let mut best_feasible: Option<(usize, f64, f64)> = None;
-        for (d, (m, est)) in modeled.iter().zip(estimates).enumerate() {
-            let depth = m.backlog.len();
-            if depth >= ladder.reject_depth {
-                continue;
-            }
-            if r.class == SloClass::Bulk && depth >= ladder.shed_bulk_depth {
-                continue;
-            }
-            let finish = m.free_s.max(now) + est.service_s;
-            let score = (finish - now) + config.energy_weight * est.energy_j;
-            if best.as_ref().is_none_or(|&(_, s, _)| score < s) {
-                best = Some((d, score, finish));
-            }
-            if finish <= r.deadline_s + 1e-12
-                && best_feasible.as_ref().is_none_or(|&(_, s, _)| score < s)
-            {
-                best_feasible = Some((d, score, finish));
-            }
-        }
-        let choice = if r.class == SloClass::Interactive {
-            match best_feasible {
-                Some(c) => Some(c),
-                None => {
-                    if best.is_some() {
-                        summary.slo_infeasible_routed += 1;
-                    }
-                    best
-                }
-            }
-        } else {
-            best
-        };
-        match choice {
-            Some((d, _, finish)) => {
-                match r.class {
-                    SloClass::Interactive => summary.interactive_routed += 1,
-                    SloClass::Bulk => summary.bulk_routed += 1,
-                }
-                summary.assigned[d] += 1;
-                modeled[d].backlog.push_back(finish);
-                modeled[d].free_s = finish;
-                substreams[d].push(r);
-            }
-            None => match r.class {
-                SloClass::Interactive => summary.interactive_rejected += 1,
-                SloClass::Bulk => summary.bulk_rejected += 1,
-            },
-        }
-    }
-    RoutingOutcome { substreams, summary }
+    let mut router = Router::new(config, estimates.len());
+    let substreams = router.route_slice(estimates, &requests);
+    RoutingOutcome { substreams, summary: router.into_summary() }
 }
 
 #[cfg(test)]
@@ -203,6 +250,29 @@ mod tests {
         for s in &a.substreams {
             assert!(s.windows(2).all(|w| w[0].time_s <= w[1].time_s), "arrival order preserved");
         }
+    }
+
+    #[test]
+    fn slice_routing_matches_one_pass_routing() {
+        let est = vec![
+            DeviceEstimate { service_s: 0.01, energy_j: 0.1 },
+            DeviceEstimate { service_s: 0.02, energy_j: 0.05 },
+        ];
+        let reqs: Vec<Request> = (0..300)
+            .map(|i| {
+                let class = if i % 3 == 0 { SloClass::Bulk } else { SloClass::Interactive };
+                req(i, i as f64 * 0.003, class, i as f64 * 0.003 + 0.1)
+            })
+            .collect();
+        let whole = route(&cfg(2), &est, reqs.clone());
+        let mut router = Router::new(&cfg(2), 2);
+        let mut merged = router.route_slice(&est, &reqs[..100]);
+        assert_eq!(router.summary().routed() + router.summary().rejected(), 100);
+        for (acc, later) in merged.iter_mut().zip(router.route_slice(&est, &reqs[100..])) {
+            acc.extend(later);
+        }
+        assert_eq!(merged, whole.substreams, "modeled backlogs persist across slices");
+        assert_eq!(router.into_summary(), whole.summary);
     }
 
     #[test]

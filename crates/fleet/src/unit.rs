@@ -119,6 +119,9 @@ pub struct DeviceSummary {
     pub rejected: usize,
     /// Requests lost with the unit (zero whenever supervision heals).
     pub dead_lettered: usize,
+    /// Mode switches the unit latched — governor moves within its
+    /// window plus live operating-point swaps.
+    pub mode_switches: usize,
     /// Energy the unit drew (joules).
     pub energy_j: f64,
     /// Served requests that missed their deadline.

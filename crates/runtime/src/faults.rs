@@ -34,6 +34,7 @@ const SAG_SALT: u64 = 0x5341_475f_5341_475f; // "SAG_SAG_"
 const BURST_SALT: u64 = 0x4255_5253_545f_5f5f; // "BURST___"
 const EVAL_SALT: u64 = 0x4556_414c_5f5f_5f5f; // "EVAL____"
 const CRASH_SALT: u64 = 0x4352_4153_485f_5f5f; // "CRASH___"
+const SWAP_SALT: u64 = 0x5357_4150_5f5f_5f5f; // "SWAP____"
 
 /// One contiguous fault episode on the simulated timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -85,6 +86,13 @@ pub struct FaultConfig {
     /// never perturbs the transient/timeout stream — the serving
     /// supervisor relies on that to keep recovery byte-identical.
     pub crash_rate: f64,
+    /// Probability that one operating-point swap attempt fails and rolls
+    /// back to the old point (`[0, 1)`). Drawn from an independent salt
+    /// so enabling swap failures never perturbs any other fault stream;
+    /// a rollback re-applies the pre-swap snapshot, so it reshapes the
+    /// schedule (substrate-plane, like thermal episodes) rather than the
+    /// execution plane.
+    pub swap_fail_rate: f64,
     /// Simulated cost of a successful measurement attempt (ms).
     pub ok_cost_ms: f64,
     /// Simulated cost burned by a transient failure (ms).
@@ -108,6 +116,7 @@ impl Default for FaultConfig {
             transient_rate: 0.05,
             timeout_rate: 0.02,
             crash_rate: 0.0,
+            swap_fail_rate: 0.0,
             ok_cost_ms: 5.0,
             failure_cost_ms: 20.0,
             timeout_cost_ms: 250.0,
@@ -163,7 +172,11 @@ impl FaultConfig {
     /// caps, multipliers, or a non-positive horizon.
     pub fn validate(&self) -> Result<(), HadasError> {
         let ok = |v: f64| v.is_finite() && (0.0..1.0).contains(&v);
-        if !ok(self.transient_rate) || !ok(self.timeout_rate) || !ok(self.crash_rate) {
+        if !ok(self.transient_rate)
+            || !ok(self.timeout_rate)
+            || !ok(self.crash_rate)
+            || !ok(self.swap_fail_rate)
+        {
             return Err(HadasError::InvalidConfig("fault rates must lie in [0, 1)".into()));
         }
         if self.transient_rate + self.timeout_rate >= 1.0 {
@@ -310,6 +323,16 @@ impl FaultInjector {
     pub fn crash_at(&self, key: u64, attempt: u32) -> bool {
         self.config.crash_rate > 0.0 && self.draw(CRASH_SALT, key, attempt) < self.config.crash_rate
     }
+
+    /// Whether the operating-point swap identified by `key` (e.g.
+    /// `epoch * devices + device`) fails and must roll back. Pure in
+    /// `key` and drawn from an independent salt, so enabling swap
+    /// failures leaves the thermal/sag/burst/eval/crash streams
+    /// untouched.
+    pub fn swap_failure_at(&self, key: u64) -> bool {
+        self.config.swap_fail_rate > 0.0
+            && self.draw(SWAP_SALT, key, 0) < self.config.swap_fail_rate
+    }
 }
 
 impl FaultModel for FaultInjector {
@@ -424,6 +447,31 @@ mod tests {
         }
         let fc = crashes as f64 / n as f64;
         assert!((fc - 0.2).abs() < 0.03, "crash fraction {fc}");
+    }
+
+    #[test]
+    fn swap_failures_are_pure_independent_and_roughly_honoured() {
+        let cfg = FaultConfig { swap_fail_rate: 0.3, ..FaultConfig::chaos(17) };
+        let with = FaultInjector::new(cfg.clone()).unwrap();
+        let without = FaultInjector::new(FaultConfig { swap_fail_rate: 0.0, ..cfg }).unwrap();
+        let n = 20_000u64;
+        let mut failures = 0usize;
+        for key in 0..n {
+            assert_eq!(with.swap_failure_at(key), with.swap_failure_at(key), "pure in key");
+            assert_eq!(
+                with.eval_attempt(key, 0),
+                without.eval_attempt(key, 0),
+                "enabling swap failures must not perturb the eval stream"
+            );
+            assert_eq!(with.crash_at(key, 0), without.crash_at(key, 0));
+            failures += usize::from(with.swap_failure_at(key));
+            assert!(!without.swap_failure_at(key), "zero rate never fails a swap");
+        }
+        let ff = failures as f64 / n as f64;
+        assert!((ff - 0.3).abs() < 0.03, "swap-failure fraction {ff}");
+        assert_eq!(with.thermal_episodes(), without.thermal_episodes());
+        let hot = FaultConfig { swap_fail_rate: 1.5, ..FaultConfig::default() };
+        assert!(FaultInjector::new(hot).is_err(), "swap rate outside [0, 1) is rejected");
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub use hadas::executor;
 pub mod latency;
 mod modes;
 mod policy;
+mod scenario;
 mod sim;
 mod trace;
 
@@ -59,5 +60,6 @@ pub use modes::{enforce_thermal_cap, modes_from_pareto, OperatingMode, ServeOutc
 pub use policy::{
     DegradePolicy, LatencyPolicy, PolicyState, ScalingPolicy, SocPolicy, StaticPolicy,
 };
+pub use scenario::{Scenario, ScenarioKind, SCENARIO_NAMES};
 pub use sim::{RuntimeReport, RuntimeSimulator, SimConfig};
 pub use trace::{Arrival, Regime, TraceConfig, WorkloadTrace};

@@ -3,7 +3,7 @@
 //! percentiles (the invariant the sharded serve reduction is built on),
 //! and every summary must be quantile-monotone.
 
-use hadas_runtime::Histogram;
+use hadas_runtime::{Histogram, Scenario, SCENARIO_NAMES};
 use proptest::prelude::*;
 
 /// Samples plus a shard-boundary plan: `cuts` are interpreted modulo the
@@ -157,5 +157,90 @@ proptest! {
         let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         prop_assert_eq!(h.percentile(0.0).to_bits(), lo.to_bits());
         prop_assert_eq!(h.percentile(1.0).to_bits(), hi.to_bits());
+    }
+}
+
+/// A named scenario drawn from the registry plus a sampling plan over
+/// its `[0, horizon)` timeline (plus points past the horizon, which the
+/// waveforms must still answer deterministically).
+fn scenario_strategy() -> impl Strategy<Value = (&'static str, u64, f64, Vec<f64>)> {
+    (
+        0usize..SCENARIO_NAMES.len(),
+        any::<u64>(),
+        1.0f64..5_000.0,
+        proptest::collection::vec(0.0f64..1.5, 1..40),
+    )
+        .prop_map(|(ix, seed, horizon, fracs)| {
+            let ticks = fracs.iter().map(|f| f * horizon).collect();
+            (SCENARIO_NAMES[ix], seed, horizon, ticks)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Scenario replay purity: two scenarios built from the same
+    /// `(name, seed, horizon)` answer every waveform query bit-for-bit
+    /// identically at every tick — the property the fleet's epoch
+    /// re-slicing and the chaos-heal byte-identity contract stand on.
+    #[test]
+    fn scenario_replay_is_pure((name, seed, horizon, ticks) in scenario_strategy()) {
+        let a = Scenario::from_name(name, seed, horizon).expect("registry name");
+        let b = Scenario::from_name(name, seed, horizon).expect("registry name");
+        prop_assert_eq!(a.name(), name);
+        for &t in &ticks {
+            prop_assert_eq!(
+                a.rate_multiplier_at(t).to_bits(),
+                b.rate_multiplier_at(t).to_bits()
+            );
+            prop_assert_eq!(a.thermal_cap_at(t).to_bits(), b.thermal_cap_at(t).to_bits());
+            prop_assert_eq!(
+                a.difficulty_shift_at(t).to_bits(),
+                b.difficulty_shift_at(t).to_bits()
+            );
+            prop_assert_eq!(
+                a.battery_capacity_factor_at(t).to_bits(),
+                b.battery_capacity_factor_at(t).to_bits()
+            );
+        }
+    }
+
+    /// Every waveform stays inside its documented envelope at every
+    /// tick: rates in `[0.1, 2]` around a mean of 1, caps and battery
+    /// factors in `(0, 1]`, difficulty shifts within their amplitude,
+    /// and the battery factor never grows as the pack ages.
+    #[test]
+    fn scenario_waveforms_stay_in_their_envelopes(
+        (name, seed, horizon, mut ticks) in scenario_strategy()
+    ) {
+        let s = Scenario::from_name(name, seed, horizon).expect("registry name");
+        for &t in &ticks {
+            let rate = s.rate_multiplier_at(t);
+            prop_assert!((0.1..=2.0).contains(&rate), "rate {rate} out of envelope");
+            let cap = s.thermal_cap_at(t);
+            prop_assert!(cap > 0.0 && cap <= 1.0, "cap {cap} out of (0, 1]");
+            let shift = s.difficulty_shift_at(t);
+            prop_assert!(shift.abs() <= 0.35 + 1e-12, "shift {shift} beyond amplitude");
+            let battery = s.battery_capacity_factor_at(t);
+            prop_assert!(battery > 0.0 && battery <= 1.0, "battery {battery} out of (0, 1]");
+        }
+        ticks.sort_by(f64::total_cmp);
+        let mut prev = f64::INFINITY;
+        for &t in &ticks {
+            let b = s.battery_capacity_factor_at(t);
+            prop_assert!(b <= prev + 1e-12, "battery factor must decay monotonically");
+            prev = b;
+        }
+    }
+
+    /// Different seeds produce different drift parameters (except for
+    /// `calm`, which is the identity scenario on every axis).
+    #[test]
+    fn calm_scenarios_are_the_identity(seed in any::<u64>(), t in 0.0f64..100.0) {
+        let s = Scenario::from_name("calm", seed, 100.0).expect("calm is registered");
+        prop_assert_eq!(s.rate_multiplier_at(t), 1.0);
+        prop_assert_eq!(s.thermal_cap_at(t), 1.0);
+        prop_assert_eq!(s.difficulty_shift_at(t), 0.0);
+        prop_assert_eq!(s.battery_capacity_factor_at(t), 1.0);
     }
 }

@@ -32,6 +32,18 @@ impl Batcher {
         self.batch_max
     }
 
+    /// Copies both class queues in FIFO order — the batcher half of a
+    /// swap snapshot (see `SessionState`).
+    pub fn queues(&self) -> (Vec<Request>, Vec<Request>) {
+        (self.interactive.iter().copied().collect(), self.bulk.iter().copied().collect())
+    }
+
+    /// Rebuilds a batcher from snapshotted queues (each in FIFO order) —
+    /// the inverse of [`Batcher::queues`].
+    pub fn from_queues(batch_max: usize, interactive: Vec<Request>, bulk: Vec<Request>) -> Self {
+        Batcher { interactive: interactive.into(), bulk: bulk.into(), batch_max: batch_max.max(1) }
+    }
+
     /// Enqueues an admitted request. Callers must push in arrival order —
     /// the EDF head property relies on it.
     pub fn push(&mut self, request: Request) {
@@ -184,6 +196,25 @@ mod tests {
         assert_eq!(b.len(), 2);
         assert_eq!(b.take_batch().len(), 2);
         assert!(b.take_batch().is_empty(), "empty queue yields an empty batch");
+    }
+
+    #[test]
+    fn queue_snapshot_round_trips_bit_identically() {
+        let mut b = Batcher::new(3);
+        for i in 0..7 {
+            let class = if i % 2 == 0 { SloClass::Interactive } else { SloClass::Bulk };
+            b.push(req(i, i as f64 * 0.01, class, 0.1 + i as f64));
+        }
+        let (interactive, bulk) = b.queues();
+        let restored = Batcher::from_queues(b.batch_max(), interactive, bulk);
+        assert_eq!(restored.len(), b.len());
+        assert_eq!(restored.queues(), b.queues());
+        let mut a = b.clone();
+        let mut r = restored;
+        while !a.is_empty() {
+            assert_eq!(a.take_batch(), r.take_batch(), "restored batches match the original");
+        }
+        assert!(r.is_empty());
     }
 
     #[test]

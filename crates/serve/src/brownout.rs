@@ -189,6 +189,25 @@ impl BrownoutSummary {
     }
 }
 
+/// The serializable state of a [`BrownoutLadder`] mid-run — the ladder
+/// half of a swap snapshot. Restoring it under the same configuration
+/// resumes the state machine bit-identically.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BrownoutState {
+    /// The latched tier index.
+    pub tier: usize,
+    /// Consecutive calm windows counted toward the next de-escalation.
+    pub calm_windows: usize,
+    /// Control windows spent in each tier so far.
+    pub tier_windows: Vec<usize>,
+    /// Transitions toward more degraded tiers so far.
+    pub escalations: usize,
+    /// Transitions back toward [`BrownoutTier::Normal`] so far.
+    pub deescalations: usize,
+    /// The most degraded tier ever latched (tier index).
+    pub worst_tier: usize,
+}
+
 /// The brownout ladder state machine, stepped once per control window.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BrownoutLadder {
@@ -275,6 +294,37 @@ impl BrownoutLadder {
         self.worst = self.worst.max(self.tier);
         self.tier_windows[self.tier.index()] += 1;
         self.tier
+    }
+
+    /// Exports the ladder's full mid-run state for a swap snapshot.
+    pub fn state(&self) -> BrownoutState {
+        BrownoutState {
+            tier: self.tier.index(),
+            calm_windows: self.calm_windows,
+            tier_windows: self.tier_windows.to_vec(),
+            escalations: self.escalations,
+            deescalations: self.deescalations,
+            worst_tier: self.worst.index(),
+        }
+    }
+
+    /// Rebuilds a ladder from a snapshotted state — the inverse of
+    /// [`BrownoutLadder::state`]. Missing tier counters (from a shorter
+    /// snapshot vector) restore as zero.
+    pub fn from_state(config: BrownoutConfig, state: &BrownoutState) -> Self {
+        let mut tier_windows = [0usize; BROWNOUT_TIERS];
+        for (slot, &w) in tier_windows.iter_mut().zip(state.tier_windows.iter()) {
+            *slot = w;
+        }
+        BrownoutLadder {
+            config,
+            tier: BrownoutTier::from_index(state.tier),
+            calm_windows: state.calm_windows,
+            tier_windows,
+            escalations: state.escalations,
+            deescalations: state.deescalations,
+            worst: BrownoutTier::from_index(state.worst_tier),
+        }
     }
 
     /// The serialized accounting of the windows observed so far.
@@ -375,6 +425,22 @@ mod tests {
             assert_eq!(BrownoutTier::from_index(i).index(), i);
         }
         assert_eq!(BrownoutTier::from_index(99), BrownoutTier::RejectNewAdmissions);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_ladder_bit_identically() {
+        let mut l = ladder();
+        for i in 0..17usize {
+            l.observe((i * 11) % 120, (i % 4) as f64 * 0.3, if i % 5 == 0 { 0.5 } else { 1.0 });
+        }
+        let restored = BrownoutLadder::from_state(*l.config(), &l.state());
+        assert_eq!(restored, l);
+        let mut a = l.clone();
+        let mut b = restored;
+        for i in 0..9usize {
+            assert_eq!(a.observe(i * 13, 0.2, 1.0), b.observe(i * 13, 0.2, 1.0));
+        }
+        assert_eq!(a.summary(), b.summary(), "counters keep matching after resumption");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use crate::BrownoutConfig;
 use hadas::{HadasError, RetryPolicy};
-use hadas_runtime::{FaultConfig, SimConfig};
+use hadas_runtime::{FaultConfig, Scenario, SimConfig};
 use serde::{Deserialize, Serialize};
 
 /// Which DVFS governor drives mode selection during serving.
@@ -102,6 +102,13 @@ pub struct ServeConfig {
     /// Optional brownout degradation ladder stepping service down under
     /// overload (see [`BrownoutConfig`]); `None` disables it.
     pub brownout: Option<BrownoutConfig>,
+    /// Optional long-horizon drift scenario composing with `faults`:
+    /// its rate swing multiplies the arrival stream, its seasonal
+    /// thermal cap takes the minimum with episodic throttles, and its
+    /// demand shift drifts request difficulty. Scheduling-plane, like
+    /// `faults`: it reshapes the schedule identically in fault-free and
+    /// chaos runs.
+    pub scenario: Option<Scenario>,
 }
 
 impl Default for ServeConfig {
@@ -125,6 +132,7 @@ impl Default for ServeConfig {
             breaker_threshold: 8,
             breaker_cooldown: 4,
             brownout: None,
+            scenario: None,
         }
     }
 }

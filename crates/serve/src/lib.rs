@@ -36,6 +36,13 @@
 //!   (shed bulk → force early exits → reject admissions) with hysteresis,
 //!   keeping interactive tail latency bounded under bursts instead of
 //!   letting it collapse.
+//! * [`ServeSession`] / [`SessionState`] / [`EngineSnapshot`] — the
+//!   zero-drop swap protocol: a run pauses at a segment barrier, exports
+//!   its complete state (in-flight queues, batcher, brownout ladder,
+//!   histograms), optionally persists it as a schema-versioned and
+//!   fingerprinted snapshot, and resumes under a *different* operating
+//!   ladder — without dropping a single queued request. The fleet plane's
+//!   live reconfiguration is built on exactly this seam.
 //!
 //! ```no_run
 //! use hadas_serve::{ServeConfig, ServeEngine};
@@ -60,12 +67,19 @@ mod governor;
 mod pool;
 mod report;
 mod request;
+mod snapshot;
 
 pub use batch::Batcher;
-pub use brownout::{BrownoutConfig, BrownoutLadder, BrownoutSummary, BrownoutTier, BROWNOUT_TIERS};
+pub use brownout::{
+    BrownoutConfig, BrownoutLadder, BrownoutState, BrownoutSummary, BrownoutTier, BROWNOUT_TIERS,
+};
 pub use config::{GovernorKind, ServeConfig};
-pub use engine::{HealthSample, ServeEngine, ServeTrace};
+pub use engine::{HealthSample, ServeEngine, ServeSession, ServeTrace, SessionState};
 pub use governor::{apply_brownout, build_governor, QueuePolicy};
 pub use pool::ResilienceTelemetry;
-pub use report::{accounting_balances, ServeReport, SloSummary};
+pub use report::{
+    accounting_balances, fingerprint64, zero_fingerprint_field, ServeReport, SloSummary,
+    SERVE_REPORT_SCHEMA,
+};
 pub use request::{generate_requests, Request, SloClass};
+pub use snapshot::{EngineSnapshot, SWAP_SNAPSHOT_SCHEMA};

@@ -39,20 +39,25 @@ impl Request {
 }
 
 /// Generates the request stream for one serving run: Poisson-ish arrivals
-/// with regime-scheduled difficulties (burst fault episodes modulate the
-/// instantaneous rate), each tagged with a seeded SLO class and the
-/// absolute deadline its class implies.
+/// with regime-scheduled difficulties (burst fault episodes and any
+/// configured drift scenario modulate the instantaneous rate
+/// multiplicatively; the scenario's demand shift additionally drifts
+/// each sample's difficulty), each tagged with a seeded SLO class and
+/// the absolute deadline its class implies.
 pub fn generate_requests(config: &ServeConfig, faults: Option<&FaultInjector>) -> Vec<Request> {
     let trace_cfg = TraceConfig {
         duration_s: config.duration_s,
         rate_hz: config.rps,
         ..TraceConfig::default()
     };
-    let trace = match faults {
-        Some(f) => {
-            WorkloadTrace::generate_modulated(&trace_cfg, config.seed, |t| f.rate_multiplier_at(t))
-        }
-        None => WorkloadTrace::generate(&trace_cfg, config.seed),
+    let scenario = config.scenario.as_ref();
+    let trace = if faults.is_some() || scenario.is_some() {
+        WorkloadTrace::generate_modulated(&trace_cfg, config.seed, |t| {
+            faults.map_or(1.0, |f| f.rate_multiplier_at(t))
+                * scenario.map_or(1.0, |s| s.rate_multiplier_at(t))
+        })
+    } else {
+        WorkloadTrace::generate(&trace_cfg, config.seed)
     };
     let mut rng = StdRng::seed_from_u64(config.seed ^ CLASS_SALT);
     let slo_s = config.slo_ms * 1e-3;
@@ -67,10 +72,11 @@ pub fn generate_requests(config: &ServeConfig, faults: Option<&FaultInjector>) -
             } else {
                 (SloClass::Interactive, slo_s)
             };
+            let shift = scenario.map_or(0.0, |s| s.difficulty_shift_at(a.time_s));
             Request {
                 id,
                 time_s: a.time_s,
-                difficulty: a.difficulty,
+                difficulty: (a.difficulty + shift).clamp(0.0, 1.0),
                 class,
                 deadline_s: a.time_s + budget,
             }
@@ -108,6 +114,29 @@ mod tests {
             };
             assert!((budget - expected).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn scenarios_modulate_rate_and_difficulty_deterministically() {
+        let base = ServeConfig { duration_s: 120.0, rps: 50.0, ..ServeConfig::default() };
+        let calm = generate_requests(&base, None);
+        let drifted = ServeConfig {
+            scenario: Some(
+                hadas_runtime::Scenario::from_name("composite", base.seed, 120.0).unwrap(),
+            ),
+            ..base.clone()
+        };
+        let a = generate_requests(&drifted, None);
+        let b = generate_requests(&drifted, None);
+        assert_eq!(a, b, "scenario streams replay bit-identically");
+        assert_ne!(
+            a.len(),
+            calm.len(),
+            "a diurnal rate swing must reshape the arrival count ({} vs {})",
+            a.len(),
+            calm.len()
+        );
+        assert!(a.iter().all(|r| (0.0..=1.0).contains(&r.difficulty)), "shifts stay clamped");
     }
 
     #[test]

@@ -40,6 +40,16 @@
 //!    the supervisor respawns units and re-dispatches their substreams
 //!    until the healed report matches the fault-free one with zero dead
 //!    letters. Mismatches ship `chaos_fleet_*` repro artifacts.
+//!
+//! 6. **Live reconfiguration keeps every fleet contract under drift.**
+//!    With a workload-drift scenario in force and the epoch controller
+//!    swapping per-device operating windows, the reconfigured report is
+//!    still byte-identical across fleet worker counts, swaps drop
+//!    nothing (`dropped_by_swap == 0`), and unit crashes landing *in
+//!    the middle of swap epochs* heal back to the fault-free
+//!    reconfigured report. Mismatches ship `chaos_reconfig_*` repro
+//!    artifacts. The CI `chaos-reconfig` matrix pins one scenario per
+//!    job via `HADAS_CHAOS_SCENARIO`; locally two run by default.
 
 use hadas_suite::core::{Hadas, HadasConfig, SearchCheckpoint, SearchOptions};
 use hadas_suite::dataset::{CorruptionConfig, DatasetConfig, SyntheticDataset};
@@ -522,6 +532,135 @@ fn fleet_unit_crashes_heal_back_to_the_fault_free_report() {
             || healed.telemetry.redispatches > 0;
     }
     assert!(healed_something, "some seed must actually inject unit faults");
+}
+
+// ---------------------------------------------------------------------
+// Reconfiguration-plane chaos: drifted, swapping fleets keep every
+// fleet contract (worker byte-identity, zero-drop swaps, crash healing).
+// ---------------------------------------------------------------------
+
+/// The drift scenarios this process sweeps: the CI `chaos-reconfig`
+/// matrix pins one per job via `HADAS_CHAOS_SCENARIO`; locally two run.
+fn scenario_matrix() -> Vec<String> {
+    match std::env::var("HADAS_CHAOS_SCENARIO") {
+        Ok(s) => vec![s],
+        Err(_) => vec!["composite".into(), "thermal-season".into()],
+    }
+}
+
+/// One reconfigured fleet run under `scenario`; `chaos_seed` switches
+/// unit-level chaos on — crashes land inside swap epochs, which is
+/// exactly the recovery path contract 6 pins.
+fn reconfig_run(
+    planes: &[hadas_suite::fleet::DevicePlane],
+    scenario: &str,
+    workers: usize,
+    chaos_seed: Option<u64>,
+) -> hadas_suite::fleet::FleetRun {
+    let (users, rps) = (900usize, 300.0);
+    let scenario = hadas_suite::runtime::Scenario::from_name(scenario, 42, users as f64 / rps)
+        .expect("registry scenario");
+    let config = hadas_suite::fleet::FleetConfig {
+        devices: vec![
+            HwTarget::Tx2PascalGpu,
+            HwTarget::AgxCarmelCpu,
+            HwTarget::Tx2PascalGpu,
+            HwTarget::AgxCarmelCpu,
+            HwTarget::Tx2PascalGpu,
+            HwTarget::AgxCarmelCpu,
+        ],
+        users,
+        rps,
+        workers,
+        seed: 42,
+        scenario: Some(scenario),
+        reconfigure: true,
+        chaos: chaos_seed.map(|s| FaultConfig {
+            crash_rate: 0.25,
+            transient_rate: 0.15,
+            ..FaultConfig::worker_chaos(s)
+        }),
+        retry: hadas_suite::core::RetryPolicy { max_attempts: 6, ..Default::default() },
+        ..hadas_suite::fleet::FleetConfig::default()
+    };
+    hadas_suite::fleet::FleetEngine::new(planes, config)
+        .expect("reconfigured fleet config validates")
+        .run()
+        .expect("reconfigured fleet run completes")
+}
+
+/// Ships mismatching reconfigured reports as CI repro artifacts.
+fn dump_reconfig_diff(tag: &str, clean: &str, healed: &str) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("results");
+    let _ = std::fs::create_dir_all(&dir);
+    let _ = std::fs::write(dir.join(format!("chaos_reconfig_clean_{tag}.json")), clean);
+    let _ = std::fs::write(dir.join(format!("chaos_reconfig_healed_{tag}.json")), healed);
+}
+
+#[test]
+fn reconfigured_fleet_report_is_byte_identical_at_any_worker_count() {
+    let planes = fleet_fixture();
+    for scenario in scenario_matrix() {
+        let base = reconfig_run(&planes, &scenario, 1, None);
+        assert!(base.report.accounting_balances(), "{scenario}: accounting must balance");
+        assert_eq!(base.report.dead_lettered, 0, "{scenario}: a clean run must not dead-letter");
+        assert!(base.report.reconfig.enabled, "{scenario}: the controller must run");
+        assert!(base.report.reconfig.swaps > 0, "{scenario}: drift must force swaps");
+        assert_eq!(
+            base.report.reconfig.dropped_by_swap, 0,
+            "{scenario}: the zero-drop swap invariant must hold"
+        );
+        let base_json = base.report.to_json().expect("fleet report serializes");
+        for workers in [2usize, 8] {
+            let run = reconfig_run(&planes, &scenario, workers, None);
+            let json = run.report.to_json().expect("fleet report serializes");
+            if json != base_json {
+                dump_reconfig_diff(&format!("{scenario}_{workers}w"), &base_json, &json);
+            }
+            assert_eq!(
+                json, base_json,
+                "{scenario}: fleet worker count {workers} must not leak into the \
+                 reconfigured report (mismatching reports written to results/)"
+            );
+        }
+    }
+}
+
+#[test]
+fn mid_swap_unit_crashes_heal_back_to_the_reconfigured_report() {
+    let planes = fleet_fixture();
+    let mut healed_something = false;
+    for scenario in scenario_matrix() {
+        let clean = reconfig_run(&planes, &scenario, 2, None);
+        assert!(clean.report.reconfig.swaps > 0, "{scenario}: drift must force swaps");
+        let clean_json = clean.report.to_json().expect("report serializes");
+        for seed in seed_matrix() {
+            let healed = reconfig_run(&planes, &scenario, 3, Some(seed));
+            assert_eq!(
+                healed.report.dead_lettered, 0,
+                "{scenario}: the retry budget must heal every swap epoch (seed {seed})"
+            );
+            assert_eq!(
+                healed.report.reconfig.dropped_by_swap, 0,
+                "{scenario}: crashes must not breach the zero-drop invariant (seed {seed})"
+            );
+            assert!(
+                healed.report.accounting_balances(),
+                "{scenario}: accounting must balance (seed {seed})"
+            );
+            let healed_json = healed.report.to_json().expect("report serializes");
+            if healed_json != clean_json {
+                dump_reconfig_diff(&format!("{scenario}_seed{seed}"), &clean_json, &healed_json);
+            }
+            assert_eq!(
+                healed_json, clean_json,
+                "{scenario}: healed mid-swap chaos must be invisible (seed {seed}; \
+                 mismatching reports written to results/)"
+            );
+            healed_something |= healed.telemetry.crashes > 0 || healed.telemetry.retries > 0;
+        }
+    }
+    assert!(healed_something, "some seed must actually crash units mid-epoch");
 }
 
 // ---------------------------------------------------------------------
