@@ -15,7 +15,7 @@ struct SpaceRow {
     cardinality: String,
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let space = SearchSpace::attentive_nas();
     let mut rows = Vec::new();
 
@@ -48,12 +48,9 @@ fn main() {
         .chain(space.stem_widths().iter().copied())
         .chain(space.head_widths().iter().copied())
         .collect();
-    push(
-        &mut rows,
-        "Block width (w)",
-        format!("[{}, {}]", widths.iter().min().unwrap(), widths.iter().max().unwrap()),
-        widths.len().to_string(),
-    );
+    let w_lo = widths.iter().min().ok_or("the width set cannot be empty")?;
+    let w_hi = widths.iter().max().ok_or("the width set cannot be empty")?;
+    push(&mut rows, "Block width (w)", format!("[{w_lo}, {w_hi}]"), widths.len().to_string());
     assert_eq!(widths.len(), 16, "16 distinct widths in [16, 1984]");
     let kernels: std::collections::BTreeSet<usize> =
         space.stages().iter().flat_map(|s| s.kernels.iter().copied()).collect();
@@ -67,8 +64,12 @@ fn main() {
     assert!(space.cardinality() > 2.94e11);
 
     println!("Exit search space (X), conditioned on each backbone b");
-    let min_l: usize = space.stages().iter().map(|s| *s.depths.iter().min().unwrap()).sum();
-    let max_l: usize = space.stages().iter().map(|s| *s.depths.iter().max().unwrap()).sum();
+    let mut min_l = 0usize;
+    let mut max_l = 0usize;
+    for s in space.stages() {
+        min_l += s.depths.iter().copied().min().ok_or("a stage must offer a depth")?;
+        max_l += s.depths.iter().copied().max().ok_or("a stage must offer a depth")?;
+    }
     push(
         &mut rows,
         "Number of exits (nX)",
@@ -121,4 +122,5 @@ fn main() {
     let _ = Hadas::for_target(HwTarget::Tx2PascalGpu); // framework assembles
     bench_env!().write_json("table2_spaces", &rows);
     println!("\nall Table II cardinalities match the paper");
+    Ok(())
 }

@@ -222,6 +222,15 @@ pub enum Command {
         /// operating-point swaps along each device's Pareto front,
         /// zero-drop via validated engine snapshots.
         reconfigure: bool,
+        /// Inject gray telemetry failures (frozen/corrupt/dropped
+        /// health samples, silent slowdowns, flapping) with this seed.
+        gray_faults: Option<u64>,
+        /// Gray-fault kind to inject (see
+        /// [`hadas_runtime::GrayFaultKind`]; `mix` assigns per device).
+        gray_kind: hadas_runtime::GrayFaultKind,
+        /// Run the online gray-failure detector: telemetry sanitation,
+        /// per-device health state machines, quarantine-aware routing.
+        detection: bool,
         /// Optional JSON output path for the full fleet report.
         json: Option<String>,
     },
@@ -624,6 +633,9 @@ impl Command {
                         "chaos",
                         "scenario",
                         "reconfigure",
+                        "gray-faults",
+                        "gray-kind",
+                        "detection",
                         "json",
                     ],
                 )?;
@@ -709,6 +721,29 @@ impl Command {
                     })
                     .transpose()?
                     .unwrap_or(false);
+                let gray_faults = flag(&flags, "gray-faults")
+                    .map(|s| {
+                        s.parse::<u64>()
+                            .map_err(|e| ParseCliError(format!("bad gray-faults seed: {e}")))
+                    })
+                    .transpose()?;
+                let gray_kind = flag(&flags, "gray-kind")
+                    .map(|s| {
+                        hadas_runtime::GrayFaultKind::from_name(s)
+                            .map_err(|e| ParseCliError(format!("bad gray-kind: {e}")))
+                    })
+                    .transpose()?
+                    .unwrap_or(hadas_runtime::GrayFaultKind::Mix);
+                let detection = flag(&flags, "detection")
+                    .map(|s| match s {
+                        "on" => Ok(true),
+                        "off" => Ok(false),
+                        other => Err(ParseCliError(format!(
+                            "bad detection '{other}' (expected on or off)"
+                        ))),
+                    })
+                    .transpose()?
+                    .unwrap_or(false);
                 Ok(Command::Fleet {
                     devices,
                     scale,
@@ -723,6 +758,9 @@ impl Command {
                     chaos,
                     scenario,
                     reconfigure,
+                    gray_faults,
+                    gray_kind,
+                    detection,
                     json: flag(&flags, "json").map(str::to_string),
                 })
             }
@@ -971,7 +1009,8 @@ mod tests {
         let cmd = Command::parse(&argv(
             "fleet --devices agx-gpu:2,tx2-gpu:1 --scale quick --seed 9 --users 5000 \
              --rps 250 --workers 4 --slo-ms 80 --governor latency --energy-weight 0.05 \
-             --faults 3 --chaos 13 --scenario diurnal --reconfigure on --json fleet.json",
+             --faults 3 --chaos 13 --scenario diurnal --reconfigure on \
+             --gray-faults 11 --gray-kind slow --detection on --json fleet.json",
         ))
         .unwrap();
         assert_eq!(
@@ -990,9 +1029,36 @@ mod tests {
                 chaos: Some(13),
                 scenario: Some("diurnal".into()),
                 reconfigure: true,
+                gray_faults: Some(11),
+                gray_kind: hadas_runtime::GrayFaultKind::SilentSlowdown,
+                detection: true,
                 json: Some("fleet.json".into()),
             }
         );
+    }
+
+    #[test]
+    fn fleet_gray_flags_validate() {
+        for (name, kind) in [
+            ("stale", hadas_runtime::GrayFaultKind::Stale),
+            ("corrupt", hadas_runtime::GrayFaultKind::Corrupt),
+            ("drop", hadas_runtime::GrayFaultKind::Drop),
+            ("slow", hadas_runtime::GrayFaultKind::SilentSlowdown),
+            ("flap", hadas_runtime::GrayFaultKind::Flap),
+            ("mix", hadas_runtime::GrayFaultKind::Mix),
+        ] {
+            let cmd = Command::parse(&argv(&format!("fleet --gray-faults 5 --gray-kind {name}")))
+                .unwrap();
+            assert!(matches!(
+                cmd,
+                Command::Fleet { gray_faults: Some(5), gray_kind: k, .. } if k == kind
+            ));
+        }
+        assert!(Command::parse(&argv("fleet --gray-kind sideways")).is_err());
+        assert!(Command::parse(&argv("fleet --gray-faults many")).is_err());
+        assert!(Command::parse(&argv("fleet --detection maybe")).is_err());
+        let on = Command::parse(&argv("fleet --detection on")).unwrap();
+        assert!(matches!(on, Command::Fleet { detection: true, gray_faults: None, .. }));
     }
 
     #[test]
@@ -1026,6 +1092,9 @@ mod tests {
                 chaos: None,
                 scenario: None,
                 reconfigure: false,
+                gray_faults: None,
+                gray_kind: hadas_runtime::GrayFaultKind::Mix,
+                detection: false,
                 json: None,
                 ..
             }

@@ -623,6 +623,9 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
             chaos,
             scenario,
             reconfigure,
+            gray_faults,
+            gray_kind,
+            detection,
             json,
         } => {
             let cfg = scale.config().with_seed(seed);
@@ -636,12 +639,14 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
                 out,
                 "searched {} plane(s) for {} ({} device(s)); serving {users} users \
                  at {rps:.0} rps on {workers} fleet worker(s) \
-                 [scenario {}, reconfigure {}]...",
+                 [scenario {}, reconfigure {}, gray {}, detection {}]...",
                 planes.len(),
                 hadas_fleet::canonical_spec(&devices),
                 devices.len(),
                 scenario.as_ref().map_or("none", hadas_runtime::Scenario::name),
-                if reconfigure { "on" } else { "off" }
+                if reconfigure { "on" } else { "off" },
+                gray_faults.map_or("off".to_string(), |s| format!("{} seed {s}", gray_kind.name())),
+                if detection { "on" } else { "off" }
             )?;
             let fleet_cfg = hadas_fleet::FleetConfig {
                 devices,
@@ -661,6 +666,12 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
                 chaos: chaos.map(FaultConfig::worker_chaos),
                 scenario,
                 reconfigure,
+                gray: gray_faults.map(|s| hadas_runtime::GrayFaultConfig::new(gray_kind, s)),
+                detection: if detection {
+                    hadas_fleet::DetectionConfig::enabled()
+                } else {
+                    hadas_fleet::DetectionConfig::default()
+                },
                 ..hadas_fleet::FleetConfig::default()
             };
             let run = hadas_fleet::FleetEngine::new(&planes, fleet_cfg)?.run()?;
@@ -721,16 +732,35 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), Box<dyn Error>> 
                     rc.final_anchors
                 )?;
             }
+            if report.detection.enabled {
+                let det = &report.detection;
+                writeln!(
+                    out,
+                    "detection: {} dirty epoch(s), {} transition(s), {} device(s) quarantined, \
+                     {} probe dispatch(es), {} re-dispatched ({} dropped) | final states {:?}",
+                    det.dirty_epochs,
+                    det.transitions.len(),
+                    det.quarantined_devices,
+                    det.probe_assignments,
+                    det.redispatched,
+                    det.redispatch_dropped,
+                    det.final_states
+                )?;
+            }
             for h in report.health.iter().filter(|h| !h.healthy) {
                 writeln!(
                     out,
-                    "  device {} ({}, {}): worst tier {} | min cap {:.2} | {} dead-lettered",
+                    "  device {} ({}, {}): worst tier {} | min cap {:.2} | {} dead-lettered \
+                     | {} telemetry defect(s), {} dropped window(s), state {}",
                     h.device,
                     h.target,
                     h.governor,
                     h.worst_tier,
                     h.min_thermal_cap,
-                    h.dead_lettered
+                    h.dead_lettered,
+                    h.telemetry_defects,
+                    h.dropped_windows,
+                    h.state
                 )?;
             }
             if chaos.is_some() {
@@ -1213,6 +1243,9 @@ mod tests {
             chaos,
             scenario: None,
             reconfigure: false,
+            gray_faults: None,
+            gray_kind: hadas_runtime::GrayFaultKind::Mix,
+            detection: false,
             json,
         }
     }
@@ -1265,6 +1298,9 @@ mod tests {
                     chaos: None,
                     scenario: Some("composite".into()),
                     reconfigure: true,
+                    gray_faults: None,
+                    gray_kind: hadas_runtime::GrayFaultKind::Mix,
+                    detection: false,
                     json: None,
                 }
             }
@@ -1294,6 +1330,9 @@ mod tests {
                     chaos: None,
                     scenario: Some("composite".into()),
                     reconfigure: true,
+                    gray_faults: None,
+                    gray_kind: hadas_runtime::GrayFaultKind::Mix,
+                    detection: false,
                     json: None,
                 }
             }

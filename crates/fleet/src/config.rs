@@ -2,10 +2,10 @@
 //! stream, the router's cost weights, and the supervision knobs shared
 //! with the serve plane.
 
-use crate::ReconfigConfig;
+use crate::{DetectionConfig, HealthPolicy, ReconfigConfig};
 use hadas::{HadasError, RetryPolicy};
 use hadas_hw::HwTarget;
-use hadas_runtime::{FaultConfig, Scenario};
+use hadas_runtime::{FaultConfig, GrayFaultConfig, Scenario};
 use hadas_serve::GovernorKind;
 
 /// The per-replica DVFS-governor rotation applied when no governor is
@@ -79,6 +79,19 @@ pub struct FleetConfig {
     /// Controller knobs for the reconfiguration plane (consulted only
     /// with `reconfigure` on).
     pub reconfig: ReconfigConfig,
+    /// Optional gray-failure injection template: the engine stamps each
+    /// unit's copy with its device index, and the cyclic assignment
+    /// ([`GrayFaultConfig::device_is_gray`]) picks which units degrade.
+    /// Telemetry-plane chaos, pure in `(device, window, seed)`.
+    pub gray: Option<GrayFaultConfig>,
+    /// Online gray-failure detection knobs (state machine, evidence
+    /// thresholds, probe quota). Detection runs only when
+    /// `detection.enabled`.
+    pub detection: DetectionConfig,
+    /// The shared device-health verdict policy: drives both post-hoc
+    /// trace condensation ([`crate::DeviceHealthReport`]) and the online
+    /// detector's notion of a healthy trace.
+    pub health: HealthPolicy,
 }
 
 impl Default for FleetConfig {
@@ -104,6 +117,9 @@ impl Default for FleetConfig {
             scenario: None,
             reconfigure: false,
             reconfig: ReconfigConfig::default(),
+            gray: None,
+            detection: DetectionConfig::default(),
+            health: HealthPolicy::default(),
         }
     }
 }
@@ -160,6 +176,11 @@ impl FleetConfig {
         }
         self.retry.validate()?;
         self.reconfig.validate()?;
+        if let Some(g) = &self.gray {
+            g.validate()?;
+        }
+        self.detection.validate()?;
+        self.health.validate()?;
         Ok(())
     }
 
@@ -208,6 +229,11 @@ mod tests {
         assert!(bad(|c| c.chaos = Some(FaultConfig { crash_rate: 2.0, ..FaultConfig::default() })));
         assert!(bad(|c| c.reconfig.epochs = 0));
         assert!(bad(|c| c.reconfig.pressure_threshold = -0.5));
+        assert!(bad(|c| {
+            c.gray = Some(GrayFaultConfig { slowdown_factor: 1.0, ..GrayFaultConfig::default() })
+        }));
+        assert!(bad(|c| c.detection.clean_epochs = 0));
+        assert!(bad(|c| c.health.min_thermal_cap = f64::NAN));
     }
 
     #[test]

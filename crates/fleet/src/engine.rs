@@ -22,15 +22,21 @@
 //! carries over, and a mid-swap unit crash heals exactly like any other
 //! unit crash.
 
+use crate::health::{
+    judge, DetectionSummary, EpochEvidence, HealthMachine, HealthTransition, Verdict,
+};
 use crate::reconfig::{decide_anchor, AnchorDecision, EpochPressure, RECONFIG_WINDOW};
-use crate::router::{route, DeviceEstimate, Router};
+use crate::router::{route, DeviceEstimate, LaneState, Router};
 use crate::{
-    DeviceHealthReport, DeviceSummary, FleetConfig, FleetReport, ReconfigSummary, RouterSummary,
+    DeviceHealthReport, DeviceSummary, FleetConfig, FleetReport, HealthState, ReconfigSummary,
+    RouterSummary,
 };
 use hadas::executor::{run_supervised, ChaosPlan, JobSpec};
 use hadas::{CircuitBreaker, Hadas, HadasConfig, HadasError};
 use hadas_hw::HwTarget;
-use hadas_runtime::{modes_from_pareto, FaultConfig, FaultInjector, Histogram, OperatingMode};
+use hadas_runtime::{
+    modes_from_pareto, FaultConfig, FaultInjector, GrayFaultConfig, Histogram, OperatingMode,
+};
 use hadas_serve::{
     generate_requests, BrownoutConfig, EngineSnapshot, Request, ResilienceTelemetry, ServeConfig,
     ServeEngine, ServeTrace, SessionState, SloSummary,
@@ -246,6 +252,7 @@ impl<'a> FleetEngine<'a> {
                 ..f.clone()
             }),
             chaos: None,
+            gray: self.config.gray.as_ref().map(|g| GrayFaultConfig { device: d, ..g.clone() }),
             hedge_factor: self.config.hedge_factor,
             retry: self.config.retry,
             breaker_threshold: self.config.breaker_threshold,
@@ -282,8 +289,11 @@ impl<'a> FleetEngine<'a> {
     /// configurations, or [`HadasError::Internal`] if a unit breaks the
     /// request-conservation identity or the supervisor breaks protocol.
     pub fn run(&self) -> Result<FleetRun, HadasError> {
-        if self.config.reconfigure {
-            self.run_reconfigured()
+        // Gray injection and online detection both need the epoch
+        // machinery (windowed evidence, per-epoch lanes) even when the
+        // reconfiguration controller itself stays off.
+        if self.config.reconfigure || self.config.gray.is_some() || self.config.detection.enabled {
+            self.run_epochs()
         } else {
             self.run_pinned()
         }
@@ -367,18 +377,22 @@ impl<'a> FleetEngine<'a> {
         }
 
         let reconfig = ReconfigSummary::disabled(self.config.scenario_name());
-        let report = self.fold_report(offered, routing.summary, outcomes, reconfig)?;
+        let detection = DetectionSummary::disabled(n);
+        let report = self.fold_report(offered, routing.summary, outcomes, reconfig, detection)?;
         Ok(FleetRun { report, telemetry })
     }
 
-    /// The live-reconfiguration fleet: epoch-segmented routing and
-    /// serving with zero-drop operating-point swaps at every epoch
-    /// barrier (see `crate::reconfig` for the controller).
-    fn run_reconfigured(&self) -> Result<FleetRun, HadasError> {
+    /// The epoch-segmented fleet: per-epoch routing under live lane
+    /// states, the online gray-failure detector at every barrier
+    /// (see `crate::health`), and — with `FleetConfig::reconfigure`
+    /// on — zero-drop operating-point swaps (see `crate::reconfig`).
+    fn run_epochs(&self) -> Result<FleetRun, HadasError> {
         let duration_s = self.config.duration_s();
         let n = self.config.devices.len();
         let rc = self.config.reconfig.clone();
         let epochs = rc.epochs;
+        let detection = self.config.detection.clone();
+        let detect = detection.enabled;
 
         let requests = generate_requests(&self.gen_config(duration_s), None);
         let offered = requests.len();
@@ -421,20 +435,46 @@ impl<'a> FleetEngine<'a> {
             interactive_served: usize,
             interactive_violations: usize,
             health_len: usize,
+            windows_opened: usize,
+            defects: usize,
+            served: usize,
+            latency_sum_ms: f64,
+        }
+        /// One device's epoch-over-epoch deltas at a barrier: the
+        /// detector's evidence plus the controller's pressure inputs.
+        struct BarrierDelta {
+            evidence: EpochEvidence,
+            interactive_served: usize,
+            interactive_violations: usize,
+            min_thermal_cap: f64,
         }
         let mut marks = vec![Mark::default(); n];
-        let mut summary = ReconfigSummary {
-            enabled: true,
-            scenario: self.config.scenario_name().to_string(),
-            epochs,
-            swaps: 0,
-            swap_rollbacks: 0,
-            dropped_by_swap: 0,
-            escalations: 0,
-            deescalations: 0,
-            final_anchors: Vec::new(),
+        let mut summary = if self.config.reconfigure {
+            ReconfigSummary {
+                enabled: true,
+                scenario: self.config.scenario_name().to_string(),
+                epochs,
+                swaps: 0,
+                swap_rollbacks: 0,
+                dropped_by_swap: 0,
+                escalations: 0,
+                deescalations: 0,
+                final_anchors: Vec::new(),
+            }
+        } else {
+            ReconfigSummary::disabled(self.config.scenario_name())
         };
         let mut telemetry = ResilienceTelemetry::default();
+
+        // Detection state: one machine and one routing lane per device,
+        // plus the re-dispatch carryover of quarantine drains.
+        let mut machines = vec![HealthMachine::default(); n];
+        let mut lanes = vec![LaneState::Open; n];
+        let mut ever_quarantined = vec![false; n];
+        let mut transitions: Vec<HealthTransition> = Vec::new();
+        let mut dirty_epochs = 0usize;
+        let mut redispatched = 0usize;
+        let mut carryover: Vec<Request> = Vec::new();
 
         let epoch_len = duration_s / epochs as f64;
         let mut lo = 0usize;
@@ -448,10 +488,20 @@ impl<'a> FleetEngine<'a> {
             };
 
             // Scheduling pass for this epoch: refreshed estimates, the
-            // persistent router extends its modeled backlogs.
+            // persistent router extends its modeled backlogs. Requests
+            // drained off newly quarantined devices re-enter here,
+            // merged into the slice in (time, id) order.
             let estimates: Vec<DeviceEstimate> =
                 (0..n).map(|d| self.estimate_at(d, anchors[d])).collect();
-            let substreams = router.route_slice(&estimates, &requests[lo..hi]);
+            let slice: Vec<Request> = if carryover.is_empty() {
+                requests[lo..hi].to_vec()
+            } else {
+                let mut merged = std::mem::take(&mut carryover);
+                merged.extend_from_slice(&requests[lo..hi]);
+                merged.sort_by(|a, b| a.time_s.total_cmp(&b.time_s).then(a.id.cmp(&b.id)));
+                merged
+            };
+            let substreams = router.route_slice(&estimates, &lanes, &slice);
             lo = hi;
 
             let jobs: Vec<EpochJob> = substreams
@@ -528,19 +578,113 @@ impl<'a> FleetEngine<'a> {
                 break;
             }
 
-            // Controller pass, single-threaded in device order: read
-            // epoch pressure, decide, and execute swaps through the
-            // validated snapshot seam.
+            // Barrier pass, single-threaded in device order. First the
+            // epoch-over-epoch deltas every barrier consumer shares.
+            let mut deltas: Vec<BarrierDelta> = Vec::with_capacity(n);
+            for d in 0..n {
+                let st = &states[d];
+                let mark = marks[d];
+                // Session state only ever accretes across barriers; a
+                // shrunken health trace means a unit resumed from the
+                // wrong state, which must fail loudly, not clamp.
+                if mark.health_len > st.health.len() {
+                    return Err(HadasError::Internal(format!(
+                        "device {d} health trace shrank across an epoch barrier \
+                         ({} samples marked, {} present)",
+                        mark.health_len,
+                        st.health.len()
+                    )));
+                }
+                let min_thermal_cap = st.health[mark.health_len..]
+                    .iter()
+                    .map(|h| h.thermal_cap)
+                    .fold(1.0f64, f64::min);
+                let served = st.served - mark.served;
+                let windows = st.windows_opened - mark.windows_opened;
+                let emitted = st.health.len() - mark.health_len;
+                deltas.push(BarrierDelta {
+                    evidence: EpochEvidence {
+                        defects: st.telemetry_defects.total() - mark.defects,
+                        gaps: windows.saturating_sub(emitted),
+                        served,
+                        observed_mean_ms: if served > 0 {
+                            (st.latency_sum_ms - mark.latency_sum_ms) / served as f64
+                        } else {
+                            0.0
+                        },
+                        modeled_ms: estimates[d].service_s * 1e3,
+                    },
+                    interactive_served: st.interactive_served - mark.interactive_served,
+                    interactive_violations: st.interactive_violations - mark.interactive_violations,
+                    min_thermal_cap,
+                });
+                marks[d] = Mark {
+                    interactive_served: st.interactive_served,
+                    interactive_violations: st.interactive_violations,
+                    health_len: st.health.len(),
+                    windows_opened: st.windows_opened,
+                    defects: st.telemetry_defects.total(),
+                    served: st.served,
+                    latency_sum_ms: st.latency_sum_ms,
+                };
+            }
+
+            // Detection: judge every device against the fleet-median
+            // divergence, step its state machine, refresh its lane, and
+            // drain newly quarantined units for re-dispatch.
+            if detect {
+                let mut divs: Vec<f64> =
+                    deltas.iter().map(|delta| delta.evidence.divergence()).collect();
+                divs.sort_by(f64::total_cmp);
+                let median_divergence = divs[n / 2];
+                for d in 0..n {
+                    let verdict = judge(&detection, &deltas[d].evidence, median_divergence);
+                    if verdict == Verdict::Dirty {
+                        dirty_epochs += 1;
+                    }
+                    if let Some((from, to)) = machines[d].step(&detection, verdict) {
+                        if to == HealthState::Quarantined {
+                            ever_quarantined[d] = true;
+                            // Quarantine drain: pull the in-flight queue
+                            // off the unit, take the routing decisions
+                            // back, and re-enter the requests into the
+                            // next epoch's slice. Nothing is dropped.
+                            let drained = states[d].drain_for_redispatch();
+                            router.unassign(d, &drained);
+                            redispatched += drained.len();
+                            carryover.extend(drained);
+                        }
+                        transitions.push(HealthTransition {
+                            epoch: e,
+                            device: d,
+                            from: from.name().to_string(),
+                            to: to.name().to_string(),
+                        });
+                    }
+                    let state = machines[d].state();
+                    lanes[d] = if state.accepts_traffic() {
+                        LaneState::Open
+                    } else if state.probe_only() {
+                        LaneState::ProbeOnly
+                    } else {
+                        LaneState::Closed
+                    };
+                }
+            }
+            let quarantined_frac =
+                lanes.iter().filter(|&&l| l == LaneState::Closed).count() as f64 / n as f64;
+
+            // Reconfiguration controller: read each device's pressure
+            // (quarantined capacity included), decide, and execute
+            // swaps through the validated snapshot seam.
+            if !self.config.reconfigure {
+                continue;
+            }
             let t_end = (e as f64 + 1.0) * epoch_len;
             let capacity_factor =
                 self.config.scenario.as_ref().map_or(1.0, |s| s.battery_capacity_factor_at(t_end));
             for d in 0..n {
                 let st = &mut states[d];
-                let mark = marks[d];
-                let min_thermal_cap = st.health[mark.health_len.min(st.health.len())..]
-                    .iter()
-                    .map(|h| h.thermal_cap)
-                    .fold(1.0f64, f64::min);
                 let soc = if rc.battery_j > 0.0 {
                     let capacity = (rc.battery_j * capacity_factor).max(1e-9);
                     (1.0 - (st.energy_j + st.switch_energy_j) / capacity).clamp(0.0, 1.0)
@@ -548,15 +692,11 @@ impl<'a> FleetEngine<'a> {
                     1.0
                 };
                 let pressure = EpochPressure {
-                    interactive_served: st.interactive_served - mark.interactive_served,
-                    interactive_violations: st.interactive_violations - mark.interactive_violations,
-                    min_thermal_cap,
+                    interactive_served: deltas[d].interactive_served,
+                    interactive_violations: deltas[d].interactive_violations,
+                    min_thermal_cap: deltas[d].min_thermal_cap,
                     soc,
-                };
-                marks[d] = Mark {
-                    interactive_served: st.interactive_served,
-                    interactive_violations: st.interactive_violations,
-                    health_len: st.health.len(),
+                    fleet_quarantined: quarantined_frac,
                 };
                 let max_anchor = self.planes[self.plane_ix[d]].max_anchor();
                 let decision = decide_anchor(&rc, &pressure, anchors[d], max_anchor, &mut calm[d]);
@@ -585,17 +725,36 @@ impl<'a> FleetEngine<'a> {
                 st.mode_switches += 1;
                 st.switch_energy_j += device_cfgs[d].sim.switch_energy_j;
                 summary.swaps += 1;
-                match decision {
-                    AnchorDecision::Escalate => summary.escalations += 1,
-                    AnchorDecision::Deescalate => summary.deescalations += 1,
-                    AnchorDecision::Hold => unreachable!("hold decisions continue above"),
+                if decision == AnchorDecision::Escalate {
+                    summary.escalations += 1;
+                } else {
+                    summary.deescalations += 1;
                 }
             }
         }
 
         // Close every session under its final window and fold.
-        summary.final_anchors = anchors.clone();
+        if self.config.reconfigure {
+            summary.final_anchors = anchors.clone();
+        }
         let router_summary = router.into_summary();
+        let det_summary = if detect {
+            DetectionSummary {
+                enabled: true,
+                final_states: machines.iter().map(|m| m.state().name().to_string()).collect(),
+                transitions,
+                dirty_epochs,
+                quarantined_devices: ever_quarantined.iter().filter(|&&q| q).count(),
+                probe_assignments: router_summary.probe_assignments,
+                redispatched,
+                // Carryover always merges into a later epoch's routing
+                // (quarantine fires only at non-final barriers), so this
+                // is structurally zero — the invariant the bench pins.
+                redispatch_dropped: carryover.len(),
+            }
+        } else {
+            DetectionSummary::disabled(n)
+        };
         let mut outcomes = Vec::with_capacity(n);
         for (d, state) in states.into_iter().enumerate() {
             let plane = &self.planes[self.plane_ix[d]];
@@ -607,7 +766,7 @@ impl<'a> FleetEngine<'a> {
                 trace: Box::new(trace),
             });
         }
-        let report = self.fold_report(offered, router_summary, outcomes, summary)?;
+        let report = self.fold_report(offered, router_summary, outcomes, summary, det_summary)?;
         Ok(FleetRun { report, telemetry })
     }
 
@@ -620,6 +779,7 @@ impl<'a> FleetEngine<'a> {
         router_summary: RouterSummary,
         outcomes: Vec<UnitOutcome>,
         reconfig: ReconfigSummary,
+        detection: DetectionSummary,
     ) -> Result<FleetReport, HadasError> {
         let duration_s = self.config.duration_s();
         let n = self.config.devices.len();
@@ -639,6 +799,8 @@ impl<'a> FleetEngine<'a> {
         for (d, outcome) in outcomes.into_iter().enumerate() {
             let target = self.planes[self.plane_ix[d]].target.cli_name();
             let governor = self.config.governor_of(d).name();
+            let state =
+                detection.final_states.get(d).map_or(HealthState::Healthy.name(), String::as_str);
             match outcome {
                 UnitOutcome::Dead { assigned } => {
                     // The unit's whole substream died with it: account
@@ -696,7 +858,14 @@ impl<'a> FleetEngine<'a> {
                         slo_violations: r.slo.violations,
                         p99_ms: r.latency.p99_ms,
                     });
-                    health.push(DeviceHealthReport::from_trace(d, target, governor, &trace));
+                    health.push(DeviceHealthReport::from_trace(
+                        d,
+                        target,
+                        governor,
+                        &trace,
+                        &self.config.health,
+                        state,
+                    ));
                 }
             }
         }
@@ -735,6 +904,7 @@ impl<'a> FleetEngine<'a> {
             },
             scenario: self.config.scenario_name().to_string(),
             reconfig,
+            detection,
             router: router_summary,
             per_device,
             health,

@@ -1,0 +1,563 @@
+//! Online gray-failure detection: the per-device health state machine
+//! and the windowed evidence that drives it.
+//!
+//! Gray failures degrade a device without crashing it — a frozen health
+//! sensor, a glitching thermal reading, a silently slow unit. Crash-stop
+//! supervision (the unit executor) never sees them, and post-hoc health
+//! condensation sees them too late. This module closes the gap with an
+//! *online* judgment at every epoch barrier:
+//!
+//! ```text
+//!             dirty           dirty              dirty
+//!   Healthy ───────▶ Suspect ───────▶ Probation ───────▶ Quarantined
+//!      ▲                │ ▲               │                   │ timer
+//!      │   clean streak │ └── clean streak┘                   ▼
+//!      └────────────────┘      dirty ┌──────────────▶ Recovering
+//!      ▲                             └──────────────────── │
+//!      └────────────── clean streak ───────────────────────┘
+//! ```
+//!
+//! Evidence per epoch: sanitizer defect counts (corrupt/stale/frozen
+//! telemetry), sample-window gaps (dropped telemetry), and
+//! modeled-vs-observed latency divergence (silent slowdowns, judged
+//! against the fleet median so systemic queueing does not convict
+//! everyone). Demotions toward `Healthy` require a *streak* of
+//! [`DetectionConfig::clean_epochs`] consecutive clean epochs —
+//! hysteresis that stops a flapping device from oscillating the machine
+//! — and `Quarantined` holds for [`DetectionConfig::quarantine_epochs`]
+//! before probing resumes. Every step is a pure function of the verdict
+//! sequence, so transitions replay identically at any worker count.
+
+use hadas::HadasError;
+use serde::{Deserialize, Serialize};
+
+/// Health-verdict thresholds shared by the online detector and the
+/// post-hoc [`crate::DeviceHealthReport`] condensation — one policy,
+/// two consumers, so the run's final verdict can never disagree with
+/// the detector's about what "healthy" means.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HealthPolicy {
+    /// Brownout tiers at or above this index mark the unit unhealthy
+    /// (default 2 = `ForceEarlyExit`; tier 0/1 load shedding is normal
+    /// operation).
+    pub max_tier: usize,
+    /// Thermal caps below this mark the unit unhealthy (default 1.0:
+    /// any throttling at all).
+    pub min_thermal_cap: f64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy { max_tier: 2, min_thermal_cap: 1.0 }
+    }
+}
+
+impl HealthPolicy {
+    /// Validates ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadasError::InvalidConfig`] for a cap outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), HadasError> {
+        if !self.min_thermal_cap.is_finite() || !(0.0..=1.0).contains(&self.min_thermal_cap) {
+            return Err(HadasError::InvalidConfig(
+                "health min_thermal_cap must lie in [0, 1]".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The policy's verdict over a condensed trace: tier and cap within
+    /// bounds and nothing dead-lettered.
+    pub fn trace_healthy(&self, worst_tier: usize, min_cap: f64, dead_lettered: usize) -> bool {
+        worst_tier < self.max_tier && min_cap >= self.min_thermal_cap && dead_lettered == 0
+    }
+}
+
+/// Knobs of the online gray-failure detector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectionConfig {
+    /// Whether the detector runs at epoch barriers.
+    pub enabled: bool,
+    /// Sanitizer defects in one epoch at or above this count make the
+    /// epoch dirty (≥ 1).
+    pub defect_threshold: usize,
+    /// Dropped sample windows in one epoch at or above this count make
+    /// the epoch dirty (≥ 1).
+    pub gap_threshold: usize,
+    /// Observed/modeled latency ratio beyond `divergence_factor ×` the
+    /// fleet-median ratio makes the epoch dirty (> 1) — the silent-
+    /// slowdown signal.
+    pub divergence_factor: f64,
+    /// Minimum requests served in the epoch before latency divergence
+    /// counts as evidence (≥ 1; starved epochs are no-evidence).
+    pub min_served: usize,
+    /// Consecutive clean epochs required for any demotion toward
+    /// `Healthy` (≥ 1; ≥ 2 gives flap immunity).
+    pub clean_epochs: usize,
+    /// Epochs a device stays `Quarantined` before probing resumes (≥ 1).
+    pub quarantine_epochs: usize,
+    /// Probe dispatches allowed per epoch while a device is in
+    /// `Probation`/`Recovering` (≥ 1).
+    pub probe_quota: usize,
+}
+
+impl Default for DetectionConfig {
+    fn default() -> Self {
+        DetectionConfig {
+            enabled: false,
+            defect_threshold: 1,
+            gap_threshold: 1,
+            divergence_factor: 2.5,
+            min_served: 4,
+            clean_epochs: 2,
+            quarantine_epochs: 2,
+            probe_quota: 8,
+        }
+    }
+}
+
+impl DetectionConfig {
+    /// The default detector, switched on.
+    pub fn enabled() -> Self {
+        DetectionConfig { enabled: true, ..Default::default() }
+    }
+
+    /// Validates ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadasError::InvalidConfig`] for zero thresholds/streaks
+    /// or a divergence factor ≤ 1.
+    pub fn validate(&self) -> Result<(), HadasError> {
+        if self.defect_threshold == 0 || self.gap_threshold == 0 {
+            return Err(HadasError::InvalidConfig(
+                "detection defect/gap thresholds must be ≥ 1".into(),
+            ));
+        }
+        if !self.divergence_factor.is_finite() || self.divergence_factor <= 1.0 {
+            return Err(HadasError::InvalidConfig(
+                "detection divergence_factor must be > 1".into(),
+            ));
+        }
+        if self.min_served == 0 || self.clean_epochs == 0 || self.quarantine_epochs == 0 {
+            return Err(HadasError::InvalidConfig(
+                "detection min_served, clean_epochs, quarantine_epochs must be ≥ 1".into(),
+            ));
+        }
+        if self.probe_quota == 0 {
+            return Err(HadasError::InvalidConfig("detection probe_quota must be ≥ 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// The per-device detector state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthState {
+    /// Full traffic; no recent evidence against the device.
+    Healthy,
+    /// First dirty epoch seen; full traffic, one more convicts.
+    Suspect,
+    /// Probe-only trickle; a dirty epoch quarantines.
+    Probation,
+    /// No dispatches at all; in-flight work was re-dispatched.
+    Quarantined,
+    /// Probe-only trickle after the quarantine timer; a clean streak
+    /// returns the device to service, a dirty epoch re-quarantines.
+    Recovering,
+}
+
+impl HealthState {
+    /// The serialized spelling of the state.
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Suspect => "suspect",
+            HealthState::Probation => "probation",
+            HealthState::Quarantined => "quarantined",
+            HealthState::Recovering => "recovering",
+        }
+    }
+
+    /// Whether the router may send normal (non-probe) traffic.
+    pub fn accepts_traffic(self) -> bool {
+        matches!(self, HealthState::Healthy | HealthState::Suspect)
+    }
+
+    /// Whether the router sends only probe trickle.
+    pub fn probe_only(self) -> bool {
+        matches!(self, HealthState::Probation | HealthState::Recovering)
+    }
+}
+
+/// One epoch's verdict over one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Evidence present, nothing incriminating: grows the clean streak.
+    Clean,
+    /// Incriminating evidence: escalates (and resets the streak).
+    Dirty,
+    /// Not enough signal to judge either way (quarantined device, or a
+    /// starved epoch): neither grows nor resets the streak.
+    NoEvidence,
+}
+
+/// The windowed evidence one device exposes at an epoch barrier — all
+/// deltas over the epoch just served.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EpochEvidence {
+    /// Sanitizer defects tagged this epoch.
+    pub defects: usize,
+    /// Sample windows opened but never emitted this epoch.
+    pub gaps: usize,
+    /// Requests served this epoch.
+    pub served: usize,
+    /// Mean observed completion latency this epoch (ms).
+    pub observed_mean_ms: f64,
+    /// Modeled per-request latency under the device's current mode (ms).
+    pub modeled_ms: f64,
+}
+
+impl EpochEvidence {
+    /// Observed/modeled latency ratio (1.0 when either side is missing —
+    /// no divergence claim without both numbers).
+    pub fn divergence(&self) -> f64 {
+        if self.modeled_ms > 0.0 && self.observed_mean_ms > 0.0 {
+            self.observed_mean_ms / self.modeled_ms
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The pure epoch judgment: defect counts and sample gaps convict
+/// directly; latency divergence convicts only relative to the fleet
+/// median (`divergence > factor × max(1, median)`), so a fleet-wide
+/// queueing wave does not convict every device at once. An epoch that
+/// served fewer than `min_served` requests and tagged nothing yields
+/// [`Verdict::NoEvidence`].
+pub fn judge(
+    config: &DetectionConfig,
+    evidence: &EpochEvidence,
+    fleet_median_divergence: f64,
+) -> Verdict {
+    if evidence.defects >= config.defect_threshold || evidence.gaps >= config.gap_threshold {
+        return Verdict::Dirty;
+    }
+    if evidence.served >= config.min_served {
+        let bar = config.divergence_factor * fleet_median_divergence.max(1.0);
+        if evidence.divergence() > bar {
+            return Verdict::Dirty;
+        }
+        return Verdict::Clean;
+    }
+    Verdict::NoEvidence
+}
+
+/// The per-device health state machine. Stepped once per epoch barrier
+/// with that epoch's [`Verdict`]; pure in the verdict sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthMachine {
+    state: HealthState,
+    clean_streak: usize,
+    quarantined_for: usize,
+}
+
+impl Default for HealthMachine {
+    fn default() -> Self {
+        HealthMachine { state: HealthState::Healthy, clean_streak: 0, quarantined_for: 0 }
+    }
+}
+
+impl HealthMachine {
+    /// The current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Steps the machine with one epoch verdict, returning
+    /// `Some((from, to))` when the state changed.
+    pub fn step(
+        &mut self,
+        config: &DetectionConfig,
+        verdict: Verdict,
+    ) -> Option<(HealthState, HealthState)> {
+        let from = self.state;
+        match verdict {
+            Verdict::Dirty => self.clean_streak = 0,
+            Verdict::Clean => self.clean_streak += 1,
+            Verdict::NoEvidence => {}
+        }
+        let to = match (from, verdict) {
+            // The quarantine timer ticks regardless of verdict — no
+            // traffic flows, so verdicts carry no new evidence anyway.
+            (HealthState::Quarantined, _) => {
+                self.quarantined_for += 1;
+                if self.quarantined_for >= config.quarantine_epochs {
+                    self.quarantined_for = 0;
+                    self.clean_streak = 0;
+                    HealthState::Recovering
+                } else {
+                    HealthState::Quarantined
+                }
+            }
+            (state, Verdict::Dirty) => match state {
+                HealthState::Healthy => HealthState::Suspect,
+                HealthState::Suspect => HealthState::Probation,
+                HealthState::Probation | HealthState::Recovering => HealthState::Quarantined,
+                HealthState::Quarantined => HealthState::Quarantined,
+            },
+            (state, Verdict::Clean) if self.clean_streak >= config.clean_epochs => {
+                self.clean_streak = 0;
+                match state {
+                    HealthState::Healthy => HealthState::Healthy,
+                    HealthState::Suspect | HealthState::Recovering => HealthState::Healthy,
+                    HealthState::Probation => HealthState::Suspect,
+                    HealthState::Quarantined => HealthState::Quarantined,
+                }
+            }
+            (state, _) => state,
+        };
+        self.state = to;
+        (from != to).then_some((from, to))
+    }
+}
+
+/// One recorded state transition, serialized in the fleet report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthTransition {
+    /// Epoch barrier at which the transition fired (0-based).
+    pub epoch: usize,
+    /// Device index.
+    pub device: usize,
+    /// State left.
+    pub from: String,
+    /// State entered.
+    pub to: String,
+}
+
+/// Serialized gray-failure-detection accounting inside the fleet
+/// report. All scheduling-plane quantities folded in device order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectionSummary {
+    /// Whether the detector ran.
+    pub enabled: bool,
+    /// Final per-device states, in device order.
+    pub final_states: Vec<String>,
+    /// Every state transition, in `(epoch, device)` order.
+    pub transitions: Vec<HealthTransition>,
+    /// Dirty epoch verdicts across all devices.
+    pub dirty_epochs: usize,
+    /// Devices that were quarantined at least once.
+    pub quarantined_devices: usize,
+    /// Probe dispatches routed to `Probation`/`Recovering` devices.
+    pub probe_assignments: usize,
+    /// In-flight requests pulled off newly quarantined devices and
+    /// re-routed.
+    pub redispatched: usize,
+    /// Re-dispatched requests that were lost — structurally zero; the
+    /// quarantine analogue of the zero-drop swap invariant.
+    pub redispatch_dropped: usize,
+}
+
+impl DetectionSummary {
+    /// The summary of a run without the detector over `devices` units.
+    pub fn disabled(devices: usize) -> Self {
+        DetectionSummary {
+            enabled: false,
+            final_states: vec![HealthState::Healthy.name().to_string(); devices],
+            transitions: Vec::new(),
+            dirty_epochs: 0,
+            quarantined_devices: 0,
+            probe_assignments: 0,
+            redispatched: 0,
+            redispatch_dropped: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DetectionConfig {
+        DetectionConfig::enabled()
+    }
+
+    #[test]
+    fn default_configs_validate_and_degenerates_are_rejected() {
+        assert!(DetectionConfig::default().validate().is_ok());
+        assert!(DetectionConfig::enabled().enabled);
+        assert!(HealthPolicy::default().validate().is_ok());
+        let bad = |f: fn(&mut DetectionConfig)| {
+            let mut c = DetectionConfig::default();
+            f(&mut c);
+            c.validate().is_err()
+        };
+        assert!(bad(|c| c.defect_threshold = 0));
+        assert!(bad(|c| c.gap_threshold = 0));
+        assert!(bad(|c| c.divergence_factor = 1.0));
+        assert!(bad(|c| c.min_served = 0));
+        assert!(bad(|c| c.clean_epochs = 0));
+        assert!(bad(|c| c.quarantine_epochs = 0));
+        assert!(bad(|c| c.probe_quota = 0));
+        assert!(HealthPolicy { min_thermal_cap: 1.5, ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn policy_verdict_matches_the_legacy_hard_coded_thresholds() {
+        let p = HealthPolicy::default();
+        assert!(p.trace_healthy(1, 1.0, 0));
+        assert!(!p.trace_healthy(2, 1.0, 0), "tier ≥ 2 is unhealthy");
+        assert!(!p.trace_healthy(0, 0.9, 0), "any throttling is unhealthy");
+        assert!(!p.trace_healthy(0, 1.0, 5), "dead letters are unhealthy");
+        let lax = HealthPolicy { max_tier: 3, min_thermal_cap: 0.5 };
+        assert!(lax.trace_healthy(2, 0.6, 0), "a laxer policy relabels the same trace");
+    }
+
+    #[test]
+    fn judge_convicts_on_defects_gaps_and_relative_divergence() {
+        let c = cfg();
+        let clean = EpochEvidence {
+            served: 50,
+            observed_mean_ms: 30.0,
+            modeled_ms: 25.0,
+            ..Default::default()
+        };
+        assert_eq!(judge(&c, &clean, 1.0), Verdict::Clean);
+        let defective = EpochEvidence { defects: 1, ..clean };
+        assert_eq!(judge(&c, &defective, 1.0), Verdict::Dirty);
+        let gappy = EpochEvidence { gaps: 1, ..clean };
+        assert_eq!(judge(&c, &gappy, 1.0), Verdict::Dirty);
+        let slow = EpochEvidence { observed_mean_ms: 200.0, ..clean };
+        assert_eq!(judge(&c, &slow, 1.0), Verdict::Dirty, "8× divergence vs median 1 convicts");
+        assert_eq!(
+            judge(&c, &slow, 7.0),
+            Verdict::Clean,
+            "the same ratio is clean when the whole fleet runs at 7× — systemic queueing"
+        );
+        let starved = EpochEvidence { served: 2, ..clean };
+        assert_eq!(judge(&c, &starved, 1.0), Verdict::NoEvidence);
+    }
+
+    #[test]
+    fn machine_escalates_through_the_ladder_and_demotes_on_streaks() {
+        let c = cfg();
+        let mut m = HealthMachine::default();
+        assert_eq!(m.state(), HealthState::Healthy);
+        assert_eq!(m.step(&c, Verdict::Dirty), Some((HealthState::Healthy, HealthState::Suspect)));
+        assert_eq!(
+            m.step(&c, Verdict::Dirty),
+            Some((HealthState::Suspect, HealthState::Probation))
+        );
+        assert_eq!(
+            m.step(&c, Verdict::Dirty),
+            Some((HealthState::Probation, HealthState::Quarantined))
+        );
+        // The quarantine timer: quarantine_epochs = 2 barriers pass.
+        assert_eq!(m.step(&c, Verdict::NoEvidence), None);
+        assert_eq!(
+            m.step(&c, Verdict::NoEvidence),
+            Some((HealthState::Quarantined, HealthState::Recovering))
+        );
+        // Two clean probe epochs heal; one is not enough.
+        assert_eq!(m.step(&c, Verdict::Clean), None);
+        assert_eq!(
+            m.step(&c, Verdict::Clean),
+            Some((HealthState::Recovering, HealthState::Healthy))
+        );
+    }
+
+    #[test]
+    fn flapping_verdicts_cannot_oscillate_the_machine() {
+        let c = cfg();
+        let mut m = HealthMachine::default();
+        let mut states = vec![m.state()];
+        for i in 0..12 {
+            let v = if i % 2 == 0 { Verdict::Dirty } else { Verdict::Clean };
+            m.step(&c, v);
+            states.push(m.state());
+        }
+        // Monotone escalation Healthy → … → Quarantined, then the timer
+        // cycle — never a demotion, because the clean streak never
+        // reaches clean_epochs = 2 under alternation.
+        assert!(
+            !states.windows(2).any(|w| demotes(w[0], w[1])),
+            "alternating verdicts must never demote: {states:?}"
+        );
+        assert!(states.contains(&HealthState::Quarantined));
+    }
+
+    fn rank(s: HealthState) -> usize {
+        match s {
+            HealthState::Healthy => 0,
+            HealthState::Suspect => 1,
+            HealthState::Probation => 2,
+            HealthState::Recovering => 3,
+            HealthState::Quarantined => 4,
+        }
+    }
+
+    fn demotes(from: HealthState, to: HealthState) -> bool {
+        // Quarantined → Recovering is the timer, not a demotion verdict.
+        rank(to) < rank(from)
+            && !(from == HealthState::Quarantined && to == HealthState::Recovering)
+    }
+
+    #[test]
+    fn recovering_relapse_goes_straight_back_to_quarantine() {
+        let c = cfg();
+        let mut m = HealthMachine::default();
+        for v in [Verdict::Dirty, Verdict::Dirty, Verdict::Dirty] {
+            m.step(&c, v);
+        }
+        m.step(&c, Verdict::NoEvidence);
+        m.step(&c, Verdict::NoEvidence);
+        assert_eq!(m.state(), HealthState::Recovering);
+        assert_eq!(
+            m.step(&c, Verdict::Dirty),
+            Some((HealthState::Recovering, HealthState::Quarantined))
+        );
+    }
+
+    #[test]
+    fn no_evidence_freezes_the_streak() {
+        let c = cfg();
+        let mut m = HealthMachine::default();
+        m.step(&c, Verdict::Dirty); // Suspect
+        m.step(&c, Verdict::Clean); // streak 1
+        m.step(&c, Verdict::NoEvidence); // streak stays 1
+        assert_eq!(m.state(), HealthState::Suspect);
+        m.step(&c, Verdict::Clean); // streak 2 ⇒ heal
+        assert_eq!(m.state(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn state_names_and_routing_classes_are_consistent() {
+        for (state, name) in [
+            (HealthState::Healthy, "healthy"),
+            (HealthState::Suspect, "suspect"),
+            (HealthState::Probation, "probation"),
+            (HealthState::Quarantined, "quarantined"),
+            (HealthState::Recovering, "recovering"),
+        ] {
+            assert_eq!(state.name(), name);
+            assert!(
+                !(state.accepts_traffic() && state.probe_only()),
+                "{name} cannot be both open and probe-only"
+            );
+        }
+        assert!(!HealthState::Quarantined.accepts_traffic());
+        assert!(!HealthState::Quarantined.probe_only());
+    }
+
+    #[test]
+    fn disabled_summary_reports_every_device_healthy() {
+        let s = DetectionSummary::disabled(3);
+        assert!(!s.enabled);
+        assert_eq!(s.final_states.len(), 3);
+        assert!(s.transitions.is_empty());
+        assert_eq!(s.redispatch_dropped, 0);
+    }
+}

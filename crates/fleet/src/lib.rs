@@ -42,6 +42,7 @@
 
 mod config;
 mod engine;
+mod health;
 mod reconfig;
 mod report;
 mod router;
@@ -50,10 +51,14 @@ mod unit;
 
 pub use config::{FleetConfig, GOVERNOR_ROTATION};
 pub use engine::{build_planes, DevicePlane, FleetEngine, FleetRun};
+pub use health::{
+    judge, DetectionConfig, DetectionSummary, EpochEvidence, HealthMachine, HealthPolicy,
+    HealthState, HealthTransition, Verdict,
+};
 pub use reconfig::{
     decide_anchor, AnchorDecision, EpochPressure, ReconfigConfig, ReconfigSummary, RECONFIG_WINDOW,
 };
 pub use report::{FleetReport, FLEET_REPORT_SCHEMA};
-pub use router::{DeviceEstimate, RouterSummary};
+pub use router::{DeviceEstimate, LaneState, RouterSummary};
 pub use spec::{canonical_spec, parse_device_spec};
 pub use unit::{DeviceHealthReport, DeviceSummary};

@@ -59,6 +59,10 @@ pub struct ReconfigConfig {
     /// model). Drift scenarios with battery decay shrink the effective
     /// capacity over the horizon.
     pub battery_j: f64,
+    /// Fraction of the fleet under quarantine above which the surviving
+    /// devices escalate (`[0, 1]`): lost capacity is pressure on
+    /// everyone left serving.
+    pub quarantine_pressure: f64,
 }
 
 impl Default for ReconfigConfig {
@@ -69,6 +73,7 @@ impl Default for ReconfigConfig {
             pressure_threshold: 0.05,
             soc_low: 0.25,
             battery_j: 0.0,
+            quarantine_pressure: 0.2,
         }
     }
 }
@@ -96,6 +101,10 @@ impl ReconfigConfig {
         if !self.battery_j.is_finite() || self.battery_j < 0.0 {
             return Err(HadasError::InvalidConfig("battery_j must be ≥ 0".into()));
         }
+        if !self.quarantine_pressure.is_finite() || !(0.0..=1.0).contains(&self.quarantine_pressure)
+        {
+            return Err(HadasError::InvalidConfig("quarantine_pressure must lie in [0, 1]".into()));
+        }
         Ok(())
     }
 }
@@ -114,6 +123,10 @@ pub struct EpochPressure {
     /// Battery state of charge at the epoch barrier (`1.0` when the
     /// battery model is off).
     pub soc: f64,
+    /// Fraction of the fleet quarantined by the gray-failure detector
+    /// at this barrier (`0.0` with detection off) — shared across every
+    /// device's pressure, so lost capacity pushes the survivors.
+    pub fleet_quarantined: f64,
 }
 
 impl EpochPressure {
@@ -148,7 +161,8 @@ pub fn decide_anchor(
 ) -> AnchorDecision {
     let stressed = pressure.slo_pressure() > config.pressure_threshold
         || pressure.min_thermal_cap < 1.0
-        || pressure.soc < config.soc_low;
+        || pressure.soc < config.soc_low
+        || pressure.fleet_quarantined > config.quarantine_pressure;
     if stressed {
         *calm = 0;
         if anchor < max_anchor {
@@ -217,6 +231,7 @@ mod tests {
             interactive_violations: 0,
             min_thermal_cap: 1.0,
             soc: 1.0,
+            fleet_quarantined: 0.0,
         }
     }
 
@@ -233,6 +248,8 @@ mod tests {
         assert!(bad(|c| c.pressure_threshold = 1.5));
         assert!(bad(|c| c.soc_low = 1.0));
         assert!(bad(|c| c.battery_j = -1.0));
+        assert!(bad(|c| c.quarantine_pressure = -0.1));
+        assert!(bad(|c| c.quarantine_pressure = 1.5));
     }
 
     #[test]
@@ -263,6 +280,9 @@ mod tests {
         assert_eq!(calm, 0, "pressure resets the calm streak");
         let drained = EpochPressure { soc: 0.1, ..calm_pressure() };
         assert_eq!(decide_anchor(&cfg, &drained, 1, 4, &mut calm), AnchorDecision::Escalate);
+        // A quarantined quarter of the fleet pressures the survivors.
+        let depleted = EpochPressure { fleet_quarantined: 0.25, ..calm_pressure() };
+        assert_eq!(decide_anchor(&cfg, &depleted, 1, 4, &mut calm), AnchorDecision::Escalate);
         // An anchored-at-zero calm device never de-escalates below 0.
         let mut calm0 = 5usize;
         assert_eq!(decide_anchor(&cfg, &calm_pressure(), 0, 4, &mut calm0), AnchorDecision::Hold);

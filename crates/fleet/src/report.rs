@@ -1,6 +1,6 @@
 //! The serialized outcome of one fleet run.
 
-use crate::{DeviceHealthReport, DeviceSummary, ReconfigSummary, RouterSummary};
+use crate::{DetectionSummary, DeviceHealthReport, DeviceSummary, ReconfigSummary, RouterSummary};
 use hadas::HadasError;
 use hadas_runtime::LatencySummary;
 use hadas_serve::{accounting_balances, fingerprint64, zero_fingerprint_field, SloSummary};
@@ -9,7 +9,9 @@ use serde::{Deserialize, Serialize};
 /// Schema tag stamped into every serialized [`FleetReport`]. Bump on
 /// any report shape change; [`FleetReport::from_json`] refuses other
 /// versions, mirroring `SearchCheckpoint`'s gated restore.
-pub const FLEET_REPORT_SCHEMA: u32 = 1;
+/// v2: gray-failure detection summary, per-unit telemetry integrity and
+/// detector states, probe-assignment routing counter.
+pub const FLEET_REPORT_SCHEMA: u32 = 2;
 
 /// Aggregate outcome of one fleet run, folded from the per-device
 /// traces in device-index order.
@@ -85,6 +87,10 @@ pub struct FleetReport {
     /// counter, and final anchors ([`ReconfigSummary::disabled`] for a
     /// pinned-mode fleet).
     pub reconfig: ReconfigSummary,
+    /// Gray-failure-detection accounting: per-device final states,
+    /// transitions, quarantine re-dispatch counters
+    /// ([`DetectionSummary::disabled`] when the detector is off).
+    pub detection: DetectionSummary,
     /// Router accounting: the per-device decision histogram and
     /// per-class admission counters.
     pub router: RouterSummary,

@@ -16,6 +16,7 @@
 //! fleet report. Both are scheduling-plane quantities, byte-identical
 //! across fleet worker counts and recovered unit crashes.
 
+use crate::{HealthPolicy, HealthState};
 use hadas_serve::ServeTrace;
 use serde::{Deserialize, Serialize};
 
@@ -43,18 +44,34 @@ pub struct DeviceHealthReport {
     /// Requests lost by the unit (assigned requests of a dead-lettered
     /// unit; zero whenever supervision heals).
     pub dead_lettered: usize,
-    /// The supervisor's verdict: no forced-early-exit/reject tier, no
-    /// thermal throttling, and nothing dead-lettered.
+    /// Telemetry defects the sanitizer tagged on this unit's health
+    /// channel (corrupt readings, stale/frozen replays).
+    pub telemetry_defects: usize,
+    /// Sample windows the unit opened but never emitted (dropped
+    /// telemetry).
+    pub dropped_windows: usize,
+    /// The gray-failure detector's final state for this unit
+    /// (`"healthy"` when detection was off).
+    pub state: String,
+    /// The post-hoc verdict under the fleet's [`HealthPolicy`]: tier and
+    /// thermal cap within policy bounds and nothing dead-lettered.
     pub healthy: bool,
 }
 
+fn default_state() -> String {
+    HealthState::Healthy.name().to_string()
+}
+
 impl DeviceHealthReport {
-    /// Condenses a unit's serve trace into its health report.
+    /// Condenses a unit's serve trace into its health report under the
+    /// fleet's shared verdict policy.
     pub(crate) fn from_trace(
         device: usize,
         target: &str,
         governor: &str,
         trace: &ServeTrace,
+        policy: &HealthPolicy,
+        state: &str,
     ) -> Self {
         let mut max_depth = 0usize;
         let mut worst_tier = 0usize;
@@ -76,7 +93,10 @@ impl DeviceHealthReport {
             throttled_windows: trace.report.throttled_windows,
             sag_energy_j: trace.report.sag_energy_j,
             dead_lettered: dead,
-            healthy: worst_tier < 2 && min_cap >= 1.0 && dead == 0,
+            telemetry_defects: trace.report.telemetry.defects.total(),
+            dropped_windows: trace.report.telemetry.dropped_windows,
+            state: state.to_string(),
+            healthy: policy.trace_healthy(worst_tier, min_cap, dead),
         }
     }
 
@@ -94,6 +114,9 @@ impl DeviceHealthReport {
             throttled_windows: 0,
             sag_energy_j: 0.0,
             dead_lettered: assigned,
+            telemetry_defects: 0,
+            dropped_windows: 0,
+            state: default_state(),
             healthy: false,
         }
     }
@@ -141,5 +164,7 @@ mod tests {
         assert_eq!(r.dead_lettered, 120);
         assert_eq!(r.windows, 0);
         assert_eq!(r.device, 3);
+        assert_eq!(r.state, "healthy", "detection state defaults to healthy");
+        assert_eq!(r.telemetry_defects + r.dropped_windows, 0);
     }
 }

@@ -1,0 +1,161 @@
+//! Property-based tests for the gray-failure health plane — the
+//! per-device state machine demotes only through real hysteresis (never
+//! on thin evidence, never within a `clean_epochs` window of a dirty
+//! verdict), escalation takes repeated independent convictions, and the
+//! epoch judge convicts exactly on its documented thresholds.
+
+use hadas_fleet::{judge, DetectionConfig, EpochEvidence, HealthMachine, HealthState, Verdict};
+use proptest::prelude::*;
+
+/// Monotone severity rank of a detector state.
+fn severity(s: HealthState) -> usize {
+    match s {
+        HealthState::Healthy => 0,
+        HealthState::Suspect => 1,
+        HealthState::Probation => 2,
+        HealthState::Recovering => 3,
+        HealthState::Quarantined => 4,
+    }
+}
+
+fn verdicts(max_len: usize) -> impl Strategy<Value = Vec<Verdict>> {
+    proptest::collection::vec(
+        prop_oneof![Just(Verdict::Dirty), Just(Verdict::Clean), Just(Verdict::NoEvidence)],
+        1..max_len,
+    )
+}
+
+fn config_strategy() -> impl Strategy<Value = DetectionConfig> {
+    (1usize..4, 1usize..4).prop_map(|(clean_epochs, quarantine_epochs)| DetectionConfig {
+        clean_epochs,
+        quarantine_epochs,
+        ..DetectionConfig::enabled()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Hysteresis, no flapping: for ANY verdict sequence, the machine
+    /// never demotes toward Healthy unless at least `clean_epochs` clean
+    /// verdicts landed since the last dirty one — the only exception is
+    /// the quarantine timer releasing into Recovering, which is what
+    /// probation is for. A dirty verdict itself never demotes.
+    #[test]
+    fn demotion_requires_a_full_clean_streak(
+        config in config_strategy(),
+        seq in verdicts(48),
+    ) {
+        let mut m = HealthMachine::default();
+        let mut cleans_since_dirty = 0usize;
+        for &v in &seq {
+            match v {
+                Verdict::Dirty => cleans_since_dirty = 0,
+                Verdict::Clean => cleans_since_dirty += 1,
+                Verdict::NoEvidence => {}
+            }
+            let before = m.state();
+            let transition = m.step(&config, v);
+            if let Some((from, to)) = transition {
+                prop_assert_eq!(from, before);
+                prop_assert_eq!(to, m.state());
+                let timer_release =
+                    from == HealthState::Quarantined && to == HealthState::Recovering;
+                if severity(to) < severity(from) && !timer_release {
+                    prop_assert!(v == Verdict::Clean, "only a clean verdict demotes");
+                    prop_assert!(
+                        cleans_since_dirty >= config.clean_epochs,
+                        "demoted {from:?} -> {to:?} after only {cleans_since_dirty} clean \
+                         verdict(s) since the last dirty one (need {})",
+                        config.clean_epochs
+                    );
+                }
+                if v == Verdict::Dirty {
+                    prop_assert!(
+                        severity(to) >= severity(from) || timer_release,
+                        "a dirty verdict demoted {from:?} -> {to:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Escalation takes repeated convictions: Quarantined is at least
+    /// three dirty verdicts away from Healthy, and a no-evidence epoch
+    /// never moves the machine at all (outside the quarantine timer).
+    #[test]
+    fn quarantine_needs_three_convictions_and_silence_holds_state(
+        config in config_strategy(),
+        seq in verdicts(48),
+    ) {
+        let mut m = HealthMachine::default();
+        let mut dirty_seen = 0usize;
+        for &v in &seq {
+            let before = m.state();
+            m.step(&config, v);
+            if v == Verdict::Dirty {
+                dirty_seen += 1;
+            }
+            if m.state() == HealthState::Quarantined {
+                prop_assert!(
+                    dirty_seen >= 3,
+                    "quarantined after only {dirty_seen} dirty verdict(s)"
+                );
+            }
+            if v == Verdict::NoEvidence && before != HealthState::Quarantined {
+                prop_assert!(m.state() == before, "a no-evidence epoch must hold the state");
+            }
+        }
+    }
+
+    /// The machine is pure in its verdict sequence: replaying the same
+    /// sequence yields the same state at every step.
+    #[test]
+    fn stepping_is_pure_in_the_verdict_sequence(
+        config in config_strategy(),
+        seq in verdicts(32),
+    ) {
+        let mut a = HealthMachine::default();
+        let mut b = HealthMachine::default();
+        for &v in &seq {
+            let ta = a.step(&config, v);
+            let tb = b.step(&config, v);
+            prop_assert_eq!(ta, tb);
+            prop_assert_eq!(a.state(), b.state());
+        }
+    }
+
+    /// The epoch judge convicts exactly on its documented thresholds:
+    /// defect or gap counts at threshold convict outright; otherwise a
+    /// thin epoch (served below `min_served`) yields no evidence, and a
+    /// full epoch convicts iff the latency divergence clears the
+    /// median-relative bar.
+    #[test]
+    fn judge_matches_its_documented_thresholds(
+        defects in 0usize..4,
+        gaps in 0usize..4,
+        served in 0usize..32,
+        observed in 0.1f64..400.0,
+        modeled in 0.1f64..100.0,
+        median in 0.0f64..8.0,
+    ) {
+        let config = DetectionConfig::enabled();
+        let evidence = EpochEvidence {
+            defects,
+            gaps,
+            served,
+            observed_mean_ms: observed,
+            modeled_ms: modeled,
+        };
+        let verdict = judge(&config, &evidence, median);
+        if defects >= config.defect_threshold || gaps >= config.gap_threshold {
+            prop_assert_eq!(verdict, Verdict::Dirty);
+        } else if served < config.min_served {
+            prop_assert_eq!(verdict, Verdict::NoEvidence);
+        } else {
+            let bar = config.divergence_factor * median.max(1.0);
+            let diverged = observed / modeled > bar;
+            prop_assert_eq!(verdict, if diverged { Verdict::Dirty } else { Verdict::Clean });
+        }
+    }
+}

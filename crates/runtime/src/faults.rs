@@ -35,6 +35,7 @@ const BURST_SALT: u64 = 0x4255_5253_545f_5f5f; // "BURST___"
 const EVAL_SALT: u64 = 0x4556_414c_5f5f_5f5f; // "EVAL____"
 const CRASH_SALT: u64 = 0x4352_4153_485f_5f5f; // "CRASH___"
 const SWAP_SALT: u64 = 0x5357_4150_5f5f_5f5f; // "SWAP____"
+const GRAY_SALT: u64 = 0x4752_4159_5f5f_5f5f; // "GRAY____"
 
 /// One contiguous fault episode on the simulated timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -335,6 +336,234 @@ impl FaultInjector {
     }
 }
 
+/// The telemetry signature a gray-failing device presents while it is
+/// degraded. Every kind inflates real service latency by the same
+/// factor — the *kind* only controls what the health channel admits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GrayFaultKind {
+    /// Degraded windows replay the last emitted sample verbatim —
+    /// frozen timestamp, frozen readings — like a hung sensor daemon.
+    Stale,
+    /// Degraded windows emit finite-but-absurd readings (out-of-range
+    /// caps, implausible queue depths), like a glitching ADC.
+    Corrupt,
+    /// Degraded windows emit nothing at all — a visible sample gap.
+    Drop,
+    /// Degraded windows emit *clean-looking* telemetry while the device
+    /// is genuinely slow: no flag anywhere, only latency divergence.
+    SilentSlowdown,
+    /// Degradation alternates on and off every [`GrayFaultConfig::flap_period`]
+    /// windows, with clean telemetry in between — the hysteresis stressor.
+    Flap,
+    /// Each gray device draws its own kind from the seeded stream.
+    Mix,
+}
+
+impl GrayFaultKind {
+    /// All concrete (non-[`GrayFaultKind::Mix`]) kinds, for sweeps.
+    pub const CONCRETE: [GrayFaultKind; 5] = [
+        GrayFaultKind::Stale,
+        GrayFaultKind::Corrupt,
+        GrayFaultKind::Drop,
+        GrayFaultKind::SilentSlowdown,
+        GrayFaultKind::Flap,
+    ];
+
+    /// The CLI/bench spelling of the kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            GrayFaultKind::Stale => "stale",
+            GrayFaultKind::Corrupt => "corrupt",
+            GrayFaultKind::Drop => "drop",
+            GrayFaultKind::SilentSlowdown => "slow",
+            GrayFaultKind::Flap => "flap",
+            GrayFaultKind::Mix => "mix",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadasError::InvalidConfig`] naming the valid spellings
+    /// for anything else.
+    pub fn from_name(name: &str) -> Result<Self, HadasError> {
+        match name {
+            "stale" => Ok(GrayFaultKind::Stale),
+            "corrupt" => Ok(GrayFaultKind::Corrupt),
+            "drop" => Ok(GrayFaultKind::Drop),
+            "slow" => Ok(GrayFaultKind::SilentSlowdown),
+            "flap" => Ok(GrayFaultKind::Flap),
+            "mix" => Ok(GrayFaultKind::Mix),
+            other => Err(HadasError::InvalidConfig(format!(
+                "unknown gray-fault kind '{other}' (expected stale|corrupt|drop|slow|flap|mix)"
+            ))),
+        }
+    }
+}
+
+/// What a gray fault does to one control-window health sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GrayDefect {
+    /// Replay the previously emitted sample unchanged.
+    Stale,
+    /// Replace the readings with finite out-of-range garbage.
+    Corrupt,
+    /// Emit no sample for this window.
+    Drop,
+    /// Emit the true sample — the degradation is latency-only.
+    Clean,
+}
+
+/// Seeded gray-failure injection: a subset of fleet devices degrades
+/// (real latency inflates by [`GrayFaultConfig::slowdown_factor`]) while
+/// their health telemetry lies per [`GrayFaultKind`]. Every query is a
+/// pure function of `(device, window, seed)`, so gray runs replay
+/// byte-identically at any worker count — the same contract the other
+/// fault streams keep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrayFaultConfig {
+    /// Seed of the gray stream (independent of every other fault salt).
+    pub seed: u64,
+    /// Telemetry signature of affected devices.
+    pub kind: GrayFaultKind,
+    /// Fleet index of the device this per-device copy governs. The fleet
+    /// engine stamps it when deriving per-device serve configs; queries
+    /// take an explicit device so one config can also answer for a whole
+    /// fleet.
+    pub device: usize,
+    /// Approximate fraction of fleet devices that go gray. Assignment is
+    /// cyclic (`(device + seed) % round(1/rate) == 0`), so at least one
+    /// device is gray for every seed.
+    pub device_rate: f64,
+    /// Control window at which an affected device starts degrading.
+    pub onset_window: usize,
+    /// Real service-latency multiplier while degraded (`> 1`).
+    pub slowdown_factor: f64,
+    /// For [`GrayFaultKind::Flap`]: degraded/clean phases alternate every
+    /// this many windows (`≥ 1`).
+    pub flap_period: usize,
+}
+
+impl Default for GrayFaultConfig {
+    fn default() -> Self {
+        GrayFaultConfig {
+            seed: 0,
+            kind: GrayFaultKind::Mix,
+            device: 0,
+            device_rate: 0.25,
+            onset_window: 2,
+            slowdown_factor: 6.0,
+            flap_period: 2,
+        }
+    }
+}
+
+impl GrayFaultConfig {
+    /// A gray config with an explicit kind and seed, defaults elsewhere.
+    pub fn new(kind: GrayFaultKind, seed: u64) -> Self {
+        GrayFaultConfig { kind, seed, ..Default::default() }
+    }
+
+    /// Validates ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadasError::InvalidConfig`] for a device rate outside
+    /// `(0, 1]`, a slowdown factor ≤ 1, or a zero flap period.
+    pub fn validate(&self) -> Result<(), HadasError> {
+        if !self.device_rate.is_finite()
+            || !(0.0..=1.0).contains(&self.device_rate)
+            || self.device_rate == 0.0
+        {
+            return Err(HadasError::InvalidConfig("gray device rate must lie in (0, 1]".into()));
+        }
+        if !self.slowdown_factor.is_finite() || self.slowdown_factor <= 1.0 {
+            return Err(HadasError::InvalidConfig(
+                "gray slowdown factor must be > 1 or the fault has no effect".into(),
+            ));
+        }
+        if self.flap_period == 0 {
+            return Err(HadasError::InvalidConfig("gray flap period must be ≥ 1".into()));
+        }
+        Ok(())
+    }
+
+    /// A uniform draw in `[0, 1)`, pure in `(seed, device, window)`.
+    fn draw(&self, device: usize, window: usize) -> f64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        (self.seed ^ GRAY_SALT).hash(&mut h);
+        (device as u64).hash(&mut h);
+        (window as u64).hash(&mut h);
+        (h.finish() % 1_000_000) as f64 / 1_000_000.0
+    }
+
+    /// Whether fleet device `device` is gray under this config. Cyclic in
+    /// `device + seed`, so every seed grays out `≈ device_rate` of the
+    /// fleet and never zero devices.
+    pub fn device_is_gray(&self, device: usize) -> bool {
+        let period = (1.0 / self.device_rate).round().max(1.0) as usize;
+        (device + self.seed as usize).is_multiple_of(period)
+    }
+
+    /// The concrete kind device `device` presents: the configured kind,
+    /// or a seeded per-device draw for [`GrayFaultKind::Mix`].
+    pub fn kind_of_device(&self, device: usize) -> GrayFaultKind {
+        match self.kind {
+            GrayFaultKind::Mix => {
+                let u = self.draw(device, usize::MAX);
+                let n = GrayFaultKind::CONCRETE.len();
+                GrayFaultKind::CONCRETE[((u * n as f64) as usize).min(n - 1)]
+            }
+            concrete => concrete,
+        }
+    }
+
+    /// Whether device `device` is genuinely degraded (slow) during
+    /// control window `window`. Pure in `(device, window, seed)`.
+    pub fn degraded_at(&self, device: usize, window: usize) -> bool {
+        if !self.device_is_gray(device) || window < self.onset_window {
+            return false;
+        }
+        match self.kind_of_device(device) {
+            GrayFaultKind::Flap => {
+                ((window - self.onset_window) / self.flap_period).is_multiple_of(2)
+            }
+            _ => true,
+        }
+    }
+
+    /// The real service-latency multiplier for device `device` during
+    /// window `window`: [`GrayFaultConfig::slowdown_factor`] while
+    /// degraded, 1.0 otherwise.
+    pub fn slowdown_at(&self, device: usize, window: usize) -> f64 {
+        if self.degraded_at(device, window) {
+            self.slowdown_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// What the health channel does to the sample of window `window` on
+    /// device `device`. Pure in `(device, window, seed)`; the injector
+    /// purity proptest pins this.
+    pub fn telemetry_defect_at(&self, device: usize, window: usize) -> GrayDefect {
+        if !self.degraded_at(device, window) {
+            return GrayDefect::Clean;
+        }
+        match self.kind_of_device(device) {
+            GrayFaultKind::Stale => GrayDefect::Stale,
+            GrayFaultKind::Corrupt => GrayDefect::Corrupt,
+            GrayFaultKind::Drop => GrayDefect::Drop,
+            // `kind_of_device` never returns `Mix`; folding it into the
+            // clean arm keeps this total without a panic site.
+            GrayFaultKind::SilentSlowdown | GrayFaultKind::Flap | GrayFaultKind::Mix => {
+                GrayDefect::Clean
+            }
+        }
+    }
+}
+
 impl FaultModel for FaultInjector {
     fn eval_attempt(&self, key: u64, attempt: u32) -> AttemptOutcome {
         let u = self.uniform(key, attempt);
@@ -481,6 +710,95 @@ mod tests {
         assert!(inj.sag_episodes().is_empty());
         assert!(inj.burst_episodes().is_empty());
         assert!(inj.config().crash_rate > 0.0);
+    }
+
+    #[test]
+    fn gray_queries_are_pure_in_device_window_seed() {
+        for kind in GrayFaultKind::CONCRETE.into_iter().chain([GrayFaultKind::Mix]) {
+            let a = GrayFaultConfig::new(kind, 11);
+            let b = GrayFaultConfig::new(kind, 11);
+            for device in 0..8usize {
+                for window in 0..16usize {
+                    assert_eq!(
+                        a.telemetry_defect_at(device, window),
+                        b.telemetry_defect_at(device, window)
+                    );
+                    assert_eq!(a.degraded_at(device, window), b.degraded_at(device, window));
+                    assert_eq!(a.slowdown_at(device, window), b.slowdown_at(device, window));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gray_assignment_always_hits_at_least_one_device() {
+        for seed in 0..64u64 {
+            let cfg = GrayFaultConfig::new(GrayFaultKind::SilentSlowdown, seed);
+            let gray = (0..8usize).filter(|&d| cfg.device_is_gray(d)).count();
+            assert!(gray >= 1, "seed {seed} grayed no device");
+            assert!(gray <= 2, "seed {seed} grayed {gray}/8 devices at rate 0.25");
+        }
+    }
+
+    #[test]
+    fn gray_kinds_shape_the_telemetry_signature() {
+        let seed = 4; // device 0 is gray: (0 + 4) % 4 == 0
+        let stale = GrayFaultConfig::new(GrayFaultKind::Stale, seed);
+        assert!(stale.device_is_gray(0));
+        assert_eq!(stale.telemetry_defect_at(0, 0), GrayDefect::Clean, "pre-onset is clean");
+        assert_eq!(stale.telemetry_defect_at(0, 5), GrayDefect::Stale);
+        assert!(stale.degraded_at(0, 5) && !stale.degraded_at(1, 5));
+        assert_eq!(stale.slowdown_at(0, 5), 6.0);
+        assert_eq!(stale.slowdown_at(0, 0), 1.0);
+
+        let corrupt = GrayFaultConfig::new(GrayFaultKind::Corrupt, seed);
+        assert_eq!(corrupt.telemetry_defect_at(0, 5), GrayDefect::Corrupt);
+        let drop = GrayFaultConfig::new(GrayFaultKind::Drop, seed);
+        assert_eq!(drop.telemetry_defect_at(0, 5), GrayDefect::Drop);
+
+        let slow = GrayFaultConfig::new(GrayFaultKind::SilentSlowdown, seed);
+        assert_eq!(slow.telemetry_defect_at(0, 5), GrayDefect::Clean, "silent means clean-looking");
+        assert!(slow.degraded_at(0, 5), "…but genuinely slow");
+
+        let flap = GrayFaultConfig::new(GrayFaultKind::Flap, seed);
+        assert!(flap.degraded_at(0, 2) && flap.degraded_at(0, 3), "first phase degraded");
+        assert!(!flap.degraded_at(0, 4) && !flap.degraded_at(0, 5), "second phase clean");
+        assert!(flap.degraded_at(0, 6), "third phase degraded again");
+    }
+
+    #[test]
+    fn gray_mix_resolves_a_concrete_kind_per_device() {
+        let cfg =
+            GrayFaultConfig { device_rate: 1.0, ..GrayFaultConfig::new(GrayFaultKind::Mix, 3) };
+        let mut kinds = std::collections::BTreeSet::new();
+        for device in 0..64usize {
+            let kind = cfg.kind_of_device(device);
+            assert_ne!(kind, GrayFaultKind::Mix, "mix must resolve");
+            assert_eq!(kind, cfg.kind_of_device(device), "resolution is pure");
+            kinds.insert(kind.name());
+        }
+        assert!(kinds.len() >= 3, "64 devices should draw several kinds, got {kinds:?}");
+    }
+
+    #[test]
+    fn gray_kind_names_round_trip_and_reject_garbage() {
+        for kind in GrayFaultKind::CONCRETE.into_iter().chain([GrayFaultKind::Mix]) {
+            assert_eq!(GrayFaultKind::from_name(kind.name()).unwrap(), kind);
+        }
+        assert!(GrayFaultKind::from_name("charcoal").is_err());
+    }
+
+    #[test]
+    fn gray_validate_rejects_degenerate_configs() {
+        assert!(GrayFaultConfig::new(GrayFaultKind::Mix, 0).validate().is_ok());
+        let dead = GrayFaultConfig { device_rate: 0.0, ..Default::default() };
+        assert!(dead.validate().is_err());
+        let overfull = GrayFaultConfig { device_rate: 1.5, ..Default::default() };
+        assert!(overfull.validate().is_err());
+        let inert = GrayFaultConfig { slowdown_factor: 1.0, ..Default::default() };
+        assert!(inert.validate().is_err());
+        let frozen = GrayFaultConfig { flap_period: 0, ..Default::default() };
+        assert!(frozen.validate().is_err());
     }
 
     #[test]

@@ -54,7 +54,9 @@ mod sim;
 mod trace;
 
 pub use battery::Battery;
-pub use faults::{FaultConfig, FaultEpisode, FaultInjector};
+pub use faults::{
+    FaultConfig, FaultEpisode, FaultInjector, GrayDefect, GrayFaultConfig, GrayFaultKind,
+};
 pub use latency::{Histogram, LatencySummary};
 pub use modes::{enforce_thermal_cap, modes_from_pareto, OperatingMode, ServeOutcome};
 pub use policy::{

@@ -3,7 +3,7 @@
 //! percentiles (the invariant the sharded serve reduction is built on),
 //! and every summary must be quantile-monotone.
 
-use hadas_runtime::{Histogram, Scenario, SCENARIO_NAMES};
+use hadas_runtime::{GrayFaultConfig, GrayFaultKind, Histogram, Scenario, SCENARIO_NAMES};
 use proptest::prelude::*;
 
 /// Samples plus a shard-boundary plan: `cuts` are interpreted modulo the
@@ -242,5 +242,63 @@ proptest! {
         prop_assert_eq!(s.thermal_cap_at(t), 1.0);
         prop_assert_eq!(s.difficulty_shift_at(t), 0.0);
         prop_assert_eq!(s.battery_capacity_factor_at(t), 1.0);
+    }
+}
+
+/// A gray-fault plan: kind index (5 concrete kinds + mix), seed, and a
+/// set of `(device, window)` query points.
+fn gray_strategy() -> impl Strategy<Value = (GrayFaultKind, u64, Vec<(usize, usize)>)> {
+    (
+        0usize..=GrayFaultKind::CONCRETE.len(),
+        any::<u64>(),
+        proptest::collection::vec((0usize..32, 0usize..64), 1..64),
+    )
+        .prop_map(|(ix, seed, points)| {
+            let kind = GrayFaultKind::CONCRETE.get(ix).copied().unwrap_or(GrayFaultKind::Mix);
+            (kind, seed, points)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Gray-injector purity: the same `(device, window, seed)` always
+    /// yields the same telemetry defect, degradation flag, and slowdown
+    /// multiplier — the property that keeps gray fleet runs
+    /// byte-identical at any worker count.
+    #[test]
+    fn gray_injection_is_pure_in_device_window_seed(
+        (kind, seed, points) in gray_strategy()
+    ) {
+        let a = GrayFaultConfig::new(kind, seed);
+        let b = GrayFaultConfig::new(kind, seed);
+        for &(device, window) in &points {
+            prop_assert_eq!(
+                a.telemetry_defect_at(device, window),
+                b.telemetry_defect_at(device, window)
+            );
+            prop_assert_eq!(a.degraded_at(device, window), b.degraded_at(device, window));
+            prop_assert_eq!(
+                a.slowdown_at(device, window).to_bits(),
+                b.slowdown_at(device, window).to_bits()
+            );
+            prop_assert_eq!(a.kind_of_device(device), b.kind_of_device(device));
+        }
+    }
+
+    /// A device the cyclic assignment leaves healthy never degrades, and
+    /// no device degrades before the onset window — gray faults cannot
+    /// leak outside their declared blast radius.
+    #[test]
+    fn gray_faults_stay_inside_their_blast_radius(
+        (kind, seed, points) in gray_strategy()
+    ) {
+        let cfg = GrayFaultConfig::new(kind, seed);
+        for &(device, window) in &points {
+            if !cfg.device_is_gray(device) || window < cfg.onset_window {
+                prop_assert!(!cfg.degraded_at(device, window));
+                prop_assert_eq!(cfg.slowdown_at(device, window), 1.0);
+            }
+        }
     }
 }

@@ -1,6 +1,6 @@
 use crate::BrownoutConfig;
 use hadas::{HadasError, RetryPolicy};
-use hadas_runtime::{FaultConfig, Scenario, SimConfig};
+use hadas_runtime::{FaultConfig, GrayFaultConfig, Scenario, SimConfig};
 use serde::{Deserialize, Serialize};
 
 /// Which DVFS governor drives mode selection during serving.
@@ -109,6 +109,13 @@ pub struct ServeConfig {
     /// `faults`: it reshapes the schedule identically in fault-free and
     /// chaos runs.
     pub scenario: Option<Scenario>,
+    /// Optional gray-failure injection: this device degrades (real
+    /// latency inflates) while its health telemetry lies per
+    /// [`GrayFaultConfig::kind`]. Scheduling-plane and pure in
+    /// `(device, window, seed)`, so gray runs keep the byte-identity
+    /// contract. The fleet engine stamps
+    /// [`GrayFaultConfig::device`] when deriving per-device configs.
+    pub gray: Option<GrayFaultConfig>,
 }
 
 impl Default for ServeConfig {
@@ -133,6 +140,7 @@ impl Default for ServeConfig {
             breaker_cooldown: 4,
             brownout: None,
             scenario: None,
+            gray: None,
         }
     }
 }
@@ -181,6 +189,9 @@ impl ServeConfig {
         if let Some(b) = &self.brownout {
             b.validate()?;
         }
+        if let Some(g) = &self.gray {
+            g.validate()?;
+        }
         Ok(())
     }
 }
@@ -226,6 +237,10 @@ mod tests {
         assert!(bad(|c| c.hedge_factor = 1.0));
         assert!(bad(|c| c.hedge_factor = f64::INFINITY));
         assert!(bad(|c| c.retry.max_attempts = 0));
+        assert!(bad(|c| {
+            c.gray =
+                Some(hadas_runtime::GrayFaultConfig { slowdown_factor: 1.0, ..Default::default() });
+        }));
         assert!(bad(|c| {
             c.brownout =
                 Some(BrownoutConfig { hysteresis_windows: 0, ..BrownoutConfig::default() });

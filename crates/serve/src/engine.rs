@@ -1,12 +1,14 @@
 use crate::pool::{run_pool, serve_chaos_plan, BatchJob, ResilienceTelemetry};
+use crate::report::TelemetryIntegrity;
 use crate::{
     apply_brownout, build_governor, generate_requests, Batcher, BrownoutLadder, BrownoutState,
     BrownoutSummary, BrownoutTier, Request, ServeConfig, ServeReport, SloClass, SloSummary,
+    TelemetryCounters, TelemetrySanitizer, IMPLAUSIBLE_QUEUE_DEPTH,
 };
 use hadas::{CircuitBreaker, Hadas, HadasError};
 use hadas_runtime::{
-    enforce_thermal_cap, DegradePolicy, FaultInjector, Histogram, OperatingMode, PolicyState,
-    ScalingPolicy,
+    enforce_thermal_cap, DegradePolicy, FaultInjector, GrayDefect, GrayFaultConfig, Histogram,
+    OperatingMode, PolicyState, ScalingPolicy,
 };
 use serde::{Deserialize, Serialize};
 
@@ -166,6 +168,19 @@ pub struct SessionState {
     pub per_worker_served: Vec<usize>,
     /// Requests lost to dead-lettered batches.
     pub dead_lettered: usize,
+    /// Control windows opened so far — the true window ordinal. Gray
+    /// faults can drop or freeze *samples*, but the ordinal keeps
+    /// advancing, which is what makes sample gaps visible upstream.
+    pub windows_opened: usize,
+    /// The last health sample actually emitted on the channel — the
+    /// sanitizer's comparison state, carried across swap barriers so
+    /// screening is segmentation-invariant.
+    pub last_emitted: Option<HealthSample>,
+    /// Telemetry defects tagged by the sanitizer so far.
+    pub telemetry_defects: TelemetryCounters,
+    /// Sum of folded completion latencies (ms) — the observed-latency
+    /// accumulator the fleet's divergence detector reads per epoch.
+    pub latency_sum_ms: f64,
 }
 
 impl SessionState {
@@ -185,6 +200,20 @@ impl SessionState {
         self.dead_lettered += lost;
         lost
     }
+
+    /// Pulls every queued request back out of the unit for re-dispatch
+    /// elsewhere (the fleet's quarantine drain), returned merged in
+    /// `(time, id)` order. The drained requests leave `offered` with
+    /// them, so the unit's conservation identity keeps balancing and
+    /// the requests can be re-offered to another unit without double
+    /// counting — the quarantine analogue of the zero-drop swap.
+    pub fn drain_for_redispatch(&mut self) -> Vec<Request> {
+        let mut drained: Vec<Request> = self.queued_interactive.drain(..).collect();
+        drained.append(&mut self.queued_bulk);
+        drained.sort_by(|a, b| a.time_s.total_cmp(&b.time_s).then(a.id.cmp(&b.id)));
+        self.offered -= drained.len();
+        drained
+    }
 }
 
 /// A resumable serving run: the engine's scheduling loop plus all
@@ -195,6 +224,8 @@ pub struct ServeSession<'a, 'e> {
     engine: &'e ServeEngine<'a>,
     injector: Option<FaultInjector>,
     chaos: Option<FaultInjector>,
+    gray: Option<GrayFaultConfig>,
+    sanitizer: TelemetrySanitizer,
     batcher: Batcher,
     brownout: Option<BrownoutLadder>,
     state: SessionState,
@@ -293,6 +324,10 @@ impl<'a> ServeEngine<'a> {
             mode_occupancy: vec![0; self.modes.len()],
             per_worker_served: vec![0; self.config.workers],
             dead_lettered: 0,
+            windows_opened: 0,
+            last_emitted: None,
+            telemetry_defects: TelemetryCounters::default(),
+            latency_sum_ms: 0.0,
         };
         self.open_session(state, self.config.brownout.map(BrownoutLadder::new))
     }
@@ -357,6 +392,8 @@ impl<'a> ServeEngine<'a> {
             engine: self,
             injector,
             chaos,
+            gray: self.config.gray.clone(),
+            sanitizer: TelemetrySanitizer::resume(state.last_emitted),
             batcher,
             brownout,
             state,
@@ -467,6 +504,7 @@ impl<'a, 'e> ServeSession<'a, 'e> {
         state.queued_interactive = interactive;
         state.queued_bulk = bulk;
         state.brownout = self.brownout.as_ref().map(BrownoutLadder::state);
+        state.last_emitted = self.sanitizer.last();
         state
     }
 
@@ -586,14 +624,45 @@ impl<'a, 'e> ServeSession<'a, 'e> {
                     Some(l) => l.observe(self.batcher.len(), pressure, cap),
                     None => BrownoutTier::Normal,
                 };
-                s.health.push(HealthSample {
-                    window: s.health.len(),
+                // Telemetry emission: what the health channel carries for
+                // this window. A gray fault may freeze, corrupt, or drop
+                // the sample — the *device* keeps governing on its true
+                // local readings; only the fleet-visible channel lies.
+                let window = s.windows_opened;
+                s.windows_opened += 1;
+                let truth = HealthSample {
+                    window,
                     at_s: start,
                     queue_depth: self.batcher.len(),
                     tier,
                     thermal_cap: cap,
                     slo_pressure: pressure,
-                });
+                };
+                let defect = self
+                    .gray
+                    .as_ref()
+                    .map_or(GrayDefect::Clean, |g| g.telemetry_defect_at(g.device, window));
+                let emitted = match defect {
+                    GrayDefect::Clean => Some(truth),
+                    // A hung sensor daemon replays its last reading
+                    // verbatim; before anything was emitted it stays mute.
+                    GrayDefect::Stale => self.sanitizer.last(),
+                    // Finite-but-absurd garbage: serde round-trips it
+                    // (unlike NaN), the sanitizer still tags it.
+                    GrayDefect::Corrupt => Some(HealthSample {
+                        queue_depth: IMPLAUSIBLE_QUEUE_DEPTH + truth.queue_depth + 1,
+                        thermal_cap: 2.5,
+                        slo_pressure: -1.0,
+                        ..truth
+                    }),
+                    GrayDefect::Drop => None,
+                };
+                if let Some(sample) = emitted {
+                    for d in self.sanitizer.screen(&sample) {
+                        s.telemetry_defects.record(d);
+                    }
+                    s.health.push(sample);
+                }
                 let state = PolicyState::loaded(start, recent, self.batcher.len(), pressure)
                     .with_thermal_cap(cap);
                 let choice = engine.governor.select(&state, n_modes).min(n_modes - 1);
@@ -624,7 +693,16 @@ impl<'a, 'e> ServeSession<'a, 'e> {
             } else {
                 batch.iter().map(|r| engine.modes[s.current_mode].serve(r.difficulty)).collect()
             };
-            let service_s = overhead_s + outcomes.iter().map(|o| o.cost.latency_s).sum::<f64>();
+            // A gray-degraded device is *genuinely* slow: real service
+            // time inflates while the modeled mode costs (admission and
+            // batching estimates) stay nominal — exactly the
+            // modeled-vs-observed divergence the fleet detector hunts.
+            let slowdown = self
+                .gray
+                .as_ref()
+                .map_or(1.0, |g| g.slowdown_at(g.device, s.windows_opened.saturating_sub(1)));
+            let service_s =
+                (overhead_s + outcomes.iter().map(|o| o.cost.latency_s).sum::<f64>()) * slowdown;
             let finish = start + service_s;
             s.worker_free_s[lane] = finish;
             s.makespan_s = s.makespan_s.max(finish);
@@ -680,6 +758,7 @@ impl<'a, 'e> ServeSession<'a, 'e> {
             s.sag_energy_j += r.sag_energy_j;
             for &l in &r.latencies_ms {
                 s.latencies.record(l);
+                s.latency_sum_ms += l;
             }
             s.violations += r.violations;
             s.interactive_served += r.interactive.0;
@@ -749,6 +828,12 @@ impl<'a, 'e> ServeSession<'a, 'e> {
                 .brownout
                 .as_ref()
                 .map_or_else(BrownoutSummary::disabled, BrownoutLadder::summary),
+            telemetry: TelemetryIntegrity {
+                windows_opened: s.windows_opened,
+                samples_emitted: s.health.len(),
+                dropped_windows: s.windows_opened.saturating_sub(s.health.len()),
+                defects: s.telemetry_defects,
+            },
         };
         ServeTrace { report, latencies: s.latencies, health: s.health, telemetry: self.telemetry }
     }

@@ -68,6 +68,7 @@ mod pool;
 mod report;
 mod request;
 mod snapshot;
+mod telemetry;
 
 pub use batch::Batcher;
 pub use brownout::{
@@ -79,7 +80,10 @@ pub use governor::{apply_brownout, build_governor, QueuePolicy};
 pub use pool::ResilienceTelemetry;
 pub use report::{
     accounting_balances, fingerprint64, zero_fingerprint_field, ServeReport, SloSummary,
-    SERVE_REPORT_SCHEMA,
+    TelemetryIntegrity, SERVE_REPORT_SCHEMA,
 };
 pub use request::{generate_requests, Request, SloClass};
 pub use snapshot::{EngineSnapshot, SWAP_SNAPSHOT_SCHEMA};
+pub use telemetry::{
+    TelemetryCounters, TelemetryDefect, TelemetrySanitizer, IMPLAUSIBLE_QUEUE_DEPTH,
+};

@@ -1,4 +1,4 @@
-use crate::BrownoutSummary;
+use crate::{BrownoutSummary, TelemetryCounters};
 use hadas::HadasError;
 use hadas_runtime::LatencySummary;
 use serde::{Deserialize, Serialize};
@@ -6,7 +6,9 @@ use serde::{Deserialize, Serialize};
 /// Schema tag stamped into every serialized [`ServeReport`]. Bump on any
 /// report shape change; [`ServeReport::from_json`] refuses other
 /// versions, mirroring `SearchCheckpoint`'s gated restore.
-pub const SERVE_REPORT_SCHEMA: u32 = 1;
+/// v2: telemetry-integrity summary (windows opened/emitted, sanitizer
+/// defect tallies).
+pub const SERVE_REPORT_SCHEMA: u32 = 2;
 
 /// FNV-1a 64-bit over raw bytes — the workspace's stable content
 /// fingerprint for persisted artifacts (reports, swap snapshots).
@@ -77,6 +79,24 @@ pub struct SloSummary {
     pub bulk_served: usize,
     /// Bulk requests that missed their deadline.
     pub bulk_violations: usize,
+}
+
+/// Health-channel integrity accounting of one serving run: how many
+/// control windows opened, how many samples actually made it onto the
+/// channel, and what the [`crate::TelemetrySanitizer`] tagged on them.
+/// All scheduling-plane quantities, so they serialize without breaking
+/// the byte-identity contract.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryIntegrity {
+    /// Control windows the session opened (the true ordinal count).
+    pub windows_opened: usize,
+    /// Health samples emitted on the channel (≤ `windows_opened`).
+    pub samples_emitted: usize,
+    /// Windows whose sample never appeared (`windows_opened −
+    /// samples_emitted`) — gray drop faults make this non-zero.
+    pub dropped_windows: usize,
+    /// Sanitizer defect tallies over the emitted samples.
+    pub defects: TelemetryCounters,
 }
 
 /// Aggregate outcome of one open-loop serving run.
@@ -154,6 +174,9 @@ pub struct ServeReport {
     /// disabled summary when no ladder was configured. Scheduling-plane
     /// only, so it serializes without breaking recovery byte-identity.
     pub brownout: BrownoutSummary,
+    /// Health-channel integrity accounting (window/sample counts plus
+    /// sanitizer defect tallies).
+    pub telemetry: TelemetryIntegrity,
 }
 
 impl ServeReport {
@@ -253,6 +276,7 @@ mod tests {
             throttled_windows: 0,
             per_worker_served: vec![400, 380],
             brownout: BrownoutSummary::disabled(),
+            telemetry: TelemetryIntegrity::default(),
         }
     }
 

@@ -19,7 +19,9 @@ use std::path::Path;
 
 /// Schema tag of the swap-snapshot payload. Bump on any
 /// [`SessionState`] shape change; restores refuse other versions.
-pub const SWAP_SNAPSHOT_SCHEMA: u32 = 1;
+/// v2: telemetry-integrity state (window ordinals, sanitizer carry-over,
+/// defect counters, latency sum).
+pub const SWAP_SNAPSHOT_SCHEMA: u32 = 2;
 
 /// A validated, persistable snapshot of one serving session at a swap
 /// barrier.
@@ -179,6 +181,10 @@ mod tests {
             mode_occupancy: vec![12, 23],
             per_worker_served: vec![18, 17],
             dead_lettered: 0,
+            windows_opened: 2,
+            last_emitted: None,
+            telemetry_defects: Default::default(),
+            latency_sum_ms: 60.0,
         }
     }
 

@@ -1,0 +1,229 @@
+//! Telemetry integrity screening for the health channel.
+//!
+//! Every [`HealthSample`] a serving session emits passes through a
+//! [`TelemetrySanitizer`] before it enters the health trace. The
+//! sanitizer **tags** defects — it never repairs a reading — because the
+//! fleet's gray-failure detector needs the defect *signal*, not a
+//! plausible-looking fabrication: a frozen sensor that gets silently
+//! re-stamped would be indistinguishable from a healthy one. Screening
+//! is pure in the sample sequence (state is just the previously emitted
+//! sample), so it rides [`crate::SessionState`] across swap barriers and
+//! keeps the byte-identity contract.
+
+use crate::HealthSample;
+use serde::{Deserialize, Serialize};
+
+/// Queue depths above this are treated as sensor garbage: no simulated
+/// device holds a million-request backlog, but a corrupted counter
+/// happily reports one.
+pub const IMPLAUSIBLE_QUEUE_DEPTH: usize = 1_000_000;
+
+/// One class of telemetry defect the sanitizer can tag on a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TelemetryDefect {
+    /// A reading is NaN or infinite.
+    NonFinite,
+    /// Thermal cap or SLO pressure outside `[0, 1]`.
+    OutOfRange,
+    /// Queue depth beyond [`IMPLAUSIBLE_QUEUE_DEPTH`].
+    ImplausibleQueue,
+    /// Virtual timestamp did not advance past the previous sample —
+    /// genuine control windows are at least one window apart.
+    Stale,
+    /// Window ordinal did not advance past the previous sample.
+    NonMonotonic,
+}
+
+/// Per-class defect tallies, accumulated across a session (and summed
+/// across segments — the counters live in [`crate::SessionState`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryCounters {
+    /// NaN/infinite readings.
+    pub non_finite: usize,
+    /// Out-of-range caps or pressures.
+    pub out_of_range: usize,
+    /// Absurd queue depths.
+    pub implausible_queue: usize,
+    /// Frozen virtual timestamps.
+    pub stale: usize,
+    /// Non-advancing window ordinals.
+    pub non_monotonic: usize,
+}
+
+impl TelemetryCounters {
+    /// Total defects across every class.
+    pub fn total(&self) -> usize {
+        self.non_finite
+            + self.out_of_range
+            + self.implausible_queue
+            + self.stale
+            + self.non_monotonic
+    }
+
+    /// Tallies one tagged defect.
+    pub fn record(&mut self, defect: TelemetryDefect) {
+        match defect {
+            TelemetryDefect::NonFinite => self.non_finite += 1,
+            TelemetryDefect::OutOfRange => self.out_of_range += 1,
+            TelemetryDefect::ImplausibleQueue => self.implausible_queue += 1,
+            TelemetryDefect::Stale => self.stale += 1,
+            TelemetryDefect::NonMonotonic => self.non_monotonic += 1,
+        }
+    }
+}
+
+/// Screens health samples at emission, tagging defects against the
+/// previously *emitted* sample (whatever the channel actually carried —
+/// a frozen replay updates nothing, which is exactly how the next
+/// genuine sample gets compared against the frozen one).
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySanitizer {
+    last: Option<HealthSample>,
+}
+
+impl TelemetrySanitizer {
+    /// A sanitizer resuming from the last sample a previous segment
+    /// emitted (`None` at session start).
+    pub fn resume(last: Option<HealthSample>) -> Self {
+        TelemetrySanitizer { last }
+    }
+
+    /// The last emitted sample — persisted in [`crate::SessionState`] so
+    /// screening is segmentation-invariant.
+    pub fn last(&self) -> Option<HealthSample> {
+        self.last
+    }
+
+    /// Screens one sample about to enter the health trace, returning
+    /// every defect tagged on it. The sample is recorded as the new
+    /// comparison point regardless of its verdict.
+    pub fn screen(&mut self, sample: &HealthSample) -> Vec<TelemetryDefect> {
+        let mut defects = Vec::new();
+        if !sample.at_s.is_finite()
+            || !sample.thermal_cap.is_finite()
+            || !sample.slo_pressure.is_finite()
+        {
+            defects.push(TelemetryDefect::NonFinite);
+        } else if !(0.0..=1.0).contains(&sample.thermal_cap)
+            || !(0.0..=1.0).contains(&sample.slo_pressure)
+        {
+            defects.push(TelemetryDefect::OutOfRange);
+        }
+        if sample.queue_depth > IMPLAUSIBLE_QUEUE_DEPTH {
+            defects.push(TelemetryDefect::ImplausibleQueue);
+        }
+        if let Some(last) = &self.last {
+            if sample.at_s.is_finite() && sample.at_s <= last.at_s {
+                defects.push(TelemetryDefect::Stale);
+            }
+            if sample.window <= last.window {
+                defects.push(TelemetryDefect::NonMonotonic);
+            }
+        }
+        self.last = Some(*sample);
+        defects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BrownoutTier;
+
+    fn sample(window: usize, at_s: f64) -> HealthSample {
+        HealthSample {
+            window,
+            at_s,
+            queue_depth: 3,
+            tier: BrownoutTier::Normal,
+            thermal_cap: 1.0,
+            slo_pressure: 0.1,
+        }
+    }
+
+    #[test]
+    fn clean_sequences_pass_unflagged() {
+        let mut san = TelemetrySanitizer::default();
+        for w in 0..8usize {
+            let defects = san.screen(&sample(w, w as f64));
+            assert!(defects.is_empty(), "window {w}: {defects:?}");
+        }
+        assert_eq!(san.last().map(|s| s.window), Some(7));
+    }
+
+    #[test]
+    fn non_finite_readings_are_tagged_not_fixed() {
+        let mut san = TelemetrySanitizer::default();
+        let mut s = sample(0, 0.0);
+        s.thermal_cap = f64::NAN;
+        assert_eq!(san.screen(&s), vec![TelemetryDefect::NonFinite]);
+        let mut t = sample(1, 1.0);
+        t.slo_pressure = f64::INFINITY;
+        assert!(san.screen(&t).contains(&TelemetryDefect::NonFinite));
+        assert!(
+            san.last().map(|l| l.slo_pressure.is_infinite()).unwrap_or(false),
+            "the defective reading must be preserved, not repaired"
+        );
+    }
+
+    #[test]
+    fn out_of_range_and_implausible_readings_are_tagged() {
+        let mut san = TelemetrySanitizer::default();
+        let mut s = sample(0, 0.0);
+        s.thermal_cap = 2.5;
+        assert_eq!(san.screen(&s), vec![TelemetryDefect::OutOfRange]);
+        let mut t = sample(1, 1.0);
+        t.slo_pressure = -1.0;
+        t.queue_depth = 9_999_999;
+        let defects = san.screen(&t);
+        assert!(defects.contains(&TelemetryDefect::OutOfRange));
+        assert!(defects.contains(&TelemetryDefect::ImplausibleQueue));
+    }
+
+    #[test]
+    fn frozen_replays_are_stale_and_non_monotonic() {
+        let mut san = TelemetrySanitizer::default();
+        assert!(san.screen(&sample(3, 5.0)).is_empty());
+        let defects = san.screen(&sample(3, 5.0));
+        assert!(defects.contains(&TelemetryDefect::Stale));
+        assert!(defects.contains(&TelemetryDefect::NonMonotonic));
+        // The genuine sample after a freeze advances both axes again.
+        assert!(san.screen(&sample(4, 6.0)).is_empty());
+    }
+
+    #[test]
+    fn counters_tally_by_class_and_total() {
+        let mut c = TelemetryCounters::default();
+        c.record(TelemetryDefect::NonFinite);
+        c.record(TelemetryDefect::Stale);
+        c.record(TelemetryDefect::Stale);
+        assert_eq!(c.non_finite, 1);
+        assert_eq!(c.stale, 2);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn screening_is_segmentation_invariant() {
+        let stream: Vec<HealthSample> =
+            (0..10).map(|w| sample(if w == 4 { 3 } else { w }, w as f64)).collect();
+        let mut whole = TelemetrySanitizer::default();
+        let mut whole_counts = TelemetryCounters::default();
+        for s in &stream {
+            for d in whole.screen(s) {
+                whole_counts.record(d);
+            }
+        }
+        let mut split_counts = TelemetryCounters::default();
+        let mut carried = None;
+        for chunk in stream.chunks(3) {
+            let mut san = TelemetrySanitizer::resume(carried);
+            for s in chunk {
+                for d in san.screen(s) {
+                    split_counts.record(d);
+                }
+            }
+            carried = san.last();
+        }
+        assert_eq!(whole_counts, split_counts);
+    }
+}

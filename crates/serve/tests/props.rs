@@ -172,6 +172,8 @@ fn session_state_strategy() -> impl Strategy<Value = SessionState> {
                 let split = |class: SloClass| -> Vec<Request> {
                     reqs.iter().copied().filter(|r| r.class == class).collect()
                 };
+                let windows_opened = health.len() + counts[5] % 3;
+                let last_emitted = health.last().copied();
                 SessionState {
                     now_s: floats[0],
                     seq: counts[0],
@@ -209,6 +211,16 @@ fn session_state_strategy() -> impl Strategy<Value = SessionState> {
                     mode_occupancy: exits,
                     per_worker_served: lanes.iter().map(|l| (*l * 3.0) as usize).collect(),
                     dead_lettered: counts[3] % 3,
+                    windows_opened,
+                    last_emitted,
+                    telemetry_defects: hadas_serve::TelemetryCounters {
+                        non_finite: counts[6] % 4,
+                        out_of_range: counts[7] % 4,
+                        implausible_queue: counts[8] % 4,
+                        stale: counts[9] % 4,
+                        non_monotonic: counts[10] % 4,
+                    },
+                    latency_sum_ms: floats[4] * 10.0,
                 }
             },
         )

@@ -50,6 +50,18 @@
 //!    reconfigured report. Mismatches ship `chaos_reconfig_*` repro
 //!    artifacts. The CI `chaos-reconfig` matrix pins one scenario per
 //!    job via `HADAS_CHAOS_SCENARIO`; locally two run by default.
+//!
+//! 7. **Gray failures are detected, quarantined, and healed around.**
+//!    With seeded gray-failure injection in force — devices that keep
+//!    serving (slowly) while their health telemetry lies — the
+//!    detecting fleet report is still byte-identical across fleet
+//!    worker counts, the online detector quarantines at least one
+//!    gray device, in-flight requests drained off quarantined units
+//!    re-dispatch with zero loss (`redispatch_dropped == 0`, the
+//!    quarantine analogue of the zero-drop swap invariant), and the
+//!    accounting still balances. Mismatches ship `chaos_gray_*` repro
+//!    artifacts. The CI `chaos-gray` matrix pins one fault kind per
+//!    job via `HADAS_CHAOS_GRAY_KIND`; locally two run by default.
 
 use hadas_suite::core::{Hadas, HadasConfig, SearchCheckpoint, SearchOptions};
 use hadas_suite::dataset::{CorruptionConfig, DatasetConfig, SyntheticDataset};
@@ -661,6 +673,131 @@ fn mid_swap_unit_crashes_heal_back_to_the_reconfigured_report() {
         }
     }
     assert!(healed_something, "some seed must actually crash units mid-epoch");
+}
+
+// ---------------------------------------------------------------------
+// Gray-failure chaos: lying telemetry, online quarantine, re-dispatch.
+// ---------------------------------------------------------------------
+
+/// The gray-fault kinds this process sweeps: the CI `chaos-gray` matrix
+/// pins one per job via `HADAS_CHAOS_GRAY_KIND`; locally two run.
+fn gray_kind_matrix() -> Vec<String> {
+    match std::env::var("HADAS_CHAOS_GRAY_KIND") {
+        Ok(s) => vec![s],
+        Err(_) => vec!["slow".into(), "mix".into()],
+    }
+}
+
+/// One fleet run under seeded gray-failure injection; `detect` switches
+/// the online health detector (and its quarantine routing) on.
+fn gray_run(
+    planes: &[hadas_suite::fleet::DevicePlane],
+    kind: &str,
+    seed: u64,
+    workers: usize,
+    detect: bool,
+) -> hadas_suite::fleet::FleetRun {
+    let kind = hadas_suite::runtime::GrayFaultKind::from_name(kind).expect("registry gray kind");
+    let config = hadas_suite::fleet::FleetConfig {
+        devices: vec![
+            HwTarget::Tx2PascalGpu,
+            HwTarget::AgxCarmelCpu,
+            HwTarget::Tx2PascalGpu,
+            HwTarget::AgxCarmelCpu,
+            HwTarget::Tx2PascalGpu,
+            HwTarget::AgxCarmelCpu,
+        ],
+        users: 900,
+        rps: 300.0,
+        workers,
+        seed: 42,
+        // Degrade from the first control window: the fleet fixture's
+        // 3-second stream opens only a few windows per device, so the
+        // default onset would leave the detector almost no evidence.
+        gray: Some(hadas_suite::runtime::GrayFaultConfig {
+            onset_window: 0,
+            ..hadas_suite::runtime::GrayFaultConfig::new(kind, seed)
+        }),
+        detection: if detect {
+            hadas_suite::fleet::DetectionConfig::enabled()
+        } else {
+            hadas_suite::fleet::DetectionConfig::default()
+        },
+        ..hadas_suite::fleet::FleetConfig::default()
+    };
+    hadas_suite::fleet::FleetEngine::new(planes, config)
+        .expect("gray fleet config validates")
+        .run()
+        .expect("gray fleet run completes")
+}
+
+/// Ships mismatching gray-faulted reports as CI repro artifacts.
+fn dump_gray_diff(tag: &str, base: &str, other: &str) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("results");
+    let _ = std::fs::create_dir_all(&dir);
+    let _ = std::fs::write(dir.join(format!("chaos_gray_base_{tag}.json")), base);
+    let _ = std::fs::write(dir.join(format!("chaos_gray_other_{tag}.json")), other);
+}
+
+#[test]
+fn gray_faulted_detecting_fleet_report_is_byte_identical_at_any_worker_count() {
+    let planes = fleet_fixture();
+    let seed = seed_matrix()[0];
+    for kind in gray_kind_matrix() {
+        let base = gray_run(&planes, &kind, seed, 1, true);
+        assert!(base.report.accounting_balances(), "{kind}: accounting must balance");
+        assert_eq!(base.report.dead_lettered, 0, "{kind}: gray devices degrade, not crash");
+        let base_json = base.report.to_json().expect("fleet report serializes");
+        for workers in [2usize, 8] {
+            let run = gray_run(&planes, &kind, seed, workers, true);
+            let json = run.report.to_json().expect("fleet report serializes");
+            if json != base_json {
+                dump_gray_diff(&format!("{kind}_{workers}w"), &base_json, &json);
+            }
+            assert_eq!(
+                json, base_json,
+                "{kind}: fleet worker count {workers} must not leak into the gray-faulted \
+                 detecting report (mismatching reports written to results/)"
+            );
+        }
+    }
+}
+
+#[test]
+fn gray_detection_quarantines_probes_and_redispatches_without_loss() {
+    let planes = fleet_fixture();
+    let seed = seed_matrix()[0];
+    for kind in gray_kind_matrix() {
+        let run = gray_run(&planes, &kind, seed, 2, true);
+        let det = &run.report.detection;
+        assert!(det.enabled, "{kind}: the detector must run");
+        assert!(
+            det.quarantined_devices >= 1,
+            "{kind}: the gray degradation must be caught and quarantined (seed {seed})"
+        );
+        assert!(!det.transitions.is_empty(), "{kind}: transitions must be recorded");
+        assert_eq!(
+            det.redispatch_dropped, 0,
+            "{kind}: drained in-flight requests must all re-dispatch (zero-drop invariant)"
+        );
+        assert!(run.report.accounting_balances(), "{kind}: accounting must balance");
+        assert_eq!(run.report.dead_lettered, 0, "{kind}: quarantine must not dead-letter");
+        // The detector's final verdicts mirror into the per-unit health
+        // reports byte-for-byte.
+        assert_eq!(run.report.health.len(), det.final_states.len());
+        for (unit, state) in run.report.health.iter().zip(&det.final_states) {
+            assert_eq!(&unit.state, state, "{kind}: unit {} state must mirror", unit.device);
+        }
+
+        // The blind run over the same gray stream keeps serving but
+        // never quarantines — the faults are truly silent without the
+        // detector.
+        let blind = gray_run(&planes, &kind, seed, 2, false);
+        assert!(!blind.report.detection.enabled);
+        assert_eq!(blind.report.detection.quarantined_devices, 0);
+        assert!(blind.report.detection.transitions.is_empty());
+        assert!(blind.report.accounting_balances(), "{kind}: blind accounting must balance");
+    }
 }
 
 // ---------------------------------------------------------------------
